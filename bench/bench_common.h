@@ -1,0 +1,63 @@
+// Shared workload generators for the experiment benchmarks (E1..E10).
+//
+// Every generator is deterministic given its seed, so benchmark runs are
+// reproducible and comparable across machines.
+
+#ifndef QREL_BENCH_BENCH_COMMON_H_
+#define QREL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/rng.h"
+
+namespace qrel_bench {
+
+// A graph database with relations E(2), S(1) on `n` elements: a sparse
+// pseudo-random edge set, S on every third element, and `uncertain_atoms`
+// error-probability entries spread over E and S facts/non-facts.
+inline qrel::UnreliableDatabase GraphDatabase(int n, int uncertain_atoms,
+                                              uint64_t seed) {
+  auto vocabulary = std::make_shared<qrel::Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  int s = vocabulary->AddRelation("S", 1);
+  qrel::Structure observed(vocabulary, n);
+  qrel::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    observed.AddFact(e, {static_cast<qrel::Element>(i),
+                         static_cast<qrel::Element>((i + 1) % n)});
+    if (rng.NextBernoulli(0.3)) {
+      observed.AddFact(e, {static_cast<qrel::Element>(i),
+                           static_cast<qrel::Element>(
+                               rng.NextBelow(static_cast<uint64_t>(n)))});
+    }
+    if (i % 3 == 0) {
+      observed.AddFact(s, {static_cast<qrel::Element>(i)});
+    }
+  }
+  qrel::UnreliableDatabase db(std::move(observed));
+  // Error probabilities with small non-dyadic denominators.
+  const int64_t denominators[] = {3, 4, 5, 7, 8};
+  for (int a = 0; a < uncertain_atoms; ++a) {
+    int64_t den = denominators[a % 5];
+    qrel::Rational mu(1 + static_cast<int64_t>(rng.NextBelow(
+                              static_cast<uint64_t>(den) - 1)),
+                      den);
+    if (a % 2 == 0) {
+      qrel::Element u =
+          static_cast<qrel::Element>(rng.NextBelow(static_cast<uint64_t>(n)));
+      qrel::Element v =
+          static_cast<qrel::Element>(rng.NextBelow(static_cast<uint64_t>(n)));
+      db.SetErrorProbability(qrel::GroundAtom{e, {u, v}}, mu);
+    } else {
+      qrel::Element u =
+          static_cast<qrel::Element>(rng.NextBelow(static_cast<uint64_t>(n)));
+      db.SetErrorProbability(qrel::GroundAtom{s, {u}}, mu);
+    }
+  }
+  return db;
+}
+
+}  // namespace qrel_bench
+
+#endif  // QREL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+// E10 — the engine crossover: exact vs approximate as uncertainty grows.
+//
+// The practical reading of the paper: exact reliability (Thm 4.2) costs
+// 2^u; the approximations cost polynomial time with an ε that does not
+// care about u. For one fixed conjunctive query we sweep the number of
+// uncertain atoms u and time both paths. Expected shape: exact doubles per
+// atom and overtakes the (flat) FPTRAS cost around u ≈ 15–20 at these
+// parameters; the engine's automatic mode follows the cheaper side of the
+// crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "qrel/engine/engine.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+constexpr char kQuery[] = "exists x y . E(x, y) & S(x) & S(y)";
+
+void BM_E10_ExactPath(benchmark::State& state) {
+  int uncertain = static_cast<int>(state.range(0));
+  qrel::ReliabilityEngine engine(
+      qrel_bench::GraphDatabase(16, uncertain, /*seed=*/55));
+  qrel::EngineOptions options;
+  options.force_exact = true;
+  double r = 0;
+  for (auto _ : state) {
+    r = engine.Run(kQuery, options)->reliability;
+    qrel_bench_sink = static_cast<double>(r);
+  }
+  state.counters["u"] =
+      static_cast<double>(engine.database().UncertainEntries().size());
+  state.counters["R"] = r;
+}
+BENCHMARK(BM_E10_ExactPath)->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E10_ApproximatePath(benchmark::State& state) {
+  int uncertain = static_cast<int>(state.range(0));
+  qrel::ReliabilityEngine engine(
+      qrel_bench::GraphDatabase(16, uncertain, /*seed=*/55));
+  qrel::EngineOptions options;
+  options.force_approximate = true;
+  options.epsilon = 0.03;
+  options.delta = 0.05;
+  options.seed = 77;
+  double r = 0;
+  for (auto _ : state) {
+    r = engine.Run(kQuery, options)->reliability;
+    qrel_bench_sink = static_cast<double>(r);
+  }
+  state.counters["u"] =
+      static_cast<double>(engine.database().UncertainEntries().size());
+  state.counters["R"] = r;
+}
+BENCHMARK(BM_E10_ApproximatePath)->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E10_AutomaticMode(benchmark::State& state) {
+  int uncertain = static_cast<int>(state.range(0));
+  qrel::ReliabilityEngine engine(
+      qrel_bench::GraphDatabase(16, uncertain, /*seed=*/55));
+  qrel::EngineOptions options;
+  options.epsilon = 0.03;
+  options.delta = 0.05;
+  options.seed = 77;
+  options.max_exact_worlds = uint64_t{1} << 12;
+  bool exact = false;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::EngineReport> report = engine.Run(kQuery, options);
+    exact = report->is_exact;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["u"] =
+      static_cast<double>(engine.database().UncertainEntries().size());
+  state.counters["chose_exact"] = exact ? 1 : 0;
+}
+BENCHMARK(BM_E10_AutomaticMode)->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// E1 — Proposition 3.1: quantifier-free reliability is polynomial time.
+//
+// Claim: R_ψ for fixed quantifier-free ψ is computable in time polynomial
+// in the database size. Expected shape: runtime grows ≈ n^k (the number of
+// tuples) with a constant per-tuple factor 2^{atoms(ψ)}, regardless of how
+// many atoms of the database are uncertain.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "qrel/core/reliability.h"
+#include "qrel/logic/parser.h"
+
+namespace {
+
+const qrel::FormulaPtr& UnaryQuery() {
+  static const qrel::FormulaPtr query =
+      *qrel::ParseFormula("S(x) & E(x, x) | !S(x)");
+  return query;
+}
+
+const qrel::FormulaPtr& BinaryQuery() {
+  static const qrel::FormulaPtr query =
+      *qrel::ParseFormula("E(x, y) & (S(x) | !S(y))");
+  return query;
+}
+
+void BM_E1_QfReliability_Unary(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Uncertainty scales with the database: one uncertain atom per element.
+  qrel::UnreliableDatabase db = qrel_bench::GraphDatabase(n, n, /*seed=*/1);
+  uint64_t work = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::ReliabilityReport> report =
+        qrel::QuantifierFreeReliability(UnaryQuery(), db);
+    benchmark::DoNotOptimize(report);
+    work = report->work_units;
+  }
+  state.counters["n"] = n;
+  state.counters["work_units"] = static_cast<double>(work);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_E1_QfReliability_Unary)->RangeMultiplier(2)->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_E1_QfReliability_Binary(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qrel::UnreliableDatabase db = qrel_bench::GraphDatabase(n, n, /*seed=*/2);
+  uint64_t work = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::ReliabilityReport> report =
+        qrel::QuantifierFreeReliability(BinaryQuery(), db);
+    benchmark::DoNotOptimize(report);
+    work = report->work_units;
+  }
+  state.counters["n"] = n;
+  state.counters["work_units"] = static_cast<double>(work);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_E1_QfReliability_Binary)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// E2 — Proposition 3.2: conjunctive-query reliability is #P-hard.
+//
+// Claim, made measurable: exact reliability of the fixed conjunctive query
+// ψ = ∃xyz (Lxy ∧ Rxz ∧ Sy ∧ Sz) on Prop-3.2 reduction instances computes
+// #MONOTONE-2SAT, so its cost doubles with every propositional variable,
+// while the FPTRAS (Theorem 5.4 + Karp-Luby) on the *same* instance stays
+// polynomial. Expected shape: exact ≈ 2^m growth; FPTRAS ≈ flat in m at a
+// fixed (ε, δ).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "qrel/core/approx.h"
+#include "qrel/core/reliability.h"
+#include "qrel/reductions/monotone_two_sat.h"
+
+namespace {
+
+qrel::Prop32Instance Instance(int variables) {
+  qrel::Rng rng(1000 + static_cast<uint64_t>(variables));
+  qrel::MonotoneTwoSat formula =
+      qrel::RandomMonotoneTwoSat(variables, 2 * variables, &rng);
+  return qrel::BuildProp32Instance(formula);
+}
+
+void BM_E2_ExactConjunctiveReliability(benchmark::State& state) {
+  int variables = static_cast<int>(state.range(0));
+  qrel::Prop32Instance instance = Instance(variables);
+  double h = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::ReliabilityReport> report =
+        qrel::ExactReliability(instance.query, instance.database);
+    benchmark::DoNotOptimize(report);
+    h = report->expected_error.ToDouble();
+  }
+  state.counters["m"] = variables;
+  state.counters["worlds"] = std::pow(2.0, variables);
+  state.counters["H"] = h;
+}
+BENCHMARK(BM_E2_ExactConjunctiveReliability)->DenseRange(4, 12, 2)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_FptrasOnSameInstance(benchmark::State& state) {
+  int variables = static_cast<int>(state.range(0));
+  qrel::Prop32Instance instance = Instance(variables);
+  qrel::ApproxOptions options;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  options.seed = 99;
+  double estimate = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::ApproxResult> result =
+        qrel::ExistentialProbabilityFptras(instance.query, instance.database,
+                                           {}, options);
+    benchmark::DoNotOptimize(result);
+    estimate = result->estimate;
+  }
+  state.counters["m"] = variables;
+  state.counters["Pr[psi]"] = estimate;
+}
+BENCHMARK(BM_E2_FptrasOnSameInstance)->DenseRange(4, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

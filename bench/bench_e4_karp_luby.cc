@@ -1,0 +1,147 @@
+// E4 — Theorem 5.2: the Karp-Luby FPTRAS vs naive Monte Carlo.
+//
+// Claim: Karp-Luby achieves bounded *relative* error with a sample budget
+// polynomial in the number of terms — independently of how small Pr[φ]
+// is — while naive Monte Carlo needs ≈ 1/Pr[φ] samples to see a single
+// hit. Expected shape: at equal sample budget, the naive estimator's
+// relative error diverges as the event probability drops toward 2^-k (it
+// typically reports 0), while Karp-Luby's stays ≈ flat.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "qrel/propositional/exact.h"
+#include "qrel/propositional/karp_luby.h"
+#include "qrel/propositional/naive_mc.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+std::vector<qrel::Rational> Uniform(int n) {
+  return std::vector<qrel::Rational>(static_cast<size_t>(n),
+                                     qrel::Rational::Half());
+}
+
+// A "rare event" DNF: three overlapping wide conjunctions over k variables;
+// Pr ≈ 3·2^-k.
+qrel::Dnf RareEventDnf(int k) {
+  qrel::Dnf dnf(k + 2);
+  for (int t = 0; t < 3; ++t) {
+    std::vector<qrel::PropLiteral> term;
+    for (int v = 0; v < k; ++v) {
+      term.push_back({v, true});
+    }
+    term.push_back({k + (t % 2), t < 2});
+    dnf.AddTerm(std::move(term));
+  }
+  return dnf;
+}
+
+constexpr uint64_t kBudget = 50000;
+
+void BM_E4_KarpLubyRareEvent(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  qrel::Dnf dnf = RareEventDnf(k);
+  std::vector<qrel::Rational> prob = Uniform(dnf.variable_count());
+  double exact = qrel::ShannonDnfProbability(dnf, prob).ToDouble();
+  qrel::KarpLubyOptions options;
+  options.fixed_samples = kBudget;
+  options.seed = 17;
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::KarpLubyProbability(dnf, prob, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["k"] = k;
+  state.counters["exact"] = exact;
+  state.counters["rel_err"] =
+      exact > 0 ? std::fabs(estimate - exact) / exact : 0.0;
+}
+BENCHMARK(BM_E4_KarpLubyRareEvent)->DenseRange(4, 24, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E4_NaiveMcRareEvent(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  qrel::Dnf dnf = RareEventDnf(k);
+  std::vector<qrel::Rational> prob = Uniform(dnf.variable_count());
+  double exact = qrel::ShannonDnfProbability(dnf, prob).ToDouble();
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::NaiveMcProbability(dnf, prob, kBudget, 17)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["k"] = k;
+  state.counters["exact"] = exact;
+  state.counters["rel_err"] =
+      exact > 0 ? std::fabs(estimate - exact) / exact : 0.0;
+}
+BENCHMARK(BM_E4_NaiveMcRareEvent)->DenseRange(4, 24, 4)
+    ->Unit(benchmark::kMillisecond);
+
+// Convergence on a garden-variety random kDNF: relative error vs samples.
+void BM_E4_KarpLubyConvergence(benchmark::State& state) {
+  uint64_t samples = static_cast<uint64_t>(state.range(0));
+  qrel::Rng rng(5);
+  qrel::Dnf dnf(16);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<qrel::PropLiteral> term;
+    for (int l = 0; l < 3; ++l) {
+      term.push_back({static_cast<int>(rng.NextBelow(16)),
+                      rng.NextBernoulli(0.5)});
+    }
+    dnf.AddTerm(std::move(term));
+  }
+  std::vector<qrel::Rational> prob = Uniform(16);
+  double exact = qrel::ShannonDnfProbability(dnf, prob).ToDouble();
+  qrel::KarpLubyOptions options;
+  options.fixed_samples = samples;
+  options.seed = 23;
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::KarpLubyProbability(dnf, prob, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["samples"] = static_cast<double>(samples);
+  state.counters["rel_err"] = std::fabs(estimate - exact) / exact;
+}
+BENCHMARK(BM_E4_KarpLubyConvergence)->RangeMultiplier(4)->Range(256, 262144);
+
+// Estimator ablation: canonical vs coverage at equal budget.
+void BM_E4_EstimatorAblation(benchmark::State& state) {
+  bool coverage = state.range(0) == 1;
+  qrel::Rng rng(6);
+  qrel::Dnf dnf(20);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<qrel::PropLiteral> term;
+    for (int l = 0; l < 3; ++l) {
+      term.push_back({static_cast<int>(rng.NextBelow(20)),
+                      rng.NextBernoulli(0.5)});
+    }
+    dnf.AddTerm(std::move(term));
+  }
+  std::vector<qrel::Rational> prob = Uniform(20);
+  double exact = qrel::ShannonDnfProbability(dnf, prob).ToDouble();
+  qrel::KarpLubyOptions options;
+  options.fixed_samples = 20000;
+  options.seed = 31;
+  options.estimator = coverage ? qrel::KarpLubyOptions::Estimator::kCoverage
+                               : qrel::KarpLubyOptions::Estimator::kCanonical;
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::KarpLubyProbability(dnf, prob, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["coverage"] = coverage ? 1 : 0;
+  state.counters["rel_err"] = std::fabs(estimate - exact) / exact;
+}
+BENCHMARK(BM_E4_EstimatorAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E6 — Corollary 5.5 and Theorem 5.12: absolute-error reliability
+// approximation across query classes, plus the ξ ablation.
+//
+// Claim: |R̂ − R_ψ| ≤ ε with probability 1−δ — for existential/universal
+// queries via the FPTRAS (Cor 5.5) and for arbitrary first-order queries
+// via the padded estimator (Thm 5.12). Expected shape: measured absolute
+// error ≤ ε on every class; the padded estimator's accuracy at a fixed
+// budget is best for moderate ξ (the 1/ξ factor in the sample bound) and
+// degrades toward both ends of (0, 1/2).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "qrel/core/approx.h"
+#include "qrel/core/reliability.h"
+#include "qrel/logic/parser.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+struct NamedQuery {
+  const char* label;
+  const char* text;
+};
+
+constexpr NamedQuery kQueries[] = {
+    {"existential", "exists x . S(x) & E(x, x)"},
+    {"universal", "forall x . S(x) | !E(x, x)"},
+    {"general", "forall x . S(x) -> (exists y . E(x, y))"},
+};
+
+// A hand-built database on which none of the three queries is trivially
+// certain: a 6-ring with labels S = {0, 3}, an uncertain self-loop at 2,
+// uncertain labels and one uncertain ring edge.
+qrel::UnreliableDatabase Db() {
+  auto vocabulary = std::make_shared<qrel::Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  int s = vocabulary->AddRelation("S", 1);
+  qrel::Structure observed(vocabulary, 6);
+  for (int i = 0; i < 6; ++i) {
+    observed.AddFact(e, {static_cast<qrel::Element>(i),
+                         static_cast<qrel::Element>((i + 1) % 6)});
+  }
+  observed.AddFact(s, {0});
+  observed.AddFact(s, {3});
+  qrel::UnreliableDatabase db(std::move(observed));
+  db.SetErrorProbability(qrel::GroundAtom{e, {2, 2}}, qrel::Rational(1, 3));
+  db.SetErrorProbability(qrel::GroundAtom{e, {3, 4}}, qrel::Rational(1, 4));
+  db.SetErrorProbability(qrel::GroundAtom{s, {0}}, qrel::Rational(1, 5));
+  db.SetErrorProbability(qrel::GroundAtom{s, {2}}, qrel::Rational(1, 2));
+  db.SetErrorProbability(qrel::GroundAtom{s, {4}}, qrel::Rational(2, 5));
+  return db;
+}
+
+void BM_E6_Cor55(benchmark::State& state) {
+  const NamedQuery& nq = kQueries[state.range(0)];
+  qrel::UnreliableDatabase db = Db();
+  qrel::FormulaPtr query = *qrel::ParseFormula(nq.text);
+  double exact = qrel::ExactReliability(query, db)->reliability.ToDouble();
+  qrel::ApproxOptions options;
+  options.epsilon = 0.03;
+  options.delta = 0.05;
+  options.seed = 3;
+  double estimate = 0;
+  bool supported = true;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::ApproxResult> result =
+        qrel::ReliabilityAbsoluteApprox(query, db, options);
+    supported = result.ok();
+    if (!supported) {
+      state.SkipWithError("query class unsupported by Cor 5.5");
+      break;
+    }
+    estimate = result->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  if (supported) {
+    state.counters["abs_err"] = std::fabs(estimate - exact);
+    state.counters["eps"] = options.epsilon;
+  }
+  state.SetLabel(nq.label);
+}
+BENCHMARK(BM_E6_Cor55)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_E6_Thm512(benchmark::State& state) {
+  const NamedQuery& nq = kQueries[state.range(0)];
+  qrel::UnreliableDatabase db = Db();
+  qrel::FormulaPtr query = *qrel::ParseFormula(nq.text);
+  double exact = qrel::ExactReliability(query, db)->reliability.ToDouble();
+  qrel::ApproxOptions options;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  options.seed = 5;
+  options.fixed_samples = 100000;
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::PaddedReliabilityApprox(query, db, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["abs_err"] = std::fabs(estimate - exact);
+  state.counters["eps"] = options.epsilon;
+  state.SetLabel(nq.label);
+}
+BENCHMARK(BM_E6_Thm512)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// ξ ablation at fixed sample budget: accuracy across ξ ∈ (0, 1/2).
+void BM_E6_XiAblation(benchmark::State& state) {
+  double xi = static_cast<double>(state.range(0)) / 100.0;
+  qrel::UnreliableDatabase db = Db();
+  qrel::FormulaPtr query =
+      *qrel::ParseFormula("forall x . S(x) -> (exists y . E(x, y))");
+  double exact = qrel::ExactReliability(query, db)->reliability.ToDouble();
+  qrel::ApproxOptions options;
+  options.xi = xi;
+  options.seed = 9;
+  options.fixed_samples = 100000;
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate = qrel::PaddedReliabilityApprox(query, db, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["xi"] = xi;
+  state.counters["abs_err"] = std::fabs(estimate - exact);
+  // The theorem's derived bound at this budget: ε with t = 9/(2ξε²)ln(1/δ).
+  state.counters["eps_at_budget"] =
+      std::sqrt(9.0 * std::log(1.0 / 0.05) /
+                (2.0 * xi * 100000.0)) * 2.0;
+}
+BENCHMARK(BM_E6_XiAblation)->Arg(5)->Arg(15)->Arg(25)->Arg(35)->Arg(45)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

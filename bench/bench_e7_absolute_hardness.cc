@@ -1,0 +1,96 @@
+// E7 — Lemmas 5.7/5.8/5.9: the absolute reliability problem.
+//
+// Claims, made measurable:
+//   * Lemma 5.7 — AR_ψ for quantifier-free ψ is polynomial: decided
+//     through Prop 3.1 in time ≈ n^k, uncertainty notwithstanding.
+//   * Lemma 5.9 — AR_ψ is co-NP-hard via 4-colourability: on reduction
+//     instances of non-4-colourable graphs the witness search must visit
+//     all 4^V colour worlds, so the cost quadruples per vertex; on
+//     4-colourable graphs a witness usually appears early.
+//
+// Expected shape: QF decider polynomial in n; witness search exponential
+// in V for "no" (non-colourable ⇒ absolutely reliable) instances and
+// typically early-exit for "yes" instances.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "qrel/core/absolute.h"
+#include "qrel/logic/parser.h"
+#include "qrel/reductions/four_coloring.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+void BM_E7_QuantifierFreeDecider(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qrel::UnreliableDatabase db = qrel_bench::GraphDatabase(n, n, /*seed=*/31);
+  qrel::FormulaPtr query = *qrel::ParseFormula("E(x, y) & S(x)");
+  bool reliable = false;
+  for (auto _ : state) {
+    reliable = *qrel::AbsolutelyReliableQuantifierFree(query, db);
+    qrel_bench_sink = static_cast<double>(reliable);
+  }
+  state.counters["n"] = n;
+  state.counters["AR"] = reliable ? 1 : 0;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_E7_QuantifierFreeDecider)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+// Non-4-colourable instances: K5 plus a path tail of total size V.
+qrel::Graph HardNoInstance(int vertices) {
+  qrel::Graph graph = qrel::CompleteGraph(5);
+  graph.vertex_count = vertices;
+  for (int v = 5; v < vertices; ++v) {
+    graph.edges.emplace_back(v - 1, v);
+  }
+  return graph;
+}
+
+void BM_E7_WitnessSearchNonColorable(benchmark::State& state) {
+  int vertices = static_cast<int>(state.range(0));
+  qrel::Lemma59Instance instance =
+      qrel::BuildLemma59Instance(HardNoInstance(vertices));
+  uint64_t worlds = 0;
+  bool reliable = false;
+  for (auto _ : state) {
+    qrel::AbsoluteReliabilityResult result =
+        *qrel::AbsoluteReliabilityByWitness(instance.query,
+                                            instance.database);
+    worlds = result.worlds_checked;
+    reliable = result.absolutely_reliable;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["V"] = vertices;
+  state.counters["worlds_checked"] = static_cast<double>(worlds);
+  state.counters["AR"] = reliable ? 1 : 0;  // expect 1: not 4-colourable
+}
+BENCHMARK(BM_E7_WitnessSearchNonColorable)->DenseRange(5, 9, 1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_E7_WitnessSearchColorable(benchmark::State& state) {
+  int vertices = static_cast<int>(state.range(0));
+  qrel::Lemma59Instance instance =
+      qrel::BuildLemma59Instance(qrel::CycleGraph(vertices));
+  uint64_t worlds = 0;
+  for (auto _ : state) {
+    qrel::AbsoluteReliabilityResult result =
+        *qrel::AbsoluteReliabilityByWitness(instance.query,
+                                            instance.database);
+    worlds = result.worlds_checked;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["V"] = vertices;
+  state.counters["worlds_checked"] = static_cast<double>(worlds);
+}
+BENCHMARK(BM_E7_WitnessSearchColorable)->DenseRange(5, 9, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E8 — Theorem 5.3: the Prob-kDNF → #DNF reduction.
+//
+// Claim: the construction is polynomial in the formula size and in the
+// bit-length of the probabilities, but exponential in the width k (each
+// term multiplies out the ≤ ℓ-term comparison DNFs of its k literals).
+// Expected shape: φ'' size grows ≈ ℓ^k in the width sweep and ≈ ℓ^k
+// polynomially in the bit-length sweep; correctness is asserted against
+// the exact Shannon oracle on every instance.
+
+#include <benchmark/benchmark.h>
+
+#include "qrel/propositional/exact.h"
+#include "qrel/propositional/kdnf_reduction.h"
+#include "qrel/util/rng.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+qrel::Dnf RandomKdnf(int variables, int terms, int width, uint64_t seed) {
+  qrel::Rng rng(seed);
+  qrel::Dnf dnf(variables);
+  for (int t = 0; t < terms; ++t) {
+    std::vector<qrel::PropLiteral> term;
+    for (int l = 0; l < width; ++l) {
+      term.push_back({static_cast<int>(
+                          rng.NextBelow(static_cast<uint64_t>(variables))),
+                      rng.NextBernoulli(0.5)});
+    }
+    dnf.AddTerm(std::move(term));
+  }
+  return dnf;
+}
+
+// Probabilities with denominators of roughly `bits` bits (non-dyadic).
+std::vector<qrel::Rational> WideProbabilities(int variables, int bits,
+                                              uint64_t seed) {
+  qrel::Rng rng(seed);
+  std::vector<qrel::Rational> result;
+  for (int v = 0; v < variables; ++v) {
+    int64_t den = (int64_t{1} << bits) + 1 +
+                  static_cast<int64_t>(rng.NextBelow(1u << (bits - 1)));
+    int64_t num =
+        1 + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(den) - 1));
+    result.push_back(qrel::Rational(num, den));
+  }
+  return result;
+}
+
+void BM_E8_WidthSweep(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  qrel::Dnf dnf = RandomKdnf(8, 6, width, /*seed=*/41);
+  std::vector<qrel::Rational> prob = WideProbabilities(8, 4, /*seed=*/42);
+  double terms = 0, bits = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::KdnfReduction> reduction =
+        qrel::ReduceProbKdnfToSharpDnf(dnf, prob);
+    benchmark::DoNotOptimize(reduction);
+    terms = reduction->phi_pp.term_count();
+    bits = reduction->bit_count;
+  }
+  state.counters["k"] = width;
+  state.counters["phi_pp_terms"] = terms;
+  state.counters["phi_pp_bits"] = bits;
+}
+BENCHMARK(BM_E8_WidthSweep)->DenseRange(1, 5, 1);
+
+void BM_E8_BitLengthSweep(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  qrel::Dnf dnf = RandomKdnf(8, 6, 2, /*seed=*/43);
+  std::vector<qrel::Rational> prob = WideProbabilities(8, bits, /*seed=*/44);
+  double terms = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::KdnfReduction> reduction =
+        qrel::ReduceProbKdnfToSharpDnf(dnf, prob);
+    benchmark::DoNotOptimize(reduction);
+    terms = reduction->phi_pp.term_count();
+  }
+  state.counters["prob_bits"] = bits;
+  state.counters["phi_pp_terms"] = terms;
+}
+BENCHMARK(BM_E8_BitLengthSweep)->DenseRange(2, 12, 2);
+
+void BM_E8_EndToEndCorrectness(benchmark::State& state) {
+  // Reduction + exact count of φ'' recovers ν(φ) exactly.
+  qrel::Dnf dnf = RandomKdnf(6, 5, 2, /*seed=*/45);
+  std::vector<qrel::Rational> prob = WideProbabilities(6, 3, /*seed=*/46);
+  qrel::Rational exact = qrel::ShannonDnfProbability(dnf, prob);
+  int matches = 0;
+  for (auto _ : state) {
+    qrel::KdnfReduction reduction =
+        *qrel::ReduceProbKdnfToSharpDnf(dnf, prob);
+    qrel::Rational recovered =
+        reduction.RecoverProbability(qrel::CountDnfModels(reduction.phi_pp));
+    matches = recovered == exact ? 1 : 0;
+    qrel_bench_sink = static_cast<double>(matches);
+  }
+  state.counters["matches_exact"] = matches;
+}
+BENCHMARK(BM_E8_EndToEndCorrectness)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// E9 — Theorem 6.2: reliability on metafinite (functional) databases.
+//
+// Claims: (i) quantifier-free terms are polynomial — the per-row local
+// algorithm scales with n while exact world enumeration scales with the
+// product of outcome counts; (ii) first-order (aggregate) terms are exact
+// by enumeration and approximable by Monte Carlo.
+//
+// Expected shape: QF-poly ≈ linear in n at fixed per-row uncertainty;
+// exact enumeration ≈ 2^u; MC flat in u at a fixed sample budget with
+// small absolute error.
+
+#include <cmath>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "qrel/metafinite/reliability.h"
+
+namespace {
+
+// Optimization sink: keeps results alive without the
+// DoNotOptimize asm-constraint issues seen with older
+// google-benchmark builds.
+volatile double qrel_bench_sink = 0.0;
+
+// n-row payroll with every 2nd salary a two-point distribution.
+qrel::UnreliableFunctionalDatabase Payroll(int n, int uncertain) {
+  auto vocabulary = std::make_shared<qrel::FunctionalVocabulary>();
+  int salary = vocabulary->AddFunction("salary", 1);
+  qrel::FunctionalStructure observed(vocabulary, n);
+  for (int i = 0; i < n; ++i) {
+    observed.SetValue(salary, {i}, qrel::Rational(3000 + 137 * i));
+  }
+  qrel::UnreliableFunctionalDatabase db(std::move(observed));
+  for (int i = 0; i < uncertain && i < n; ++i) {
+    qrel::ValueDistribution distribution;
+    distribution.outcomes.push_back(
+        {qrel::Rational(3000 + 137 * i), qrel::Rational(4, 5)});
+    distribution.outcomes.push_back(
+        {qrel::Rational(3000 + 137 * i + 5000), qrel::Rational(1, 5)});
+    db.SetDistribution(qrel::FunctionEntry{salary, {i}},
+                       std::move(distribution))
+        .value();
+  }
+  return db;
+}
+
+const qrel::MTermPtr& QfTerm() {
+  // salary(x) > 4000, per row.
+  static const qrel::MTermPtr term = qrel::MLess(
+      qrel::MConst(qrel::Rational(4000)),
+      qrel::MApply("salary", {qrel::Term::Var("x")}));
+  return term;
+}
+
+const qrel::MTermPtr& SumTerm() {
+  static const qrel::MTermPtr term =
+      qrel::MSum("y", qrel::MApply("salary", {qrel::Term::Var("y")}));
+  return term;
+}
+
+void BM_E9_QuantifierFreePoly(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Uncertainty on every second row: u grows with n, the QF algorithm
+  // only ever sees one entry per row.
+  qrel::UnreliableFunctionalDatabase db = Payroll(n, n / 2);
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::FunctionalReliabilityReport> report =
+        qrel::QuantifierFreeFunctionalReliability(QfTerm(), db);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["n"] = n;
+  state.counters["u"] = n / 2;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_E9_QuantifierFreePoly)->RangeMultiplier(2)->Range(8, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_E9_ExactAggregateEnumeration(benchmark::State& state) {
+  int uncertain = static_cast<int>(state.range(0));
+  qrel::UnreliableFunctionalDatabase db = Payroll(24, uncertain);
+  double r = 0;
+  for (auto _ : state) {
+    qrel::StatusOr<qrel::FunctionalReliabilityReport> report =
+        qrel::ExactFunctionalReliability(SumTerm(), db);
+    benchmark::DoNotOptimize(report);
+    r = report->reliability.ToDouble();
+  }
+  state.counters["u"] = uncertain;
+  state.counters["worlds"] = std::pow(2.0, uncertain);
+  state.counters["R"] = r;
+}
+BENCHMARK(BM_E9_ExactAggregateEnumeration)->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E9_MonteCarloAggregate(benchmark::State& state) {
+  int uncertain = static_cast<int>(state.range(0));
+  qrel::UnreliableFunctionalDatabase db = Payroll(24, uncertain);
+  double exact =
+      qrel::ExactFunctionalReliability(SumTerm(), db)->reliability.ToDouble();
+  double estimate = 0;
+  for (auto _ : state) {
+    estimate =
+        qrel::McFunctionalReliability(SumTerm(), db, 5000, 3)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+  }
+  state.counters["u"] = uncertain;
+  state.counters["abs_err"] = std::fabs(estimate - exact);
+}
+BENCHMARK(BM_E9_MonteCarloAggregate)->DenseRange(2, 14, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

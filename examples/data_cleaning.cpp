@@ -1,0 +1,85 @@
+// Data-cleaning scenario: how trustworthy are analytics over a dirty CRM?
+//
+// A customer table was merged from two sources; the deduplication step
+// attached a confidence to every record-linkage decision. We translate
+// match confidences into error probabilities and ask the reliability of
+// the queries the analytics dashboard actually runs. This is the classic
+// motivation for probabilistic databases (MystiQ/MayBMS-style), expressed
+// in the PODS'98 unreliable-database model.
+
+#include <cstdio>
+#include <memory>
+
+#include "qrel/engine/engine.h"
+#include "qrel/prob/text_format.h"
+
+int main() {
+  // Universe: 0..4 customers, 5..8 orders.
+  // SameAs(x, y): record-linkage duplicates (uncertain).
+  // Placed(o, c): order o placed by customer c (uncertain for merged rows).
+  // Vip(c): flagged important (uncertain, comes from a heuristic).
+  const char* udb = R"(
+    universe 9
+    relation SameAs 2
+    relation Placed 2
+    relation Vip 1
+
+    fact SameAs 0 1 err=0.2       # 80% confident duplicates
+    fact SameAs 1 0 err=0.2
+    absent SameAs 2 3 err=0.4     # 40% chance these are duplicates
+
+    fact Placed 5 0
+    fact Placed 6 1 err=1/10      # ownership disputed after the merge
+    fact Placed 7 2
+    fact Placed 8 3 err=1/4
+
+    fact Vip 0 err=0.15
+    fact Vip 3 err=0.3
+    absent Vip 2 err=0.25
+  )";
+
+  qrel::StatusOr<qrel::UnreliableDatabase> database = qrel::ParseUdb(udb);
+  if (!database.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 database.status().ToString().c_str());
+    return 1;
+  }
+  qrel::ReliabilityEngine engine(std::move(database).value());
+
+  struct Dashboard {
+    const char* label;
+    const char* query;
+  };
+  const Dashboard panels[] = {
+      {"VIP flags per customer", "Vip(x)"},
+      {"orders owned by a VIP", "exists c . Placed(o, c) & Vip(c)"},
+      {"some VIP has a duplicate record",
+       "exists x y . Vip(x) & SameAs(x, y)"},
+      {"duplicate pairs are symmetric",
+       "forall x y . SameAs(x, y) -> SameAs(y, x)"},
+      {"every VIP placed an order",
+       "forall c . Vip(c) -> (exists o . Placed(o, c))"},
+  };
+
+  std::printf("%-38s %-12s %-10s method\n", "dashboard panel", "R",
+              "class");
+  for (const Dashboard& panel : panels) {
+    qrel::StatusOr<qrel::EngineReport> report = engine.Run(panel.query);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", panel.label,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-38s %-12.6f %-10s %s%s\n", panel.label,
+                report->reliability,
+                qrel::QueryClassName(report->query_class),
+                report->method.c_str(), report->is_exact ? " (exact)" : "");
+  }
+
+  std::printf(
+      "\nReading: a panel with R = 0.97 over 9 elements misclassifies about\n"
+      "0.03 * 9^k answer cells in expectation; quantifier-free panels are\n"
+      "certified exactly and in polynomial time (Prop 3.1), the rest use the\n"
+      "exact enumeration or the paper's randomized approximations.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Recursive queries on unreliable data: reachability with Datalog.
+//
+// First-order logic cannot express transitive closure; the paper's upper
+// bounds still cover it ("this includes all Datalog queries"). This
+// example asks how reliable *reachability* answers are when the edge list
+// is noisy — the classic case where one wrong base fact flips a whole
+// cascade of derived facts.
+
+#include <cstdio>
+#include <memory>
+
+#include "qrel/datalog/reliability.h"
+
+namespace {
+
+// A two-rack topology: rack A = {1, 2, 3} behind switch 0, rack B =
+// {5, 6, 7} behind switch 4, switches linked 0 -> 4. Uplinks are solid;
+// several leaf links came from a stale scan.
+qrel::UnreliableDatabase BuildTopology() {
+  auto vocabulary = std::make_shared<qrel::Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  vocabulary->AddRelation("Node", 1);
+  qrel::Structure observed(vocabulary, 8);
+  auto edge = [&](int u, int v) {
+    observed.AddFact(e, {static_cast<qrel::Element>(u),
+                         static_cast<qrel::Element>(v)});
+  };
+  edge(1, 0);
+  edge(2, 0);
+  edge(3, 0);
+  edge(0, 4);
+  edge(4, 5);
+  edge(4, 6);
+  edge(4, 7);
+  for (int i = 0; i < 8; ++i) {
+    observed.AddFact(1, {static_cast<qrel::Element>(i)});
+  }
+  qrel::UnreliableDatabase db(std::move(observed));
+  // Leaf links with stale measurements.
+  db.SetErrorProbability(qrel::GroundAtom{e, {3, 0}}, qrel::Rational(1, 5));
+  db.SetErrorProbability(qrel::GroundAtom{e, {4, 7}}, qrel::Rational(1, 4));
+  // A rumoured direct cross-link 2 -> 4.
+  db.SetErrorProbability(qrel::GroundAtom{e, {2, 4}}, qrel::Rational(1, 10));
+  // The inter-switch uplink is almost, but not perfectly, trusted.
+  db.SetErrorProbability(qrel::GroundAtom{e, {0, 4}}, qrel::Rational(1, 50));
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  qrel::UnreliableDatabase db = BuildTopology();
+  qrel::StatusOr<qrel::DatalogProgram> program = qrel::ParseDatalogProgram(R"(
+    Path(x, y)      :- E(x, y).
+    Path(x, z)      :- Path(x, y), E(y, z).
+    Unreached(x, y) :- Node(x), Node(y), !Path(x, y).
+  )");
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  qrel::StatusOr<qrel::CompiledDatalog> compiled =
+      qrel::CompiledDatalog::Compile(*program, db.vocabulary());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("program:\n%s\n", program->ToString().c_str());
+  std::set<qrel::Tuple> observed_paths =
+      *compiled->EvalPredicate(db.observed(), "Path");
+  std::printf("observed Path relation: %zu pairs of %d\n\n",
+              observed_paths.size(), 8 * 8);
+
+  for (const char* predicate : {"Path", "Unreached"}) {
+    qrel::StatusOr<qrel::ReliabilityReport> exact =
+        qrel::ExactDatalogReliability(*compiled, predicate, db);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "%s: %s\n", predicate,
+                   exact.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s H = %-10s R = %s (= %.6f), %llu worlds\n", predicate,
+                exact->expected_error.ToString().c_str(),
+                exact->reliability.ToString().c_str(),
+                exact->reliability.ToDouble(),
+                static_cast<unsigned long long>(exact->work_units));
+
+    qrel::ApproxOptions options;
+    options.seed = 13;
+    options.fixed_samples = 20000;
+    qrel::StatusOr<qrel::ApproxResult> padded =
+        qrel::PaddedDatalogReliability(*compiled, predicate, db, options);
+    std::printf("%-10s R ~= %.6f via %s\n\n", "",
+                padded->estimate, padded->method.c_str());
+  }
+
+  std::printf(
+      "Note how a single uncertain uplink (error 1/50 on E(0,4)) puts 16\n"
+      "derived Path facts at risk at once: recursive queries amplify base-\n"
+      "fact uncertainty, yet both the exact (Thm 4.2) and padded\n"
+      "(Thm 5.12) algorithms handle them out of the box because Datalog\n"
+      "evaluation is polynomial.\n");
+  return 0;
+}

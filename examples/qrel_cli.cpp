@@ -1,0 +1,152 @@
+// qrel_cli: query reliability from the command line.
+//
+//   qrel_cli <database.udb> "<query>" [options]
+//
+// Options:
+//   --epsilon=<d>      absolute error target for randomized paths (0.02)
+//   --delta=<d>        failure probability (0.02)
+//   --seed=<n>         RNG seed (1)
+//   --force-exact      always enumerate worlds (Thm 4.2)
+//   --force-approx     never enumerate worlds
+//   --per-tuple        also print the per-tuple expected-error breakdown
+//
+// Example:
+//   qrel_cli crm.udb "exists c . Placed(o, c) & Vip(c)" --per-tuple
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "qrel/core/reliability.h"
+#include "qrel/engine/engine.h"
+#include "qrel/logic/parser.h"
+#include "qrel/prob/text_format.h"
+
+namespace {
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
+bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qrel_cli <database.udb> \"<query>\" [--epsilon=E] "
+               "[--delta=D] [--seed=N] [--force-exact] [--force-approx] "
+               "[--per-tuple]\n");
+  return 2;
+}
+
+std::string TupleToString(const qrel::Tuple& tuple) {
+  std::string result = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) result += ",";
+    result += std::to_string(tuple[i]);
+  }
+  return result + ")";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const char* path = argv[1];
+  const char* query = argv[2];
+  qrel::EngineOptions options;
+  bool per_tuple = false;
+  for (int i = 3; i < argc; ++i) {
+    if (ParseDoubleFlag(argv[i], "--epsilon", &options.epsilon) ||
+        ParseDoubleFlag(argv[i], "--delta", &options.delta) ||
+        ParseUint64Flag(argv[i], "--seed", &options.seed)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--force-exact") == 0) {
+      options.force_exact = true;
+    } else if (std::strcmp(argv[i], "--force-approx") == 0) {
+      options.force_approximate = true;
+    } else if (std::strcmp(argv[i], "--per-tuple") == 0) {
+      per_tuple = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  qrel::StatusOr<qrel::UnreliableDatabase> database =
+      qrel::LoadUdbFile(path);
+  if (!database.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 database.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
+              "atoms)\n",
+              path, database->universe_size(),
+              database->observed().FactCount(),
+              static_cast<size_t>(database->model().entry_count()));
+
+  qrel::ReliabilityEngine engine(std::move(database).value());
+  qrel::StatusOr<qrel::EngineReport> report = engine.Run(query, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query      : %s\n", query);
+  std::printf("class      : %s\n", qrel::QueryClassName(report->query_class));
+  if (report->observed_answers.has_value()) {
+    std::printf("observed   : %zu answer tuple(s)\n",
+                report->observed_answers->size());
+  }
+  if (report->exact_reliability.has_value()) {
+    std::printf("reliability: %s (= %.6f, exact)\n",
+                report->exact_reliability->ToString().c_str(),
+                report->reliability);
+  } else {
+    std::printf("reliability: %.6f +- %.4f (confidence %.2f, %llu samples)\n",
+                report->reliability, options.epsilon, 1.0 - options.delta,
+                static_cast<unsigned long long>(report->samples));
+  }
+  std::printf("H (exp.err): %.6f\n", report->expected_error);
+  std::printf("method     : %s\n", report->method.c_str());
+
+  if (per_tuple) {
+    qrel::StatusOr<qrel::FormulaPtr> formula = qrel::ParseFormula(query);
+    qrel::StatusOr<std::vector<qrel::TupleError>> breakdown =
+        qrel::PerTupleExpectedError(*formula, engine.database());
+    if (!breakdown.ok()) {
+      std::fprintf(stderr, "per-tuple: %s\n",
+                   breakdown.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nper-tuple breakdown (non-zero rows):\n");
+    std::printf("  %-14s %-9s %s\n", "tuple", "observed", "Pr[wrong]");
+    for (const qrel::TupleError& row : *breakdown) {
+      if (row.error.IsZero()) {
+        continue;
+      }
+      std::printf("  %-14s %-9s %s (= %.6f)\n",
+                  TupleToString(row.tuple).c_str(),
+                  row.observed ? "in" : "out", row.error.ToString().c_str(),
+                  row.error.ToDouble());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: build an unreliable database, ask for query reliability.
+//
+// An unreliable database (Grädel–Gurevich–Hirsch, PODS 1998) is an ordinary
+// database plus an error probability per fact: the chance that the fact's
+// observed truth value is wrong. The reliability R_ψ of a query ψ is one
+// minus the expected fraction of answer tuples that differ between the
+// observed database and the (random) actual one.
+
+#include <cstdio>
+#include <string>
+
+#include "qrel/engine/engine.h"
+#include "qrel/prob/text_format.h"
+
+int main() {
+  // A 4-element social graph. Edges are trusted; the S-labels ("suspended
+  // account") come from a flaky scraper with known error rates.
+  const char* udb = R"(
+    universe 4
+    relation Follows 2
+    relation Suspended 1
+
+    fact Follows 0 1
+    fact Follows 1 2
+    fact Follows 2 3
+    fact Suspended 0 err=1/4      # observed suspended, 25% chance wrong
+    fact Suspended 2 err=1/3
+    absent Suspended 1 err=1/10   # observed active, 10% chance wrong
+  )";
+
+  qrel::StatusOr<qrel::UnreliableDatabase> database = qrel::ParseUdb(udb);
+  if (!database.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 database.status().ToString().c_str());
+    return 1;
+  }
+  qrel::ReliabilityEngine engine(std::move(database).value());
+
+  const std::string queries[] = {
+      // Quantifier-free: answered exactly in polynomial time (Prop. 3.1).
+      "Suspended(x)",
+      // Conjunctive: a suspended account that someone still follows.
+      "exists x y . Follows(x, y) & Suspended(y)",
+      // Universal: nobody follows a suspended account.
+      "forall x y . !(Follows(x, y) & Suspended(y))",
+      // General first-order: every suspended account follows someone.
+      "forall x . Suspended(x) -> (exists y . Follows(x, y))",
+  };
+
+  for (const std::string& text : queries) {
+    qrel::StatusOr<qrel::EngineReport> report = engine.Run(text);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query      : %s\n", text.c_str());
+    std::printf("class      : %s\n",
+                qrel::QueryClassName(report->query_class));
+    if (report->observed_answers.has_value()) {
+      std::printf("observed   : %zu answer tuple(s)\n",
+                  report->observed_answers->size());
+    }
+    if (report->exact_reliability.has_value()) {
+      std::printf("reliability: %s (= %.6f, exact)\n",
+                  report->exact_reliability->ToString().c_str(),
+                  report->reliability);
+    } else {
+      std::printf("reliability: %.6f (estimated, %llu samples)\n",
+                  report->reliability,
+                  static_cast<unsigned long long>(report->samples));
+    }
+    std::printf("method     : %s\n\n", report->method.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Hardness, operationally: counting monotone 2-SAT models with the
+// reliability engine.
+//
+// Proposition 3.2 reduces #MONOTONE-2SAT — a #P-complete counting problem —
+// to computing the expected error of the fixed conjunctive query
+// ψ = ∃xyz (Lxy ∧ Rxz ∧ Sy ∧ Sz). This example runs the reduction forward:
+// it builds the unreliable database for a formula, computes H_ψ exactly,
+// and reads the model count out of it. The flip side of the theorem is
+// visible in the timings: the exact path doubles its work with every
+// variable.
+
+#include <chrono>
+#include <cstdio>
+
+#include "qrel/core/reliability.h"
+#include "qrel/reductions/monotone_two_sat.h"
+
+int main() {
+  qrel::Rng rng(42);
+
+  std::printf("%6s %8s %14s %14s %12s\n", "vars", "clauses", "#SAT(exact)",
+              "#SAT(via H)", "time(ms)");
+  for (int variables = 4; variables <= 12; variables += 2) {
+    qrel::MonotoneTwoSat formula =
+        qrel::RandomMonotoneTwoSat(variables, variables + variables / 2, &rng);
+
+    qrel::BigInt direct = qrel::CountSatisfyingAssignments(formula);
+
+    auto start = std::chrono::steady_clock::now();
+    qrel::Prop32Instance instance = qrel::BuildProp32Instance(formula);
+    qrel::StatusOr<qrel::ReliabilityReport> report =
+        qrel::ExactReliability(instance.query, instance.database);
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    qrel::BigInt recovered =
+        qrel::RecoverModelCount(report->expected_error, variables);
+
+    std::printf("%6d %8zu %14s %14s %12.2f\n", variables,
+                formula.clauses.size(), direct.ToDecimalString().c_str(),
+                recovered.ToDecimalString().c_str(), elapsed);
+    if (recovered != direct) {
+      std::fprintf(stderr, "REDUCTION MISMATCH!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nEvery row satisfies #SAT = H_psi * 2^m (Proposition 3.2), and the\n"
+      "runtime of the exact reliability computation doubles per variable —\n"
+      "reliability of conjunctive queries is as hard as #P.\n");
+  return 0;
+}

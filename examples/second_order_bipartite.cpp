@@ -1,0 +1,77 @@
+// Second-order queries on unreliable data: how reliable is "the network
+// is bipartite"?
+//
+// Bipartiteness (2-colourability) is not first-order expressible — it
+// needs an existential second-order quantifier: ∃C ∀x∀y (E(x,y) →
+// (C(x) ↔ ¬C(y))). Theorem 4.2 covers such queries ("for all second-order
+// queries, the reliability problem is in FP^#P"); this example runs that
+// upper bound on a small switch fabric whose cabling records are partly
+// unreliable.
+
+#include <cstdio>
+#include <memory>
+
+#include "qrel/core/reliability.h"
+#include "qrel/logic/parser.h"
+#include "qrel/logic/second_order.h"
+
+int main() {
+  // Intended fabric: an even 6-ring (leaf/spine alternation — bipartite).
+  auto vocabulary = std::make_shared<qrel::Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  qrel::Structure observed(vocabulary, 6);
+  auto edge = [&](int u, int v) {
+    observed.AddFact(e, {static_cast<qrel::Element>(u),
+                         static_cast<qrel::Element>(v)});
+    observed.AddFact(e, {static_cast<qrel::Element>(v),
+                         static_cast<qrel::Element>(u)});
+  };
+  for (int i = 0; i < 6; ++i) {
+    edge(i, (i + 1) % 6);
+  }
+  qrel::UnreliableDatabase db(std::move(observed));
+  // Two rumoured patch cables; either would create an odd cycle.
+  db.SetErrorProbability(qrel::GroundAtom{e, {0, 2}}, qrel::Rational(1, 10));
+  db.SetErrorProbability(qrel::GroundAtom{e, {1, 4}}, qrel::Rational(1, 8));
+  // One recorded ring cable might be dead (which cannot break
+  // bipartiteness — removing edges never does).
+  db.SetErrorProbability(qrel::GroundAtom{e, {3, 4}}, qrel::Rational(1, 5));
+
+  qrel::SecondOrderQuery bipartite;
+  bipartite.relation_variables = {{"C", 1}};
+  bipartite.matrix =
+      *qrel::ParseFormula("forall x y . E(x, y) -> (C(x) <-> !C(y))");
+  qrel::StatusOr<qrel::CompiledSecondOrder> compiled =
+      qrel::CompiledSecondOrder::Compile(bipartite, db.vocabulary());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  qrel::StatusOr<bool> now = compiled->EvalSigma11(db.observed());
+  std::printf("query      : EXISTS C . forall x y . E(x,y) -> (C(x) <-> "
+              "!C(y))   [Sigma^1_1]\n");
+  std::printf("observed   : fabric %s bipartite\n",
+              *now ? "IS" : "is NOT");
+
+  qrel::StatusOr<qrel::ReliabilityReport> report =
+      qrel::ExactSecondOrderReliability(*compiled, db);
+  if (!report.ok()) {
+    std::fprintf(stderr, "reliability: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reliability: %s (= %.6f) over %llu worlds\n",
+              report->reliability.ToString().c_str(),
+              report->reliability.ToDouble(),
+              static_cast<unsigned long long>(report->work_units));
+  std::printf(
+      "\nInterpretation: with probability H = %s the *actual* fabric is\n"
+      "not bipartite even though the observed one is — one of the\n"
+      "rumoured patch cables exists and closes an odd cycle. Note the\n"
+      "possibly-dead ring cable contributes nothing: deleting edges\n"
+      "cannot destroy bipartiteness, and the exact computation knows it.\n",
+      report->expected_error.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "qrel/core/absolute.h"
+
+#include "qrel/core/reliability.h"
+#include "qrel/logic/classify.h"
+#include "qrel/logic/eval.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+StatusOr<bool> AbsolutelyReliableQuantifierFree(const FormulaPtr& query,
+                                                const UnreliableDatabase& db) {
+  StatusOr<ReliabilityReport> report = QuantifierFreeReliability(query, db);
+  if (!report.ok()) {
+    return report.status();
+  }
+  return report->expected_error.IsZero();
+}
+
+StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityByWitness(
+    const FormulaPtr& query, const UnreliableDatabase& db) {
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, db.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  const std::vector<int>& uncertain = db.UncertainEntries();
+  if (uncertain.size() > 62) {
+    return Status::OutOfRange(
+        "witness search over more than 2^62 worlds");
+  }
+
+  int n = db.universe_size();
+  int k = compiled->arity();
+
+  // ψ^𝔄 once.
+  std::vector<Tuple> tuples;
+  std::vector<uint8_t> observed_truth;
+  {
+    Tuple assignment(static_cast<size_t>(k), 0);
+    do {
+      tuples.push_back(assignment);
+      observed_truth.push_back(
+          compiled->Eval(db.observed(), assignment) ? 1 : 0);
+    } while (AdvanceTuple(&assignment, n));
+  }
+
+  AbsoluteReliabilityResult result;
+  World world(db.model().entry_count());
+  for (int id : db.model().CertainFlipEntries()) {
+    world.SetFlipped(id, true);
+  }
+
+  uint64_t world_count = uint64_t{1} << uncertain.size();
+  for (uint64_t code = 0; code < world_count; ++code) {
+    for (size_t i = 0; i < uncertain.size(); ++i) {
+      world.SetFlipped(uncertain[i], (code >> i) & 1u);
+    }
+    ++result.worlds_checked;
+    WorldView view(db, world);
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (compiled->Eval(view, tuples[i]) != (observed_truth[i] != 0)) {
+        result.absolutely_reliable = false;
+        result.witness = world;
+        return result;
+      }
+    }
+  }
+  result.absolutely_reliable = true;
+  return result;
+}
+
+StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
+    const FormulaPtr& query, const UnreliableDatabase& db, uint64_t samples,
+    uint64_t seed) {
+  if (samples == 0) {
+    return Status::InvalidArgument("sample count must be positive");
+  }
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, db.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  int n = db.universe_size();
+  int k = compiled->arity();
+
+  std::vector<Tuple> tuples;
+  std::vector<uint8_t> observed_truth;
+  {
+    Tuple assignment(static_cast<size_t>(k), 0);
+    do {
+      tuples.push_back(assignment);
+      observed_truth.push_back(
+          compiled->Eval(db.observed(), assignment) ? 1 : 0);
+    } while (AdvanceTuple(&assignment, n));
+  }
+
+  Rng rng(seed);
+  AbsoluteReliabilityResult result;
+  for (uint64_t s = 0; s < samples; ++s) {
+    World world = db.SampleWorld(&rng);
+    ++result.worlds_checked;
+    WorldView view(db, world);
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (compiled->Eval(view, tuples[i]) != (observed_truth[i] != 0)) {
+        result.absolutely_reliable = false;
+        result.witness = std::move(world);
+        return result;
+      }
+    }
+  }
+  // No counterexample sampled; inconclusive but reported as "reliable so
+  // far" (see the header comment and Lemma 5.10).
+  result.absolutely_reliable = true;
+  return result;
+}
+
+}  // namespace qrel

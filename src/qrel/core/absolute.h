@@ -1,0 +1,55 @@
+// The absolute reliability problem AR_ψ (Definition 5.6): given 𝔇, decide
+// whether R_ψ(𝔇) = 1, i.e. whether the query answer is correct in *every*
+// world with positive probability.
+//
+//  * Lemma 5.7: for quantifier-free ψ, AR_ψ ∈ P — decided here through the
+//    Proposition 3.1 polynomial algorithm (H_ψ = 0 exactly).
+//  * Lemma 5.8: for polynomial-time evaluable ψ, AR_ψ ∈ co-NP — the
+//    certificate is a world 𝔅 with ψ^𝔅 ≠ ψ^𝔄. AbsoluteReliabilityByWitness
+//    realizes the certificate check by exhaustive witness search
+//    (exponential in the number of uncertain atoms, as expected for a
+//    co-NP-hard problem — Lemma 5.9).
+
+#ifndef QREL_CORE_ABSOLUTE_H_
+#define QREL_CORE_ABSOLUTE_H_
+
+#include <optional>
+
+#include "qrel/logic/ast.h"
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct AbsoluteReliabilityResult {
+  bool absolutely_reliable = false;
+  // A counterexample world (if not absolutely reliable): some tuple's
+  // answer differs between the observed database and this world.
+  std::optional<World> witness;
+  uint64_t worlds_checked = 0;
+};
+
+// Lemma 5.7: polynomial-time decision for quantifier-free queries (no
+// witness is produced). Fails if the query has quantifiers.
+StatusOr<bool> AbsolutelyReliableQuantifierFree(const FormulaPtr& query,
+                                                const UnreliableDatabase& db);
+
+// Lemma 5.8 certificate search for any first-order query: enumerates
+// positive-probability worlds until one changes the answer set. Fails if
+// there are more than 62 uncertain atoms.
+StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityByWitness(
+    const FormulaPtr& query, const UnreliableDatabase& db);
+
+// Randomized falsifier: samples `samples` worlds from ν looking for a
+// certificate. Finding one *refutes* absolute reliability; not finding one
+// is inconclusive (by Lemma 5.10, no efficient two-sided procedure is
+// expected unless NP ⊆ BPP) — `absolutely_reliable` then only reports
+// that no counterexample was seen. Unlike the exhaustive search this runs
+// on databases with arbitrarily many uncertain atoms.
+StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
+    const FormulaPtr& query, const UnreliableDatabase& db, uint64_t samples,
+    uint64_t seed);
+
+}  // namespace qrel
+
+#endif  // QREL_CORE_ABSOLUTE_H_

@@ -1,0 +1,260 @@
+#include "qrel/core/approx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qrel/logic/classify.h"
+#include "qrel/logic/eval.h"
+#include "qrel/logic/grounding.h"
+#include "qrel/logic/normal_form.h"
+#include "qrel/propositional/dnf.h"
+#include "qrel/propositional/karp_luby.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+Status ValidateCommonOptions(const ApproxOptions& options) {
+  if (options.epsilon <= 0.0 || options.epsilon >= 1.0 ||
+      options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("epsilon and delta must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+// Number of tuples n^k, with an overflow/feasibility guard.
+StatusOr<uint64_t> TupleCount(int n, int k) {
+  uint64_t count = 1;
+  for (int i = 0; i < k; ++i) {
+    count *= static_cast<uint64_t>(n);
+    if (count > (uint64_t{1} << 22)) {
+      return Status::OutOfRange(
+          "query arity times universe size yields too many tuples");
+    }
+  }
+  return count;
+}
+
+// One FPTRAS estimate of ν(ψ(ā)) from an already-computed prenex form.
+StatusOr<ApproxResult> FptrasFromPrenex(const PrenexExistential& prenex,
+                                        const UnreliableDatabase& db,
+                                        const Tuple& assignment,
+                                        const ApproxOptions& options) {
+  StatusOr<GroundDnf> ground = GroundExistential(prenex, db, assignment);
+  if (!ground.ok()) {
+    return ground.status();
+  }
+  ApproxResult result;
+  if (ground->certainly_true) {
+    result.estimate = 1.0;
+    result.method = "Thm 5.4 grounding: certainly true";
+    return result;
+  }
+  if (ground->terms.empty()) {
+    result.estimate = 0.0;
+    result.method = "Thm 5.4 grounding: certainly false";
+    return result;
+  }
+
+  int entries = db.model().entry_count();
+  Dnf dnf(entries);
+  for (const std::vector<GroundLiteral>& term : ground->terms) {
+    std::vector<PropLiteral> literals;
+    literals.reserve(term.size());
+    for (const GroundLiteral& literal : term) {
+      literals.push_back({literal.entry, literal.positive});
+    }
+    dnf.AddTerm(std::move(literals));
+  }
+  // Subsumption pruning shrinks m and with it the Karp-Luby sample bound,
+  // without changing Pr[ψ''].
+  dnf.RemoveSubsumedTerms();
+  std::vector<Rational> prob_true;
+  prob_true.reserve(static_cast<size_t>(entries));
+  for (int e = 0; e < entries; ++e) {
+    prob_true.push_back(db.EntryNuTrue(e));
+  }
+
+  KarpLubyOptions kl;
+  kl.epsilon = options.epsilon;
+  kl.delta = options.delta;
+  kl.seed = options.seed;
+  kl.fixed_samples = options.fixed_samples;
+  StatusOr<KarpLubyResult> estimate = KarpLubyProbability(dnf, prob_true, kl);
+  if (!estimate.ok()) {
+    return estimate.status();
+  }
+  result.estimate = estimate->estimate;
+  result.samples = estimate->samples;
+  result.method = "Thm 5.4 grounding (" + std::to_string(dnf.term_count()) +
+                  " terms, width " + std::to_string(dnf.Width()) +
+                  ") + Karp-Luby";
+  return result;
+}
+
+}  // namespace
+
+uint64_t PaddedSampleBound(double xi, double epsilon, double delta) {
+  double t = 9.0 / (2.0 * xi * epsilon * epsilon) * std::log(1.0 / delta);
+  QREL_CHECK(std::isfinite(t));
+  return static_cast<uint64_t>(std::ceil(t));
+}
+
+StatusOr<ApproxResult> ExistentialProbabilityFptras(
+    const FormulaPtr& query, const UnreliableDatabase& db,
+    const Tuple& assignment, const ApproxOptions& options) {
+  QREL_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  StatusOr<PrenexExistential> prenex = ToPrenexExistential(query);
+  if (!prenex.ok()) {
+    return prenex.status();
+  }
+  if (assignment.size() != prenex->free_variables.size()) {
+    return Status::InvalidArgument("assignment arity mismatch");
+  }
+  return FptrasFromPrenex(*prenex, db, assignment, options);
+}
+
+StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
+    const FormulaPtr& query, const UnreliableDatabase& db,
+    const ApproxOptions& options) {
+  QREL_RETURN_IF_ERROR(ValidateCommonOptions(options));
+
+  // Work with an existential formula: ψ itself, or ¬ψ for universal ψ.
+  bool universal = false;
+  FormulaPtr target = query;
+  if (!IsExistential(query)) {
+    if (!IsUniversal(query)) {
+      return Status::InvalidArgument(
+          "Corollary 5.5 applies to existential or universal queries only; "
+          "use PaddedReliabilityApprox for general queries");
+    }
+    universal = true;
+    target = Not(query);
+  }
+  StatusOr<PrenexExistential> prenex = ToPrenexExistential(target);
+  if (!prenex.ok()) {
+    return prenex.status();
+  }
+
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, db.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  int n = db.universe_size();
+  int k = compiled->arity();
+  StatusOr<uint64_t> tuple_count = TupleCount(n, k);
+  if (!tuple_count.ok()) {
+    return tuple_count.status();
+  }
+
+  // Per-tuple budgets from the proof of Corollary 5.5: error ε/n^k with
+  // failure probability δ/n^k for each of the n^k Boolean estimates.
+  ApproxOptions per_tuple = options;
+  per_tuple.epsilon = options.epsilon / static_cast<double>(*tuple_count);
+  per_tuple.delta = options.delta / static_cast<double>(*tuple_count);
+  if (per_tuple.epsilon >= 1.0) per_tuple.epsilon = 0.999;
+
+  Rng seeder(options.seed);
+  double expected_error = 0.0;
+  uint64_t samples = 0;
+  Tuple assignment(static_cast<size_t>(k), 0);
+  do {
+    per_tuple.seed = seeder.NextUint64();
+    StatusOr<ApproxResult> nu =
+        FptrasFromPrenex(*prenex, db, assignment, per_tuple);
+    if (!nu.ok()) {
+      return nu.status();
+    }
+    samples += nu->samples;
+    bool observed = compiled->Eval(db.observed(), assignment);
+    // nu estimates Pr[target(ā)]; translate into Pr[ψ(ā) wrong].
+    double prob_true =
+        universal ? 1.0 - nu->estimate : nu->estimate;  // Pr[𝔅 ⊨ ψ(ā)]
+    expected_error += observed ? 1.0 - prob_true : prob_true;
+  } while (AdvanceTuple(&assignment, n));
+
+  ApproxResult result;
+  result.samples = samples;
+  result.estimate =
+      1.0 - expected_error / static_cast<double>(*tuple_count);
+  result.estimate = std::clamp(result.estimate, 0.0, 1.0);
+  result.method = universal
+                      ? "Cor 5.5 (universal via FPTRAS on negation)"
+                      : "Cor 5.5 (existential via Thm 5.4 FPTRAS)";
+  return result;
+}
+
+StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
+                                               const UnreliableDatabase& db,
+                                               const ApproxOptions& options) {
+  QREL_RETURN_IF_ERROR(ValidateCommonOptions(options));
+  if (options.xi <= 0.0 || options.xi >= 0.5) {
+    return Status::InvalidArgument("xi must lie in (0, 1/2)");
+  }
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, db.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  int n = db.universe_size();
+  int k = compiled->arity();
+  StatusOr<uint64_t> tuple_count = TupleCount(n, k);
+  if (!tuple_count.ok()) {
+    return tuple_count.status();
+  }
+
+  double per_epsilon = options.epsilon / static_cast<double>(*tuple_count);
+  double per_delta = options.delta / static_cast<double>(*tuple_count);
+  // Lemma 5.11 is applied with ε/2 (the proof's final step).
+  uint64_t per_samples =
+      options.fixed_samples.has_value()
+          ? *options.fixed_samples
+          : PaddedSampleBound(options.xi, per_epsilon / 2.0, per_delta);
+
+  const double xi = options.xi;
+  Rng rng(options.seed);
+  double expected_error = 0.0;
+  uint64_t samples = 0;
+  Tuple assignment(static_cast<size_t>(k), 0);
+  do {
+    bool observed = compiled->Eval(db.observed(), assignment);
+    // X_i = ψ'(𝔅') with ψ' = (ψ ∨ Rc) ∧ Rd over the padded database: the
+    // two fresh atoms Rc, Rd are virtual — each is an independent
+    // Bernoulli(ξ) draw, since R is empty in 𝔄' and μ'(Rc) = μ'(Rd) = ξ.
+    uint64_t hits = 0;
+    for (uint64_t s = 0; s < per_samples; ++s) {
+      bool rd = rng.NextBernoulli(xi);
+      if (!rd) {
+        continue;  // ψ' is false whatever ψ evaluates to
+      }
+      bool rc = rng.NextBernoulli(xi);
+      bool psi_true = rc;
+      if (!psi_true) {
+        World world = db.SampleWorld(&rng);
+        WorldView view(db, world);
+        psi_true = compiled->Eval(view, assignment);
+      }
+      if (psi_true) {
+        ++hits;
+      }
+    }
+    samples += per_samples;
+    double x_bar = static_cast<double>(hits) / static_cast<double>(per_samples);
+    // Invert p = ν(ψ)·(ξ-ξ²) + ξ² (equation (3) in the proof).
+    double nu = (x_bar - xi * xi) / (xi - xi * xi);
+    nu = std::clamp(nu, 0.0, 1.0);
+    expected_error += observed ? 1.0 - nu : nu;
+  } while (AdvanceTuple(&assignment, n));
+
+  ApproxResult result;
+  result.samples = samples;
+  result.estimate =
+      1.0 - expected_error / static_cast<double>(*tuple_count);
+  result.estimate = std::clamp(result.estimate, 0.0, 1.0);
+  result.method = "Thm 5.12 padded estimator (xi=" + std::to_string(xi) + ")";
+  return result;
+}
+
+}  // namespace qrel

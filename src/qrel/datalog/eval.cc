@@ -1,0 +1,482 @@
+#include "qrel/datalog/eval.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+constexpr Element kUnbound = -1;
+
+}  // namespace
+
+StatusOr<CompiledDatalog> CompiledDatalog::Compile(
+    DatalogProgram program, const Vocabulary& edb_vocabulary) {
+  CompiledDatalog compiled;
+  compiled.edb_vocabulary_ = &edb_vocabulary;
+
+  // IDB predicates and arities (consistent across all uses).
+  std::vector<std::string> idb = program.IdbPredicates();
+  for (const std::string& predicate : idb) {
+    if (edb_vocabulary.FindRelation(predicate).has_value()) {
+      return Status::InvalidArgument(
+          "predicate '" + predicate +
+          "' is both intensional (appears in a rule head) and extensional");
+    }
+  }
+  auto is_idb = [&idb](const std::string& name) {
+    return std::find(idb.begin(), idb.end(), name) != idb.end();
+  };
+  auto record_arity = [&compiled](const std::string& name,
+                                  int arity) -> Status {
+    auto [it, inserted] = compiled.idb_arity_.emplace(name, arity);
+    if (!inserted && it->second != arity) {
+      return Status::InvalidArgument("inconsistent arity for predicate '" +
+                                     name + "'");
+    }
+    return Status::Ok();
+  };
+
+  for (const DatalogRule& rule : program.rules) {
+    QREL_RETURN_IF_ERROR(record_arity(
+        rule.head.relation, static_cast<int>(rule.head.args.size())));
+    for (const DatalogLiteral& literal : rule.body) {
+      const std::string& name = literal.atom.relation;
+      int arity = static_cast<int>(literal.atom.args.size());
+      if (is_idb(name)) {
+        QREL_RETURN_IF_ERROR(record_arity(name, arity));
+      } else {
+        std::optional<int> relation = edb_vocabulary.FindRelation(name);
+        if (!relation.has_value()) {
+          return Status::InvalidArgument("unknown extensional predicate '" +
+                                         name + "'");
+        }
+        if (edb_vocabulary.relation(*relation).arity != arity) {
+          return Status::InvalidArgument("arity mismatch for predicate '" +
+                                         name + "'");
+        }
+      }
+    }
+  }
+
+  // Stratification by relaxation: stratum(head) >= stratum(positive IDB
+  // body atom) and >= stratum(negated IDB body atom) + 1.
+  for (const std::string& predicate : idb) {
+    compiled.idb_stratum_[predicate] = 0;
+  }
+  int idb_count = static_cast<int>(idb.size());
+  bool changed = true;
+  for (int round = 0; changed && round <= idb_count * idb_count + 1;
+       ++round) {
+    changed = false;
+    for (const DatalogRule& rule : program.rules) {
+      int& head_stratum = compiled.idb_stratum_[rule.head.relation];
+      for (const DatalogLiteral& literal : rule.body) {
+        if (!is_idb(literal.atom.relation)) {
+          continue;
+        }
+        int required = compiled.idb_stratum_[literal.atom.relation] +
+                       (literal.positive ? 0 : 1);
+        if (head_stratum < required) {
+          head_stratum = required;
+          changed = true;
+          if (head_stratum > idb_count) {
+            return Status::InvalidArgument(
+                "program is not stratified: predicate '" +
+                rule.head.relation + "' depends negatively on itself");
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [predicate, stratum] : compiled.idb_stratum_) {
+    compiled.stratum_count_ =
+        std::max(compiled.stratum_count_, stratum + 1);
+  }
+  compiled.idb_predicates_ = idb;
+  std::stable_sort(compiled.idb_predicates_.begin(),
+                   compiled.idb_predicates_.end(),
+                   [&compiled](const std::string& a, const std::string& b) {
+                     return compiled.idb_stratum_.at(a) <
+                            compiled.idb_stratum_.at(b);
+                   });
+
+  // Per-rule compilation: variable slots, safety, body reordering.
+  for (const DatalogRule& rule : program.rules) {
+    CompiledRule compiled_rule;
+    compiled_rule.head = rule.head.relation;
+    compiled_rule.stratum = compiled.idb_stratum_.at(rule.head.relation);
+
+    std::vector<std::string> variables;
+    auto slot_of = [&variables](const Term& term) {
+      auto it = std::find(variables.begin(), variables.end(), term.variable);
+      if (it == variables.end()) {
+        variables.push_back(term.variable);
+        return static_cast<int>(variables.size()) - 1;
+      }
+      return static_cast<int>(it - variables.begin());
+    };
+    auto compile_args = [&](const std::vector<Term>& args,
+                            std::vector<int>* slots,
+                            std::vector<Element>* constants) {
+      for (const Term& term : args) {
+        if (term.is_variable()) {
+          slots->push_back(slot_of(term));
+          constants->push_back(0);
+        } else {
+          slots->push_back(-1);
+          constants->push_back(term.constant);
+        }
+      }
+    };
+
+    // Positive body literals bind variables; compile them first so
+    // negative literals always see fully bound arguments.
+    std::vector<const DatalogLiteral*> ordered;
+    for (const DatalogLiteral& literal : rule.body) {
+      if (literal.positive) ordered.push_back(&literal);
+    }
+    size_t positive_count = ordered.size();
+    for (const DatalogLiteral& literal : rule.body) {
+      if (!literal.positive) ordered.push_back(&literal);
+    }
+
+    std::vector<std::string> positive_variables;
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      const DatalogLiteral& literal = *ordered[i];
+      CompiledLiteral compiled_literal;
+      compiled_literal.positive = literal.positive;
+      compiled_literal.is_idb = is_idb(literal.atom.relation);
+      if (compiled_literal.is_idb) {
+        compiled_literal.idb_relation = literal.atom.relation;
+        compiled_literal.same_stratum_idb =
+            literal.positive &&
+            compiled.idb_stratum_.at(literal.atom.relation) ==
+                compiled_rule.stratum;
+      } else {
+        compiled_literal.edb_relation =
+            *edb_vocabulary.FindRelation(literal.atom.relation);
+      }
+      compile_args(literal.atom.args, &compiled_literal.slots,
+                   &compiled_literal.constants);
+      if (i < positive_count) {
+        for (const Term& term : literal.atom.args) {
+          if (term.is_variable()) {
+            positive_variables.push_back(term.variable);
+          }
+        }
+      }
+      compiled_rule.body.push_back(std::move(compiled_literal));
+    }
+
+    // Safety: head and negated variables must occur positively.
+    auto bound_positively = [&positive_variables](const std::string& name) {
+      return std::find(positive_variables.begin(), positive_variables.end(),
+                       name) != positive_variables.end();
+    };
+    for (const Term& term : rule.head.args) {
+      if (term.is_variable() && !bound_positively(term.variable)) {
+        return Status::InvalidArgument(
+            "unsafe rule (head variable '" + term.variable +
+            "' not bound by a positive body literal): " + rule.ToString());
+      }
+    }
+    for (const DatalogLiteral& literal : rule.body) {
+      if (literal.positive) continue;
+      for (const Term& term : literal.atom.args) {
+        if (term.is_variable() && !bound_positively(term.variable)) {
+          return Status::InvalidArgument(
+              "unsafe rule (negated variable '" + term.variable +
+              "' not bound by a positive body literal): " + rule.ToString());
+        }
+      }
+    }
+
+    compile_args(rule.head.args, &compiled_rule.head_slots,
+                 &compiled_rule.head_constants);
+    compiled_rule.variable_count = static_cast<int>(variables.size());
+    compiled.rules_.push_back(std::move(compiled_rule));
+  }
+
+  compiled.program_ = std::move(program);
+  return compiled;
+}
+
+bool CompiledDatalog::BodySatisfied(
+    const CompiledRule& rule, size_t literal_index,
+    std::vector<Element>* binding, const AtomOracle& edb,
+    const DatalogResult& idb, const std::set<Tuple>& head_set,
+    Tuple* head_tuple, std::set<Tuple>* additions, int delta_index,
+    const std::set<Tuple>* delta_contents) const {
+  if (literal_index == rule.body.size()) {
+    // Body satisfied: emit the head tuple (safety guarantees all head
+    // slots are bound).
+    head_tuple->clear();
+    for (size_t i = 0; i < rule.head_slots.size(); ++i) {
+      int slot = rule.head_slots[i];
+      head_tuple->push_back(slot < 0 ? rule.head_constants[i]
+                                     : (*binding)[static_cast<size_t>(slot)]);
+    }
+    if (head_set.find(*head_tuple) == head_set.end()) {
+      additions->insert(*head_tuple);
+    }
+    return false;  // keep enumerating all bindings
+  }
+
+  const CompiledLiteral& literal = rule.body[literal_index];
+  size_t arity = literal.slots.size();
+
+  // Instantiate what is already bound; record unbound slots.
+  Tuple args(arity, 0);
+  std::vector<size_t> free_positions;
+  for (size_t i = 0; i < arity; ++i) {
+    int slot = literal.slots[i];
+    if (slot < 0) {
+      args[i] = literal.constants[i];
+    } else if ((*binding)[static_cast<size_t>(slot)] != kUnbound) {
+      args[i] = (*binding)[static_cast<size_t>(slot)];
+    } else {
+      free_positions.push_back(i);
+    }
+  }
+
+  auto args_match_and_bind = [&](const Tuple& candidate,
+                                 std::vector<int>* newly_bound) {
+    for (size_t i = 0; i < arity; ++i) {
+      int slot = literal.slots[i];
+      if (slot < 0) {
+        if (candidate[i] != literal.constants[i]) return false;
+        continue;
+      }
+      Element& value = (*binding)[static_cast<size_t>(slot)];
+      if (value == kUnbound) {
+        value = candidate[i];
+        newly_bound->push_back(slot);
+      } else if (value != candidate[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!literal.positive) {
+    // All arguments bound (compile-time safety): a simple membership test.
+    bool holds;
+    if (literal.is_idb) {
+      const std::set<Tuple>& contents = idb.at(literal.idb_relation);
+      holds = contents.find(args) != contents.end();
+    } else {
+      holds = edb.AtomTrue(literal.edb_relation, args);
+    }
+    if (holds) {
+      return false;
+    }
+    return BodySatisfied(rule, literal_index + 1, binding, edb, idb,
+                         head_set, head_tuple, additions, delta_index,
+                         delta_contents);
+  }
+
+  if (literal.is_idb) {
+    // Iterate the materialized relation (or the delta, when this is the
+    // restricted literal of a semi-naive pass), filtered by the bound
+    // positions.
+    const std::set<Tuple>& contents =
+        static_cast<int>(literal_index) == delta_index
+            ? *delta_contents
+            : idb.at(literal.idb_relation);
+    for (const Tuple& candidate : contents) {
+      std::vector<int> newly_bound;
+      bool matched = args_match_and_bind(candidate, &newly_bound);
+      if (matched) {
+        BodySatisfied(rule, literal_index + 1, binding, edb, idb, head_set,
+                      head_tuple, additions, delta_index, delta_contents);
+      }
+      for (int slot : newly_bound) {
+        (*binding)[static_cast<size_t>(slot)] = kUnbound;
+      }
+    }
+    return false;
+  }
+
+  // Extensional literal: enumerate values for the unbound positions and
+  // probe the oracle. Positions sharing one variable slot move together.
+  std::vector<int> distinct_free_slots;
+  for (size_t position : free_positions) {
+    int slot = literal.slots[position];
+    if (std::find(distinct_free_slots.begin(), distinct_free_slots.end(),
+                  slot) == distinct_free_slots.end()) {
+      distinct_free_slots.push_back(slot);
+    }
+  }
+  int n = edb.universe_size();
+  Tuple values(distinct_free_slots.size(), 0);
+  bool more = true;
+  while (more) {
+    for (size_t i = 0; i < distinct_free_slots.size(); ++i) {
+      (*binding)[static_cast<size_t>(distinct_free_slots[i])] = values[i];
+    }
+    for (size_t i = 0; i < arity; ++i) {
+      int slot = literal.slots[i];
+      if (slot >= 0) {
+        args[i] = (*binding)[static_cast<size_t>(slot)];
+      }
+    }
+    if (edb.AtomTrue(literal.edb_relation, args)) {
+      BodySatisfied(rule, literal_index + 1, binding, edb, idb, head_set,
+                    head_tuple, additions, delta_index, delta_contents);
+    }
+    more = !values.empty() && AdvanceTuple(&values, n);
+    if (values.empty()) {
+      more = false;
+    }
+  }
+  for (int slot : distinct_free_slots) {
+    (*binding)[static_cast<size_t>(slot)] = kUnbound;
+  }
+  return false;
+}
+
+DatalogResult CompiledDatalog::EvalNaive(const AtomOracle& edb) const {
+  DatalogResult idb;
+  for (const std::string& predicate : idb_predicates_) {
+    idb[predicate] = {};
+  }
+  Tuple head_tuple;
+  for (int stratum = 0; stratum < stratum_count_; ++stratum) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const CompiledRule& rule : rules_) {
+        if (rule.stratum != stratum) {
+          continue;
+        }
+        std::set<Tuple> additions;
+        std::vector<Element> binding(
+            static_cast<size_t>(rule.variable_count), kUnbound);
+        BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
+                      &head_tuple, &additions, -1, nullptr);
+        if (!additions.empty()) {
+          idb[rule.head].insert(additions.begin(), additions.end());
+          changed = true;
+        }
+      }
+    }
+  }
+  return idb;
+}
+
+DatalogResult CompiledDatalog::Eval(const AtomOracle& edb) const {
+  DatalogResult idb;
+  for (const std::string& predicate : idb_predicates_) {
+    idb[predicate] = {};
+  }
+  Tuple head_tuple;
+  for (int stratum = 0; stratum < stratum_count_; ++stratum) {
+    // Round 0: full evaluation seeds the delta (also the only round for
+    // rules with no same-stratum recursion).
+    DatalogResult delta;
+    for (const std::string& predicate : idb_predicates_) {
+      delta[predicate] = {};
+    }
+    for (const CompiledRule& rule : rules_) {
+      if (rule.stratum != stratum) {
+        continue;
+      }
+      std::set<Tuple> additions;
+      std::vector<Element> binding(static_cast<size_t>(rule.variable_count),
+                                   kUnbound);
+      BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
+                    &head_tuple, &additions, -1, nullptr);
+      delta[rule.head].insert(additions.begin(), additions.end());
+    }
+    for (auto& [predicate, tuples] : delta) {
+      idb[predicate].insert(tuples.begin(), tuples.end());
+    }
+
+    // Semi-naive rounds: each recursive rule re-fires once per
+    // same-stratum positive IDB literal, with that literal restricted to
+    // the previous delta.
+    bool any_delta = true;
+    while (any_delta) {
+      DatalogResult next_delta;
+      for (const std::string& predicate : idb_predicates_) {
+        next_delta[predicate] = {};
+      }
+      any_delta = false;
+      for (const CompiledRule& rule : rules_) {
+        if (rule.stratum != stratum) {
+          continue;
+        }
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (!rule.body[i].same_stratum_idb) {
+            continue;
+          }
+          const std::set<Tuple>& restricted =
+              delta.at(rule.body[i].idb_relation);
+          if (restricted.empty()) {
+            continue;
+          }
+          std::set<Tuple> additions;
+          std::vector<Element> binding(
+              static_cast<size_t>(rule.variable_count), kUnbound);
+          BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
+                        &head_tuple, &additions, static_cast<int>(i),
+                        &restricted);
+          for (const Tuple& tuple : additions) {
+            if (idb.at(rule.head).find(tuple) == idb.at(rule.head).end()) {
+              next_delta[rule.head].insert(tuple);
+            }
+          }
+        }
+      }
+      for (auto& [predicate, tuples] : next_delta) {
+        if (!tuples.empty()) {
+          idb[predicate].insert(tuples.begin(), tuples.end());
+          any_delta = true;
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  return idb;
+}
+
+StatusOr<std::set<Tuple>> CompiledDatalog::EvalPredicate(
+    const AtomOracle& edb, const std::string& predicate) const {
+  if (idb_arity_.find(predicate) != idb_arity_.end()) {
+    DatalogResult result = Eval(edb);
+    return std::move(result.at(predicate));
+  }
+  std::optional<int> relation = edb_vocabulary_->FindRelation(predicate);
+  if (!relation.has_value()) {
+    return Status::NotFound("unknown predicate '" + predicate + "'");
+  }
+  // Materialize the extensional relation through the oracle.
+  std::set<Tuple> contents;
+  int arity = edb_vocabulary_->relation(*relation).arity;
+  Tuple tuple(static_cast<size_t>(arity), 0);
+  do {
+    if (edb.AtomTrue(*relation, tuple)) {
+      contents.insert(tuple);
+    }
+  } while (AdvanceTuple(&tuple, edb.universe_size()));
+  return contents;
+}
+
+StatusOr<int> CompiledDatalog::PredicateArity(
+    const std::string& predicate) const {
+  auto it = idb_arity_.find(predicate);
+  if (it != idb_arity_.end()) {
+    return it->second;
+  }
+  std::optional<int> relation = edb_vocabulary_->FindRelation(predicate);
+  if (!relation.has_value()) {
+    return Status::NotFound("unknown predicate '" + predicate + "'");
+  }
+  return edb_vocabulary_->relation(*relation).arity;
+}
+
+}  // namespace qrel

@@ -1,0 +1,101 @@
+// Compilation and bottom-up fixpoint evaluation of stratified Datalog.
+//
+// CompiledDatalog validates a program against an EDB vocabulary: EDB
+// predicates must exist with matching arities, IDB arities must be
+// consistent, rules must be safe (every variable occurs in a positive body
+// literal) and negation stratified. Evaluation runs stratum by stratum to
+// the fixpoint, reading extensional atoms through the AtomOracle
+// interface — so a program evaluates on the observed database and on any
+// possible world alike, which is what the reliability algorithms need.
+
+#ifndef QREL_DATALOG_EVAL_H_
+#define QREL_DATALOG_EVAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qrel/datalog/program.h"
+#include "qrel/relational/structure.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// Materialized IDB contents after a fixpoint evaluation.
+using DatalogResult = std::map<std::string, std::set<Tuple>>;
+
+class CompiledDatalog {
+ public:
+  static StatusOr<CompiledDatalog> Compile(DatalogProgram program,
+                                           const Vocabulary& edb_vocabulary);
+
+  // Evaluates the program over the given extensional database to the
+  // least fixpoint (per stratum) and returns all IDB relations. Uses
+  // semi-naive evaluation: after the first round, a rule only re-fires
+  // with one of its same-stratum positive IDB literals restricted to the
+  // previous round's delta, so unchanged derivations are not recomputed.
+  DatalogResult Eval(const AtomOracle& edb) const;
+
+  // The textbook naive fixpoint (re-derives everything every round);
+  // exponentially wasteful on deep recursions, kept as the semi-naive
+  // algorithm's test oracle.
+  DatalogResult EvalNaive(const AtomOracle& edb) const;
+
+  // Convenience: the contents of one predicate after evaluation. The
+  // predicate may be intensional or extensional.
+  StatusOr<std::set<Tuple>> EvalPredicate(const AtomOracle& edb,
+                                          const std::string& predicate) const;
+
+  // Declared IDB predicates in stratum order.
+  const std::vector<std::string>& idb_predicates() const {
+    return idb_predicates_;
+  }
+  // Arity of an IDB or EDB predicate.
+  StatusOr<int> PredicateArity(const std::string& predicate) const;
+
+ private:
+  struct CompiledLiteral {
+    bool positive = true;
+    bool is_idb = false;
+    // Positive IDB literal whose predicate lives in the same stratum as
+    // the rule head (the literals semi-naive evaluation restricts).
+    bool same_stratum_idb = false;
+    int edb_relation = -1;     // when !is_idb
+    std::string idb_relation;  // when is_idb
+    // One entry per argument: variable slot (>= 0) or -1 with a constant.
+    std::vector<int> slots;
+    std::vector<Element> constants;
+  };
+  struct CompiledRule {
+    std::string head;
+    std::vector<int> head_slots;        // -1 entries use head_constants
+    std::vector<Element> head_constants;
+    int variable_count = 0;
+    std::vector<CompiledLiteral> body;
+    int stratum = 0;
+  };
+
+  DatalogProgram program_;
+  std::vector<CompiledRule> rules_;
+  std::vector<std::string> idb_predicates_;  // stratum order
+  std::map<std::string, int> idb_arity_;
+  std::map<std::string, int> idb_stratum_;
+  const Vocabulary* edb_vocabulary_ = nullptr;
+  int stratum_count_ = 1;
+
+  // Enumerates body bindings and collects new head tuples. When
+  // `delta_index` is a body-literal index, that (positive, same-stratum
+  // IDB) literal iterates `*delta_contents` instead of the full relation —
+  // the semi-naive restriction; pass delta_index = -1 for full evaluation.
+  bool BodySatisfied(const CompiledRule& rule, size_t literal_index,
+                     std::vector<Element>* binding, const AtomOracle& edb,
+                     const DatalogResult& idb,
+                     const std::set<Tuple>& head_set, Tuple* head_tuple,
+                     std::set<Tuple>* additions, int delta_index,
+                     const std::set<Tuple>* delta_contents) const;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_DATALOG_EVAL_H_

@@ -1,0 +1,220 @@
+#include "qrel/datalog/program.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qrel {
+
+std::string DatalogAtom::ToString() const {
+  std::string result = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) result += ", ";
+    result += args[i].ToString();
+  }
+  return result + ")";
+}
+
+std::string DatalogRule::ToString() const {
+  std::string result = head.ToString();
+  if (!body.empty()) {
+    result += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i != 0) result += ", ";
+      if (!body[i].positive) result += "!";
+      result += body[i].atom.ToString();
+    }
+  }
+  return result + ".";
+}
+
+std::vector<std::string> DatalogProgram::IdbPredicates() const {
+  std::vector<std::string> result;
+  for (const DatalogRule& rule : rules) {
+    if (std::find(result.begin(), result.end(), rule.head.relation) ==
+        result.end()) {
+      result.push_back(rule.head.relation);
+    }
+  }
+  return result;
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string result;
+  for (const DatalogRule& rule : rules) {
+    result += rule.ToString();
+    result += "\n";
+  }
+  return result;
+}
+
+namespace {
+
+class RuleParser {
+ public:
+  explicit RuleParser(std::string_view text) : text_(text) {}
+
+  StatusOr<DatalogProgram> Parse() {
+    DatalogProgram program;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      StatusOr<DatalogRule> rule = ParseRule();
+      if (!rule.ok()) {
+        return rule.status();
+      }
+      program.rules.push_back(*rule);
+      SkipSpace();
+    }
+    if (program.rules.empty()) {
+      return Status::InvalidArgument("empty Datalog program");
+    }
+    return program;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& message) {
+    return Status::InvalidArgument("at position " + std::to_string(pos_) +
+                                   ": " + message);
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeTurnstile() {
+    SkipSpace();
+    if (pos_ + 1 < text_.size() && text_[pos_] == ':' &&
+        text_[pos_ + 1] == '-') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected an identifier");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '#' ||
+         std::isdigit(static_cast<unsigned char>(text_[pos_])))) {
+      if (text_[pos_] == '#') {
+        ++pos_;
+      }
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        return Error("expected digits after '#'");
+      }
+      long value = 0;
+      for (size_t i = start; i < pos_; ++i) {
+        value = value * 10 + (text_[i] - '0');
+        if (value > 1000000000) {
+          return Error("constant out of range");
+        }
+      }
+      return Term::Const(static_cast<Element>(value));
+    }
+    StatusOr<std::string> name = ParseIdentifier();
+    if (!name.ok()) {
+      return name.status();
+    }
+    return Term::Var(*name);
+  }
+
+  StatusOr<DatalogAtom> ParseAtom() {
+    StatusOr<std::string> relation = ParseIdentifier();
+    if (!relation.ok()) {
+      return relation.status();
+    }
+    DatalogAtom atom;
+    atom.relation = *relation;
+    if (!Consume('(')) {
+      return Error("expected '(' after predicate name");
+    }
+    if (Consume(')')) {
+      return atom;
+    }
+    for (;;) {
+      StatusOr<Term> term = ParseTerm();
+      if (!term.ok()) {
+        return term.status();
+      }
+      atom.args.push_back(*term);
+      if (Consume(')')) {
+        return atom;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ')' in argument list");
+      }
+    }
+  }
+
+  StatusOr<DatalogRule> ParseRule() {
+    DatalogRule rule;
+    StatusOr<DatalogAtom> head = ParseAtom();
+    if (!head.ok()) {
+      return head.status();
+    }
+    rule.head = *head;
+    if (ConsumeTurnstile()) {
+      for (;;) {
+        DatalogLiteral literal;
+        literal.positive = !Consume('!');
+        StatusOr<DatalogAtom> atom = ParseAtom();
+        if (!atom.ok()) {
+          return atom.status();
+        }
+        literal.atom = *atom;
+        rule.body.push_back(std::move(literal));
+        if (Consume('.')) {
+          return rule;
+        }
+        if (!Consume(',')) {
+          return Error("expected ',' or '.' after a body literal");
+        }
+      }
+    }
+    if (!Consume('.')) {
+      return Error("expected '.' after a fact rule");
+    }
+    return rule;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text) {
+  return RuleParser(text).Parse();
+}
+
+}  // namespace qrel

@@ -1,0 +1,70 @@
+// Stratified Datalog programs.
+//
+// Section 4 of the paper notes that the FP^#P upper bound "includes all
+// Datalog queries (for which the result has already been proved by de
+// Rougemont) and all fixed point queries". This module supplies that query
+// language as a substrate: stratified Datalog with negation, evaluated
+// bottom-up to a fixpoint. Datalog queries are polynomial-time evaluable,
+// so both the exact world-enumeration algorithm (Thm 4.2) and the padded
+// estimator (Thm 5.12) apply to them — see datalog/reliability.h.
+//
+// Text syntax (parser below):
+//
+//   Path(x, y)       :- E(x, y).
+//   Path(x, z)       :- Path(x, y), E(y, z).
+//   Unreached(x, y)  :- Node(x), Node(y), !Path(x, y).
+//
+// Variables are identifiers, constants are #k (or bare integers), '!'
+// negates a body literal. Safety: every variable of a rule must occur in
+// some positive body literal. Negation must be stratified.
+
+#ifndef QREL_DATALOG_PROGRAM_H_
+#define QREL_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct DatalogAtom {
+  std::string relation;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+struct DatalogLiteral {
+  bool positive = true;
+  DatalogAtom atom;
+};
+
+struct DatalogRule {
+  DatalogAtom head;
+  std::vector<DatalogLiteral> body;
+
+  std::string ToString() const;
+};
+
+// A parsed, unvalidated program. Predicates that appear in some head are
+// intensional (IDB); all others are extensional (EDB) and must exist in
+// the database vocabulary at compile time (see eval.h).
+struct DatalogProgram {
+  std::vector<DatalogRule> rules;
+
+  // Names of intensional predicates, in first-head-appearance order.
+  std::vector<std::string> IdbPredicates() const;
+
+  std::string ToString() const;
+};
+
+// Parses a program (sequence of rules terminated by '.'; '%' or '#'
+// comments to end of line are not supported — use blank space).
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text);
+
+}  // namespace qrel
+
+#endif  // QREL_DATALOG_PROGRAM_H_

@@ -1,0 +1,156 @@
+#include "qrel/datalog/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+Rational TupleSpaceSize(int n, int k) {
+  return Rational(BigInt::Pow(BigInt(n), static_cast<uint32_t>(k)),
+                  BigInt(1));
+}
+
+size_t SymmetricDifferenceSize(const std::set<Tuple>& a,
+                               const std::set<Tuple>& b) {
+  size_t common = 0;
+  const std::set<Tuple>& smaller = a.size() <= b.size() ? a : b;
+  const std::set<Tuple>& larger = a.size() <= b.size() ? b : a;
+  for (const Tuple& tuple : smaller) {
+    if (larger.find(tuple) != larger.end()) {
+      ++common;
+    }
+  }
+  return a.size() + b.size() - 2 * common;
+}
+
+}  // namespace
+
+StatusOr<ReliabilityReport> ExactDatalogReliability(
+    const CompiledDatalog& program, const std::string& predicate,
+    const UnreliableDatabase& db) {
+  StatusOr<int> arity = program.PredicateArity(predicate);
+  if (!arity.ok()) {
+    return arity.status();
+  }
+  if (db.UncertainEntries().size() > 62) {
+    return Status::OutOfRange(
+        "exact Datalog reliability would enumerate more than 2^62 worlds");
+  }
+  StatusOr<std::set<Tuple>> observed =
+      program.EvalPredicate(db.observed(), predicate);
+  if (!observed.ok()) {
+    return observed.status();
+  }
+
+  ReliabilityReport report;
+  report.arity = *arity;
+  db.ForEachWorld([&](const World& world, const Rational& probability) {
+    ++report.work_units;
+    if (probability.IsZero()) {
+      return;
+    }
+    WorldView view(db, world);
+    std::set<Tuple> actual = *program.EvalPredicate(view, predicate);
+    size_t differing = SymmetricDifferenceSize(*observed, actual);
+    if (differing > 0) {
+      report.expected_error +=
+          probability * Rational(static_cast<int64_t>(differing));
+    }
+  });
+  report.reliability =
+      Rational(1) -
+      report.expected_error / TupleSpaceSize(db.universe_size(), *arity);
+  return report;
+}
+
+StatusOr<ApproxResult> PaddedDatalogReliability(
+    const CompiledDatalog& program, const std::string& predicate,
+    const UnreliableDatabase& db, const ApproxOptions& options) {
+  if (options.epsilon <= 0.0 || options.epsilon >= 1.0 ||
+      options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("epsilon and delta must lie in (0, 1)");
+  }
+  if (options.xi <= 0.0 || options.xi >= 0.5) {
+    return Status::InvalidArgument("xi must lie in (0, 1/2)");
+  }
+  StatusOr<int> arity = program.PredicateArity(predicate);
+  if (!arity.ok()) {
+    return arity.status();
+  }
+  int n = db.universe_size();
+  int k = *arity;
+  double tuple_count = std::pow(static_cast<double>(n),
+                                static_cast<double>(k));
+  if (tuple_count > static_cast<double>(uint64_t{1} << 22)) {
+    return Status::OutOfRange("answer space too large");
+  }
+  uint64_t tuples = static_cast<uint64_t>(tuple_count);
+
+  StatusOr<std::set<Tuple>> observed =
+      program.EvalPredicate(db.observed(), predicate);
+  if (!observed.ok()) {
+    return observed.status();
+  }
+
+  double per_epsilon = options.epsilon / tuple_count;
+  double per_delta = options.delta / tuple_count;
+  uint64_t samples =
+      options.fixed_samples.has_value()
+          ? *options.fixed_samples
+          : PaddedSampleBound(options.xi, per_epsilon / 2.0, per_delta);
+
+  // Enumerate the tuple space once; per-tuple hit counters.
+  std::vector<Tuple> all_tuples;
+  {
+    Tuple tuple(static_cast<size_t>(k), 0);
+    do {
+      all_tuples.push_back(tuple);
+    } while (AdvanceTuple(&tuple, n));
+  }
+  QREL_CHECK_EQ(all_tuples.size(), static_cast<size_t>(tuples));
+  std::vector<uint64_t> hits(all_tuples.size(), 0);
+
+  const double xi = options.xi;
+  Rng rng(options.seed);
+  for (uint64_t s = 0; s < samples; ++s) {
+    World world = db.SampleWorld(&rng);
+    WorldView view(db, world);
+    std::set<Tuple> actual = *program.EvalPredicate(view, predicate);
+    for (size_t i = 0; i < all_tuples.size(); ++i) {
+      bool rd = rng.NextBernoulli(xi);
+      if (!rd) {
+        continue;
+      }
+      bool rc = rng.NextBernoulli(xi);
+      bool psi_true =
+          rc || actual.find(all_tuples[i]) != actual.end();
+      if (psi_true) {
+        ++hits[i];
+      }
+    }
+  }
+
+  double expected_error = 0.0;
+  for (size_t i = 0; i < all_tuples.size(); ++i) {
+    double x_bar =
+        static_cast<double>(hits[i]) / static_cast<double>(samples);
+    double nu = (x_bar - xi * xi) / (xi - xi * xi);
+    nu = std::clamp(nu, 0.0, 1.0);
+    bool was_observed = observed->find(all_tuples[i]) != observed->end();
+    expected_error += was_observed ? 1.0 - nu : nu;
+  }
+
+  ApproxResult result;
+  result.samples = samples;
+  result.estimate = std::clamp(1.0 - expected_error / tuple_count, 0.0, 1.0);
+  result.method =
+      "Thm 5.12 padded estimator on Datalog predicate '" + predicate + "'";
+  return result;
+}
+
+}  // namespace qrel

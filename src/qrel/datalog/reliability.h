@@ -1,0 +1,43 @@
+// Reliability of Datalog queries on unreliable databases.
+//
+// A stratified Datalog program evaluates in polynomial time, so the
+// paper's machinery applies directly:
+//   * Theorem 4.2 — exact reliability by possible-world enumeration (the
+//     "in particular, this includes all Datalog queries" remark);
+//   * Theorem 5.12 — the padded (ψ ∨ Rc) ∧ Rd estimator gives an
+//     absolute-error randomized approximation, since it only needs to
+//     *evaluate* the query on sampled worlds.
+// The query is one predicate of the program; its materialized relation is
+// the answer set whose expected Hamming error defines H and R.
+
+#ifndef QREL_DATALOG_RELIABILITY_H_
+#define QREL_DATALOG_RELIABILITY_H_
+
+#include <string>
+
+#include "qrel/core/approx.h"
+#include "qrel/core/reliability.h"
+#include "qrel/datalog/eval.h"
+#include "qrel/prob/unreliable_database.h"
+
+namespace qrel {
+
+// Exact H and R for `predicate` by world enumeration. Fails if the
+// database has more than 62 uncertain atoms.
+StatusOr<ReliabilityReport> ExactDatalogReliability(
+    const CompiledDatalog& program, const std::string& predicate,
+    const UnreliableDatabase& db);
+
+// Theorem 5.12 estimator for Datalog: samples worlds, evaluates the
+// program on each, and applies the ξ-padding inversion per answer tuple.
+// Worlds are shared across tuples (each per-tuple estimate stays unbiased
+// and Lemma 5.11 applies marginally; the union bound over tuples is
+// unaffected by correlation). Absolute error `options.epsilon` on R with
+// probability ≥ 1 − options.delta.
+StatusOr<ApproxResult> PaddedDatalogReliability(
+    const CompiledDatalog& program, const std::string& predicate,
+    const UnreliableDatabase& db, const ApproxOptions& options);
+
+}  // namespace qrel
+
+#endif  // QREL_DATALOG_RELIABILITY_H_

@@ -1,0 +1,194 @@
+#include "qrel/engine/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "qrel/datalog/eval.h"
+#include "qrel/logic/eval.h"
+#include "qrel/logic/parser.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+// n^k as a double for error reporting (saturates; callers only display it).
+double TupleSpace(int n, int k) {
+  return std::pow(static_cast<double>(n), static_cast<double>(k));
+}
+
+}  // namespace
+
+ReliabilityEngine::ReliabilityEngine(UnreliableDatabase database)
+    : database_(std::move(database)) {}
+
+StatusOr<EngineReport> ReliabilityEngine::Run(
+    const std::string& query_text, const EngineOptions& options) const {
+  StatusOr<FormulaPtr> query = ParseFormula(query_text);
+  if (!query.ok()) {
+    return query.status();
+  }
+  return Run(*query, options);
+}
+
+StatusOr<EngineReport> ReliabilityEngine::Run(
+    const FormulaPtr& query, const EngineOptions& options) const {
+  if (options.force_exact && options.force_approximate) {
+    return Status::InvalidArgument(
+        "force_exact and force_approximate are mutually exclusive");
+  }
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(query, database_.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+
+  EngineReport report;
+  report.query_class = Classify(query);
+  int n = database_.universe_size();
+  int k = compiled->arity();
+
+  if (options.include_observed_answers) {
+    double tuples = TupleSpace(n, k);
+    if (tuples <= static_cast<double>(uint64_t{1} << 16)) {
+      report.observed_answers = compiled->AnswerSet(database_.observed());
+    }
+  }
+
+  size_t uncertain = database_.UncertainEntries().size();
+  bool exact_feasible =
+      uncertain < 63 &&
+      (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+
+  auto fill_exact = [&](const ReliabilityReport& exact,
+                        const std::string& method) {
+    report.method = method;
+    report.is_exact = true;
+    report.exact_reliability = exact.reliability;
+    report.reliability = exact.reliability.ToDouble();
+    report.expected_error = exact.expected_error.ToDouble();
+  };
+
+  // 1. Quantifier-free: always polynomial, always exact (Prop. 3.1).
+  if (report.query_class == QueryClass::kQuantifierFree &&
+      !options.force_approximate) {
+    StatusOr<ReliabilityReport> exact =
+        QuantifierFreeReliability(query, database_);
+    if (!exact.ok()) {
+      return exact.status();
+    }
+    fill_exact(*exact, "Prop 3.1 quantifier-free polynomial algorithm");
+    return report;
+  }
+
+  // 2. Small world space (or forced): exact enumeration (Thm 4.2).
+  if ((exact_feasible || options.force_exact) && !options.force_approximate) {
+    StatusOr<ReliabilityReport> exact = ExactReliability(query, database_);
+    if (!exact.ok()) {
+      return exact.status();
+    }
+    fill_exact(*exact, "Thm 4.2 exact world enumeration (" +
+                           std::to_string(exact->work_units) + " worlds)");
+    return report;
+  }
+
+  // 3./4. Randomized approximation.
+  ApproxOptions approx;
+  approx.epsilon = options.epsilon;
+  approx.delta = options.delta;
+  approx.seed = options.seed;
+  approx.fixed_samples = options.fixed_samples;
+
+  StatusOr<ApproxResult> estimate =
+      (report.query_class == QueryClass::kConjunctive ||
+       report.query_class == QueryClass::kExistential ||
+       report.query_class == QueryClass::kUniversal)
+          ? ReliabilityAbsoluteApprox(query, database_, approx)
+          : PaddedReliabilityApprox(query, database_, approx);
+  if (!estimate.ok()) {
+    return estimate.status();
+  }
+  report.method = estimate->method;
+  report.is_exact = false;
+  report.reliability = estimate->estimate;
+  report.expected_error = (1.0 - estimate->estimate) * TupleSpace(n, k);
+  report.samples = estimate->samples;
+  return report;
+}
+
+StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
+    const std::string& program_text, const std::string& predicate,
+    const EngineOptions& options) const {
+  if (options.force_exact && options.force_approximate) {
+    return Status::InvalidArgument(
+        "force_exact and force_approximate are mutually exclusive");
+  }
+  StatusOr<DatalogProgram> program = ParseDatalogProgram(program_text);
+  if (!program.ok()) {
+    return program.status();
+  }
+  StatusOr<CompiledDatalog> compiled =
+      CompiledDatalog::Compile(std::move(program).value(),
+                               database_.vocabulary());
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  StatusOr<int> arity = compiled->PredicateArity(predicate);
+  if (!arity.ok()) {
+    return arity.status();
+  }
+
+  EngineReport report;
+  report.query_class = QueryClass::kGeneralFirstOrder;
+  if (options.include_observed_answers) {
+    double tuples = TupleSpace(database_.universe_size(), *arity);
+    if (tuples <= static_cast<double>(uint64_t{1} << 16)) {
+      StatusOr<std::set<Tuple>> answers =
+          compiled->EvalPredicate(database_.observed(), predicate);
+      if (!answers.ok()) {
+        return answers.status();
+      }
+      report.observed_answers.emplace(answers->begin(), answers->end());
+    }
+  }
+
+  size_t uncertain = database_.UncertainEntries().size();
+  bool exact_feasible =
+      uncertain < 63 &&
+      (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+  if ((exact_feasible || options.force_exact) && !options.force_approximate) {
+    StatusOr<ReliabilityReport> exact =
+        ExactDatalogReliability(*compiled, predicate, database_);
+    if (!exact.ok()) {
+      return exact.status();
+    }
+    report.method = "Thm 4.2 exact world enumeration over Datalog (" +
+                    std::to_string(exact->work_units) + " worlds)";
+    report.is_exact = true;
+    report.exact_reliability = exact->reliability;
+    report.reliability = exact->reliability.ToDouble();
+    report.expected_error = exact->expected_error.ToDouble();
+    return report;
+  }
+
+  ApproxOptions approx;
+  approx.epsilon = options.epsilon;
+  approx.delta = options.delta;
+  approx.seed = options.seed;
+  approx.fixed_samples = options.fixed_samples;
+  StatusOr<ApproxResult> estimate =
+      PaddedDatalogReliability(*compiled, predicate, database_, approx);
+  if (!estimate.ok()) {
+    return estimate.status();
+  }
+  report.method = estimate->method;
+  report.is_exact = false;
+  report.reliability = estimate->estimate;
+  report.expected_error =
+      (1.0 - estimate->estimate) *
+      TupleSpace(database_.universe_size(), *arity);
+  report.samples = estimate->samples;
+  return report;
+}
+
+}  // namespace qrel

@@ -1,0 +1,94 @@
+// One-call reliability engine: parse a query, classify it, evaluate it on
+// the observed database, and compute or approximate its reliability with
+// the best algorithm the paper provides for its class.
+//
+// Strategy (in order):
+//   1. quantifier-free        → Proposition 3.1 exact polynomial algorithm;
+//   2. small world space      → Theorem 4.2 exact enumeration
+//                               (2^#uncertain ≤ options.max_exact_worlds);
+//   3. existential/universal  → Corollary 5.5 absolute-error approximation
+//                               (Theorem 5.4 grounding + Karp-Luby);
+//   4. anything else          → Theorem 5.12 padded estimator.
+
+#ifndef QREL_ENGINE_ENGINE_H_
+#define QREL_ENGINE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qrel/core/absolute.h"
+#include "qrel/core/approx.h"
+#include "qrel/core/reliability.h"
+#include "qrel/datalog/reliability.h"
+#include "qrel/logic/classify.h"
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct EngineOptions {
+  // Targets for the randomized paths (absolute error on R_ψ).
+  double epsilon = 0.02;
+  double delta = 0.02;
+  uint64_t seed = 1;
+
+  // Overrides the theorem-derived Monte Carlo sample counts (per Boolean
+  // sub-estimate) on the randomized paths. The derived counts honor the
+  // (ε, δ) guarantee but grow steeply with n^arity; set this for budgeted
+  // estimates.
+  std::optional<uint64_t> fixed_samples;
+
+  // Use exact world enumeration when 2^#uncertain-atoms is at most this.
+  uint64_t max_exact_worlds = uint64_t{1} << 16;
+  // Force a path regardless of the heuristics (both false = automatic).
+  bool force_exact = false;
+  bool force_approximate = false;
+
+  // Also evaluate ψ on the observed database and report the answer set
+  // (skipped when n^arity exceeds 2^16 tuples).
+  bool include_observed_answers = true;
+};
+
+struct EngineReport {
+  QueryClass query_class = QueryClass::kGeneralFirstOrder;
+  std::string method;          // which algorithm ran
+  bool is_exact = false;       // whether `reliability` is exact
+  double reliability = 0.0;    // R_ψ(𝔇), exact or estimated
+  double expected_error = 0.0; // H_ψ(𝔇) = (1 − R)·n^k
+  // The exact rational value, when an exact path ran.
+  std::optional<Rational> exact_reliability;
+  uint64_t samples = 0;  // Monte Carlo samples drawn (0 on exact paths)
+  // ψ^𝔄, if requested and small enough.
+  std::optional<std::vector<Tuple>> observed_answers;
+};
+
+class ReliabilityEngine {
+ public:
+  explicit ReliabilityEngine(UnreliableDatabase database);
+
+  const UnreliableDatabase& database() const { return database_; }
+  UnreliableDatabase* mutable_database() { return &database_; }
+
+  // Parses and runs `query_text` (see logic/parser.h for the syntax).
+  StatusOr<EngineReport> Run(const std::string& query_text,
+                             const EngineOptions& options = {}) const;
+  StatusOr<EngineReport> Run(const FormulaPtr& query,
+                             const EngineOptions& options = {}) const;
+
+  // Runs a Datalog program (see datalog/program.h for the syntax) and
+  // reports the reliability of `predicate`: exact world enumeration when
+  // the support is small (or force_exact), the Thm 5.12 padded estimator
+  // otherwise. Datalog queries have no syntactic class ladder, so the
+  // query_class field is reported as general first-order.
+  StatusOr<EngineReport> RunDatalog(const std::string& program_text,
+                                    const std::string& predicate,
+                                    const EngineOptions& options = {}) const;
+
+ private:
+  UnreliableDatabase database_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_ENGINE_ENGINE_H_

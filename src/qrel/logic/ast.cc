@@ -1,0 +1,297 @@
+#include "qrel/logic/ast.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+Term Term::Var(std::string name) {
+  Term term;
+  term.kind = Kind::kVariable;
+  term.variable = std::move(name);
+  return term;
+}
+
+Term Term::Const(Element value) {
+  Term term;
+  term.kind = Kind::kConstant;
+  term.constant = value;
+  return term;
+}
+
+std::string Term::ToString() const {
+  if (is_variable()) {
+    return variable;
+  }
+  return "#" + std::to_string(constant);
+}
+
+namespace {
+
+std::shared_ptr<Formula> MakeNode(FormulaKind kind) {
+  auto node = std::make_shared<Formula>();
+  node->kind = kind;
+  return node;
+}
+
+const char* ConnectiveSymbol(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kAnd:
+      return " & ";
+    case FormulaKind::kOr:
+      return " | ";
+    case FormulaKind::kImplies:
+      return " -> ";
+    case FormulaKind::kIff:
+      return " <-> ";
+    default:
+      QREL_CHECK_MSG(false, "not a connective");
+      return "";
+  }
+}
+
+void CollectFreeVariables(const Formula& formula,
+                          std::vector<std::string>* bound,
+                          std::vector<std::string>* result) {
+  auto visit_term = [&](const Term& term) {
+    if (!term.is_variable()) {
+      return;
+    }
+    if (std::find(bound->begin(), bound->end(), term.variable) !=
+        bound->end()) {
+      return;
+    }
+    if (std::find(result->begin(), result->end(), term.variable) ==
+        result->end()) {
+      result->push_back(term.variable);
+    }
+  };
+  switch (formula.kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      for (const Term& term : formula.args) {
+        visit_term(term);
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll:
+      bound->push_back(formula.bound_variable);
+      CollectFreeVariables(*formula.children[0], bound, result);
+      bound->pop_back();
+      return;
+    default:
+      for (const FormulaPtr& child : formula.children) {
+        CollectFreeVariables(*child, bound, result);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Formula::ToString() const {
+  switch (kind) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kAtom: {
+      std::string result = relation + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) result += ", ";
+        result += args[i].ToString();
+      }
+      return result + ")";
+    }
+    case FormulaKind::kEquals:
+      return args[0].ToString() + " = " + args[1].ToString();
+    case FormulaKind::kNot:
+      return "!(" + children[0]->ToString() + ")";
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff: {
+      std::string result = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) result += ConnectiveSymbol(kind);
+        result += children[i]->ToString();
+      }
+      return result + ")";
+    }
+    case FormulaKind::kExists:
+      return "exists " + bound_variable + " . (" + children[0]->ToString() +
+             ")";
+    case FormulaKind::kForAll:
+      return "forall " + bound_variable + " . (" + children[0]->ToString() +
+             ")";
+  }
+  QREL_CHECK_MSG(false, "corrupt formula kind");
+  return "";
+}
+
+std::vector<std::string> Formula::FreeVariables() const {
+  std::vector<std::string> bound;
+  std::vector<std::string> result;
+  CollectFreeVariables(*this, &bound, &result);
+  return result;
+}
+
+FormulaPtr True() { return MakeNode(FormulaKind::kTrue); }
+
+FormulaPtr False() { return MakeNode(FormulaKind::kFalse); }
+
+FormulaPtr Atom(std::string relation, std::vector<Term> args) {
+  auto node = MakeNode(FormulaKind::kAtom);
+  node->relation = std::move(relation);
+  node->args = std::move(args);
+  return node;
+}
+
+FormulaPtr Equals(Term left, Term right) {
+  auto node = MakeNode(FormulaKind::kEquals);
+  node->args = {std::move(left), std::move(right)};
+  return node;
+}
+
+FormulaPtr Not(FormulaPtr operand) {
+  QREL_CHECK(operand != nullptr);
+  auto node = MakeNode(FormulaKind::kNot);
+  node->children = {std::move(operand)};
+  return node;
+}
+
+FormulaPtr And(std::vector<FormulaPtr> operands) {
+  QREL_CHECK(!operands.empty());
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = MakeNode(FormulaKind::kAnd);
+  node->children = std::move(operands);
+  return node;
+}
+
+FormulaPtr And(FormulaPtr left, FormulaPtr right) {
+  return And(std::vector<FormulaPtr>{std::move(left), std::move(right)});
+}
+
+FormulaPtr Or(std::vector<FormulaPtr> operands) {
+  QREL_CHECK(!operands.empty());
+  if (operands.size() == 1) {
+    return operands[0];
+  }
+  auto node = MakeNode(FormulaKind::kOr);
+  node->children = std::move(operands);
+  return node;
+}
+
+FormulaPtr Or(FormulaPtr left, FormulaPtr right) {
+  return Or(std::vector<FormulaPtr>{std::move(left), std::move(right)});
+}
+
+FormulaPtr Implies(FormulaPtr premise, FormulaPtr conclusion) {
+  auto node = MakeNode(FormulaKind::kImplies);
+  node->children = {std::move(premise), std::move(conclusion)};
+  return node;
+}
+
+FormulaPtr Iff(FormulaPtr left, FormulaPtr right) {
+  auto node = MakeNode(FormulaKind::kIff);
+  node->children = {std::move(left), std::move(right)};
+  return node;
+}
+
+FormulaPtr Exists(std::string variable, FormulaPtr body) {
+  QREL_CHECK(body != nullptr);
+  auto node = MakeNode(FormulaKind::kExists);
+  node->bound_variable = std::move(variable);
+  node->children = {std::move(body)};
+  return node;
+}
+
+FormulaPtr Exists(const std::vector<std::string>& variables, FormulaPtr body) {
+  FormulaPtr result = std::move(body);
+  for (size_t i = variables.size(); i-- > 0;) {
+    result = Exists(variables[i], std::move(result));
+  }
+  return result;
+}
+
+FormulaPtr ForAll(std::string variable, FormulaPtr body) {
+  QREL_CHECK(body != nullptr);
+  auto node = MakeNode(FormulaKind::kForAll);
+  node->bound_variable = std::move(variable);
+  node->children = {std::move(body)};
+  return node;
+}
+
+FormulaPtr ForAll(const std::vector<std::string>& variables, FormulaPtr body) {
+  FormulaPtr result = std::move(body);
+  for (size_t i = variables.size(); i-- > 0;) {
+    result = ForAll(variables[i], std::move(result));
+  }
+  return result;
+}
+
+FormulaPtr SubstituteConstant(const FormulaPtr& formula,
+                              const std::string& variable, Element value) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return formula;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals: {
+      bool changed = false;
+      std::vector<Term> args = formula->args;
+      for (Term& term : args) {
+        if (term.is_variable() && term.variable == variable) {
+          term = Term::Const(value);
+          changed = true;
+        }
+      }
+      if (!changed) {
+        return formula;
+      }
+      if (formula->kind == FormulaKind::kAtom) {
+        return Atom(formula->relation, std::move(args));
+      }
+      return Equals(args[0], args[1]);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      if (formula->bound_variable == variable) {
+        return formula;  // shadowed; no free occurrences below
+      }
+      FormulaPtr body =
+          SubstituteConstant(formula->children[0], variable, value);
+      if (body == formula->children[0]) {
+        return formula;
+      }
+      return formula->kind == FormulaKind::kExists
+                 ? Exists(formula->bound_variable, std::move(body))
+                 : ForAll(formula->bound_variable, std::move(body));
+    }
+    default: {
+      bool changed = false;
+      std::vector<FormulaPtr> children;
+      children.reserve(formula->children.size());
+      for (const FormulaPtr& child : formula->children) {
+        FormulaPtr replaced = SubstituteConstant(child, variable, value);
+        changed = changed || replaced != child;
+        children.push_back(std::move(replaced));
+      }
+      if (!changed) {
+        return formula;
+      }
+      auto node = MakeNode(formula->kind);
+      node->children = std::move(children);
+      return node;
+    }
+  }
+}
+
+}  // namespace qrel

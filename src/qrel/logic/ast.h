@@ -1,0 +1,113 @@
+// Abstract syntax of first-order queries.
+//
+// Formulas are immutable trees shared through shared_ptr<const Formula>;
+// relation symbols are referred to by *name* so that a query is independent
+// of any particular database (names are resolved against a Vocabulary when
+// the query is compiled for evaluation, see eval.h).
+//
+// The query classes of the paper are subsets of this language:
+//   quantifier-free queries  — no kExists/kForAll nodes,
+//   conjunctive queries      — ∃x̄ (α₁ ∧ ... ∧ α_ℓ) with atomic α_i,
+//   existential queries      — no ∀ after negation normal form,
+//   universal queries        — no ∃ after negation normal form.
+// classify.h implements the tests.
+
+#ifndef QREL_LOGIC_AST_H_
+#define QREL_LOGIC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qrel/relational/structure.h"
+
+namespace qrel {
+
+// A term: a variable (by name) or a constant universe element.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  static Term Var(std::string name);
+  static Term Const(Element value);
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool operator==(const Term& other) const {
+    return kind == other.kind && variable == other.variable &&
+           constant == other.constant;
+  }
+
+  std::string ToString() const;
+
+  Kind kind = Kind::kConstant;
+  std::string variable;   // meaningful iff kind == kVariable
+  Element constant = 0;   // meaningful iff kind == kConstant
+};
+
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,     // R(t1, ..., tk)
+  kEquals,   // t1 = t2
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExists,
+  kForAll,
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+// One node of a formula tree. Fields beyond `kind` are meaningful only for
+// the kinds indicated. Construct through the factory functions below.
+class Formula {
+ public:
+  FormulaKind kind;
+
+  // kAtom:
+  std::string relation;
+  std::vector<Term> args;  // also used by kEquals (exactly two terms)
+
+  // kNot: children[0]; kAnd/kOr: children (>= 1 each);
+  // kImplies/kIff: children[0], children[1];
+  // kExists/kForAll: children[0] is the body.
+  std::vector<FormulaPtr> children;
+
+  // kExists/kForAll:
+  std::string bound_variable;
+
+  // Human-readable rendering (parseable back by parser.h).
+  std::string ToString() const;
+
+  // Free variables in first-appearance order (depth-first, left to right).
+  std::vector<std::string> FreeVariables() const;
+};
+
+// Factory functions; the only way to build formulas.
+FormulaPtr True();
+FormulaPtr False();
+FormulaPtr Atom(std::string relation, std::vector<Term> args);
+FormulaPtr Equals(Term left, Term right);
+FormulaPtr Not(FormulaPtr operand);
+FormulaPtr And(std::vector<FormulaPtr> operands);
+FormulaPtr And(FormulaPtr left, FormulaPtr right);
+FormulaPtr Or(std::vector<FormulaPtr> operands);
+FormulaPtr Or(FormulaPtr left, FormulaPtr right);
+FormulaPtr Implies(FormulaPtr premise, FormulaPtr conclusion);
+FormulaPtr Iff(FormulaPtr left, FormulaPtr right);
+FormulaPtr Exists(std::string variable, FormulaPtr body);
+// ∃v1 ∃v2 ... body, nesting right to left.
+FormulaPtr Exists(const std::vector<std::string>& variables, FormulaPtr body);
+FormulaPtr ForAll(std::string variable, FormulaPtr body);
+FormulaPtr ForAll(const std::vector<std::string>& variables, FormulaPtr body);
+
+// Replaces free occurrences of `variable` by the constant `value`.
+// Occurrences bound by a quantifier of the same name are untouched.
+FormulaPtr SubstituteConstant(const FormulaPtr& formula,
+                              const std::string& variable, Element value);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_AST_H_

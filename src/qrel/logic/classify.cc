@@ -1,0 +1,97 @@
+#include "qrel/logic/classify.h"
+
+#include "qrel/logic/normal_form.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+bool ContainsQuantifier(const Formula& formula, FormulaKind which) {
+  if (formula.kind == which) {
+    return true;
+  }
+  for (const FormulaPtr& child : formula.children) {
+    if (ContainsQuantifier(*child, which)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsConjunctionOfAtoms(const Formula& formula) {
+  switch (formula.kind) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return true;
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& child : formula.children) {
+        if (!IsConjunctionOfAtoms(*child)) {
+          return false;
+        }
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass query_class) {
+  switch (query_class) {
+    case QueryClass::kQuantifierFree:
+      return "quantifier-free";
+    case QueryClass::kConjunctive:
+      return "conjunctive";
+    case QueryClass::kExistential:
+      return "existential";
+    case QueryClass::kUniversal:
+      return "universal";
+    case QueryClass::kGeneralFirstOrder:
+      return "general first-order";
+  }
+  QREL_CHECK_MSG(false, "corrupt query class");
+  return "";
+}
+
+bool IsQuantifierFree(const FormulaPtr& formula) {
+  return !ContainsQuantifier(*formula, FormulaKind::kExists) &&
+         !ContainsQuantifier(*formula, FormulaKind::kForAll);
+}
+
+bool IsConjunctiveQuery(const FormulaPtr& formula) {
+  const Formula* node = formula.get();
+  while (node->kind == FormulaKind::kExists) {
+    node = node->children[0].get();
+  }
+  return IsConjunctionOfAtoms(*node);
+}
+
+bool IsExistential(const FormulaPtr& formula) {
+  FormulaPtr nnf = ToNnf(formula);
+  return !ContainsQuantifier(*nnf, FormulaKind::kForAll);
+}
+
+bool IsUniversal(const FormulaPtr& formula) {
+  FormulaPtr nnf = ToNnf(formula);
+  return !ContainsQuantifier(*nnf, FormulaKind::kExists);
+}
+
+QueryClass Classify(const FormulaPtr& formula) {
+  if (IsQuantifierFree(formula)) {
+    return QueryClass::kQuantifierFree;
+  }
+  if (IsConjunctiveQuery(formula)) {
+    return QueryClass::kConjunctive;
+  }
+  if (IsExistential(formula)) {
+    return QueryClass::kExistential;
+  }
+  if (IsUniversal(formula)) {
+    return QueryClass::kUniversal;
+  }
+  return QueryClass::kGeneralFirstOrder;
+}
+
+}  // namespace qrel

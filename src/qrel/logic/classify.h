@@ -1,0 +1,54 @@
+// Syntactic classification of queries into the classes the paper assigns
+// different complexity to. The engine (engine/engine.h) uses the most
+// specific class to pick a reliability algorithm:
+//
+//   quantifier-free — Prop. 3.1: reliability in polynomial time,
+//   conjunctive     — Prop. 3.2: #P-hard in general; FPTRAS applies,
+//   existential     — Thm. 5.4 / Cor. 5.5: FPTRAS for ν, absolute-error
+//                     approximation for R_ψ,
+//   universal       — dual of existential (Cor. 5.5),
+//   general FO      — Thm. 4.2: FP^#P exact; Thm. 5.12: absolute-error
+//                     randomized approximation.
+
+#ifndef QREL_LOGIC_CLASSIFY_H_
+#define QREL_LOGIC_CLASSIFY_H_
+
+#include <string>
+
+#include "qrel/logic/ast.h"
+
+namespace qrel {
+
+enum class QueryClass {
+  kQuantifierFree,
+  kConjunctive,
+  kExistential,
+  kUniversal,
+  kGeneralFirstOrder,
+};
+
+// Stable display name ("quantifier-free", "conjunctive", ...).
+const char* QueryClassName(QueryClass query_class);
+
+// No quantifiers anywhere.
+bool IsQuantifierFree(const FormulaPtr& formula);
+
+// ∃x1...∃xk (α1 ∧ ... ∧ αℓ) with every αi an atom or equality (negation-
+// free), following the paper's definition of conjunctive queries.
+bool IsConjunctiveQuery(const FormulaPtr& formula);
+
+// The negation normal form contains no universal quantifier.
+bool IsExistential(const FormulaPtr& formula);
+
+// The negation normal form contains no existential quantifier.
+bool IsUniversal(const FormulaPtr& formula);
+
+// The most specific class, in the order quantifier-free, conjunctive,
+// existential, universal, general (quantifier-free wins because Prop. 3.1
+// gives it the best algorithm; conjunctive queries that happen to be
+// quantifier-free are therefore reported as quantifier-free).
+QueryClass Classify(const FormulaPtr& formula);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_CLASSIFY_H_

@@ -1,0 +1,292 @@
+#include "qrel/logic/normal_form.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+FormulaPtr Nnf(const FormulaPtr& formula, bool negated) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+      return negated ? False() : True();
+    case FormulaKind::kFalse:
+      return negated ? True() : False();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return negated ? Not(formula) : formula;
+    case FormulaKind::kNot:
+      return Nnf(formula->children[0], !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      bool is_and = (formula->kind == FormulaKind::kAnd) != negated;
+      std::vector<FormulaPtr> children;
+      children.reserve(formula->children.size());
+      for (const FormulaPtr& child : formula->children) {
+        children.push_back(Nnf(child, negated));
+      }
+      return is_and ? And(std::move(children)) : Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      const FormulaPtr& premise = formula->children[0];
+      const FormulaPtr& conclusion = formula->children[1];
+      if (negated) {
+        // !(a -> b) == a & !b
+        return And(Nnf(premise, false), Nnf(conclusion, true));
+      }
+      return Or(Nnf(premise, true), Nnf(conclusion, false));
+    }
+    case FormulaKind::kIff: {
+      const FormulaPtr& left = formula->children[0];
+      const FormulaPtr& right = formula->children[1];
+      if (negated) {
+        // !(a <-> b) == (a & !b) | (!a & b)
+        return Or(And(Nnf(left, false), Nnf(right, true)),
+                  And(Nnf(left, true), Nnf(right, false)));
+      }
+      return Or(And(Nnf(left, false), Nnf(right, false)),
+                And(Nnf(left, true), Nnf(right, true)));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      bool is_exists = (formula->kind == FormulaKind::kExists) != negated;
+      FormulaPtr body = Nnf(formula->children[0], negated);
+      return is_exists ? Exists(formula->bound_variable, std::move(body))
+                       : ForAll(formula->bound_variable, std::move(body));
+    }
+  }
+  QREL_CHECK_MSG(false, "corrupt formula kind");
+  return nullptr;
+}
+
+bool SameAtom(const Formula& a, const Formula& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == FormulaKind::kAtom && a.relation != b.relation) return false;
+  return a.args == b.args;
+}
+
+// Appends `literal` to `conjunct`. Returns false if the conjunct becomes
+// contradictory (contains the complementary literal).
+bool AddLiteral(SymbolicConjunct* conjunct, const SymbolicLiteral& literal) {
+  for (const SymbolicLiteral& existing : *conjunct) {
+    if (SameAtom(*existing.atom, *literal.atom)) {
+      if (existing.positive != literal.positive) {
+        return false;  // complementary pair
+      }
+      return true;  // duplicate, skip
+    }
+  }
+  conjunct->push_back(literal);
+  return true;
+}
+
+Status DistributeDnf(const FormulaPtr& formula, size_t max_conjuncts,
+                     std::vector<SymbolicConjunct>* result) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+      result->push_back({});
+      return Status::Ok();
+    case FormulaKind::kFalse:
+      return Status::Ok();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      result->push_back({SymbolicLiteral{true, formula}});
+      return Status::Ok();
+    case FormulaKind::kNot: {
+      const FormulaPtr& operand = formula->children[0];
+      QREL_CHECK_MSG(operand->kind == FormulaKind::kAtom ||
+                         operand->kind == FormulaKind::kEquals,
+                     "input to QfNnfToDnf is not in NNF");
+      result->push_back({SymbolicLiteral{false, operand}});
+      return Status::Ok();
+    }
+    case FormulaKind::kOr: {
+      for (const FormulaPtr& child : formula->children) {
+        QREL_RETURN_IF_ERROR(DistributeDnf(child, max_conjuncts, result));
+        if (result->size() > max_conjuncts) {
+          return Status::OutOfRange("DNF distribution exceeds limit");
+        }
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kAnd: {
+      std::vector<SymbolicConjunct> accumulated = {{}};
+      for (const FormulaPtr& child : formula->children) {
+        std::vector<SymbolicConjunct> child_dnf;
+        QREL_RETURN_IF_ERROR(DistributeDnf(child, max_conjuncts, &child_dnf));
+        std::vector<SymbolicConjunct> next;
+        for (const SymbolicConjunct& left : accumulated) {
+          for (const SymbolicConjunct& right : child_dnf) {
+            SymbolicConjunct merged = left;
+            bool consistent = true;
+            for (const SymbolicLiteral& literal : right) {
+              if (!AddLiteral(&merged, literal)) {
+                consistent = false;
+                break;
+              }
+            }
+            if (consistent) {
+              next.push_back(std::move(merged));
+              if (next.size() > max_conjuncts) {
+                return Status::OutOfRange("DNF distribution exceeds limit");
+              }
+            }
+          }
+        }
+        accumulated = std::move(next);
+        if (accumulated.empty()) {
+          return Status::Ok();  // contradiction everywhere: contributes false
+        }
+      }
+      for (SymbolicConjunct& conjunct : accumulated) {
+        result->push_back(std::move(conjunct));
+        if (result->size() > max_conjuncts) {
+          return Status::OutOfRange("DNF distribution exceeds limit");
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      QREL_CHECK_MSG(false, "input to QfNnfToDnf is not quantifier-free NNF");
+      return Status::Internal("unreachable");
+  }
+}
+
+// Hoists the (freshly renamed) existential quantifiers of an NNF formula
+// without universal quantifiers, returning the quantifier-free matrix.
+FormulaPtr HoistExistentials(const FormulaPtr& formula, int* fresh_counter,
+                             std::vector<std::string>* bound) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+    case FormulaKind::kNot:
+      return formula;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> children;
+      children.reserve(formula->children.size());
+      for (const FormulaPtr& child : formula->children) {
+        children.push_back(HoistExistentials(child, fresh_counter, bound));
+      }
+      return formula->kind == FormulaKind::kAnd ? And(std::move(children))
+                                                : Or(std::move(children));
+    }
+    case FormulaKind::kExists: {
+      std::string fresh = "_e" + std::to_string((*fresh_counter)++);
+      bound->push_back(fresh);
+      FormulaPtr body =
+          SubstituteVariable(formula->children[0], formula->bound_variable,
+                             fresh);
+      return HoistExistentials(body, fresh_counter, bound);
+    }
+    default:
+      QREL_CHECK_MSG(false, "HoistExistentials: unexpected node");
+      return nullptr;
+  }
+}
+
+bool ContainsForAll(const Formula& formula) {
+  if (formula.kind == FormulaKind::kForAll) {
+    return true;
+  }
+  for (const FormulaPtr& child : formula.children) {
+    if (ContainsForAll(*child)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& formula) { return Nnf(formula, false); }
+
+FormulaPtr SubstituteVariable(const FormulaPtr& formula,
+                              const std::string& from, const std::string& to) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return formula;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals: {
+      bool changed = false;
+      std::vector<Term> args = formula->args;
+      for (Term& term : args) {
+        if (term.is_variable() && term.variable == from) {
+          term = Term::Var(to);
+          changed = true;
+        }
+      }
+      if (!changed) return formula;
+      if (formula->kind == FormulaKind::kAtom) {
+        return Atom(formula->relation, std::move(args));
+      }
+      return Equals(args[0], args[1]);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      if (formula->bound_variable == from) {
+        return formula;  // shadowed
+      }
+      FormulaPtr body = SubstituteVariable(formula->children[0], from, to);
+      if (body == formula->children[0]) return formula;
+      return formula->kind == FormulaKind::kExists
+                 ? Exists(formula->bound_variable, std::move(body))
+                 : ForAll(formula->bound_variable, std::move(body));
+    }
+    case FormulaKind::kNot:
+      return Not(SubstituteVariable(formula->children[0], from, to));
+    default: {
+      std::vector<FormulaPtr> children;
+      children.reserve(formula->children.size());
+      bool changed = false;
+      for (const FormulaPtr& child : formula->children) {
+        FormulaPtr replaced = SubstituteVariable(child, from, to);
+        changed = changed || replaced != child;
+        children.push_back(std::move(replaced));
+      }
+      if (!changed) return formula;
+      switch (formula->kind) {
+        case FormulaKind::kAnd:
+          return And(std::move(children));
+        case FormulaKind::kOr:
+          return Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Iff(children[0], children[1]);
+        default:
+          QREL_CHECK_MSG(false, "corrupt formula kind");
+          return nullptr;
+      }
+    }
+  }
+}
+
+StatusOr<std::vector<SymbolicConjunct>> QfNnfToDnf(const FormulaPtr& qf_nnf,
+                                                   size_t max_conjuncts) {
+  std::vector<SymbolicConjunct> result;
+  QREL_RETURN_IF_ERROR(DistributeDnf(qf_nnf, max_conjuncts, &result));
+  return result;
+}
+
+StatusOr<PrenexExistential> ToPrenexExistential(const FormulaPtr& formula) {
+  FormulaPtr nnf = ToNnf(formula);
+  if (ContainsForAll(*nnf)) {
+    return Status::InvalidArgument(
+        "formula is not existential: its negation normal form contains a "
+        "universal quantifier");
+  }
+  PrenexExistential result;
+  result.free_variables = formula->FreeVariables();
+  int fresh_counter = 0;
+  result.matrix =
+      HoistExistentials(nnf, &fresh_counter, &result.bound_variables);
+  return result;
+}
+
+}  // namespace qrel

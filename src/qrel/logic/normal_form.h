@@ -1,0 +1,61 @@
+// Negation normal form, DNF of quantifier-free matrices, and the prenex
+// existential form used by the Theorem 5.4 grounding.
+//
+// For a *fixed* query these transformations take constant time; the
+// exponential worst case in the formula size is irrelevant for data
+// complexity but is still guarded with explicit limits so malformed input
+// cannot blow up memory.
+
+#ifndef QREL_LOGIC_NORMAL_FORM_H_
+#define QREL_LOGIC_NORMAL_FORM_H_
+
+#include <string>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// Rewrites to negation normal form: eliminates -> and <->, pushes negation
+// down to atoms/equalities (and truth constants), preserving quantifiers.
+FormulaPtr ToNnf(const FormulaPtr& formula);
+
+// Replaces free occurrences of variable `from` by variable `to`.
+FormulaPtr SubstituteVariable(const FormulaPtr& formula,
+                              const std::string& from, const std::string& to);
+
+// A literal of a quantifier-free matrix: a possibly negated atom or
+// equality (`atom->kind` is kAtom or kEquals).
+struct SymbolicLiteral {
+  bool positive = true;
+  FormulaPtr atom;
+};
+// A conjunction of literals; one disjunct of a DNF. The empty conjunct is
+// the constant true.
+using SymbolicConjunct = std::vector<SymbolicLiteral>;
+
+// Distributes a quantifier-free NNF formula into DNF. Conjuncts containing
+// complementary literals are dropped and duplicate literals are merged, so
+// the result is a set of consistent conjuncts (empty vector = false).
+// Fails if the distribution would exceed `max_conjuncts`.
+StatusOr<std::vector<SymbolicConjunct>> QfNnfToDnf(
+    const FormulaPtr& qf_nnf, size_t max_conjuncts = size_t{1} << 20);
+
+// ∃ x1 ... xq . matrix with a quantifier-free NNF matrix; the normal form
+// behind Theorem 5.4. Bound variables are freshly renamed ("_e0", "_e1",
+// ...) so they are pairwise distinct and distinct from the free variables,
+// which is what makes hoisting ∃ out of ∧/∨ sound.
+struct PrenexExistential {
+  std::vector<std::string> free_variables;
+  std::vector<std::string> bound_variables;
+  FormulaPtr matrix;
+};
+
+// Computes the prenex existential form. Fails with InvalidArgument if the
+// formula is not existential (its NNF contains a universal quantifier).
+StatusOr<PrenexExistential> ToPrenexExistential(const FormulaPtr& formula);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_NORMAL_FORM_H_

@@ -1,0 +1,362 @@
+#include "qrel/logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace qrel {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kInteger,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kBang,       // !
+  kAmp,        // &
+  kPipe,       // |
+  kArrow,      // ->
+  kIffArrow,   // <->
+  kEquals,     // =
+  kNotEquals,  // !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* tokens) {
+    size_t pos = 0;
+    while (pos < text_.size()) {
+      char c = text_[pos];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+        continue;
+      }
+      size_t start = pos;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos])) ||
+                text_[pos] == '_' || text_[pos] == '\'')) {
+          ++pos;
+        }
+        tokens->push_back({TokenKind::kIdent,
+                           std::string(text_.substr(start, pos - start)),
+                           start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '#') {
+        if (c == '#') {
+          ++pos;
+          start = pos;
+        }
+        if (pos >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos]))) {
+          return Error(start, "expected digits after '#'");
+        }
+        while (pos < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos]))) {
+          ++pos;
+        }
+        tokens->push_back({TokenKind::kInteger,
+                           std::string(text_.substr(start, pos - start)),
+                           start});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          tokens->push_back({TokenKind::kLParen, "(", pos++});
+          break;
+        case ')':
+          tokens->push_back({TokenKind::kRParen, ")", pos++});
+          break;
+        case ',':
+          tokens->push_back({TokenKind::kComma, ",", pos++});
+          break;
+        case '.':
+          tokens->push_back({TokenKind::kDot, ".", pos++});
+          break;
+        case '&':
+          tokens->push_back({TokenKind::kAmp, "&", pos++});
+          break;
+        case '|':
+          tokens->push_back({TokenKind::kPipe, "|", pos++});
+          break;
+        case '=':
+          tokens->push_back({TokenKind::kEquals, "=", pos++});
+          break;
+        case '!':
+          if (pos + 1 < text_.size() && text_[pos + 1] == '=') {
+            tokens->push_back({TokenKind::kNotEquals, "!=", pos});
+            pos += 2;
+          } else {
+            tokens->push_back({TokenKind::kBang, "!", pos++});
+          }
+          break;
+        case '-':
+          if (pos + 1 < text_.size() && text_[pos + 1] == '>') {
+            tokens->push_back({TokenKind::kArrow, "->", pos});
+            pos += 2;
+          } else {
+            return Error(pos, "expected '->' after '-'");
+          }
+          break;
+        case '<':
+          if (pos + 2 < text_.size() && text_[pos + 1] == '-' &&
+              text_[pos + 2] == '>') {
+            tokens->push_back({TokenKind::kIffArrow, "<->", pos});
+            pos += 3;
+          } else {
+            return Error(pos, "expected '<->' after '<'");
+          }
+          break;
+        default:
+          return Error(pos, std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens->push_back({TokenKind::kEnd, "", text_.size()});
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(size_t position, const std::string& message) {
+    return Status::InvalidArgument("at position " + std::to_string(position) +
+                                   ": " + message);
+  }
+
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<FormulaPtr> Parse() {
+    StatusOr<FormulaPtr> formula = ParseIff();
+    if (!formula.ok()) {
+      return formula;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return formula;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("at position " +
+                                   std::to_string(Peek().position) + ": " +
+                                   message);
+  }
+
+  StatusOr<FormulaPtr> ParseIff() {
+    StatusOr<FormulaPtr> left = ParseImplies();
+    if (!left.ok()) return left;
+    FormulaPtr result = *left;
+    while (Match(TokenKind::kIffArrow)) {
+      StatusOr<FormulaPtr> right = ParseImplies();
+      if (!right.ok()) return right;
+      result = Iff(result, *right);
+    }
+    return result;
+  }
+
+  StatusOr<FormulaPtr> ParseImplies() {
+    StatusOr<FormulaPtr> left = ParseOr();
+    if (!left.ok()) return left;
+    if (Match(TokenKind::kArrow)) {
+      // Right-associative: a -> b -> c parses as a -> (b -> c).
+      StatusOr<FormulaPtr> right = ParseImplies();
+      if (!right.ok()) return right;
+      return Implies(*left, *right);
+    }
+    return left;
+  }
+
+  StatusOr<FormulaPtr> ParseOr() {
+    StatusOr<FormulaPtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<FormulaPtr> operands = {*first};
+    while (Match(TokenKind::kPipe)) {
+      StatusOr<FormulaPtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      operands.push_back(*next);
+    }
+    return Or(std::move(operands));
+  }
+
+  StatusOr<FormulaPtr> ParseAnd() {
+    StatusOr<FormulaPtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<FormulaPtr> operands = {*first};
+    while (Match(TokenKind::kAmp)) {
+      StatusOr<FormulaPtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      operands.push_back(*next);
+    }
+    return And(std::move(operands));
+  }
+
+  StatusOr<FormulaPtr> ParseUnary() {
+    if (Match(TokenKind::kBang)) {
+      StatusOr<FormulaPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Not(*operand);
+    }
+    if (Peek().kind == TokenKind::kIdent &&
+        (Peek().text == "exists" || Peek().text == "forall")) {
+      return ParseQuantifier();
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<FormulaPtr> ParseQuantifier() {
+    bool is_exists = Advance().text == "exists";
+    std::vector<std::string> variables;
+    while (Peek().kind == TokenKind::kIdent && Peek().text != "exists" &&
+           Peek().text != "forall") {
+      variables.push_back(Advance().text);
+    }
+    if (variables.empty()) {
+      return Error("quantifier needs at least one variable");
+    }
+    if (!Match(TokenKind::kDot)) {
+      return Error("expected '.' after quantified variables");
+    }
+    // The quantifier scopes over the longest formula to its right.
+    StatusOr<FormulaPtr> body = ParseIff();
+    if (!body.ok()) return body;
+    return is_exists ? Exists(variables, *body) : ForAll(variables, *body);
+  }
+
+  StatusOr<FormulaPtr> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kLParen) {
+      Advance();
+      StatusOr<FormulaPtr> inner = ParseIff();
+      if (!inner.ok()) return inner;
+      // A parenthesized term may continue as an equality: "(x) = y" is not
+      // supported; parentheses group formulas only.
+      if (!Match(TokenKind::kRParen)) {
+        return Error("expected ')'");
+      }
+      return inner;
+    }
+    if (token.kind == TokenKind::kIdent) {
+      if (token.text == "true") {
+        Advance();
+        return True();
+      }
+      if (token.text == "false") {
+        Advance();
+        return False();
+      }
+      // Relation atom or a variable starting an equality.
+      if (tokens_[index_ + 1].kind == TokenKind::kLParen) {
+        return ParseAtom();
+      }
+      return ParseEquality();
+    }
+    if (token.kind == TokenKind::kInteger) {
+      return ParseEquality();
+    }
+    return Error("expected a formula, found '" + token.text + "'");
+  }
+
+  StatusOr<FormulaPtr> ParseAtom() {
+    std::string relation = Advance().text;
+    if (!Match(TokenKind::kLParen)) {
+      return Error("expected '(' after relation name");
+    }
+    std::vector<Term> args;
+    if (!Match(TokenKind::kRParen)) {
+      for (;;) {
+        StatusOr<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        args.push_back(*term);
+        if (Match(TokenKind::kRParen)) {
+          break;
+        }
+        if (!Match(TokenKind::kComma)) {
+          return Error("expected ',' or ')' in argument list");
+        }
+      }
+    }
+    return Atom(std::move(relation), std::move(args));
+  }
+
+  StatusOr<FormulaPtr> ParseEquality() {
+    StatusOr<Term> left = ParseTerm();
+    if (!left.ok()) return left.status();
+    if (Match(TokenKind::kEquals)) {
+      StatusOr<Term> right = ParseTerm();
+      if (!right.ok()) return right.status();
+      return Equals(*left, *right);
+    }
+    if (Match(TokenKind::kNotEquals)) {
+      StatusOr<Term> right = ParseTerm();
+      if (!right.ok()) return right.status();
+      return Not(Equals(*left, *right));
+    }
+    return Error("expected '=' or '!=' after term");
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kIdent && token.text != "true" &&
+        token.text != "false" && token.text != "exists" &&
+        token.text != "forall") {
+      return Term::Var(Advance().text);
+    }
+    if (token.kind == TokenKind::kInteger) {
+      const std::string& digits = Advance().text;
+      long value = 0;
+      for (char c : digits) {
+        value = value * 10 + (c - '0');
+        if (value > 1000000000) {
+          return Status::InvalidArgument("constant out of range: " + digits);
+        }
+      }
+      return Term::Const(static_cast<Element>(value));
+    }
+    return Status::InvalidArgument(
+        "at position " + std::to_string(token.position) +
+        ": expected a term, found '" + token.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<FormulaPtr> ParseFormula(std::string_view text) {
+  std::vector<Token> tokens;
+  Status status = Lexer(text).Tokenize(&tokens);
+  if (!status.ok()) {
+    return status;
+  }
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace qrel

@@ -1,0 +1,37 @@
+// Text syntax for first-order queries.
+//
+// Grammar (precedence low to high: <->, ->, |, &, !, quantifiers bind
+// their whole scope to the right):
+//
+//   formula  := iff
+//   iff      := implies ("<->" implies)*
+//   implies  := or ("->" or)*          (right-associative)
+//   or       := and ("|" and)*
+//   and      := unary ("&" unary)*
+//   unary    := "!" unary | quant | primary
+//   quant    := ("exists" | "forall") ident+ "." formula
+//   primary  := "(" formula ")" | "true" | "false"
+//             | ident "(" terms? ")"                 (relational atom)
+//             | term "=" term | term "!=" term       (equality; != sugar)
+//   term     := ident | "#"? integer                 (integers are constants)
+//
+// Examples:
+//   exists x y z . L(x,y) & R(x,z) & S(y) & S(z)          (Prop. 3.2 query)
+//   exists x y . E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))
+
+#ifndef QREL_LOGIC_PARSER_H_
+#define QREL_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "qrel/logic/ast.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// Parses `text` into a formula; reports syntax errors with positions.
+StatusOr<FormulaPtr> ParseFormula(std::string_view text);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_PARSER_H_

@@ -1,0 +1,167 @@
+#include "qrel/logic/second_order.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+// The database plus guessed contents for the relation variables.
+// Variable relations have ids >= base_count in the extended vocabulary;
+// their contents are bitsets over rank(tuple) = Σ tuple[i]·n^(k-1-i).
+class OverlayOracle : public AtomOracle {
+ public:
+  OverlayOracle(const AtomOracle& base, const Vocabulary& extended,
+                int base_count,
+                const std::vector<std::vector<uint8_t>>* guesses)
+      : base_(base),
+        extended_(extended),
+        base_count_(base_count),
+        guesses_(guesses) {}
+
+  const Vocabulary& vocabulary() const override { return extended_; }
+  int universe_size() const override { return base_.universe_size(); }
+
+  bool AtomTrue(int relation_id, const Tuple& tuple) const override {
+    if (relation_id < base_count_) {
+      return base_.AtomTrue(relation_id, tuple);
+    }
+    size_t rank = 0;
+    for (Element value : tuple) {
+      rank = rank * static_cast<size_t>(base_.universe_size()) +
+             static_cast<size_t>(value);
+    }
+    return (*guesses_)[static_cast<size_t>(relation_id - base_count_)]
+                      [rank] != 0;
+  }
+
+ private:
+  const AtomOracle& base_;
+  const Vocabulary& extended_;
+  int base_count_;
+  const std::vector<std::vector<uint8_t>>* guesses_;
+};
+
+}  // namespace
+
+StatusOr<CompiledSecondOrder> CompiledSecondOrder::Compile(
+    SecondOrderQuery query, const Vocabulary& vocabulary) {
+  if (query.matrix == nullptr) {
+    return Status::InvalidArgument("second-order query has no matrix");
+  }
+  if (!query.matrix->FreeVariables().empty()) {
+    return Status::InvalidArgument(
+        "second-order queries must be sentences (free first-order "
+        "variable '" +
+        query.matrix->FreeVariables()[0] + "')");
+  }
+
+  // Extended vocabulary: the base relations (ids preserved) followed by
+  // the relation variables.
+  auto extended = std::make_shared<Vocabulary>();
+  for (int r = 0; r < vocabulary.relation_count(); ++r) {
+    extended->AddRelation(vocabulary.relation(r).name,
+                          vocabulary.relation(r).arity);
+  }
+  CompiledSecondOrder compiled;
+  for (const RelationVariable& variable : query.relation_variables) {
+    if (variable.arity < 0) {
+      return Status::InvalidArgument("negative relation-variable arity");
+    }
+    if (extended->FindRelation(variable.name).has_value()) {
+      return Status::InvalidArgument(
+          "relation variable '" + variable.name +
+          "' collides with an existing relation or variable");
+    }
+    compiled.variable_relation_ids_.push_back(
+        extended->AddRelation(variable.name, variable.arity));
+  }
+
+  StatusOr<CompiledQuery> matrix =
+      CompiledQuery::Compile(query.matrix, *extended);
+  if (!matrix.ok()) {
+    return matrix.status();
+  }
+  StatusOr<CompiledQuery> negated =
+      CompiledQuery::Compile(Not(query.matrix), *extended);
+  if (!negated.ok()) {
+    return negated.status();
+  }
+
+  compiled.query_ = std::move(query);
+  compiled.extended_vocabulary_ = std::move(extended);
+  compiled.matrix_ =
+      std::make_unique<CompiledQuery>(std::move(matrix).value());
+  compiled.negated_matrix_ =
+      std::make_unique<CompiledQuery>(std::move(negated).value());
+  return compiled;
+}
+
+StatusOr<bool> CompiledSecondOrder::Search(const AtomOracle& database,
+                                           bool negate_matrix) const {
+  int n = database.universe_size();
+
+  // Size of the guess space.
+  std::vector<size_t> cells;
+  size_t total_bits = 0;
+  for (const RelationVariable& variable : query_.relation_variables) {
+    size_t count = 1;
+    for (int i = 0; i < variable.arity; ++i) {
+      count *= static_cast<size_t>(n);
+      if (count > 64) {
+        return Status::OutOfRange(
+            "second-order guess space exceeds 2^64 contents per variable");
+      }
+    }
+    cells.push_back(count);
+    total_bits += count;
+    if (total_bits > 24) {
+      return Status::OutOfRange(
+          "second-order evaluation would enumerate more than 2^24 "
+          "relation contents");
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> guesses;
+  for (size_t count : cells) {
+    guesses.emplace_back(count, 0);
+  }
+  OverlayOracle oracle(database, *extended_vocabulary_,
+                       extended_vocabulary_->relation_count() -
+                           static_cast<int>(query_.relation_variables.size()),
+                       &guesses);
+  const CompiledQuery& target = negate_matrix ? *negated_matrix_ : *matrix_;
+
+  uint64_t codes = uint64_t{1} << total_bits;
+  for (uint64_t code = 0; code < codes; ++code) {
+    uint64_t bits = code;
+    for (size_t v = 0; v < guesses.size(); ++v) {
+      for (size_t c = 0; c < guesses[v].size(); ++c) {
+        guesses[v][c] = bits & 1u;
+        bits >>= 1;
+      }
+    }
+    if (target.Eval(oracle, {})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<bool> CompiledSecondOrder::EvalSigma11(
+    const AtomOracle& database) const {
+  return Search(database, /*negate_matrix=*/false);
+}
+
+StatusOr<bool> CompiledSecondOrder::EvalPi11(
+    const AtomOracle& database) const {
+  StatusOr<bool> witness = Search(database, /*negate_matrix=*/true);
+  if (!witness.ok()) {
+    return witness;
+  }
+  return !*witness;
+}
+
+}  // namespace qrel

@@ -1,0 +1,77 @@
+// Second-order queries: Σ¹₁ (existential second-order) sentences and their
+// evaluation by enumeration over relation contents.
+//
+// Theorem 4.2 states the FP^#P upper bound for *all second-order* queries
+// (= all of the polynomial-time hierarchy, by Fagin/Stockmeyer). This
+// module makes that scope executable: a SecondOrderQuery is a block of
+// existentially quantified relation variables ∃R₁...∃R_m followed by a
+// first-order matrix over the database vocabulary extended with the R_i.
+// Universally quantified blocks are obtained by negation (Π¹₁ = ¬Σ¹₁),
+// which EvalPi11 provides.
+//
+// Evaluation enumerates the 2^(n^arity) contents of each relation
+// variable — exponential, as it must be for NP-complete data complexity —
+// and is therefore feasible only for small universes; the reliability
+// algorithms inherit those limits.
+
+#ifndef QREL_LOGIC_SECOND_ORDER_H_
+#define QREL_LOGIC_SECOND_ORDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/logic/eval.h"
+#include "qrel/relational/structure.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct RelationVariable {
+  std::string name;
+  int arity = 0;
+};
+
+// ∃R₁ ... ∃R_m . matrix, with `matrix` a first-order sentence over the
+// database vocabulary plus the R_i.
+struct SecondOrderQuery {
+  std::vector<RelationVariable> relation_variables;
+  FormulaPtr matrix;
+};
+
+class CompiledSecondOrder {
+ public:
+  // Validates the matrix against `vocabulary` extended by the relation
+  // variables (whose names must be fresh) and requires a sentence (no free
+  // first-order variables).
+  static StatusOr<CompiledSecondOrder> Compile(SecondOrderQuery query,
+                                               const Vocabulary& vocabulary);
+
+  // Σ¹₁ evaluation: does some assignment of contents to the relation
+  // variables satisfy the matrix on `database`? `database`'s universe must
+  // satisfy Σ_i n^arity_i ≤ 24 (the guess space is 2^that).
+  StatusOr<bool> EvalSigma11(const AtomOracle& database) const;
+
+  // Π¹₁ evaluation: ∀R̄ matrix = ¬∃R̄ ¬matrix.
+  StatusOr<bool> EvalPi11(const AtomOracle& database) const;
+
+  const std::vector<RelationVariable>& relation_variables() const {
+    return query_.relation_variables;
+  }
+
+ private:
+  CompiledSecondOrder() = default;
+
+  StatusOr<bool> Search(const AtomOracle& database, bool negate_matrix) const;
+
+  SecondOrderQuery query_;
+  std::shared_ptr<const Vocabulary> extended_vocabulary_;
+  std::unique_ptr<CompiledQuery> matrix_;          // over extended vocabulary
+  std::unique_ptr<CompiledQuery> negated_matrix_;  // ¬matrix, for Π¹₁
+  std::vector<int> variable_relation_ids_;         // ids in extended vocab
+};
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_SECOND_ORDER_H_

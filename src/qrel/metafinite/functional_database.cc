@@ -1,0 +1,248 @@
+#include "qrel/metafinite/functional_database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+int FunctionalVocabulary::AddFunction(std::string name, int arity) {
+  QREL_CHECK_GE(arity, 0);
+  QREL_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                 "duplicate function name");
+  int id = static_cast<int>(functions_.size());
+  by_name_.emplace(name, id);
+  functions_.push_back(FunctionSymbol{std::move(name), arity});
+  return id;
+}
+
+const FunctionSymbol& FunctionalVocabulary::function(int id) const {
+  QREL_CHECK_GE(id, 0);
+  QREL_CHECK_LT(id, function_count());
+  return functions_[static_cast<size_t>(id)];
+}
+
+std::optional<int> FunctionalVocabulary::FindFunction(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+FunctionalStructure::FunctionalStructure(
+    std::shared_ptr<const FunctionalVocabulary> vocabulary, int universe_size)
+    : vocabulary_(std::move(vocabulary)), universe_size_(universe_size) {
+  QREL_CHECK(vocabulary_ != nullptr);
+  QREL_CHECK_GT(universe_size_, 0);
+}
+
+void FunctionalStructure::CheckEntry(int function_id,
+                                     const Tuple& args) const {
+  QREL_CHECK_GE(function_id, 0);
+  QREL_CHECK_LT(function_id, vocabulary_->function_count());
+  QREL_CHECK_EQ(static_cast<int>(args.size()),
+                vocabulary_->function(function_id).arity);
+  for (Element e : args) {
+    QREL_CHECK_GE(e, 0);
+    QREL_CHECK_LT(e, universe_size_);
+  }
+}
+
+void FunctionalStructure::SetValue(int function_id, const Tuple& args,
+                                   Rational value) {
+  CheckEntry(function_id, args);
+  values_[GroundAtom{function_id, args}] = std::move(value);
+}
+
+Rational FunctionalStructure::Value(int function_id,
+                                    const Tuple& args) const {
+  CheckEntry(function_id, args);
+  auto it = values_.find(GroundAtom{function_id, args});
+  if (it == values_.end()) {
+    return Rational::Zero();
+  }
+  return it->second;
+}
+
+std::vector<std::pair<GroundAtom, Rational>>
+FunctionalStructure::ExplicitValues() const {
+  std::vector<std::pair<GroundAtom, Rational>> result(values_.begin(),
+                                                      values_.end());
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return result;
+}
+
+Status ValueDistribution::Validate() const {
+  if (outcomes.empty()) {
+    return Status::InvalidArgument("distribution has no outcomes");
+  }
+  Rational total;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].probability.IsProbability()) {
+      return Status::InvalidArgument("outcome probability outside [0, 1]");
+    }
+    total += outcomes[i].probability;
+    for (size_t j = i + 1; j < outcomes.size(); ++j) {
+      if (outcomes[i].value == outcomes[j].value) {
+        return Status::InvalidArgument("duplicate outcome value " +
+                                       outcomes[i].value.ToString());
+      }
+    }
+  }
+  if (!total.IsOne()) {
+    return Status::InvalidArgument(
+        "outcome probabilities sum to " + total.ToString() + ", not 1");
+  }
+  return Status::Ok();
+}
+
+UnreliableFunctionalDatabase::UnreliableFunctionalDatabase(
+    FunctionalStructure observed)
+    : observed_(std::move(observed)) {}
+
+StatusOr<int> UnreliableFunctionalDatabase::SetDistribution(
+    const FunctionEntry& entry, ValueDistribution distribution) {
+  // Range-check the entry against the observed structure.
+  observed_.Value(entry.relation, entry.args);
+  QREL_RETURN_IF_ERROR(distribution.Validate());
+  auto [it, inserted] =
+      entry_ids_.emplace(entry, static_cast<int>(entries_.size()));
+  if (inserted) {
+    entries_.push_back(entry);
+    distributions_.push_back(std::move(distribution));
+  } else {
+    distributions_[static_cast<size_t>(it->second)] = std::move(distribution);
+  }
+  return it->second;
+}
+
+const FunctionEntry& UnreliableFunctionalDatabase::uncertain_entry(
+    int id) const {
+  QREL_CHECK_GE(id, 0);
+  QREL_CHECK_LT(id, uncertain_entry_count());
+  return entries_[static_cast<size_t>(id)];
+}
+
+const ValueDistribution& UnreliableFunctionalDatabase::distribution(
+    int id) const {
+  QREL_CHECK_GE(id, 0);
+  QREL_CHECK_LT(id, uncertain_entry_count());
+  return distributions_[static_cast<size_t>(id)];
+}
+
+std::optional<int> UnreliableFunctionalDatabase::FindUncertainEntry(
+    const FunctionEntry& entry) const {
+  auto it = entry_ids_.find(entry);
+  if (it == entry_ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<uint64_t> UnreliableFunctionalDatabase::WorldCount() const {
+  uint64_t count = 1;
+  for (const ValueDistribution& distribution : distributions_) {
+    uint64_t outcomes = distribution.outcomes.size();
+    if (count > (uint64_t{1} << 62) / outcomes) {
+      return std::nullopt;
+    }
+    count *= outcomes;
+  }
+  return count;
+}
+
+Rational UnreliableFunctionalDatabase::WorldProbability(
+    const FunctionalWorld& world) const {
+  QREL_CHECK_EQ(static_cast<int>(world.size()), uncertain_entry_count());
+  Rational probability = Rational::One();
+  for (size_t i = 0; i < world.size(); ++i) {
+    const ValueDistribution& distribution = distributions_[i];
+    QREL_CHECK_GE(world[i], 0);
+    QREL_CHECK_LT(world[i], static_cast<int>(distribution.outcomes.size()));
+    probability *=
+        distribution.outcomes[static_cast<size_t>(world[i])].probability;
+    if (probability.IsZero()) {
+      break;
+    }
+  }
+  return probability;
+}
+
+FunctionalWorld UnreliableFunctionalDatabase::SampleWorld(Rng* rng) const {
+  QREL_CHECK(rng != nullptr);
+  FunctionalWorld world(entries_.size(), 0);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ValueDistribution& distribution = distributions_[i];
+    // Inverse-CDF draw; exact when the common denominator fits 64 bits.
+    double u = rng->NextDouble();
+    double cumulative = 0.0;
+    int pick = static_cast<int>(distribution.outcomes.size()) - 1;
+    for (size_t o = 0; o < distribution.outcomes.size(); ++o) {
+      cumulative += distribution.outcomes[o].probability.ToDouble();
+      if (u < cumulative) {
+        pick = static_cast<int>(o);
+        break;
+      }
+    }
+    world[i] = pick;
+  }
+  return world;
+}
+
+void UnreliableFunctionalDatabase::ForEachWorld(
+    const std::function<void(const FunctionalWorld&, const Rational&)>& fn)
+    const {
+  QREL_CHECK_MSG(WorldCount().has_value(),
+                 "functional world enumeration would exceed 2^62 worlds");
+  FunctionalWorld world(entries_.size(), 0);
+  for (;;) {
+    fn(world, WorldProbability(world));
+    // Mixed-radix odometer over outcome indices.
+    size_t i = 0;
+    for (; i < world.size(); ++i) {
+      if (world[i] + 1 <
+          static_cast<int>(distributions_[i].outcomes.size())) {
+        ++world[i];
+        break;
+      }
+      world[i] = 0;
+    }
+    if (i == world.size()) {
+      return;
+    }
+  }
+}
+
+FunctionalWorldView::FunctionalWorldView(
+    const UnreliableFunctionalDatabase& database, const FunctionalWorld& world)
+    : database_(database), world_(world) {
+  QREL_CHECK_EQ(static_cast<int>(world.size()),
+                database.uncertain_entry_count());
+}
+
+const FunctionalVocabulary& FunctionalWorldView::vocabulary() const {
+  return database_.vocabulary();
+}
+
+int FunctionalWorldView::universe_size() const {
+  return database_.universe_size();
+}
+
+Rational FunctionalWorldView::Value(int function_id,
+                                    const Tuple& args) const {
+  // Uncertain entries read their sampled outcome; others the observed value.
+  std::optional<int> id =
+      database_.FindUncertainEntry(FunctionEntry{function_id, args});
+  if (id.has_value()) {
+    return database_.distribution(*id)
+        .outcomes[static_cast<size_t>(world_[static_cast<size_t>(*id)])]
+        .value;
+  }
+  return database_.observed().Value(function_id, args);
+}
+
+}  // namespace qrel

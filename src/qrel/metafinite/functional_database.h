@@ -1,0 +1,164 @@
+// Unreliable functional (metafinite) databases — Definition 6.1.
+//
+// A functional database 𝔄 = (A, ℱ) is a finite set A plus functions
+// f : A^k → ℚ (the infinite interpreted structure ℜ is the ordered field
+// of rationals with the multiset operations of term.h). An unreliable
+// functional database assigns to entries f(ā) finite value distributions
+// ν(f(ā) = r) with Σ_r ν = 1, independent across entries; entries without
+// a distribution take their observed value with certainty.
+//
+// Worlds pick one outcome per uncertain entry, so the number of worlds
+// with positive probability is Π |outcomes| — finite and enumerable, which
+// is the structural fact behind Theorem 6.2 (ii).
+
+#ifndef QREL_METAFINITE_FUNCTIONAL_DATABASE_H_
+#define QREL_METAFINITE_FUNCTIONAL_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "qrel/relational/atom_table.h"
+#include "qrel/relational/structure.h"
+#include "qrel/util/rational.h"
+#include "qrel/util/rng.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct FunctionSymbol {
+  std::string name;
+  int arity = 0;
+};
+
+class FunctionalVocabulary {
+ public:
+  // Registers a function symbol; aborts on duplicates or negative arity.
+  int AddFunction(std::string name, int arity);
+  int function_count() const { return static_cast<int>(functions_.size()); }
+  const FunctionSymbol& function(int id) const;
+  std::optional<int> FindFunction(const std::string& name) const;
+
+ private:
+  std::vector<FunctionSymbol> functions_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+// One function entry f(ā); shares GroundAtom's layout (relation := f).
+using FunctionEntry = GroundAtom;
+
+// Read access to the function values of one database or world.
+class FunctionalOracle {
+ public:
+  virtual ~FunctionalOracle() = default;
+  virtual const FunctionalVocabulary& vocabulary() const = 0;
+  virtual int universe_size() const = 0;
+  virtual Rational Value(int function_id, const Tuple& args) const = 0;
+};
+
+// A concrete functional structure; unset entries have value 0.
+class FunctionalStructure : public FunctionalOracle {
+ public:
+  FunctionalStructure(std::shared_ptr<const FunctionalVocabulary> vocabulary,
+                      int universe_size);
+
+  const FunctionalVocabulary& vocabulary() const override {
+    return *vocabulary_;
+  }
+  const std::shared_ptr<const FunctionalVocabulary>& vocabulary_ptr() const {
+    return vocabulary_;
+  }
+  int universe_size() const override { return universe_size_; }
+
+  void SetValue(int function_id, const Tuple& args, Rational value);
+  Rational Value(int function_id, const Tuple& args) const override;
+
+  // All explicitly set entries, sorted by (function, args); entries never
+  // set have the implicit value 0 and are not listed.
+  std::vector<std::pair<GroundAtom, Rational>> ExplicitValues() const;
+
+ private:
+  void CheckEntry(int function_id, const Tuple& args) const;
+
+  std::shared_ptr<const FunctionalVocabulary> vocabulary_;
+  int universe_size_;
+  std::unordered_map<GroundAtom, Rational, GroundAtomHash> values_;
+};
+
+// A finite distribution over the actual value of one entry.
+struct ValueDistribution {
+  struct Outcome {
+    Rational value;
+    Rational probability;
+  };
+  std::vector<Outcome> outcomes;
+
+  // Checks probabilities are in [0,1], sum to exactly 1, and values are
+  // pairwise distinct.
+  Status Validate() const;
+};
+
+// A world: outcome index per uncertain entry (dense entry ids).
+using FunctionalWorld = std::vector<int>;
+
+class UnreliableFunctionalDatabase {
+ public:
+  explicit UnreliableFunctionalDatabase(FunctionalStructure observed);
+
+  const FunctionalStructure& observed() const { return observed_; }
+  const FunctionalVocabulary& vocabulary() const {
+    return observed_.vocabulary();
+  }
+  int universe_size() const { return observed_.universe_size(); }
+
+  // Declares the value of `entry` unreliable with the given distribution.
+  // Returns the dense uncertain-entry id, or a Status on invalid input.
+  StatusOr<int> SetDistribution(const FunctionEntry& entry,
+                                ValueDistribution distribution);
+
+  int uncertain_entry_count() const {
+    return static_cast<int>(entries_.size());
+  }
+  const FunctionEntry& uncertain_entry(int id) const;
+  const ValueDistribution& distribution(int id) const;
+  // Dense id of `entry` if its value is uncertain.
+  std::optional<int> FindUncertainEntry(const FunctionEntry& entry) const;
+
+  // Number of worlds with positive probability: Π |outcomes|; nullopt if
+  // it exceeds 2^62.
+  std::optional<uint64_t> WorldCount() const;
+
+  Rational WorldProbability(const FunctionalWorld& world) const;
+  FunctionalWorld SampleWorld(Rng* rng) const;
+  // Enumerates all worlds with their probabilities (mixed-radix odometer).
+  // Aborts if WorldCount() overflows.
+  void ForEachWorld(const std::function<void(const FunctionalWorld&,
+                                             const Rational&)>& fn) const;
+
+ private:
+  FunctionalStructure observed_;
+  std::vector<FunctionEntry> entries_;
+  std::vector<ValueDistribution> distributions_;
+  std::unordered_map<GroundAtom, int, GroundAtomHash> entry_ids_;
+};
+
+// FunctionalOracle view of one world.
+class FunctionalWorldView : public FunctionalOracle {
+ public:
+  FunctionalWorldView(const UnreliableFunctionalDatabase& database,
+                      const FunctionalWorld& world);
+
+  const FunctionalVocabulary& vocabulary() const override;
+  int universe_size() const override;
+  Rational Value(int function_id, const Tuple& args) const override;
+
+ private:
+  const UnreliableFunctionalDatabase& database_;
+  const FunctionalWorld& world_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_METAFINITE_FUNCTIONAL_DATABASE_H_

@@ -1,0 +1,132 @@
+#include "qrel/metafinite/relational_bridge.h"
+
+#include <memory>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+std::string ChiFunctionName(const std::string& relation_name) {
+  return "chi_" + relation_name;
+}
+
+StatusOr<UnreliableFunctionalDatabase> EncodeRelationalDatabase(
+    const UnreliableDatabase& db) {
+  const Vocabulary& relational = db.vocabulary();
+  auto vocabulary = std::make_shared<FunctionalVocabulary>();
+  std::vector<int> chi(static_cast<size_t>(relational.relation_count()), 0);
+  for (int r = 0; r < relational.relation_count(); ++r) {
+    chi[static_cast<size_t>(r)] = vocabulary->AddFunction(
+        ChiFunctionName(relational.relation(r).name),
+        relational.relation(r).arity);
+  }
+  int id = vocabulary->AddFunction(IdFunctionName(), 1);
+
+  FunctionalStructure observed(vocabulary, db.universe_size());
+  for (Element a = 0; a < db.universe_size(); ++a) {
+    observed.SetValue(id, {a}, Rational(a));
+  }
+  // χ_R is 1 exactly on the observed facts (unset entries default to 0).
+  for (int r = 0; r < relational.relation_count(); ++r) {
+    for (const Tuple& tuple : db.observed().Facts(r)) {
+      observed.SetValue(chi[static_cast<size_t>(r)], tuple, Rational(1));
+    }
+  }
+
+  UnreliableFunctionalDatabase encoded(std::move(observed));
+  const ErrorModel& model = db.model();
+  for (int entry = 0; entry < model.entry_count(); ++entry) {
+    const GroundAtom& atom = model.atom(entry);
+    Rational nu_true = db.EntryNuTrue(entry);
+    ValueDistribution distribution;
+    if (nu_true.IsOne()) {
+      distribution.outcomes.push_back({Rational(1), Rational(1)});
+    } else if (nu_true.IsZero()) {
+      distribution.outcomes.push_back({Rational(0), Rational(1)});
+    } else {
+      distribution.outcomes.push_back({Rational(1), nu_true});
+      distribution.outcomes.push_back({Rational(0), nu_true.Complement()});
+    }
+    StatusOr<int> set = encoded.SetDistribution(
+        FunctionEntry{chi[static_cast<size_t>(atom.relation)], atom.args},
+        std::move(distribution));
+    if (!set.ok()) {
+      return set.status();
+    }
+  }
+  return encoded;
+}
+
+namespace {
+
+// A first-order term (variable or element constant) as a numeric MTerm.
+MTermPtr NumericTerm(const Term& term) {
+  if (term.is_variable()) {
+    return MApply(IdFunctionName(), {term});
+  }
+  return MConst(Rational(term.constant));
+}
+
+}  // namespace
+
+StatusOr<MTermPtr> TranslateFirstOrder(const FormulaPtr& formula) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+      return MConst(Rational(1));
+    case FormulaKind::kFalse:
+      return MConst(Rational(0));
+    case FormulaKind::kAtom:
+      // χ values are exactly 0/1 in every world, so the application is
+      // already a characteristic term.
+      return MApply(ChiFunctionName(formula->relation), formula->args);
+    case FormulaKind::kEquals:
+      return MEq(NumericTerm(formula->args[0]),
+                 NumericTerm(formula->args[1]));
+    case FormulaKind::kNot: {
+      StatusOr<MTermPtr> operand = TranslateFirstOrder(formula->children[0]);
+      if (!operand.ok()) return operand;
+      return MNot(*operand);
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      StatusOr<MTermPtr> result = TranslateFirstOrder(formula->children[0]);
+      if (!result.ok()) return result;
+      for (size_t i = 1; i < formula->children.size(); ++i) {
+        StatusOr<MTermPtr> next = TranslateFirstOrder(formula->children[i]);
+        if (!next.ok()) return next;
+        result = formula->kind == FormulaKind::kAnd ? MAnd(*result, *next)
+                                                    : MOr(*result, *next);
+      }
+      return result;
+    }
+    case FormulaKind::kImplies: {
+      StatusOr<MTermPtr> premise = TranslateFirstOrder(formula->children[0]);
+      if (!premise.ok()) return premise;
+      StatusOr<MTermPtr> conclusion =
+          TranslateFirstOrder(formula->children[1]);
+      if (!conclusion.ok()) return conclusion;
+      return MOr(MNot(*premise), *conclusion);
+    }
+    case FormulaKind::kIff: {
+      StatusOr<MTermPtr> left = TranslateFirstOrder(formula->children[0]);
+      if (!left.ok()) return left;
+      StatusOr<MTermPtr> right = TranslateFirstOrder(formula->children[1]);
+      if (!right.ok()) return right;
+      // Both sides are 0/1-valued, so numeric equality is biconditional.
+      return MEq(*left, *right);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      StatusOr<MTermPtr> body = TranslateFirstOrder(formula->children[0]);
+      if (!body.ok()) return body;
+      // max/min over A generalize ∃/∀ on characteristic terms.
+      return formula->kind == FormulaKind::kExists
+                 ? MMax(formula->bound_variable, *body)
+                 : MMin(formula->bound_variable, *body);
+    }
+  }
+  return Status::Internal("corrupt formula kind");
+}
+
+}  // namespace qrel

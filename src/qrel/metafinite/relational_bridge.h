@@ -1,0 +1,44 @@
+// The relational ⊂ metafinite embedding of Section 6.
+//
+// A relational unreliable database embeds into a functional one: each
+// relation R becomes its characteristic function χ_R : A^k → {0, 1}
+// (uncertain atoms become two-point value distributions with
+// ν(χ_R(ā) = 1) = ν(R ā)), plus the identity function id : A → ℚ for
+// translating first-order equalities. First-order formulas translate to
+// 0/1-valued terms, with max/min playing the role of ∃/∀ — exactly the
+// correspondence the paper describes ("the operations max and min can be
+// seen as more general variants of existential and universal
+// quantifiers"). Reliability is preserved by the translation, which the
+// test suite verifies against the relational algorithms.
+
+#ifndef QREL_METAFINITE_RELATIONAL_BRIDGE_H_
+#define QREL_METAFINITE_RELATIONAL_BRIDGE_H_
+
+#include "qrel/logic/ast.h"
+#include "qrel/metafinite/functional_database.h"
+#include "qrel/metafinite/term.h"
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// The characteristic-function name for relation `relation_name`.
+std::string ChiFunctionName(const std::string& relation_name);
+
+// Name of the identity function used for equality translation.
+inline const char* IdFunctionName() { return "id"; }
+
+// Builds the functional encoding: χ_R for every relation (with the error
+// model folded into two-point distributions) and id(a) = a.
+StatusOr<UnreliableFunctionalDatabase> EncodeRelationalDatabase(
+    const UnreliableDatabase& db);
+
+// Translates a first-order formula into a 0/1-valued term over the
+// encoding: atoms ↦ χ applications, t₁ = t₂ ↦ id-comparisons, Boolean
+// connectives ↦ their characteristic counterparts, ∃/∀ ↦ max/min. Free
+// variables stay free (same names, same first-appearance order).
+StatusOr<MTermPtr> TranslateFirstOrder(const FormulaPtr& formula);
+
+}  // namespace qrel
+
+#endif  // QREL_METAFINITE_RELATIONAL_BRIDGE_H_

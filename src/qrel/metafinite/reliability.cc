@@ -1,0 +1,207 @@
+#include "qrel/metafinite/reliability.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+Rational TupleSpaceSize(int n, int k) {
+  return Rational(BigInt::Pow(BigInt(n), static_cast<uint32_t>(k)),
+                  BigInt(1));
+}
+
+// A functional oracle answering from an explicit entry-value map, falling
+// back to the observed structure (the Theorem 6.2 (i) local view).
+class LocalFunctionalOracle : public FunctionalOracle {
+ public:
+  explicit LocalFunctionalOracle(const FunctionalStructure& observed)
+      : observed_(observed) {}
+
+  void Set(const FunctionEntry& entry, Rational value) {
+    values_[entry] = std::move(value);
+  }
+
+  const FunctionalVocabulary& vocabulary() const override {
+    return observed_.vocabulary();
+  }
+  int universe_size() const override { return observed_.universe_size(); }
+  Rational Value(int function_id, const Tuple& args) const override {
+    auto it = values_.find(GroundAtom{function_id, args});
+    if (it != values_.end()) {
+      return it->second;
+    }
+    return observed_.Value(function_id, args);
+  }
+
+ private:
+  const FunctionalStructure& observed_;
+  std::unordered_map<GroundAtom, Rational, GroundAtomHash> values_;
+};
+
+struct QueryShape {
+  std::vector<std::string> free_variables;
+  std::vector<Tuple> tuples;
+  std::vector<Rational> observed_values;
+};
+
+StatusOr<QueryShape> PrepareQuery(const MTermPtr& query,
+                                  const UnreliableFunctionalDatabase& db) {
+  QREL_RETURN_IF_ERROR(ValidateTerm(query, db.vocabulary()));
+  QueryShape shape;
+  shape.free_variables = query->FreeVariables();
+  Tuple assignment(shape.free_variables.size(), 0);
+  do {
+    shape.tuples.push_back(assignment);
+    shape.observed_values.push_back(
+        EvalTerm(query, db.observed(), assignment));
+  } while (AdvanceTuple(&assignment, db.universe_size()));
+  return shape;
+}
+
+}  // namespace
+
+StatusOr<FunctionalReliabilityReport> ExactFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db) {
+  std::optional<uint64_t> world_count = db.WorldCount();
+  if (!world_count.has_value() || *world_count > (uint64_t{1} << 22)) {
+    return Status::OutOfRange("too many worlds for exact enumeration");
+  }
+  StatusOr<QueryShape> shape = PrepareQuery(query, db);
+  if (!shape.ok()) {
+    return shape.status();
+  }
+
+  FunctionalReliabilityReport report;
+  report.arity = static_cast<int>(shape->free_variables.size());
+  db.ForEachWorld([&](const FunctionalWorld& world,
+                      const Rational& probability) {
+    ++report.work_units;
+    if (probability.IsZero()) {
+      return;
+    }
+    FunctionalWorldView view(db, world);
+    int differing = 0;
+    for (size_t i = 0; i < shape->tuples.size(); ++i) {
+      if (EvalTerm(query, view, shape->tuples[i]) !=
+          shape->observed_values[i]) {
+        ++differing;
+      }
+    }
+    if (differing > 0) {
+      report.expected_error += probability * Rational(differing);
+    }
+  });
+  report.reliability =
+      Rational(1) -
+      report.expected_error / TupleSpaceSize(db.universe_size(), report.arity);
+  return report;
+}
+
+StatusOr<FunctionalReliabilityReport> QuantifierFreeFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db) {
+  if (!query->IsQuantifierFree()) {
+    return Status::InvalidArgument(
+        "QuantifierFreeFunctionalReliability requires a multiset-free term");
+  }
+  QREL_RETURN_IF_ERROR(ValidateTerm(query, db.vocabulary()));
+
+  std::vector<std::string> free_variables = query->FreeVariables();
+  int k = static_cast<int>(free_variables.size());
+  int n = db.universe_size();
+
+  FunctionalReliabilityReport report;
+  report.arity = k;
+
+  Tuple assignment(static_cast<size_t>(k), 0);
+  do {
+    std::vector<FunctionEntry> entries =
+        CollectEntries(query, db.vocabulary(), assignment, free_variables);
+    // Only entries with uncertain values span the local outcome space.
+    std::vector<int> uncertain;
+    for (const FunctionEntry& entry : entries) {
+      std::optional<int> id = db.FindUncertainEntry(entry);
+      if (id.has_value()) {
+        uncertain.push_back(*id);
+      }
+    }
+    Rational observed_value = EvalTerm(query, db.observed(), assignment);
+
+    // Mixed-radix enumeration of the joint local outcomes.
+    std::vector<int> choice(uncertain.size(), 0);
+    Rational h_tuple;
+    for (;;) {
+      ++report.work_units;
+      LocalFunctionalOracle oracle(db.observed());
+      Rational probability = Rational::One();
+      for (size_t i = 0; i < uncertain.size(); ++i) {
+        const ValueDistribution& distribution =
+            db.distribution(uncertain[i]);
+        const ValueDistribution::Outcome& outcome =
+            distribution.outcomes[static_cast<size_t>(choice[i])];
+        probability *= outcome.probability;
+        oracle.Set(db.uncertain_entry(uncertain[i]), outcome.value);
+      }
+      if (!probability.IsZero() &&
+          EvalTerm(query, oracle, assignment) != observed_value) {
+        h_tuple += probability;
+      }
+      // Advance the odometer.
+      size_t i = 0;
+      for (; i < choice.size(); ++i) {
+        if (choice[i] + 1 <
+            static_cast<int>(
+                db.distribution(uncertain[i]).outcomes.size())) {
+          ++choice[i];
+          break;
+        }
+        choice[i] = 0;
+      }
+      if (i == choice.size()) {
+        break;
+      }
+    }
+    report.expected_error += h_tuple;
+  } while (AdvanceTuple(&assignment, n));
+
+  report.reliability =
+      Rational(1) - report.expected_error / TupleSpaceSize(n, k);
+  return report;
+}
+
+StatusOr<FunctionalMcResult> McFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db,
+    uint64_t samples, uint64_t seed) {
+  if (samples == 0) {
+    return Status::InvalidArgument("sample count must be positive");
+  }
+  StatusOr<QueryShape> shape = PrepareQuery(query, db);
+  if (!shape.ok()) {
+    return shape.status();
+  }
+  Rng rng(seed);
+  double total_hamming = 0.0;
+  for (uint64_t s = 0; s < samples; ++s) {
+    FunctionalWorld world = db.SampleWorld(&rng);
+    FunctionalWorldView view(db, world);
+    int differing = 0;
+    for (size_t i = 0; i < shape->tuples.size(); ++i) {
+      if (EvalTerm(query, view, shape->tuples[i]) !=
+          shape->observed_values[i]) {
+        ++differing;
+      }
+    }
+    total_hamming += differing;
+  }
+  double tuple_count = static_cast<double>(shape->tuples.size());
+  FunctionalMcResult result;
+  result.samples = samples;
+  result.estimate =
+      1.0 - (total_hamming / static_cast<double>(samples)) / tuple_count;
+  return result;
+}
+
+}  // namespace qrel

@@ -1,0 +1,52 @@
+// Reliability of metafinite queries — Theorem 6.2.
+//
+// A k-ary query term F on a functional database evaluates to F^𝔄 : A^k → ℚ;
+// the expected error counts the tuples where F^𝔄 and F^𝔅 differ and
+// R_F = 1 − H_F/n^k, exactly as in the relational case.
+//
+//   (i)  Quantifier-free terms: polynomial time — only the function entries
+//        occurring in F(ā) matter per tuple.
+//   (ii) First-order (multiset) terms: exact by world enumeration
+//        (FP^#P discipline), plus a Monte Carlo estimator.
+
+#ifndef QREL_METAFINITE_RELIABILITY_H_
+#define QREL_METAFINITE_RELIABILITY_H_
+
+#include "qrel/metafinite/functional_database.h"
+#include "qrel/metafinite/term.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct FunctionalReliabilityReport {
+  int arity = 0;
+  Rational expected_error;  // H_F(𝔇)
+  Rational reliability;     // R_F(𝔇)
+  uint64_t work_units = 0;  // worlds enumerated / local outcomes summed
+};
+
+// Exact H_F and R_F by enumerating all value worlds. Fails if the world
+// count exceeds 2^22.
+StatusOr<FunctionalReliabilityReport> ExactFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db);
+
+// Theorem 6.2 (i): polynomial-time exact reliability for quantifier-free
+// terms (per-tuple local-entry enumeration). Fails if the term has
+// multiset operations.
+StatusOr<FunctionalReliabilityReport> QuantifierFreeFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db);
+
+struct FunctionalMcResult {
+  double estimate = 0.0;  // estimated R_F
+  uint64_t samples = 0;
+};
+
+// Monte Carlo estimation of R_F for arbitrary terms: sample worlds,
+// compare answers on all tuples.
+StatusOr<FunctionalMcResult> McFunctionalReliability(
+    const MTermPtr& query, const UnreliableFunctionalDatabase& db,
+    uint64_t samples, uint64_t seed);
+
+}  // namespace qrel
+
+#endif  // QREL_METAFINITE_RELIABILITY_H_

@@ -1,0 +1,453 @@
+#include "qrel/metafinite/term.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+std::shared_ptr<MTerm> MakeNode(MTermKind kind) {
+  auto node = std::make_shared<MTerm>();
+  node->kind = kind;
+  return node;
+}
+
+MTermPtr Binary(MTermKind kind, MTermPtr left, MTermPtr right) {
+  QREL_CHECK(left != nullptr);
+  QREL_CHECK(right != nullptr);
+  auto node = MakeNode(kind);
+  node->children = {std::move(left), std::move(right)};
+  return node;
+}
+
+MTermPtr Multiset(MTermKind kind, std::string variable, MTermPtr body) {
+  QREL_CHECK(body != nullptr);
+  auto node = MakeNode(kind);
+  node->bound_variable = std::move(variable);
+  node->children = {std::move(body)};
+  return node;
+}
+
+bool IsMultiset(MTermKind kind) {
+  switch (kind) {
+    case MTermKind::kSum:
+    case MTermKind::kProd:
+    case MTermKind::kMin:
+    case MTermKind::kMax:
+    case MTermKind::kCount:
+    case MTermKind::kAvg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* MultisetName(MTermKind kind) {
+  switch (kind) {
+    case MTermKind::kSum:
+      return "sum";
+    case MTermKind::kProd:
+      return "prod";
+    case MTermKind::kMin:
+      return "min";
+    case MTermKind::kMax:
+      return "max";
+    case MTermKind::kCount:
+      return "count";
+    case MTermKind::kAvg:
+      return "avg";
+    default:
+      QREL_CHECK_MSG(false, "not a multiset operation");
+      return "";
+  }
+}
+
+const char* BinaryOpSymbol(MTermKind kind) {
+  switch (kind) {
+    case MTermKind::kAdd:
+      return " + ";
+    case MTermKind::kSub:
+      return " - ";
+    case MTermKind::kMul:
+      return " * ";
+    case MTermKind::kDiv:
+      return " / ";
+    case MTermKind::kEq:
+      return " == ";
+    case MTermKind::kLess:
+      return " < ";
+    case MTermKind::kLessEq:
+      return " <= ";
+    case MTermKind::kAnd:
+      return " && ";
+    case MTermKind::kOr:
+      return " || ";
+    default:
+      QREL_CHECK_MSG(false, "not a binary operation");
+      return "";
+  }
+}
+
+void CollectFree(const MTerm& term, std::vector<std::string>* bound,
+                 std::vector<std::string>* result) {
+  if (term.kind == MTermKind::kApply) {
+    for (const Term& arg : term.args) {
+      if (!arg.is_variable()) {
+        continue;
+      }
+      if (std::find(bound->begin(), bound->end(), arg.variable) !=
+          bound->end()) {
+        continue;
+      }
+      if (std::find(result->begin(), result->end(), arg.variable) ==
+          result->end()) {
+        result->push_back(arg.variable);
+      }
+    }
+    return;
+  }
+  if (IsMultiset(term.kind)) {
+    bound->push_back(term.bound_variable);
+    CollectFree(*term.children[0], bound, result);
+    bound->pop_back();
+    return;
+  }
+  for (const MTermPtr& child : term.children) {
+    CollectFree(*child, bound, result);
+  }
+}
+
+}  // namespace
+
+std::string MTerm::ToString() const {
+  switch (kind) {
+    case MTermKind::kConstant:
+      return constant.ToString();
+    case MTermKind::kApply: {
+      std::string result = function + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) result += ", ";
+        result += args[i].ToString();
+      }
+      return result + ")";
+    }
+    case MTermKind::kNeg:
+      return "-(" + children[0]->ToString() + ")";
+    case MTermKind::kNot:
+      return "!(" + children[0]->ToString() + ")";
+    case MTermKind::kIte:
+      return "(" + children[0]->ToString() + " ? " +
+             children[1]->ToString() + " : " + children[2]->ToString() + ")";
+    case MTermKind::kSum:
+    case MTermKind::kProd:
+    case MTermKind::kMin:
+    case MTermKind::kMax:
+    case MTermKind::kCount:
+    case MTermKind::kAvg:
+      return std::string(MultisetName(kind)) + " " + bound_variable + " . (" +
+             children[0]->ToString() + ")";
+    default:
+      return "(" + children[0]->ToString() + BinaryOpSymbol(kind) +
+             children[1]->ToString() + ")";
+  }
+}
+
+std::vector<std::string> MTerm::FreeVariables() const {
+  std::vector<std::string> bound;
+  std::vector<std::string> result;
+  CollectFree(*this, &bound, &result);
+  return result;
+}
+
+bool MTerm::IsQuantifierFree() const {
+  if (IsMultiset(kind)) {
+    return false;
+  }
+  for (const MTermPtr& child : children) {
+    if (!child->IsQuantifierFree()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MTermPtr MConst(Rational value) {
+  auto node = MakeNode(MTermKind::kConstant);
+  node->constant = std::move(value);
+  return node;
+}
+
+MTermPtr MApply(std::string function, std::vector<Term> args) {
+  auto node = MakeNode(MTermKind::kApply);
+  node->function = std::move(function);
+  node->args = std::move(args);
+  return node;
+}
+
+MTermPtr MAdd(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kAdd, std::move(l), std::move(r)); }
+MTermPtr MSub(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kSub, std::move(l), std::move(r)); }
+MTermPtr MMul(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kMul, std::move(l), std::move(r)); }
+MTermPtr MDiv(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kDiv, std::move(l), std::move(r)); }
+
+MTermPtr MNeg(MTermPtr operand) {
+  QREL_CHECK(operand != nullptr);
+  auto node = MakeNode(MTermKind::kNeg);
+  node->children = {std::move(operand)};
+  return node;
+}
+
+MTermPtr MEq(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kEq, std::move(l), std::move(r)); }
+MTermPtr MLess(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kLess, std::move(l), std::move(r)); }
+MTermPtr MLessEq(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kLessEq, std::move(l), std::move(r)); }
+
+MTermPtr MNot(MTermPtr operand) {
+  QREL_CHECK(operand != nullptr);
+  auto node = MakeNode(MTermKind::kNot);
+  node->children = {std::move(operand)};
+  return node;
+}
+
+MTermPtr MAnd(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kAnd, std::move(l), std::move(r)); }
+MTermPtr MOr(MTermPtr l, MTermPtr r) { return Binary(MTermKind::kOr, std::move(l), std::move(r)); }
+
+MTermPtr MIte(MTermPtr condition, MTermPtr then_term, MTermPtr else_term) {
+  QREL_CHECK(condition != nullptr);
+  QREL_CHECK(then_term != nullptr);
+  QREL_CHECK(else_term != nullptr);
+  auto node = MakeNode(MTermKind::kIte);
+  node->children = {std::move(condition), std::move(then_term),
+                    std::move(else_term)};
+  return node;
+}
+
+MTermPtr MSum(std::string v, MTermPtr body) { return Multiset(MTermKind::kSum, std::move(v), std::move(body)); }
+MTermPtr MProd(std::string v, MTermPtr body) { return Multiset(MTermKind::kProd, std::move(v), std::move(body)); }
+MTermPtr MMin(std::string v, MTermPtr body) { return Multiset(MTermKind::kMin, std::move(v), std::move(body)); }
+MTermPtr MMax(std::string v, MTermPtr body) { return Multiset(MTermKind::kMax, std::move(v), std::move(body)); }
+MTermPtr MCount(std::string v, MTermPtr body) { return Multiset(MTermKind::kCount, std::move(v), std::move(body)); }
+MTermPtr MAvg(std::string v, MTermPtr body) { return Multiset(MTermKind::kAvg, std::move(v), std::move(body)); }
+
+Status ValidateTerm(const MTermPtr& term,
+                    const FunctionalVocabulary& vocabulary) {
+  if (term->kind == MTermKind::kApply) {
+    std::optional<int> function = vocabulary.FindFunction(term->function);
+    if (!function.has_value()) {
+      return Status::InvalidArgument("unknown function '" + term->function +
+                                     "'");
+    }
+    if (vocabulary.function(*function).arity !=
+        static_cast<int>(term->args.size())) {
+      return Status::InvalidArgument("arity mismatch for function '" +
+                                     term->function + "'");
+    }
+    return Status::Ok();
+  }
+  for (const MTermPtr& child : term->children) {
+    QREL_RETURN_IF_ERROR(ValidateTerm(child, vocabulary));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+using Environment = std::unordered_map<std::string, Element>;
+
+Rational Eval(const MTerm& term, const FunctionalOracle& oracle,
+              Environment* env) {
+  switch (term.kind) {
+    case MTermKind::kConstant:
+      return term.constant;
+    case MTermKind::kApply: {
+      std::optional<int> function =
+          oracle.vocabulary().FindFunction(term.function);
+      QREL_CHECK_MSG(function.has_value(), "unvalidated term");
+      Tuple args;
+      args.reserve(term.args.size());
+      for (const Term& arg : term.args) {
+        if (arg.is_variable()) {
+          auto it = env->find(arg.variable);
+          QREL_CHECK_MSG(it != env->end(), "unbound variable in term");
+          args.push_back(it->second);
+        } else {
+          QREL_CHECK_GE(arg.constant, 0);
+          QREL_CHECK_LT(arg.constant, oracle.universe_size());
+          args.push_back(arg.constant);
+        }
+      }
+      return oracle.Value(*function, args);
+    }
+    case MTermKind::kAdd:
+      return Eval(*term.children[0], oracle, env) +
+             Eval(*term.children[1], oracle, env);
+    case MTermKind::kSub:
+      return Eval(*term.children[0], oracle, env) -
+             Eval(*term.children[1], oracle, env);
+    case MTermKind::kMul:
+      return Eval(*term.children[0], oracle, env) *
+             Eval(*term.children[1], oracle, env);
+    case MTermKind::kDiv: {
+      Rational denominator = Eval(*term.children[1], oracle, env);
+      if (denominator.IsZero()) {
+        return Rational::Zero();  // documented total-function convention
+      }
+      return Eval(*term.children[0], oracle, env) / denominator;
+    }
+    case MTermKind::kNeg:
+      return -Eval(*term.children[0], oracle, env);
+    case MTermKind::kEq:
+      return Eval(*term.children[0], oracle, env) ==
+                     Eval(*term.children[1], oracle, env)
+                 ? Rational(1)
+                 : Rational(0);
+    case MTermKind::kLess:
+      return Eval(*term.children[0], oracle, env) <
+                     Eval(*term.children[1], oracle, env)
+                 ? Rational(1)
+                 : Rational(0);
+    case MTermKind::kLessEq:
+      return Eval(*term.children[0], oracle, env) <=
+                     Eval(*term.children[1], oracle, env)
+                 ? Rational(1)
+                 : Rational(0);
+    case MTermKind::kNot:
+      return Eval(*term.children[0], oracle, env).IsZero() ? Rational(1)
+                                                           : Rational(0);
+    case MTermKind::kAnd:
+      return (!Eval(*term.children[0], oracle, env).IsZero() &&
+              !Eval(*term.children[1], oracle, env).IsZero())
+                 ? Rational(1)
+                 : Rational(0);
+    case MTermKind::kOr:
+      return (!Eval(*term.children[0], oracle, env).IsZero() ||
+              !Eval(*term.children[1], oracle, env).IsZero())
+                 ? Rational(1)
+                 : Rational(0);
+    case MTermKind::kIte:
+      return Eval(*term.children[0], oracle, env).IsZero()
+                 ? Eval(*term.children[2], oracle, env)
+                 : Eval(*term.children[1], oracle, env);
+    case MTermKind::kSum:
+    case MTermKind::kProd:
+    case MTermKind::kMin:
+    case MTermKind::kMax:
+    case MTermKind::kCount:
+    case MTermKind::kAvg: {
+      // Shadow any outer binding of the variable for the loop's duration.
+      std::optional<Element> shadowed;
+      auto it = env->find(term.bound_variable);
+      if (it != env->end()) {
+        shadowed = it->second;
+      }
+      Rational accumulator;
+      bool first = true;
+      for (Element value = 0; value < oracle.universe_size(); ++value) {
+        (*env)[term.bound_variable] = value;
+        Rational body = Eval(*term.children[0], oracle, env);
+        switch (term.kind) {
+          case MTermKind::kSum:
+          case MTermKind::kAvg:
+            accumulator += body;
+            break;
+          case MTermKind::kProd:
+            accumulator = first ? body : accumulator * body;
+            break;
+          case MTermKind::kMin:
+            if (first || body < accumulator) accumulator = body;
+            break;
+          case MTermKind::kMax:
+            if (first || body > accumulator) accumulator = body;
+            break;
+          case MTermKind::kCount:
+            if (!body.IsZero()) accumulator += Rational(1);
+            break;
+          default:
+            break;
+        }
+        first = false;
+      }
+      if (shadowed.has_value()) {
+        (*env)[term.bound_variable] = *shadowed;
+      } else {
+        env->erase(term.bound_variable);
+      }
+      if (term.kind == MTermKind::kAvg) {
+        accumulator = accumulator / Rational(oracle.universe_size());
+      }
+      return accumulator;
+    }
+  }
+  QREL_CHECK_MSG(false, "corrupt term kind");
+  return Rational();
+}
+
+}  // namespace
+
+Rational EvalTerm(const MTermPtr& term, const FunctionalOracle& oracle,
+                  const Tuple& assignment) {
+  std::vector<std::string> free_variables = term->FreeVariables();
+  QREL_CHECK_EQ(assignment.size(), free_variables.size());
+  Environment env;
+  for (size_t i = 0; i < free_variables.size(); ++i) {
+    QREL_CHECK_GE(assignment[i], 0);
+    QREL_CHECK_LT(assignment[i], oracle.universe_size());
+    env.emplace(free_variables[i], assignment[i]);
+  }
+  return Eval(*term, oracle, &env);
+}
+
+namespace {
+
+void CollectEntriesImpl(const MTerm& term,
+                        const FunctionalVocabulary& vocabulary,
+                        const Environment& env,
+                        std::vector<FunctionEntry>* entries) {
+  QREL_CHECK_MSG(!IsMultiset(term.kind),
+                 "CollectEntries requires a quantifier-free term");
+  if (term.kind == MTermKind::kApply) {
+    std::optional<int> function = vocabulary.FindFunction(term.function);
+    QREL_CHECK(function.has_value());
+    FunctionEntry entry;
+    entry.relation = *function;
+    for (const Term& arg : term.args) {
+      if (arg.is_variable()) {
+        auto it = env.find(arg.variable);
+        QREL_CHECK_MSG(it != env.end(), "unbound variable in term");
+        entry.args.push_back(it->second);
+      } else {
+        entry.args.push_back(arg.constant);
+      }
+    }
+    for (const FunctionEntry& existing : *entries) {
+      if (existing == entry) {
+        return;
+      }
+    }
+    entries->push_back(std::move(entry));
+    return;
+  }
+  for (const MTermPtr& child : term.children) {
+    CollectEntriesImpl(*child, vocabulary, env, entries);
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionEntry> CollectEntries(
+    const MTermPtr& term, const FunctionalVocabulary& vocabulary,
+    const Tuple& assignment,
+    const std::vector<std::string>& free_variables) {
+  QREL_CHECK_EQ(assignment.size(), free_variables.size());
+  Environment env;
+  for (size_t i = 0; i < free_variables.size(); ++i) {
+    env.emplace(free_variables[i], assignment[i]);
+  }
+  std::vector<FunctionEntry> entries;
+  CollectEntriesImpl(*term, vocabulary, env, &entries);
+  return entries;
+}
+
+}  // namespace qrel

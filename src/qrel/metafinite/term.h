@@ -1,0 +1,110 @@
+// The metafinite term language of Section 6.
+//
+// Queries on functional databases are terms built from rational constants,
+// function applications f(x̄) (arguments are first-order terms: variables
+// over A or element constants), the field operations of ℚ, characteristic
+// functions for comparisons (ℜ contains 0, 1 and the Boolean operations),
+// and multiset operations Σ, Π, min, max, count, avg that bind a
+// first-order variable ranging over A — the paper's generalization of
+// quantifiers. Quantifier-free terms are exactly the multiset-free ones
+// (Theorem 6.2 (i) applies to them).
+
+#ifndef QREL_METAFINITE_TERM_H_
+#define QREL_METAFINITE_TERM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/metafinite/functional_database.h"
+#include "qrel/util/rational.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+enum class MTermKind {
+  kConstant,  // a rational constant
+  kApply,     // f(t1, ..., tk)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,   // division by zero evaluates to 0 (documented convention)
+  kNeg,
+  kEq,      // characteristic: 1 if equal, else 0
+  kLess,    // 1 if <, else 0
+  kLessEq,  // 1 if <=, else 0
+  kNot,     // 1 if operand == 0, else 0
+  kAnd,     // 1 if both operands != 0
+  kOr,      // 1 if some operand != 0
+  kIte,     // children[0] != 0 ? children[1] : children[2]
+  kSum,     // Σ_y t
+  kProd,    // Π_y t
+  kMin,     // min_y t
+  kMax,     // max_y t
+  kCount,   // |{ y : t ≠ 0 }|
+  kAvg,     // (Σ_y t) / |A|
+};
+
+class MTerm;
+using MTermPtr = std::shared_ptr<const MTerm>;
+
+class MTerm {
+ public:
+  MTermKind kind = MTermKind::kConstant;
+  Rational constant;            // kConstant
+  std::string function;         // kApply
+  std::vector<Term> args;       // kApply: first-order argument terms
+  std::vector<MTermPtr> children;
+  std::string bound_variable;   // multiset operations
+
+  std::string ToString() const;
+  // Free first-order variables in first-appearance order.
+  std::vector<std::string> FreeVariables() const;
+  // No multiset operations anywhere.
+  bool IsQuantifierFree() const;
+};
+
+// Factories.
+MTermPtr MConst(Rational value);
+MTermPtr MApply(std::string function, std::vector<Term> args);
+MTermPtr MAdd(MTermPtr left, MTermPtr right);
+MTermPtr MSub(MTermPtr left, MTermPtr right);
+MTermPtr MMul(MTermPtr left, MTermPtr right);
+MTermPtr MDiv(MTermPtr left, MTermPtr right);
+MTermPtr MNeg(MTermPtr operand);
+MTermPtr MEq(MTermPtr left, MTermPtr right);
+MTermPtr MLess(MTermPtr left, MTermPtr right);
+MTermPtr MLessEq(MTermPtr left, MTermPtr right);
+MTermPtr MNot(MTermPtr operand);
+MTermPtr MAnd(MTermPtr left, MTermPtr right);
+MTermPtr MOr(MTermPtr left, MTermPtr right);
+MTermPtr MIte(MTermPtr condition, MTermPtr then_term, MTermPtr else_term);
+MTermPtr MSum(std::string variable, MTermPtr body);
+MTermPtr MProd(std::string variable, MTermPtr body);
+MTermPtr MMin(std::string variable, MTermPtr body);
+MTermPtr MMax(std::string variable, MTermPtr body);
+MTermPtr MCount(std::string variable, MTermPtr body);
+MTermPtr MAvg(std::string variable, MTermPtr body);
+
+// Checks function symbols/arities against the vocabulary and that argument
+// constants could be range-checked at evaluation time.
+Status ValidateTerm(const MTermPtr& term,
+                    const FunctionalVocabulary& vocabulary);
+
+// Evaluates `term` on `oracle` with `assignment` supplying the free
+// variables in FreeVariables() order. The term must have been validated;
+// structural errors abort.
+Rational EvalTerm(const MTermPtr& term, const FunctionalOracle& oracle,
+                  const Tuple& assignment);
+
+// The function entries f(ā) read by the quantifier-free `term` under
+// `assignment` — the local support used by the Theorem 6.2 (i) polynomial
+// algorithm. Aborts if the term has multiset operations.
+std::vector<FunctionEntry> CollectEntries(
+    const MTermPtr& term, const FunctionalVocabulary& vocabulary,
+    const Tuple& assignment, const std::vector<std::string>& free_variables);
+
+}  // namespace qrel
+
+#endif  // QREL_METAFINITE_TERM_H_

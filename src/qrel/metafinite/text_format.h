@@ -1,0 +1,37 @@
+// Text serialization of unreliable functional databases (.mfdb).
+//
+// Line-oriented, '#' comments, blank lines ignored:
+//
+//   universe 6
+//   function salary 1
+//   function dept 1
+//   value salary 0 = 3200          # observed value (default 0)
+//   value dept 0 = 1
+//   dist salary 0 : 3200 @ 9/10, 8200 @ 1/10   # actual-value distribution
+//
+// Values and probabilities are exact rationals ("p/q", integers or
+// decimals). A `dist` line makes the entry's actual value unreliable; its
+// probabilities must sum to exactly 1.
+
+#ifndef QREL_METAFINITE_TEXT_FORMAT_H_
+#define QREL_METAFINITE_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "qrel/metafinite/functional_database.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+StatusOr<UnreliableFunctionalDatabase> ParseMfdb(std::string_view text);
+
+StatusOr<UnreliableFunctionalDatabase> LoadMfdbFile(const std::string& path);
+
+// Renders `database` in the .mfdb format (parseable by ParseMfdb). Only
+// explicitly set observed values are emitted (unset entries are 0).
+std::string FormatMfdb(const UnreliableFunctionalDatabase& database);
+
+}  // namespace qrel
+
+#endif  // QREL_METAFINITE_TEXT_FORMAT_H_

@@ -1,0 +1,55 @@
+#include "qrel/prob/error_model.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+int ErrorModel::SetError(const GroundAtom& atom, Rational error) {
+  QREL_CHECK_MSG(error.IsProbability(), "error probability outside [0, 1]");
+  int id = index_.Intern(atom);
+  if (id == static_cast<int>(errors_.size())) {
+    errors_.push_back(std::move(error));
+  } else {
+    errors_[static_cast<size_t>(id)] = std::move(error);
+  }
+  return id;
+}
+
+const Rational& ErrorModel::error(int entry_id) const {
+  QREL_CHECK_GE(entry_id, 0);
+  QREL_CHECK_LT(entry_id, entry_count());
+  return errors_[static_cast<size_t>(entry_id)];
+}
+
+Rational ErrorModel::ErrorOf(const GroundAtom& atom) const {
+  std::optional<int> id = index_.Find(atom);
+  if (!id.has_value()) {
+    return Rational::Zero();
+  }
+  return errors_[static_cast<size_t>(*id)];
+}
+
+std::vector<int> ErrorModel::UncertainEntries() const {
+  std::vector<int> result;
+  for (int id = 0; id < entry_count(); ++id) {
+    const Rational& mu = errors_[static_cast<size_t>(id)];
+    if (!mu.IsZero() && !mu.IsOne()) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+std::vector<int> ErrorModel::CertainFlipEntries() const {
+  std::vector<int> result;
+  for (int id = 0; id < entry_count(); ++id) {
+    if (errors_[static_cast<size_t>(id)].IsOne()) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace qrel

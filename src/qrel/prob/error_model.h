@@ -1,0 +1,51 @@
+// The error probability function μ of Definition 2.1.
+//
+// μ assigns to every atomic statement R(ā) about the observed database the
+// probability that its truth value is wrong (the events Wrong(R(ā)) are
+// independent). Atoms not mentioned in the model have error probability 0.
+// Only the mentioned atoms ("entries") are stored; entries are indexed
+// densely in insertion order and those ids double as the propositional
+// variable ids of grounded queries.
+
+#ifndef QREL_PROB_ERROR_MODEL_H_
+#define QREL_PROB_ERROR_MODEL_H_
+
+#include <vector>
+
+#include "qrel/relational/atom_table.h"
+#include "qrel/util/rational.h"
+
+namespace qrel {
+
+class ErrorModel {
+ public:
+  ErrorModel() = default;
+
+  // Sets μ(atom) = `error`, which must lie in [0, 1]. Returns the entry id.
+  // Overwrites any previous value for the same atom.
+  int SetError(const GroundAtom& atom, Rational error);
+
+  int entry_count() const { return index_.size(); }
+  const GroundAtom& atom(int entry_id) const { return index_.atom(entry_id); }
+  const Rational& error(int entry_id) const;
+  std::optional<int> Find(const GroundAtom& atom) const {
+    return index_.Find(atom);
+  }
+
+  // μ(atom): the stored value, or 0 for unmentioned atoms.
+  Rational ErrorOf(const GroundAtom& atom) const;
+
+  // Entry ids with 0 < μ < 1: the dimensions of the possible-world space.
+  std::vector<int> UncertainEntries() const;
+  // Entry ids with μ = 1: atoms that are certainly wrong in the observed
+  // database (deterministic flips).
+  std::vector<int> CertainFlipEntries() const;
+
+ private:
+  AtomIndex index_;
+  std::vector<Rational> errors_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_PROB_ERROR_MODEL_H_

@@ -1,0 +1,39 @@
+#include "qrel/prob/world.h"
+
+#include <bit>
+
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+int World::FlipCount() const {
+  int count = 0;
+  for (uint64_t word : bits_) {
+    count += std::popcount(word);
+  }
+  return count;
+}
+
+WorldView::WorldView(const UnreliableDatabase& database, const World& world)
+    : database_(database), world_(world) {
+  QREL_CHECK_EQ(world.entry_count(), database.model().entry_count());
+}
+
+const Vocabulary& WorldView::vocabulary() const {
+  return database_.vocabulary();
+}
+
+int WorldView::universe_size() const { return database_.universe_size(); }
+
+bool WorldView::AtomTrue(int relation_id, const Tuple& tuple) const {
+  bool observed = database_.observed().AtomTrue(relation_id, tuple);
+  std::optional<int> entry =
+      database_.model().Find(GroundAtom{relation_id, tuple});
+  if (entry.has_value() && world_.Flipped(*entry)) {
+    return !observed;
+  }
+  return observed;
+}
+
+}  // namespace qrel

@@ -1,0 +1,132 @@
+#include "qrel/propositional/exact.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+// Terms represented as (variable, positive) lists, shrinking as variables
+// get decided. An empty term list means false; a list containing an empty
+// term means true.
+using Term = std::vector<PropLiteral>;
+
+// Conditions `terms` on variable `variable` = `value`: terms contradicted
+// by the choice disappear, satisfied literals are removed. Returns true if
+// some term became empty (formula satisfied).
+bool Condition(const std::vector<Term>& terms, int variable, bool value,
+               std::vector<Term>* out) {
+  out->clear();
+  for (const Term& term : terms) {
+    Term reduced;
+    reduced.reserve(term.size());
+    bool alive = true;
+    for (const PropLiteral& literal : term) {
+      if (literal.variable == variable) {
+        if (literal.positive != value) {
+          alive = false;
+          break;
+        }
+        continue;  // literal satisfied
+      }
+      reduced.push_back(literal);
+    }
+    if (!alive) {
+      continue;
+    }
+    if (reduced.empty()) {
+      return true;
+    }
+    out->push_back(std::move(reduced));
+  }
+  return false;
+}
+
+Rational Shannon(const std::vector<Term>& terms,
+                 const std::vector<Rational>& prob_true) {
+  if (terms.empty()) {
+    return Rational::Zero();
+  }
+  // Branch on the first variable of the first term; it appears in at least
+  // one term, so both branches strictly simplify.
+  int variable = terms[0][0].variable;
+  const Rational& p = prob_true[static_cast<size_t>(variable)];
+
+  std::vector<Term> branch;
+  Rational result;
+  if (!p.IsZero()) {
+    if (Condition(terms, variable, true, &branch)) {
+      result += p;
+    } else {
+      result += p * Shannon(branch, prob_true);
+    }
+  }
+  Rational q = p.Complement();
+  if (!q.IsZero()) {
+    if (Condition(terms, variable, false, &branch)) {
+      result += q;
+    } else {
+      result += q * Shannon(branch, prob_true);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Rational ShannonDnfProbability(const Dnf& dnf,
+                               const std::vector<Rational>& prob_true) {
+  QREL_CHECK_EQ(static_cast<int>(prob_true.size()), dnf.variable_count());
+  std::vector<Term> terms;
+  terms.reserve(static_cast<size_t>(dnf.term_count()));
+  for (int i = 0; i < dnf.term_count(); ++i) {
+    if (dnf.term(i).empty()) {
+      return Rational::One();  // the constant-true term
+    }
+    terms.push_back(dnf.term(i));
+  }
+  return Shannon(terms, prob_true);
+}
+
+Rational BruteForceDnfProbability(const Dnf& dnf,
+                                  const std::vector<Rational>& prob_true) {
+  QREL_CHECK_EQ(static_cast<int>(prob_true.size()), dnf.variable_count());
+  QREL_CHECK_LE(dnf.variable_count(), 25);
+  size_t n = static_cast<size_t>(dnf.variable_count());
+  Rational total;
+  PropAssignment assignment(n, 0);
+  for (uint64_t code = 0; code < (uint64_t{1} << n); ++code) {
+    for (size_t i = 0; i < n; ++i) {
+      assignment[i] = (code >> i) & 1u;
+    }
+    if (!dnf.Eval(assignment)) {
+      continue;
+    }
+    Rational probability = Rational::One();
+    for (size_t i = 0; i < n; ++i) {
+      probability *=
+          assignment[i] ? prob_true[i] : prob_true[i].Complement();
+      if (probability.IsZero()) {
+        break;
+      }
+    }
+    total += probability;
+  }
+  return total;
+}
+
+BigInt CountDnfModels(const Dnf& dnf) {
+  std::vector<Rational> half(static_cast<size_t>(dnf.variable_count()),
+                             Rational::Half());
+  Rational probability = ShannonDnfProbability(dnf, half);
+  Rational count =
+      probability *
+      Rational(BigInt::TwoPow(static_cast<uint32_t>(dnf.variable_count())),
+               BigInt(1));
+  QREL_CHECK(count.denominator().IsOne());
+  return count.numerator();
+}
+
+}  // namespace qrel

@@ -1,0 +1,35 @@
+// Exact baselines for DNF probability and model counting.
+//
+// These are the oracles the randomized algorithms are validated and
+// benchmarked against. ShannonDnfProbability decomposes on variables
+// (exponential worst case but with heavy pruning); BruteForceDnfProbability
+// enumerates all assignments (an independent second opinion used in tests).
+
+#ifndef QREL_PROPOSITIONAL_EXACT_H_
+#define QREL_PROPOSITIONAL_EXACT_H_
+
+#include <vector>
+
+#include "qrel/propositional/dnf.h"
+#include "qrel/util/bigint.h"
+#include "qrel/util/rational.h"
+
+namespace qrel {
+
+// Exact Pr[φ] under independent per-variable probabilities, by Shannon
+// expansion with formula simplification.
+Rational ShannonDnfProbability(const Dnf& dnf,
+                               const std::vector<Rational>& prob_true);
+
+// Exact Pr[φ] by enumerating all 2^variable_count assignments. Aborts if
+// variable_count > 25 (use ShannonDnfProbability instead).
+Rational BruteForceDnfProbability(const Dnf& dnf,
+                                  const std::vector<Rational>& prob_true);
+
+// Exact number of satisfying assignments (#DNF), via Shannon expansion
+// with uniform probabilities: count = Pr[φ] · 2^variable_count.
+BigInt CountDnfModels(const Dnf& dnf);
+
+}  // namespace qrel
+
+#endif  // QREL_PROPOSITIONAL_EXACT_H_

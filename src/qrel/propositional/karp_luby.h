@@ -1,0 +1,69 @@
+// The Karp-Luby FPTRAS for DNF (Theorem 5.2) in its weighted form: a fully
+// polynomial-time randomized approximation scheme for the probability of a
+// DNF formula under independent per-variable probabilities, and the
+// classical unweighted #DNF counting instance as a special case.
+//
+// Importance sampling over the union of the terms' satisfying sets:
+//
+//   S = Σ_i Pr[T_i]                     (total term weight)
+//   sample i with probability Pr[T_i]/S, then an assignment w ~ (· | T_i);
+//   canonical estimator  X = 1{ i == min{ j : w ⊨ T_j } }
+//   coverage estimator   X = 1 / |{ j : w ⊨ T_j }|
+//
+// Both satisfy E[S·X] = Pr[φ] and S·X ≤ S ≤ m·Pr[φ], so by the
+// Karp-Luby-Madras zero-one estimator theorem t = ⌈4 m ln(2/δ) / ε²⌉
+// samples give relative error ε with probability ≥ 1-δ. The coverage
+// estimator has no larger variance and is the default.
+
+#ifndef QREL_PROPOSITIONAL_KARP_LUBY_H_
+#define QREL_PROPOSITIONAL_KARP_LUBY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qrel/propositional/dnf.h"
+#include "qrel/util/bigint.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct KarpLubyOptions {
+  // Target relative error and failure probability; both must be in (0, 1).
+  double epsilon = 0.05;
+  double delta = 0.05;
+  uint64_t seed = 1;
+
+  enum class Estimator { kCoverage, kCanonical };
+  Estimator estimator = Estimator::kCoverage;
+
+  // Overrides the Karp-Luby-Madras sample count when set (used by the
+  // benchmark harness for equal-budget comparisons).
+  std::optional<uint64_t> fixed_samples;
+};
+
+struct KarpLubyResult {
+  // The estimate of Pr[φ] (or of the model count for KarpLubyCount).
+  double estimate = 0.0;
+  uint64_t samples = 0;
+  // S = Σ_i Pr[T_i], the importance-sampling normalizer.
+  double total_term_weight = 0.0;
+};
+
+// Estimates Pr[φ] for `dnf` under `prob_true`. Exact corner cases (no
+// terms, an empty term, zero total weight) return without sampling.
+StatusOr<KarpLubyResult> KarpLubyProbability(
+    const Dnf& dnf, const std::vector<Rational>& prob_true,
+    const KarpLubyOptions& options);
+
+// Estimates the number of satisfying assignments of `dnf` (#DNF): the
+// uniform-probability instance scaled by 2^variable_count.
+StatusOr<KarpLubyResult> KarpLubyCount(const Dnf& dnf,
+                                       const KarpLubyOptions& options);
+
+// The Karp-Luby-Madras sample bound t(m, ε, δ) = ⌈4 m ln(2/δ) / ε²⌉.
+uint64_t KarpLubySampleBound(int term_count, double epsilon, double delta);
+
+}  // namespace qrel
+
+#endif  // QREL_PROPOSITIONAL_KARP_LUBY_H_

@@ -1,0 +1,184 @@
+#include "qrel/propositional/kdnf_reduction.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+// DNF of "val(Ȳ) < bound" over ℓ bits starting at `offset` (bit 0 least
+// significant), following the construction in the proof of Theorem 5.3:
+// one term per set bit i of `bound`, forcing Y_i = 0 and Y_j = 0 for every
+// higher position j where `bound` has a zero bit.
+std::vector<std::vector<PropLiteral>> LessThanDnf(const BigInt& bound,
+                                                  int bits, int offset) {
+  std::vector<std::vector<PropLiteral>> result;
+  for (int i = 0; i < bits; ++i) {
+    if (!bound.TestBit(static_cast<size_t>(i))) {
+      continue;
+    }
+    std::vector<PropLiteral> term;
+    term.push_back({offset + i, false});
+    for (int j = i + 1; j < bits; ++j) {
+      if (!bound.TestBit(static_cast<size_t>(j))) {
+        term.push_back({offset + j, false});
+      }
+    }
+    result.push_back(std::move(term));
+  }
+  return result;
+}
+
+// DNF of "val(Ȳ) ≥ bound": the all-ones-of-bound term (equality or above)
+// plus, for every zero bit i of `bound`, a term forcing Y_i = 1 and Y_j = 1
+// for every higher position j where `bound` has a one bit.
+std::vector<std::vector<PropLiteral>> GreaterEqDnf(const BigInt& bound,
+                                                   int bits, int offset) {
+  std::vector<std::vector<PropLiteral>> result;
+  std::vector<PropLiteral> ones;
+  for (int j = 0; j < bits; ++j) {
+    if (bound.TestBit(static_cast<size_t>(j))) {
+      ones.push_back({offset + j, true});
+    }
+  }
+  result.push_back(ones);
+  for (int i = 0; i < bits; ++i) {
+    if (bound.TestBit(static_cast<size_t>(i))) {
+      continue;
+    }
+    std::vector<PropLiteral> term;
+    term.push_back({offset + i, true});
+    for (int j = i + 1; j < bits; ++j) {
+      if (bound.TestBit(static_cast<size_t>(j))) {
+        term.push_back({offset + j, true});
+      }
+    }
+    result.push_back(std::move(term));
+  }
+  return result;
+}
+
+// Whether `value` is a power of two (value must be positive).
+bool IsPowerOfTwo(const BigInt& value) {
+  return value ==
+         BigInt::TwoPow(static_cast<uint32_t>(value.BitLength() - 1));
+}
+
+}  // namespace
+
+Rational KdnfReduction::RecoverProbability(const BigInt& model_count) const {
+  BigInt illegal = total_assignments - legal_assignments;
+  return Rational(model_count - illegal, legal_assignments);
+}
+
+double KdnfReduction::RecoverProbability(double model_count) const {
+  double illegal = (total_assignments - legal_assignments).ToDouble();
+  return (model_count - illegal) / legal_assignments.ToDouble();
+}
+
+StatusOr<KdnfReduction> ReduceProbKdnfToSharpDnf(
+    const Dnf& dnf, const std::vector<Rational>& prob_true,
+    size_t max_terms) {
+  if (static_cast<int>(prob_true.size()) != dnf.variable_count()) {
+    return Status::InvalidArgument(
+        "probability vector size does not match variable count");
+  }
+  for (const Rational& p : prob_true) {
+    if (!p.IsProbability()) {
+      return Status::InvalidArgument("variable probability outside [0, 1]");
+    }
+  }
+
+  KdnfReduction reduction;
+  int variable_count = dnf.variable_count();
+  reduction.bit_offset.resize(static_cast<size_t>(variable_count), 0);
+  reduction.bit_width.resize(static_cast<size_t>(variable_count), 0);
+  reduction.legal_assignments = BigInt(1);
+
+  int bits = 0;
+  for (int v = 0; v < variable_count; ++v) {
+    const BigInt& q = prob_true[static_cast<size_t>(v)].denominator();
+    // Dyadic denominators q = 2^ℓ get exactly ℓ bits (every assignment
+    // legal, the paper's easy case, including ℓ = 0 for certain variables);
+    // otherwise len(q) bits with the val ≥ q patterns declared illegal.
+    int width = static_cast<int>(q.BitLength()) - (IsPowerOfTwo(q) ? 1 : 0);
+    reduction.bit_offset[static_cast<size_t>(v)] = bits;
+    reduction.bit_width[static_cast<size_t>(v)] = width;
+    bits += width;
+    reduction.legal_assignments = reduction.legal_assignments * q;
+  }
+  reduction.bit_count = bits;
+  reduction.total_assignments = BigInt::TwoPow(static_cast<uint32_t>(bits));
+  reduction.phi_pp = Dnf(bits);
+
+  // φ': distribute each original term across the per-literal comparison
+  // DNFs. Distinct variables own disjoint bit ranges, so merged terms are
+  // always consistent.
+  for (int t = 0; t < dnf.term_count(); ++t) {
+    std::vector<std::vector<PropLiteral>> partial = {{}};
+    for (const PropLiteral& literal : dnf.term(t)) {
+      const Rational& p = prob_true[static_cast<size_t>(literal.variable)];
+      int offset = reduction.bit_offset[static_cast<size_t>(literal.variable)];
+      int width = reduction.bit_width[static_cast<size_t>(literal.variable)];
+      std::vector<std::vector<PropLiteral>> replacement;
+      if (width == 0) {
+        // A certain variable (ν ∈ {0, 1} with denominator 1, or 2^0): the
+        // literal is simply true or false.
+        bool literal_true = literal.positive == p.numerator().IsOne();
+        if (!literal_true) {
+          replacement.clear();
+        } else {
+          replacement.push_back({});
+        }
+      } else {
+        replacement = literal.positive
+                          ? LessThanDnf(p.numerator(), width, offset)
+                          : GreaterEqDnf(p.numerator(), width, offset);
+      }
+      std::vector<std::vector<PropLiteral>> next;
+      for (const std::vector<PropLiteral>& left : partial) {
+        for (const std::vector<PropLiteral>& right : replacement) {
+          std::vector<PropLiteral> merged = left;
+          merged.insert(merged.end(), right.begin(), right.end());
+          next.push_back(std::move(merged));
+          if (next.size() > max_terms) {
+            return Status::OutOfRange("kDNF reduction exceeds term limit");
+          }
+        }
+      }
+      partial = std::move(next);
+      if (partial.empty()) {
+        break;  // a false literal replacement: the whole term vanishes
+      }
+    }
+    for (std::vector<PropLiteral>& term : partial) {
+      reduction.phi_pp.AddTerm(std::move(term));
+      if (static_cast<size_t>(reduction.phi_pp.term_count()) > max_terms) {
+        return Status::OutOfRange("kDNF reduction exceeds term limit");
+      }
+    }
+  }
+
+  // Absorb every illegal assignment: ⋁_X "val(Ȳ_X) ≥ q_X". Dyadic
+  // variables have no illegal patterns and are skipped.
+  for (int v = 0; v < variable_count; ++v) {
+    const BigInt& q = prob_true[static_cast<size_t>(v)].denominator();
+    if (IsPowerOfTwo(q)) {
+      continue;
+    }
+    int offset = reduction.bit_offset[static_cast<size_t>(v)];
+    int width = reduction.bit_width[static_cast<size_t>(v)];
+    for (std::vector<PropLiteral>& term : GreaterEqDnf(q, width, offset)) {
+      reduction.phi_pp.AddTerm(std::move(term));
+      if (static_cast<size_t>(reduction.phi_pp.term_count()) > max_terms) {
+        return Status::OutOfRange("kDNF reduction exceeds term limit");
+      }
+    }
+  }
+
+  return reduction;
+}
+
+}  // namespace qrel

@@ -1,0 +1,60 @@
+// The Theorem 5.3 reduction: Prob-kDNF → #DNF.
+//
+// Given a kDNF formula φ with rational probabilities ν(X) = p/q per
+// variable, build a plain DNF formula φ'' over fresh binary variables such
+// that
+//
+//   ν(φ) = (#models(φ'') − illegal) / legal,
+//
+// where each original variable X with denominator q gets ℓ = len(q) bits
+// Ȳ, the literal X is replaced by the DNF of "val(Ȳ) < p", ¬X by
+// "val(Ȳ) ≥ p", assignments with val(Ȳ) ≥ q are illegal, φ'' additionally
+// absorbs all illegal assignments (so its models = legal models of φ' +
+// all illegal assignments), legal = Π q_X, and illegal = 2^bits − legal.
+//
+// This turns any FPTRAS for #DNF (karp_luby.h) into an FPTRAS for
+// Prob-kDNF. The construction is exponential in the width k but polynomial
+// in |φ| and in the bit-length of the probabilities, exactly as the proof
+// states.
+
+#ifndef QREL_PROPOSITIONAL_KDNF_REDUCTION_H_
+#define QREL_PROPOSITIONAL_KDNF_REDUCTION_H_
+
+#include <vector>
+
+#include "qrel/propositional/dnf.h"
+#include "qrel/util/bigint.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct KdnfReduction {
+  Dnf phi_pp;                // φ'' over the fresh bit variables
+  int bit_count = 0;         // total fresh variables
+  BigInt legal_assignments;  // Π q_X
+  BigInt total_assignments;  // 2^bit_count
+
+  // Per original variable: first bit index and number of bits. Bit b of
+  // variable X is phi_pp variable bit_offset[X] + b, with b = 0 the least
+  // significant.
+  std::vector<int> bit_offset;
+  std::vector<int> bit_width;
+
+  KdnfReduction() : phi_pp(0) {}
+
+  // Recovers ν(φ) from an exact or estimated model count of φ''.
+  // ν(φ) = (count − (total − legal)) / legal.
+  Rational RecoverProbability(const BigInt& model_count) const;
+  double RecoverProbability(double model_count) const;
+};
+
+// Builds the reduction. Fails if some probability is outside [0, 1] or if
+// the distributed DNF would exceed `max_terms` (width × bit-length blowup
+// guard).
+StatusOr<KdnfReduction> ReduceProbKdnfToSharpDnf(
+    const Dnf& dnf, const std::vector<Rational>& prob_true,
+    size_t max_terms = size_t{1} << 22);
+
+}  // namespace qrel
+
+#endif  // QREL_PROPOSITIONAL_KDNF_REDUCTION_H_

@@ -1,0 +1,34 @@
+#include "qrel/propositional/naive_mc.h"
+
+namespace qrel {
+
+StatusOr<NaiveMcResult> NaiveMcProbability(
+    const Dnf& dnf, const std::vector<Rational>& prob_true, uint64_t samples,
+    uint64_t seed) {
+  if (static_cast<int>(prob_true.size()) != dnf.variable_count()) {
+    return Status::InvalidArgument(
+        "probability vector size does not match variable count");
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("sample count must be positive");
+  }
+  for (const Rational& p : prob_true) {
+    if (!p.IsProbability()) {
+      return Status::InvalidArgument("variable probability outside [0, 1]");
+    }
+  }
+  Rng rng(seed);
+  NaiveMcResult result;
+  result.samples = samples;
+  for (uint64_t s = 0; s < samples; ++s) {
+    PropAssignment assignment = SampleAssignment(prob_true, &rng);
+    if (dnf.Eval(assignment)) {
+      ++result.hits;
+    }
+  }
+  result.estimate =
+      static_cast<double>(result.hits) / static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace qrel

@@ -1,0 +1,33 @@
+// Naive Monte Carlo estimation of DNF probability: sample assignments from
+// the product distribution and report the hit fraction.
+//
+// This is the strawman the Karp-Luby construction improves on — the
+// absolute error is fine, but the *relative* error at fixed sample budget
+// diverges as Pr[φ] → 0 (experiment E4). It doubles as the generic
+// estimator for query probabilities when no DNF structure is available.
+
+#ifndef QREL_PROPOSITIONAL_NAIVE_MC_H_
+#define QREL_PROPOSITIONAL_NAIVE_MC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qrel/propositional/dnf.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct NaiveMcResult {
+  double estimate = 0.0;
+  uint64_t samples = 0;
+  uint64_t hits = 0;
+};
+
+// Estimates Pr[φ] with `samples` independent assignments (must be > 0).
+StatusOr<NaiveMcResult> NaiveMcProbability(
+    const Dnf& dnf, const std::vector<Rational>& prob_true, uint64_t samples,
+    uint64_t seed);
+
+}  // namespace qrel
+
+#endif  // QREL_PROPOSITIONAL_NAIVE_MC_H_

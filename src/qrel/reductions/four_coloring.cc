@@ -1,0 +1,128 @@
+#include "qrel/reductions/four_coloring.h"
+
+#include <memory>
+
+#include "qrel/logic/parser.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+Graph RandomGraph(int vertices, double edge_probability, Rng* rng) {
+  QREL_CHECK_GE(vertices, 1);
+  QREL_CHECK(rng != nullptr);
+  Graph graph;
+  graph.vertex_count = vertices;
+  for (int u = 0; u < vertices; ++u) {
+    for (int v = u + 1; v < vertices; ++v) {
+      if (rng->NextBernoulli(edge_probability)) {
+        graph.edges.emplace_back(u, v);
+      }
+    }
+  }
+  return graph;
+}
+
+Graph CompleteGraph(int vertices) {
+  Graph graph;
+  graph.vertex_count = vertices;
+  for (int u = 0; u < vertices; ++u) {
+    for (int v = u + 1; v < vertices; ++v) {
+      graph.edges.emplace_back(u, v);
+    }
+  }
+  return graph;
+}
+
+Graph CycleGraph(int vertices) {
+  QREL_CHECK_GE(vertices, 3);
+  Graph graph;
+  graph.vertex_count = vertices;
+  for (int v = 0; v < vertices; ++v) {
+    graph.edges.emplace_back(v, (v + 1) % vertices);
+  }
+  return graph;
+}
+
+Graph SubdividedK5() {
+  Graph graph;
+  graph.vertex_count = 5;
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) {
+      int midpoint = graph.vertex_count++;
+      graph.edges.emplace_back(u, midpoint);
+      graph.edges.emplace_back(midpoint, v);
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+bool ColorBacktrack(const std::vector<std::vector<int>>& adjacency,
+                    std::vector<int>* colors, size_t vertex) {
+  if (vertex == colors->size()) {
+    return true;
+  }
+  for (int c = 0; c < 4; ++c) {
+    bool clash = false;
+    for (int neighbor : adjacency[vertex]) {
+      if (static_cast<size_t>(neighbor) < vertex &&
+          (*colors)[static_cast<size_t>(neighbor)] == c) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) {
+      continue;
+    }
+    (*colors)[vertex] = c;
+    if (ColorBacktrack(adjacency, colors, vertex + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsFourColorable(const Graph& graph) {
+  std::vector<std::vector<int>> adjacency(
+      static_cast<size_t>(graph.vertex_count));
+  for (const auto& [u, v] : graph.edges) {
+    if (u == v) {
+      return false;  // a self-loop can never be properly coloured
+    }
+    adjacency[static_cast<size_t>(u)].push_back(v);
+    adjacency[static_cast<size_t>(v)].push_back(u);
+  }
+  std::vector<int> colors(static_cast<size_t>(graph.vertex_count), -1);
+  return ColorBacktrack(adjacency, &colors, 0);
+}
+
+Lemma59Instance BuildLemma59Instance(const Graph& graph) {
+  QREL_CHECK_GE(static_cast<int>(graph.edges.size()), 1);
+  auto vocabulary = std::make_shared<Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  int r1 = vocabulary->AddRelation("R1", 1);
+  int r2 = vocabulary->AddRelation("R2", 1);
+
+  Structure observed(std::move(vocabulary), graph.vertex_count);
+  for (const auto& [u, v] : graph.edges) {
+    observed.AddFact(e, {static_cast<Element>(u), static_cast<Element>(v)});
+    observed.AddFact(e, {static_cast<Element>(v), static_cast<Element>(u)});
+  }
+  // R1 = R2 = ∅: every vertex observed with colour (0, 0).
+
+  Lemma59Instance instance{UnreliableDatabase(std::move(observed)), nullptr};
+  for (int v = 0; v < graph.vertex_count; ++v) {
+    instance.database.SetErrorProbability(
+        GroundAtom{r1, {static_cast<Element>(v)}}, Rational::Half());
+    instance.database.SetErrorProbability(
+        GroundAtom{r2, {static_cast<Element>(v)}}, Rational::Half());
+  }
+  instance.query = *ParseFormula(
+      "exists x y . E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))");
+  return instance;
+}
+
+}  // namespace qrel

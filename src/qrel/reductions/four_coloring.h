@@ -1,0 +1,60 @@
+// Graph 4-colourability and the Lemma 5.9 reduction.
+//
+// Lemma 5.9 shows the absolute reliability problem co-NP-hard for the
+// existential "non-4-colouring" query
+//
+//   ψ = ∃x ∃y ( E(x,y) ∧ (R₁x ↔ R₁y) ∧ (R₂x ↔ R₂y) )
+//
+// over the database that takes the graph's edge relation as reliable, sets
+// R₁ = R₂ = ∅ (all vertices get colour (0,0)) and gives every R_i(v) atom
+// error probability 1/2. A world is a colouring of the vertices with the
+// four colours (R₁, R₂) ∈ {0,1}²; ψ holds iff that colouring is *not*
+// proper. The observed database satisfies ψ (all vertices share a colour,
+// assuming at least one edge), so
+//
+//   G is 4-colourable  ⟺  some world falsifies ψ  ⟺  𝔇 ∉ AR_ψ.
+
+#ifndef QREL_REDUCTIONS_FOUR_COLORING_H_
+#define QREL_REDUCTIONS_FOUR_COLORING_H_
+
+#include <utility>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/rng.h"
+
+namespace qrel {
+
+// An undirected graph on vertices 0..vertex_count-1.
+struct Graph {
+  int vertex_count = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+// Erdős–Rényi G(n, p); self-loops excluded, each unordered pair included
+// independently with probability `edge_probability`.
+Graph RandomGraph(int vertices, double edge_probability, Rng* rng);
+// K_n (4-colourable iff n ≤ 4).
+Graph CompleteGraph(int vertices);
+// C_n (always 4-colourable; 2-colourable iff n even).
+Graph CycleGraph(int vertices);
+// K_5 with every edge subdivided once — 4-colourable (even bipartite-ish)
+// but with many vertices; a useful "hard yes" instance.
+Graph SubdividedK5();
+
+// Exact decision by backtracking over the 4^V colourings with pruning.
+bool IsFourColorable(const Graph& graph);
+
+struct Lemma59Instance {
+  UnreliableDatabase database;
+  FormulaPtr query;  // the fixed non-4-colouring query ψ
+};
+
+// The Lemma 5.9 reduction. The graph must have at least one edge (the
+// lemma's footnote "quietly ignoring the case E = ∅").
+Lemma59Instance BuildLemma59Instance(const Graph& graph);
+
+}  // namespace qrel
+
+#endif  // QREL_REDUCTIONS_FOUR_COLORING_H_

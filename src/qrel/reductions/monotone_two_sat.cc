@@ -1,0 +1,100 @@
+#include "qrel/reductions/monotone_two_sat.h"
+
+#include <memory>
+
+#include "qrel/logic/parser.h"
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+MonotoneTwoSat RandomMonotoneTwoSat(int variables, int clauses, Rng* rng) {
+  QREL_CHECK_GE(variables, 2);
+  QREL_CHECK_GE(clauses, 1);
+  QREL_CHECK(rng != nullptr);
+  MonotoneTwoSat formula;
+  formula.variable_count = variables;
+  formula.clauses.reserve(static_cast<size_t>(clauses));
+  for (int c = 0; c < clauses; ++c) {
+    int y = static_cast<int>(rng->NextBelow(static_cast<uint64_t>(variables)));
+    int z = static_cast<int>(
+        rng->NextBelow(static_cast<uint64_t>(variables - 1)));
+    if (z >= y) {
+      ++z;  // uniform over pairs with z != y
+    }
+    formula.clauses.emplace_back(y, z);
+  }
+  return formula;
+}
+
+BigInt CountSatisfyingAssignments(const MonotoneTwoSat& formula) {
+  QREL_CHECK_LE(formula.variable_count, 30);
+  uint64_t count = 0;
+  uint64_t assignments = uint64_t{1} << formula.variable_count;
+  for (uint64_t assignment = 0; assignment < assignments; ++assignment) {
+    bool satisfied = true;
+    for (const auto& [y, z] : formula.clauses) {
+      if (((assignment >> y) & 1u) == 0 && ((assignment >> z) & 1u) == 0) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) {
+      ++count;
+    }
+  }
+  return BigInt::FromUint64(count);
+}
+
+Prop32Instance BuildProp32Instance(const MonotoneTwoSat& formula) {
+  QREL_CHECK_GE(formula.variable_count, 1);
+  QREL_CHECK_GE(static_cast<int>(formula.clauses.size()), 1);
+
+  int clause_count = static_cast<int>(formula.clauses.size());
+  auto vocabulary = std::make_shared<Vocabulary>();
+  int l = vocabulary->AddRelation("L", 2);
+  int r = vocabulary->AddRelation("R", 2);
+  int s = vocabulary->AddRelation("S", 1);
+
+  // Universe: clauses 0..c-1, then variables c..c+m-1.
+  Structure observed(std::move(vocabulary),
+                     clause_count + formula.variable_count);
+  for (int c = 0; c < clause_count; ++c) {
+    Element left = static_cast<Element>(clause_count + formula.clauses[c].first);
+    Element right =
+        static_cast<Element>(clause_count + formula.clauses[c].second);
+    observed.AddFact(l, {static_cast<Element>(c), left});
+    observed.AddFact(r, {static_cast<Element>(c), right});
+  }
+  // The all-false assignment: S holds every variable.
+  for (int v = 0; v < formula.variable_count; ++v) {
+    observed.AddFact(s, {static_cast<Element>(clause_count + v)});
+  }
+
+  Prop32Instance instance{UnreliableDatabase(std::move(observed)),
+                          nullptr,
+                          clause_count,
+                          formula.variable_count};
+  // μ(S v) = 1/2 for every variable; L, R are reliable. Note that only
+  // positive facts carry errors here, so the reduction also works in de
+  // Rougemont's restricted model (see the remark after Prop. 3.2).
+  for (int v = 0; v < formula.variable_count; ++v) {
+    instance.database.SetErrorProbability(
+        GroundAtom{s, {static_cast<Element>(clause_count + v)}},
+        Rational::Half());
+  }
+  instance.query =
+      *ParseFormula("exists x y z . L(x,y) & R(x,z) & S(y) & S(z)");
+  return instance;
+}
+
+BigInt RecoverModelCount(const Rational& expected_error, int variable_count) {
+  Rational scaled =
+      expected_error *
+      Rational(BigInt::TwoPow(static_cast<uint32_t>(variable_count)),
+               BigInt(1));
+  QREL_CHECK_MSG(scaled.denominator().IsOne(),
+                 "H_psi * 2^m is not an integer");
+  return scaled.numerator();
+}
+
+}  // namespace qrel

@@ -1,0 +1,67 @@
+// #MONOTONE-2SAT and the Proposition 3.2 reduction.
+//
+// Valiant proved counting the satisfying assignments of a monotone 2-CNF
+// formula #P-complete. Proposition 3.2 reduces it to computing the
+// expected error of the fixed conjunctive query
+//
+//   ψ = ∃x ∃y ∃z ( L(x,y) ∧ R(x,z) ∧ S(y) ∧ S(z) )
+//
+// on the unreliable database that models the formula: the universe is the
+// disjoint union of clauses and variables, L(c, v) / R(c, v) say that v is
+// the left / right variable of clause c (error 0), and S holds all
+// variables ("set to false") with error probability 1/2 each. Then
+// ψ holds in the observed database, a world 𝔅 is an assignment (flipped
+// S-atoms are the variables set to true), ψ^𝔅 is false exactly when the
+// assignment satisfies the formula, and therefore
+//
+//   H_ψ(𝔄, μ) = #SAT(φ) / 2^m.
+//
+// Solving the reliability problem hence solves #MONOTONE-2SAT — the
+// #P-hardness of conjunctive-query reliability, executable.
+
+#ifndef QREL_REDUCTIONS_MONOTONE_TWO_SAT_H_
+#define QREL_REDUCTIONS_MONOTONE_TWO_SAT_H_
+
+#include <utility>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/prob/unreliable_database.h"
+#include "qrel/util/bigint.h"
+#include "qrel/util/rng.h"
+
+namespace qrel {
+
+// A monotone 2-CNF formula: ⋀_i (Y_i ∨ Z_i) over variables 0..m-1.
+struct MonotoneTwoSat {
+  int variable_count = 0;
+  std::vector<std::pair<int, int>> clauses;
+};
+
+// Uniformly random clauses (Y ≠ Z within a clause; duplicates allowed
+// across clauses). `variables` must be at least 2, `clauses` at least 1.
+MonotoneTwoSat RandomMonotoneTwoSat(int variables, int clauses, Rng* rng);
+
+// Exact #SAT by exhaustive enumeration; `variable_count` must be ≤ 30.
+BigInt CountSatisfyingAssignments(const MonotoneTwoSat& formula);
+
+struct Prop32Instance {
+  UnreliableDatabase database;
+  FormulaPtr query;  // the fixed conjunctive query ψ
+  // Element ids: clause c is element c; variable v is element
+  // clause_count + v.
+  int clause_count = 0;
+  int variable_count = 0;
+};
+
+// The Proposition 3.2 reduction. The formula must have at least one clause
+// (otherwise 𝔄 ⊭ ψ and the identity takes the complementary form).
+Prop32Instance BuildProp32Instance(const MonotoneTwoSat& formula);
+
+// Recovers #SAT(φ) from the expected error: #SAT = H_ψ · 2^m. Aborts if
+// the product is not an integer (which would falsify the reduction).
+BigInt RecoverModelCount(const Rational& expected_error, int variable_count);
+
+}  // namespace qrel
+
+#endif  // QREL_REDUCTIONS_MONOTONE_TWO_SAT_H_

@@ -1,0 +1,43 @@
+#include "qrel/relational/atom_table.h"
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+std::string GroundAtomToString(const GroundAtom& atom,
+                               const Vocabulary& vocabulary) {
+  std::string result = vocabulary.relation(atom.relation).name;
+  result += '(';
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i != 0) {
+      result += ',';
+    }
+    result += std::to_string(atom.args[i]);
+  }
+  result += ')';
+  return result;
+}
+
+int AtomIndex::Intern(const GroundAtom& atom) {
+  auto [it, inserted] = ids_.emplace(atom, static_cast<int>(atoms_.size()));
+  if (inserted) {
+    atoms_.push_back(atom);
+  }
+  return it->second;
+}
+
+std::optional<int> AtomIndex::Find(const GroundAtom& atom) const {
+  auto it = ids_.find(atom);
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const GroundAtom& AtomIndex::atom(int id) const {
+  QREL_CHECK_GE(id, 0);
+  QREL_CHECK_LT(id, size());
+  return atoms_[static_cast<size_t>(id)];
+}
+
+}  // namespace qrel

@@ -1,0 +1,78 @@
+// Ground atoms and the dense atom index.
+//
+// A GroundAtom is a relation id plus a concrete argument tuple — one atomic
+// statement R(ā) about a database. The AtomIndex assigns dense, stable ids
+// to a set of ground atoms in insertion order; the error model uses it to
+// index its support (the atoms with positive error probability), and the
+// grounding of a query (Theorem 5.4) uses the same ids as propositional
+// variables, so no translation layer is needed between the two.
+
+#ifndef QREL_RELATIONAL_ATOM_TABLE_H_
+#define QREL_RELATIONAL_ATOM_TABLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qrel/relational/structure.h"
+#include "qrel/relational/vocabulary.h"
+
+namespace qrel {
+
+struct GroundAtom {
+  int relation = 0;
+  Tuple args;
+
+  bool operator==(const GroundAtom& other) const {
+    return relation == other.relation && args == other.args;
+  }
+  bool operator<(const GroundAtom& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return args < other.args;
+  }
+};
+
+// "R(1,2)" rendered with the names in `vocabulary`.
+std::string GroundAtomToString(const GroundAtom& atom,
+                               const Vocabulary& vocabulary);
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& atom) const {
+    // FNV-1a over the relation id and elements.
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t value) {
+      h ^= value;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<uint64_t>(atom.relation));
+    for (Element e : atom.args) {
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(e)) + 0x9e37u);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Insertion-ordered bidirectional map GroundAtom <-> dense id.
+class AtomIndex {
+ public:
+  AtomIndex() = default;
+
+  // Returns the id of `atom`, inserting it if new.
+  int Intern(const GroundAtom& atom);
+  // Returns the id of `atom` if present.
+  std::optional<int> Find(const GroundAtom& atom) const;
+
+  int size() const { return static_cast<int>(atoms_.size()); }
+  const GroundAtom& atom(int id) const;
+
+ private:
+  std::vector<GroundAtom> atoms_;
+  std::unordered_map<GroundAtom, int, GroundAtomHash> ids_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_RELATIONAL_ATOM_TABLE_H_

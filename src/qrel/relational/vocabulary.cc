@@ -1,0 +1,33 @@
+#include "qrel/relational/vocabulary.h"
+
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+int Vocabulary::AddRelation(std::string name, int arity) {
+  QREL_CHECK_GE(arity, 0);
+  QREL_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                 "duplicate relation name");
+  int id = static_cast<int>(relations_.size());
+  by_name_.emplace(name, id);
+  relations_.push_back(RelationSymbol{std::move(name), arity});
+  return id;
+}
+
+const RelationSymbol& Vocabulary::relation(int id) const {
+  QREL_CHECK_GE(id, 0);
+  QREL_CHECK_LT(id, relation_count());
+  return relations_[static_cast<size_t>(id)];
+}
+
+std::optional<int> Vocabulary::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace qrel

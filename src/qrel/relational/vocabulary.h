@@ -1,0 +1,43 @@
+// Relational vocabularies: named relation symbols with fixed arities.
+//
+// A Vocabulary is shared (immutably, once built) by the observed database,
+// its possible worlds, queries, and the atom index, so relation symbols are
+// referred to everywhere by their dense integer id.
+
+#ifndef QREL_RELATIONAL_VOCABULARY_H_
+#define QREL_RELATIONAL_VOCABULARY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qrel {
+
+struct RelationSymbol {
+  std::string name;
+  int arity = 0;
+};
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Registers a relation symbol and returns its id. Aborts on duplicate
+  // names or negative arity (parsers must check FindRelation first).
+  int AddRelation(std::string name, int arity);
+
+  int relation_count() const { return static_cast<int>(relations_.size()); }
+  const RelationSymbol& relation(int id) const;
+
+  // Id of the relation named `name`, if registered.
+  std::optional<int> FindRelation(const std::string& name) const;
+
+ private:
+  std::vector<RelationSymbol> relations_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_RELATIONAL_VOCABULARY_H_

@@ -1,0 +1,38 @@
+// Invariant-checking macros. QREL_CHECK* abort the process with a message;
+// they guard programmer errors (violated preconditions), not user input.
+// User input errors are reported through Status (see status.h).
+
+#ifndef QREL_UTIL_CHECK_H_
+#define QREL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts unless `condition` holds. The text of the condition is printed with
+// the source location; `...` may add a printf-style message.
+#define QREL_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "QREL_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define QREL_CHECK_MSG(condition, msg)                                       \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "QREL_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, (msg));                   \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define QREL_CHECK_EQ(a, b) QREL_CHECK((a) == (b))
+#define QREL_CHECK_NE(a, b) QREL_CHECK((a) != (b))
+#define QREL_CHECK_LT(a, b) QREL_CHECK((a) < (b))
+#define QREL_CHECK_LE(a, b) QREL_CHECK((a) <= (b))
+#define QREL_CHECK_GT(a, b) QREL_CHECK((a) > (b))
+#define QREL_CHECK_GE(a, b) QREL_CHECK((a) >= (b))
+
+#endif  // QREL_UTIL_CHECK_H_

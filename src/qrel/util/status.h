@@ -1,0 +1,117 @@
+// Lightweight error propagation without exceptions.
+//
+// Library code that can fail on *user input* (parsers, validators, file
+// loaders) returns Status or StatusOr<T>. Programmer errors are guarded by
+// QREL_CHECK instead.
+
+#ifndef QREL_UTIL_STATUS_H_
+#define QREL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+// ...).
+const char* StatusCodeName(StatusCode code);
+
+// An error code plus message. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or an error Status. `value()` may only be called when
+// `ok()`; this is enforced with QREL_CHECK.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` or
+  // `return Status::InvalidArgument(...)`.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    QREL_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QREL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    QREL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    QREL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status from an expression producing a Status.
+#define QREL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::qrel::Status qrel_status_tmp = (expr);  \
+    if (!qrel_status_tmp.ok()) {              \
+      return qrel_status_tmp;                 \
+    }                                         \
+  } while (0)
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_STATUS_H_

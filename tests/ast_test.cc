@@ -1,0 +1,97 @@
+#include "qrel/logic/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(TermTest, FactoriesAndToString) {
+  Term x = Term::Var("x");
+  EXPECT_TRUE(x.is_variable());
+  EXPECT_EQ(x.ToString(), "x");
+
+  Term c = Term::Const(3);
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_EQ(c.ToString(), "#3");
+
+  EXPECT_TRUE(x == Term::Var("x"));
+  EXPECT_FALSE(x == Term::Var("y"));
+  EXPECT_FALSE(x == c);
+}
+
+TEST(AstTest, AtomToString) {
+  FormulaPtr atom = Atom("E", {Term::Var("x"), Term::Const(2)});
+  EXPECT_EQ(atom->kind, FormulaKind::kAtom);
+  EXPECT_EQ(atom->ToString(), "E(x, #2)");
+}
+
+TEST(AstTest, ConnectivesToString) {
+  FormulaPtr a = Atom("S", {Term::Var("x")});
+  FormulaPtr b = Atom("T", {Term::Var("y")});
+  EXPECT_EQ(And(a, b)->ToString(), "(S(x) & T(y))");
+  EXPECT_EQ(Or(a, b)->ToString(), "(S(x) | T(y))");
+  EXPECT_EQ(Not(a)->ToString(), "!(S(x))");
+  EXPECT_EQ(Implies(a, b)->ToString(), "(S(x) -> T(y))");
+  EXPECT_EQ(Iff(a, b)->ToString(), "(S(x) <-> T(y))");
+}
+
+TEST(AstTest, SingletonAndOrCollapse) {
+  FormulaPtr a = Atom("S", {Term::Var("x")});
+  EXPECT_EQ(And(std::vector<FormulaPtr>{a}), a);
+  EXPECT_EQ(Or(std::vector<FormulaPtr>{a}), a);
+}
+
+TEST(AstTest, QuantifierChains) {
+  FormulaPtr body = Atom("E", {Term::Var("x"), Term::Var("y")});
+  FormulaPtr formula = Exists(std::vector<std::string>{"x", "y"}, body);
+  EXPECT_EQ(formula->kind, FormulaKind::kExists);
+  EXPECT_EQ(formula->bound_variable, "x");
+  EXPECT_EQ(formula->children[0]->kind, FormulaKind::kExists);
+  EXPECT_EQ(formula->children[0]->bound_variable, "y");
+}
+
+TEST(AstTest, FreeVariablesInFirstAppearanceOrder) {
+  // ψ(z, x) with y bound.
+  FormulaPtr formula =
+      And(Atom("E", {Term::Var("z"), Term::Var("x")}),
+          Exists("y", Atom("E", {Term::Var("y"), Term::Var("x")})));
+  EXPECT_EQ(formula->FreeVariables(),
+            (std::vector<std::string>{"z", "x"}));
+}
+
+TEST(AstTest, BoundVariablesAreNotFree) {
+  FormulaPtr sentence =
+      ForAll("x", Exists("y", Atom("E", {Term::Var("x"), Term::Var("y")})));
+  EXPECT_TRUE(sentence->FreeVariables().empty());
+}
+
+TEST(AstTest, ShadowedVariableStillFreeOutside) {
+  // x free in the left conjunct, bound in the right one.
+  FormulaPtr formula = And(Atom("S", {Term::Var("x")}),
+                           Exists("x", Atom("T", {Term::Var("x")})));
+  EXPECT_EQ(formula->FreeVariables(), (std::vector<std::string>{"x"}));
+}
+
+TEST(AstTest, SubstituteConstantReplacesFreeOccurrences) {
+  FormulaPtr formula = And(Atom("S", {Term::Var("x")}),
+                           Atom("E", {Term::Var("x"), Term::Var("y")}));
+  FormulaPtr substituted = SubstituteConstant(formula, "x", 2);
+  EXPECT_EQ(substituted->ToString(), "(S(#2) & E(#2, y))");
+  // y untouched.
+  EXPECT_EQ(substituted->FreeVariables(), (std::vector<std::string>{"y"}));
+}
+
+TEST(AstTest, SubstituteConstantRespectsShadowing) {
+  FormulaPtr formula = And(Atom("S", {Term::Var("x")}),
+                           Exists("x", Atom("T", {Term::Var("x")})));
+  FormulaPtr substituted = SubstituteConstant(formula, "x", 1);
+  EXPECT_EQ(substituted->ToString(), "(S(#1) & exists x . (T(x)))");
+}
+
+TEST(AstTest, SubstituteConstantNoOpSharesNodes) {
+  FormulaPtr formula = Atom("S", {Term::Var("x")});
+  EXPECT_EQ(SubstituteConstant(formula, "z", 0), formula);
+}
+
+}  // namespace
+}  // namespace qrel

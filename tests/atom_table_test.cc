@@ -1,0 +1,75 @@
+#include "qrel/relational/atom_table.h"
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(GroundAtomTest, EqualityAndOrdering) {
+  GroundAtom a{0, {1, 2}};
+  GroundAtom b{0, {1, 2}};
+  GroundAtom c{0, {1, 3}};
+  GroundAtom d{1, {0}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(a < d);
+  EXPECT_FALSE(d < a);
+}
+
+TEST(GroundAtomTest, ToStringUsesVocabularyNames) {
+  Vocabulary vocabulary;
+  vocabulary.AddRelation("Edge", 2);
+  vocabulary.AddRelation("Flag", 0);
+  EXPECT_EQ(GroundAtomToString(GroundAtom{0, {3, 4}}, vocabulary),
+            "Edge(3,4)");
+  EXPECT_EQ(GroundAtomToString(GroundAtom{1, {}}, vocabulary), "Flag()");
+}
+
+TEST(AtomIndexTest, InternAssignsDenseInsertionOrderIds) {
+  AtomIndex index;
+  EXPECT_EQ(index.size(), 0);
+  int a = index.Intern(GroundAtom{0, {1}});
+  int b = index.Intern(GroundAtom{0, {2}});
+  int c = index.Intern(GroundAtom{1, {0, 0}});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(index.size(), 3);
+}
+
+TEST(AtomIndexTest, InternIsIdempotent) {
+  AtomIndex index;
+  int first = index.Intern(GroundAtom{0, {1}});
+  int second = index.Intern(GroundAtom{0, {1}});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(index.size(), 1);
+}
+
+TEST(AtomIndexTest, FindAndAtomRoundTrip) {
+  AtomIndex index;
+  GroundAtom atom{2, {5, 6, 7}};
+  int id = index.Intern(atom);
+  EXPECT_EQ(index.Find(atom), id);
+  EXPECT_FALSE(index.Find(GroundAtom{2, {5, 6, 8}}).has_value());
+  EXPECT_TRUE(index.atom(id) == atom);
+}
+
+TEST(AtomIndexTest, ManyAtomsNoCollisionConfusion) {
+  AtomIndex index;
+  for (int r = 0; r < 4; ++r) {
+    for (Element i = 0; i < 20; ++i) {
+      for (Element j = 0; j < 20; ++j) {
+        index.Intern(GroundAtom{r, {i, j}});
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), 4 * 20 * 20);
+  // Every atom resolves back to its own id.
+  for (int id = 0; id < index.size(); ++id) {
+    EXPECT_EQ(index.Find(index.atom(id)), id);
+  }
+}
+
+}  // namespace
+}  // namespace qrel

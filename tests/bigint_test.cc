@@ -1,0 +1,328 @@
+#include "qrel/util/bigint.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/util/rng.h"
+
+namespace qrel {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(zero.IsNegative());
+  EXPECT_EQ(zero.Sign(), 0);
+  EXPECT_EQ(zero.ToDecimalString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0u);
+}
+
+TEST(BigIntTest, FromInt64RoundTrips) {
+  for (int64_t value : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                        int64_t{-42}, int64_t{1} << 40, -(int64_t{1} << 40),
+                        std::numeric_limits<int64_t>::max(),
+                        std::numeric_limits<int64_t>::min()}) {
+    BigInt big(value);
+    EXPECT_TRUE(big.FitsInt64());
+    EXPECT_EQ(big.ToInt64(), value) << value;
+    EXPECT_EQ(big.ToDecimalString(), std::to_string(value)) << value;
+  }
+}
+
+TEST(BigIntTest, FromUint64) {
+  BigInt big = BigInt::FromUint64(0xffffffffffffffffULL);
+  EXPECT_EQ(big.ToDecimalString(), "18446744073709551615");
+  EXPECT_FALSE(big.FitsInt64());
+}
+
+TEST(BigIntTest, DecimalStringRoundTrip) {
+  const std::string digits =
+      "123456789012345678901234567890123456789012345678901234567890";
+  BigInt big = BigInt::FromDecimalString(digits).value();
+  EXPECT_EQ(big.ToDecimalString(), digits);
+  BigInt negative = BigInt::FromDecimalString("-" + digits).value();
+  EXPECT_EQ(negative.ToDecimalString(), "-" + digits);
+}
+
+TEST(BigIntTest, FromDecimalStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromDecimalString("").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString(" 12").ok());
+}
+
+TEST(BigIntTest, FromDecimalStringNegativeZeroIsZero) {
+  BigInt zero = BigInt::FromDecimalString("-0").value();
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(zero.IsNegative());
+}
+
+TEST(BigIntTest, AdditionSmall) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToInt64(), 5);
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToInt64(), 1);
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToInt64(), -1);
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToInt64(), -5);
+  EXPECT_TRUE((BigInt(7) + BigInt(-7)).IsZero());
+}
+
+TEST(BigIntTest, AdditionCarryChain) {
+  BigInt almost = BigInt::FromDecimalString("99999999999999999999").value();
+  EXPECT_EQ((almost + BigInt(1)).ToDecimalString(), "100000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionBorrowChain) {
+  BigInt big = BigInt::FromDecimalString("100000000000000000000").value();
+  EXPECT_EQ((big - BigInt(1)).ToDecimalString(), "99999999999999999999");
+}
+
+TEST(BigIntTest, MultiplicationMatchesKnownProduct) {
+  BigInt a = BigInt::FromDecimalString("123456789123456789").value();
+  BigInt b = BigInt::FromDecimalString("987654321987654321").value();
+  EXPECT_EQ((a * b).ToDecimalString(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ((BigInt(-3) * BigInt(4)).ToInt64(), -12);
+  EXPECT_EQ((BigInt(-3) * BigInt(-4)).ToInt64(), 12);
+  EXPECT_TRUE((BigInt(-3) * BigInt(0)).IsZero());
+}
+
+TEST(BigIntTest, DivModSmall) {
+  BigInt::DivModResult r = BigInt(17).DivMod(BigInt(5));
+  EXPECT_EQ(r.quotient.ToInt64(), 3);
+  EXPECT_EQ(r.remainder.ToInt64(), 2);
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  // C++ semantics: (-17)/5 == -3 rem -2; 17/(-5) == -3 rem 2.
+  EXPECT_EQ((BigInt(-17) / BigInt(5)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(-17) % BigInt(5)).ToInt64(), -2);
+  EXPECT_EQ((BigInt(17) / BigInt(-5)).ToInt64(), -3);
+  EXPECT_EQ((BigInt(17) % BigInt(-5)).ToInt64(), 2);
+}
+
+TEST(BigIntTest, DivModMultiLimb) {
+  BigInt numerator =
+      BigInt::FromDecimalString("121932631356500531347203169112635269")
+          .value();
+  BigInt divisor = BigInt::FromDecimalString("987654321987654321").value();
+  BigInt::DivModResult r = numerator.DivMod(divisor);
+  EXPECT_EQ(r.quotient.ToDecimalString(), "123456789123456789");
+  EXPECT_TRUE(r.remainder.IsZero());
+}
+
+TEST(BigIntTest, DivModRandomizedReconstruction) {
+  // quotient * divisor + remainder == dividend, and |remainder| < |divisor|.
+  Rng rng(20240701);
+  for (int i = 0; i < 500; ++i) {
+    BigInt dividend = BigInt::FromUint64(rng.NextUint64()) *
+                          BigInt::FromUint64(rng.NextUint64()) +
+                      BigInt::FromUint64(rng.NextUint64());
+    BigInt divisor = BigInt::FromUint64(rng.NextUint64() | 1);
+    if (rng.NextBernoulli(0.5)) dividend = dividend.Negated();
+    if (rng.NextBernoulli(0.5)) divisor = divisor.Negated();
+    BigInt::DivModResult r = dividend.DivMod(divisor);
+    EXPECT_EQ((r.quotient * divisor + r.remainder).Compare(dividend), 0);
+    EXPECT_LT(r.remainder.Abs().Compare(divisor.Abs()), 0);
+  }
+}
+
+TEST(BigIntTest, DivModStressAlgorithmDAddBack) {
+  // Divisors with a maximal top limb exercise the rare "add back" branch.
+  BigInt b32 = BigInt::TwoPow(32);
+  BigInt u = BigInt::TwoPow(96) - BigInt(1);
+  BigInt v = BigInt::TwoPow(64) - BigInt(1);
+  BigInt::DivModResult r = u.DivMod(v);
+  EXPECT_EQ(r.quotient.ToDecimalString(), b32.ToDecimalString());
+  EXPECT_EQ(r.remainder.ToDecimalString(),
+            (b32 - BigInt(1)).ToDecimalString());
+}
+
+TEST(BigIntTest, CompareOrdersMixedSigns) {
+  std::vector<BigInt> ordered = {
+      BigInt::FromDecimalString("-100000000000000000000").value(),
+      BigInt(-5), BigInt(0), BigInt(3),
+      BigInt::FromDecimalString("100000000000000000000").value()};
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+    }
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(7)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_TRUE(BigInt::Gcd(BigInt(0), BigInt(0)).IsZero());
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+}
+
+TEST(BigIntTest, GcdLargeCoprime) {
+  // 2^89 - 1 is a Mersenne prime; gcd with 3^50 is 1.
+  BigInt mersenne = BigInt::TwoPow(89) - BigInt(1);
+  BigInt power_of_three = BigInt::Pow(BigInt(3), 50);
+  EXPECT_TRUE(BigInt::Gcd(mersenne, power_of_three).IsOne());
+}
+
+TEST(BigIntTest, LcmBasics) {
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)).ToInt64(), 12);
+  EXPECT_TRUE(BigInt::Lcm(BigInt(0), BigInt(6)).IsZero());
+  EXPECT_EQ(BigInt::Lcm(BigInt(7), BigInt(7)).ToInt64(), 7);
+}
+
+TEST(BigIntTest, PowMatchesRepeatedMultiplication) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 0).ToInt64(), 1);
+  EXPECT_TRUE(BigInt::Pow(BigInt(0), 3).IsZero());
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 3).ToInt64(), -8);
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 40).ToDecimalString(),
+            "12157665459056928801");
+}
+
+TEST(BigIntTest, TwoPowAndBitLength) {
+  for (uint32_t e : {0u, 1u, 31u, 32u, 33u, 64u, 100u}) {
+    BigInt p = BigInt::TwoPow(e);
+    EXPECT_EQ(p.BitLength(), e + 1) << e;
+    EXPECT_TRUE(p.TestBit(e));
+    EXPECT_FALSE(p.TestBit(e + 1));
+    if (e > 0) {
+      EXPECT_FALSE(p.TestBit(e - 1));
+    }
+  }
+}
+
+TEST(BigIntTest, ShiftsRoundTrip) {
+  BigInt value = BigInt::FromDecimalString("123456789123456789").value();
+  for (size_t bits : {0u, 1u, 13u, 32u, 65u}) {
+    EXPECT_EQ(value.ShiftLeft(bits).ShiftRight(bits).Compare(value), 0)
+        << bits;
+  }
+  EXPECT_EQ(BigInt(5).ShiftLeft(3).ToInt64(), 40);
+  EXPECT_EQ(BigInt(40).ShiftRight(3).ToInt64(), 5);
+  EXPECT_EQ(BigInt(41).ShiftRight(3).ToInt64(), 5);
+  EXPECT_TRUE(BigInt(1).ShiftRight(1).IsZero());
+}
+
+TEST(BigIntTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).ToDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1000).ToDouble(), -1000.0);
+  BigInt huge = BigInt::TwoPow(100);
+  EXPECT_DOUBLE_EQ(huge.ToDouble(), std::pow(2.0, 100));
+}
+
+TEST(BigIntTest, IsEven) {
+  EXPECT_TRUE(BigInt(0).IsEven());
+  EXPECT_TRUE(BigInt(2).IsEven());
+  EXPECT_FALSE(BigInt(3).IsEven());
+  EXPECT_FALSE(BigInt(-3).IsEven());
+}
+
+// Property sweep: ring axioms on random operands of mixed magnitude.
+class BigIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntPropertyTest, RingAxiomsHold) {
+  Rng rng(GetParam());
+  auto random_bigint = [&rng]() {
+    int limbs = static_cast<int>(rng.NextBelow(4)) + 1;
+    BigInt value(0);
+    for (int i = 0; i < limbs; ++i) {
+      value = value.ShiftLeft(64) + BigInt::FromUint64(rng.NextUint64());
+    }
+    return rng.NextBernoulli(0.5) ? value.Negated() : value;
+  };
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = random_bigint();
+    BigInt b = random_bigint();
+    BigInt c = random_bigint();
+    EXPECT_EQ((a + b).Compare(b + a), 0);
+    EXPECT_EQ((a * b).Compare(b * a), 0);
+    EXPECT_EQ(((a + b) + c).Compare(a + (b + c)), 0);
+    EXPECT_EQ(((a * b) * c).Compare(a * (b * c)), 0);
+    EXPECT_EQ((a * (b + c)).Compare(a * b + a * c), 0);
+    EXPECT_TRUE((a - a).IsZero());
+    EXPECT_EQ((a + BigInt(0)).Compare(a), 0);
+    EXPECT_EQ((a * BigInt(1)).Compare(a), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// Property sweep: gcd really divides and is maximal w.r.t. common divisors.
+class BigIntGcdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntGcdPropertyTest, GcdDividesAndAbsorbsCommonFactor) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::FromUint64(rng.NextUint64());
+    BigInt b = BigInt::FromUint64(rng.NextUint64());
+    BigInt k = BigInt::FromUint64(rng.NextBelow(1000) + 1);
+    BigInt g = BigInt::Gcd(a * k, b * k);
+    EXPECT_TRUE(((a * k) % g).IsZero());
+    EXPECT_TRUE(((b * k) % g).IsZero());
+    // k divides every common divisor bound: gcd(ak, bk) == k * gcd(a, b).
+    EXPECT_EQ(g.Compare(k * BigInt::Gcd(a, b)), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntGcdPropertyTest,
+                         ::testing::Values(7u, 11u, 19u, 23u));
+
+}  // namespace
+}  // namespace qrel
+
+namespace qrel {
+namespace {
+
+TEST(BigIntBoundaryTest, LimbBoundaryArithmetic) {
+  // Values straddling the 32- and 64-bit limb boundaries.
+  BigInt b32 = BigInt::TwoPow(32);
+  BigInt b64 = BigInt::TwoPow(64);
+  EXPECT_EQ((b32 - BigInt(1)).ToDecimalString(), "4294967295");
+  EXPECT_EQ(((b32 - BigInt(1)) + BigInt(1)).Compare(b32), 0);
+  EXPECT_EQ((b32 * b32).Compare(b64), 0);
+  EXPECT_EQ((b64 / b32).Compare(b32), 0);
+  EXPECT_TRUE((b64 % b32).IsZero());
+  EXPECT_EQ(((b64 + BigInt(5)) % b32).ToInt64(), 5);
+}
+
+TEST(BigIntBoundaryTest, SubtractionAcrossLimbBorrow) {
+  BigInt b64 = BigInt::TwoPow(64);
+  BigInt result = b64 - BigInt(1);
+  EXPECT_EQ(result.ToDecimalString(), "18446744073709551615");
+  EXPECT_EQ(result.BitLength(), 64u);
+  EXPECT_EQ((b64 - b64 + BigInt(0)).Sign(), 0);
+}
+
+TEST(BigIntBoundaryTest, DivModQuotientDigitEstimationStress) {
+  // Divisors chosen to force maximal qhat corrections in algorithm D.
+  for (uint32_t top : {0x80000000u, 0x80000001u, 0xffffffffu}) {
+    BigInt v = (BigInt::FromUint64(top).ShiftLeft(32)) + BigInt(1);
+    BigInt u = v * v + (v - BigInt(1));
+    BigInt::DivModResult r = u.DivMod(v);
+    EXPECT_EQ(r.quotient.Compare(v), 0) << top;
+    EXPECT_EQ(r.remainder.Compare(v - BigInt(1)), 0) << top;
+  }
+}
+
+TEST(BigIntBoundaryTest, PowersOfTenRoundTrip) {
+  BigInt value(1);
+  std::string expected = "1";
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(value.ToDecimalString(), expected);
+    EXPECT_EQ(BigInt::FromDecimalString(expected)->Compare(value), 0);
+    value *= BigInt(10);
+    expected += "0";
+  }
+}
+
+}  // namespace
+}  // namespace qrel

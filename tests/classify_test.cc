@@ -1,0 +1,84 @@
+#include "qrel/logic/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(ClassifyTest, QuantifierFree) {
+  EXPECT_TRUE(IsQuantifierFree(MustParse("S(x) & !T(y)")));
+  EXPECT_TRUE(IsQuantifierFree(MustParse("x = y | S(x)")));
+  EXPECT_FALSE(IsQuantifierFree(MustParse("exists x . S(x)")));
+  EXPECT_FALSE(IsQuantifierFree(MustParse("S(x) & (forall y . T(y))")));
+}
+
+TEST(ClassifyTest, ConjunctiveQueries) {
+  // The Proposition 3.2 query is conjunctive.
+  EXPECT_TRUE(IsConjunctiveQuery(
+      MustParse("exists x y z . L(x,y) & R(x,z) & S(y) & S(z)")));
+  EXPECT_TRUE(IsConjunctiveQuery(MustParse("exists x . S(x)")));
+  EXPECT_TRUE(IsConjunctiveQuery(MustParse("S(x) & T(y)")));
+  EXPECT_TRUE(IsConjunctiveQuery(MustParse("exists x . S(x) & x = y")));
+
+  EXPECT_FALSE(IsConjunctiveQuery(MustParse("exists x . S(x) | T(x)")));
+  EXPECT_FALSE(IsConjunctiveQuery(MustParse("exists x . !S(x)")));
+  EXPECT_FALSE(IsConjunctiveQuery(MustParse("forall x . S(x)")));
+  EXPECT_FALSE(
+      IsConjunctiveQuery(MustParse("exists x . S(x) & (T(x) | S(x))")));
+}
+
+TEST(ClassifyTest, Existential) {
+  EXPECT_TRUE(IsExistential(MustParse("exists x . S(x) | !T(x)")));
+  EXPECT_TRUE(IsExistential(MustParse("S(x)")));
+  // Negated universal is existential.
+  EXPECT_TRUE(IsExistential(MustParse("!(forall x . S(x))")));
+  EXPECT_FALSE(IsExistential(MustParse("forall x . S(x)")));
+  EXPECT_FALSE(IsExistential(MustParse("!(exists x . S(x))")));
+  // Lemma 5.9's query.
+  EXPECT_TRUE(IsExistential(MustParse(
+      "exists x y . E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))")));
+}
+
+TEST(ClassifyTest, Universal) {
+  EXPECT_TRUE(IsUniversal(MustParse("forall x . S(x) -> T(x)")));
+  EXPECT_TRUE(IsUniversal(MustParse("!(exists x . S(x))")));
+  EXPECT_TRUE(IsUniversal(MustParse("S(x)")));
+  EXPECT_FALSE(IsUniversal(MustParse("exists x . S(x)")));
+}
+
+TEST(ClassifyTest, MostSpecificClass) {
+  EXPECT_EQ(Classify(MustParse("S(x) | !T(x)")),
+            QueryClass::kQuantifierFree);
+  // Quantifier-free conjunction reports quantifier-free, not conjunctive.
+  EXPECT_EQ(Classify(MustParse("S(x) & T(x)")), QueryClass::kQuantifierFree);
+  EXPECT_EQ(Classify(MustParse("exists x . S(x) & T(x)")),
+            QueryClass::kConjunctive);
+  EXPECT_EQ(Classify(MustParse("exists x . S(x) | T(x)")),
+            QueryClass::kExistential);
+  EXPECT_EQ(Classify(MustParse("forall x . S(x)")), QueryClass::kUniversal);
+  EXPECT_EQ(Classify(MustParse("forall x . exists y . E(x,y)")),
+            QueryClass::kGeneralFirstOrder);
+  EXPECT_EQ(Classify(MustParse("(exists x . S(x)) -> (exists y . T(y))")),
+            QueryClass::kGeneralFirstOrder);
+}
+
+TEST(ClassifyTest, ClassNames) {
+  EXPECT_STREQ(QueryClassName(QueryClass::kQuantifierFree),
+               "quantifier-free");
+  EXPECT_STREQ(QueryClassName(QueryClass::kConjunctive), "conjunctive");
+  EXPECT_STREQ(QueryClassName(QueryClass::kExistential), "existential");
+  EXPECT_STREQ(QueryClassName(QueryClass::kUniversal), "universal");
+  EXPECT_STREQ(QueryClassName(QueryClass::kGeneralFirstOrder),
+               "general first-order");
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,182 @@
+#include "qrel/engine/engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qrel/prob/text_format.h"
+
+namespace qrel {
+namespace {
+
+constexpr char kUdb[] = R"(
+universe 4
+relation E 2
+relation S 1
+fact E 0 1
+fact E 1 2
+fact E 2 3
+fact S 0 err=1/4
+fact S 2 err=1/3
+absent S 1 err=1/2
+)";
+
+ReliabilityEngine MakeEngine() {
+  StatusOr<UnreliableDatabase> db = ParseUdb(kUdb);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return ReliabilityEngine(std::move(db).value());
+}
+
+TEST(EngineTest, QuantifierFreeUsesProp31) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.Run("S(x)");
+  EXPECT_EQ(report.query_class, QueryClass::kQuantifierFree);
+  EXPECT_TRUE(report.is_exact);
+  EXPECT_NE(report.method.find("Prop 3.1"), std::string::npos);
+  // H = 1/4 + 1/2 + 1/3 = 13/12; R = 1 - (13/12)/4 = 35/48.
+  ASSERT_TRUE(report.exact_reliability.has_value());
+  EXPECT_EQ(*report.exact_reliability, Rational(35, 48));
+}
+
+TEST(EngineTest, SmallSupportUsesExactEnumeration) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.Run("exists x . S(x) & E(x, x)");
+  EXPECT_TRUE(report.is_exact);
+  EXPECT_NE(report.method.find("Thm 4.2"), std::string::npos);
+}
+
+TEST(EngineTest, ForcedApproximationUsesCor55ForExistential) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineOptions options;
+  options.force_approximate = true;
+  options.seed = 7;
+  EngineReport report = *engine.Run("exists x . S(x)", options);
+  EXPECT_FALSE(report.is_exact);
+  EXPECT_NE(report.method.find("Cor 5.5"), std::string::npos);
+  // Compare against the exact path.
+  EngineReport exact = *engine.Run("exists x . S(x)");
+  EXPECT_NEAR(report.reliability, exact.reliability, 3 * options.epsilon);
+}
+
+TEST(EngineTest, ForcedApproximationUsesThm512ForGeneralQueries) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineOptions options;
+  options.force_approximate = true;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  options.seed = 11;
+  EngineReport report =
+      *engine.Run("forall x . S(x) -> (exists y . E(x, y))", options);
+  EXPECT_FALSE(report.is_exact);
+  EXPECT_NE(report.method.find("Thm 5.12"), std::string::npos);
+  EngineReport exact =
+      *engine.Run("forall x . S(x) -> (exists y . E(x, y))");
+  EXPECT_NEAR(report.reliability, exact.reliability, 3 * options.epsilon);
+}
+
+TEST(EngineTest, ObservedAnswersIncluded) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.Run("S(x)");
+  ASSERT_TRUE(report.observed_answers.has_value());
+  EXPECT_EQ(*report.observed_answers,
+            (std::vector<Tuple>{{0}, {2}}));
+
+  EngineOptions options;
+  options.include_observed_answers = false;
+  report = *engine.Run("S(x)", options);
+  EXPECT_FALSE(report.observed_answers.has_value());
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  ReliabilityEngine engine = MakeEngine();
+  EXPECT_FALSE(engine.Run("S(x").ok());
+  EXPECT_FALSE(engine.Run("Zap(x)").ok());
+}
+
+TEST(EngineTest, ConflictingForcesRejected) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineOptions options;
+  options.force_exact = true;
+  options.force_approximate = true;
+  EXPECT_FALSE(engine.Run("S(x)", options).ok());
+}
+
+TEST(EngineTest, ClassReporting) {
+  ReliabilityEngine engine = MakeEngine();
+  EXPECT_EQ(engine.Run("S(x) & E(x, y)")->query_class,
+            QueryClass::kQuantifierFree);
+  EXPECT_EQ(engine.Run("exists x . S(x) & E(x, x)")->query_class,
+            QueryClass::kConjunctive);
+  EXPECT_EQ(engine.Run("exists x . S(x) | E(x, x)")->query_class,
+            QueryClass::kExistential);
+  EXPECT_EQ(engine.Run("forall x . S(x)")->query_class,
+            QueryClass::kUniversal);
+  EXPECT_EQ(engine.Run("forall x . exists y . E(x, y)")->query_class,
+            QueryClass::kGeneralFirstOrder);
+}
+
+TEST(EngineTest, ExactAndApproximatePathsAgreeAcrossQueries) {
+  ReliabilityEngine engine = MakeEngine();
+  for (const std::string text : {
+           "exists x . S(x)",
+           "exists x y . E(x, y) & S(y)",
+           "forall x . S(x) | !S(x)",
+       }) {
+    EngineReport exact = *engine.Run(text);
+    ASSERT_TRUE(exact.is_exact) << text;
+    EngineOptions options;
+    options.force_approximate = true;
+    options.epsilon = 0.04;
+    options.delta = 0.02;
+    options.seed = 1234;
+    EngineReport approx = *engine.Run(text, options);
+    EXPECT_NEAR(approx.reliability, exact.reliability, 3 * options.epsilon)
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace qrel
+
+namespace qrel {
+namespace {
+
+constexpr char kTcProgram[] =
+    "Path(x, y) :- E(x, y).\n"
+    "Path(x, z) :- Path(x, y), E(y, z).";
+
+TEST(EngineDatalogTest, ExactPathReliability) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.RunDatalog(kTcProgram, "Path");
+  EXPECT_TRUE(report.is_exact);
+  EXPECT_NE(report.method.find("Datalog"), std::string::npos);
+  ASSERT_TRUE(report.observed_answers.has_value());
+  // Chain 0->1->2->3: six reachable pairs.
+  EXPECT_EQ(report.observed_answers->size(), 6u);
+  EXPECT_TRUE(report.exact_reliability.has_value());
+}
+
+TEST(EngineDatalogTest, ApproximatePathMatchesExact) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport exact = *engine.RunDatalog(kTcProgram, "Path");
+  EngineOptions options;
+  options.force_approximate = true;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  options.seed = 99;
+  options.fixed_samples = 30000;  // the derived bound is ~4e7 samples here
+  EngineReport approx = *engine.RunDatalog(kTcProgram, "Path", options);
+  EXPECT_FALSE(approx.is_exact);
+  EXPECT_NEAR(approx.reliability, exact.reliability, 3 * options.epsilon);
+}
+
+TEST(EngineDatalogTest, ErrorsPropagate) {
+  ReliabilityEngine engine = MakeEngine();
+  EXPECT_FALSE(engine.RunDatalog("Path(x, y) :-", "Path").ok());
+  EXPECT_FALSE(engine.RunDatalog(kTcProgram, "Nope").ok());
+  EXPECT_FALSE(
+      engine.RunDatalog("P(x) :- Zap(x).", "P").ok());
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,45 @@
+#include "qrel/prob/error_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(ErrorModelTest, UnmentionedAtomsHaveZeroError) {
+  ErrorModel model;
+  EXPECT_TRUE(model.ErrorOf(GroundAtom{0, {1, 2}}).IsZero());
+  EXPECT_EQ(model.entry_count(), 0);
+}
+
+TEST(ErrorModelTest, SetAndGet) {
+  ErrorModel model;
+  int id = model.SetError(GroundAtom{0, {1}}, Rational(1, 3));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(model.entry_count(), 1);
+  EXPECT_EQ(model.error(id), Rational(1, 3));
+  EXPECT_EQ(model.ErrorOf(GroundAtom{0, {1}}), Rational(1, 3));
+  EXPECT_TRUE(model.atom(id) == (GroundAtom{0, {1}}));
+}
+
+TEST(ErrorModelTest, OverwriteKeepsId) {
+  ErrorModel model;
+  int id = model.SetError(GroundAtom{0, {1}}, Rational(1, 3));
+  int same = model.SetError(GroundAtom{0, {1}}, Rational(2, 3));
+  EXPECT_EQ(id, same);
+  EXPECT_EQ(model.entry_count(), 1);
+  EXPECT_EQ(model.error(id), Rational(2, 3));
+}
+
+TEST(ErrorModelTest, UncertainAndCertainPartition) {
+  ErrorModel model;
+  model.SetError(GroundAtom{0, {0}}, Rational(0));       // certain, no flip
+  model.SetError(GroundAtom{0, {1}}, Rational(1, 2));    // uncertain
+  model.SetError(GroundAtom{0, {2}}, Rational(1));       // certain flip
+  model.SetError(GroundAtom{0, {3}}, Rational(999, 1000));  // uncertain
+
+  EXPECT_EQ(model.UncertainEntries(), (std::vector<int>{1, 3}));
+  EXPECT_EQ(model.CertainFlipEntries(), (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace qrel

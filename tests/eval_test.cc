@@ -1,0 +1,140 @@
+#include "qrel/logic/eval.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+// Path graph 0 -> 1 -> 2 -> 3 with S = {0, 2}.
+Structure PathGraph() {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddRelation("S", 1);
+  Structure structure(vocabulary, 4);
+  structure.AddFact(0, {0, 1});
+  structure.AddFact(0, {1, 2});
+  structure.AddFact(0, {2, 3});
+  structure.AddFact(1, {0});
+  structure.AddFact(1, {2});
+  return structure;
+}
+
+CompiledQuery MustCompile(const std::string& text, const Vocabulary& voc) {
+  StatusOr<FormulaPtr> formula = ParseFormula(text);
+  EXPECT_TRUE(formula.ok()) << formula.status().ToString();
+  StatusOr<CompiledQuery> query = CompiledQuery::Compile(*formula, voc);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+TEST(EvalTest, AtomEvaluation) {
+  Structure db = PathGraph();
+  CompiledQuery query = MustCompile("E(x, y)", db.vocabulary());
+  EXPECT_EQ(query.arity(), 2);
+  EXPECT_TRUE(query.Eval(db, {0, 1}));
+  EXPECT_FALSE(query.Eval(db, {1, 0}));
+}
+
+TEST(EvalTest, ConstantsInAtoms) {
+  Structure db = PathGraph();
+  CompiledQuery query = MustCompile("E(#0, #1)", db.vocabulary());
+  EXPECT_EQ(query.arity(), 0);
+  EXPECT_TRUE(query.Eval(db, {}));
+  EXPECT_FALSE(MustCompile("E(#1, #0)", db.vocabulary()).Eval(db, {}));
+}
+
+TEST(EvalTest, BooleanConnectives) {
+  Structure db = PathGraph();
+  EXPECT_TRUE(MustCompile("S(#0) & !S(#1)", db.vocabulary()).Eval(db, {}));
+  EXPECT_TRUE(MustCompile("S(#1) | S(#2)", db.vocabulary()).Eval(db, {}));
+  EXPECT_FALSE(MustCompile("S(#1) | S(#3)", db.vocabulary()).Eval(db, {}));
+  EXPECT_TRUE(MustCompile("S(#1) -> S(#3)", db.vocabulary()).Eval(db, {}));
+  EXPECT_FALSE(MustCompile("S(#0) -> S(#3)", db.vocabulary()).Eval(db, {}));
+  EXPECT_TRUE(MustCompile("S(#1) <-> S(#3)", db.vocabulary()).Eval(db, {}));
+  EXPECT_FALSE(MustCompile("S(#0) <-> S(#3)", db.vocabulary()).Eval(db, {}));
+  EXPECT_TRUE(MustCompile("true", db.vocabulary()).Eval(db, {}));
+  EXPECT_FALSE(MustCompile("false", db.vocabulary()).Eval(db, {}));
+}
+
+TEST(EvalTest, Equality) {
+  Structure db = PathGraph();
+  CompiledQuery query = MustCompile("x = y", db.vocabulary());
+  EXPECT_TRUE(query.Eval(db, {2, 2}));
+  EXPECT_FALSE(query.Eval(db, {2, 3}));
+}
+
+TEST(EvalTest, ExistentialQuantifier) {
+  Structure db = PathGraph();
+  // Has a successor.
+  CompiledQuery query = MustCompile("exists y . E(x, y)", db.vocabulary());
+  EXPECT_TRUE(query.Eval(db, {0}));
+  EXPECT_TRUE(query.Eval(db, {2}));
+  EXPECT_FALSE(query.Eval(db, {3}));
+}
+
+TEST(EvalTest, UniversalQuantifier) {
+  Structure db = PathGraph();
+  // Every element with an S-label has a successor.
+  EXPECT_TRUE(MustCompile("forall x . S(x) -> (exists y . E(x, y))",
+                          db.vocabulary())
+                  .Eval(db, {}));
+  // Not every element has a successor (3 does not).
+  EXPECT_FALSE(
+      MustCompile("forall x . exists y . E(x, y)", db.vocabulary())
+          .Eval(db, {}));
+}
+
+TEST(EvalTest, NestedQuantifiersPathOfLengthTwo) {
+  Structure db = PathGraph();
+  CompiledQuery query =
+      MustCompile("exists y . E(x, y) & E(y, z)", db.vocabulary());
+  EXPECT_EQ(query.arity(), 2);
+  EXPECT_TRUE(query.Eval(db, {0, 2}));
+  EXPECT_TRUE(query.Eval(db, {1, 3}));
+  EXPECT_FALSE(query.Eval(db, {0, 3}));
+}
+
+TEST(EvalTest, VariableShadowing) {
+  Structure db = PathGraph();
+  // The inner x is bound by the quantifier; the outer x is free.
+  CompiledQuery query =
+      MustCompile("S(x) & (exists x . E(x, #3))", db.vocabulary());
+  EXPECT_EQ(query.arity(), 1);
+  EXPECT_TRUE(query.Eval(db, {0}));   // S(0) and E(2,3)
+  EXPECT_FALSE(query.Eval(db, {1}));  // !S(1)
+}
+
+TEST(EvalTest, AnswerSetEnumeratesSatisfyingTuples) {
+  Structure db = PathGraph();
+  CompiledQuery query = MustCompile("E(x, y)", db.vocabulary());
+  std::vector<Tuple> answers = query.AnswerSet(db);
+  EXPECT_EQ(answers,
+            (std::vector<Tuple>{{0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(EvalTest, AnswerSetOfBooleanQuery) {
+  Structure db = PathGraph();
+  EXPECT_EQ(MustCompile("S(#0)", db.vocabulary()).AnswerSet(db).size(), 1u);
+  EXPECT_TRUE(MustCompile("S(#1)", db.vocabulary()).AnswerSet(db).empty());
+}
+
+TEST(EvalTest, CompileRejectsUnknownRelation) {
+  Structure db = PathGraph();
+  FormulaPtr formula = *ParseFormula("Zap(x)");
+  EXPECT_FALSE(CompiledQuery::Compile(formula, db.vocabulary()).ok());
+}
+
+TEST(EvalTest, CompileRejectsArityMismatch) {
+  Structure db = PathGraph();
+  FormulaPtr formula = *ParseFormula("E(x)");
+  EXPECT_FALSE(CompiledQuery::Compile(formula, db.vocabulary()).ok());
+  formula = *ParseFormula("S(x, y)");
+  EXPECT_FALSE(CompiledQuery::Compile(formula, db.vocabulary()).ok());
+}
+
+}  // namespace
+}  // namespace qrel

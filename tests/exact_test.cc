@@ -1,0 +1,148 @@
+#include "qrel/propositional/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "qrel/util/rng.h"
+
+namespace qrel {
+namespace {
+
+std::vector<Rational> Uniform(int n) {
+  return std::vector<Rational>(static_cast<size_t>(n), Rational::Half());
+}
+
+TEST(ExactTest, EmptyFormula) {
+  Dnf dnf(3);
+  EXPECT_TRUE(ShannonDnfProbability(dnf, Uniform(3)).IsZero());
+  EXPECT_TRUE(BruteForceDnfProbability(dnf, Uniform(3)).IsZero());
+  EXPECT_TRUE(CountDnfModels(dnf).IsZero());
+}
+
+TEST(ExactTest, ConstantTrue) {
+  Dnf dnf(2);
+  dnf.AddTerm({});
+  EXPECT_TRUE(ShannonDnfProbability(dnf, Uniform(2)).IsOne());
+  EXPECT_EQ(CountDnfModels(dnf).ToInt64(), 4);
+}
+
+TEST(ExactTest, SingleLiteral) {
+  Dnf dnf(1);
+  dnf.AddTerm({{0, true}});
+  std::vector<Rational> prob = {Rational(1, 3)};
+  EXPECT_EQ(ShannonDnfProbability(dnf, prob), Rational(1, 3));
+  EXPECT_EQ(CountDnfModels(dnf).ToInt64(), 1);
+}
+
+TEST(ExactTest, IndependentTermsInclusionExclusion) {
+  // x0 | x1 with Pr = 1/2 each: 3/4.
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}});
+  dnf.AddTerm({{1, true}});
+  EXPECT_EQ(ShannonDnfProbability(dnf, Uniform(2)), Rational(3, 4));
+  EXPECT_EQ(CountDnfModels(dnf).ToInt64(), 3);
+}
+
+TEST(ExactTest, OverlappingTerms) {
+  // (x0 & x1) | (x0 & !x2): Pr = 1/4 + 1/4 - 1/8 = 3/8 at p = 1/2.
+  Dnf dnf(3);
+  dnf.AddTerm({{0, true}, {1, true}});
+  dnf.AddTerm({{0, true}, {2, false}});
+  EXPECT_EQ(ShannonDnfProbability(dnf, Uniform(3)), Rational(3, 8));
+  EXPECT_EQ(CountDnfModels(dnf).ToInt64(), 3);
+}
+
+TEST(ExactTest, NonUniformProbabilities) {
+  // x0 | x1 with Pr[x0] = 1/3, Pr[x1] = 1/5: 1 - (2/3)(4/5) = 7/15.
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}});
+  dnf.AddTerm({{1, true}});
+  std::vector<Rational> prob = {Rational(1, 3), Rational(1, 5)};
+  EXPECT_EQ(ShannonDnfProbability(dnf, prob), Rational(7, 15));
+  EXPECT_EQ(BruteForceDnfProbability(dnf, prob), Rational(7, 15));
+}
+
+TEST(ExactTest, DeterministicVariables) {
+  // x0 forced true, x1 forced false: (x0 & x1) | !x1 is true.
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}, {1, true}});
+  dnf.AddTerm({{1, false}});
+  std::vector<Rational> prob = {Rational(1), Rational(0)};
+  EXPECT_TRUE(ShannonDnfProbability(dnf, prob).IsOne());
+}
+
+// Property sweep: Shannon expansion agrees with brute-force enumeration on
+// random formulas with random rational probabilities.
+class ExactAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactAgreementTest, ShannonMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    int variables = 2 + static_cast<int>(rng.NextBelow(8));
+    int terms = 1 + static_cast<int>(rng.NextBelow(8));
+    Dnf dnf(variables);
+    for (int t = 0; t < terms; ++t) {
+      std::vector<PropLiteral> term;
+      int width = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int l = 0; l < width; ++l) {
+        term.push_back({static_cast<int>(rng.NextBelow(
+                            static_cast<uint64_t>(variables))),
+                        rng.NextBernoulli(0.5)});
+      }
+      dnf.AddTerm(std::move(term));
+    }
+    std::vector<Rational> prob;
+    for (int v = 0; v < variables; ++v) {
+      int64_t den = 1 + static_cast<int64_t>(rng.NextBelow(9));
+      int64_t num = static_cast<int64_t>(rng.NextBelow(
+          static_cast<uint64_t>(den) + 1));
+      prob.push_back(Rational(num, den));
+    }
+    EXPECT_EQ(ShannonDnfProbability(dnf, prob),
+              BruteForceDnfProbability(dnf, prob));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactAgreementTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace qrel
+
+namespace qrel {
+namespace {
+
+// Property: subsumption pruning never changes the exact probability.
+class SubsumptionInvarianceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SubsumptionInvarianceTest, PruningPreservesProbability) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    int variables = 3 + static_cast<int>(rng.NextBelow(6));
+    Dnf dnf(variables);
+    int terms = 2 + static_cast<int>(rng.NextBelow(12));
+    for (int t = 0; t < terms; ++t) {
+      std::vector<PropLiteral> term;
+      int width = 1 + static_cast<int>(rng.NextBelow(4));
+      for (int l = 0; l < width; ++l) {
+        term.push_back({static_cast<int>(rng.NextBelow(
+                            static_cast<uint64_t>(variables))),
+                        rng.NextBernoulli(0.5)});
+      }
+      dnf.AddTerm(std::move(term));
+    }
+    std::vector<Rational> prob;
+    for (int v = 0; v < variables; ++v) {
+      prob.push_back(Rational(1 + static_cast<int64_t>(rng.NextBelow(6)), 7));
+    }
+    Rational before = ShannonDnfProbability(dnf, prob);
+    dnf.RemoveSubsumedTerms();
+    EXPECT_EQ(ShannonDnfProbability(dnf, prob), before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsumptionInvarianceTest,
+                         ::testing::Values(71u, 72u, 73u));
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,215 @@
+// Cross-validation ladder over random databases and random queries: every
+// fast or approximate path must agree with the exact world enumeration.
+// This is the repository's broadest safety net — a disagreement anywhere
+// in the stack (parser, evaluator, grounding, estimators, engine
+// dispatch) surfaces here.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qrel/core/approx.h"
+#include "qrel/core/reliability.h"
+#include "qrel/engine/engine.h"
+#include "qrel/logic/classify.h"
+#include "qrel/logic/grounding.h"
+#include "qrel/util/rng.h"
+
+namespace qrel {
+namespace {
+
+// Random database over E(2), S(1), T(1) with `uncertain` noisy atoms.
+UnreliableDatabase RandomDatabase(Rng* rng, int n, int uncertain) {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  int e = vocabulary->AddRelation("E", 2);
+  int s = vocabulary->AddRelation("S", 1);
+  int t = vocabulary->AddRelation("T", 1);
+  Structure observed(vocabulary, n);
+  for (Element i = 0; i < n; ++i) {
+    for (Element j = 0; j < n; ++j) {
+      if (rng->NextBernoulli(0.3)) {
+        observed.AddFact(e, {i, j});
+      }
+    }
+    if (rng->NextBernoulli(0.5)) observed.AddFact(s, {i});
+    if (rng->NextBernoulli(0.5)) observed.AddFact(t, {i});
+  }
+  UnreliableDatabase db(std::move(observed));
+  for (int a = 0; a < uncertain; ++a) {
+    int64_t den = 2 + static_cast<int64_t>(rng->NextBelow(6));
+    Rational mu(1 + static_cast<int64_t>(
+                        rng->NextBelow(static_cast<uint64_t>(den) - 1)),
+                den);
+    switch (rng->NextBelow(3)) {
+      case 0:
+        db.SetErrorProbability(
+            GroundAtom{e,
+                       {static_cast<Element>(rng->NextBelow(n)),
+                        static_cast<Element>(rng->NextBelow(n))}},
+            mu);
+        break;
+      case 1:
+        db.SetErrorProbability(
+            GroundAtom{s, {static_cast<Element>(rng->NextBelow(n))}}, mu);
+        break;
+      default:
+        db.SetErrorProbability(
+            GroundAtom{t, {static_cast<Element>(rng->NextBelow(n))}}, mu);
+        break;
+    }
+  }
+  return db;
+}
+
+// Random quantifier-free matrix over up to `depth` connectives.
+FormulaPtr RandomMatrix(Rng* rng, const std::vector<std::string>& variables,
+                        int depth) {
+  if (depth == 0 || rng->NextBernoulli(0.35)) {
+    // A leaf: relational atom or equality.
+    auto term = [&]() {
+      if (rng->NextBernoulli(0.85)) {
+        return Term::Var(variables[rng->NextBelow(variables.size())]);
+      }
+      return Term::Const(static_cast<Element>(rng->NextBelow(3)));
+    };
+    switch (rng->NextBelow(4)) {
+      case 0:
+        return Atom("E", {term(), term()});
+      case 1:
+        return Atom("S", {term()});
+      case 2:
+        return Atom("T", {term()});
+      default:
+        return Equals(term(), term());
+    }
+  }
+  switch (rng->NextBelow(5)) {
+    case 0:
+      return Not(RandomMatrix(rng, variables, depth - 1));
+    case 1:
+      return And(RandomMatrix(rng, variables, depth - 1),
+                 RandomMatrix(rng, variables, depth - 1));
+    case 2:
+      return Or(RandomMatrix(rng, variables, depth - 1),
+                RandomMatrix(rng, variables, depth - 1));
+    case 3:
+      return Implies(RandomMatrix(rng, variables, depth - 1),
+                     RandomMatrix(rng, variables, depth - 1));
+    default:
+      return Iff(RandomMatrix(rng, variables, depth - 1),
+                 RandomMatrix(rng, variables, depth - 1));
+  }
+}
+
+// Random sentence: a quantifier prefix over the matrix variables.
+FormulaPtr RandomSentence(Rng* rng, int quantifiers, int depth) {
+  std::vector<std::string> variables;
+  for (int i = 0; i < quantifiers; ++i) {
+    variables.push_back("v" + std::to_string(i));
+  }
+  FormulaPtr body = RandomMatrix(rng, variables, depth);
+  for (int i = quantifiers; i-- > 0;) {
+    body = rng->NextBernoulli(0.5) ? Exists(variables[i], body)
+                                   : ForAll(variables[i], body);
+  }
+  return body;
+}
+
+class IntegrationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegrationTest, QuantifierFreePathAgreesWithEnumeration) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    UnreliableDatabase db = RandomDatabase(&rng, 3, 5);
+    std::vector<std::string> variables = {"x", "y"};
+    FormulaPtr query = RandomMatrix(&rng, variables, 3);
+    ReliabilityReport fast = *QuantifierFreeReliability(query, db);
+    ReliabilityReport exact = *ExactReliability(query, db);
+    EXPECT_EQ(fast.expected_error, exact.expected_error)
+        << query->ToString();
+  }
+}
+
+TEST_P(IntegrationTest, GroundingMatchesExactProbability) {
+  Rng rng(GetParam() ^ 0xabcdefULL);
+  for (int round = 0; round < 6; ++round) {
+    UnreliableDatabase db = RandomDatabase(&rng, 3, 5);
+    // Existential sentence: ∃v0 ∃v1 matrix.
+    std::vector<std::string> variables = {"v0", "v1"};
+    FormulaPtr sentence =
+        Exists(variables, RandomMatrix(&rng, variables, 2));
+    if (!IsExistential(sentence)) {
+      continue;  // a negation-heavy matrix can hide a ∀; skip those
+    }
+    double exact = ExactQueryProbability(sentence, db, {})->ToDouble();
+    ApproxOptions options;
+    options.epsilon = 0.03;
+    options.delta = 0.02;
+    options.seed = rng.NextUint64();
+    ApproxResult fptras =
+        *ExistentialProbabilityFptras(sentence, db, {}, options);
+    if (exact == 0.0) {
+      EXPECT_EQ(fptras.estimate, 0.0) << sentence->ToString();
+    } else {
+      EXPECT_NEAR(fptras.estimate, exact, 4 * options.epsilon * exact)
+          << sentence->ToString();
+    }
+  }
+}
+
+TEST_P(IntegrationTest, PaddedEstimatorAgreesOnRandomSentences) {
+  Rng rng(GetParam() ^ 0x1234567ULL);
+  for (int round = 0; round < 3; ++round) {
+    UnreliableDatabase db = RandomDatabase(&rng, 3, 4);
+    FormulaPtr sentence = RandomSentence(&rng, 2, 2);
+    double exact = ExactReliability(sentence, db)->reliability.ToDouble();
+    ApproxOptions options;
+    options.seed = rng.NextUint64();
+    options.fixed_samples = 60000;
+    ApproxResult padded = *PaddedReliabilityApprox(sentence, db, options);
+    EXPECT_NEAR(padded.estimate, exact, 0.03) << sentence->ToString();
+  }
+}
+
+TEST_P(IntegrationTest, EngineAgreesWithExactOnAllClasses) {
+  Rng rng(GetParam() ^ 0x777ULL);
+  for (int round = 0; round < 4; ++round) {
+    UnreliableDatabase db = RandomDatabase(&rng, 3, 5);
+    FormulaPtr sentence = RandomSentence(&rng, 2, 2);
+    double exact = ExactReliability(sentence, db)->reliability.ToDouble();
+    ReliabilityEngine engine(std::move(db));
+    EngineOptions options;
+    options.seed = rng.NextUint64();
+    options.epsilon = 0.03;
+    options.delta = 0.02;
+    StatusOr<EngineReport> report = engine.Run(sentence, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_NEAR(report->reliability, exact, report->is_exact ? 1e-12 : 0.1)
+        << sentence->ToString() << " via " << report->method;
+  }
+}
+
+TEST_P(IntegrationTest, PerTupleErrorsSumToTotal) {
+  Rng rng(GetParam() ^ 0x9999ULL);
+  for (int round = 0; round < 4; ++round) {
+    UnreliableDatabase db = RandomDatabase(&rng, 3, 5);
+    std::vector<std::string> variables = {"x"};
+    FormulaPtr body = RandomMatrix(&rng, {"x", "y"}, 2);
+    FormulaPtr query = rng.NextBernoulli(0.5) ? Exists("y", body) : body;
+    std::vector<TupleError> breakdown = *PerTupleExpectedError(query, db);
+    Rational total;
+    for (const TupleError& row : breakdown) {
+      total += row.error;
+    }
+    EXPECT_EQ(total, ExactReliability(query, db)->expected_error)
+        << query->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationTest,
+                         ::testing::Values(1001u, 2002u, 3003u, 4004u,
+                                           5005u));
+
+}  // namespace
+}  // namespace qrel

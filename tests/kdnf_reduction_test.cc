@@ -1,0 +1,144 @@
+#include "qrel/propositional/kdnf_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "qrel/propositional/exact.h"
+#include "qrel/propositional/karp_luby.h"
+#include "qrel/util/rng.h"
+
+namespace qrel {
+namespace {
+
+// Checks the defining identity of the reduction:
+//   ν(φ) = (#models(φ'') − illegal) / legal.
+void ExpectReductionCorrect(const Dnf& dnf,
+                            const std::vector<Rational>& prob) {
+  StatusOr<KdnfReduction> reduction = ReduceProbKdnfToSharpDnf(dnf, prob);
+  ASSERT_TRUE(reduction.ok()) << reduction.status().ToString();
+  BigInt count = CountDnfModels(reduction->phi_pp);
+  Rational recovered = reduction->RecoverProbability(count);
+  Rational exact = ShannonDnfProbability(dnf, prob);
+  EXPECT_EQ(recovered, exact)
+      << "recovered " << recovered.ToString() << " exact "
+      << exact.ToString();
+}
+
+TEST(KdnfReductionTest, DyadicProbabilitiesNeedNoIllegalCorrection) {
+  // ν(X) = 3/4: two bits, all four assignments legal... only when the
+  // denominator is a power of two does legal == total.
+  Dnf dnf(1);
+  dnf.AddTerm({{0, true}});
+  StatusOr<KdnfReduction> reduction =
+      ReduceProbKdnfToSharpDnf(dnf, {Rational(3, 4)});
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_EQ(reduction->legal_assignments, reduction->total_assignments);
+  ExpectReductionCorrect(dnf, {Rational(3, 4)});
+}
+
+TEST(KdnfReductionTest, NonDyadicDenominator) {
+  // ν(X) = 1/3: two bits, 3 legal values, 1 illegal.
+  Dnf dnf(1);
+  dnf.AddTerm({{0, true}});
+  StatusOr<KdnfReduction> reduction =
+      ReduceProbKdnfToSharpDnf(dnf, {Rational(1, 3)});
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_EQ(reduction->bit_count, 2);
+  EXPECT_EQ(reduction->legal_assignments.ToInt64(), 3);
+  EXPECT_EQ(reduction->total_assignments.ToInt64(), 4);
+  ExpectReductionCorrect(dnf, {Rational(1, 3)});
+}
+
+TEST(KdnfReductionTest, NegativeLiterals) {
+  Dnf dnf(2);
+  dnf.AddTerm({{0, false}, {1, true}});
+  ExpectReductionCorrect(dnf, {Rational(2, 5), Rational(3, 7)});
+}
+
+TEST(KdnfReductionTest, DeterministicProbabilities) {
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}, {1, false}});
+  ExpectReductionCorrect(dnf, {Rational(1), Rational(0)});
+  ExpectReductionCorrect(dnf, {Rational(0), Rational(1)});
+}
+
+TEST(KdnfReductionTest, EmptyAndTautologicalFormulas) {
+  Dnf empty(2);
+  ExpectReductionCorrect(empty, {Rational(1, 3), Rational(2, 7)});
+
+  Dnf tautology(2);
+  tautology.AddTerm({});
+  ExpectReductionCorrect(tautology, {Rational(1, 3), Rational(2, 7)});
+}
+
+TEST(KdnfReductionTest, MultiTermOverlap) {
+  Dnf dnf(3);
+  dnf.AddTerm({{0, true}, {1, true}});
+  dnf.AddTerm({{1, true}, {2, false}});
+  dnf.AddTerm({{0, false}});
+  ExpectReductionCorrect(
+      dnf, {Rational(1, 3), Rational(5, 6), Rational(2, 7)});
+}
+
+TEST(KdnfReductionTest, RespectsTermLimit) {
+  Dnf dnf(4);
+  dnf.AddTerm({{0, true}, {1, true}, {2, true}, {3, true}});
+  std::vector<Rational> prob(4, Rational(123456789, 987654321));
+  EXPECT_FALSE(ReduceProbKdnfToSharpDnf(dnf, prob, 4).ok());
+}
+
+TEST(KdnfReductionTest, FptrasThroughReductionApproximatesProbability) {
+  // The end-to-end pipeline of Theorem 5.3: estimate #models(φ'') with the
+  // Karp-Luby FPTRAS and recover ν(φ).
+  Dnf dnf(3);
+  dnf.AddTerm({{0, true}, {1, true}});
+  dnf.AddTerm({{2, true}});
+  std::vector<Rational> prob = {Rational(1, 3), Rational(2, 5),
+                                Rational(1, 7)};
+  KdnfReduction reduction = *ReduceProbKdnfToSharpDnf(dnf, prob);
+
+  KarpLubyOptions options;
+  options.epsilon = 0.01;
+  options.delta = 0.01;
+  options.seed = 321;
+  KarpLubyResult count = *KarpLubyCount(reduction.phi_pp, options);
+  double recovered = reduction.RecoverProbability(count.estimate);
+  double exact = ShannonDnfProbability(dnf, prob).ToDouble();
+  // The subtraction amplifies the relative error of the count; stay loose.
+  EXPECT_NEAR(recovered, exact, 0.05);
+}
+
+class KdnfReductionPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(KdnfReductionPropertyTest, RandomFormulasRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    int variables = 1 + static_cast<int>(rng.NextBelow(4));
+    Dnf dnf(variables);
+    int terms = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int t = 0; t < terms; ++t) {
+      std::vector<PropLiteral> term;
+      int width = 1 + static_cast<int>(rng.NextBelow(2));
+      for (int l = 0; l < width; ++l) {
+        term.push_back({static_cast<int>(rng.NextBelow(
+                            static_cast<uint64_t>(variables))),
+                        rng.NextBernoulli(0.5)});
+      }
+      dnf.AddTerm(std::move(term));
+    }
+    std::vector<Rational> prob;
+    for (int v = 0; v < variables; ++v) {
+      int64_t den = 1 + static_cast<int64_t>(rng.NextBelow(9));
+      int64_t num = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(den) + 1));
+      prob.push_back(Rational(num, den));
+    }
+    ExpectReductionCorrect(dnf, prob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdnfReductionPropertyTest,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+}  // namespace
+}  // namespace qrel

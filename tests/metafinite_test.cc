@@ -1,0 +1,363 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qrel/metafinite/functional_database.h"
+#include "qrel/metafinite/reliability.h"
+#include "qrel/metafinite/term.h"
+
+namespace qrel {
+namespace {
+
+// salary : A -> Q over a 4-element universe; dept : A -> Q as group key.
+UnreliableFunctionalDatabase PayrollDatabase() {
+  auto vocabulary = std::make_shared<FunctionalVocabulary>();
+  int salary = vocabulary->AddFunction("salary", 1);
+  int dept = vocabulary->AddFunction("dept", 1);
+  FunctionalStructure observed(vocabulary, 4);
+  observed.SetValue(salary, {0}, Rational(100));
+  observed.SetValue(salary, {1}, Rational(200));
+  observed.SetValue(salary, {2}, Rational(300));
+  observed.SetValue(salary, {3}, Rational(400));
+  observed.SetValue(dept, {0}, Rational(1));
+  observed.SetValue(dept, {1}, Rational(1));
+  observed.SetValue(dept, {2}, Rational(2));
+  observed.SetValue(dept, {3}, Rational(2));
+  return UnreliableFunctionalDatabase(std::move(observed));
+}
+
+ValueDistribution TwoPoint(Rational a, Rational pa, Rational b) {
+  ValueDistribution distribution;
+  distribution.outcomes.push_back({std::move(a), pa});
+  distribution.outcomes.push_back({std::move(b), pa.Complement()});
+  return distribution;
+}
+
+TEST(FunctionalVocabularyTest, AddAndFind) {
+  FunctionalVocabulary vocabulary;
+  int f = vocabulary.AddFunction("f", 2);
+  EXPECT_EQ(vocabulary.function_count(), 1);
+  EXPECT_EQ(vocabulary.function(f).arity, 2);
+  EXPECT_EQ(vocabulary.FindFunction("f"), f);
+  EXPECT_FALSE(vocabulary.FindFunction("g").has_value());
+}
+
+TEST(FunctionalStructureTest, DefaultValueIsZero) {
+  auto vocabulary = std::make_shared<FunctionalVocabulary>();
+  vocabulary->AddFunction("f", 1);
+  FunctionalStructure structure(vocabulary, 3);
+  EXPECT_TRUE(structure.Value(0, {2}).IsZero());
+  structure.SetValue(0, {2}, Rational(5, 2));
+  EXPECT_EQ(structure.Value(0, {2}), Rational(5, 2));
+}
+
+TEST(ValueDistributionTest, Validation) {
+  ValueDistribution ok = TwoPoint(Rational(1), Rational(1, 3), Rational(2));
+  EXPECT_TRUE(ok.Validate().ok());
+
+  ValueDistribution empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  ValueDistribution bad_sum;
+  bad_sum.outcomes.push_back({Rational(1), Rational(1, 3)});
+  bad_sum.outcomes.push_back({Rational(2), Rational(1, 3)});
+  EXPECT_FALSE(bad_sum.Validate().ok());
+
+  ValueDistribution duplicate;
+  duplicate.outcomes.push_back({Rational(1), Rational(1, 2)});
+  duplicate.outcomes.push_back({Rational(1), Rational(1, 2)});
+  EXPECT_FALSE(duplicate.Validate().ok());
+
+  ValueDistribution negative;
+  negative.outcomes.push_back({Rational(1), Rational(-1, 2)});
+  negative.outcomes.push_back({Rational(2), Rational(3, 2)});
+  EXPECT_FALSE(negative.Validate().ok());
+}
+
+TEST(UnreliableFunctionalDatabaseTest, WorldProbabilitiesSumToOne) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {0}},
+                    TwoPoint(Rational(100), Rational(2, 3), Rational(150)))
+                  .ok());
+  ValueDistribution three;
+  three.outcomes.push_back({Rational(200), Rational(1, 2)});
+  three.outcomes.push_back({Rational(250), Rational(1, 3)});
+  three.outcomes.push_back({Rational(300), Rational(1, 6)});
+  ASSERT_TRUE(db.SetDistribution(FunctionEntry{salary, {1}}, three).ok());
+
+  EXPECT_EQ(db.WorldCount(), 6u);
+  Rational total;
+  int worlds = 0;
+  db.ForEachWorld([&](const FunctionalWorld& world, const Rational& p) {
+    ++worlds;
+    total += p;
+    EXPECT_EQ(p, db.WorldProbability(world));
+  });
+  EXPECT_EQ(worlds, 6);
+  EXPECT_TRUE(total.IsOne());
+}
+
+TEST(UnreliableFunctionalDatabaseTest, WorldViewReadsOutcomes) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  int id = *db.SetDistribution(
+      FunctionEntry{salary, {0}},
+      TwoPoint(Rational(100), Rational(1, 2), Rational(150)));
+
+  FunctionalWorld world(1, 0);
+  EXPECT_EQ(FunctionalWorldView(db, world).Value(salary, {0}),
+            Rational(100));
+  world[static_cast<size_t>(id)] = 1;
+  EXPECT_EQ(FunctionalWorldView(db, world).Value(salary, {0}),
+            Rational(150));
+  // Certain entries read the observed value.
+  EXPECT_EQ(FunctionalWorldView(db, world).Value(salary, {3}),
+            Rational(400));
+}
+
+TEST(MTermTest, ToStringAndFreeVariables) {
+  MTermPtr term = MAdd(MApply("salary", {Term::Var("x")}), MConst(5));
+  EXPECT_EQ(term->ToString(), "(salary(x) + 5)");
+  EXPECT_EQ(term->FreeVariables(), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(term->IsQuantifierFree());
+
+  MTermPtr aggregate = MSum("y", MApply("salary", {Term::Var("y")}));
+  EXPECT_EQ(aggregate->ToString(), "sum y . (salary(y))");
+  EXPECT_TRUE(aggregate->FreeVariables().empty());
+  EXPECT_FALSE(aggregate->IsQuantifierFree());
+}
+
+TEST(MTermTest, ValidateCatchesBadFunctions) {
+  auto vocabulary = std::make_shared<FunctionalVocabulary>();
+  vocabulary->AddFunction("f", 1);
+  EXPECT_TRUE(ValidateTerm(MApply("f", {Term::Var("x")}), *vocabulary).ok());
+  EXPECT_FALSE(ValidateTerm(MApply("g", {Term::Var("x")}), *vocabulary).ok());
+  EXPECT_FALSE(ValidateTerm(MApply("f", {}), *vocabulary).ok());
+}
+
+TEST(MTermTest, ArithmeticEvaluation) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  const FunctionalStructure& s = db.observed();
+  EXPECT_EQ(EvalTerm(MConst(Rational(7, 2)), s, {}), Rational(7, 2));
+  EXPECT_EQ(EvalTerm(MAdd(MConst(1), MConst(2)), s, {}), Rational(3));
+  EXPECT_EQ(EvalTerm(MSub(MConst(1), MConst(2)), s, {}), Rational(-1));
+  EXPECT_EQ(EvalTerm(MMul(MConst(3), MConst(4)), s, {}), Rational(12));
+  EXPECT_EQ(EvalTerm(MDiv(MConst(3), MConst(4)), s, {}), Rational(3, 4));
+  // Division by zero is total and yields 0.
+  EXPECT_TRUE(EvalTerm(MDiv(MConst(3), MConst(0)), s, {}).IsZero());
+  EXPECT_EQ(EvalTerm(MNeg(MConst(5)), s, {}), Rational(-5));
+}
+
+TEST(MTermTest, ComparisonsAndBooleans) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  const FunctionalStructure& s = db.observed();
+  EXPECT_EQ(EvalTerm(MEq(MConst(2), MConst(2)), s, {}), Rational(1));
+  EXPECT_EQ(EvalTerm(MEq(MConst(2), MConst(3)), s, {}), Rational(0));
+  EXPECT_EQ(EvalTerm(MLess(MConst(2), MConst(3)), s, {}), Rational(1));
+  EXPECT_EQ(EvalTerm(MLessEq(MConst(3), MConst(3)), s, {}), Rational(1));
+  EXPECT_EQ(EvalTerm(MNot(MConst(0)), s, {}), Rational(1));
+  EXPECT_EQ(EvalTerm(MAnd(MConst(1), MConst(0)), s, {}), Rational(0));
+  EXPECT_EQ(EvalTerm(MOr(MConst(1), MConst(0)), s, {}), Rational(1));
+  EXPECT_EQ(
+      EvalTerm(MIte(MConst(1), MConst(10), MConst(20)), s, {}),
+      Rational(10));
+  EXPECT_EQ(
+      EvalTerm(MIte(MConst(0), MConst(10), MConst(20)), s, {}),
+      Rational(20));
+}
+
+TEST(MTermTest, FunctionApplicationWithAssignment) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr term = MApply("salary", {Term::Var("x")});
+  EXPECT_EQ(EvalTerm(term, db.observed(), {2}), Rational(300));
+  EXPECT_EQ(EvalTerm(MApply("salary", {Term::Const(1)}), db.observed(), {}),
+            Rational(200));
+}
+
+TEST(MTermTest, AggregatesOverUniverse) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  const FunctionalStructure& s = db.observed();
+  MTermPtr salary_y = MApply("salary", {Term::Var("y")});
+  EXPECT_EQ(EvalTerm(MSum("y", salary_y), s, {}), Rational(1000));
+  EXPECT_EQ(EvalTerm(MMin("y", salary_y), s, {}), Rational(100));
+  EXPECT_EQ(EvalTerm(MMax("y", salary_y), s, {}), Rational(400));
+  EXPECT_EQ(EvalTerm(MAvg("y", salary_y), s, {}), Rational(250));
+  // count of elements with salary > 150.
+  EXPECT_EQ(
+      EvalTerm(MCount("y", MLess(MConst(150), salary_y)), s, {}),
+      Rational(3));
+  // Π over a small term.
+  EXPECT_EQ(EvalTerm(MProd("y", MApply("dept", {Term::Var("y")})), s, {}),
+            Rational(4));
+}
+
+TEST(MTermTest, GroupedAggregateWithFreeVariable) {
+  // SELECT SUM(salary) GROUP BY dept, as a term with free variable x:
+  // Σ_y (dept(y) == dept(x)) * salary(y).
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr term =
+      MSum("y", MMul(MEq(MApply("dept", {Term::Var("y")}),
+                         MApply("dept", {Term::Var("x")})),
+                     MApply("salary", {Term::Var("y")})));
+  EXPECT_EQ(term->FreeVariables(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(EvalTerm(term, db.observed(), {0}), Rational(300));
+  EXPECT_EQ(EvalTerm(term, db.observed(), {3}), Rational(700));
+}
+
+TEST(MetafiniteReliabilityTest, CertainDatabasePerfectlyReliable) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr query = MSum("y", MApply("salary", {Term::Var("y")}));
+  FunctionalReliabilityReport report =
+      *ExactFunctionalReliability(query, db);
+  EXPECT_TRUE(report.expected_error.IsZero());
+  EXPECT_TRUE(report.reliability.IsOne());
+}
+
+TEST(MetafiniteReliabilityTest, SumQueryHandComputed) {
+  // salary(0) is 100 w.p. 2/3 or 150 w.p. 1/3; Σ salary differs from the
+  // observed 1000 exactly when the actual value is 150: H = 1/3.
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {0}},
+                    TwoPoint(Rational(100), Rational(2, 3), Rational(150)))
+                  .ok());
+  MTermPtr query = MSum("y", MApply("salary", {Term::Var("y")}));
+  FunctionalReliabilityReport report =
+      *ExactFunctionalReliability(query, db);
+  EXPECT_EQ(report.expected_error, Rational(1, 3));
+  EXPECT_EQ(report.reliability, Rational(2, 3));
+}
+
+TEST(MetafiniteReliabilityTest, MaxQueryAbsorbsIrrelevantNoise) {
+  // max salary is 400; noise on salary(0) between 100 and 150 never
+  // changes the maximum.
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {0}},
+                    TwoPoint(Rational(100), Rational(1, 2), Rational(150)))
+                  .ok());
+  MTermPtr query = MMax("y", MApply("salary", {Term::Var("y")}));
+  FunctionalReliabilityReport report =
+      *ExactFunctionalReliability(query, db);
+  EXPECT_TRUE(report.reliability.IsOne());
+}
+
+TEST(MetafiniteReliabilityTest, QuantifierFreeMatchesExact) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  int dept = *db.vocabulary().FindFunction("dept");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {0}},
+                    TwoPoint(Rational(100), Rational(2, 3), Rational(150)))
+                  .ok());
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {2}},
+                    TwoPoint(Rational(300), Rational(1, 2), Rational(50)))
+                  .ok());
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{dept, {1}},
+                    TwoPoint(Rational(1), Rational(4, 5), Rational(2)))
+                  .ok());
+
+  const MTermPtr queries[] = {
+      MApply("salary", {Term::Var("x")}),
+      MLess(MConst(120), MApply("salary", {Term::Var("x")})),
+      MAdd(MApply("salary", {Term::Var("x")}),
+           MApply("dept", {Term::Var("x")})),
+      MMul(MEq(MApply("dept", {Term::Var("x")}),
+               MApply("dept", {Term::Var("z")})),
+           MApply("salary", {Term::Var("x")})),
+      MApply("salary", {Term::Const(0)}),
+  };
+  for (const MTermPtr& query : queries) {
+    FunctionalReliabilityReport fast =
+        *QuantifierFreeFunctionalReliability(query, db);
+    FunctionalReliabilityReport exact = *ExactFunctionalReliability(query, db);
+    EXPECT_EQ(fast.expected_error, exact.expected_error)
+        << query->ToString();
+    EXPECT_EQ(fast.reliability, exact.reliability) << query->ToString();
+  }
+}
+
+TEST(MetafiniteReliabilityTest, QuantifierFreeRejectsAggregates) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr query = MSum("y", MApply("salary", {Term::Var("y")}));
+  EXPECT_FALSE(QuantifierFreeFunctionalReliability(query, db).ok());
+}
+
+TEST(MetafiniteReliabilityTest, MonteCarloConvergesToExact) {
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {0}},
+                    TwoPoint(Rational(100), Rational(2, 3), Rational(150)))
+                  .ok());
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {1}},
+                    TwoPoint(Rational(200), Rational(1, 2), Rational(20)))
+                  .ok());
+  MTermPtr query = MAvg("y", MApply("salary", {Term::Var("y")}));
+  double exact = ExactFunctionalReliability(query, db)
+                     ->reliability.ToDouble();
+  FunctionalMcResult mc = *McFunctionalReliability(query, db, 20000, 5);
+  EXPECT_NEAR(mc.estimate, exact, 0.02);
+}
+
+}  // namespace
+}  // namespace qrel
+
+namespace qrel {
+namespace {
+
+TEST(MTermTest, NestedAggregates) {
+  // Σ_x Σ_y (salary(x) == salary(y)): counts equal-salary pairs. All
+  // salaries distinct -> exactly the n diagonal pairs.
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr pairs = MSum(
+      "x", MSum("y", MEq(MApply("salary", {Term::Var("x")}),
+                         MApply("salary", {Term::Var("y")}))));
+  EXPECT_EQ(EvalTerm(pairs, db.observed(), {}), Rational(4));
+}
+
+TEST(MTermTest, AggregateVariableShadowing) {
+  // Σ_x (dept(x) + Σ_x salary(x)): the inner x shadows the outer one, so
+  // the inner sum is the same constant (1000) for every outer x.
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr term =
+      MSum("x", MAdd(MApply("dept", {Term::Var("x")}),
+                     MSum("x", MApply("salary", {Term::Var("x")}))));
+  // Σ dept = 1+1+2+2 = 6; plus 4 * 1000.
+  EXPECT_EQ(EvalTerm(term, db.observed(), {}), Rational(4006));
+}
+
+TEST(MTermTest, CountWithCompositeGuard) {
+  // |{ y : dept(y) == 1 && salary(y) > 150 }| = 1 (element 1).
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  MTermPtr term = MCount(
+      "y", MAnd(MEq(MApply("dept", {Term::Var("y")}), MConst(1)),
+                MLess(MConst(150), MApply("salary", {Term::Var("y")}))));
+  EXPECT_EQ(EvalTerm(term, db.observed(), {}), Rational(1));
+}
+
+TEST(MetafiniteReliabilityTest, NestedAggregateReliability) {
+  // Reliability of the min-salary query under a two-point perturbation
+  // that sometimes drops below the current minimum.
+  UnreliableFunctionalDatabase db = PayrollDatabase();
+  int salary = *db.vocabulary().FindFunction("salary");
+  ASSERT_TRUE(db.SetDistribution(
+                    FunctionEntry{salary, {3}},
+                    TwoPoint(Rational(400), Rational(3, 5), Rational(50)))
+                  .ok());
+  MTermPtr query = MMin("y", MApply("salary", {Term::Var("y")}));
+  FunctionalReliabilityReport report =
+      *ExactFunctionalReliability(query, db);
+  // min is 100 unless salary(3) drops to 50 (probability 2/5).
+  EXPECT_EQ(report.expected_error, Rational(2, 5));
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,59 @@
+#include "qrel/propositional/naive_mc.h"
+
+#include <gtest/gtest.h>
+
+#include "qrel/propositional/exact.h"
+
+namespace qrel {
+namespace {
+
+TEST(NaiveMcTest, RejectsBadArguments) {
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}});
+  EXPECT_FALSE(NaiveMcProbability(dnf, {Rational(1, 2)}, 100, 1).ok());
+  EXPECT_FALSE(NaiveMcProbability(
+                   dnf, {Rational(1, 2), Rational(1, 2)}, 0, 1)
+                   .ok());
+  EXPECT_FALSE(NaiveMcProbability(
+                   dnf, {Rational(2), Rational(1, 2)}, 100, 1)
+                   .ok());
+}
+
+TEST(NaiveMcTest, ConstantFormulas) {
+  Dnf never(2);
+  NaiveMcResult result =
+      *NaiveMcProbability(never, {Rational(1, 2), Rational(1, 2)}, 500, 1);
+  EXPECT_EQ(result.hits, 0u);
+  EXPECT_EQ(result.estimate, 0.0);
+
+  Dnf always(2);
+  always.AddTerm({});
+  result =
+      *NaiveMcProbability(always, {Rational(1, 2), Rational(1, 2)}, 500, 1);
+  EXPECT_EQ(result.hits, 500u);
+  EXPECT_EQ(result.estimate, 1.0);
+}
+
+TEST(NaiveMcTest, ConvergesToExactProbability) {
+  // (x0 & x1) | !x2 at mixed probabilities.
+  Dnf dnf(3);
+  dnf.AddTerm({{0, true}, {1, true}});
+  dnf.AddTerm({{2, false}});
+  std::vector<Rational> prob = {Rational(1, 3), Rational(1, 2),
+                                Rational(3, 4)};
+  double exact = ShannonDnfProbability(dnf, prob).ToDouble();
+  NaiveMcResult result = *NaiveMcProbability(dnf, prob, 40000, 9);
+  EXPECT_NEAR(result.estimate, exact, 0.01);
+}
+
+TEST(NaiveMcTest, DeterministicForFixedSeed) {
+  Dnf dnf(2);
+  dnf.AddTerm({{0, true}});
+  std::vector<Rational> prob = {Rational(1, 2), Rational(1, 2)};
+  NaiveMcResult a = *NaiveMcProbability(dnf, prob, 1000, 77);
+  NaiveMcResult b = *NaiveMcProbability(dnf, prob, 1000, 77);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+}  // namespace
+}  // namespace qrel

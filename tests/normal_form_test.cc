@@ -1,0 +1,212 @@
+#include "qrel/logic/normal_form.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/classify.h"
+#include "qrel/logic/eval.h"
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+bool IsNnf(const Formula& formula) {
+  switch (formula.kind) {
+    case FormulaKind::kNot:
+      return formula.children[0]->kind == FormulaKind::kAtom ||
+             formula.children[0]->kind == FormulaKind::kEquals;
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    default:
+      for (const FormulaPtr& child : formula.children) {
+        if (!IsNnf(*child)) return false;
+      }
+      return true;
+  }
+}
+
+// Exhaustively checks semantic equivalence of two sentences over all
+// databases with one unary relation S on a 2-element universe.
+void ExpectEquivalentOverUnaryDatabases(const FormulaPtr& a,
+                                        const FormulaPtr& b) {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  vocabulary->AddRelation("S", 1);
+  vocabulary->AddRelation("T", 1);
+  CompiledQuery qa = std::move(CompiledQuery::Compile(a, *vocabulary)).value();
+  CompiledQuery qb = std::move(CompiledQuery::Compile(b, *vocabulary)).value();
+  for (int mask = 0; mask < 16; ++mask) {
+    Structure db(vocabulary, 2);
+    db.SetFact(0, {0}, mask & 1);
+    db.SetFact(0, {1}, mask & 2);
+    db.SetFact(1, {0}, mask & 4);
+    db.SetFact(1, {1}, mask & 8);
+    EXPECT_EQ(qa.Eval(db, {}), qb.Eval(db, {}))
+        << a->ToString() << " vs " << b->ToString() << " on mask " << mask;
+  }
+}
+
+TEST(NnfTest, OutputIsNnfAndEquivalent) {
+  for (const std::string text : {
+           "!(S(#0) & T(#1))",
+           "!(S(#0) | T(#1))",
+           "S(#0) -> T(#1)",
+           "!(S(#0) -> T(#1))",
+           "S(#0) <-> T(#1)",
+           "!(S(#0) <-> T(#1))",
+           "!!S(#0)",
+           "!(exists x . S(x))",
+           "!(forall x . S(x) -> T(x))",
+           "!(S(#0) <-> (T(#0) -> S(#1)))",
+           "!true",
+           "!false",
+       }) {
+    FormulaPtr original = MustParse(text);
+    FormulaPtr nnf = ToNnf(original);
+    EXPECT_TRUE(IsNnf(*nnf)) << text << " => " << nnf->ToString();
+    ExpectEquivalentOverUnaryDatabases(original, nnf);
+  }
+}
+
+TEST(NnfTest, QuantifiersFlipUnderNegation) {
+  FormulaPtr nnf = ToNnf(MustParse("!(exists x . S(x))"));
+  EXPECT_EQ(nnf->kind, FormulaKind::kForAll);
+  EXPECT_EQ(nnf->children[0]->ToString(), "!(S(x))");
+
+  nnf = ToNnf(MustParse("!(forall x . S(x))"));
+  EXPECT_EQ(nnf->kind, FormulaKind::kExists);
+}
+
+TEST(SubstituteVariableTest, RenamesFreeOccurrences) {
+  FormulaPtr formula = MustParse("S(x) & (exists x . T(x)) & E2(x, y)");
+  FormulaPtr renamed = SubstituteVariable(formula, "x", "w");
+  EXPECT_EQ(renamed->ToString(),
+            "(S(w) & exists x . (T(x)) & E2(w, y))");
+}
+
+TEST(QfNnfToDnfTest, AtomIsSingleTerm) {
+  FormulaPtr formula = ToNnf(MustParse("S(x)"));
+  auto dnf = QfNnfToDnf(formula);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 1u);
+  EXPECT_TRUE((*dnf)[0][0].positive);
+}
+
+TEST(QfNnfToDnfTest, DistributesAndOverOr) {
+  // (a | b) & (c | d) -> 4 terms.
+  FormulaPtr formula =
+      ToNnf(MustParse("(S(#0) | S(#1)) & (T(#0) | T(#1))"));
+  auto dnf = QfNnfToDnf(formula);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 4u);
+  for (const SymbolicConjunct& term : *dnf) {
+    EXPECT_EQ(term.size(), 2u);
+  }
+}
+
+TEST(QfNnfToDnfTest, DropsContradictoryTerms) {
+  FormulaPtr formula = ToNnf(MustParse("S(#0) & !S(#0)"));
+  auto dnf = QfNnfToDnf(formula);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_TRUE(dnf->empty());
+}
+
+TEST(QfNnfToDnfTest, MergesDuplicateLiterals) {
+  FormulaPtr formula = ToNnf(MustParse("S(#0) & S(#0)"));
+  auto dnf = QfNnfToDnf(formula);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 1u);
+}
+
+TEST(QfNnfToDnfTest, TrueGivesEmptyConjunct) {
+  auto dnf = QfNnfToDnf(ToNnf(MustParse("true")));
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_TRUE((*dnf)[0].empty());
+}
+
+TEST(QfNnfToDnfTest, FalseGivesNoTerms) {
+  auto dnf = QfNnfToDnf(ToNnf(MustParse("false")));
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_TRUE(dnf->empty());
+}
+
+TEST(QfNnfToDnfTest, RespectsConjunctLimit) {
+  // (a|b) & (c|d) & (e|f) & (g|h) = 16 terms; limit 8 must fail.
+  FormulaPtr formula = ToNnf(MustParse(
+      "(S(#0) | S(#1)) & (T(#0) | T(#1)) & (S(#2) | S(#3)) & "
+      "(T(#2) | T(#3))"));
+  EXPECT_FALSE(QfNnfToDnf(formula, 8).ok());
+  EXPECT_TRUE(QfNnfToDnf(formula, 16).ok());
+}
+
+TEST(PrenexExistentialTest, HoistsNestedExistentials) {
+  FormulaPtr formula =
+      MustParse("(exists x . S(x)) & (exists x . T(x))");
+  auto prenex = ToPrenexExistential(formula);
+  ASSERT_TRUE(prenex.ok());
+  EXPECT_EQ(prenex->bound_variables.size(), 2u);
+  EXPECT_TRUE(prenex->free_variables.empty());
+  EXPECT_TRUE(IsQuantifierFree(prenex->matrix));
+  // Fresh names are distinct.
+  EXPECT_NE(prenex->bound_variables[0], prenex->bound_variables[1]);
+}
+
+TEST(PrenexExistentialTest, NegatedUniversalIsExistential) {
+  FormulaPtr formula = MustParse("!(forall x . S(x))");
+  auto prenex = ToPrenexExistential(formula);
+  ASSERT_TRUE(prenex.ok());
+  EXPECT_EQ(prenex->bound_variables.size(), 1u);
+}
+
+TEST(PrenexExistentialTest, RejectsUniversal) {
+  EXPECT_FALSE(ToPrenexExistential(MustParse("forall x . S(x)")).ok());
+  EXPECT_FALSE(
+      ToPrenexExistential(MustParse("!(exists x . S(x))")).ok());
+  // Implication hides a universal under the premise? No: a -> b with
+  // existential premise is !a | b; ∃ under ! becomes ∀.
+  EXPECT_FALSE(
+      ToPrenexExistential(MustParse("(exists x . S(x)) -> T(#0)")).ok());
+}
+
+TEST(PrenexExistentialTest, KeepsFreeVariables) {
+  FormulaPtr formula = MustParse("exists y . E2(x, y)");
+  auto prenex = ToPrenexExistential(formula);
+  ASSERT_TRUE(prenex.ok());
+  EXPECT_EQ(prenex->free_variables, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(prenex->bound_variables.size(), 1u);
+}
+
+TEST(PrenexExistentialTest, PrenexPreservesSemantics) {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  vocabulary->AddRelation("S", 1);
+  vocabulary->AddRelation("T", 1);
+  FormulaPtr formula = MustParse(
+      "(exists x . S(x) & !T(x)) | !(forall y . T(y)) | "
+      "(exists z . S(z) & T(z))");
+  auto prenex = ToPrenexExistential(formula);
+  ASSERT_TRUE(prenex.ok());
+  FormulaPtr rebuilt = Exists(prenex->bound_variables, prenex->matrix);
+  CompiledQuery original = std::move(CompiledQuery::Compile(formula, *vocabulary)).value();
+  CompiledQuery hoisted = std::move(CompiledQuery::Compile(rebuilt, *vocabulary)).value();
+  for (int mask = 0; mask < 64; ++mask) {
+    Structure db(vocabulary, 3);
+    for (int i = 0; i < 3; ++i) {
+      db.SetFact(0, {i}, (mask >> i) & 1);
+      db.SetFact(1, {i}, (mask >> (3 + i)) & 1);
+    }
+    EXPECT_EQ(original.Eval(db, {}), hoisted.Eval(db, {})) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,126 @@
+#include "qrel/logic/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+// Parses, printing the status on failure.
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+  return *result;
+}
+
+TEST(ParserTest, ParsesAtoms) {
+  EXPECT_EQ(MustParse("E(x, y)")->ToString(), "E(x, y)");
+  EXPECT_EQ(MustParse("S(x)")->ToString(), "S(x)");
+  EXPECT_EQ(MustParse("P()")->ToString(), "P()");
+  EXPECT_EQ(MustParse("E(x, 3)")->ToString(), "E(x, #3)");
+  EXPECT_EQ(MustParse("E(#1, #2)")->ToString(), "E(#1, #2)");
+}
+
+TEST(ParserTest, ParsesEqualities) {
+  EXPECT_EQ(MustParse("x = y")->ToString(), "x = y");
+  EXPECT_EQ(MustParse("x != y")->ToString(), "!(x = y)");
+  EXPECT_EQ(MustParse("x = 3")->ToString(), "x = #3");
+}
+
+TEST(ParserTest, PrecedenceAndBeforeOr) {
+  FormulaPtr formula = MustParse("S(x) | T(x) & U(x)");
+  EXPECT_EQ(formula->kind, FormulaKind::kOr);
+  EXPECT_EQ(formula->ToString(), "(S(x) | (T(x) & U(x)))");
+}
+
+TEST(ParserTest, PrecedenceOrBeforeImplies) {
+  EXPECT_EQ(MustParse("S(x) | T(x) -> U(x)")->ToString(),
+            "((S(x) | T(x)) -> U(x))");
+}
+
+TEST(ParserTest, ImpliesRightAssociative) {
+  EXPECT_EQ(MustParse("S(x) -> T(x) -> U(x)")->ToString(),
+            "(S(x) -> (T(x) -> U(x)))");
+}
+
+TEST(ParserTest, IffLowestPrecedence) {
+  EXPECT_EQ(MustParse("S(x) -> T(x) <-> U(x)")->ToString(),
+            "((S(x) -> T(x)) <-> U(x))");
+}
+
+TEST(ParserTest, NegationBindsTight) {
+  EXPECT_EQ(MustParse("!S(x) & T(x)")->ToString(), "(!(S(x)) & T(x))");
+  EXPECT_EQ(MustParse("!(S(x) & T(x))")->ToString(), "!((S(x) & T(x)))");
+  EXPECT_EQ(MustParse("!!S(x)")->ToString(), "!(!(S(x)))");
+}
+
+TEST(ParserTest, QuantifiersScopeRight) {
+  EXPECT_EQ(MustParse("exists x . S(x) & T(x)")->ToString(),
+            "exists x . ((S(x) & T(x)))");
+  EXPECT_EQ(MustParse("forall x . S(x) -> T(x)")->ToString(),
+            "forall x . ((S(x) -> T(x)))");
+}
+
+TEST(ParserTest, MultiVariableQuantifier) {
+  FormulaPtr formula = MustParse("exists x y z . L(x,y) & R(x,z)");
+  EXPECT_EQ(formula->kind, FormulaKind::kExists);
+  EXPECT_EQ(formula->bound_variable, "x");
+  EXPECT_EQ(formula->children[0]->bound_variable, "y");
+  EXPECT_EQ(formula->children[0]->children[0]->bound_variable, "z");
+}
+
+TEST(ParserTest, PaperQueries) {
+  // Proposition 3.2's conjunctive query.
+  FormulaPtr prop32 =
+      MustParse("exists x y z . L(x,y) & R(x,z) & S(y) & S(z)");
+  EXPECT_TRUE(prop32->FreeVariables().empty());
+
+  // Lemma 5.9's non-4-colouring query.
+  FormulaPtr lemma59 = MustParse(
+      "exists x y . E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))");
+  EXPECT_TRUE(lemma59->FreeVariables().empty());
+}
+
+TEST(ParserTest, TrueFalseKeywords) {
+  EXPECT_EQ(MustParse("true")->kind, FormulaKind::kTrue);
+  EXPECT_EQ(MustParse("false")->kind, FormulaKind::kFalse);
+  EXPECT_EQ(MustParse("true & S(x)")->ToString(), "(true & S(x))");
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  for (const std::string text : {
+           "exists x y z . L(x,y) & R(x,z) & S(y) & S(z)",
+           "forall x . S(x) -> exists y . E(x,y)",
+           "!(S(x) | T(y)) <-> U(z)",
+           "exists x . x = #2 & S(x)",
+           "P() & !Q()",
+       }) {
+    FormulaPtr first = MustParse(text);
+    FormulaPtr second = MustParse(first->ToString());
+    EXPECT_EQ(first->ToString(), second->ToString()) << text;
+  }
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseFormula("").ok());
+  EXPECT_FALSE(ParseFormula("S(x").ok());
+  EXPECT_FALSE(ParseFormula("S(x))").ok());
+  EXPECT_FALSE(ParseFormula("S(x) &").ok());
+  EXPECT_FALSE(ParseFormula("& S(x)").ok());
+  EXPECT_FALSE(ParseFormula("exists . S(x)").ok());
+  EXPECT_FALSE(ParseFormula("exists x S(x)").ok());
+  EXPECT_FALSE(ParseFormula("S(x) T(y)").ok());
+  EXPECT_FALSE(ParseFormula("x").ok());
+  EXPECT_FALSE(ParseFormula("x =").ok());
+  EXPECT_FALSE(ParseFormula("S(x,)").ok());
+  EXPECT_FALSE(ParseFormula("<- S(x)").ok());
+  EXPECT_FALSE(ParseFormula("S(x) - T(y)").ok());
+}
+
+TEST(ParserTest, ErrorsMentionPosition) {
+  Status status = ParseFormula("S(x) @ T(y)").status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("position"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,165 @@
+#include "qrel/metafinite/relational_bridge.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qrel/core/reliability.h"
+#include "qrel/logic/eval.h"
+#include "qrel/logic/parser.h"
+#include "qrel/metafinite/reliability.h"
+#include "qrel/util/rng.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+UnreliableDatabase SmallDatabase() {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddRelation("S", 1);
+  Structure observed(vocabulary, 3);
+  observed.AddFact(0, {0, 1});
+  observed.AddFact(0, {1, 2});
+  observed.AddFact(1, {0});
+  UnreliableDatabase db(std::move(observed));
+  db.SetErrorProbability(GroundAtom{0, {0, 1}}, Rational(1, 3));
+  db.SetErrorProbability(GroundAtom{1, {1}}, Rational(1, 4));
+  db.SetErrorProbability(GroundAtom{1, {2}}, Rational(1));  // certain flip
+  return db;
+}
+
+TEST(RelationalBridgeTest, EncodingShape) {
+  UnreliableDatabase db = SmallDatabase();
+  UnreliableFunctionalDatabase encoded = *EncodeRelationalDatabase(db);
+  const FunctionalVocabulary& vocabulary = encoded.vocabulary();
+  int chi_e = *vocabulary.FindFunction("chi_E");
+  int chi_s = *vocabulary.FindFunction("chi_S");
+  int id = *vocabulary.FindFunction("id");
+
+  // χ values reflect the observed database.
+  EXPECT_EQ(encoded.observed().Value(chi_e, {0, 1}), Rational(1));
+  EXPECT_EQ(encoded.observed().Value(chi_e, {1, 0}), Rational(0));
+  EXPECT_EQ(encoded.observed().Value(chi_s, {0}), Rational(1));
+  // id is the identity.
+  for (Element a = 0; a < 3; ++a) {
+    EXPECT_EQ(encoded.observed().Value(id, {a}), Rational(a));
+  }
+  // One distribution per error-model entry.
+  EXPECT_EQ(encoded.uncertain_entry_count(), 3);
+}
+
+TEST(RelationalBridgeTest, WorldDistributionMatches) {
+  // Pr[χ_R(ā) = 1] must equal ν(R ā) for every entry.
+  UnreliableDatabase db = SmallDatabase();
+  UnreliableFunctionalDatabase encoded = *EncodeRelationalDatabase(db);
+  for (int entry = 0; entry < db.model().entry_count(); ++entry) {
+    const GroundAtom& atom = db.model().atom(entry);
+    int chi = *encoded.vocabulary().FindFunction(
+        ChiFunctionName(db.vocabulary().relation(atom.relation).name));
+    std::optional<int> encoded_entry =
+        encoded.FindUncertainEntry(FunctionEntry{chi, atom.args});
+    ASSERT_TRUE(encoded_entry.has_value());
+    Rational prob_one;
+    for (const ValueDistribution::Outcome& outcome :
+         encoded.distribution(*encoded_entry).outcomes) {
+      if (outcome.value.IsOne()) {
+        prob_one += outcome.probability;
+      }
+    }
+    EXPECT_EQ(prob_one, db.EntryNuTrue(entry));
+  }
+}
+
+TEST(RelationalBridgeTest, TranslationShapes) {
+  MTermPtr term = *TranslateFirstOrder(MustParse("exists x . S(x) & x != #0"));
+  EXPECT_EQ(term->ToString(),
+            "max x . ((chi_S(x) && !((id(x) == 0))))");
+  term = *TranslateFirstOrder(MustParse("forall x . S(x) -> E(x, x)"));
+  EXPECT_EQ(term->ToString(),
+            "min x . ((!(chi_S(x)) || chi_E(x, x)))");
+}
+
+// The embedding preserves evaluation: t(ψ)(ā) = 1 ⟺ 𝔄 ⊨ ψ(ā).
+TEST(RelationalBridgeTest, TranslationPreservesEvaluation) {
+  UnreliableDatabase db = SmallDatabase();
+  UnreliableFunctionalDatabase encoded = *EncodeRelationalDatabase(db);
+  for (const std::string text : {
+           "S(x)",
+           "E(x, y) & !S(y)",
+           "x = y | E(x, y)",
+           "exists z . E(x, z) & E(z, y)",
+           "forall z . E(x, z) -> S(z)",
+           "(S(x) <-> S(y)) & x != y",
+       }) {
+    FormulaPtr formula = MustParse(text);
+    MTermPtr term = *TranslateFirstOrder(formula);
+    CompiledQuery compiled =
+        std::move(CompiledQuery::Compile(formula, db.vocabulary())).value();
+    ASSERT_EQ(term->FreeVariables(), compiled.free_variables()) << text;
+    Tuple assignment(static_cast<size_t>(compiled.arity()), 0);
+    do {
+      bool relational = compiled.Eval(db.observed(), assignment);
+      Rational functional =
+          EvalTerm(term, encoded.observed(), assignment);
+      EXPECT_EQ(relational, functional.IsOne()) << text;
+      EXPECT_TRUE(functional.IsZero() || functional.IsOne()) << text;
+    } while (AdvanceTuple(&assignment, db.universe_size()));
+  }
+}
+
+// The embedding preserves reliability: the Section 6 claim, exactly.
+TEST(RelationalBridgeTest, TranslationPreservesReliability) {
+  UnreliableDatabase db = SmallDatabase();
+  UnreliableFunctionalDatabase encoded = *EncodeRelationalDatabase(db);
+  for (const std::string text : {
+           "S(x)",
+           "E(x, y) & S(x)",
+           "exists x . S(x)",
+           "exists x y . E(x, y) & S(y)",
+           "forall x . S(x) -> (exists y . E(x, y))",
+       }) {
+    FormulaPtr formula = MustParse(text);
+    MTermPtr term = *TranslateFirstOrder(formula);
+    ReliabilityReport relational = *ExactReliability(formula, db);
+    FunctionalReliabilityReport functional =
+        *ExactFunctionalReliability(term, encoded);
+    EXPECT_EQ(relational.expected_error, functional.expected_error) << text;
+    EXPECT_EQ(relational.reliability, functional.reliability) << text;
+  }
+}
+
+// Quantifier-free queries stay quantifier-free under translation, so the
+// two polynomial algorithms (Prop 3.1 and Thm 6.2 (i)) must agree too.
+TEST(RelationalBridgeTest, QuantifierFreeFastPathsAgree) {
+  Rng rng(20260707);
+  for (int round = 0; round < 5; ++round) {
+    UnreliableDatabase db = SmallDatabase();
+    // Extra random noise.
+    for (Element i = 0; i < 3; ++i) {
+      for (Element j = 0; j < 3; ++j) {
+        if (rng.NextBernoulli(0.3)) {
+          db.SetErrorProbability(
+              GroundAtom{0, {i, j}},
+              Rational(1 + static_cast<int64_t>(rng.NextBelow(6)), 7));
+        }
+      }
+    }
+    UnreliableFunctionalDatabase encoded = *EncodeRelationalDatabase(db);
+    FormulaPtr formula = MustParse("E(x, y) & (S(x) | !S(y)) | x = y");
+    MTermPtr term = *TranslateFirstOrder(formula);
+    EXPECT_TRUE(term->IsQuantifierFree());
+    ReliabilityReport relational = *QuantifierFreeReliability(formula, db);
+    FunctionalReliabilityReport functional =
+        *QuantifierFreeFunctionalReliability(term, encoded);
+    EXPECT_EQ(relational.expected_error, functional.expected_error);
+  }
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,97 @@
+#include "qrel/util/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(1234);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowHitsAllResidues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(rng.NextBelow(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double value = rng.NextDouble();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  // Mean of U[0,1) over 10k draws: within 5 standard deviations of 1/2.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 5.0 * std::sqrt(1.0 / 12.0 / 10000.0));
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(77);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 5.0 * std::sqrt(0.3 * 0.7 / trials));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent stream.
+  Rng parent_copy(123);
+  (void)parent_copy.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() == parent.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,76 @@
+#include "qrel/util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad probability");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad probability");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad probability");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+StatusOr<int> ParsePositive(int input) {
+  if (input <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return input;
+}
+
+Status UseReturnIfError(int input, int* out) {
+  StatusOr<int> parsed = ParsePositive(input);
+  QREL_RETURN_IF_ERROR(parsed.status());
+  *out = *parsed;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseReturnIfError(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status status = UseReturnIfError(-5, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,107 @@
+#include "qrel/relational/structure.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+std::shared_ptr<Vocabulary> GraphVocabulary() {
+  auto vocabulary = std::make_shared<Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddRelation("S", 1);
+  vocabulary->AddRelation("P", 0);
+  return vocabulary;
+}
+
+TEST(VocabularyTest, AddAndFind) {
+  Vocabulary vocabulary;
+  int e = vocabulary.AddRelation("E", 2);
+  int s = vocabulary.AddRelation("S", 1);
+  EXPECT_EQ(vocabulary.relation_count(), 2);
+  EXPECT_EQ(vocabulary.relation(e).name, "E");
+  EXPECT_EQ(vocabulary.relation(e).arity, 2);
+  EXPECT_EQ(vocabulary.relation(s).arity, 1);
+  EXPECT_EQ(vocabulary.FindRelation("E"), e);
+  EXPECT_EQ(vocabulary.FindRelation("S"), s);
+  EXPECT_FALSE(vocabulary.FindRelation("missing").has_value());
+}
+
+TEST(StructureTest, FactsStartEmpty) {
+  Structure structure(GraphVocabulary(), 4);
+  EXPECT_EQ(structure.universe_size(), 4);
+  EXPECT_EQ(structure.FactCount(), 0u);
+  EXPECT_FALSE(structure.AtomTrue(0, {0, 1}));
+}
+
+TEST(StructureTest, AddAndRemoveFacts) {
+  Structure structure(GraphVocabulary(), 4);
+  structure.AddFact(0, {0, 1});
+  structure.AddFact(0, {0, 1});  // idempotent
+  structure.AddFact(1, {2});
+  EXPECT_TRUE(structure.AtomTrue(0, {0, 1}));
+  EXPECT_FALSE(structure.AtomTrue(0, {1, 0}));
+  EXPECT_TRUE(structure.AtomTrue(1, {2}));
+  EXPECT_EQ(structure.FactCount(), 2u);
+
+  structure.SetFact(0, {0, 1}, false);
+  EXPECT_FALSE(structure.AtomTrue(0, {0, 1}));
+  EXPECT_EQ(structure.FactCount(), 1u);
+}
+
+TEST(StructureTest, NullaryRelationActsAsProposition) {
+  Structure structure(GraphVocabulary(), 4);
+  EXPECT_FALSE(structure.AtomTrue(2, {}));
+  structure.AddFact(2, {});
+  EXPECT_TRUE(structure.AtomTrue(2, {}));
+  structure.SetFact(2, {}, false);
+  EXPECT_FALSE(structure.AtomTrue(2, {}));
+}
+
+TEST(StructureTest, FactsAreSortedSets) {
+  Structure structure(GraphVocabulary(), 4);
+  structure.AddFact(0, {3, 1});
+  structure.AddFact(0, {0, 2});
+  structure.AddFact(0, {0, 1});
+  const std::set<Tuple>& facts = structure.Facts(0);
+  ASSERT_EQ(facts.size(), 3u);
+  auto it = facts.begin();
+  EXPECT_EQ(*it++, (Tuple{0, 1}));
+  EXPECT_EQ(*it++, (Tuple{0, 2}));
+  EXPECT_EQ(*it++, (Tuple{3, 1}));
+}
+
+TEST(StructureTest, EqualityComparesContents) {
+  auto vocabulary = GraphVocabulary();
+  Structure a(vocabulary, 4);
+  Structure b(vocabulary, 4);
+  EXPECT_TRUE(a == b);
+  a.AddFact(0, {0, 1});
+  EXPECT_FALSE(a == b);
+  b.AddFact(0, {0, 1});
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AdvanceTupleTest, EnumeratesAllTuplesInOrder) {
+  Tuple tuple{0, 0};
+  int count = 1;
+  while (AdvanceTuple(&tuple, 3)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 9);
+  EXPECT_EQ(tuple, (Tuple{2, 2}));
+}
+
+TEST(AdvanceTupleTest, EmptyTupleHasOneValue) {
+  Tuple tuple;
+  EXPECT_FALSE(AdvanceTuple(&tuple, 5));
+}
+
+TEST(AdvanceTupleTest, SingleElementUniverse) {
+  Tuple tuple{0, 0, 0};
+  EXPECT_FALSE(AdvanceTuple(&tuple, 1));
+}
+
+}  // namespace
+}  // namespace qrel
