@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_datalog"
+  "../bench/bench_e11_datalog.pdb"
+  "CMakeFiles/bench_e11_datalog.dir/bench_e11_datalog.cc.o"
+  "CMakeFiles/bench_e11_datalog.dir/bench_e11_datalog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_qf_poly"
+  "../bench/bench_e1_qf_poly.pdb"
+  "CMakeFiles/bench_e1_qf_poly.dir/bench_e1_qf_poly.cc.o"
+  "CMakeFiles/bench_e1_qf_poly.dir/bench_e1_qf_poly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_qf_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_exact"
+  "../bench/bench_e3_exact.pdb"
+  "CMakeFiles/bench_e3_exact.dir/bench_e3_exact.cc.o"
+  "CMakeFiles/bench_e3_exact.dir/bench_e3_exact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_karp_luby"
+  "../bench/bench_e4_karp_luby.pdb"
+  "CMakeFiles/bench_e4_karp_luby.dir/bench_e4_karp_luby.cc.o"
+  "CMakeFiles/bench_e4_karp_luby.dir/bench_e4_karp_luby.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_karp_luby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_fptras"
+  "../bench/bench_e5_fptras.pdb"
+  "CMakeFiles/bench_e5_fptras.dir/bench_e5_fptras.cc.o"
+  "CMakeFiles/bench_e5_fptras.dir/bench_e5_fptras.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fptras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

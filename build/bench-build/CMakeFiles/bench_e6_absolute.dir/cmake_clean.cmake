@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_absolute"
+  "../bench/bench_e6_absolute.pdb"
+  "CMakeFiles/bench_e6_absolute.dir/bench_e6_absolute.cc.o"
+  "CMakeFiles/bench_e6_absolute.dir/bench_e6_absolute.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_absolute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

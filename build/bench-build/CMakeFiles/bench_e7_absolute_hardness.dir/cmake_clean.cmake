@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_absolute_hardness"
+  "../bench/bench_e7_absolute_hardness.pdb"
+  "CMakeFiles/bench_e7_absolute_hardness.dir/bench_e7_absolute_hardness.cc.o"
+  "CMakeFiles/bench_e7_absolute_hardness.dir/bench_e7_absolute_hardness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_absolute_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_kdnf_reduction"
+  "../bench/bench_e8_kdnf_reduction.pdb"
+  "CMakeFiles/bench_e8_kdnf_reduction.dir/bench_e8_kdnf_reduction.cc.o"
+  "CMakeFiles/bench_e8_kdnf_reduction.dir/bench_e8_kdnf_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_kdnf_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

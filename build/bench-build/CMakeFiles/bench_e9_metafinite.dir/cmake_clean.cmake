@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_metafinite"
+  "../bench/bench_e9_metafinite.pdb"
+  "CMakeFiles/bench_e9_metafinite.dir/bench_e9_metafinite.cc.o"
+  "CMakeFiles/bench_e9_metafinite.dir/bench_e9_metafinite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_metafinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_reliability.dir/network_reliability.cpp.o"
+  "CMakeFiles/network_reliability.dir/network_reliability.cpp.o.d"
+  "network_reliability"
+  "network_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

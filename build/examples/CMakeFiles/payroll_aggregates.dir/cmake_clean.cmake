@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_aggregates.dir/payroll_aggregates.cpp.o"
+  "CMakeFiles/payroll_aggregates.dir/payroll_aggregates.cpp.o.d"
+  "payroll_aggregates"
+  "payroll_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

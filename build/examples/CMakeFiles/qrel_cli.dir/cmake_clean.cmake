@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_cli.dir/qrel_cli.cpp.o"
+  "CMakeFiles/qrel_cli.dir/qrel_cli.cpp.o.d"
+  "qrel_cli"
+  "qrel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

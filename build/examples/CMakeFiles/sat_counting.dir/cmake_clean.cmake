@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_counting.dir/sat_counting.cpp.o"
+  "CMakeFiles/sat_counting.dir/sat_counting.cpp.o.d"
+  "sat_counting"
+  "sat_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/second_order_bipartite.dir/second_order_bipartite.cpp.o"
+  "CMakeFiles/second_order_bipartite.dir/second_order_bipartite.cpp.o.d"
+  "second_order_bipartite"
+  "second_order_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/second_order_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

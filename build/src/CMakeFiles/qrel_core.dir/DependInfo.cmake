@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/core/absolute.cc" "src/CMakeFiles/qrel_core.dir/qrel/core/absolute.cc.o" "gcc" "src/CMakeFiles/qrel_core.dir/qrel/core/absolute.cc.o.d"
+  "/root/repo/src/qrel/core/approx.cc" "src/CMakeFiles/qrel_core.dir/qrel/core/approx.cc.o" "gcc" "src/CMakeFiles/qrel_core.dir/qrel/core/approx.cc.o.d"
+  "/root/repo/src/qrel/core/reliability.cc" "src/CMakeFiles/qrel_core.dir/qrel/core/reliability.cc.o" "gcc" "src/CMakeFiles/qrel_core.dir/qrel/core/reliability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_propositional.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

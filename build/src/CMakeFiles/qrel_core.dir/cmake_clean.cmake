@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_core.dir/qrel/core/absolute.cc.o"
+  "CMakeFiles/qrel_core.dir/qrel/core/absolute.cc.o.d"
+  "CMakeFiles/qrel_core.dir/qrel/core/approx.cc.o"
+  "CMakeFiles/qrel_core.dir/qrel/core/approx.cc.o.d"
+  "CMakeFiles/qrel_core.dir/qrel/core/reliability.cc.o"
+  "CMakeFiles/qrel_core.dir/qrel/core/reliability.cc.o.d"
+  "libqrel_core.a"
+  "libqrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/eval.cc.o"
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/eval.cc.o.d"
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/program.cc.o"
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/program.cc.o.d"
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/reliability.cc.o"
+  "CMakeFiles/qrel_datalog.dir/qrel/datalog/reliability.cc.o.d"
+  "libqrel_datalog.a"
+  "libqrel_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_engine.dir/qrel/engine/engine.cc.o"
+  "CMakeFiles/qrel_engine.dir/qrel/engine/engine.cc.o.d"
+  "libqrel_engine.a"
+  "libqrel_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/logic/ast.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/ast.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/ast.cc.o.d"
+  "/root/repo/src/qrel/logic/classify.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/classify.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/classify.cc.o.d"
+  "/root/repo/src/qrel/logic/eval.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/eval.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/eval.cc.o.d"
+  "/root/repo/src/qrel/logic/grounding.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/grounding.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/grounding.cc.o.d"
+  "/root/repo/src/qrel/logic/normal_form.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/normal_form.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/normal_form.cc.o.d"
+  "/root/repo/src/qrel/logic/parser.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/parser.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/parser.cc.o.d"
+  "/root/repo/src/qrel/logic/second_order.cc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/second_order.cc.o" "gcc" "src/CMakeFiles/qrel_logic.dir/qrel/logic/second_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_logic.dir/qrel/logic/ast.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/ast.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/classify.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/classify.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/eval.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/eval.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/grounding.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/grounding.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/normal_form.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/normal_form.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/parser.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/parser.cc.o.d"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/second_order.cc.o"
+  "CMakeFiles/qrel_logic.dir/qrel/logic/second_order.cc.o.d"
+  "libqrel_logic.a"
+  "libqrel_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

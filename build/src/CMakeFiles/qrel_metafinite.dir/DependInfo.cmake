@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/metafinite/functional_database.cc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/functional_database.cc.o" "gcc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/functional_database.cc.o.d"
+  "/root/repo/src/qrel/metafinite/relational_bridge.cc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/relational_bridge.cc.o" "gcc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/relational_bridge.cc.o.d"
+  "/root/repo/src/qrel/metafinite/reliability.cc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/reliability.cc.o" "gcc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/reliability.cc.o.d"
+  "/root/repo/src/qrel/metafinite/term.cc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/term.cc.o" "gcc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/term.cc.o.d"
+  "/root/repo/src/qrel/metafinite/text_format.cc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/text_format.cc.o" "gcc" "src/CMakeFiles/qrel_metafinite.dir/qrel/metafinite/text_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/functional_database.cc.o"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/functional_database.cc.o.d"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/relational_bridge.cc.o"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/relational_bridge.cc.o.d"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/reliability.cc.o"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/reliability.cc.o.d"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/term.cc.o"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/term.cc.o.d"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/text_format.cc.o"
+  "CMakeFiles/qrel_metafinite.dir/qrel/metafinite/text_format.cc.o.d"
+  "libqrel_metafinite.a"
+  "libqrel_metafinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_metafinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqrel_metafinite.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for qrel_metafinite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/prob/error_model.cc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/error_model.cc.o" "gcc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/error_model.cc.o.d"
+  "/root/repo/src/qrel/prob/text_format.cc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/text_format.cc.o" "gcc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/text_format.cc.o.d"
+  "/root/repo/src/qrel/prob/unreliable_database.cc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/unreliable_database.cc.o" "gcc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/unreliable_database.cc.o.d"
+  "/root/repo/src/qrel/prob/world.cc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/world.cc.o" "gcc" "src/CMakeFiles/qrel_prob.dir/qrel/prob/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_prob.dir/qrel/prob/error_model.cc.o"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/error_model.cc.o.d"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/text_format.cc.o"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/text_format.cc.o.d"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/unreliable_database.cc.o"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/unreliable_database.cc.o.d"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/world.cc.o"
+  "CMakeFiles/qrel_prob.dir/qrel/prob/world.cc.o.d"
+  "libqrel_prob.a"
+  "libqrel_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/propositional/dnf.cc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/dnf.cc.o" "gcc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/dnf.cc.o.d"
+  "/root/repo/src/qrel/propositional/exact.cc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/exact.cc.o" "gcc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/exact.cc.o.d"
+  "/root/repo/src/qrel/propositional/karp_luby.cc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/karp_luby.cc.o" "gcc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/karp_luby.cc.o.d"
+  "/root/repo/src/qrel/propositional/kdnf_reduction.cc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/kdnf_reduction.cc.o" "gcc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/kdnf_reduction.cc.o.d"
+  "/root/repo/src/qrel/propositional/naive_mc.cc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/naive_mc.cc.o" "gcc" "src/CMakeFiles/qrel_propositional.dir/qrel/propositional/naive_mc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/dnf.cc.o"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/dnf.cc.o.d"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/exact.cc.o"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/exact.cc.o.d"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/karp_luby.cc.o"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/karp_luby.cc.o.d"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/kdnf_reduction.cc.o"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/kdnf_reduction.cc.o.d"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/naive_mc.cc.o"
+  "CMakeFiles/qrel_propositional.dir/qrel/propositional/naive_mc.cc.o.d"
+  "libqrel_propositional.a"
+  "libqrel_propositional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_propositional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

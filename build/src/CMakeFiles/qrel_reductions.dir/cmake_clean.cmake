@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_reductions.dir/qrel/reductions/four_coloring.cc.o"
+  "CMakeFiles/qrel_reductions.dir/qrel/reductions/four_coloring.cc.o.d"
+  "CMakeFiles/qrel_reductions.dir/qrel/reductions/monotone_two_sat.cc.o"
+  "CMakeFiles/qrel_reductions.dir/qrel/reductions/monotone_two_sat.cc.o.d"
+  "libqrel_reductions.a"
+  "libqrel_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/relational/atom_table.cc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/atom_table.cc.o" "gcc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/atom_table.cc.o.d"
+  "/root/repo/src/qrel/relational/structure.cc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/structure.cc.o" "gcc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/structure.cc.o.d"
+  "/root/repo/src/qrel/relational/vocabulary.cc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/vocabulary.cc.o" "gcc" "src/CMakeFiles/qrel_relational.dir/qrel/relational/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_relational.dir/qrel/relational/atom_table.cc.o"
+  "CMakeFiles/qrel_relational.dir/qrel/relational/atom_table.cc.o.d"
+  "CMakeFiles/qrel_relational.dir/qrel/relational/structure.cc.o"
+  "CMakeFiles/qrel_relational.dir/qrel/relational/structure.cc.o.d"
+  "CMakeFiles/qrel_relational.dir/qrel/relational/vocabulary.cc.o"
+  "CMakeFiles/qrel_relational.dir/qrel/relational/vocabulary.cc.o.d"
+  "libqrel_relational.a"
+  "libqrel_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrel/util/bigint.cc" "src/CMakeFiles/qrel_util.dir/qrel/util/bigint.cc.o" "gcc" "src/CMakeFiles/qrel_util.dir/qrel/util/bigint.cc.o.d"
+  "/root/repo/src/qrel/util/rational.cc" "src/CMakeFiles/qrel_util.dir/qrel/util/rational.cc.o" "gcc" "src/CMakeFiles/qrel_util.dir/qrel/util/rational.cc.o.d"
+  "/root/repo/src/qrel/util/status.cc" "src/CMakeFiles/qrel_util.dir/qrel/util/status.cc.o" "gcc" "src/CMakeFiles/qrel_util.dir/qrel/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

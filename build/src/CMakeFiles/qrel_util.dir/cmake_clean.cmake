@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrel_util.dir/qrel/util/bigint.cc.o"
+  "CMakeFiles/qrel_util.dir/qrel/util/bigint.cc.o.d"
+  "CMakeFiles/qrel_util.dir/qrel/util/rational.cc.o"
+  "CMakeFiles/qrel_util.dir/qrel/util/rational.cc.o.d"
+  "CMakeFiles/qrel_util.dir/qrel/util/status.cc.o"
+  "CMakeFiles/qrel_util.dir/qrel/util/status.cc.o.d"
+  "libqrel_util.a"
+  "libqrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqrel_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_table_test.dir/atom_table_test.cc.o"
+  "CMakeFiles/atom_table_test.dir/atom_table_test.cc.o.d"
+  "atom_table_test"
+  "atom_table_test.pdb"
+  "atom_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

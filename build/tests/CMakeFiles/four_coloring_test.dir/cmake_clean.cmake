@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_coloring_test.dir/four_coloring_test.cc.o"
+  "CMakeFiles/four_coloring_test.dir/four_coloring_test.cc.o.d"
+  "four_coloring_test"
+  "four_coloring_test.pdb"
+  "four_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karp_luby_test.dir/karp_luby_test.cc.o"
+  "CMakeFiles/karp_luby_test.dir/karp_luby_test.cc.o.d"
+  "karp_luby_test"
+  "karp_luby_test.pdb"
+  "karp_luby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karp_luby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

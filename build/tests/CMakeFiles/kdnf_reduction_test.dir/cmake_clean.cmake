@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdnf_reduction_test.dir/kdnf_reduction_test.cc.o"
+  "CMakeFiles/kdnf_reduction_test.dir/kdnf_reduction_test.cc.o.d"
+  "kdnf_reduction_test"
+  "kdnf_reduction_test.pdb"
+  "kdnf_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdnf_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metafinite_test.dir/metafinite_test.cc.o"
+  "CMakeFiles/metafinite_test.dir/metafinite_test.cc.o.d"
+  "metafinite_test"
+  "metafinite_test.pdb"
+  "metafinite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metafinite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfdb_text_format_test.dir/mfdb_text_format_test.cc.o"
+  "CMakeFiles/mfdb_text_format_test.dir/mfdb_text_format_test.cc.o.d"
+  "mfdb_text_format_test"
+  "mfdb_text_format_test.pdb"
+  "mfdb_text_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfdb_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

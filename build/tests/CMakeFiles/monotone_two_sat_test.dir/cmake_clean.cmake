@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotone_two_sat_test.dir/monotone_two_sat_test.cc.o"
+  "CMakeFiles/monotone_two_sat_test.dir/monotone_two_sat_test.cc.o.d"
+  "monotone_two_sat_test"
+  "monotone_two_sat_test.pdb"
+  "monotone_two_sat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotone_two_sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

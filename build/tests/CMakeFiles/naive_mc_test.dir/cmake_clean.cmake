@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_mc_test.dir/naive_mc_test.cc.o"
+  "CMakeFiles/naive_mc_test.dir/naive_mc_test.cc.o.d"
+  "naive_mc_test"
+  "naive_mc_test.pdb"
+  "naive_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

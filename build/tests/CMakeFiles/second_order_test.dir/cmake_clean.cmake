@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/second_order_test.dir/second_order_test.cc.o"
+  "CMakeFiles/second_order_test.dir/second_order_test.cc.o.d"
+  "second_order_test"
+  "second_order_test.pdb"
+  "second_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/second_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unreliable_database_test.dir/unreliable_database_test.cc.o"
+  "CMakeFiles/unreliable_database_test.dir/unreliable_database_test.cc.o.d"
+  "unreliable_database_test"
+  "unreliable_database_test.pdb"
+  "unreliable_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unreliable_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
