@@ -9,10 +9,21 @@
 //   --force-exact      always enumerate worlds (Thm 4.2)
 //   --force-approx     never enumerate worlds
 //   --per-tuple        also print the per-tuple expected-error breakdown
+//   --timeout-ms=<n>   wall-clock deadline; past it the engine degrades to
+//                      sampling (with --force-exact: fails instead)
+//   --max-work=<n>     work-unit budget (worlds/samples/clauses), same
+//                      degradation behavior
+//   --max-exact-worlds=<n>  raise/lower the exact-enumeration cutoff
+//   --no-degrade       fail with the budget error instead of degrading
+//
+// Exit codes: 0 success, 2 usage, otherwise 10 + StatusCode of the error
+// (e.g. 10+kDeadlineExceeded, 10+kCancelled) so scripts can react to
+// budget trips specifically.
 //
 // Example:
 //   qrel_cli crm.udb "exists c . Placed(o, c) & Vip(c)" --per-tuple
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +33,7 @@
 #include "qrel/engine/engine.h"
 #include "qrel/logic/parser.h"
 #include "qrel/prob/text_format.h"
+#include "qrel/util/run_context.h"
 
 namespace {
 
@@ -39,7 +51,14 @@ bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
     return false;
   }
-  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  const char* value = arg + len + 1;
+  char* end = nullptr;
+  *out = std::strtoull(value, &end, 10);
+  if (*value == '\0' || *end != '\0') {
+    std::fprintf(stderr, "%s needs a non-negative integer, got \"%s\"\n",
+                 name, value);
+    std::exit(2);
+  }
   return true;
 }
 
@@ -47,8 +66,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage: qrel_cli <database.udb> \"<query>\" [--epsilon=E] "
                "[--delta=D] [--seed=N] [--force-exact] [--force-approx] "
-               "[--per-tuple]\n");
+               "[--per-tuple] [--timeout-ms=N] [--max-work=N] "
+               "[--max-exact-worlds=N] [--no-degrade]\n");
   return 2;
+}
+
+// 0 is success and 2 is usage; status-caused exits start at 10 so each
+// StatusCode maps to a stable, distinguishable exit code.
+int ExitCodeFor(const qrel::Status& status) {
+  return 10 + static_cast<int>(status.code());
 }
 
 std::string TupleToString(const qrel::Tuple& tuple) {
@@ -70,13 +96,26 @@ int main(int argc, char** argv) {
   const char* query = argv[2];
   qrel::EngineOptions options;
   bool per_tuple = false;
+  uint64_t timeout_ms = 0;
+  uint64_t max_work = 0;
+  bool has_timeout = false;
+  bool has_max_work = false;
   for (int i = 3; i < argc; ++i) {
     if (ParseDoubleFlag(argv[i], "--epsilon", &options.epsilon) ||
         ParseDoubleFlag(argv[i], "--delta", &options.delta) ||
         ParseUint64Flag(argv[i], "--seed", &options.seed)) {
       continue;
     }
-    if (std::strcmp(argv[i], "--force-exact") == 0) {
+    if (ParseUint64Flag(argv[i], "--timeout-ms", &timeout_ms)) {
+      has_timeout = true;
+    } else if (ParseUint64Flag(argv[i], "--max-work", &max_work)) {
+      has_max_work = true;
+    } else if (ParseUint64Flag(argv[i], "--max-exact-worlds",
+                               &options.max_exact_worlds)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+      options.degrade_on_budget = false;
+    } else if (std::strcmp(argv[i], "--force-exact") == 0) {
       options.force_exact = true;
     } else if (std::strcmp(argv[i], "--force-approx") == 0) {
       options.force_approximate = true;
@@ -88,12 +127,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  qrel::RunContext run_context;
+  if (has_timeout) {
+    run_context.SetDeadline(std::chrono::milliseconds(timeout_ms));
+  }
+  if (has_max_work) {
+    run_context.SetWorkBudget(max_work);
+  }
+  if (has_timeout || has_max_work) {
+    options.run_context = &run_context;
+  }
+
   qrel::StatusOr<qrel::UnreliableDatabase> database =
       qrel::LoadUdbFile(path);
   if (!database.ok()) {
     std::fprintf(stderr, "%s: %s\n", path,
                  database.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(database.status());
   }
   std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
               "atoms)\n",
@@ -106,7 +156,7 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  report.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(report.status());
   }
 
   std::printf("query      : %s\n", query);
@@ -120,12 +170,24 @@ int main(int argc, char** argv) {
                 report->exact_reliability->ToString().c_str(),
                 report->reliability);
   } else {
+    double error_bar = report->achieved_epsilon.value_or(options.epsilon);
     std::printf("reliability: %.6f +- %.4f (confidence %.2f, %llu samples)\n",
-                report->reliability, options.epsilon, 1.0 - options.delta,
+                report->reliability, error_bar, 1.0 - options.delta,
                 static_cast<unsigned long long>(report->samples));
   }
   std::printf("H (exp.err): %.6f\n", report->expected_error);
   std::printf("method     : %s\n", report->method.c_str());
+  if (report->degraded) {
+    std::printf("degraded   : %s\n", report->degradation_reason.c_str());
+  }
+  if (report->partial) {
+    std::printf("partial    : estimate from fewer samples than the (eps, "
+                "delta) plan\n");
+  }
+  if (options.run_context != nullptr) {
+    std::printf("budget     : %llu work unit(s) spent\n",
+                static_cast<unsigned long long>(report->budget_spent));
+  }
 
   if (per_tuple) {
     qrel::StatusOr<qrel::FormulaPtr> formula = qrel::ParseFormula(query);
@@ -134,7 +196,7 @@ int main(int argc, char** argv) {
     if (!breakdown.ok()) {
       std::fprintf(stderr, "per-tuple: %s\n",
                    breakdown.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(breakdown.status());
     }
     std::printf("\nper-tuple breakdown (non-zero rows):\n");
     std::printf("  %-14s %-9s %s\n", "tuple", "observed", "Pr[wrong]");

@@ -41,7 +41,8 @@ StatusOr<ApproxResult> FptrasFromPrenex(const PrenexExistential& prenex,
                                         const UnreliableDatabase& db,
                                         const Tuple& assignment,
                                         const ApproxOptions& options) {
-  StatusOr<GroundDnf> ground = GroundExistential(prenex, db, assignment);
+  StatusOr<GroundDnf> ground = GroundExistential(
+      prenex, db, assignment, size_t{1} << 22, options.run_context);
   if (!ground.ok()) {
     return ground.status();
   }
@@ -81,12 +82,22 @@ StatusOr<ApproxResult> FptrasFromPrenex(const PrenexExistential& prenex,
   kl.delta = options.delta;
   kl.seed = options.seed;
   kl.fixed_samples = options.fixed_samples;
+  kl.run_context = options.run_context;
+  kl.allow_truncation = options.allow_truncation;
   StatusOr<KarpLubyResult> estimate = KarpLubyProbability(dnf, prob_true, kl);
   if (!estimate.ok()) {
     return estimate.status();
   }
   result.estimate = estimate->estimate;
   result.samples = estimate->samples;
+  result.truncated = estimate->truncated;
+  if (estimate->samples > 0 &&
+      estimate->samples < KarpLubySampleBound(dnf.term_count(),
+                                              options.epsilon,
+                                              options.delta)) {
+    result.achieved_epsilon = KarpLubyAchievedEpsilon(
+        dnf.term_count(), estimate->samples, options.delta);
+  }
   result.method = "Thm 5.4 grounding (" + std::to_string(dnf.term_count()) +
                   " terms, width " + std::to_string(dnf.Width()) +
                   ") + Karp-Luby";
@@ -99,6 +110,14 @@ uint64_t PaddedSampleBound(double xi, double epsilon, double delta) {
   double t = 9.0 / (2.0 * xi * epsilon * epsilon) * std::log(1.0 / delta);
   QREL_CHECK(std::isfinite(t));
   return static_cast<uint64_t>(std::ceil(t));
+}
+
+double PaddedAchievedEpsilon(double xi, uint64_t samples, double delta) {
+  QREL_CHECK(samples > 0);
+  // Solve t = 9/(2ξε²)·ln(1/δ) for ε, then double it to undo the proof's
+  // ε/2 instantiation of Lemma 5.11.
+  return 2.0 * std::sqrt(9.0 * std::log(1.0 / delta) /
+                         (2.0 * xi * static_cast<double>(samples)));
 }
 
 StatusOr<ApproxResult> ExistentialProbabilityFptras(
@@ -155,12 +174,18 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
   per_tuple.epsilon = options.epsilon / static_cast<double>(*tuple_count);
   per_tuple.delta = options.delta / static_cast<double>(*tuple_count);
   if (per_tuple.epsilon >= 1.0) per_tuple.epsilon = 0.999;
+  // A truncated sub-estimate is only usable when it is the whole answer;
+  // with several tuples a partially covered tuple space is not.
+  per_tuple.allow_truncation = options.allow_truncation && *tuple_count == 1;
 
   Rng seeder(options.seed);
   double expected_error = 0.0;
   uint64_t samples = 0;
+  bool truncated = false;
+  double worst_sub_epsilon = 0.0;  // worst per-tuple achieved (relative) ε
   Tuple assignment(static_cast<size_t>(k), 0);
   do {
+    QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
     per_tuple.seed = seeder.NextUint64();
     StatusOr<ApproxResult> nu =
         FptrasFromPrenex(*prenex, db, assignment, per_tuple);
@@ -168,6 +193,10 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
       return nu.status();
     }
     samples += nu->samples;
+    truncated = truncated || nu->truncated;
+    if (nu->achieved_epsilon.has_value()) {
+      worst_sub_epsilon = std::max(worst_sub_epsilon, *nu->achieved_epsilon);
+    }
     bool observed = compiled->Eval(db.observed(), assignment);
     // nu estimates Pr[target(ā)]; translate into Pr[ψ(ā) wrong].
     double prob_true =
@@ -177,6 +206,14 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
 
   ApproxResult result;
   result.samples = samples;
+  result.truncated = truncated;
+  if (worst_sub_epsilon > 0.0) {
+    // Invert the Corollary 5.5 budget split (ε' = ε/n^k per tuple): the
+    // guarantee actually delivered on R is n^k times the worst per-tuple
+    // achieved error.
+    result.achieved_epsilon =
+        worst_sub_epsilon * static_cast<double>(*tuple_count);
+  }
   result.estimate =
       1.0 - expected_error / static_cast<double>(*tuple_count);
   result.estimate = std::clamp(result.estimate, 0.0, 1.0);
@@ -225,6 +262,7 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
     // Bernoulli(ξ) draw, since R is empty in 𝔄' and μ'(Rc) = μ'(Rd) = ξ.
     uint64_t hits = 0;
     for (uint64_t s = 0; s < per_samples; ++s) {
+      QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
       bool rd = rng.NextBernoulli(xi);
       if (!rd) {
         continue;  // ψ' is false whatever ψ evaluates to
@@ -250,6 +288,15 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
 
   ApproxResult result;
   result.samples = samples;
+  if (per_samples > 0 &&
+      per_samples <
+          PaddedSampleBound(options.xi, per_epsilon / 2.0, per_delta)) {
+    // fixed_samples below the theorem bound: report the guarantee the
+    // budget actually buys, scaled back up through the per-tuple split.
+    result.achieved_epsilon =
+        PaddedAchievedEpsilon(options.xi, per_samples, per_delta) *
+        static_cast<double>(*tuple_count);
+  }
   result.estimate =
       1.0 - expected_error / static_cast<double>(*tuple_count);
   result.estimate = std::clamp(result.estimate, 0.0, 1.0);

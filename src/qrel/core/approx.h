@@ -22,6 +22,7 @@
 
 #include "qrel/logic/ast.h"
 #include "qrel/prob/unreliable_database.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -41,6 +42,18 @@ struct ApproxOptions {
   // Overrides the derived sample counts when set (for equal-budget
   // benchmark comparisons). Applies per Boolean sub-estimate.
   std::optional<uint64_t> fixed_samples;
+
+  // Execution envelope (non-owning, nullable): sampling loops charge one
+  // work unit per sample, grounding charges per assignment/clause. A
+  // tripped envelope aborts the computation with the budget status.
+  RunContext* run_context = nullptr;
+
+  // For single-estimate paths (Boolean queries): when the envelope trips
+  // mid-sampling with at least one sample drawn, return the running
+  // estimate marked `truncated` instead of failing. Never applies to
+  // cancellation, and never to multi-tuple loops (a partially covered
+  // tuple space is not a usable estimate).
+  bool allow_truncation = false;
 };
 
 struct ApproxResult {
@@ -49,6 +62,15 @@ struct ApproxResult {
   uint64_t samples = 0;
   // Human-readable description of the algorithm that ran.
   std::string method;
+  // Set when the drawn sample count delivers a weaker guarantee than the
+  // requested `epsilon` (fixed_samples below the theorem-derived bound, or
+  // a truncated run): the error actually guaranteed at the requested
+  // delta, in the same units as the request (relative for the FPTRAS,
+  // absolute on R for the reliability approximators).
+  std::optional<double> achieved_epsilon;
+  // The sampling loop stopped early on a tripped budget (see
+  // ApproxOptions::allow_truncation).
+  bool truncated = false;
 };
 
 // FPTRAS for ν(ψ(ā)) where ψ is existential (Theorem 5.4): relative error
@@ -75,6 +97,12 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
 // Theorem 5.12's sample bound t(ξ, ε, δ) = ⌈9/(2 ξ ε²) ln(1/δ)⌉ (the ε
 // here is the one handed to Lemma 5.11, i.e. half the user's ε).
 uint64_t PaddedSampleBound(double xi, double epsilon, double delta);
+
+// Inverts the sample bound: the per-estimate absolute error actually
+// guaranteed (at failure probability δ) by `samples` padded samples — the
+// error bar of a truncated or fixed-budget run. Includes the ×2 from the
+// proof's final step, so it is directly comparable to the user's ε.
+double PaddedAchievedEpsilon(double xi, uint64_t samples, double delta);
 
 }  // namespace qrel
 

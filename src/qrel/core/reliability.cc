@@ -84,7 +84,8 @@ void CollectGroundAtoms(
 }  // namespace
 
 StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
-                                             const UnreliableDatabase& db) {
+                                             const UnreliableDatabase& db,
+                                             RunContext* ctx) {
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(query, db.vocabulary());
   if (!compiled.ok()) {
@@ -106,10 +107,15 @@ StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
 
   ReliabilityReport report;
   report.arity = k;
-  db.ForEachWorld([&](const World& world, const Rational& probability) {
+  Status budget = Status::Ok();
+  db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
+    budget = ChargeWork(ctx);
+    if (!budget.ok()) {
+      return false;
+    }
     ++report.work_units;
     if (probability.IsZero()) {
-      return;
+      return true;
     }
     WorldView view(db, world);
     int differing = 0;
@@ -122,7 +128,9 @@ StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
     if (differing > 0) {
       report.expected_error += probability * Rational(differing);
     }
+    return true;
   });
+  QREL_RETURN_IF_ERROR(budget);
   report.reliability =
       Rational(1) - report.expected_error / TupleSpaceSize(n, k);
   return report;
@@ -173,7 +181,7 @@ StatusOr<ScaledProbability> ExactScaledProbability(
 }
 
 StatusOr<ReliabilityReport> QuantifierFreeReliability(
-    const FormulaPtr& query, const UnreliableDatabase& db) {
+    const FormulaPtr& query, const UnreliableDatabase& db, RunContext* ctx) {
   if (!IsQuantifierFree(query)) {
     return Status::InvalidArgument(
         "QuantifierFreeReliability requires a quantifier-free query");
@@ -225,6 +233,7 @@ StatusOr<ReliabilityReport> QuantifierFreeReliability(
     bool observed = compiled->Eval(db.observed(), assignment);
     Rational h_tuple;
     uint64_t combinations = uint64_t{1} << uncertain.size();
+    QREL_RETURN_IF_ERROR(ChargeWork(ctx, combinations));
     report.work_units += combinations;
     if (!uncertain.empty()) {
       for (uint64_t code = 0; code < combinations; ++code) {

@@ -27,6 +27,7 @@
 #include "qrel/logic/second_order.h"
 #include "qrel/prob/unreliable_database.h"
 #include "qrel/util/rational.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -42,9 +43,12 @@ struct ReliabilityReport {
 
 // Exact H_ψ and R_ψ by possible-world enumeration (Theorem 4.2). Works for
 // every first-order query; cost Θ(2^u · n^k) query evaluations with
-// u = |UncertainEntries()|. Fails if u > 62.
+// u = |UncertainEntries()|. Fails if u > 62. `ctx` (nullable) is charged
+// one work unit per enumerated world; a tripped envelope stops the
+// enumeration with the budget status.
 StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
-                                             const UnreliableDatabase& db);
+                                             const UnreliableDatabase& db,
+                                             RunContext* ctx = nullptr);
 
 // Exact Pr[𝔅 ⊨ ψ(ā)] for a Boolean instantiation of a query, by world
 // enumeration.
@@ -64,9 +68,11 @@ StatusOr<ScaledProbability> ExactScaledProbability(const FormulaPtr& query,
                                                    const Tuple& assignment);
 
 // Proposition 3.1: polynomial-time exact reliability for quantifier-free
-// queries. Fails with InvalidArgument if `query` has quantifiers.
+// queries. Fails with InvalidArgument if `query` has quantifiers. `ctx`
+// (nullable) is charged one work unit per local atom assignment summed.
 StatusOr<ReliabilityReport> QuantifierFreeReliability(
-    const FormulaPtr& query, const UnreliableDatabase& db);
+    const FormulaPtr& query, const UnreliableDatabase& db,
+    RunContext* ctx = nullptr);
 
 // Per-tuple breakdown of the expected error: H_ψ(ā) = Pr[ψ(ā) wrong] for
 // every tuple ā (lexicographic order), exactly. The linearity of

@@ -205,12 +205,20 @@ StatusOr<CompiledDatalog> CompiledDatalog::Compile(
   return compiled;
 }
 
-bool CompiledDatalog::BodySatisfied(
+void CompiledDatalog::BodySatisfied(
     const CompiledRule& rule, size_t literal_index,
     std::vector<Element>* binding, const AtomOracle& edb,
     const DatalogResult& idb, const std::set<Tuple>& head_set,
     Tuple* head_tuple, std::set<Tuple>* additions, int delta_index,
-    const std::set<Tuple>* delta_contents) const {
+    const std::set<Tuple>* delta_contents, RunContext* ctx,
+    Status* budget) const {
+  if (!budget->ok()) {
+    return;
+  }
+  *budget = ChargeWork(ctx);
+  if (!budget->ok()) {
+    return;
+  }
   if (literal_index == rule.body.size()) {
     // Body satisfied: emit the head tuple (safety guarantees all head
     // slots are bound).
@@ -223,7 +231,7 @@ bool CompiledDatalog::BodySatisfied(
     if (head_set.find(*head_tuple) == head_set.end()) {
       additions->insert(*head_tuple);
     }
-    return false;  // keep enumerating all bindings
+    return;  // keep enumerating all bindings
   }
 
   const CompiledLiteral& literal = rule.body[literal_index];
@@ -272,11 +280,12 @@ bool CompiledDatalog::BodySatisfied(
       holds = edb.AtomTrue(literal.edb_relation, args);
     }
     if (holds) {
-      return false;
+      return;
     }
-    return BodySatisfied(rule, literal_index + 1, binding, edb, idb,
-                         head_set, head_tuple, additions, delta_index,
-                         delta_contents);
+    BodySatisfied(rule, literal_index + 1, binding, edb, idb, head_set,
+                  head_tuple, additions, delta_index, delta_contents, ctx,
+                  budget);
+    return;
   }
 
   if (literal.is_idb) {
@@ -292,13 +301,17 @@ bool CompiledDatalog::BodySatisfied(
       bool matched = args_match_and_bind(candidate, &newly_bound);
       if (matched) {
         BodySatisfied(rule, literal_index + 1, binding, edb, idb, head_set,
-                      head_tuple, additions, delta_index, delta_contents);
+                      head_tuple, additions, delta_index, delta_contents,
+                      ctx, budget);
       }
       for (int slot : newly_bound) {
         (*binding)[static_cast<size_t>(slot)] = kUnbound;
       }
+      if (!budget->ok()) {
+        return;
+      }
     }
-    return false;
+    return;
   }
 
   // Extensional literal: enumerate values for the unbound positions and
@@ -326,7 +339,11 @@ bool CompiledDatalog::BodySatisfied(
     }
     if (edb.AtomTrue(literal.edb_relation, args)) {
       BodySatisfied(rule, literal_index + 1, binding, edb, idb, head_set,
-                    head_tuple, additions, delta_index, delta_contents);
+                    head_tuple, additions, delta_index, delta_contents, ctx,
+                    budget);
+      if (!budget->ok()) {
+        break;
+      }
     }
     more = !values.empty() && AdvanceTuple(&values, n);
     if (values.empty()) {
@@ -336,15 +353,16 @@ bool CompiledDatalog::BodySatisfied(
   for (int slot : distinct_free_slots) {
     (*binding)[static_cast<size_t>(slot)] = kUnbound;
   }
-  return false;
 }
 
-DatalogResult CompiledDatalog::EvalNaive(const AtomOracle& edb) const {
+StatusOr<DatalogResult> CompiledDatalog::EvalNaive(const AtomOracle& edb,
+                                                   RunContext* ctx) const {
   DatalogResult idb;
   for (const std::string& predicate : idb_predicates_) {
     idb[predicate] = {};
   }
   Tuple head_tuple;
+  Status budget = Status::Ok();
   for (int stratum = 0; stratum < stratum_count_; ++stratum) {
     bool changed = true;
     while (changed) {
@@ -357,7 +375,8 @@ DatalogResult CompiledDatalog::EvalNaive(const AtomOracle& edb) const {
         std::vector<Element> binding(
             static_cast<size_t>(rule.variable_count), kUnbound);
         BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
-                      &head_tuple, &additions, -1, nullptr);
+                      &head_tuple, &additions, -1, nullptr, ctx, &budget);
+        QREL_RETURN_IF_ERROR(budget);
         if (!additions.empty()) {
           idb[rule.head].insert(additions.begin(), additions.end());
           changed = true;
@@ -368,12 +387,14 @@ DatalogResult CompiledDatalog::EvalNaive(const AtomOracle& edb) const {
   return idb;
 }
 
-DatalogResult CompiledDatalog::Eval(const AtomOracle& edb) const {
+StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
+                                              RunContext* ctx) const {
   DatalogResult idb;
   for (const std::string& predicate : idb_predicates_) {
     idb[predicate] = {};
   }
   Tuple head_tuple;
+  Status budget = Status::Ok();
   for (int stratum = 0; stratum < stratum_count_; ++stratum) {
     // Round 0: full evaluation seeds the delta (also the only round for
     // rules with no same-stratum recursion).
@@ -389,7 +410,8 @@ DatalogResult CompiledDatalog::Eval(const AtomOracle& edb) const {
       std::vector<Element> binding(static_cast<size_t>(rule.variable_count),
                                    kUnbound);
       BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
-                    &head_tuple, &additions, -1, nullptr);
+                    &head_tuple, &additions, -1, nullptr, ctx, &budget);
+      QREL_RETURN_IF_ERROR(budget);
       delta[rule.head].insert(additions.begin(), additions.end());
     }
     for (auto& [predicate, tuples] : delta) {
@@ -424,7 +446,8 @@ DatalogResult CompiledDatalog::Eval(const AtomOracle& edb) const {
               static_cast<size_t>(rule.variable_count), kUnbound);
           BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
                         &head_tuple, &additions, static_cast<int>(i),
-                        &restricted);
+                        &restricted, ctx, &budget);
+          QREL_RETURN_IF_ERROR(budget);
           for (const Tuple& tuple : additions) {
             if (idb.at(rule.head).find(tuple) == idb.at(rule.head).end()) {
               next_delta[rule.head].insert(tuple);
@@ -445,10 +468,14 @@ DatalogResult CompiledDatalog::Eval(const AtomOracle& edb) const {
 }
 
 StatusOr<std::set<Tuple>> CompiledDatalog::EvalPredicate(
-    const AtomOracle& edb, const std::string& predicate) const {
+    const AtomOracle& edb, const std::string& predicate,
+    RunContext* ctx) const {
   if (idb_arity_.find(predicate) != idb_arity_.end()) {
-    DatalogResult result = Eval(edb);
-    return std::move(result.at(predicate));
+    StatusOr<DatalogResult> result = Eval(edb, ctx);
+    if (!result.ok()) {
+      return result.status();
+    }
+    return std::move(result->at(predicate));
   }
   std::optional<int> relation = edb_vocabulary_->FindRelation(predicate);
   if (!relation.has_value()) {
@@ -459,6 +486,7 @@ StatusOr<std::set<Tuple>> CompiledDatalog::EvalPredicate(
   int arity = edb_vocabulary_->relation(*relation).arity;
   Tuple tuple(static_cast<size_t>(arity), 0);
   do {
+    QREL_RETURN_IF_ERROR(ChargeWork(ctx));
     if (edb.AtomTrue(*relation, tuple)) {
       contents.insert(tuple);
     }

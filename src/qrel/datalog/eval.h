@@ -14,10 +14,12 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qrel/datalog/program.h"
 #include "qrel/relational/structure.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -35,17 +37,27 @@ class CompiledDatalog {
   // semi-naive evaluation: after the first round, a rule only re-fires
   // with one of its same-stratum positive IDB literals restricted to the
   // previous round's delta, so unchanged derivations are not recomputed.
-  DatalogResult Eval(const AtomOracle& edb) const;
+  // `ctx` (nullable) is charged one work unit per rule-body enumeration
+  // node; a tripped envelope aborts the fixpoint with the budget status.
+  StatusOr<DatalogResult> Eval(const AtomOracle& edb, RunContext* ctx) const;
+  DatalogResult Eval(const AtomOracle& edb) const {
+    return std::move(Eval(edb, nullptr)).value();
+  }
 
   // The textbook naive fixpoint (re-derives everything every round);
   // exponentially wasteful on deep recursions, kept as the semi-naive
   // algorithm's test oracle.
-  DatalogResult EvalNaive(const AtomOracle& edb) const;
+  StatusOr<DatalogResult> EvalNaive(const AtomOracle& edb,
+                                    RunContext* ctx) const;
+  DatalogResult EvalNaive(const AtomOracle& edb) const {
+    return std::move(EvalNaive(edb, nullptr)).value();
+  }
 
   // Convenience: the contents of one predicate after evaluation. The
   // predicate may be intensional or extensional.
   StatusOr<std::set<Tuple>> EvalPredicate(const AtomOracle& edb,
-                                          const std::string& predicate) const;
+                                          const std::string& predicate,
+                                          RunContext* ctx = nullptr) const;
 
   // Declared IDB predicates in stratum order.
   const std::vector<std::string>& idb_predicates() const {
@@ -88,12 +100,15 @@ class CompiledDatalog {
   // `delta_index` is a body-literal index, that (positive, same-stratum
   // IDB) literal iterates `*delta_contents` instead of the full relation —
   // the semi-naive restriction; pass delta_index = -1 for full evaluation.
-  bool BodySatisfied(const CompiledRule& rule, size_t literal_index,
+  // Charges one unit of `ctx` per invocation (= per enumeration node) and
+  // unwinds as soon as `*budget` goes non-OK.
+  void BodySatisfied(const CompiledRule& rule, size_t literal_index,
                      std::vector<Element>* binding, const AtomOracle& edb,
                      const DatalogResult& idb,
                      const std::set<Tuple>& head_set, Tuple* head_tuple,
                      std::set<Tuple>* additions, int delta_index,
-                     const std::set<Tuple>* delta_contents) const;
+                     const std::set<Tuple>* delta_contents, RunContext* ctx,
+                     Status* budget) const;
 };
 
 }  // namespace qrel

@@ -32,7 +32,7 @@ size_t SymmetricDifferenceSize(const std::set<Tuple>& a,
 
 StatusOr<ReliabilityReport> ExactDatalogReliability(
     const CompiledDatalog& program, const std::string& predicate,
-    const UnreliableDatabase& db) {
+    const UnreliableDatabase& db, RunContext* ctx) {
   StatusOr<int> arity = program.PredicateArity(predicate);
   if (!arity.ok()) {
     return arity.status();
@@ -42,26 +42,38 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
         "exact Datalog reliability would enumerate more than 2^62 worlds");
   }
   StatusOr<std::set<Tuple>> observed =
-      program.EvalPredicate(db.observed(), predicate);
+      program.EvalPredicate(db.observed(), predicate, ctx);
   if (!observed.ok()) {
     return observed.status();
   }
 
   ReliabilityReport report;
   report.arity = *arity;
-  db.ForEachWorld([&](const World& world, const Rational& probability) {
+  Status budget = Status::Ok();
+  db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
+    budget = ChargeWork(ctx);
+    if (!budget.ok()) {
+      return false;
+    }
     ++report.work_units;
     if (probability.IsZero()) {
-      return;
+      return true;
     }
     WorldView view(db, world);
-    std::set<Tuple> actual = *program.EvalPredicate(view, predicate);
-    size_t differing = SymmetricDifferenceSize(*observed, actual);
+    StatusOr<std::set<Tuple>> actual =
+        program.EvalPredicate(view, predicate, ctx);
+    if (!actual.ok()) {
+      budget = actual.status();  // only the envelope can fail here
+      return false;
+    }
+    size_t differing = SymmetricDifferenceSize(*observed, *actual);
     if (differing > 0) {
       report.expected_error +=
           probability * Rational(static_cast<int64_t>(differing));
     }
+    return true;
   });
+  QREL_RETURN_IF_ERROR(budget);
   report.reliability =
       Rational(1) -
       report.expected_error / TupleSpaceSize(db.universe_size(), *arity);
@@ -92,7 +104,7 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
   uint64_t tuples = static_cast<uint64_t>(tuple_count);
 
   StatusOr<std::set<Tuple>> observed =
-      program.EvalPredicate(db.observed(), predicate);
+      program.EvalPredicate(db.observed(), predicate, options.run_context);
   if (!observed.ok()) {
     return observed.status();
   }
@@ -117,10 +129,32 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
 
   const double xi = options.xi;
   Rng rng(options.seed);
+  bool truncated = false;
+  uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
-    World world = db.SampleWorld(&rng);
-    WorldView view(db, world);
-    std::set<Tuple> actual = *program.EvalPredicate(view, predicate);
+    Status budget = ChargeWork(options.run_context);
+    std::set<Tuple> actual;
+    if (budget.ok()) {
+      World world = db.SampleWorld(&rng);
+      WorldView view(db, world);
+      StatusOr<std::set<Tuple>> evaluated =
+          program.EvalPredicate(view, predicate, options.run_context);
+      if (evaluated.ok()) {
+        actual = std::move(evaluated).value();
+      } else {
+        budget = evaluated.status();  // the fixpoint tripped mid-world
+      }
+    }
+    if (!budget.ok()) {
+      // A prefix of completed worlds is a valid (smaller) sample for every
+      // tuple at once, so truncation is sound here — never on cancellation.
+      if (options.allow_truncation && drawn > 0 &&
+          budget.code() != StatusCode::kCancelled) {
+        truncated = true;
+        break;
+      }
+      return budget;
+    }
     for (size_t i = 0; i < all_tuples.size(); ++i) {
       bool rd = rng.NextBernoulli(xi);
       if (!rd) {
@@ -133,12 +167,16 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
         ++hits[i];
       }
     }
+    ++drawn;
+  }
+  if (drawn == 0) {
+    return Status::InvalidArgument("padded estimator needs at least 1 sample");
   }
 
   double expected_error = 0.0;
   for (size_t i = 0; i < all_tuples.size(); ++i) {
     double x_bar =
-        static_cast<double>(hits[i]) / static_cast<double>(samples);
+        static_cast<double>(hits[i]) / static_cast<double>(drawn);
     double nu = (x_bar - xi * xi) / (xi - xi * xi);
     nu = std::clamp(nu, 0.0, 1.0);
     bool was_observed = observed->find(all_tuples[i]) != observed->end();
@@ -146,7 +184,13 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
   }
 
   ApproxResult result;
-  result.samples = samples;
+  result.samples = drawn;
+  result.truncated = truncated;
+  if (drawn > 0 &&
+      drawn < PaddedSampleBound(options.xi, per_epsilon / 2.0, per_delta)) {
+    result.achieved_epsilon =
+        PaddedAchievedEpsilon(options.xi, drawn, per_delta) * tuple_count;
+  }
   result.estimate = std::clamp(1.0 - expected_error / tuple_count, 0.0, 1.0);
   result.method =
       "Thm 5.12 padded estimator on Datalog predicate '" + predicate + "'";

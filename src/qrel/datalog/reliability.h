@@ -23,17 +23,22 @@
 namespace qrel {
 
 // Exact H and R for `predicate` by world enumeration. Fails if the
-// database has more than 62 uncertain atoms.
+// database has more than 62 uncertain atoms. `ctx` (nullable) is charged
+// one unit per world plus the fixpoint's own per-node charges; a tripped
+// envelope aborts with the budget status.
 StatusOr<ReliabilityReport> ExactDatalogReliability(
     const CompiledDatalog& program, const std::string& predicate,
-    const UnreliableDatabase& db);
+    const UnreliableDatabase& db, RunContext* ctx = nullptr);
 
 // Theorem 5.12 estimator for Datalog: samples worlds, evaluates the
 // program on each, and applies the ξ-padding inversion per answer tuple.
 // Worlds are shared across tuples (each per-tuple estimate stays unbiased
 // and Lemma 5.11 applies marginally; the union bound over tuples is
 // unaffected by correlation). Absolute error `options.epsilon` on R with
-// probability ≥ 1 − options.delta.
+// probability ≥ 1 − options.delta. Respects options.run_context (one unit
+// per sampled world); because worlds are shared across tuples, a prefix of
+// completed worlds is usable for every tuple, so options.allow_truncation
+// applies here even for k-ary predicates.
 StatusOr<ApproxResult> PaddedDatalogReliability(
     const CompiledDatalog& program, const std::string& predicate,
     const UnreliableDatabase& db, const ApproxOptions& options);

@@ -17,6 +17,20 @@ double TupleSpace(int n, int k) {
   return std::pow(static_cast<double>(n), static_cast<double>(k));
 }
 
+// Whether a rung failure should send the run down the ladder instead of
+// out to the caller: only deadline/work trips, only when degradation is
+// enabled and no exact answer was explicitly demanded. Cancellation is a
+// caller decision, never an engine one.
+bool ShouldDegrade(const Status& status, const EngineOptions& options) {
+  return options.degrade_on_budget && !options.force_exact &&
+         IsBudgetStatusCode(status.code()) &&
+         status.code() != StatusCode::kCancelled;
+}
+
+std::string DegradationReason(const Status& status) {
+  return std::string(StatusCodeName(status.code())) + ": " + status.message();
+}
+
 }  // namespace
 
 ReliabilityEngine::ReliabilityEngine(UnreliableDatabase database)
@@ -37,6 +51,12 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
     return Status::InvalidArgument(
         "force_exact and force_approximate are mutually exclusive");
   }
+  RunContext* ctx = options.run_context;
+  // Fail fast on an envelope that is already spent (zero work budget,
+  // expired deadline, prior cancellation): nothing ran, so there is
+  // nothing to degrade to.
+  QREL_RETURN_IF_ERROR(CheckRunContext(ctx));
+
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(query, database_.vocabulary());
   if (!compiled.ok()) {
@@ -67,52 +87,118 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
     report.exact_reliability = exact.reliability;
     report.reliability = exact.reliability.ToDouble();
     report.expected_error = exact.expected_error.ToDouble();
+    report.budget_spent = ctx != nullptr ? ctx->work_spent() : 0;
   };
+
+  // Why the exact path was abandoned mid-run; OK while no rung tripped.
+  Status degrade_trigger = Status::Ok();
 
   // 1. Quantifier-free: always polynomial, always exact (Prop. 3.1).
   if (report.query_class == QueryClass::kQuantifierFree &&
       !options.force_approximate) {
     StatusOr<ReliabilityReport> exact =
-        QuantifierFreeReliability(query, database_);
-    if (!exact.ok()) {
+        QuantifierFreeReliability(query, database_, ctx);
+    if (exact.ok()) {
+      fill_exact(*exact, "Prop 3.1 quantifier-free polynomial algorithm");
+      return report;
+    }
+    if (!ShouldDegrade(exact.status(), options)) {
       return exact.status();
     }
-    fill_exact(*exact, "Prop 3.1 quantifier-free polynomial algorithm");
-    return report;
+    degrade_trigger = exact.status();
   }
 
-  // 2. Small world space (or forced): exact enumeration (Thm 4.2).
-  if ((exact_feasible || options.force_exact) && !options.force_approximate) {
-    StatusOr<ReliabilityReport> exact = ExactReliability(query, database_);
-    if (!exact.ok()) {
+  // 2. Small world space (or forced): exact enumeration (Thm 4.2). Skipped
+  // once a cheaper exact rung has already tripped the envelope.
+  if (degrade_trigger.ok() && (exact_feasible || options.force_exact) &&
+      !options.force_approximate) {
+    StatusOr<ReliabilityReport> exact =
+        ExactReliability(query, database_, ctx);
+    if (exact.ok()) {
+      fill_exact(*exact, "Thm 4.2 exact world enumeration (" +
+                             std::to_string(exact->work_units) + " worlds)");
+      return report;
+    }
+    if (!ShouldDegrade(exact.status(), options)) {
       return exact.status();
     }
-    fill_exact(*exact, "Thm 4.2 exact world enumeration (" +
-                           std::to_string(exact->work_units) + " worlds)");
-    return report;
+    degrade_trigger = exact.status();
   }
 
-  // 3./4. Randomized approximation.
+  // 3./4. Randomized approximation. Runs under whatever envelope remains;
+  // single-estimate paths may truncate rather than fail.
   ApproxOptions approx;
   approx.epsilon = options.epsilon;
   approx.delta = options.delta;
   approx.seed = options.seed;
   approx.fixed_samples = options.fixed_samples;
+  approx.run_context = ctx;
+  approx.allow_truncation = options.degrade_on_budget;
 
-  StatusOr<ApproxResult> estimate =
-      (report.query_class == QueryClass::kConjunctive ||
-       report.query_class == QueryClass::kExistential ||
-       report.query_class == QueryClass::kUniversal)
-          ? ReliabilityAbsoluteApprox(query, database_, approx)
-          : PaddedReliabilityApprox(query, database_, approx);
-  if (!estimate.ok()) {
-    return estimate.status();
+  bool cor55_applies = report.query_class == QueryClass::kQuantifierFree ||
+                       report.query_class == QueryClass::kConjunctive ||
+                       report.query_class == QueryClass::kExistential ||
+                       report.query_class == QueryClass::kUniversal;
+
+  std::optional<ApproxResult> estimate;
+  bool used_reserve = false;
+  if (CheckRunContext(ctx).ok()) {
+    StatusOr<ApproxResult> attempt =
+        cor55_applies ? ReliabilityAbsoluteApprox(query, database_, approx)
+                      : PaddedReliabilityApprox(query, database_, approx);
+    if (attempt.ok()) {
+      estimate = std::move(attempt).value();
+    } else if (ShouldDegrade(attempt.status(), options)) {
+      degrade_trigger = attempt.status();
+    } else {
+      return attempt.status();
+    }
+  } else if (degrade_trigger.ok()) {
+    Status entry = CheckRunContext(ctx);
+    if (!ShouldDegrade(entry, options)) {
+      return entry;
+    }
+    degrade_trigger = entry;
   }
+
+  if (!estimate.has_value()) {
+    if (!options.degrade_on_budget) {
+      return degrade_trigger;
+    }
+    if (ctx != nullptr && ctx->cancellation_requested()) {
+      return Status::Cancelled("run cancelled before the reserve rung");
+    }
+    // Last resort: a fixed reserve-sample padded run. It runs ungoverned —
+    // its cost is bounded by construction — so a degraded run still ends
+    // with an estimate instead of an error.
+    ApproxOptions reserve = approx;
+    reserve.run_context = nullptr;
+    reserve.allow_truncation = false;
+    reserve.fixed_samples = options.reserve_samples;
+    StatusOr<ApproxResult> attempt =
+        PaddedReliabilityApprox(query, database_, reserve);
+    if (!attempt.ok()) {
+      return attempt.status();
+    }
+    estimate = std::move(attempt).value();
+    used_reserve = true;
+  }
+
   report.method = estimate->method;
   report.is_exact = false;
   report.reliability = estimate->estimate;
   report.expected_error = (1.0 - estimate->estimate) * TupleSpace(n, k);
   report.samples = estimate->samples;
+  report.partial = estimate->truncated || used_reserve;
+  report.achieved_epsilon = estimate->achieved_epsilon;
+  if (report.achieved_epsilon.has_value()) {
+    report.achieved_delta = options.delta;
+  }
+  if (!degrade_trigger.ok()) {
+    report.degraded = true;
+    report.degradation_reason = DegradationReason(degrade_trigger);
+  }
+  report.budget_spent = ctx != nullptr ? ctx->work_spent() : 0;
   return report;
 }
 
@@ -123,6 +209,8 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
     return Status::InvalidArgument(
         "force_exact and force_approximate are mutually exclusive");
   }
+  RunContext* ctx = options.run_context;
+  QREL_RETURN_IF_ERROR(CheckRunContext(ctx));
   StatusOr<DatalogProgram> program = ParseDatalogProgram(program_text);
   if (!program.ok()) {
     return program.status();
@@ -156,19 +244,24 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
   bool exact_feasible =
       uncertain < 63 &&
       (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+  Status degrade_trigger = Status::Ok();
   if ((exact_feasible || options.force_exact) && !options.force_approximate) {
     StatusOr<ReliabilityReport> exact =
-        ExactDatalogReliability(*compiled, predicate, database_);
-    if (!exact.ok()) {
+        ExactDatalogReliability(*compiled, predicate, database_, ctx);
+    if (exact.ok()) {
+      report.method = "Thm 4.2 exact world enumeration over Datalog (" +
+                      std::to_string(exact->work_units) + " worlds)";
+      report.is_exact = true;
+      report.exact_reliability = exact->reliability;
+      report.reliability = exact->reliability.ToDouble();
+      report.expected_error = exact->expected_error.ToDouble();
+      report.budget_spent = ctx != nullptr ? ctx->work_spent() : 0;
+      return report;
+    }
+    if (!ShouldDegrade(exact.status(), options)) {
       return exact.status();
     }
-    report.method = "Thm 4.2 exact world enumeration over Datalog (" +
-                    std::to_string(exact->work_units) + " worlds)";
-    report.is_exact = true;
-    report.exact_reliability = exact->reliability;
-    report.reliability = exact->reliability.ToDouble();
-    report.expected_error = exact->expected_error.ToDouble();
-    return report;
+    degrade_trigger = exact.status();
   }
 
   ApproxOptions approx;
@@ -176,11 +269,52 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
   approx.delta = options.delta;
   approx.seed = options.seed;
   approx.fixed_samples = options.fixed_samples;
-  StatusOr<ApproxResult> estimate =
-      PaddedDatalogReliability(*compiled, predicate, database_, approx);
-  if (!estimate.ok()) {
-    return estimate.status();
+  approx.run_context = ctx;
+  // Datalog's padded estimator shares each sampled world across all
+  // tuples, so a truncated prefix of worlds is sound (see
+  // datalog/reliability.h).
+  approx.allow_truncation = options.degrade_on_budget;
+
+  std::optional<ApproxResult> estimate;
+  bool used_reserve = false;
+  if (CheckRunContext(ctx).ok()) {
+    StatusOr<ApproxResult> attempt =
+        PaddedDatalogReliability(*compiled, predicate, database_, approx);
+    if (attempt.ok()) {
+      estimate = std::move(attempt).value();
+    } else if (ShouldDegrade(attempt.status(), options)) {
+      degrade_trigger = attempt.status();
+    } else {
+      return attempt.status();
+    }
+  } else if (degrade_trigger.ok()) {
+    Status entry = CheckRunContext(ctx);
+    if (!ShouldDegrade(entry, options)) {
+      return entry;
+    }
+    degrade_trigger = entry;
   }
+
+  if (!estimate.has_value()) {
+    if (!options.degrade_on_budget) {
+      return degrade_trigger;
+    }
+    if (ctx != nullptr && ctx->cancellation_requested()) {
+      return Status::Cancelled("run cancelled before the reserve rung");
+    }
+    ApproxOptions reserve = approx;
+    reserve.run_context = nullptr;
+    reserve.allow_truncation = false;
+    reserve.fixed_samples = options.reserve_samples;
+    StatusOr<ApproxResult> attempt =
+        PaddedDatalogReliability(*compiled, predicate, database_, reserve);
+    if (!attempt.ok()) {
+      return attempt.status();
+    }
+    estimate = std::move(attempt).value();
+    used_reserve = true;
+  }
+
   report.method = estimate->method;
   report.is_exact = false;
   report.reliability = estimate->estimate;
@@ -188,6 +322,16 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
       (1.0 - estimate->estimate) *
       TupleSpace(database_.universe_size(), *arity);
   report.samples = estimate->samples;
+  report.partial = estimate->truncated || used_reserve;
+  report.achieved_epsilon = estimate->achieved_epsilon;
+  if (report.achieved_epsilon.has_value()) {
+    report.achieved_delta = options.delta;
+  }
+  if (!degrade_trigger.ok()) {
+    report.degraded = true;
+    report.degradation_reason = DegradationReason(degrade_trigger);
+  }
+  report.budget_spent = ctx != nullptr ? ctx->work_spent() : 0;
   return report;
 }
 

@@ -9,6 +9,19 @@
 //   3. existential/universal  → Corollary 5.5 absolute-error approximation
 //                               (Theorem 5.4 grounding + Karp-Luby);
 //   4. anything else          → Theorem 5.12 padded estimator.
+//
+// Resource governance: EngineOptions::run_context carries a wall-clock
+// deadline, a work budget and a cancellation flag into every rung. An
+// envelope that is already tripped at entry fails fast with its budget
+// status. When a deadline or work budget trips *mid-rung* and
+// degrade_on_budget is set, the engine falls down the ladder instead of
+// failing — the exact rung's partial work is discarded, the randomized
+// rungs run under whatever envelope remains, and a last-resort padded run
+// with `reserve_samples` fixed samples (ungoverned, so it always finishes)
+// guarantees an answer. The report flags the fallback (`degraded`,
+// `degradation_reason`) and the weakened guarantee (`partial`,
+// `achieved_epsilon`/`achieved_delta`). Cancellation never degrades: it
+// always surfaces as kCancelled.
 
 #ifndef QREL_ENGINE_ENGINE_H_
 #define QREL_ENGINE_ENGINE_H_
@@ -23,6 +36,7 @@
 #include "qrel/datalog/reliability.h"
 #include "qrel/logic/classify.h"
 #include "qrel/prob/unreliable_database.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -48,6 +62,21 @@ struct EngineOptions {
   // Also evaluate ψ on the observed database and report the answer set
   // (skipped when n^arity exceeds 2^16 tuples).
   bool include_observed_answers = true;
+
+  // Execution envelope for the whole run (non-owning, nullable; see
+  // util/run_context.h). Every rung charges its work — worlds, samples,
+  // ground clauses, fixpoint nodes — against it.
+  RunContext* run_context = nullptr;
+
+  // Fall down the strategy ladder when the envelope trips mid-rung
+  // (deadline or work budget only — cancellation always propagates).
+  // force_exact suppresses degradation: an explicit demand for an exact
+  // answer is honored even at the price of a budget error.
+  bool degrade_on_budget = true;
+
+  // Per-Boolean-sub-estimate sample count for the last-resort padded rung,
+  // which runs ungoverned so a degraded run still returns an estimate.
+  uint64_t reserve_samples = 384;
 };
 
 struct EngineReport {
@@ -61,6 +90,21 @@ struct EngineReport {
   uint64_t samples = 0;  // Monte Carlo samples drawn (0 on exact paths)
   // ψ^𝔄, if requested and small enough.
   std::optional<std::vector<Tuple>> observed_answers;
+
+  // A cheaper rung than the planned one produced the answer because the
+  // execution envelope tripped mid-run; `degradation_reason` says why.
+  bool degraded = false;
+  std::string degradation_reason;
+  // The estimate rests on fewer samples than the (ε, δ) plan called for —
+  // a truncated sampling run or the fixed-size reserve rung.
+  bool partial = false;
+  // The guarantee those samples actually deliver (absolute error on R at
+  // confidence achieved_delta), when weaker than the requested epsilon.
+  std::optional<double> achieved_epsilon;
+  std::optional<double> achieved_delta;
+  // Work units charged to options.run_context by this run (0 when
+  // ungoverned).
+  uint64_t budget_spent = 0;
 };
 
 class ReliabilityEngine {

@@ -20,7 +20,7 @@ int GroundDnf::Width() const {
 StatusOr<GroundDnf> GroundExistential(const PrenexExistential& prenex,
                                       const UnreliableDatabase& database,
                                       const Tuple& free_assignment,
-                                      size_t max_terms) {
+                                      size_t max_terms, RunContext* ctx) {
   if (free_assignment.size() != prenex.free_variables.size()) {
     return Status::InvalidArgument(
         "free assignment has " + std::to_string(free_assignment.size()) +
@@ -92,6 +92,7 @@ StatusOr<GroundDnf> GroundExistential(const PrenexExistential& prenex,
   Tuple bound_assignment(prenex.bound_variables.size(), 0);
   bool more_assignments = true;
   while (more_assignments) {
+    QREL_RETURN_IF_ERROR(ChargeWork(ctx));
     for (size_t i = 0; i < bound_assignment.size(); ++i) {
       valuation[prenex.free_variables.size() + i] = bound_assignment[i];
     }
@@ -168,6 +169,7 @@ StatusOr<GroundDnf> GroundExistential(const PrenexExistential& prenex,
       }
       std::sort(ground_term.begin(), ground_term.end());
       if (seen_terms.insert(ground_term).second) {
+        QREL_RETURN_IF_ERROR(ChargeWork(ctx));
         result.terms.push_back(std::move(ground_term));
         if (result.terms.size() > max_terms) {
           return Status::OutOfRange("grounded DNF exceeds term limit");

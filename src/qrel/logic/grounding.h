@@ -18,6 +18,7 @@
 
 #include "qrel/logic/normal_form.h"
 #include "qrel/prob/unreliable_database.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -54,11 +55,14 @@ struct GroundDnf {
 // empty for sentences). Fails with OutOfRange if more than `max_terms`
 // ground terms survive (the bound exists to keep malformed inputs from
 // exhausting memory; the construction itself is polynomial for a fixed
-// query).
+// query). `ctx` (nullable) is charged one work unit per bound-variable
+// assignment plus one per emitted ground clause; a tripped envelope stops
+// the expansion with the budget status.
 StatusOr<GroundDnf> GroundExistential(const PrenexExistential& prenex,
                                       const UnreliableDatabase& database,
                                       const Tuple& free_assignment,
-                                      size_t max_terms = size_t{1} << 22);
+                                      size_t max_terms = size_t{1} << 22,
+                                      RunContext* ctx = nullptr);
 
 }  // namespace qrel
 

@@ -155,6 +155,14 @@ World UnreliableDatabase::SampleWorld(Rng* rng) const {
 
 void UnreliableDatabase::ForEachWorld(
     const std::function<void(const World&, const Rational&)>& fn) const {
+  ForEachWorldWhile([&fn](const World& world, const Rational& probability) {
+    fn(world, probability);
+    return true;
+  });
+}
+
+bool UnreliableDatabase::ForEachWorldWhile(
+    const std::function<bool(const World&, const Rational&)>& fn) const {
   size_t u = uncertain_entries_.size();
   QREL_CHECK_MSG(u <= 62, "world enumeration over more than 62 atoms");
 
@@ -179,8 +187,11 @@ void UnreliableDatabase::ForEachWorld(
       world.SetFlipped(uncertain_entries_[i], flipped);
       probability *= flipped ? mu[i] : one_minus_mu[i];
     }
-    fn(world, probability);
+    if (!fn(world, probability)) {
+      return false;
+    }
   }
+  return true;
 }
 
 Structure UnreliableDatabase::MaterializeWorld(const World& world) const {

@@ -107,6 +107,12 @@ class UnreliableDatabase {
   void ForEachWorld(
       const std::function<void(const World&, const Rational&)>& fn) const;
 
+  // Like ForEachWorld, but the callback returns false to stop early (used
+  // by budgeted/cancellable enumeration loops — see util/run_context.h).
+  // Returns true iff every world was visited.
+  bool ForEachWorldWhile(
+      const std::function<bool(const World&, const Rational&)>& fn) const;
+
   // Copies the observed database and applies the world's flips; for tests
   // and materializing examples. Prefer WorldView for evaluation.
   Structure MaterializeWorld(const World& world) const;

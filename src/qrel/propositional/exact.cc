@@ -44,11 +44,17 @@ bool Condition(const std::vector<Term>& terms, int variable, bool value,
   return false;
 }
 
-Rational Shannon(const std::vector<Term>& terms,
-                 const std::vector<Rational>& prob_true) {
+Status Shannon(const std::vector<Term>& terms,
+               const std::vector<Rational>& prob_true, RunContext* ctx,
+               Rational* out) {
+  *out = Rational::Zero();
   if (terms.empty()) {
-    return Rational::Zero();
+    return Status::Ok();
   }
+  // One expansion node; the worst case is exponential in the variable
+  // count, which is exactly what a work budget needs to see.
+  QREL_RETURN_IF_ERROR(ChargeWork(ctx));
+
   // Branch on the first variable of the first term; it appears in at least
   // one term, so both branches strictly simplify.
   int variable = terms[0][0].variable;
@@ -60,7 +66,9 @@ Rational Shannon(const std::vector<Term>& terms,
     if (Condition(terms, variable, true, &branch)) {
       result += p;
     } else {
-      result += p * Shannon(branch, prob_true);
+      Rational sub;
+      QREL_RETURN_IF_ERROR(Shannon(branch, prob_true, ctx, &sub));
+      result += p * sub;
     }
   }
   Rational q = p.Complement();
@@ -68,16 +76,20 @@ Rational Shannon(const std::vector<Term>& terms,
     if (Condition(terms, variable, false, &branch)) {
       result += q;
     } else {
-      result += q * Shannon(branch, prob_true);
+      Rational sub;
+      QREL_RETURN_IF_ERROR(Shannon(branch, prob_true, ctx, &sub));
+      result += q * sub;
     }
   }
-  return result;
+  *out = std::move(result);
+  return Status::Ok();
 }
 
 }  // namespace
 
-Rational ShannonDnfProbability(const Dnf& dnf,
-                               const std::vector<Rational>& prob_true) {
+StatusOr<Rational> ShannonDnfProbability(const Dnf& dnf,
+                                         const std::vector<Rational>& prob_true,
+                                         RunContext* ctx) {
   QREL_CHECK_EQ(static_cast<int>(prob_true.size()), dnf.variable_count());
   std::vector<Term> terms;
   terms.reserve(static_cast<size_t>(dnf.term_count()));
@@ -87,17 +99,26 @@ Rational ShannonDnfProbability(const Dnf& dnf,
     }
     terms.push_back(dnf.term(i));
   }
-  return Shannon(terms, prob_true);
+  Rational result;
+  QREL_RETURN_IF_ERROR(Shannon(terms, prob_true, ctx, &result));
+  return result;
 }
 
-Rational BruteForceDnfProbability(const Dnf& dnf,
-                                  const std::vector<Rational>& prob_true) {
+Rational ShannonDnfProbability(const Dnf& dnf,
+                               const std::vector<Rational>& prob_true) {
+  // Ungoverned runs cannot trip a budget.
+  return std::move(ShannonDnfProbability(dnf, prob_true, nullptr)).value();
+}
+
+StatusOr<Rational> BruteForceDnfProbability(
+    const Dnf& dnf, const std::vector<Rational>& prob_true, RunContext* ctx) {
   QREL_CHECK_EQ(static_cast<int>(prob_true.size()), dnf.variable_count());
   QREL_CHECK_LE(dnf.variable_count(), 25);
   size_t n = static_cast<size_t>(dnf.variable_count());
   Rational total;
   PropAssignment assignment(n, 0);
   for (uint64_t code = 0; code < (uint64_t{1} << n); ++code) {
+    QREL_RETURN_IF_ERROR(ChargeWork(ctx));
     for (size_t i = 0; i < n; ++i) {
       assignment[i] = (code >> i) & 1u;
     }
@@ -117,16 +138,28 @@ Rational BruteForceDnfProbability(const Dnf& dnf,
   return total;
 }
 
-BigInt CountDnfModels(const Dnf& dnf) {
+Rational BruteForceDnfProbability(const Dnf& dnf,
+                                  const std::vector<Rational>& prob_true) {
+  return std::move(BruteForceDnfProbability(dnf, prob_true, nullptr)).value();
+}
+
+StatusOr<BigInt> CountDnfModels(const Dnf& dnf, RunContext* ctx) {
   std::vector<Rational> half(static_cast<size_t>(dnf.variable_count()),
                              Rational::Half());
-  Rational probability = ShannonDnfProbability(dnf, half);
+  StatusOr<Rational> probability = ShannonDnfProbability(dnf, half, ctx);
+  if (!probability.ok()) {
+    return probability.status();
+  }
   Rational count =
-      probability *
+      *probability *
       Rational(BigInt::TwoPow(static_cast<uint32_t>(dnf.variable_count())),
                BigInt(1));
   QREL_CHECK(count.denominator().IsOne());
   return count.numerator();
+}
+
+BigInt CountDnfModels(const Dnf& dnf) {
+  return std::move(CountDnfModels(dnf, nullptr)).value();
 }
 
 }  // namespace qrel

@@ -13,6 +13,8 @@
 #include "qrel/propositional/dnf.h"
 #include "qrel/util/bigint.h"
 #include "qrel/util/rational.h"
+#include "qrel/util/run_context.h"
+#include "qrel/util/status.h"
 
 namespace qrel {
 
@@ -21,14 +23,28 @@ namespace qrel {
 Rational ShannonDnfProbability(const Dnf& dnf,
                                const std::vector<Rational>& prob_true);
 
+// Governed variant: charges one work unit per Shannon expansion node to
+// `ctx` (nullable) and stops early with the budget status when the
+// envelope trips.
+StatusOr<Rational> ShannonDnfProbability(const Dnf& dnf,
+                                         const std::vector<Rational>& prob_true,
+                                         RunContext* ctx);
+
 // Exact Pr[φ] by enumerating all 2^variable_count assignments. Aborts if
 // variable_count > 25 (use ShannonDnfProbability instead).
 Rational BruteForceDnfProbability(const Dnf& dnf,
                                   const std::vector<Rational>& prob_true);
 
+// Governed variant: charges one work unit per enumerated assignment.
+StatusOr<Rational> BruteForceDnfProbability(
+    const Dnf& dnf, const std::vector<Rational>& prob_true, RunContext* ctx);
+
 // Exact number of satisfying assignments (#DNF), via Shannon expansion
 // with uniform probabilities: count = Pr[φ] · 2^variable_count.
 BigInt CountDnfModels(const Dnf& dnf);
+
+// Governed variant of CountDnfModels.
+StatusOr<BigInt> CountDnfModels(const Dnf& dnf, RunContext* ctx);
 
 }  // namespace qrel
 

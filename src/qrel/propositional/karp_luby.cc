@@ -14,6 +14,15 @@ uint64_t KarpLubySampleBound(int term_count, double epsilon, double delta) {
   return static_cast<uint64_t>(std::ceil(t));
 }
 
+double KarpLubyAchievedEpsilon(int term_count, uint64_t samples,
+                               double delta) {
+  QREL_CHECK_GT(term_count, 0);
+  QREL_CHECK_GT(samples, 0u);
+  // t = 4 m ln(2/δ) / ε²  solved for ε.
+  return std::sqrt(4.0 * term_count * std::log(2.0 / delta) /
+                   static_cast<double>(samples));
+}
+
 StatusOr<KarpLubyResult> KarpLubyProbability(
     const Dnf& dnf, const std::vector<Rational>& prob_true,
     const KarpLubyOptions& options) {
@@ -79,7 +88,22 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
   Rng rng(options.seed);
   PropAssignment assignment(static_cast<size_t>(dnf.variable_count()), 0);
   double sum = 0.0;
+  uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
+    if (options.run_context != nullptr) {
+      Status budget = options.run_context->Charge();
+      if (!budget.ok()) {
+        // A prefix of the zero-one sample sequence is still an unbiased
+        // estimator; keep it when the caller opted in (never for an
+        // explicit cancellation).
+        if (options.allow_truncation && drawn > 0 &&
+            budget.code() != StatusCode::kCancelled) {
+          result.truncated = true;
+          break;
+        }
+        return budget;
+      }
+    }
     // Pick a term with probability proportional to its weight.
     double u = rng.NextDouble() * total_weight;
     size_t pick =
@@ -120,10 +144,11 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
       QREL_CHECK_GT(covered, 0);  // the sampled term is satisfied
       sum += 1.0 / covered;
     }
+    ++drawn;
   }
 
-  result.samples = samples;
-  result.estimate = total_weight * sum / static_cast<double>(samples);
+  result.samples = drawn;
+  result.estimate = total_weight * sum / static_cast<double>(drawn);
   // Probabilities cannot exceed 1; the estimator can (slightly).
   result.estimate = std::min(result.estimate, 1.0);
   return result;

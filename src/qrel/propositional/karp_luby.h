@@ -24,6 +24,7 @@
 
 #include "qrel/propositional/dnf.h"
 #include "qrel/util/bigint.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -40,6 +41,18 @@ struct KarpLubyOptions {
   // Overrides the Karp-Luby-Madras sample count when set (used by the
   // benchmark harness for equal-budget comparisons).
   std::optional<uint64_t> fixed_samples;
+
+  // Execution envelope (non-owning, nullable): one work unit is charged
+  // per sample drawn.
+  RunContext* run_context = nullptr;
+
+  // When the envelope trips mid-loop and at least one sample completed,
+  // return the running estimate (marked `truncated`) instead of the budget
+  // error. Sound because each zero-one sample is independent and the
+  // estimator stays unbiased at any prefix of the sample sequence; only
+  // the (ε, δ) guarantee weakens — see KarpLubyAchievedEpsilon.
+  // Cancellation is never converted into a truncated result.
+  bool allow_truncation = false;
 };
 
 struct KarpLubyResult {
@@ -48,6 +61,9 @@ struct KarpLubyResult {
   uint64_t samples = 0;
   // S = Σ_i Pr[T_i], the importance-sampling normalizer.
   double total_term_weight = 0.0;
+  // The sampling loop stopped early on a tripped budget; `samples` is the
+  // number actually incorporated into `estimate`.
+  bool truncated = false;
 };
 
 // Estimates Pr[φ] for `dnf` under `prob_true`. Exact corner cases (no
@@ -63,6 +79,12 @@ StatusOr<KarpLubyResult> KarpLubyCount(const Dnf& dnf,
 
 // The Karp-Luby-Madras sample bound t(m, ε, δ) = ⌈4 m ln(2/δ) / ε²⌉.
 uint64_t KarpLubySampleBound(int term_count, double epsilon, double delta);
+
+// Inverts the sample bound: the relative error ε actually guaranteed (at
+// failure probability δ) by `samples` zero-one samples over `term_count`
+// terms — the error bar of a truncated run.
+double KarpLubyAchievedEpsilon(int term_count, uint64_t samples,
+                               double delta);
 
 }  // namespace qrel
 

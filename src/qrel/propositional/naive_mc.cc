@@ -4,7 +4,7 @@ namespace qrel {
 
 StatusOr<NaiveMcResult> NaiveMcProbability(
     const Dnf& dnf, const std::vector<Rational>& prob_true, uint64_t samples,
-    uint64_t seed) {
+    uint64_t seed, RunContext* ctx, bool allow_truncation) {
   if (static_cast<int>(prob_true.size()) != dnf.variable_count()) {
     return Status::InvalidArgument(
         "probability vector size does not match variable count");
@@ -19,15 +19,28 @@ StatusOr<NaiveMcResult> NaiveMcProbability(
   }
   Rng rng(seed);
   NaiveMcResult result;
-  result.samples = samples;
+  uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
+    if (ctx != nullptr) {
+      Status budget = ctx->Charge();
+      if (!budget.ok()) {
+        if (allow_truncation && drawn > 0 &&
+            budget.code() != StatusCode::kCancelled) {
+          result.truncated = true;
+          break;
+        }
+        return budget;
+      }
+    }
     PropAssignment assignment = SampleAssignment(prob_true, &rng);
     if (dnf.Eval(assignment)) {
       ++result.hits;
     }
+    ++drawn;
   }
+  result.samples = drawn;
   result.estimate =
-      static_cast<double>(result.hits) / static_cast<double>(samples);
+      static_cast<double>(result.hits) / static_cast<double>(drawn);
   return result;
 }
 

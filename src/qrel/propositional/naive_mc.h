@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "qrel/propositional/dnf.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -21,12 +22,19 @@ struct NaiveMcResult {
   double estimate = 0.0;
   uint64_t samples = 0;
   uint64_t hits = 0;
+  // The loop stopped early on a tripped budget; `samples` is the number
+  // actually incorporated into `estimate`.
+  bool truncated = false;
 };
 
 // Estimates Pr[φ] with `samples` independent assignments (must be > 0).
+// `ctx` (nullable) is charged one work unit per sample; when the envelope
+// trips mid-loop and `allow_truncation` is set, the running estimate is
+// returned (marked `truncated`; the hit-fraction estimator is unbiased at
+// any prefix). Cancellation always propagates as kCancelled.
 StatusOr<NaiveMcResult> NaiveMcProbability(
     const Dnf& dnf, const std::vector<Rational>& prob_true, uint64_t samples,
-    uint64_t seed);
+    uint64_t seed, RunContext* ctx = nullptr, bool allow_truncation = false);
 
 }  // namespace qrel
 

@@ -1,0 +1,69 @@
+#include "qrel/util/run_context.h"
+
+#include <limits>
+#include <string>
+
+namespace qrel {
+
+uint64_t RunContext::work_remaining() const {
+  if (!max_work_.has_value()) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  uint64_t spent = work_spent();
+  return spent >= *max_work_ ? 0 : *max_work_ - spent;
+}
+
+Status RunContext::Trip(StatusCode code) const {
+  uint64_t spent = work_spent();
+  switch (code) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("run cancelled after " +
+                               std::to_string(spent) + " work unit(s)");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(
+          "work budget of " + std::to_string(max_work_.value_or(0)) +
+          " unit(s) exhausted (spent " + std::to_string(spent) + ")");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("deadline exceeded after " +
+                                      std::to_string(spent) +
+                                      " work unit(s)");
+    default:
+      return Status::Internal("RunContext tripped with unexpected code");
+  }
+}
+
+Status RunContext::Charge(uint64_t units) {
+  uint64_t spent =
+      work_spent_.fetch_add(units, std::memory_order_relaxed) + units;
+  if (cancellation_requested()) {
+    return Trip(StatusCode::kCancelled);
+  }
+  if (max_work_.has_value() && spent > *max_work_) {
+    return Trip(StatusCode::kResourceExhausted);
+  }
+  if (deadline_.has_value()) {
+    units_since_clock_check_ += units;
+    if (units_since_clock_check_ >= kClockCheckStride) {
+      units_since_clock_check_ = 0;
+      if (Clock::now() >= *deadline_) {
+        return Trip(StatusCode::kDeadlineExceeded);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunContext::Check() const {
+  if (cancellation_requested()) {
+    return Trip(StatusCode::kCancelled);
+  }
+  if (max_work_.has_value() && work_spent() >= *max_work_) {
+    return Trip(StatusCode::kResourceExhausted);
+  }
+  if (deadline_.has_value() && Clock::now() >= *deadline_) {
+    return Trip(StatusCode::kDeadlineExceeded);
+  }
+  return Status::Ok();
+}
+
+}  // namespace qrel

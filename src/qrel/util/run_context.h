@@ -1,0 +1,158 @@
+// Resource governance for long-running computations.
+//
+// The paper's central tension is that exact reliability is FP^#P-hard
+// (Theorem 4.2) while approximation is tractable (Theorems 5.2/5.4): any
+// path the engine picks can still blow past a caller's latency or work
+// envelope on adversarial inputs. A RunContext carries the caller's
+// envelope — a wall-clock deadline, a work budget, and a cooperative
+// cancellation flag — into every long-running loop (world enumeration,
+// Monte Carlo sampling, grounding, Datalog fixpoints), which charge their
+// work to it and stop early with a typed Status when the envelope is
+// exceeded.
+//
+// Work is counted in abstract *units*; by convention one unit is one
+// enumerated world, one Monte Carlo sample, one grounded clause, or one
+// Datalog rule firing — the quantities whose counts the paper's complexity
+// bounds are stated in.
+//
+// Usage:
+//
+//   RunContext ctx = RunContext::WithDeadline(std::chrono::milliseconds(50));
+//   ...
+//   for (...) {                           // some long-running loop
+//     QREL_RETURN_IF_ERROR(ctx.Charge()); // 1 unit of work
+//     ...
+//   }
+//
+// All governed entry points accept `RunContext*` with nullptr meaning
+// "ungoverned" (Charge on nullptr is a no-op by convention at call sites;
+// helpers below make that cheap).
+//
+// Thread-safety: RequestCancellation() and the accessors are safe to call
+// from any thread (the engine runs single-threaded, the cancel flag and
+// the spent-work counter are atomic so a controller thread can observe and
+// interrupt a run in flight). Charge() itself must only be called from the
+// thread running the computation.
+
+#ifndef QREL_UTIL_RUN_CONTEXT_H_
+#define QREL_UTIL_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Ungoverned: never trips, only tracks spent work and cancellation.
+  RunContext() = default;
+
+  // Movable (for the factory functions below) but not copyable: a
+  // RunContext is shared by pointer and must have one identity. Moving a
+  // context that another thread is observing is a caller error.
+  RunContext(RunContext&& other) noexcept
+      : deadline_(other.deadline_),
+        max_work_(other.max_work_),
+        cancel_requested_(other.cancel_requested_.load()),
+        work_spent_(other.work_spent_.load()),
+        units_since_clock_check_(other.units_since_clock_check_) {}
+  RunContext& operator=(RunContext&& other) noexcept {
+    deadline_ = other.deadline_;
+    max_work_ = other.max_work_;
+    cancel_requested_.store(other.cancel_requested_.load());
+    work_spent_.store(other.work_spent_.load());
+    units_since_clock_check_ = other.units_since_clock_check_;
+    return *this;
+  }
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  static RunContext Unlimited() { return RunContext(); }
+  static RunContext WithDeadline(Clock::duration timeout) {
+    RunContext ctx;
+    ctx.SetDeadline(timeout);
+    return ctx;
+  }
+  static RunContext WithWorkBudget(uint64_t max_work) {
+    RunContext ctx;
+    ctx.SetWorkBudget(max_work);
+    return ctx;
+  }
+
+  // Sets / replaces the deadline to `timeout` from now.
+  void SetDeadline(Clock::duration timeout) {
+    deadline_ = Clock::now() + timeout;
+  }
+  // Sets / replaces the total work budget (spent work counts against it
+  // retroactively: a budget below work_spent() trips on the next Charge).
+  void SetWorkBudget(uint64_t max_work) { max_work_ = max_work; }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+  bool has_work_budget() const { return max_work_.has_value(); }
+  std::optional<uint64_t> work_budget() const { return max_work_; }
+
+  // Requests cooperative cancellation: the next Charge()/Check() returns
+  // kCancelled. Safe from any thread. Cancellation is one-way.
+  void RequestCancellation() {
+    cancel_requested_.store(true, std::memory_order_release);
+  }
+  bool cancellation_requested() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  // Total units charged so far. Safe to read from any thread.
+  uint64_t work_spent() const {
+    return work_spent_.load(std::memory_order_relaxed);
+  }
+
+  // Work budget still available (max uint64 when no budget is set).
+  uint64_t work_remaining() const;
+
+  // Charges `units` of work, then checks cancellation, the work budget and
+  // (amortized) the deadline. Returns kCancelled, kResourceExhausted or
+  // kDeadlineExceeded on a tripped envelope, OK otherwise. Once tripped,
+  // every further call keeps returning the same code (the work counter
+  // still advances, so reports can show the true total).
+  Status Charge(uint64_t units = 1);
+
+  // Checks the envelope without charging work. Always consults the clock.
+  // Use at entry to a governed computation to fail fast on an already
+  // expired/cancelled/exhausted context.
+  Status Check() const;
+
+ private:
+  Status Trip(StatusCode code) const;
+
+  std::optional<Clock::time_point> deadline_;
+  std::optional<uint64_t> max_work_;
+  std::atomic<bool> cancel_requested_{false};
+  std::atomic<uint64_t> work_spent_{0};
+  // Units charged since the deadline was last consulted; the clock is read
+  // once per kClockCheckStride units so tight loops stay cheap.
+  uint64_t units_since_clock_check_ = 0;
+  static constexpr uint64_t kClockCheckStride = 64;
+};
+
+// Charge/Check helpers for the `RunContext* ctx` (nullable) convention.
+inline Status ChargeWork(RunContext* ctx, uint64_t units = 1) {
+  if (ctx == nullptr) {
+    return Status::Ok();
+  }
+  return ctx->Charge(units);
+}
+inline Status CheckRunContext(const RunContext* ctx) {
+  if (ctx == nullptr) {
+    return Status::Ok();
+  }
+  return ctx->Check();
+}
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_RUN_CONTEXT_H_

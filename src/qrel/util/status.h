@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "qrel/util/check.h"
@@ -22,7 +23,19 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  // Resource-governance trips (see util/run_context.h).
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
+
+// True for the codes a RunContext produces when an execution envelope
+// trips — the codes the engine's degradation ladder reacts to.
+inline bool IsBudgetStatusCode(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
 // ...).
@@ -52,6 +65,15 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +99,18 @@ class StatusOr {
     QREL_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
   }
 
+  // Converting construction from a StatusOr of a convertible type, so
+  // e.g. a StatusOr<Derived> or StatusOr<int> can be returned where a
+  // StatusOr<Base> / StatusOr<int64_t> is expected.
+  template <typename U,
+            typename = std::enable_if_t<!std::is_same_v<T, U> &&
+                                        std::is_constructible_v<T, U&&>>>
+  StatusOr(StatusOr<U> other) : status_(other.status()) {
+    if (other.ok()) {
+      value_.emplace(std::move(other).value());
+    }
+  }
+
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
@@ -98,6 +132,17 @@ class StatusOr {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
+  // The held value, or `fallback` when this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_)
+                : static_cast<T>(std::forward<U>(fallback));
+  }
+
  private:
   Status status_;
   std::optional<T> value_;
@@ -111,6 +156,24 @@ class StatusOr {
       return qrel_status_tmp;                 \
     }                                         \
   } while (0)
+
+// Evaluates `expr` (a StatusOr<T> expression), propagates a non-OK status,
+// and otherwise assigns the held value to `lhs`. `lhs` may declare a new
+// variable (`QREL_ASSIGN_OR_RETURN(auto x, Foo())`) or name an existing
+// one.
+#define QREL_ASSIGN_OR_RETURN(lhs, expr) \
+  QREL_ASSIGN_OR_RETURN_IMPL_(           \
+      QREL_STATUS_CONCAT_(qrel_statusor_tmp, __LINE__), lhs, expr)
+
+#define QREL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define QREL_STATUS_CONCAT_(a, b) QREL_STATUS_CONCAT_IMPL_(a, b)
+#define QREL_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace qrel
 

@@ -1,10 +1,14 @@
 #include "qrel/engine/engine.h"
 
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "qrel/prob/text_format.h"
+#include "qrel/util/run_context.h"
 
 namespace qrel {
 namespace {
@@ -115,6 +119,142 @@ TEST(EngineTest, ClassReporting) {
             QueryClass::kGeneralFirstOrder);
 }
 
+// A database whose exact enumeration is hopeless on a short deadline:
+// 24 uncertain atoms = 2^24 possible worlds.
+ReliabilityEngine MakeLargeEngine() {
+  std::string udb = "universe 12\nrelation S 1\nrelation T 1\n";
+  for (int i = 0; i < 12; ++i) {
+    udb += "fact S " + std::to_string(i) + " err=1/3\n";
+    udb += "fact T " + std::to_string(i) + " err=1/4\n";
+  }
+  StatusOr<UnreliableDatabase> db = ParseUdb(udb);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return ReliabilityEngine(std::move(db).value());
+}
+
+TEST(EngineBudgetTest, DeadlineDegradesExactPathToSampling) {
+  ReliabilityEngine engine = MakeLargeEngine();
+  RunContext ctx =
+      RunContext::WithDeadline(std::chrono::milliseconds(10));
+  EngineOptions options;
+  options.run_context = &ctx;
+  // Large enough to admit the 2^24-world instance onto the exact rung.
+  options.max_exact_worlds = uint64_t{1} << 32;
+  options.seed = 5;
+  StatusOr<EngineReport> report =
+      engine.Run("exists x . S(x) & T(x)", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_FALSE(report->degradation_reason.empty());
+  EXPECT_FALSE(report->is_exact);
+  EXPECT_EQ(report->method.find("Thm 4.2"), std::string::npos)
+      << report->method;
+  EXPECT_GT(report->samples, 0u);
+  EXPECT_GT(report->budget_spent, 0u);
+  EXPECT_GE(report->reliability, 0.0);
+  EXPECT_LE(report->reliability, 1.0);
+  // The degraded estimate rests on fewer samples than the (ε, δ) plan and
+  // must say what it actually guarantees.
+  EXPECT_TRUE(report->partial);
+  ASSERT_TRUE(report->achieved_epsilon.has_value());
+  EXPECT_GT(*report->achieved_epsilon, 0.0);
+  ASSERT_TRUE(report->achieved_delta.has_value());
+  EXPECT_EQ(*report->achieved_delta, options.delta);
+}
+
+TEST(EngineBudgetTest, WorkBudgetDegradesExactPathToSampling) {
+  ReliabilityEngine engine = MakeLargeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(5000);
+  EngineOptions options;
+  options.run_context = &ctx;
+  options.max_exact_worlds = uint64_t{1} << 32;
+  StatusOr<EngineReport> report =
+      engine.Run("exists x . S(x) & T(x)", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_NE(report->degradation_reason.find("RESOURCE_EXHAUSTED"),
+            std::string::npos)
+      << report->degradation_reason;
+  EXPECT_FALSE(report->is_exact);
+  EXPECT_GE(report->budget_spent, 5000u);
+}
+
+TEST(EngineBudgetTest, NoDegradeSurfacesTheBudgetError) {
+  ReliabilityEngine engine = MakeLargeEngine();
+  RunContext ctx =
+      RunContext::WithDeadline(std::chrono::milliseconds(10));
+  EngineOptions options;
+  options.run_context = &ctx;
+  options.max_exact_worlds = uint64_t{1} << 32;
+  options.degrade_on_budget = false;
+  StatusOr<EngineReport> report =
+      engine.Run("exists x . S(x) & T(x)", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineBudgetTest, ForceExactRefusesToDegrade) {
+  ReliabilityEngine engine = MakeLargeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EngineOptions options;
+  options.run_context = &ctx;
+  options.force_exact = true;
+  StatusOr<EngineReport> report =
+      engine.Run("exists x . S(x) & T(x)", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineBudgetTest, ZeroBudgetFailsCleanlyAtEntry) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(0);
+  EngineOptions options;
+  options.run_context = &ctx;
+  StatusOr<EngineReport> report = engine.Run("S(x)", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+}
+
+TEST(EngineBudgetTest, CancellationMidSamplingReturnsCancelled) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx;  // unlimited: only cancellation can stop it
+  EngineOptions options;
+  options.run_context = &ctx;
+  options.force_approximate = true;
+  // Far more samples than the canceller allows to complete.
+  options.fixed_samples = uint64_t{1} << 40;
+  std::thread canceller([&ctx] {
+    while (ctx.work_spent() < 10000) {
+      std::this_thread::yield();
+    }
+    ctx.RequestCancellation();
+  });
+  StatusOr<EngineReport> report =
+      engine.Run("exists x . S(x)", options);
+  canceller.join();
+  // Cancellation must surface as kCancelled — never a degraded or
+  // truncated partial result.
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(ctx.work_spent(), 10000u);
+}
+
+TEST(EngineBudgetTest, GenerousEnvelopeLeavesResultExact) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(uint64_t{1} << 30);
+  ctx.SetDeadline(std::chrono::hours(1));
+  EngineOptions options;
+  options.run_context = &ctx;
+  StatusOr<EngineReport> report = engine.Run("S(x)", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->is_exact);
+  EXPECT_FALSE(report->degraded);
+  EXPECT_FALSE(report->partial);
+  EXPECT_GT(report->budget_spent, 0u);
+  EXPECT_EQ(*report->exact_reliability, Rational(35, 48));
+}
+
 TEST(EngineTest, ExactAndApproximatePathsAgreeAcrossQueries) {
   ReliabilityEngine engine = MakeEngine();
   for (const std::string text : {
@@ -168,6 +308,26 @@ TEST(EngineDatalogTest, ApproximatePathMatchesExact) {
   EngineReport approx = *engine.RunDatalog(kTcProgram, "Path", options);
   EXPECT_FALSE(approx.is_exact);
   EXPECT_NEAR(approx.reliability, exact.reliability, 3 * options.epsilon);
+}
+
+TEST(EngineDatalogTest, WorkBudgetDegradesToPaddedEstimator) {
+  ReliabilityEngine engine = MakeEngine();
+  // Far too little for 8 worlds' worth of exact enumeration.
+  RunContext ctx = RunContext::WithWorkBudget(64);
+  EngineOptions options;
+  options.run_context = &ctx;
+  options.fixed_samples = 50;
+  StatusOr<EngineReport> report =
+      engine.RunDatalog(kTcProgram, "Path", options);
+  if (report.ok() && report->is_exact) {
+    // The budget happened to cover the exact rung; nothing to assert.
+    GTEST_SKIP() << "budget covered exact enumeration";
+  }
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_NE(report->method.find("Thm 5.12"), std::string::npos)
+      << report->method;
+  EXPECT_GE(report->budget_spent, 64u);
 }
 
 TEST(EngineDatalogTest, ErrorsPropagate) {

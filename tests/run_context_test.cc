@@ -1,0 +1,129 @@
+#include "qrel/util/run_context.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(RunContextTest, UnlimitedNeverTrips) {
+  RunContext ctx = RunContext::Unlimited();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ctx.Charge().ok());
+  }
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_EQ(ctx.work_spent(), 1000u);
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.has_work_budget());
+}
+
+TEST(RunContextTest, WorkBudgetTripsAtTheBoundary) {
+  RunContext ctx = RunContext::WithWorkBudget(5);
+  // Spending exactly the budget is allowed; the unit after it is not.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ctx.Charge().ok()) << "unit " << i;
+  }
+  Status tripped = ctx.Charge();
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  // Once tripped, it stays tripped — but the counter keeps the true total.
+  EXPECT_EQ(ctx.Charge().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.work_spent(), 7u);
+  EXPECT_EQ(ctx.work_remaining(), 0u);
+}
+
+TEST(RunContextTest, BulkChargeCountsAllUnits) {
+  RunContext ctx = RunContext::WithWorkBudget(100);
+  EXPECT_TRUE(ctx.Charge(64).ok());
+  EXPECT_EQ(ctx.work_remaining(), 36u);
+  EXPECT_EQ(ctx.Charge(64).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, CheckFailsFastOnZeroBudget) {
+  RunContext ctx = RunContext::WithWorkBudget(0);
+  // Check() trips at spent >= budget so an all-zero envelope is rejected
+  // before any work starts; Charge() would admit the very first unit.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, DeadlineTrips) {
+  RunContext ctx = RunContext::WithDeadline(std::chrono::milliseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  // Charge checks the clock only every kClockCheckStride units, but must
+  // report the expiry within one stride.
+  Status status = Status::Ok();
+  for (int i = 0; i < 128 && status.ok(); ++i) {
+    status = ctx.Charge();
+  }
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, GenerousDeadlineDoesNotTrip) {
+  RunContext ctx = RunContext::WithDeadline(std::chrono::hours(1));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ctx.Charge().ok());
+  }
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(RunContextTest, CancellationWinsOverEverything) {
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EXPECT_TRUE(ctx.Charge().ok());
+  EXPECT_FALSE(ctx.cancellation_requested());
+  ctx.RequestCancellation();
+  EXPECT_TRUE(ctx.cancellation_requested());
+  EXPECT_EQ(ctx.Charge().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, CancellationFromAnotherThread) {
+  RunContext ctx;
+  std::thread canceller([&ctx] {
+    // Wait until the worker below has demonstrably made progress.
+    while (ctx.work_spent() < 100) {
+      std::this_thread::yield();
+    }
+    ctx.RequestCancellation();
+  });
+  Status status = Status::Ok();
+  uint64_t spent_at_trip = 0;
+  while (status.ok()) {
+    status = ctx.Charge();
+    if (!status.ok()) {
+      spent_at_trip = ctx.work_spent();
+    }
+  }
+  canceller.join();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_GE(spent_at_trip, 100u);
+}
+
+TEST(RunContextTest, SetWorkBudgetAppliesRetroactively) {
+  RunContext ctx;
+  ASSERT_TRUE(ctx.Charge(10).ok());
+  ctx.SetWorkBudget(5);  // below what is already spent
+  EXPECT_EQ(ctx.Charge().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, NullableHelpersTreatNullAsUngoverned) {
+  EXPECT_TRUE(ChargeWork(nullptr).ok());
+  EXPECT_TRUE(CheckRunContext(nullptr).ok());
+  RunContext ctx = RunContext::WithWorkBudget(1);
+  EXPECT_TRUE(ChargeWork(&ctx).ok());
+  EXPECT_EQ(ChargeWork(&ctx).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, TripMessagesNameTheEnvelope) {
+  RunContext budget = RunContext::WithWorkBudget(0);
+  Status status = budget.Charge();
+  EXPECT_NE(status.message().find("work budget"), std::string::npos)
+      << status.ToString();
+  RunContext cancelled;
+  cancelled.RequestCancellation();
+  EXPECT_EQ(cancelled.Check().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace qrel

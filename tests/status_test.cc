@@ -1,6 +1,8 @@
 #include "qrel/util/status.h"
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -28,6 +30,29 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
                "FAILED_PRECONDITION");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusTest, BudgetFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("spent").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "CANCELLED: stop");
+}
+
+TEST(StatusTest, IsBudgetStatusCode) {
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kCancelled));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kInternal));
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -70,6 +95,43 @@ TEST(StatusOrTest, ReturnIfErrorPropagates) {
   Status status = UseReturnIfError(-5, &out);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, ConvertingConstructionPreservesValue) {
+  StatusOr<int> narrow(7);
+  StatusOr<int64_t> wide = std::move(narrow);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.value(), 7);
+}
+
+TEST(StatusOrTest, ConvertingConstructionPreservesError) {
+  StatusOr<int> narrow(Status::NotFound("gone"));
+  StatusOr<int64_t> wide = std::move(narrow);
+  EXPECT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(wide.status().message(), "gone");
+}
+
+TEST(StatusOrTest, ValueOr) {
+  StatusOr<int> good(3);
+  EXPECT_EQ(good.value_or(9), 3);
+  StatusOr<int> bad(Status::Internal("boom"));
+  EXPECT_EQ(bad.value_or(9), 9);
+  StatusOr<std::string> moved(std::string("kept"));
+  EXPECT_EQ(std::move(moved).value_or("fallback"), "kept");
+}
+
+StatusOr<int> DoubledPositive(int input) {
+  QREL_ASSIGN_OR_RETURN(int parsed, ParsePositive(input));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  StatusOr<int> doubled = DoubledPositive(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+  EXPECT_EQ(DoubledPositive(-1).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace
