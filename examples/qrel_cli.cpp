@@ -15,6 +15,10 @@
 //                      degradation behavior
 //   --max-exact-worlds=<n>  raise/lower the exact-enumeration cutoff
 //   --no-degrade       fail with the budget error instead of degrading
+//   --fault-inject=<site>[:<n>]  arm fault site <site> to fail on its nth
+//                      hit (default 1), reproducing an injected failure
+//                      deterministically; repeatable. See
+//                      util/fault_injection.h for site names.
 //
 // Exit codes: 0 success, 2 usage, otherwise 10 + StatusCode of the error
 // (e.g. 10+kDeadlineExceeded, 10+kCancelled) so scripts can react to
@@ -33,6 +37,7 @@
 #include "qrel/engine/engine.h"
 #include "qrel/logic/parser.h"
 #include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
 #include "qrel/util/run_context.h"
 
 namespace {
@@ -67,7 +72,8 @@ int Usage() {
                "usage: qrel_cli <database.udb> \"<query>\" [--epsilon=E] "
                "[--delta=D] [--seed=N] [--force-exact] [--force-approx] "
                "[--per-tuple] [--timeout-ms=N] [--max-work=N] "
-               "[--max-exact-worlds=N] [--no-degrade]\n");
+               "[--max-exact-worlds=N] [--no-degrade] "
+               "[--fault-inject=SITE[:N]]\n");
   return 2;
 }
 
@@ -113,6 +119,13 @@ int main(int argc, char** argv) {
     } else if (ParseUint64Flag(argv[i], "--max-exact-worlds",
                                &options.max_exact_worlds)) {
       continue;
+    } else if (std::strncmp(argv[i], "--fault-inject=", 15) == 0) {
+      qrel::Status armed = qrel::ArmFaultFromSpec(argv[i] + 15);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "--fault-inject: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
       options.degrade_on_budget = false;
     } else if (std::strcmp(argv[i], "--force-exact") == 0) {

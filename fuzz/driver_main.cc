@@ -1,0 +1,142 @@
+// Deterministic fallback driver for the fuzz harnesses when libFuzzer is
+// unavailable (gcc has no -fsanitize=fuzzer). Replays every corpus file
+// given on the command line, then runs a fixed-seed mutation loop over the
+// corpus, feeding each variant to the harness's LLVMFuzzerTestOneInput.
+// Same seed + same corpus => byte-identical input sequence, so this doubles
+// as the CTest fuzz smoke target.
+//
+//   fuzz_parse_udb [--iters=N] [--seed=N] <corpus file or directory>...
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough to steer byte mutations.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void CollectCorpus(const std::string& path,
+                   std::vector<std::vector<uint8_t>>* corpus) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::string> entries;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) {
+        entries.push_back(entry.path().string());
+      }
+    }
+    // directory_iterator order is unspecified; sort for determinism.
+    std::sort(entries.begin(), entries.end());
+    for (const std::string& file : entries) {
+      corpus->push_back(ReadFile(file));
+    }
+  } else {
+    corpus->push_back(ReadFile(path));
+  }
+}
+
+void Mutate(std::vector<uint8_t>* input, uint64_t* rng) {
+  int rounds = 1 + static_cast<int>(NextRandom(rng) % 4);
+  for (int r = 0; r < rounds; ++r) {
+    uint64_t roll = NextRandom(rng);
+    size_t size = input->size();
+    switch (roll % 5) {
+      case 0:  // flip a byte
+        if (size > 0) {
+          (*input)[NextRandom(rng) % size] ^=
+              static_cast<uint8_t>(NextRandom(rng));
+        }
+        break;
+      case 1:  // insert a random byte
+        input->insert(input->begin() + (size ? NextRandom(rng) % size : 0),
+                      static_cast<uint8_t>(NextRandom(rng)));
+        break;
+      case 2:  // erase a byte
+        if (size > 0) {
+          input->erase(input->begin() + NextRandom(rng) % size);
+        }
+        break;
+      case 3: {  // duplicate a chunk (grows structure, e.g. repeated lines)
+        if (size > 1) {
+          size_t start = NextRandom(rng) % size;
+          size_t len = 1 + NextRandom(rng) % (size - start);
+          if (len > 256) len = 256;
+          std::vector<uint8_t> chunk(input->begin() + start,
+                                     input->begin() + start + len);
+          input->insert(input->begin() + NextRandom(rng) % size,
+                        chunk.begin(), chunk.end());
+        }
+        break;
+      }
+      default:  // truncate
+        if (size > 0) {
+          input->resize(NextRandom(rng) % size);
+        }
+        break;
+    }
+    if (input->size() > (1u << 18)) {  // keep iterations fast
+      input->resize(1u << 18);
+    }
+  }
+}
+
+bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 10000;
+  uint64_t seed = 1;
+  std::vector<std::vector<uint8_t>> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseUint64Flag(argv[i], "--iters", &iterations) ||
+        ParseUint64Flag(argv[i], "--seed", &seed)) {
+      continue;
+    }
+    CollectCorpus(argv[i], &corpus);
+  }
+  if (corpus.empty()) {
+    corpus.push_back({});  // start from the empty input
+  }
+
+  for (const std::vector<uint8_t>& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  uint64_t rng = seed;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    std::vector<uint8_t> input = corpus[NextRandom(&rng) % corpus.size()];
+    Mutate(&input, &rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("replayed %zu corpus file(s), ran %llu mutated input(s): OK\n",
+              corpus.size(), static_cast<unsigned long long>(iterations));
+  return 0;
+}

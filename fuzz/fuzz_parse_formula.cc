@@ -1,0 +1,26 @@
+// Fuzz target for the first-order formula parser: arbitrary bytes must
+// either parse or come back as a typed error — never crash (in particular,
+// deep nesting must hit the depth limit, not the process stack).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qrel/logic/ast.h"
+#include "qrel/logic/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  qrel::StatusOr<qrel::FormulaPtr> formula = qrel::ParseFormula(text);
+  if (!formula.ok()) {
+    return 0;
+  }
+  // Printed form must be a parse/print fixpoint.
+  std::string printed = (*formula)->ToString();
+  qrel::StatusOr<qrel::FormulaPtr> reparsed = qrel::ParseFormula(printed);
+  if (!reparsed.ok() || (*reparsed)->ToString() != printed) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fuzz target for the .mfdb (metafinite database) text parser: arbitrary
+// bytes must either parse or come back as a typed error — never crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qrel/metafinite/text_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  qrel::StatusOr<qrel::UnreliableFunctionalDatabase> database =
+      qrel::ParseMfdb(text);
+  if (database.ok()) {
+    // Formatting an accepted database must not crash.
+    (void)qrel::FormatMfdb(*database);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz target for the .udb text parser: arbitrary bytes must either parse
+// or come back as a typed error — never crash, leak, or hang. Accepted
+// inputs must round-trip through FormatUdb to a fixpoint.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qrel/prob/text_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  qrel::StatusOr<qrel::UnreliableDatabase> database = qrel::ParseUdb(text);
+  if (!database.ok()) {
+    return 0;
+  }
+  // Round-trip invariant: format must be re-parseable and a fixpoint.
+  std::string formatted = qrel::FormatUdb(*database);
+  qrel::StatusOr<qrel::UnreliableDatabase> reparsed =
+      qrel::ParseUdb(formatted);
+  if (!reparsed.ok() || qrel::FormatUdb(*reparsed) != formatted) {
+    __builtin_trap();
+  }
+  return 0;
+}

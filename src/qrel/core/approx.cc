@@ -10,6 +10,7 @@
 #include "qrel/propositional/dnf.h"
 #include "qrel/propositional/karp_luby.h"
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -186,6 +187,7 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
   Tuple assignment(static_cast<size_t>(k), 0);
   do {
     QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
+    QREL_FAULT_SITE("core.approx.tuple");
     per_tuple.seed = seeder.NextUint64();
     StatusOr<ApproxResult> nu =
         FptrasFromPrenex(*prenex, db, assignment, per_tuple);
@@ -263,6 +265,7 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
     uint64_t hits = 0;
     for (uint64_t s = 0; s < per_samples; ++s) {
       QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
+      QREL_FAULT_SITE("core.approx.padded_sample");
       bool rd = rng.NextBernoulli(xi);
       if (!rd) {
         continue;  // ψ' is false whatever ψ evaluates to

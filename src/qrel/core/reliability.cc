@@ -5,6 +5,7 @@
 
 #include "qrel/logic/classify.h"
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -110,6 +111,9 @@ StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
   Status budget = Status::Ok();
   db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
     budget = ChargeWork(ctx);
+    if (budget.ok()) {
+      budget = QREL_FAULT_HIT("core.exact.world");
+    }
     if (!budget.ok()) {
       return false;
     }
@@ -204,6 +208,7 @@ StatusOr<ReliabilityReport> QuantifierFreeReliability(
 
   Tuple assignment(static_cast<size_t>(k), 0);
   do {
+    QREL_FAULT_SITE("core.quantifier_free.tuple");
     // The ground atoms of ψ(ā); their number is bounded by the number of
     // atom subformulas of ψ, independent of the database.
     std::vector<GroundAtom> atoms;

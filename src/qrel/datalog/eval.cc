@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -366,6 +367,7 @@ StatusOr<DatalogResult> CompiledDatalog::EvalNaive(const AtomOracle& edb,
   for (int stratum = 0; stratum < stratum_count_; ++stratum) {
     bool changed = true;
     while (changed) {
+      QREL_FAULT_SITE("datalog.fixpoint.round");
       changed = false;
       for (const CompiledRule& rule : rules_) {
         if (rule.stratum != stratum) {
@@ -396,6 +398,7 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
   Tuple head_tuple;
   Status budget = Status::Ok();
   for (int stratum = 0; stratum < stratum_count_; ++stratum) {
+    QREL_FAULT_SITE("datalog.fixpoint.round");
     // Round 0: full evaluation seeds the delta (also the only round for
     // rules with no same-stratum recursion).
     DatalogResult delta;
@@ -423,6 +426,7 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
     // the previous delta.
     bool any_delta = true;
     while (any_delta) {
+      QREL_FAULT_SITE("datalog.fixpoint.round");
       DatalogResult next_delta;
       for (const std::string& predicate : idb_predicates_) {
         next_delta[predicate] = {};

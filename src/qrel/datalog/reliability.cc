@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -52,6 +53,9 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
   Status budget = Status::Ok();
   db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
     budget = ChargeWork(ctx);
+    if (budget.ok()) {
+      budget = QREL_FAULT_HIT("datalog.exact.world");
+    }
     if (!budget.ok()) {
       return false;
     }
@@ -63,7 +67,7 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
     StatusOr<std::set<Tuple>> actual =
         program.EvalPredicate(view, predicate, ctx);
     if (!actual.ok()) {
-      budget = actual.status();  // only the envelope can fail here
+      budget = actual.status();  // the envelope, or an injected fault
       return false;
     }
     size_t differing = SymmetricDifferenceSize(*observed, *actual);
@@ -133,6 +137,9 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
   uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
     Status budget = ChargeWork(options.run_context);
+    if (budget.ok()) {
+      budget = QREL_FAULT_HIT("datalog.padded.world");
+    }
     std::set<Tuple> actual;
     if (budget.ok()) {
       World world = db.SampleWorld(&rng);
@@ -147,8 +154,11 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
     }
     if (!budget.ok()) {
       // A prefix of completed worlds is a valid (smaller) sample for every
-      // tuple at once, so truncation is sound here — never on cancellation.
+      // tuple at once, so truncation is sound on an envelope trip — never
+      // on cancellation, and never on a non-budget failure (e.g. an
+      // injected fault), which must surface as-is.
       if (options.allow_truncation && drawn > 0 &&
+          IsBudgetStatusCode(budget.code()) &&
           budget.code() != StatusCode::kCancelled) {
         truncated = true;
         break;

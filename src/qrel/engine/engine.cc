@@ -1,12 +1,14 @@
 #include "qrel/engine/engine.h"
 
 #include <cmath>
+#include <new>
 #include <utility>
 
 #include "qrel/datalog/eval.h"
 #include "qrel/logic/eval.h"
 #include "qrel/logic/parser.h"
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -46,6 +48,15 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
 }
 
 StatusOr<EngineReport> ReliabilityEngine::Run(
+    const FormulaPtr& query, const EngineOptions& options) const {
+  try {
+    return RunImpl(query, options);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory during engine run");
+  }
+}
+
+StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     const FormulaPtr& query, const EngineOptions& options) const {
   if (options.force_exact && options.force_approximate) {
     return Status::InvalidArgument(
@@ -96,8 +107,12 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
   // 1. Quantifier-free: always polynomial, always exact (Prop. 3.1).
   if (report.query_class == QueryClass::kQuantifierFree &&
       !options.force_approximate) {
+    // An injected fault at a rung boundary is handled exactly like the
+    // rung failing on its own: degrade on budget codes, propagate the rest.
+    Status fault = QREL_FAULT_HIT("engine.rung.quantifier_free");
     StatusOr<ReliabilityReport> exact =
-        QuantifierFreeReliability(query, database_, ctx);
+        fault.ok() ? QuantifierFreeReliability(query, database_, ctx)
+                   : StatusOr<ReliabilityReport>(fault);
     if (exact.ok()) {
       fill_exact(*exact, "Prop 3.1 quantifier-free polynomial algorithm");
       return report;
@@ -112,8 +127,10 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
   // once a cheaper exact rung has already tripped the envelope.
   if (degrade_trigger.ok() && (exact_feasible || options.force_exact) &&
       !options.force_approximate) {
+    Status fault = QREL_FAULT_HIT("engine.exact.enumerate");
     StatusOr<ReliabilityReport> exact =
-        ExactReliability(query, database_, ctx);
+        fault.ok() ? ExactReliability(query, database_, ctx)
+                   : StatusOr<ReliabilityReport>(fault);
     if (exact.ok()) {
       fill_exact(*exact, "Thm 4.2 exact world enumeration (" +
                              std::to_string(exact->work_units) + " worlds)");
@@ -143,9 +160,12 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
   std::optional<ApproxResult> estimate;
   bool used_reserve = false;
   if (CheckRunContext(ctx).ok()) {
+    Status fault = QREL_FAULT_HIT("engine.rung.approx");
     StatusOr<ApproxResult> attempt =
-        cor55_applies ? ReliabilityAbsoluteApprox(query, database_, approx)
-                      : PaddedReliabilityApprox(query, database_, approx);
+        !fault.ok()
+            ? StatusOr<ApproxResult>(fault)
+            : cor55_applies ? ReliabilityAbsoluteApprox(query, database_, approx)
+                            : PaddedReliabilityApprox(query, database_, approx);
     if (attempt.ok()) {
       estimate = std::move(attempt).value();
     } else if (ShouldDegrade(attempt.status(), options)) {
@@ -171,6 +191,7 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
     // Last resort: a fixed reserve-sample padded run. It runs ungoverned —
     // its cost is bounded by construction — so a degraded run still ends
     // with an estimate instead of an error.
+    QREL_FAULT_SITE("engine.rung.reserve");
     ApproxOptions reserve = approx;
     reserve.run_context = nullptr;
     reserve.allow_truncation = false;
@@ -203,6 +224,16 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
 }
 
 StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
+    const std::string& program_text, const std::string& predicate,
+    const EngineOptions& options) const {
+  try {
+    return RunDatalogImpl(program_text, predicate, options);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory during Datalog run");
+  }
+}
+
+StatusOr<EngineReport> ReliabilityEngine::RunDatalogImpl(
     const std::string& program_text, const std::string& predicate,
     const EngineOptions& options) const {
   if (options.force_exact && options.force_approximate) {
@@ -246,8 +277,11 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
       (uint64_t{1} << uncertain) <= options.max_exact_worlds;
   Status degrade_trigger = Status::Ok();
   if ((exact_feasible || options.force_exact) && !options.force_approximate) {
+    Status fault = QREL_FAULT_HIT("engine.datalog.exact");
     StatusOr<ReliabilityReport> exact =
-        ExactDatalogReliability(*compiled, predicate, database_, ctx);
+        fault.ok() ? ExactDatalogReliability(*compiled, predicate, database_,
+                                             ctx)
+                   : StatusOr<ReliabilityReport>(fault);
     if (exact.ok()) {
       report.method = "Thm 4.2 exact world enumeration over Datalog (" +
                       std::to_string(exact->work_units) + " worlds)";
@@ -278,8 +312,11 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
   std::optional<ApproxResult> estimate;
   bool used_reserve = false;
   if (CheckRunContext(ctx).ok()) {
+    Status fault = QREL_FAULT_HIT("engine.datalog.padded");
     StatusOr<ApproxResult> attempt =
-        PaddedDatalogReliability(*compiled, predicate, database_, approx);
+        fault.ok()
+            ? PaddedDatalogReliability(*compiled, predicate, database_, approx)
+            : StatusOr<ApproxResult>(fault);
     if (attempt.ok()) {
       estimate = std::move(attempt).value();
     } else if (ShouldDegrade(attempt.status(), options)) {
@@ -302,6 +339,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalog(
     if (ctx != nullptr && ctx->cancellation_requested()) {
       return Status::Cancelled("run cancelled before the reserve rung");
     }
+    QREL_FAULT_SITE("engine.datalog.reserve");
     ApproxOptions reserve = approx;
     reserve.run_context = nullptr;
     reserve.allow_truncation = false;

@@ -130,6 +130,15 @@ class ReliabilityEngine {
                                     const EngineOptions& options = {}) const;
 
  private:
+  // The actual rung ladders; the public entry points wrap them to turn a
+  // std::bad_alloc mid-run (real or injected via util/fault_injection.h)
+  // into a typed kResourceExhausted instead of a crash.
+  StatusOr<EngineReport> RunImpl(const FormulaPtr& query,
+                                 const EngineOptions& options) const;
+  StatusOr<EngineReport> RunDatalogImpl(const std::string& program_text,
+                                        const std::string& predicate,
+                                        const EngineOptions& options) const;
+
   UnreliableDatabase database_;
 };
 

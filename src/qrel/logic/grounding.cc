@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -93,6 +94,7 @@ StatusOr<GroundDnf> GroundExistential(const PrenexExistential& prenex,
   bool more_assignments = true;
   while (more_assignments) {
     QREL_RETURN_IF_ERROR(ChargeWork(ctx));
+    QREL_FAULT_SITE("logic.grounding.assignment");
     for (size_t i = 0; i < bound_assignment.size(); ++i) {
       valuation[prenex.free_variables.size() + i] = bound_assignment[i];
     }

@@ -1,12 +1,22 @@
 #include "qrel/logic/parser.h"
 
 #include <cctype>
+#include <new>
 #include <string>
 #include <vector>
+
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
 namespace {
+
+// The recursive-descent parser recurses once per nesting level ("!", "(",
+// quantifier bodies, right-associative "->"), so an adversarial
+// "((((..." or "!!!!..." input would otherwise turn into unbounded native
+// stack growth. Far deeper than any legitimate formula, far shallower than
+// any stack limit.
+constexpr int kMaxNestingDepth = 256;
 
 enum class TokenKind {
   kIdent,
@@ -153,6 +163,26 @@ class Parser {
   }
 
  private:
+  // Counts live recursion frames along the grammar's cycles; every
+  // recursive production enters one of the guarded rules below.
+  class DepthFrame {
+   public:
+    explicit DepthFrame(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthFrame() { --*depth_; }
+    DepthFrame(const DepthFrame&) = delete;
+    DepthFrame& operator=(const DepthFrame&) = delete;
+
+   private:
+    int* depth_;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ > kMaxNestingDepth) {
+      return Status::InvalidArgument("formula nesting too deep");
+    }
+    return Status::Ok();
+  }
+
   const Token& Peek() const { return tokens_[index_]; }
   const Token& Advance() { return tokens_[index_++]; }
   bool Match(TokenKind kind) {
@@ -170,6 +200,8 @@ class Parser {
   }
 
   StatusOr<FormulaPtr> ParseIff() {
+    DepthFrame frame(&depth_);
+    QREL_RETURN_IF_ERROR(CheckDepth());
     StatusOr<FormulaPtr> left = ParseImplies();
     if (!left.ok()) return left;
     FormulaPtr result = *left;
@@ -182,6 +214,8 @@ class Parser {
   }
 
   StatusOr<FormulaPtr> ParseImplies() {
+    DepthFrame frame(&depth_);
+    QREL_RETURN_IF_ERROR(CheckDepth());
     StatusOr<FormulaPtr> left = ParseOr();
     if (!left.ok()) return left;
     if (Match(TokenKind::kArrow)) {
@@ -218,6 +252,8 @@ class Parser {
   }
 
   StatusOr<FormulaPtr> ParseUnary() {
+    DepthFrame frame(&depth_);
+    QREL_RETURN_IF_ERROR(CheckDepth());
     if (Match(TokenKind::kBang)) {
       StatusOr<FormulaPtr> operand = ParseUnary();
       if (!operand.ok()) return operand;
@@ -346,17 +382,23 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t index_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
 StatusOr<FormulaPtr> ParseFormula(std::string_view text) {
-  std::vector<Token> tokens;
-  Status status = Lexer(text).Tokenize(&tokens);
-  if (!status.ok()) {
-    return status;
+  try {
+    QREL_FAULT_SITE("logic.parse_formula");
+    std::vector<Token> tokens;
+    Status status = Lexer(text).Tokenize(&tokens);
+    if (!status.ok()) {
+      return status;
+    }
+    return Parser(std::move(tokens)).Parse();
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory while parsing formula");
   }
-  return Parser(std::move(tokens)).Parse();
 }
 
 }  // namespace qrel

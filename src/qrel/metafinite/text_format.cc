@@ -1,9 +1,14 @@
 #include "qrel/metafinite/text_format.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <vector>
+
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -59,7 +64,9 @@ StatusOr<int> ParseSmallInt(const std::string& token, int line_number) {
 
 }  // namespace
 
-StatusOr<UnreliableFunctionalDatabase> ParseMfdb(std::string_view text) {
+namespace {
+
+StatusOr<UnreliableFunctionalDatabase> ParseMfdbImpl(std::string_view text) {
   auto vocabulary = std::make_shared<FunctionalVocabulary>();
   int universe_size = -1;
 
@@ -80,6 +87,7 @@ StatusOr<UnreliableFunctionalDatabase> ParseMfdb(std::string_view text) {
   int line_number = 0;
   while (std::getline(stream, line)) {
     ++line_number;
+    QREL_FAULT_SITE("metafinite.parse_mfdb.line");
     std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) {
       continue;
@@ -194,13 +202,34 @@ StatusOr<UnreliableFunctionalDatabase> ParseMfdb(std::string_view text) {
   return database;
 }
 
+}  // namespace
+
+StatusOr<UnreliableFunctionalDatabase> ParseMfdb(std::string_view text) {
+  try {
+    return ParseMfdbImpl(text);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory while parsing .mfdb text");
+  }
+}
+
 StatusOr<UnreliableFunctionalDatabase> LoadMfdbFile(const std::string& path) {
+  errno = 0;
   std::ifstream file(path);
   if (!file) {
-    return Status::NotFound("cannot open '" + path + "'");
+    int open_errno = errno;
+    if (open_errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::Internal("cannot open '" + path + "': " +
+                            (open_errno != 0 ? std::strerror(open_errno)
+                                             : "unknown error"));
   }
+  QREL_RETURN_IF_ERROR(QREL_FAULT_HIT("metafinite.load_mfdb.read"));
   std::ostringstream contents;
   contents << file.rdbuf();
+  if (file.bad()) {
+    return Status::Internal("read error on '" + path + "'");
+  }
   return ParseMfdb(contents.str());
 }
 

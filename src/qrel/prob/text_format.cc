@@ -1,13 +1,28 @@
 #include "qrel/prob/text_format.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <new>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "qrel/relational/atom_table.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
 namespace {
+
+// Input hardening caps: a single .udb line longer than this, or with more
+// tokens than this, is rejected with a `line N:` error instead of being
+// buffered without bound. Generous for any legitimate fact line (the
+// bottleneck is arity), tight enough that adversarial input cannot force
+// pathological allocations per line.
+constexpr size_t kMaxLineLength = 1 << 16;
+constexpr size_t kMaxLineTokens = 1 << 12;
 
 std::vector<std::string> Tokenize(std::string_view line) {
   std::vector<std::string> tokens;
@@ -55,7 +70,9 @@ StatusOr<int> ParseInt(const std::string& token, int line_number) {
 
 }  // namespace
 
-StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
+namespace {
+
+StatusOr<UnreliableDatabase> ParseUdbImpl(std::string_view text) {
   auto vocabulary = std::make_shared<Vocabulary>();
   int universe_size = -1;
 
@@ -65,13 +82,27 @@ StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
     Rational error;
   };
   std::vector<PendingAtom> pending;
+  // Atoms already named by a fact/absent line; a second line for the same
+  // atom is rejected rather than silently overwriting the first.
+  std::unordered_set<GroundAtom, GroundAtomHash> declared;
 
   std::istringstream stream{std::string(text)};
   std::string line;
   int line_number = 0;
   while (std::getline(stream, line)) {
     ++line_number;
+    QREL_FAULT_SITE("prob.parse_udb.line");
+    if (line.size() > kMaxLineLength) {
+      return LineError(line_number,
+                       "line exceeds " + std::to_string(kMaxLineLength) +
+                           " characters");
+    }
     std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.size() > kMaxLineTokens) {
+      return LineError(line_number,
+                       "line has more than " +
+                           std::to_string(kMaxLineTokens) + " tokens");
+    }
     if (tokens.empty()) {
       continue;
     }
@@ -145,6 +176,13 @@ StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
         }
         entry.atom.args.push_back(*element);
       }
+      if (!declared.insert(entry.atom).second) {
+        return LineError(line_number,
+                         "atom " +
+                             GroundAtomToString(entry.atom, *vocabulary) +
+                             " already declared by an earlier fact/absent "
+                             "line");
+      }
       entry.observed_true = directive == "fact";
       entry.error = std::move(error);
       pending.push_back(std::move(entry));
@@ -172,13 +210,37 @@ StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
   return database;
 }
 
+}  // namespace
+
+StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
+  try {
+    return ParseUdbImpl(text);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory while parsing .udb text");
+  }
+}
+
 StatusOr<UnreliableDatabase> LoadUdbFile(const std::string& path) {
+  errno = 0;
   std::ifstream file(path);
   if (!file) {
-    return Status::NotFound("cannot open '" + path + "'");
+    // Missing file and unreadable file are different operational problems:
+    // kNotFound is a caller typo or a deployment gap, anything else (EACCES,
+    // EISDIR, ...) is an environment fault.
+    int open_errno = errno;
+    if (open_errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::Internal("cannot open '" + path + "': " +
+                            (open_errno != 0 ? std::strerror(open_errno)
+                                             : "unknown error"));
   }
+  QREL_RETURN_IF_ERROR(QREL_FAULT_HIT("prob.load_udb.read"));
   std::ostringstream contents;
   contents << file.rdbuf();
+  if (file.bad()) {
+    return Status::Internal("read error on '" + path + "'");
+  }
   return ParseUdb(contents.str());
 }
 

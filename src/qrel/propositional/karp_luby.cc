@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "qrel/util/check.h"
+#include "qrel/util/fault_injection.h"
 
 namespace qrel {
 
@@ -90,6 +91,7 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
   double sum = 0.0;
   uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
+    QREL_FAULT_SITE("propositional.karp_luby.sample");
     if (options.run_context != nullptr) {
       Status budget = options.run_context->Charge();
       if (!budget.ok()) {

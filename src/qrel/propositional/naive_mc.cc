@@ -1,5 +1,7 @@
 #include "qrel/propositional/naive_mc.h"
 
+#include "qrel/util/fault_injection.h"
+
 namespace qrel {
 
 StatusOr<NaiveMcResult> NaiveMcProbability(
@@ -21,6 +23,7 @@ StatusOr<NaiveMcResult> NaiveMcProbability(
   NaiveMcResult result;
   uint64_t drawn = 0;
   for (uint64_t s = 0; s < samples; ++s) {
+    QREL_FAULT_SITE("propositional.naive_mc.sample");
     if (ctx != nullptr) {
       Status budget = ctx->Charge();
       if (!budget.ok()) {

@@ -1,0 +1,228 @@
+#include "qrel/util/fault_injection.h"
+
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+namespace qrel {
+
+namespace fault_internal {
+
+// All fields except `hits` are guarded by the registry mutex. `hits`
+// is atomic so the un-armed fast path never takes the lock.
+struct SiteState {
+  std::string name;
+  std::atomic<uint64_t> hits{0};
+  uint64_t triggered = 0;
+
+  bool armed = false;
+  uint64_t fire_at = 0;  // absolute hit count at which to fire
+  StatusCode code = StatusCode::kInternal;
+  FaultKind kind = FaultKind::kStatus;
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // Site states live for the process lifetime; pointers handed to
+  // FaultSite instances stay valid across Reset().
+  std::unordered_map<std::string, SiteState*> sites;
+  std::vector<SiteState*> order;  // registration order, for SiteNames()
+  // Schedules armed before their site first registered.
+  struct Pending {
+    uint64_t nth;
+    StatusCode code;
+    FaultKind kind;
+  };
+  std::unordered_map<std::string, Pending> pending;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace
+
+}  // namespace fault_internal
+
+using fault_internal::GetRegistry;
+using fault_internal::Registry;
+using fault_internal::SiteState;
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // never destroyed
+  return *instance;
+}
+
+SiteState* FaultInjector::Register(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(name);
+  if (it != registry.sites.end()) {
+    return it->second;  // same name declared at several call sites
+  }
+  SiteState* state = new SiteState();
+  state->name = name;
+  registry.sites.emplace(state->name, state);
+  registry.order.push_back(state);
+  auto pending = registry.pending.find(state->name);
+  if (pending != registry.pending.end()) {
+    state->armed = true;
+    state->fire_at = pending->second.nth;  // hits start at 0
+    state->code = pending->second.code;
+    state->kind = pending->second.kind;
+    registry.pending.erase(pending);
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return state;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t nth, StatusCode code,
+                        FaultKind kind) {
+  if (nth == 0) {
+    nth = 1;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  if (it == registry.sites.end()) {
+    registry.pending[std::string(site)] = {nth, code, kind};
+    return;
+  }
+  SiteState* state = it->second;
+  if (!state->armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->armed = true;
+  state->fire_at = state->hits.load(std::memory_order_relaxed) + nth;
+  state->code = code;
+  state->kind = kind;
+}
+
+void FaultInjector::ArmEverySiteOnce(StatusCode code) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (SiteState* state : registry.order) {
+    if (!state->armed) {
+      armed_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    state->armed = true;
+    state->fire_at = state->hits.load(std::memory_order_relaxed) + 1;
+    state->code = code;
+    state->kind = FaultKind::kStatus;
+  }
+}
+
+void FaultInjector::Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (SiteState* state : registry.order) {
+    if (state->armed) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    state->armed = false;
+    state->hits.store(0, std::memory_order_relaxed);
+    state->triggered = 0;
+  }
+  registry.pending.clear();
+}
+
+std::vector<std::string> FaultInjector::SiteNames() const {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.order.size());
+  for (const SiteState* state : registry.order) {
+    names.push_back(state->name);
+  }
+  return names;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) const {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  return it == registry.sites.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::TriggeredCount(std::string_view site) const {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  return it == registry.sites.end() ? 0 : it->second->triggered;
+}
+
+Status FaultInjector::OnArmedHit(SiteState* state, uint64_t hit) {
+  FaultKind kind;
+  StatusCode code;
+  std::string name;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    if (!state->armed || hit < state->fire_at) {
+      return Status::Ok();
+    }
+    // One-shot: disarm before firing so a retry of the faulted call runs
+    // clean.
+    state->armed = false;
+    ++state->triggered;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    kind = state->kind;
+    code = state->code;
+    name = state->name;
+  }
+  if (kind == FaultKind::kBadAlloc) {
+    throw std::bad_alloc();
+  }
+  return Status(code, "injected fault at '" + name + "' (hit " +
+                          std::to_string(hit) + ")");
+}
+
+FaultSite::FaultSite(const char* name)
+    : state_(FaultInjector::Instance().Register(name)) {}
+
+Status FaultSite::Fire() {
+  uint64_t hit = state_->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.AnyArmed()) {
+    return Status::Ok();
+  }
+  return injector.OnArmedHit(state_, hit);
+}
+
+Status ArmFaultFromSpec(std::string_view spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  std::string_view site = spec;
+  uint64_t nth = 1;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string_view::npos) {
+    site = spec.substr(0, colon);
+    std::string_view count = spec.substr(colon + 1);
+    if (site.empty() || count.empty()) {
+      return Status::InvalidArgument("fault spec must be '<site>:<n>', got '" +
+                                     std::string(spec) + "'");
+    }
+    nth = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9' || nth > 100000000) {
+        return Status::InvalidArgument(
+            "fault spec hit count must be a positive integer, got '" +
+            std::string(count) + "'");
+      }
+      nth = nth * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (nth == 0) {
+      return Status::InvalidArgument("fault spec hit count must be >= 1");
+    }
+  }
+  FaultInjector::Instance().Arm(site, nth);
+  return Status::Ok();
+}
+
+}  // namespace qrel

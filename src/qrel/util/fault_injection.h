@@ -1,0 +1,134 @@
+// Deterministic fault injection for chaos testing.
+//
+// A *fault site* is a named point in the pipeline where a failure can be
+// injected on demand: an I/O read, a parser step, an engine rung boundary,
+// one iteration of a sampling loop or of the Datalog fixpoint. Sites are
+// declared in place with QREL_FAULT_SITE("layer.component.step"); when no
+// fault is armed the hit costs two relaxed atomic operations, so sites can
+// live inside hot loops.
+//
+//   Status Grind(...) {
+//     for (...) {
+//       QREL_FAULT_SITE("engine.exact.enumerate");  // returns on injection
+//       ...
+//     }
+//   }
+//
+// Tests (and qrel_cli --fault-inject=<site>:<n>) schedule failures through
+// the process-wide FaultInjector registry: fail the Nth hit of one site,
+// fail every known site once, inject a chosen StatusCode or a simulated
+// std::bad_alloc. A site registers itself the first time control reaches
+// it, so the chaos suite discovers the full site list by running a clean
+// pass of the workload before arming anything (see tests/chaos_engine_test.cc
+// and DESIGN.md "Fault injection and hardening").
+//
+// Thread-safety: arming, firing and inspection are all mutex-guarded
+// except the per-hit fast path, which is lock-free. Faults are one-shot:
+// a site disarms itself when it fires, so a faulted call can be retried
+// without re-tripping.
+
+#ifndef QREL_UTIL_FAULT_INJECTION_H_
+#define QREL_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// What an armed fault does when it fires.
+enum class FaultKind {
+  kStatus,    // Fire() returns the armed Status code
+  kBadAlloc,  // Fire() throws std::bad_alloc (allocation-failure drill;
+              // callers catch it at API boundaries, see engine::Run)
+};
+
+namespace fault_internal {
+struct SiteState;
+}  // namespace fault_internal
+
+class FaultInjector {
+ public:
+  // The process-wide registry.
+  static FaultInjector& Instance();
+
+  // Schedules the site named `site` to fail on its `nth` hit from now
+  // (1 = the very next hit). The site does not need to exist yet: arming
+  // an unknown name creates the schedule and the site picks it up when it
+  // first registers, which is what lets qrel_cli arm a fault before any
+  // code has run.
+  void Arm(std::string_view site, uint64_t nth,
+           StatusCode code = StatusCode::kInternal,
+           FaultKind kind = FaultKind::kStatus);
+
+  // Arms every currently-registered site to fail on its next hit.
+  void ArmEverySiteOnce(StatusCode code = StatusCode::kInternal);
+
+  // Disarms everything and zeroes all hit/trigger counters.
+  void Reset();
+
+  // Names of all sites registered so far, in registration order. A site
+  // registers the first time control reaches it.
+  std::vector<std::string> SiteNames() const;
+
+  // Hits since the last Reset() (0 for a never-hit or unknown site).
+  uint64_t HitCount(std::string_view site) const;
+  // Times the site actually fired an injected fault since the last Reset().
+  uint64_t TriggeredCount(std::string_view site) const;
+
+  // True while at least one fault is armed (the fast-path gate).
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  friend class FaultSite;
+  FaultInjector() = default;
+
+  fault_internal::SiteState* Register(const char* name);
+  Status OnArmedHit(fault_internal::SiteState* state, uint64_t hit);
+
+  std::atomic<int> armed_count_{0};
+};
+
+// One declared fault site; constructed as a function-local static by the
+// QREL_FAULT_SITE macro so registration happens once, on first execution.
+class FaultSite {
+ public:
+  explicit FaultSite(const char* name);
+
+  // Records a hit and returns the injected Status if a fault is due here
+  // (or throws std::bad_alloc for FaultKind::kBadAlloc). OK otherwise.
+  Status Fire();
+
+ private:
+  fault_internal::SiteState* state_;
+};
+
+// Parses "<site>:<n>" (fail the nth hit, n >= 1) or "<site>" (shorthand
+// for n = 1) and arms it on the process-wide injector. Returns
+// InvalidArgument on a malformed spec. Backs qrel_cli --fault-inject.
+Status ArmFaultFromSpec(std::string_view spec);
+
+// Evaluates to the Status of one hit of the named site. `site_name` must
+// be a string literal.
+#define QREL_FAULT_HIT(site_name)                    \
+  ([]() -> ::qrel::Status {                          \
+    static ::qrel::FaultSite qrel_fault_site{site_name}; \
+    return qrel_fault_site.Fire();                   \
+  }())
+
+// Declares a fault site and returns the injected error from the enclosing
+// function (which must return Status or StatusOr<T>) when a fault fires.
+#define QREL_FAULT_SITE(site_name) QREL_RETURN_IF_ERROR(QREL_FAULT_HIT(site_name))
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_FAULT_INJECTION_H_

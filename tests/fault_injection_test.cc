@@ -1,0 +1,148 @@
+#include "qrel/util/fault_injection.h"
+
+#include <algorithm>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+namespace {
+
+Status HitAlpha() {
+  QREL_FAULT_SITE("test.alpha");
+  return Status::Ok();
+}
+
+Status HitBeta() {
+  QREL_FAULT_SITE("test.beta");
+  return Status::Ok();
+}
+
+// The macro must compose with StatusOr-returning functions.
+StatusOr<int> HitGamma() {
+  QREL_FAULT_SITE("test.gamma");
+  return 7;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSitesPassThrough) {
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_FALSE(FaultInjector::Instance().AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, SiteRegistersOnFirstExecution) {
+  ASSERT_TRUE(HitAlpha().ok());
+  EXPECT_TRUE(Contains(FaultInjector::Instance().SiteNames(), "test.alpha"));
+}
+
+TEST_F(FaultInjectionTest, HitCountsAccumulateAndReset) {
+  ASSERT_TRUE(HitAlpha().ok());
+  ASSERT_TRUE(HitAlpha().ok());
+  EXPECT_EQ(FaultInjector::Instance().HitCount("test.alpha"), 2u);
+  FaultInjector::Instance().Reset();
+  EXPECT_EQ(FaultInjector::Instance().HitCount("test.alpha"), 0u);
+  EXPECT_EQ(FaultInjector::Instance().HitCount("no.such.site"), 0u);
+}
+
+TEST_F(FaultInjectionTest, FailsExactlyTheNthHit) {
+  FaultInjector::Instance().Arm("test.alpha", 3);
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_TRUE(HitAlpha().ok());
+  Status third = HitAlpha();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kInternal);
+  EXPECT_NE(third.message().find("test.alpha"), std::string::npos);
+  // One-shot: the site disarms itself after firing.
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_EQ(FaultInjector::Instance().TriggeredCount("test.alpha"), 1u);
+  EXPECT_FALSE(FaultInjector::Instance().AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, InjectedStatusCodeIsHonored) {
+  FaultInjector::Instance().Arm("test.alpha", 1,
+                                StatusCode::kResourceExhausted);
+  EXPECT_EQ(HitAlpha().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectionTest, PropagatesThroughStatusOr) {
+  FaultInjector::Instance().Arm("test.gamma", 1);
+  StatusOr<int> faulted = HitGamma();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(*HitGamma(), 7);
+}
+
+TEST_F(FaultInjectionTest, ArmingAnUnknownSiteWaitsForRegistration) {
+  // The site may or may not have registered yet (tests share the process
+  // registry); either way the armed fault must reach it.
+  FaultInjector::Instance().Arm("test.beta", 1);
+  EXPECT_FALSE(HitBeta().ok());
+  EXPECT_TRUE(HitBeta().ok());
+}
+
+TEST_F(FaultInjectionTest, ReArmingReplacesTheSchedule) {
+  FaultInjector::Instance().Arm("test.alpha", 5);
+  FaultInjector::Instance().Arm("test.alpha", 1);
+  EXPECT_FALSE(HitAlpha().ok());
+  EXPECT_TRUE(HitAlpha().ok());
+}
+
+TEST_F(FaultInjectionTest, EverySiteOnceFailsEachRegisteredSiteOnce) {
+  ASSERT_TRUE(HitAlpha().ok());
+  ASSERT_TRUE(HitBeta().ok());
+  FaultInjector::Instance().ArmEverySiteOnce(StatusCode::kInternal);
+  EXPECT_FALSE(HitAlpha().ok());
+  EXPECT_FALSE(HitBeta().ok());
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_TRUE(HitBeta().ok());
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsPendingSchedules) {
+  FaultInjector::Instance().Arm("test.alpha", 1);
+  FaultInjector::Instance().Reset();
+  EXPECT_TRUE(HitAlpha().ok());
+}
+
+TEST_F(FaultInjectionTest, BadAllocKindThrows) {
+  FaultInjector::Instance().Arm("test.alpha", 1, StatusCode::kInternal,
+                                FaultKind::kBadAlloc);
+  EXPECT_THROW((void)HitAlpha(), std::bad_alloc);
+  EXPECT_TRUE(HitAlpha().ok());  // still one-shot
+}
+
+TEST_F(FaultInjectionTest, SpecParsingArmsTheNamedSite) {
+  ASSERT_TRUE(ArmFaultFromSpec("test.alpha:2").ok());
+  EXPECT_TRUE(HitAlpha().ok());
+  EXPECT_FALSE(HitAlpha().ok());
+}
+
+TEST_F(FaultInjectionTest, SpecWithoutCountMeansNextHit) {
+  ASSERT_TRUE(ArmFaultFromSpec("test.alpha").ok());
+  EXPECT_FALSE(HitAlpha().ok());
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(ArmFaultFromSpec("").ok());
+  EXPECT_FALSE(ArmFaultFromSpec(":3").ok());
+  EXPECT_FALSE(ArmFaultFromSpec("site:").ok());
+  EXPECT_FALSE(ArmFaultFromSpec("site:zero").ok());
+  EXPECT_FALSE(ArmFaultFromSpec("site:0").ok());
+  EXPECT_FALSE(ArmFaultFromSpec("site:-1").ok());
+}
+
+}  // namespace
+}  // namespace qrel

@@ -122,5 +122,45 @@ TEST(ParserTest, ErrorsMentionPosition) {
   EXPECT_NE(status.message().find("position"), std::string::npos);
 }
 
+TEST(ParserTest, ModeratelyNestedFormulasStillParse) {
+  // Below the limit of 256 frames; a parenthesis costs a few frames per
+  // level (it restarts the precedence chain), a negation costs one.
+  std::string negations(200, '!');
+  negations += "S(x)";
+  EXPECT_TRUE(ParseFormula(negations).ok());
+
+  std::string parens = std::string(64, '(') + "S(x)" + std::string(64, ')');
+  EXPECT_TRUE(ParseFormula(parens).ok());
+}
+
+// A deeply nested input must hit the depth limit with a typed error, not
+// overflow the process stack.
+TEST(ParserTest, DeepNestingIsRejectedNotACrash) {
+  const int depth = 100000;
+  const char* expected = "formula nesting too deep";
+
+  std::string negations(depth, '!');
+  negations += "S(x)";
+  Status status = ParseFormula(negations).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(expected), std::string::npos);
+
+  std::string parens = std::string(depth, '(') + "S(x)" +
+                       std::string(depth, ')');
+  status = ParseFormula(parens).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(expected), std::string::npos);
+
+  // Right-associative chains recurse directly without parentheses.
+  std::string implications = "S(x)";
+  for (int i = 0; i < depth; ++i) {
+    implications += " -> S(x)";
+  }
+  status = ParseFormula(implications).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(expected), std::string::npos);
+}
+
 }  // namespace
 }  // namespace qrel

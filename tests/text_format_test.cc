@@ -95,6 +95,46 @@ TEST(TextFormatTest, ErrorsReportLineNumbers) {
   EXPECT_NE(status.message().find("line 3"), std::string::npos);
 }
 
+TEST(TextFormatTest, RejectsDuplicateFactForSameAtom) {
+  Status status =
+      ParseUdb("universe 2\nrelation E 2\nfact E 0 1 err=1/4\n"
+               "fact E 0 1 err=1/8\n")
+          .status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 4"), std::string::npos);
+  EXPECT_NE(status.message().find("already declared"), std::string::npos);
+}
+
+TEST(TextFormatTest, RejectsFactThenAbsentForSameAtom) {
+  EXPECT_FALSE(ParseUdb("universe 2\nrelation S 1\nfact S 0\n"
+                        "absent S 0 err=1/3\n")
+                   .ok());
+  EXPECT_FALSE(ParseUdb("universe 2\nrelation S 1\nabsent S 0 err=1/3\n"
+                        "absent S 0 err=1/4\n")
+                   .ok());
+}
+
+TEST(TextFormatTest, CapsLineLength) {
+  std::string huge_line((1 << 16) + 1, 'x');
+  Status status = ParseUdb("universe 2\n" + huge_line + "\n").status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+  EXPECT_NE(status.message().find("exceeds"), std::string::npos);
+}
+
+TEST(TextFormatTest, CapsTokenCount) {
+  std::string many_tokens = "fact";
+  for (int i = 0; i < (1 << 12) + 1; ++i) {
+    many_tokens += " 0";
+  }
+  Status status =
+      ParseUdb("universe 2\nrelation E 2\n" + many_tokens + "\n").status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+  EXPECT_NE(status.message().find("tokens"), std::string::npos);
+}
+
 TEST(TextFormatTest, CommentsAndBlankLinesIgnored) {
   StatusOr<UnreliableDatabase> db = ParseUdb(
       "# leading comment\n"
@@ -170,6 +210,72 @@ TEST_P(TextFormatRoundTripTest, RandomDatabasesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TextFormatRoundTripTest,
                          ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace qrel
+
+#include <filesystem>
+#include <fstream>
+
+#include "qrel/util/fault_injection.h"
+
+namespace qrel {
+namespace {
+
+TEST(LoadUdbFileTest, MissingFileIsNotFoundWithPath) {
+  std::string path = ::testing::TempDir() + "/definitely_missing.udb";
+  StatusOr<UnreliableDatabase> db = LoadUdbFile(path);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(db.status().message().find(path), std::string::npos);
+}
+
+TEST(LoadUdbFileTest, LoadsAValidFile) {
+  std::string path = ::testing::TempDir() + "/load_udb_ok.udb";
+  std::ofstream(path, std::ios::trunc) << kSample;
+  StatusOr<UnreliableDatabase> db = LoadUdbFile(path);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->universe_size(), 4);
+}
+
+TEST(LoadUdbFileTest, ReadErrorIsNotConfusedWithNotFound) {
+  // The deterministic fault site stands in for a mid-read I/O failure —
+  // the status must be a non-kNotFound error naming the path.
+  std::string path = ::testing::TempDir() + "/load_udb_read_fault.udb";
+  std::ofstream(path, std::ios::trunc) << kSample;
+  FaultInjector::Instance().Reset();
+  FaultInjector::Instance().Arm("prob.load_udb.read", 1,
+                                StatusCode::kInternal);
+  StatusOr<UnreliableDatabase> db = LoadUdbFile(path);
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInternal);
+}
+
+// Replays the malformed-input regression corpus (seeded from fuzz
+// findings): every file must be rejected with a typed InvalidArgument
+// that points at a line — and must never crash.
+TEST(TextFormatTest, MalformedCorpusIsRejectedWithoutCrashing) {
+  std::filesystem::path corpus =
+      std::filesystem::path(QREL_TESTDATA_DIR) / "bad_udb";
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  int checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".udb") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Status status = ParseUdb(text).status();
+    EXPECT_FALSE(status.ok()) << entry.path();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << entry.path();
+    EXPECT_NE(status.message().find("line "), std::string::npos)
+        << entry.path() << ": " << status.ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
 
 }  // namespace
 }  // namespace qrel
