@@ -7,13 +7,19 @@
 // relative error diverges as the event probability drops toward 2^-k (it
 // typically reports 0), while Karp-Luby's stays ≈ flat.
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "qrel/propositional/exact.h"
 #include "qrel/propositional/karp_luby.h"
 #include "qrel/propositional/naive_mc.h"
+#include "qrel/util/snapshot.h"
 
 namespace {
 
@@ -140,6 +146,46 @@ void BM_E4_EstimatorAblation(benchmark::State& state) {
   state.counters["rel_err"] = std::fabs(estimate - exact) / exact;
 }
 BENCHMARK(BM_E4_EstimatorAblation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint overhead: the identical Karp-Luby run bare (arg 0), with a
+// crash-safe checkpointer at the qrel_cli default interval of 100 ms
+// (arg 1), and at a pathological 1 ms interval (arg 2) that forces dozens
+// of atomic write+fsync cycles — the per-snapshot cost EXPERIMENTS.md
+// records. The interval gate itself is two compares per sample, so arg 1
+// must stay well under 5% over arg 0.
+void BM_E4_CheckpointOverhead(benchmark::State& state) {
+  bool checkpointed = state.range(0) != 0;
+  int interval_ms = state.range(0) == 2 ? 1 : 100;
+  qrel::Dnf dnf = RareEventDnf(16);
+  std::vector<qrel::Rational> prob = Uniform(dnf.variable_count());
+  qrel::KarpLubyOptions options;
+  options.fixed_samples = kBudget;
+  options.seed = 17;
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/qrel_bench_e4_checkpoint.snapshot";
+  double estimate = 0;
+  uint64_t writes = 0;
+  for (auto _ : state) {
+    qrel::RunContext ctx;
+    std::optional<qrel::Checkpointer> checkpointer;
+    if (checkpointed) {
+      checkpointer.emplace(path, std::chrono::milliseconds(interval_ms));
+      ctx.SetCheckpointer(&*checkpointer);
+    }
+    options.run_context = &ctx;
+    estimate = qrel::KarpLubyProbability(dnf, prob, options)->estimate;
+    qrel_bench_sink = static_cast<double>(estimate);
+    if (checkpointer.has_value()) {
+      writes += checkpointer->writes();
+    }
+  }
+  std::remove(path.c_str());
+  state.counters["checkpointed"] = checkpointed ? 1 : 0;
+  state.counters["snapshots"] = static_cast<double>(writes);
+}
+BENCHMARK(BM_E4_CheckpointOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -19,6 +19,18 @@
 //                      hit (default 1), reproducing an injected failure
 //                      deterministically; repeatable. See
 //                      util/fault_injection.h for site names.
+//   --checkpoint=<path>  crash-safe checkpointing: periodically snapshot
+//                      the computation's progress to <path> (atomic
+//                      write + rename), and resume from an existing
+//                      snapshot there. A killed run re-run with the same
+//                      arguments continues where it stopped and prints a
+//                      bit-identical report. The snapshot is deleted on
+//                      successful completion.
+//   --checkpoint-every-ms=<n>  minimum interval between snapshots
+//                      (default 1000; 0 = checkpoint at every safe point)
+//   --list-fault-sites run a small built-in workload that touches every
+//                      layer, then print all registered fault-site names
+//                      (the valid --fault-inject targets) and exit.
 //
 // Exit codes: 0 success, 2 usage, otherwise 10 + StatusCode of the error
 // (e.g. 10+kDeadlineExceeded, 10+kCancelled) so scripts can react to
@@ -27,18 +39,28 @@
 // Example:
 //   qrel_cli crm.udb "exists c . Placed(o, c) & Vip(c)" --per-tuple
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "qrel/core/reliability.h"
 #include "qrel/engine/engine.h"
 #include "qrel/logic/parser.h"
+#include "qrel/metafinite/text_format.h"
 #include "qrel/prob/text_format.h"
+#include "qrel/propositional/dnf.h"
+#include "qrel/propositional/naive_mc.h"
 #include "qrel/util/fault_injection.h"
 #include "qrel/util/run_context.h"
+#include "qrel/util/snapshot.h"
 
 namespace {
 
@@ -73,7 +95,9 @@ int Usage() {
                "[--delta=D] [--seed=N] [--force-exact] [--force-approx] "
                "[--per-tuple] [--timeout-ms=N] [--max-work=N] "
                "[--max-exact-worlds=N] [--no-degrade] "
-               "[--fault-inject=SITE[:N]]\n");
+               "[--fault-inject=SITE[:N]] [--checkpoint=PATH] "
+               "[--checkpoint-every-ms=N]\n"
+               "       qrel_cli --list-fault-sites\n");
   return 2;
 }
 
@@ -92,9 +116,108 @@ std::string TupleToString(const qrel::Tuple& tuple) {
   return result + ")";
 }
 
+std::string WriteTempFile(const std::string& stem, const char* text) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/" +
+                     stem + "." + std::to_string(::getpid());
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+// Fault sites register lazily, the first time control reaches them; so to
+// enumerate them all, run a small in-memory workload that walks every
+// layer — file I/O and parsing, each engine rung (including the budget-
+// degraded reserve rungs), the Datalog paths, a direct sampler call and a
+// snapshot write/load — then read the registry. All steps are best-effort:
+// only their side effect of registering sites matters here.
+int ListFaultSites() {
+  using namespace qrel;  // NOLINT: localized convenience
+
+  constexpr char kUdbText[] =
+      "universe 3\n"
+      "relation E 2\n"
+      "relation S 1\n"
+      "fact E 0 1 err=1/4\n"
+      "fact E 1 2 err=1/8\n"
+      "fact S 0\n"
+      "absent S 1 err=1/3\n";
+  constexpr char kMfdbText[] =
+      "universe 2\n"
+      "function salary 1\n"
+      "value salary 0 = 3200\n"
+      "dist salary 0 : 3200 @ 9/10, 8200 @ 1/10\n";
+  constexpr char kDatalog[] =
+      "Path(x, y) :- E(x, y).\n"
+      "Path(x, z) :- Path(x, y), E(y, z).";
+
+  std::string udb_path = WriteTempFile("qrel_sites.udb", kUdbText);
+  std::string mfdb_path = WriteTempFile("qrel_sites.mfdb", kMfdbText);
+  StatusOr<UnreliableDatabase> database = LoadUdbFile(udb_path);
+  (void)LoadMfdbFile(mfdb_path);
+  (void)ParseMfdb(kMfdbText);
+  std::remove(udb_path.c_str());
+  std::remove(mfdb_path.c_str());
+
+  {
+    Dnf dnf(2);
+    dnf.AddTerm({{0, true}, {1, false}});
+    std::vector<Rational> probs = {Rational::Half(), Rational::Half()};
+    (void)NaiveMcProbability(dnf, probs, 16, /*seed=*/5);
+  }
+
+  {
+    SnapshotData data;
+    data.kind = "cli.site_listing";
+    std::string snap_path = WriteTempFile("qrel_sites.snapshot", "");
+    (void)WriteSnapshotFile(snap_path, data);
+    (void)ReadSnapshotFile(snap_path);
+    std::remove(snap_path.c_str());
+  }
+
+  if (database.ok()) {
+    ReliabilityEngine engine(std::move(database).value());
+    EngineOptions defaults;
+    defaults.seed = 7;
+    (void)engine.Run("S(x)", defaults);
+    (void)engine.Run("exists x y . E(x,y) & S(y)", defaults);
+
+    EngineOptions sampled = defaults;
+    sampled.force_approximate = true;
+    sampled.epsilon = 0.3;
+    sampled.delta = 0.3;
+    sampled.fixed_samples = 16;
+    (void)engine.Run("exists x y . E(x,y) & S(y)", sampled);
+    (void)engine.Run("forall x . exists y . E(x,y) | S(x)", sampled);
+
+    (void)engine.RunDatalog(kDatalog, "Path", defaults);
+    (void)engine.RunDatalog(kDatalog, "Path", sampled);
+
+    // Trip a one-unit work budget mid-rung so the engine walks down to the
+    // reserve rungs, which only register when actually reached.
+    EngineOptions starved = sampled;
+    RunContext budgeted = RunContext::WithWorkBudget(1);
+    starved.run_context = &budgeted;
+    (void)engine.Run("forall x . exists y . E(x,y) | S(x)", starved);
+    RunContext datalog_budgeted = RunContext::WithWorkBudget(1);
+    starved.run_context = &datalog_budgeted;
+    (void)engine.RunDatalog(kDatalog, "Path", starved);
+  }
+
+  std::vector<std::string> sites = FaultInjector::Instance().SiteNames();
+  std::sort(sites.begin(), sites.end());
+  for (const std::string& site : sites) {
+    std::printf("%s\n", site.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--list-fault-sites") == 0) {
+    return ListFaultSites();
+  }
   if (argc < 3) {
     return Usage();
   }
@@ -106,6 +229,8 @@ int main(int argc, char** argv) {
   uint64_t max_work = 0;
   bool has_timeout = false;
   bool has_max_work = false;
+  std::string checkpoint_path;
+  uint64_t checkpoint_every_ms = 1000;
   for (int i = 3; i < argc; ++i) {
     if (ParseDoubleFlag(argv[i], "--epsilon", &options.epsilon) ||
         ParseDoubleFlag(argv[i], "--delta", &options.delta) ||
@@ -117,8 +242,16 @@ int main(int argc, char** argv) {
     } else if (ParseUint64Flag(argv[i], "--max-work", &max_work)) {
       has_max_work = true;
     } else if (ParseUint64Flag(argv[i], "--max-exact-worlds",
-                               &options.max_exact_worlds)) {
+                               &options.max_exact_worlds) ||
+               ParseUint64Flag(argv[i], "--checkpoint-every-ms",
+                               &checkpoint_every_ms)) {
       continue;
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      checkpoint_path = argv[i] + 13;
+      if (checkpoint_path.empty()) {
+        std::fprintf(stderr, "--checkpoint needs a file path\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--fault-inject=", 15) == 0) {
       qrel::Status armed = qrel::ArmFaultFromSpec(argv[i] + 15);
       if (!armed.ok()) {
@@ -147,7 +280,21 @@ int main(int argc, char** argv) {
   if (has_max_work) {
     run_context.SetWorkBudget(max_work);
   }
-  if (has_timeout || has_max_work) {
+  std::optional<qrel::Checkpointer> checkpointer;
+  if (!checkpoint_path.empty()) {
+    checkpointer.emplace(checkpoint_path,
+                         std::chrono::milliseconds(checkpoint_every_ms));
+    qrel::Status loaded = checkpointer->LoadForResume();
+    if (!loaded.ok()) {
+      // A corrupt snapshot is an error, not a silent restart from zero;
+      // the user can delete the file to start over deliberately.
+      std::fprintf(stderr, "checkpoint %s: %s\n", checkpoint_path.c_str(),
+                   loaded.ToString().c_str());
+      return ExitCodeFor(loaded);
+    }
+    run_context.SetCheckpointer(&*checkpointer);
+  }
+  if (has_timeout || has_max_work || checkpointer.has_value()) {
     options.run_context = &run_context;
   }
 
@@ -200,6 +347,21 @@ int main(int argc, char** argv) {
   if (options.run_context != nullptr) {
     std::printf("budget     : %llu work unit(s) spent\n",
                 static_cast<unsigned long long>(report->budget_spent));
+  }
+  if (checkpointer.has_value()) {
+    if (checkpointer->has_resume() && !checkpointer->resume_consumed()) {
+      std::fprintf(stderr,
+                   "warning: snapshot %s (kind %s) was not used by this "
+                   "run's algorithm; it was left untouched\n",
+                   checkpoint_path.c_str(),
+                   checkpointer->resume_kind().c_str());
+    } else {
+      std::printf("checkpoint : %llu snapshot(s) written%s\n",
+                  static_cast<unsigned long long>(checkpointer->writes()),
+                  checkpointer->resume_consumed() ? ", resumed" : "");
+      // The computation finished; the snapshot has served its purpose.
+      std::remove(checkpoint_path.c_str());
+    }
   }
 
   if (per_tuple) {

@@ -1,0 +1,60 @@
+// Fuzz target for the snapshot container decoder: arbitrary bytes must
+// either decode or come back as a typed error — never crash, read out of
+// bounds, or silently accept corruption. Accepted inputs must re-encode
+// byte-identically (the container encoding is canonical), and their
+// payloads must be safely consumable through every SnapshotReader method.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qrel/util/snapshot.h"
+
+namespace {
+
+// Drains a payload through each reader method in turn; every call must
+// return cleanly (OK or typed error) on arbitrary bytes.
+void ExercisePayloadReaders(const std::vector<uint8_t>& payload) {
+  qrel::SnapshotReader reader(payload);
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  qrel::BigInt big;
+  qrel::Rational rational;
+  qrel::Rng rng(1);
+  std::vector<int32_t> tuple;
+  while (reader.remaining() > 0) {
+    if (!reader.U8(&u8).ok() || !reader.U32(&u32).ok() ||
+        !reader.U64(&u64).ok() || !reader.I64(&i64).ok() ||
+        !reader.Double(&d).ok() || !reader.String(&s).ok() ||
+        !reader.BigIntVal(&big).ok() || !reader.RationalVal(&rational).ok() ||
+        !reader.RngState(&rng).ok() || !reader.TupleVal(&tuple).ok()) {
+      break;
+    }
+  }
+  (void)reader.ExpectEnd();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  qrel::StatusOr<qrel::SnapshotData> decoded =
+      qrel::DecodeSnapshot(data, size);
+  if (!decoded.ok()) {
+    return 0;
+  }
+  // Canonical-encoding invariant: a successfully decoded container
+  // re-encodes to exactly the input bytes.
+  std::vector<uint8_t> reencoded = qrel::EncodeSnapshot(*decoded);
+  if (reencoded.size() != size ||
+      !std::equal(reencoded.begin(), reencoded.end(), data)) {
+    __builtin_trap();
+  }
+  ExercisePayloadReaders(decoded->payload);
+  return 0;
+}

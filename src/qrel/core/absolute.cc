@@ -4,6 +4,7 @@
 #include "qrel/logic/classify.h"
 #include "qrel/logic/eval.h"
 #include "qrel/util/check.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -71,7 +72,7 @@ StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityByWitness(
 
 StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
     const FormulaPtr& query, const UnreliableDatabase& db, uint64_t samples,
-    uint64_t seed) {
+    uint64_t seed, RunContext* ctx) {
   if (samples == 0) {
     return Status::InvalidArgument("sample count must be positive");
   }
@@ -94,9 +95,35 @@ StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
     } while (AdvanceTuple(&assignment, n));
   }
 
+  Fingerprint fingerprint;
+  fingerprint.Mix("core.absolute_mc")
+      .Mix(seed)
+      .Mix(samples)
+      .Mix(static_cast<uint64_t>(n))
+      .Mix(static_cast<uint64_t>(k))
+      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+  CheckpointScope checkpoint(ctx, "core.absolute_mc.v1", fingerprint.value());
+
   Rng rng(seed);
   AbsoluteReliabilityResult result;
-  for (uint64_t s = 0; s < samples; ++s) {
+  uint64_t start = 0;
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&start));
+      QREL_RETURN_IF_ERROR(resume->U64(&result.worlds_checked));
+      QREL_RETURN_IF_ERROR(resume->RngState(&rng));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+  for (uint64_t s = start; s < samples; ++s) {
+    QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.U64(s);
+      w.U64(result.worlds_checked);
+      w.RngState(rng);
+    }));
+    QREL_RETURN_IF_ERROR(ChargeWork(ctx));
     World world = db.SampleWorld(&rng);
     ++result.worlds_checked;
     WorldView view(db, world);

@@ -17,6 +17,7 @@
 
 #include "qrel/logic/ast.h"
 #include "qrel/prob/unreliable_database.h"
+#include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -45,10 +46,12 @@ StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityByWitness(
 // is inconclusive (by Lemma 5.10, no efficient two-sided procedure is
 // expected unless NP ⊆ BPP) — `absolutely_reliable` then only reports
 // that no counterexample was seen. Unlike the exhaustive search this runs
-// on databases with arbitrarily many uncertain atoms.
+// on databases with arbitrarily many uncertain atoms. A non-null `ctx`
+// governs the sample loop (one work unit per world) and carries the
+// crash-safe checkpoint policy (util/snapshot.h).
 StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
     const FormulaPtr& query, const UnreliableDatabase& db, uint64_t samples,
-    uint64_t seed);
+    uint64_t seed, RunContext* ctx = nullptr);
 
 }  // namespace qrel
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "qrel/logic/classify.h"
 #include "qrel/logic/eval.h"
@@ -11,6 +12,7 @@
 #include "qrel/propositional/karp_luby.h"
 #include "qrel/util/check.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -179,13 +181,58 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
   // with several tuples a partially covered tuple space is not.
   per_tuple.allow_truncation = options.allow_truncation && *tuple_count == 1;
 
+  // Claimed before the tuple loop so the Karp-Luby scope inside
+  // FptrasFromPrenex stays inert: checkpoint granularity is one finished
+  // tuple, whose state (plus the seeder) determines everything after it.
+  Fingerprint fingerprint;
+  fingerprint.Mix("core.absolute_approx")
+      .Mix(options.seed)
+      .Mix(static_cast<uint64_t>(n))
+      .Mix(static_cast<uint64_t>(k))
+      .MixDouble(options.epsilon)
+      .MixDouble(options.delta)
+      .Mix(options.fixed_samples.value_or(0))
+      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+  CheckpointScope checkpoint(options.run_context, "core.absolute_approx.v1",
+                             fingerprint.value());
+
   Rng seeder(options.seed);
   double expected_error = 0.0;
   uint64_t samples = 0;
   bool truncated = false;
   double worst_sub_epsilon = 0.0;  // worst per-tuple achieved (relative) ε
   Tuple assignment(static_cast<size_t>(k), 0);
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      Tuple saved;
+      QREL_RETURN_IF_ERROR(resume->TupleVal(&saved));
+      if (saved.size() != assignment.size()) {
+        return Status::DataLoss("snapshot tuple arity mismatch");
+      }
+      QREL_RETURN_IF_ERROR(resume->Double(&expected_error));
+      QREL_RETURN_IF_ERROR(resume->U64(&samples));
+      uint8_t truncated_byte = 0;
+      QREL_RETURN_IF_ERROR(resume->U8(&truncated_byte));
+      truncated = truncated_byte != 0;
+      QREL_RETURN_IF_ERROR(resume->Double(&worst_sub_epsilon));
+      QREL_RETURN_IF_ERROR(resume->RngState(&seeder));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+      assignment = std::move(saved);
+    }
+  }
   do {
+    // Checkpoint before charging so the resumed run re-charges this tuple
+    // and the work counter continues exactly.
+    QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.TupleVal(assignment);
+      w.Double(expected_error);
+      w.U64(samples);
+      w.U8(truncated ? 1 : 0);
+      w.Double(worst_sub_epsilon);
+      w.RngState(seeder);
+    }));
     QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
     QREL_FAULT_SITE("core.approx.tuple");
     per_tuple.seed = seeder.NextUint64();
@@ -252,18 +299,59 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
           ? *options.fixed_samples
           : PaddedSampleBound(options.xi, per_epsilon / 2.0, per_delta);
 
+  Fingerprint fingerprint;
+  fingerprint.Mix("core.padded")
+      .Mix(options.seed)
+      .Mix(static_cast<uint64_t>(n))
+      .Mix(static_cast<uint64_t>(k))
+      .MixDouble(options.xi)
+      .Mix(per_samples)
+      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+  CheckpointScope checkpoint(options.run_context, "core.padded.v1",
+                             fingerprint.value());
+
   const double xi = options.xi;
   Rng rng(options.seed);
   double expected_error = 0.0;
   uint64_t samples = 0;
   Tuple assignment(static_cast<size_t>(k), 0);
+  // Mid-tuple resume state: the inner sample loop restarts at resume_s
+  // with resume_hits already accumulated (both zero after the first tuple).
+  uint64_t resume_s = 0;
+  uint64_t resume_hits = 0;
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      Tuple saved;
+      QREL_RETURN_IF_ERROR(resume->TupleVal(&saved));
+      if (saved.size() != assignment.size()) {
+        return Status::DataLoss("snapshot tuple arity mismatch");
+      }
+      QREL_RETURN_IF_ERROR(resume->U64(&resume_s));
+      QREL_RETURN_IF_ERROR(resume->U64(&resume_hits));
+      QREL_RETURN_IF_ERROR(resume->U64(&samples));
+      QREL_RETURN_IF_ERROR(resume->Double(&expected_error));
+      QREL_RETURN_IF_ERROR(resume->RngState(&rng));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+      assignment = std::move(saved);
+    }
+  }
   do {
     bool observed = compiled->Eval(db.observed(), assignment);
     // X_i = ψ'(𝔅') with ψ' = (ψ ∨ Rc) ∧ Rd over the padded database: the
     // two fresh atoms Rc, Rd are virtual — each is an independent
     // Bernoulli(ξ) draw, since R is empty in 𝔄' and μ'(Rc) = μ'(Rd) = ξ.
-    uint64_t hits = 0;
-    for (uint64_t s = 0; s < per_samples; ++s) {
+    uint64_t hits = resume_hits;
+    for (uint64_t s = resume_s; s < per_samples; ++s) {
+      QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+        w.TupleVal(assignment);
+        w.U64(s);
+        w.U64(hits);
+        w.U64(samples);
+        w.Double(expected_error);
+        w.RngState(rng);
+      }));
       QREL_RETURN_IF_ERROR(ChargeWork(options.run_context));
       QREL_FAULT_SITE("core.approx.padded_sample");
       bool rd = rng.NextBernoulli(xi);
@@ -281,6 +369,8 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
         ++hits;
       }
     }
+    resume_s = 0;
+    resume_hits = 0;
     samples += per_samples;
     double x_bar = static_cast<double>(hits) / static_cast<double>(per_samples);
     // Invert p = ν(ψ)·(ξ-ξ²) + ξ² (equation (3) in the proof).

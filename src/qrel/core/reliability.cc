@@ -6,6 +6,7 @@
 #include "qrel/logic/classify.h"
 #include "qrel/util/check.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -108,32 +109,64 @@ StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
 
   ReliabilityReport report;
   report.arity = k;
+
+  Fingerprint fingerprint;
+  fingerprint.Mix("core.exact")
+      .Mix(static_cast<uint64_t>(n))
+      .Mix(static_cast<uint64_t>(k))
+      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()));
+  CheckpointScope checkpoint(ctx, "core.exact.v1", fingerprint.value());
+
+  uint64_t code = 0;  // index of the next world to visit
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&code));
+      QREL_RETURN_IF_ERROR(resume->RationalVal(&report.expected_error));
+      QREL_RETURN_IF_ERROR(resume->U64(&report.work_units));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+
   Status budget = Status::Ok();
-  db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
-    budget = ChargeWork(ctx);
-    if (budget.ok()) {
-      budget = QREL_FAULT_HIT("core.exact.world");
-    }
-    if (!budget.ok()) {
-      return false;
-    }
-    ++report.work_units;
-    if (probability.IsZero()) {
-      return true;
-    }
-    WorldView view(db, world);
-    int differing = 0;
-    for (size_t i = 0; i < tuples.size(); ++i) {
-      bool actual = compiled->Eval(view, tuples[i]);
-      if (actual != (observed_truth[i] != 0)) {
-        ++differing;
-      }
-    }
-    if (differing > 0) {
-      report.expected_error += probability * Rational(differing);
-    }
-    return true;
-  });
+  db.ForEachWorldWhile(
+      [&](const World& world, const Rational& probability) {
+        // Checkpoint before charging so the resumed run re-charges this
+        // world and the work counter continues without a gap.
+        budget = checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+          w.U64(code);
+          w.RationalVal(report.expected_error);
+          w.U64(report.work_units);
+        });
+        if (budget.ok()) {
+          budget = ChargeWork(ctx);
+        }
+        if (budget.ok()) {
+          budget = QREL_FAULT_HIT("core.exact.world");
+        }
+        if (!budget.ok()) {
+          return false;
+        }
+        ++report.work_units;
+        ++code;
+        if (probability.IsZero()) {
+          return true;
+        }
+        WorldView view(db, world);
+        int differing = 0;
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          bool actual = compiled->Eval(view, tuples[i]);
+          if (actual != (observed_truth[i] != 0)) {
+            ++differing;
+          }
+        }
+        if (differing > 0) {
+          report.expected_error += probability * Rational(differing);
+        }
+        return true;
+      },
+      code);
   QREL_RETURN_IF_ERROR(budget);
   report.reliability =
       Rational(1) - report.expected_error / TupleSpaceSize(n, k);

@@ -5,12 +5,53 @@
 
 #include "qrel/util/check.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
 namespace {
 
 constexpr Element kUnbound = -1;
+
+// IDB serialization for fixpoint checkpoints. std::map iteration order is
+// the predicate-name order, so the encoding is canonical.
+void WriteIdb(SnapshotWriter& w, const DatalogResult& idb) {
+  w.U32(static_cast<uint32_t>(idb.size()));
+  for (const auto& [predicate, tuples] : idb) {
+    w.String(predicate);
+    w.U32(static_cast<uint32_t>(tuples.size()));
+    for (const Tuple& tuple : tuples) {
+      w.TupleVal(tuple);
+    }
+  }
+}
+
+// Restores into `idb`, which must already hold exactly the program's
+// predicates (mapped to empty sets); unknown names are data loss.
+Status ReadIdb(SnapshotReader& r, DatalogResult* idb) {
+  uint32_t predicate_count = 0;
+  QREL_RETURN_IF_ERROR(r.U32(&predicate_count));
+  if (predicate_count != idb->size()) {
+    return Status::DataLoss("snapshot IDB predicate count mismatch");
+  }
+  for (uint32_t p = 0; p < predicate_count; ++p) {
+    std::string predicate;
+    QREL_RETURN_IF_ERROR(r.String(&predicate));
+    auto it = idb->find(predicate);
+    if (it == idb->end()) {
+      return Status::DataLoss("snapshot IDB holds unknown predicate '" +
+                              predicate + "'");
+    }
+    uint32_t tuple_count = 0;
+    QREL_RETURN_IF_ERROR(r.U32(&tuple_count));
+    for (uint32_t t = 0; t < tuple_count; ++t) {
+      Tuple tuple;
+      QREL_RETURN_IF_ERROR(r.TupleVal(&tuple));
+      it->second.insert(std::move(tuple));
+    }
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -395,30 +436,84 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
   for (const std::string& predicate : idb_predicates_) {
     idb[predicate] = {};
   }
+
+  // Checkpoints at stratum entry and at every semi-naive round boundary:
+  // the derived-atom frontier (idb + delta) at those points fully
+  // determines the rest of the fixpoint. Inert when a world loop above
+  // already claimed the scope (datalog/reliability.cc).
+  Fingerprint fingerprint;
+  fingerprint.Mix("datalog.fixpoint")
+      .Mix(static_cast<uint64_t>(stratum_count_))
+      .Mix(static_cast<uint64_t>(rules_.size()))
+      .Mix(static_cast<uint64_t>(edb.universe_size()));
+  for (const std::string& predicate : idb_predicates_) {
+    fingerprint.Mix(predicate);
+  }
+  CheckpointScope checkpoint(ctx, "datalog.fixpoint.v1", fingerprint.value());
+
+  int start_stratum = 0;
+  bool resume_in_round = false;
+  DatalogResult resume_delta;
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      uint32_t stratum = 0;
+      uint8_t in_round = 0;
+      QREL_RETURN_IF_ERROR(resume->U32(&stratum));
+      QREL_RETURN_IF_ERROR(resume->U8(&in_round));
+      if (stratum >= static_cast<uint32_t>(stratum_count_)) {
+        return Status::DataLoss("snapshot stratum out of range");
+      }
+      QREL_RETURN_IF_ERROR(ReadIdb(*resume, &idb));
+      if (in_round != 0) {
+        for (const std::string& predicate : idb_predicates_) {
+          resume_delta[predicate] = {};
+        }
+        QREL_RETURN_IF_ERROR(ReadIdb(*resume, &resume_delta));
+        resume_in_round = true;
+      }
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+      start_stratum = static_cast<int>(stratum);
+    }
+  }
+
   Tuple head_tuple;
   Status budget = Status::Ok();
-  for (int stratum = 0; stratum < stratum_count_; ++stratum) {
-    QREL_FAULT_SITE("datalog.fixpoint.round");
-    // Round 0: full evaluation seeds the delta (also the only round for
-    // rules with no same-stratum recursion).
+  for (int stratum = start_stratum; stratum < stratum_count_; ++stratum) {
     DatalogResult delta;
     for (const std::string& predicate : idb_predicates_) {
       delta[predicate] = {};
     }
-    for (const CompiledRule& rule : rules_) {
-      if (rule.stratum != stratum) {
-        continue;
+    if (resume_in_round) {
+      // The interrupted run already finished this stratum's seed round and
+      // some semi-naive rounds; re-enter the round loop with its frontier.
+      resume_in_round = false;
+      delta = std::move(resume_delta);
+    } else {
+      QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+        w.U32(static_cast<uint32_t>(stratum));
+        w.U8(0);
+        WriteIdb(w, idb);
+      }));
+      QREL_FAULT_SITE("datalog.fixpoint.round");
+      // Round 0: full evaluation seeds the delta (also the only round for
+      // rules with no same-stratum recursion).
+      for (const CompiledRule& rule : rules_) {
+        if (rule.stratum != stratum) {
+          continue;
+        }
+        std::set<Tuple> additions;
+        std::vector<Element> binding(
+            static_cast<size_t>(rule.variable_count), kUnbound);
+        BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
+                      &head_tuple, &additions, -1, nullptr, ctx, &budget);
+        QREL_RETURN_IF_ERROR(budget);
+        delta[rule.head].insert(additions.begin(), additions.end());
       }
-      std::set<Tuple> additions;
-      std::vector<Element> binding(static_cast<size_t>(rule.variable_count),
-                                   kUnbound);
-      BodySatisfied(rule, 0, &binding, edb, idb, idb.at(rule.head),
-                    &head_tuple, &additions, -1, nullptr, ctx, &budget);
-      QREL_RETURN_IF_ERROR(budget);
-      delta[rule.head].insert(additions.begin(), additions.end());
-    }
-    for (auto& [predicate, tuples] : delta) {
-      idb[predicate].insert(tuples.begin(), tuples.end());
+      for (auto& [predicate, tuples] : delta) {
+        idb[predicate].insert(tuples.begin(), tuples.end());
+      }
     }
 
     // Semi-naive rounds: each recursive rule re-fires once per
@@ -466,6 +561,15 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
         }
       }
       delta = std::move(next_delta);
+      if (any_delta) {
+        QREL_RETURN_IF_ERROR(
+            checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+              w.U32(static_cast<uint32_t>(stratum));
+              w.U8(1);
+              WriteIdb(w, idb);
+              WriteIdb(w, delta);
+            }));
+      }
     }
   }
   return idb;

@@ -6,6 +6,7 @@
 
 #include "qrel/util/check.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -42,6 +43,16 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
     return Status::OutOfRange(
         "exact Datalog reliability would enumerate more than 2^62 worlds");
   }
+  // Claimed before any EvalPredicate call: the fixpoint inside each world
+  // carries its own (here inert) scope, and granularity must be one world.
+  Fingerprint fingerprint;
+  fingerprint.Mix("datalog.exact")
+      .Mix(predicate)
+      .Mix(static_cast<uint64_t>(db.universe_size()))
+      .Mix(static_cast<uint64_t>(*arity))
+      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()));
+  CheckpointScope checkpoint(ctx, "datalog.exact.v1", fingerprint.value());
+
   StatusOr<std::set<Tuple>> observed =
       program.EvalPredicate(db.observed(), predicate, ctx);
   if (!observed.ok()) {
@@ -50,33 +61,55 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
 
   ReliabilityReport report;
   report.arity = *arity;
+  uint64_t code = 0;  // index of the next world to visit
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&code));
+      QREL_RETURN_IF_ERROR(resume->RationalVal(&report.expected_error));
+      QREL_RETURN_IF_ERROR(resume->U64(&report.work_units));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+
   Status budget = Status::Ok();
-  db.ForEachWorldWhile([&](const World& world, const Rational& probability) {
-    budget = ChargeWork(ctx);
-    if (budget.ok()) {
-      budget = QREL_FAULT_HIT("datalog.exact.world");
-    }
-    if (!budget.ok()) {
-      return false;
-    }
-    ++report.work_units;
-    if (probability.IsZero()) {
-      return true;
-    }
-    WorldView view(db, world);
-    StatusOr<std::set<Tuple>> actual =
-        program.EvalPredicate(view, predicate, ctx);
-    if (!actual.ok()) {
-      budget = actual.status();  // the envelope, or an injected fault
-      return false;
-    }
-    size_t differing = SymmetricDifferenceSize(*observed, *actual);
-    if (differing > 0) {
-      report.expected_error +=
-          probability * Rational(static_cast<int64_t>(differing));
-    }
-    return true;
-  });
+  db.ForEachWorldWhile(
+      [&](const World& world, const Rational& probability) {
+        budget = checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+          w.U64(code);
+          w.RationalVal(report.expected_error);
+          w.U64(report.work_units);
+        });
+        if (budget.ok()) {
+          budget = ChargeWork(ctx);
+        }
+        if (budget.ok()) {
+          budget = QREL_FAULT_HIT("datalog.exact.world");
+        }
+        if (!budget.ok()) {
+          return false;
+        }
+        ++report.work_units;
+        ++code;
+        if (probability.IsZero()) {
+          return true;
+        }
+        WorldView view(db, world);
+        StatusOr<std::set<Tuple>> actual =
+            program.EvalPredicate(view, predicate, ctx);
+        if (!actual.ok()) {
+          budget = actual.status();  // the envelope, or an injected fault
+          return false;
+        }
+        size_t differing = SymmetricDifferenceSize(*observed, *actual);
+        if (differing > 0) {
+          report.expected_error +=
+              probability * Rational(static_cast<int64_t>(differing));
+        }
+        return true;
+      },
+      code);
   QREL_RETURN_IF_ERROR(budget);
   report.reliability =
       Rational(1) -
@@ -107,6 +140,20 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
   }
   uint64_t tuples = static_cast<uint64_t>(tuple_count);
 
+  // Claimed before any EvalPredicate call so the per-world fixpoint scope
+  // is inert; granularity is one sampled world.
+  Fingerprint fingerprint;
+  fingerprint.Mix("datalog.padded")
+      .Mix(predicate)
+      .Mix(options.seed)
+      .Mix(static_cast<uint64_t>(n))
+      .Mix(static_cast<uint64_t>(k))
+      .MixDouble(options.xi)
+      .Mix(options.fixed_samples.value_or(0))
+      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+  CheckpointScope checkpoint(options.run_context, "datalog.padded.v1",
+                             fingerprint.value());
+
   StatusOr<std::set<Tuple>> observed =
       program.EvalPredicate(db.observed(), predicate, options.run_context);
   if (!observed.ok()) {
@@ -135,8 +182,35 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
   Rng rng(options.seed);
   bool truncated = false;
   uint64_t drawn = 0;
-  for (uint64_t s = 0; s < samples; ++s) {
-    Status budget = ChargeWork(options.run_context);
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&drawn));
+      uint32_t hit_count = 0;
+      QREL_RETURN_IF_ERROR(resume->U32(&hit_count));
+      if (hit_count != hits.size()) {
+        return Status::DataLoss("snapshot hit-counter count mismatch");
+      }
+      for (uint64_t& h : hits) {
+        QREL_RETURN_IF_ERROR(resume->U64(&h));
+      }
+      QREL_RETURN_IF_ERROR(resume->RngState(&rng));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+  for (uint64_t s = drawn; s < samples; ++s) {
+    Status budget = checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.U64(drawn);
+      w.U32(static_cast<uint32_t>(hits.size()));
+      for (uint64_t h : hits) {
+        w.U64(h);
+      }
+      w.RngState(rng);
+    });
+    if (budget.ok()) {
+      budget = ChargeWork(options.run_context);
+    }
     if (budget.ok()) {
       budget = QREL_FAULT_HIT("datalog.padded.world");
     }

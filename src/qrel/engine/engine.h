@@ -22,6 +22,17 @@
 // `degradation_reason`) and the weakened guarantee (`partial`,
 // `achieved_epsilon`/`achieved_delta`). Cancellation never degrades: it
 // always surfaces as kCancelled.
+//
+// Crash-safe checkpointing: attach a Checkpointer to the RunContext
+// (RunContext::SetCheckpointer, after Checkpointer::LoadForResume) and
+// every rung's outermost loop periodically snapshots its progress —
+// counters, accumulators, RNG state — through util/snapshot.h. A run
+// killed at any point and re-run with the same options resumes from the
+// latest snapshot and produces a bit-identical report (estimate, samples,
+// budget_spent). Snapshots are keyed by algorithm and parameter
+// fingerprint, so a rung simply ignores another rung's snapshot, and a
+// parameter change refuses to resume instead of silently biasing the
+// estimate.
 
 #ifndef QREL_ENGINE_ENGINE_H_
 #define QREL_ENGINE_ENGINE_H_

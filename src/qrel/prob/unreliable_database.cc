@@ -162,7 +162,8 @@ void UnreliableDatabase::ForEachWorld(
 }
 
 bool UnreliableDatabase::ForEachWorldWhile(
-    const std::function<bool(const World&, const Rational&)>& fn) const {
+    const std::function<bool(const World&, const Rational&)>& fn,
+    uint64_t first_code) const {
   size_t u = uncertain_entries_.size();
   QREL_CHECK_MSG(u <= 62, "world enumeration over more than 62 atoms");
 
@@ -180,7 +181,7 @@ bool UnreliableDatabase::ForEachWorldWhile(
   }
 
   uint64_t world_count = uint64_t{1} << u;
-  for (uint64_t code = 0; code < world_count; ++code) {
+  for (uint64_t code = first_code; code < world_count; ++code) {
     Rational probability = Rational::One();
     for (size_t i = 0; i < u; ++i) {
       bool flipped = (code >> i) & 1u;

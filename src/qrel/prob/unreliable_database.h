@@ -109,9 +109,14 @@ class UnreliableDatabase {
 
   // Like ForEachWorld, but the callback returns false to stop early (used
   // by budgeted/cancellable enumeration loops — see util/run_context.h).
-  // Returns true iff every world was visited.
+  // Enumeration starts at world index `first_code` (worlds are indexed by
+  // the bitmask over uncertain entries, in increasing order) — nonzero only
+  // for checkpoint resume (util/snapshot.h), which must continue the scan
+  // exactly where the interrupted run stopped. Returns true iff every
+  // remaining world was visited.
   bool ForEachWorldWhile(
-      const std::function<bool(const World&, const Rational&)>& fn) const;
+      const std::function<bool(const World&, const Rational&)>& fn,
+      uint64_t first_code = 0) const;
 
   // Copies the observed database and applies the world's flips; for tests
   // and materializing examples. Prefer WorldView for evaluation.

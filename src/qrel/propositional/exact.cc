@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "qrel/util/check.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -115,9 +116,34 @@ StatusOr<Rational> BruteForceDnfProbability(
   QREL_CHECK_EQ(static_cast<int>(prob_true.size()), dnf.variable_count());
   QREL_CHECK_LE(dnf.variable_count(), 25);
   size_t n = static_cast<size_t>(dnf.variable_count());
+
+  Fingerprint fingerprint;
+  fingerprint.Mix("propositional.brute_force")
+      .Mix(static_cast<uint64_t>(dnf.variable_count()))
+      .Mix(static_cast<uint64_t>(dnf.term_count()));
+  CheckpointScope checkpoint(ctx, "propositional.brute_force.v1",
+                             fingerprint.value());
+
   Rational total;
+  uint64_t start_code = 0;
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&start_code));
+      QREL_RETURN_IF_ERROR(resume->RationalVal(&total));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+
   PropAssignment assignment(n, 0);
-  for (uint64_t code = 0; code < (uint64_t{1} << n); ++code) {
+  for (uint64_t code = start_code; code < (uint64_t{1} << n); ++code) {
+    // Checkpoint before charging: on resume the loop re-enters at `code`
+    // and charges it again, so the work counter continues exactly.
+    QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.U64(code);  // this assignment not yet folded into `total`
+      w.RationalVal(total);
+    }));
     QREL_RETURN_IF_ERROR(ChargeWork(ctx));
     for (size_t i = 0; i < n; ++i) {
       assignment[i] = (code >> i) & 1u;

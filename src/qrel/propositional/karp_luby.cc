@@ -5,6 +5,7 @@
 
 #include "qrel/util/check.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -86,11 +87,37 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
     return Status::InvalidArgument("sample count must be positive");
   }
 
+  // Checkpointable loop state: sample counter, accumulator, RNG. The
+  // fingerprint pins everything the sample stream depends on; resuming
+  // under different parameters would silently bias the estimate.
+  Fingerprint fingerprint;
+  fingerprint.Mix("propositional.karp_luby")
+      .Mix(options.seed)
+      .Mix(static_cast<uint64_t>(dnf.variable_count()))
+      .Mix(static_cast<uint64_t>(dnf.term_count()))
+      .Mix(samples)
+      .Mix(options.estimator == KarpLubyOptions::Estimator::kCanonical
+               ? uint64_t{1}
+               : uint64_t{0})
+      .MixDouble(total_weight);
+  CheckpointScope checkpoint(options.run_context, "propositional.karp_luby.v1",
+                             fingerprint.value());
+
   Rng rng(options.seed);
   PropAssignment assignment(static_cast<size_t>(dnf.variable_count()), 0);
   double sum = 0.0;
   uint64_t drawn = 0;
-  for (uint64_t s = 0; s < samples; ++s) {
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&drawn));
+      QREL_RETURN_IF_ERROR(resume->Double(&sum));
+      QREL_RETURN_IF_ERROR(resume->RngState(&rng));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+  for (uint64_t s = drawn; s < samples; ++s) {
     QREL_FAULT_SITE("propositional.karp_luby.sample");
     if (options.run_context != nullptr) {
       Status budget = options.run_context->Charge();
@@ -147,6 +174,11 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
       sum += 1.0 / covered;
     }
     ++drawn;
+    QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.U64(drawn);
+      w.Double(sum);
+      w.RngState(rng);
+    }));
   }
 
   result.samples = drawn;

@@ -1,6 +1,7 @@
 #include "qrel/propositional/naive_mc.h"
 
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -19,10 +20,29 @@ StatusOr<NaiveMcResult> NaiveMcProbability(
       return Status::InvalidArgument("variable probability outside [0, 1]");
     }
   }
+  Fingerprint fingerprint;
+  fingerprint.Mix("propositional.naive_mc")
+      .Mix(seed)
+      .Mix(static_cast<uint64_t>(dnf.variable_count()))
+      .Mix(static_cast<uint64_t>(dnf.term_count()))
+      .Mix(samples);
+  CheckpointScope checkpoint(ctx, "propositional.naive_mc.v1",
+                             fingerprint.value());
+
   Rng rng(seed);
   NaiveMcResult result;
   uint64_t drawn = 0;
-  for (uint64_t s = 0; s < samples; ++s) {
+  {
+    std::optional<SnapshotReader> resume;
+    QREL_RETURN_IF_ERROR(checkpoint.TakeResume(&resume));
+    if (resume.has_value()) {
+      QREL_RETURN_IF_ERROR(resume->U64(&drawn));
+      QREL_RETURN_IF_ERROR(resume->U64(&result.hits));
+      QREL_RETURN_IF_ERROR(resume->RngState(&rng));
+      QREL_RETURN_IF_ERROR(resume->ExpectEnd());
+    }
+  }
+  for (uint64_t s = drawn; s < samples; ++s) {
     QREL_FAULT_SITE("propositional.naive_mc.sample");
     if (ctx != nullptr) {
       Status budget = ctx->Charge();
@@ -40,6 +60,11 @@ StatusOr<NaiveMcResult> NaiveMcProbability(
       ++result.hits;
     }
     ++drawn;
+    QREL_RETURN_IF_ERROR(checkpoint.MaybeCheckpoint([&](SnapshotWriter& w) {
+      w.U64(drawn);
+      w.U64(result.hits);
+      w.RngState(rng);
+    }));
   }
   result.samples = drawn;
   result.estimate =

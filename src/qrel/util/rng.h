@@ -9,9 +9,11 @@
 #ifndef QREL_UTIL_RNG_H_
 #define QREL_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 #include "qrel/util/check.h"
+#include "qrel/util/status.h"
 
 namespace qrel {
 
@@ -76,7 +78,33 @@ class Rng {
   // streams without correlations.
   Rng Fork() { return Rng(NextUint64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+  // The full generator state, for checkpointing. Restore(Save()) yields a
+  // generator whose future output is byte-identical to this one's — the
+  // foundation of deterministic resume (util/snapshot.h).
+  std::array<uint64_t, 4> Save() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  // Rebuilds a generator from a saved state. The all-zero state is the one
+  // invalid xoshiro state (the generator would emit zeros forever); it is
+  // rejected with InvalidArgument rather than checked, because restored
+  // states come from external files.
+  static StatusOr<Rng> Restore(const std::array<uint64_t, 4>& state) {
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+      return Status::InvalidArgument("all-zero RNG state is invalid");
+    }
+    Rng rng(RestoreTag{}, state);
+    return rng;
+  }
+
  private:
+  struct RestoreTag {};
+  Rng(RestoreTag, const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state[static_cast<size_t>(i)];
+    }
+  }
+
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

@@ -46,6 +46,8 @@
 
 namespace qrel {
 
+class Checkpointer;  // util/snapshot.h
+
 class RunContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -61,13 +63,15 @@ class RunContext {
         max_work_(other.max_work_),
         cancel_requested_(other.cancel_requested_.load()),
         work_spent_(other.work_spent_.load()),
-        units_since_clock_check_(other.units_since_clock_check_) {}
+        units_since_clock_check_(other.units_since_clock_check_),
+        checkpointer_(other.checkpointer_) {}
   RunContext& operator=(RunContext&& other) noexcept {
     deadline_ = other.deadline_;
     max_work_ = other.max_work_;
     cancel_requested_.store(other.cancel_requested_.load());
     work_spent_.store(other.work_spent_.load());
     units_since_clock_check_ = other.units_since_clock_check_;
+    checkpointer_ = other.checkpointer_;
     return *this;
   }
   RunContext(const RunContext&) = delete;
@@ -111,6 +115,22 @@ class RunContext {
     return work_spent_.load(std::memory_order_relaxed);
   }
 
+  // Overwrites the spent-work counter. Only for deterministic resume
+  // (util/snapshot.h): a restored checkpoint carries the counter of the
+  // interrupted run, so budget accounting and reports continue where they
+  // left off instead of double- or under-counting the replayed prefix.
+  void SetWorkSpent(uint64_t spent) {
+    work_spent_.store(spent, std::memory_order_relaxed);
+  }
+
+  // Crash-safe checkpointing policy for this run (non-owning, nullable;
+  // see util/snapshot.h). Algorithms claim it through CheckpointScope;
+  // the context itself never dereferences it.
+  void SetCheckpointer(Checkpointer* checkpointer) {
+    checkpointer_ = checkpointer;
+  }
+  Checkpointer* checkpointer() const { return checkpointer_; }
+
   // Work budget still available (max uint64 when no budget is set).
   uint64_t work_remaining() const;
 
@@ -137,6 +157,7 @@ class RunContext {
   // once per kClockCheckStride units so tight loops stay cheap.
   uint64_t units_since_clock_check_ = 0;
   static constexpr uint64_t kClockCheckStride = 64;
+  Checkpointer* checkpointer_ = nullptr;
 };
 
 // Charge/Check helpers for the `RunContext* ctx` (nullable) convention.

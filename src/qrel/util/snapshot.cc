@@ -1,0 +1,514 @@
+#include "qrel/util/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "qrel/util/fault_injection.h"
+
+namespace qrel {
+
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'R', 'E', 'L', 'S', 'N', 'A', 'P'};
+// Container overhead: magic + version + fingerprint + work counter +
+// kind length + payload length + checksum.
+constexpr size_t kMinFileSize = 8 + 4 + 8 + 8 + 4 + 8 + 8;
+// Guards against length fields conjured by corruption: no legitimate kind
+// or payload comes close.
+constexpr uint32_t kMaxKindLength = 4096;
+constexpr uint64_t kMaxPayloadLength = uint64_t{1} << 30;
+
+uint64_t Fnv1a(const uint8_t* data, size_t size, uint64_t hash) {
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+  return hash;
+}
+
+void AppendU32(std::vector<uint8_t>* bytes, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>* bytes, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+uint32_t LoadU32(const uint8_t* data) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+uint64_t LoadU64(const uint8_t* data) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+void SnapshotWriter::U32(uint32_t value) { AppendU32(&bytes_, value); }
+void SnapshotWriter::U64(uint64_t value) { AppendU64(&bytes_, value); }
+void SnapshotWriter::Double(double value) { U64(DoubleBits(value)); }
+
+void SnapshotWriter::String(std::string_view value) {
+  U32(static_cast<uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void SnapshotWriter::RationalVal(const Rational& value) {
+  BigIntVal(value.numerator());
+  BigIntVal(value.denominator());
+}
+
+void SnapshotWriter::RngState(const Rng& rng) {
+  for (uint64_t word : rng.Save()) {
+    U64(word);
+  }
+}
+
+void SnapshotWriter::TupleVal(const std::vector<int32_t>& tuple) {
+  U32(static_cast<uint32_t>(tuple.size()));
+  for (int32_t element : tuple) {
+    U32(static_cast<uint32_t>(element));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+
+Status SnapshotReader::U8(uint8_t* out) {
+  if (remaining() < 1) {
+    return Status::DataLoss("snapshot payload truncated");
+  }
+  *out = bytes_[position_++];
+  return Status::Ok();
+}
+
+Status SnapshotReader::U32(uint32_t* out) {
+  if (remaining() < 4) {
+    return Status::DataLoss("snapshot payload truncated");
+  }
+  *out = LoadU32(bytes_.data() + position_);
+  position_ += 4;
+  return Status::Ok();
+}
+
+Status SnapshotReader::U64(uint64_t* out) {
+  if (remaining() < 8) {
+    return Status::DataLoss("snapshot payload truncated");
+  }
+  *out = LoadU64(bytes_.data() + position_);
+  position_ += 8;
+  return Status::Ok();
+}
+
+Status SnapshotReader::I64(int64_t* out) {
+  uint64_t bits = 0;
+  QREL_RETURN_IF_ERROR(U64(&bits));
+  *out = static_cast<int64_t>(bits);
+  return Status::Ok();
+}
+
+Status SnapshotReader::Double(double* out) {
+  uint64_t bits = 0;
+  QREL_RETURN_IF_ERROR(U64(&bits));
+  *out = BitsToDouble(bits);
+  return Status::Ok();
+}
+
+Status SnapshotReader::String(std::string* out) {
+  uint32_t length = 0;
+  QREL_RETURN_IF_ERROR(U32(&length));
+  if (length > remaining()) {
+    return Status::DataLoss("snapshot string length exceeds payload");
+  }
+  out->assign(reinterpret_cast<const char*>(bytes_.data() + position_),
+              length);
+  position_ += length;
+  return Status::Ok();
+}
+
+Status SnapshotReader::BigIntVal(BigInt* out) {
+  std::string digits;
+  QREL_RETURN_IF_ERROR(String(&digits));
+  StatusOr<BigInt> parsed = BigInt::FromDecimalString(digits);
+  if (!parsed.ok()) {
+    return Status::DataLoss("snapshot holds a malformed integer: " +
+                            parsed.status().message());
+  }
+  *out = std::move(parsed).value();
+  return Status::Ok();
+}
+
+Status SnapshotReader::RationalVal(Rational* out) {
+  BigInt numerator;
+  BigInt denominator;
+  QREL_RETURN_IF_ERROR(BigIntVal(&numerator));
+  QREL_RETURN_IF_ERROR(BigIntVal(&denominator));
+  if (denominator.IsZero()) {
+    return Status::DataLoss("snapshot holds a zero-denominator rational");
+  }
+  *out = Rational(std::move(numerator), std::move(denominator));
+  return Status::Ok();
+}
+
+Status SnapshotReader::RngState(Rng* out) {
+  std::array<uint64_t, 4> state = {};
+  for (uint64_t& word : state) {
+    QREL_RETURN_IF_ERROR(U64(&word));
+  }
+  StatusOr<Rng> restored = Rng::Restore(state);
+  if (!restored.ok()) {
+    return Status::DataLoss("snapshot holds an invalid RNG state");
+  }
+  *out = std::move(restored).value();
+  return Status::Ok();
+}
+
+Status SnapshotReader::TupleVal(std::vector<int32_t>* out) {
+  uint32_t size = 0;
+  QREL_RETURN_IF_ERROR(U32(&size));
+  if (static_cast<size_t>(size) * 4 > remaining()) {
+    return Status::DataLoss("snapshot tuple length exceeds payload");
+  }
+  out->clear();
+  out->reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    uint32_t element = 0;
+    QREL_RETURN_IF_ERROR(U32(&element));
+    out->push_back(static_cast<int32_t>(element));
+  }
+  return Status::Ok();
+}
+
+Status SnapshotReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::DataLoss("snapshot payload has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+
+Fingerprint& Fingerprint::Mix(uint64_t value) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  hash_ = Fnv1a(bytes, sizeof(bytes), hash_);
+  return *this;
+}
+
+Fingerprint& Fingerprint::Mix(std::string_view value) {
+  Mix(static_cast<uint64_t>(value.size()));
+  hash_ = Fnv1a(reinterpret_cast<const uint8_t*>(value.data()), value.size(),
+                hash_);
+  return *this;
+}
+
+Fingerprint& Fingerprint::MixDouble(double value) {
+  return Mix(DoubleBits(value));
+}
+
+// ---------------------------------------------------------------------------
+// Container encode / decode
+
+std::vector<uint8_t> EncodeSnapshot(const SnapshotData& data) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kMinFileSize + data.kind.size() + data.payload.size());
+  bytes.insert(bytes.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendU32(&bytes, kSnapshotFormatVersion);
+  AppendU64(&bytes, data.fingerprint);
+  AppendU64(&bytes, data.work_spent);
+  AppendU32(&bytes, static_cast<uint32_t>(data.kind.size()));
+  bytes.insert(bytes.end(), data.kind.begin(), data.kind.end());
+  AppendU64(&bytes, static_cast<uint64_t>(data.payload.size()));
+  bytes.insert(bytes.end(), data.payload.begin(), data.payload.end());
+  AppendU64(&bytes, Fnv1a(bytes.data(), bytes.size(),
+                          0xcbf29ce484222325ULL));
+  return bytes;
+}
+
+StatusOr<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size) {
+  if (size < kMinFileSize) {
+    return Status::DataLoss("snapshot truncated: " + std::to_string(size) +
+                            " byte(s), need at least " +
+                            std::to_string(kMinFileSize));
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a qrel snapshot (bad magic)");
+  }
+  size_t offset = sizeof(kMagic);
+  uint32_t version = LoadU32(data + offset);
+  offset += 4;
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+
+  SnapshotData result;
+  result.fingerprint = LoadU64(data + offset);
+  offset += 8;
+  result.work_spent = LoadU64(data + offset);
+  offset += 8;
+
+  uint32_t kind_length = LoadU32(data + offset);
+  offset += 4;
+  if (kind_length > kMaxKindLength || kind_length > size - offset) {
+    return Status::DataLoss("snapshot kind length exceeds file size");
+  }
+  result.kind.assign(reinterpret_cast<const char*>(data + offset),
+                     kind_length);
+  offset += kind_length;
+
+  if (size - offset < 8) {
+    return Status::DataLoss("snapshot truncated before payload length");
+  }
+  uint64_t payload_length = LoadU64(data + offset);
+  offset += 8;
+  if (payload_length > kMaxPayloadLength ||
+      payload_length > size - offset) {
+    return Status::DataLoss("snapshot payload length exceeds file size");
+  }
+  result.payload.assign(data + offset, data + offset + payload_length);
+  offset += payload_length;
+
+  if (size - offset != 8) {
+    return Status::DataLoss("snapshot has trailing bytes after checksum");
+  }
+  uint64_t stored = LoadU64(data + offset);
+  uint64_t computed = Fnv1a(data, offset, 0xcbf29ce484222325ULL);
+  if (stored != computed) {
+    return Status::DataLoss("snapshot checksum mismatch (file corrupted)");
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file I/O (POSIX: write temp -> fsync -> rename).
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
+  QREL_FAULT_SITE("util.snapshot.write");
+  std::vector<uint8_t> bytes = EncodeSnapshot(data);
+  std::string temp_path = path + ".tmp";
+  int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create checkpoint temp file " +
+                            temp_path + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      return Status::Internal("checkpoint write failed: " +
+                              std::string(std::strerror(saved)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must not become durable before the
+  // data it points at.
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    return Status::Internal("checkpoint fsync failed: " +
+                            std::string(std::strerror(saved)));
+  }
+  if (::close(fd) != 0) {
+    int saved = errno;
+    ::unlink(temp_path.c_str());
+    return Status::Internal("checkpoint close failed: " +
+                            std::string(std::strerror(saved)));
+  }
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(temp_path.c_str());
+    return Status::Internal("checkpoint rename failed: " +
+                            std::string(std::strerror(saved)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  QREL_FAULT_SITE("util.snapshot.load");
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::Internal("cannot open snapshot " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      ::close(fd);
+      return Status::Internal("snapshot read failed: " +
+                              std::string(std::strerror(saved)));
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), buffer, buffer + n);
+    if (bytes.size() > kMaxPayloadLength + kMinFileSize + kMaxKindLength) {
+      ::close(fd);
+      return Status::DataLoss("snapshot file implausibly large");
+    }
+  }
+  ::close(fd);
+  return DecodeSnapshot(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer / CheckpointScope
+
+Checkpointer::Checkpointer(std::string path,
+                           std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  // The interval clock starts now, not at the first write: a run shorter
+  // than the interval pays nothing for being checkpointable.
+  last_write_ = Clock::now();
+}
+
+Status Checkpointer::LoadForResume() {
+  StatusOr<SnapshotData> snapshot = ReadSnapshotFile(path_);
+  if (!snapshot.ok()) {
+    if (snapshot.status().code() == StatusCode::kNotFound) {
+      return Status::Ok();  // fresh run
+    }
+    return snapshot.status();
+  }
+  resume_ = std::move(snapshot).value();
+  resume_consumed_ = false;
+  return Status::Ok();
+}
+
+CheckpointScope::CheckpointScope(RunContext* ctx, std::string_view kind,
+                                 uint64_t fingerprint)
+    : kind_(kind), fingerprint_(fingerprint) {
+  if (ctx == nullptr || ctx->checkpointer() == nullptr ||
+      ctx->checkpointer()->claimed_) {
+    return;  // inert: no policy attached, or a nested loop
+  }
+  ctx_ = ctx;
+  checkpointer_ = ctx->checkpointer();
+  checkpointer_->claimed_ = true;
+}
+
+CheckpointScope::~CheckpointScope() {
+  if (checkpointer_ != nullptr) {
+    checkpointer_->claimed_ = false;
+  }
+}
+
+Status CheckpointScope::TakeResume(std::optional<SnapshotReader>* reader) {
+  reader->reset();
+  if (checkpointer_ == nullptr || !checkpointer_->resume_.has_value() ||
+      checkpointer_->resume_consumed_) {
+    return Status::Ok();
+  }
+  SnapshotData& resume = *checkpointer_->resume_;
+  if (resume.kind != kind_) {
+    // Another algorithm's state; leave it for the rung it belongs to.
+    return Status::Ok();
+  }
+  if (resume.fingerprint != fingerprint_) {
+    return Status::InvalidArgument(
+        "snapshot '" + checkpointer_->path_ + "' (kind " + resume.kind +
+        ") was written by a run with different parameters; refusing to "
+        "resume from it");
+  }
+  checkpointer_->resume_consumed_ = true;
+  if (ctx_ != nullptr) {
+    ctx_->SetWorkSpent(resume.work_spent);
+  }
+  reader->emplace(std::move(resume.payload));
+  return Status::Ok();
+}
+
+Status CheckpointScope::MaybeCheckpoint(
+    const std::function<void(SnapshotWriter&)>& fill) {
+  if (checkpointer_ == nullptr) {
+    return Status::Ok();
+  }
+  if (checkpointer_->last_write_.has_value() &&
+      Checkpointer::Clock::now() - *checkpointer_->last_write_ <
+          checkpointer_->interval_) {
+    return Status::Ok();
+  }
+  return CheckpointNow(fill);
+}
+
+Status CheckpointScope::CheckpointNow(
+    const std::function<void(SnapshotWriter&)>& fill) {
+  if (checkpointer_ == nullptr) {
+    return Status::Ok();
+  }
+  if (checkpointer_->resume_.has_value() &&
+      !checkpointer_->resume_consumed_ &&
+      checkpointer_->resume_->kind != kind_) {
+    // The file holds another algorithm's unconsumed progress (e.g. the run
+    // was re-invoked with a different query). Overwriting it would destroy
+    // a resumable checkpoint, so this run proceeds without checkpointing.
+    return Status::Ok();
+  }
+  SnapshotData data;
+  data.kind = kind_;
+  data.fingerprint = fingerprint_;
+  data.work_spent = ctx_ != nullptr ? ctx_->work_spent() : 0;
+  SnapshotWriter writer;
+  fill(writer);
+  data.payload = writer.TakeBytes();
+  QREL_RETURN_IF_ERROR(WriteSnapshotFile(checkpointer_->path_, data));
+  checkpointer_->last_write_ = Checkpointer::Clock::now();
+  ++checkpointer_->writes_;
+  return Status::Ok();
+}
+
+}  // namespace qrel

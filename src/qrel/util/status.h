@@ -27,6 +27,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  // Stored data is unrecoverably corrupt (truncated or checksum-mismatched
+  // snapshot files, see util/snapshot.h). Distinct from kInvalidArgument:
+  // the input *was* valid data once and has been damaged since.
+  kDataLoss,
 };
 
 // True for the codes a RunContext produces when an execution envelope
@@ -73,6 +77,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
