@@ -101,7 +101,9 @@ StatusOr<AbsoluteReliabilityResult> AbsoluteReliabilityMonteCarlo(
       .Mix(samples)
       .Mix(static_cast<uint64_t>(n))
       .Mix(static_cast<uint64_t>(k))
-      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+      .Mix(static_cast<uint64_t>(db.model().entry_count()))
+      .Mix(query->ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(ctx, "core.absolute_mc.v1", fingerprint.value());
 
   Rng rng(seed);

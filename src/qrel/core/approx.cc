@@ -192,7 +192,9 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
       .MixDouble(options.epsilon)
       .MixDouble(options.delta)
       .Mix(options.fixed_samples.value_or(0))
-      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+      .Mix(static_cast<uint64_t>(db.model().entry_count()))
+      .Mix(query->ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(options.run_context, "core.absolute_approx.v1",
                              fingerprint.value());
 
@@ -210,6 +212,11 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
       QREL_RETURN_IF_ERROR(resume->TupleVal(&saved));
       if (saved.size() != assignment.size()) {
         return Status::DataLoss("snapshot tuple arity mismatch");
+      }
+      for (Element element : saved) {
+        if (element < 0 || element >= n) {
+          return Status::DataLoss("snapshot tuple element out of range");
+        }
       }
       QREL_RETURN_IF_ERROR(resume->Double(&expected_error));
       QREL_RETURN_IF_ERROR(resume->U64(&samples));
@@ -306,7 +313,9 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
       .Mix(static_cast<uint64_t>(k))
       .MixDouble(options.xi)
       .Mix(per_samples)
-      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+      .Mix(static_cast<uint64_t>(db.model().entry_count()))
+      .Mix(query->ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(options.run_context, "core.padded.v1",
                              fingerprint.value());
 
@@ -327,6 +336,11 @@ StatusOr<ApproxResult> PaddedReliabilityApprox(const FormulaPtr& query,
       QREL_RETURN_IF_ERROR(resume->TupleVal(&saved));
       if (saved.size() != assignment.size()) {
         return Status::DataLoss("snapshot tuple arity mismatch");
+      }
+      for (Element element : saved) {
+        if (element < 0 || element >= n) {
+          return Status::DataLoss("snapshot tuple element out of range");
+        }
       }
       QREL_RETURN_IF_ERROR(resume->U64(&resume_s));
       QREL_RETURN_IF_ERROR(resume->U64(&resume_hits));

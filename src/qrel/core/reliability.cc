@@ -114,7 +114,9 @@ StatusOr<ReliabilityReport> ExactReliability(const FormulaPtr& query,
   fingerprint.Mix("core.exact")
       .Mix(static_cast<uint64_t>(n))
       .Mix(static_cast<uint64_t>(k))
-      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()));
+      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()))
+      .Mix(query->ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(ctx, "core.exact.v1", fingerprint.value());
 
   uint64_t code = 0;  // index of the next world to visit

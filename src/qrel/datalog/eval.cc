@@ -27,8 +27,13 @@ void WriteIdb(SnapshotWriter& w, const DatalogResult& idb) {
 }
 
 // Restores into `idb`, which must already hold exactly the program's
-// predicates (mapped to empty sets); unknown names are data loss.
-Status ReadIdb(SnapshotReader& r, DatalogResult* idb) {
+// predicates (mapped to empty sets); unknown names are data loss. Every
+// restored tuple is validated against the predicate's recorded arity and
+// the universe, so a forged payload (valid checksum, matching fingerprint)
+// cannot smuggle a short or out-of-range tuple into BodySatisfied's
+// indexing — it degrades to kDataLoss, never UB.
+Status ReadIdb(SnapshotReader& r, const std::map<std::string, int>& arity,
+               int universe_size, DatalogResult* idb) {
   uint32_t predicate_count = 0;
   QREL_RETURN_IF_ERROR(r.U32(&predicate_count));
   if (predicate_count != idb->size()) {
@@ -42,11 +47,27 @@ Status ReadIdb(SnapshotReader& r, DatalogResult* idb) {
       return Status::DataLoss("snapshot IDB holds unknown predicate '" +
                               predicate + "'");
     }
+    auto arity_it = arity.find(predicate);
+    if (arity_it == arity.end()) {
+      return Status::DataLoss("snapshot IDB predicate '" + predicate +
+                              "' has no recorded arity");
+    }
     uint32_t tuple_count = 0;
     QREL_RETURN_IF_ERROR(r.U32(&tuple_count));
     for (uint32_t t = 0; t < tuple_count; ++t) {
       Tuple tuple;
       QREL_RETURN_IF_ERROR(r.TupleVal(&tuple));
+      if (tuple.size() != static_cast<size_t>(arity_it->second)) {
+        return Status::DataLoss("snapshot IDB tuple arity mismatch for '" +
+                                predicate + "'");
+      }
+      for (Element element : tuple) {
+        if (element < 0 || element >= universe_size) {
+          return Status::DataLoss(
+              "snapshot IDB tuple element out of range for '" + predicate +
+              "'");
+        }
+      }
       it->second.insert(std::move(tuple));
     }
   }
@@ -441,13 +462,44 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
   // the derived-atom frontier (idb + delta) at those points fully
   // determines the rest of the fixpoint. Inert when a world loop above
   // already claimed the scope (datalog/reliability.cc).
+  //
+  // The content digest (program text + full EDB relation contents) is
+  // computed only when this scope would actually claim: hashing the EDB
+  // costs Θ(n^arity) per relation through the oracle, and the per-world
+  // fixpoints under a claimed world loop must not pay that per world.
   Fingerprint fingerprint;
-  fingerprint.Mix("datalog.fixpoint")
-      .Mix(static_cast<uint64_t>(stratum_count_))
-      .Mix(static_cast<uint64_t>(rules_.size()))
-      .Mix(static_cast<uint64_t>(edb.universe_size()));
-  for (const std::string& predicate : idb_predicates_) {
-    fingerprint.Mix(predicate);
+  if (CheckpointScope::WouldClaim(ctx)) {
+    fingerprint.Mix("datalog.fixpoint")
+        .Mix(program_.ToString())
+        .Mix(static_cast<uint64_t>(edb.universe_size()));
+    const Vocabulary& vocab = edb.vocabulary();
+    fingerprint.Mix(static_cast<uint64_t>(vocab.relation_count()));
+    for (int r = 0; r < vocab.relation_count(); ++r) {
+      const RelationSymbol& symbol = vocab.relation(r);
+      fingerprint.Mix(symbol.name);
+      fingerprint.Mix(static_cast<uint64_t>(symbol.arity));
+      if (symbol.arity > 0 && edb.universe_size() == 0) {
+        continue;  // no ground atoms to digest
+      }
+      // Pack the relation's truth table into 64-bit words; tuple
+      // enumeration order is deterministic (odometer order).
+      Tuple probe(static_cast<size_t>(symbol.arity), 0);
+      uint64_t word = 0;
+      int bit = 0;
+      do {
+        if (edb.AtomTrue(r, probe)) {
+          word |= uint64_t{1} << bit;
+        }
+        if (++bit == 64) {
+          fingerprint.Mix(word);
+          word = 0;
+          bit = 0;
+        }
+      } while (AdvanceTuple(&probe, edb.universe_size()));
+      if (bit != 0) {
+        fingerprint.Mix(word);
+      }
+    }
   }
   CheckpointScope checkpoint(ctx, "datalog.fixpoint.v1", fingerprint.value());
 
@@ -465,12 +517,14 @@ StatusOr<DatalogResult> CompiledDatalog::Eval(const AtomOracle& edb,
       if (stratum >= static_cast<uint32_t>(stratum_count_)) {
         return Status::DataLoss("snapshot stratum out of range");
       }
-      QREL_RETURN_IF_ERROR(ReadIdb(*resume, &idb));
+      QREL_RETURN_IF_ERROR(
+          ReadIdb(*resume, idb_arity_, edb.universe_size(), &idb));
       if (in_round != 0) {
         for (const std::string& predicate : idb_predicates_) {
           resume_delta[predicate] = {};
         }
-        QREL_RETURN_IF_ERROR(ReadIdb(*resume, &resume_delta));
+        QREL_RETURN_IF_ERROR(
+            ReadIdb(*resume, idb_arity_, edb.universe_size(), &resume_delta));
         resume_in_round = true;
       }
       QREL_RETURN_IF_ERROR(resume->ExpectEnd());

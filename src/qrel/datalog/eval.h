@@ -63,6 +63,9 @@ class CompiledDatalog {
   const std::vector<std::string>& idb_predicates() const {
     return idb_predicates_;
   }
+  // The source program (rule bodies and all); its ToString() is mixed into
+  // checkpoint resume fingerprints so an edited program refuses to resume.
+  const DatalogProgram& program() const { return program_; }
   // Arity of an IDB or EDB predicate.
   StatusOr<int> PredicateArity(const std::string& predicate) const;
 

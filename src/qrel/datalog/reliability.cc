@@ -50,7 +50,9 @@ StatusOr<ReliabilityReport> ExactDatalogReliability(
       .Mix(predicate)
       .Mix(static_cast<uint64_t>(db.universe_size()))
       .Mix(static_cast<uint64_t>(*arity))
-      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()));
+      .Mix(static_cast<uint64_t>(db.UncertainEntries().size()))
+      .Mix(program.program().ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(ctx, "datalog.exact.v1", fingerprint.value());
 
   StatusOr<std::set<Tuple>> observed =
@@ -150,7 +152,9 @@ StatusOr<ApproxResult> PaddedDatalogReliability(
       .Mix(static_cast<uint64_t>(k))
       .MixDouble(options.xi)
       .Mix(options.fixed_samples.value_or(0))
-      .Mix(static_cast<uint64_t>(db.model().entry_count()));
+      .Mix(static_cast<uint64_t>(db.model().entry_count()))
+      .Mix(program.program().ToString())
+      .Mix(db.ContentFingerprint());
   CheckpointScope checkpoint(options.run_context, "datalog.padded.v1",
                              fingerprint.value());
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "qrel/util/check.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -206,6 +207,36 @@ Structure UnreliableDatabase::MaterializeWorld(const World& world) const {
     }
   }
   return result;
+}
+
+uint64_t UnreliableDatabase::ContentFingerprint() const {
+  Fingerprint fp;
+  fp.Mix(static_cast<uint64_t>(observed_.universe_size()));
+  const Vocabulary& vocab = observed_.vocabulary();
+  fp.Mix(static_cast<uint64_t>(vocab.relation_count()));
+  for (int r = 0; r < vocab.relation_count(); ++r) {
+    const RelationSymbol& symbol = vocab.relation(r);
+    fp.Mix(symbol.name);
+    fp.Mix(static_cast<uint64_t>(symbol.arity));
+    const std::set<Tuple>& facts = observed_.Facts(r);
+    fp.Mix(static_cast<uint64_t>(facts.size()));
+    for (const Tuple& tuple : facts) {
+      for (Element element : tuple) {
+        fp.Mix(static_cast<uint64_t>(static_cast<uint32_t>(element)));
+      }
+    }
+  }
+  fp.Mix(static_cast<uint64_t>(model_.entry_count()));
+  for (int e = 0; e < model_.entry_count(); ++e) {
+    const GroundAtom& atom = model_.atom(e);
+    fp.Mix(static_cast<uint64_t>(atom.relation));
+    fp.Mix(static_cast<uint64_t>(atom.args.size()));
+    for (Element element : atom.args) {
+      fp.Mix(static_cast<uint64_t>(static_cast<uint32_t>(element)));
+    }
+    fp.MixRational(model_.error(e));
+  }
+  return fp.value();
 }
 
 }  // namespace qrel

@@ -122,6 +122,13 @@ class UnreliableDatabase {
   // and materializing examples. Prefer WorldView for evaluation.
   Structure MaterializeWorld(const World& world) const;
 
+  // FNV-1a digest of the full instance content: universe size, vocabulary
+  // (relation names and arities), every observed fact, and every error-model
+  // entry (atom and exact probability). Mixed into checkpoint resume
+  // fingerprints (util/snapshot.h) so a database edit that preserves the
+  // instance shape still refuses to resume a stale snapshot.
+  uint64_t ContentFingerprint() const;
+
  private:
   Structure observed_;
   ErrorModel model_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qrel/util/check.h"
+#include "qrel/util/snapshot.h"
 
 namespace qrel {
 
@@ -146,6 +147,26 @@ PropAssignment SampleAssignment(const std::vector<Rational>& prob_true,
     assignment[i] = value ? 1 : 0;
   }
   return assignment;
+}
+
+void MixDnfContent(const Dnf& dnf, const std::vector<Rational>& prob_true,
+                   Fingerprint* fp) {
+  QREL_CHECK(fp != nullptr);
+  QREL_CHECK_EQ(prob_true.size(),
+                static_cast<size_t>(dnf.variable_count()));
+  fp->Mix(static_cast<uint64_t>(dnf.variable_count()));
+  fp->Mix(static_cast<uint64_t>(dnf.term_count()));
+  for (const std::vector<PropLiteral>& term : dnf.terms()) {
+    fp->Mix(static_cast<uint64_t>(term.size()));
+    for (const PropLiteral& literal : term) {
+      fp->Mix((static_cast<uint64_t>(static_cast<uint32_t>(literal.variable))
+               << 1) |
+              (literal.positive ? 1u : 0u));
+    }
+  }
+  for (const Rational& p : prob_true) {
+    fp->MixRational(p);
+  }
 }
 
 }  // namespace qrel

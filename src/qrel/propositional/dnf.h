@@ -88,6 +88,16 @@ class Dnf {
 PropAssignment SampleAssignment(const std::vector<Rational>& prob_true,
                                 Rng* rng);
 
+class Fingerprint;
+
+// Mixes the full instance content — every term's literals and every
+// variable's probability, not just the counts — into `fp`, so two DNF
+// instances with the same shape but different formulas or probabilities
+// get different resume fingerprints. `prob_true` must have
+// dnf.variable_count() entries.
+void MixDnfContent(const Dnf& dnf, const std::vector<Rational>& prob_true,
+                   Fingerprint* fp);
+
 }  // namespace qrel
 
 #endif  // QREL_PROPOSITIONAL_DNF_H_

@@ -118,9 +118,8 @@ StatusOr<Rational> BruteForceDnfProbability(
   size_t n = static_cast<size_t>(dnf.variable_count());
 
   Fingerprint fingerprint;
-  fingerprint.Mix("propositional.brute_force")
-      .Mix(static_cast<uint64_t>(dnf.variable_count()))
-      .Mix(static_cast<uint64_t>(dnf.term_count()));
+  fingerprint.Mix("propositional.brute_force");
+  MixDnfContent(dnf, prob_true, &fingerprint);
   CheckpointScope checkpoint(ctx, "propositional.brute_force.v1",
                              fingerprint.value());
 

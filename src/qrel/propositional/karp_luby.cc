@@ -93,13 +93,12 @@ StatusOr<KarpLubyResult> KarpLubyProbability(
   Fingerprint fingerprint;
   fingerprint.Mix("propositional.karp_luby")
       .Mix(options.seed)
-      .Mix(static_cast<uint64_t>(dnf.variable_count()))
-      .Mix(static_cast<uint64_t>(dnf.term_count()))
       .Mix(samples)
       .Mix(options.estimator == KarpLubyOptions::Estimator::kCanonical
                ? uint64_t{1}
                : uint64_t{0})
       .MixDouble(total_weight);
+  MixDnfContent(dnf, prob_true, &fingerprint);
   CheckpointScope checkpoint(options.run_context, "propositional.karp_luby.v1",
                              fingerprint.value());
 

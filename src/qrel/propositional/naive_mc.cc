@@ -21,11 +21,8 @@ StatusOr<NaiveMcResult> NaiveMcProbability(
     }
   }
   Fingerprint fingerprint;
-  fingerprint.Mix("propositional.naive_mc")
-      .Mix(seed)
-      .Mix(static_cast<uint64_t>(dnf.variable_count()))
-      .Mix(static_cast<uint64_t>(dnf.term_count()))
-      .Mix(samples);
+  fingerprint.Mix("propositional.naive_mc").Mix(seed).Mix(samples);
+  MixDnfContent(dnf, prob_true, &fingerprint);
   CheckpointScope checkpoint(ctx, "propositional.naive_mc.v1",
                              fingerprint.value());
 

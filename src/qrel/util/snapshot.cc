@@ -242,6 +242,11 @@ Fingerprint& Fingerprint::MixDouble(double value) {
   return Mix(DoubleBits(value));
 }
 
+Fingerprint& Fingerprint::MixRational(const Rational& value) {
+  Mix(value.numerator().ToDecimalString());
+  return Mix(value.denominator().ToDecimalString());
+}
+
 // ---------------------------------------------------------------------------
 // Container encode / decode
 
@@ -321,10 +326,28 @@ StatusOr<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size) {
 // ---------------------------------------------------------------------------
 // Atomic file I/O (POSIX: write temp -> fsync -> rename).
 
+namespace {
+
+// Directory holding `path` ("." for a bare file name); fsync'd after the
+// rename so the new directory entry survives a power loss.
+std::string ParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+}  // namespace
+
 Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
   QREL_FAULT_SITE("util.snapshot.write");
   std::vector<uint8_t> bytes = EncodeSnapshot(data);
-  std::string temp_path = path + ".tmp";
+  // Pid-unique temp name: two processes checkpointing to the same path
+  // race only on the final rename (last writer wins, both files whole),
+  // instead of truncating each other's in-progress temp file.
+  std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::Internal("cannot create checkpoint temp file " +
@@ -366,6 +389,22 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
     return Status::Internal("checkpoint rename failed: " +
                             std::string(std::strerror(saved)));
   }
+  // fsync the containing directory: the rename updated a directory entry,
+  // and without this a power loss can roll the directory back to the old
+  // (or no) snapshot even though the data blocks were synced above.
+  std::string dir = ParentDirectory(path);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::Internal("cannot open checkpoint directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    int saved = errno;
+    ::close(dir_fd);
+    return Status::Internal("checkpoint directory fsync failed: " +
+                            std::string(std::strerror(saved)));
+  }
+  ::close(dir_fd);
   return Status::Ok();
 }
 
@@ -445,6 +484,11 @@ CheckpointScope::~CheckpointScope() {
   if (checkpointer_ != nullptr) {
     checkpointer_->claimed_ = false;
   }
+}
+
+bool CheckpointScope::WouldClaim(const RunContext* ctx) {
+  return ctx != nullptr && ctx->checkpointer() != nullptr &&
+         !ctx->checkpointer()->claimed_;
 }
 
 Status CheckpointScope::TakeResume(std::optional<SnapshotReader>* reader) {

@@ -32,11 +32,16 @@
 // the computation.
 //
 // Resume keying: each algorithm stamps its snapshots with a `kind` string
-// (e.g. "propositional.karp_luby.v1") and a fingerprint of the run
-// parameters (seed, sample plan, instance shape). On resume, a snapshot is
+// (e.g. "propositional.karp_luby.v1") and a fingerprint digesting
+// everything its result depends on — not just the run parameters (seed,
+// sample plan) and the instance *shape* (counts, arities), but the full
+// instance *content*: the serialized query or program, the DNF term
+// literals, the observed facts, and every probability-model entry. A
+// re-run with an edited query or tweaked probabilities that happens to
+// keep the same shape therefore cannot match. On resume, a snapshot is
 // consumed only by a scope with the same kind; a kind match with a
 // fingerprint mismatch is an InvalidArgument ("snapshot from a different
-// run"), not a silent restart.
+// run"), not a silent restart and never a silently biased merge.
 
 #ifndef QREL_UTIL_SNAPSHOT_H_
 #define QREL_UTIL_SNAPSHOT_H_
@@ -136,6 +141,8 @@ class Fingerprint {
   Fingerprint& Mix(uint64_t value);
   Fingerprint& Mix(std::string_view value);
   Fingerprint& MixDouble(double value);
+  // Exact: digests the normalized numerator/denominator decimal strings.
+  Fingerprint& MixRational(const Rational& value);
   uint64_t value() const { return hash_; }
 
  private:
@@ -155,9 +162,12 @@ std::vector<uint8_t> EncodeSnapshot(const SnapshotData& data);
 //                      trailing garbage, or checksum mismatch.
 StatusOr<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size);
 
-// Writes atomically: the bytes go to "<path>.tmp", are fsync'd, and the
-// temp file is renamed over `path`. A crash at any instant leaves either
-// the old snapshot or the new one — never a torn file.
+// Writes atomically: the bytes go to "<path>.tmp.<pid>" (pid-unique, so
+// concurrent runs checkpointing to the same path cannot truncate each
+// other's in-progress temp file), are fsync'd, the temp file is renamed
+// over `path`, and the containing directory is fsync'd so the rename
+// itself is durable. A crash at any instant leaves either the old
+// snapshot or the new one — never a torn file.
 Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
 
 // Loads and validates `path`. kNotFound when the file does not exist
@@ -194,6 +204,9 @@ class Checkpointer {
   }
   // True once a scope consumed the resume state.
   bool resume_consumed() const { return resume_consumed_; }
+  // True while some CheckpointScope holds the claim (so any further scope
+  // constructed on the same context would be inert).
+  bool claimed() const { return claimed_; }
   // Checkpoints written so far (tests and overhead accounting).
   uint64_t writes() const { return writes_; }
 
@@ -223,6 +236,12 @@ class CheckpointScope {
 
   CheckpointScope(const CheckpointScope&) = delete;
   CheckpointScope& operator=(const CheckpointScope&) = delete;
+
+  // Whether a scope constructed on `ctx` right now would be active. Lets a
+  // caller skip computing an expensive content fingerprint (e.g. hashing a
+  // whole extensional database) for a scope that would be inert anyway —
+  // in particular per-world fixpoints under a claimed world loop.
+  static bool WouldClaim(const RunContext* ctx);
 
   bool active() const { return checkpointer_ != nullptr; }
 

@@ -438,6 +438,189 @@ TEST_F(ResumeEngineTest, ChangedSeedRefusesToResume) {
   std::remove(path.c_str());
 }
 
+TEST_F(ResumeEngineTest, ChangedProbabilityRefusesToResume) {
+  // Same universe, same relations, same five error entries — only one
+  // probability differs (1/4 -> 1/3). The instance *shape* is identical,
+  // so only a content-aware fingerprint can catch it.
+  constexpr char kEditedUdbText[] = R"(
+universe 3
+relation E 2
+relation S 1
+fact E 0 1 err=1/3
+fact E 1 2 err=1/8
+fact S 0
+absent S 1 err=1/3
+absent E 2 0 err=1/5
+)";
+  EngineOptions options;
+  options.seed = 7;
+  options.force_approximate = true;
+  options.epsilon = 0.3;
+  options.delta = 0.3;
+  options.fixed_samples = 64;
+  const std::string query = "exists x y . E(x,y) & S(y)";
+
+  std::string path = SnapshotPath("resume_changed_prob.snapshot");
+  {
+    ReliabilityEngine engine(MakeDatabase());
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    ASSERT_TRUE(ArmFaultFromSpec("propositional.karp_luby.sample:20").ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    ASSERT_FALSE(engine.Run(query, options).ok());
+    FaultInjector::Instance().Reset();
+  }
+  {
+    StatusOr<UnreliableDatabase> edited = ParseUdb(kEditedUdbText);
+    ASSERT_TRUE(edited.ok()) << edited.status().ToString();
+    ReliabilityEngine engine(std::move(edited).value());
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    StatusOr<EngineReport> resumed = engine.Run(query, options);
+    ASSERT_FALSE(resumed.ok())
+        << "resumed under an edited probability instead of refusing";
+    EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ResumeEngineTest, ChangedQueryRefusesToResume) {
+  // E(y,x) instead of E(x,y): same operators, same relation arities, same
+  // grounded DNF shape — a different query all the same.
+  ReliabilityEngine engine(MakeDatabase());
+  EngineOptions options;
+  options.seed = 7;
+  options.force_approximate = true;
+  options.epsilon = 0.3;
+  options.delta = 0.3;
+  options.fixed_samples = 64;
+
+  std::string path = SnapshotPath("resume_changed_query.snapshot");
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    ASSERT_TRUE(ArmFaultFromSpec("propositional.karp_luby.sample:20").ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    ASSERT_FALSE(engine.Run("exists x y . E(x,y) & S(y)", options).ok());
+    FaultInjector::Instance().Reset();
+  }
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    StatusOr<EngineReport> resumed =
+        engine.Run("exists x y . E(y,x) & S(y)", options);
+    ASSERT_FALSE(resumed.ok())
+        << "resumed under a different query instead of refusing";
+    EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ResumeEngineTest, ChangedDatalogProgramRefusesToResume) {
+  // Reversed edge in the recursive rule: same rule count, same arities,
+  // same strata — a different program.
+  ReliabilityEngine engine(MakeDatabase());
+  EngineOptions options;
+  options.seed = 7;
+
+  std::string path = SnapshotPath("resume_changed_program.snapshot");
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    ASSERT_TRUE(ArmFaultFromSpec("datalog.exact.world:3").ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    ASSERT_FALSE(engine.RunDatalog(kDatalogProgram, "Path", options).ok());
+    FaultInjector::Instance().Reset();
+  }
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    options.run_context = &ctx;
+    StatusOr<EngineReport> resumed = engine.RunDatalog(
+        "Path(x, y) :- E(x, y).\nPath(x, z) :- Path(x, y), E(z, y).", "Path",
+        options);
+    ASSERT_FALSE(resumed.ok())
+        << "resumed under an edited program instead of refusing";
+    EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+// Forges a datalog.fixpoint snapshot whose container is pristine (valid
+// checksum, the killed run's own kind and fingerprint) but whose IDB
+// payload holds one bad tuple. The resume must degrade to kDataLoss —
+// never index the tuple (UB).
+void RunTamperedFixpointResume(const Tuple& forged_tuple,
+                               const std::string& snapshot_name) {
+  UnreliableDatabase db = MakeDatabase();
+  StatusOr<DatalogProgram> program = ParseDatalogProgram(kDatalogProgram);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  StatusOr<CompiledDatalog> compiled =
+      CompiledDatalog::Compile(std::move(program).value(), db.vocabulary());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  std::string path = SnapshotPath(snapshot_name);
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    ASSERT_TRUE(ArmFaultFromSpec("datalog.fixpoint.round:2").ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    ASSERT_FALSE(compiled->Eval(db.observed(), &ctx).ok());
+    EXPECT_GT(checkpointer.writes(), 0u);
+    FaultInjector::Instance().Reset();
+  }
+  {
+    StatusOr<SnapshotData> genuine = ReadSnapshotFile(path);
+    ASSERT_TRUE(genuine.ok()) << genuine.status().ToString();
+    SnapshotData forged = std::move(genuine).value();  // keeps kind + fp
+    SnapshotWriter w;
+    w.U32(0);  // stratum
+    w.U8(0);   // not mid-round
+    w.U32(1);  // one predicate
+    w.String("Path");
+    w.U32(1);  // one tuple
+    w.TupleVal(forged_tuple);
+    forged.payload = w.TakeBytes();
+    ASSERT_TRUE(WriteSnapshotFile(path, forged).ok());
+  }
+  {
+    Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    StatusOr<DatalogResult> resumed = compiled->Eval(db.observed(), &ctx);
+    ASSERT_FALSE(resumed.ok()) << "restored a forged IDB tuple";
+    EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ResumeEngineTest, TamperedIdbShortTupleFailsTyped) {
+  // Path has arity 2; a 1-element tuple would make BodySatisfied read
+  // candidate[1] out of bounds.
+  RunTamperedFixpointResume(Tuple{0}, "resume_tampered_arity.snapshot");
+}
+
+TEST_F(ResumeEngineTest, TamperedIdbOutOfRangeElementFailsTyped) {
+  // Universe is {0, 1, 2}; element 99 indexes past every bound downstream.
+  RunTamperedFixpointResume(Tuple{0, 99}, "resume_tampered_range.snapshot");
+}
+
 TEST_F(ResumeEngineTest, ForeignSnapshotIsLeftUntouched) {
   // A snapshot belonging to a sampling run must not disturb (or be
   // disturbed by) an exact run: it stays on disk, unconsumed.

@@ -264,6 +264,43 @@ TEST(SnapshotAtomicityTest, FailedWriteLeavesPreviousSnapshotIntact) {
   FaultInjector::Instance().Reset();
 }
 
+TEST(SnapshotAtomicityTest, TempNameDoesNotClobberOtherWriters) {
+  // The temp name is pid-unique, so another writer's in-progress
+  // "<path>.tmp*" file (here: a sentinel under the legacy fixed name)
+  // survives a concurrent WriteSnapshotFile to the same path.
+  std::string path = TempPath("shared.snapshot");
+  std::string other_temp = path + ".tmp";
+  std::vector<uint8_t> sentinel = {'o', 't', 'h', 'e', 'r'};
+  WriteAllBytes(other_temp, sentinel);
+
+  ASSERT_TRUE(WriteSnapshotFile(path, MakeSample()).ok());
+
+  EXPECT_EQ(ReadAllBytes(other_temp), sentinel)
+      << "WriteSnapshotFile truncated a foreign temp file";
+  ASSERT_TRUE(ReadSnapshotFile(path).ok());
+  std::remove(other_temp.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointerTest, WouldClaimTracksAttachmentAndClaims) {
+  EXPECT_FALSE(CheckpointScope::WouldClaim(nullptr));
+  RunContext bare;
+  EXPECT_FALSE(CheckpointScope::WouldClaim(&bare));
+
+  std::string path = TempPath("would_claim.snapshot");
+  Checkpointer checkpointer(path, std::chrono::milliseconds(0));
+  RunContext ctx;
+  ctx.SetCheckpointer(&checkpointer);
+  EXPECT_TRUE(CheckpointScope::WouldClaim(&ctx));
+  {
+    CheckpointScope outer(&ctx, "outer.v1", 1);
+    // A nested scope would be inert — callers can skip fingerprint work.
+    EXPECT_FALSE(CheckpointScope::WouldClaim(&ctx));
+  }
+  EXPECT_TRUE(CheckpointScope::WouldClaim(&ctx));
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointerTest, ScopeClaimingMakesNestedScopesInert) {
   std::string path = TempPath("claim.snapshot");
   Checkpointer checkpointer(path, std::chrono::milliseconds(0));
