@@ -3,6 +3,15 @@
 //   qrel_cli <database.udb> "<query>" [options]
 //
 // Options:
+//   --analyze          static analysis only: print diagnostics and the
+//                      explain plan (class, simplification, cost estimate,
+//                      the paper theorem the engine would run) without
+//                      executing anything. Lint exit codes: 0 clean (notes
+//                      allowed), 1 warnings, 2 errors.
+//   --diagnostics-format=<text|json>  how diagnostics (and, with
+//                      --analyze, the plan) are printed. JSON gives one
+//                      machine-readable path for parse errors and analysis
+//                      findings alike.
 //   --epsilon=<d>      absolute error target for randomized paths (0.02)
 //   --delta=<d>        failure probability (0.02)
 //   --seed=<n>         RNG seed (1)
@@ -43,6 +52,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,7 +101,8 @@ bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: qrel_cli <database.udb> \"<query>\" [--epsilon=E] "
+               "usage: qrel_cli <database.udb> \"<query>\" [--analyze] "
+               "[--diagnostics-format=text|json] [--epsilon=E] "
                "[--delta=D] [--seed=N] [--force-exact] [--force-approx] "
                "[--per-tuple] [--timeout-ms=N] [--max-work=N] "
                "[--max-exact-worlds=N] [--no-degrade] "
@@ -105,6 +116,91 @@ int Usage() {
 // StatusCode maps to a stable, distinguishable exit code.
 int ExitCodeFor(const qrel::Status& status) {
   return 10 + static_cast<int>(status.code());
+}
+
+// Prints diagnostics on the chosen format's single output path: one
+// ToString() line each (text) or one JSON array (json), both on stdout so
+// scripts parse a single stream.
+void EmitDiagnostics(const std::vector<qrel::Diagnostic>& diagnostics,
+                     bool json) {
+  if (json) {
+    std::printf("%s\n", qrel::DiagnosticsToJson(diagnostics).c_str());
+    return;
+  }
+  for (const qrel::Diagnostic& diagnostic : diagnostics) {
+    std::printf("%s\n", diagnostic.ToString().c_str());
+  }
+}
+
+// A double as a JSON value; saturated infinities have no JSON spelling and
+// become null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// The --analyze report. Returns the lint exit code: 0 clean, 1 warnings,
+// 2 errors.
+int EmitPlan(const qrel::EnginePlan& plan, bool json) {
+  if (json) {
+    std::string out = "{\"diagnostics\":";
+    out += qrel::DiagnosticsToJson(plan.diagnostics);
+    out += ",\"plan\":{\"class\":\"";
+    out += qrel::QueryClassName(plan.query_class);
+    out += "\",\"effective_class\":\"";
+    out += qrel::QueryClassName(plan.effective_class);
+    out += "\",\"static_truth\":\"";
+    out += qrel::StaticTruthName(plan.static_truth);
+    out += "\",\"simplified\":\"";
+    out += qrel::JsonEscapeString(plan.simplified_query);
+    out += "\",\"planned_method\":\"";
+    out += qrel::JsonEscapeString(plan.planned_method);
+    out += "\",\"universe_size\":" + std::to_string(plan.cost.universe_size);
+    out += ",\"arity\":" + std::to_string(plan.cost.arity);
+    out += ",\"variables\":" + std::to_string(plan.cost.variables);
+    out += ",\"answer_space\":" + JsonNumber(plan.cost.answer_space);
+    out += ",\"grounding_size\":" + JsonNumber(plan.cost.grounding_size);
+    out += ",\"uncertain_atoms\":" +
+           std::to_string(plan.cost.uncertain_atoms);
+    out += ",\"world_count\":" + JsonNumber(plan.cost.world_count);
+    out += "}}";
+    std::printf("%s\n", out.c_str());
+    return qrel::LintExitCode(plan.diagnostics);
+  }
+  std::printf("class      : %s\n", qrel::QueryClassName(plan.query_class));
+  if (plan.effective_class != plan.query_class) {
+    std::printf("effective  : %s\n",
+                qrel::QueryClassName(plan.effective_class));
+  }
+  if (!plan.simplified_query.empty()) {
+    std::printf("simplified : %s\n", plan.simplified_query.c_str());
+  }
+  std::printf("static     : %s\n", qrel::StaticTruthName(plan.static_truth));
+  std::printf("cost       : universe %d, arity %d (answer space %s), "
+              "%d variable(s) (grounding %s), %zu uncertain atom(s) "
+              "(%s worlds)\n",
+              plan.cost.universe_size, plan.cost.arity,
+              JsonNumber(plan.cost.answer_space).c_str(),
+              plan.cost.variables,
+              JsonNumber(plan.cost.grounding_size).c_str(),
+              plan.cost.uncertain_atoms,
+              JsonNumber(plan.cost.world_count).c_str());
+  if (plan.has_errors()) {
+    std::printf("plan       : none (static errors)\n");
+  } else {
+    std::printf("plan       : %s\n", plan.planned_method.c_str());
+  }
+  if (!plan.diagnostics.empty()) {
+    std::printf("diagnostics:\n");
+    for (const qrel::Diagnostic& diagnostic : plan.diagnostics) {
+      std::printf("  %s\n", diagnostic.ToString().c_str());
+    }
+  }
+  return qrel::LintExitCode(plan.diagnostics);
 }
 
 std::string TupleToString(const qrel::Tuple& tuple) {
@@ -225,6 +321,8 @@ int main(int argc, char** argv) {
   const char* query = argv[2];
   qrel::EngineOptions options;
   bool per_tuple = false;
+  bool analyze_only = false;
+  bool json_diagnostics = false;
   uint64_t timeout_ms = 0;
   uint64_t max_work = 0;
   bool has_timeout = false;
@@ -259,6 +357,21 @@ int main(int argc, char** argv) {
                      armed.ToString().c_str());
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--diagnostics-format=", 21) == 0) {
+      const char* format = argv[i] + 21;
+      if (std::strcmp(format, "json") == 0) {
+        json_diagnostics = true;
+      } else if (std::strcmp(format, "text") == 0) {
+        json_diagnostics = false;
+      } else {
+        std::fprintf(stderr,
+                     "--diagnostics-format must be text or json, got "
+                     "\"%s\"\n",
+                     format);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze_only = true;
     } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
       options.degrade_on_budget = false;
     } else if (std::strcmp(argv[i], "--force-exact") == 0) {
@@ -305,14 +418,49 @@ int main(int argc, char** argv) {
                  database.status().ToString().c_str());
     return ExitCodeFor(database.status());
   }
-  std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
-              "atoms)\n",
-              path, database->universe_size(),
-              database->observed().FactCount(),
-              static_cast<size_t>(database->model().entry_count()));
+  // JSON diagnostics keep stdout a single machine-readable stream, so the
+  // banner is suppressed.
+  if (!json_diagnostics) {
+    std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
+                "atoms)\n",
+                path, database->universe_size(),
+                database->observed().FactCount(),
+                static_cast<size_t>(database->model().entry_count()));
+  }
 
   qrel::ReliabilityEngine engine(std::move(database).value());
-  qrel::StatusOr<qrel::EngineReport> report = engine.Run(query, options);
+
+  // Parse with the diagnostic-producing overload: a syntax error reaches
+  // the same structured output path as every analyzer finding.
+  qrel::Diagnostic syntax_error;
+  qrel::StatusOr<qrel::FormulaPtr> formula =
+      qrel::ParseFormula(query, &syntax_error);
+  if (!formula.ok()) {
+    EmitDiagnostics({syntax_error}, json_diagnostics);
+    if (analyze_only) {
+      return 2;  // lint convention: any error exits 2
+    }
+    std::fprintf(stderr, "query error: %s\n",
+                 formula.status().ToString().c_str());
+    return ExitCodeFor(formula.status());
+  }
+
+  qrel::EnginePlan plan = engine.Explain(*formula, options);
+  if (analyze_only) {
+    if (!json_diagnostics) {
+      std::printf("query      : %s\n", query);
+    }
+    return EmitPlan(plan, json_diagnostics);
+  }
+  if (plan.has_errors()) {
+    EmitDiagnostics(plan.diagnostics, json_diagnostics);
+    qrel::Status failed = qrel::Status::InvalidArgument(
+        qrel::FirstErrorMessage(plan.diagnostics));
+    std::fprintf(stderr, "query error: %s\n", failed.ToString().c_str());
+    return ExitCodeFor(failed);
+  }
+
+  qrel::StatusOr<qrel::EngineReport> report = engine.Run(*formula, options);
   if (!report.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  report.status().ToString().c_str());

@@ -1,0 +1,72 @@
+// Fuzz target for the static analyzer and simplifier: any formula the
+// parser accepts must analyze without crashing, and the simplifier must
+// honour its contracts — idempotence, and never moving the query to a
+// worse rung of the dispatch ladder (PlanRank).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qrel/logic/analyze.h"
+#include "qrel/logic/classify.h"
+#include "qrel/logic/parser.h"
+#include "qrel/logic/simplify.h"
+
+namespace {
+
+const qrel::Vocabulary& FuzzVocabulary() {
+  static const qrel::Vocabulary* vocabulary = [] {
+    auto* v = new qrel::Vocabulary();
+    v->AddRelation("S", 1);
+    v->AddRelation("T", 1);
+    v->AddRelation("E", 2);
+    return v;
+  }();
+  return *vocabulary;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  qrel::Diagnostic syntax_error;
+  qrel::StatusOr<qrel::FormulaPtr> formula =
+      qrel::ParseFormula(text, &syntax_error);
+  if (!formula.ok()) {
+    // A rejected input must still yield a well-formed diagnostic.
+    if (syntax_error.check_id != "syntax-error" ||
+        syntax_error.message.empty()) {
+      __builtin_trap();
+    }
+    return 0;
+  }
+
+  // Analysis must not crash, with or without a vocabulary.
+  qrel::FormulaAnalysis unscoped = qrel::AnalyzeFormula(*formula, nullptr);
+  qrel::FormulaAnalysis scoped =
+      qrel::AnalyzeFormula(*formula, &FuzzVocabulary());
+  if (unscoped.simplified == nullptr || scoped.simplified == nullptr) {
+    __builtin_trap();
+  }
+
+  // Simplifier contract 1: the plan rank never gets worse.
+  if (qrel::PlanRank(qrel::Classify(unscoped.simplified)) >
+      qrel::PlanRank(qrel::Classify(*formula))) {
+    __builtin_trap();
+  }
+
+  // Simplifier contract 2: simplification is idempotent.
+  qrel::FormulaPtr again = qrel::SimplifyFormula(unscoped.simplified);
+  if (again->ToString() != unscoped.simplified->ToString()) {
+    __builtin_trap();
+  }
+
+  // Every diagnostic must render (exercises the JSON escaper too).
+  for (const qrel::Diagnostic& diagnostic : scoped.diagnostics) {
+    if (diagnostic.ToString().empty() || diagnostic.ToJson().empty()) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

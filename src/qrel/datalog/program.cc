@@ -51,7 +51,8 @@ namespace {
 
 class RuleParser {
  public:
-  explicit RuleParser(std::string_view text) : text_(text) {}
+  RuleParser(std::string_view text, Diagnostic* diagnostic)
+      : text_(text), diagnostic_(diagnostic) {}
 
   StatusOr<DatalogProgram> Parse() {
     DatalogProgram program;
@@ -65,6 +66,9 @@ class RuleParser {
       SkipSpace();
     }
     if (program.rules.empty()) {
+      if (diagnostic_ != nullptr) {
+        *diagnostic_ = MakeError("syntax-error", "empty Datalog program");
+      }
       return Status::InvalidArgument("empty Datalog program");
     }
     return program;
@@ -79,6 +83,10 @@ class RuleParser {
   }
 
   Status Error(const std::string& message) {
+    if (diagnostic_ != nullptr) {
+      *diagnostic_ = MakeError("syntax-error", message,
+                               SourceRange{pos_, pos_ + 1});
+    }
     return Status::InvalidArgument("at position " + std::to_string(pos_) +
                                    ": " + message);
   }
@@ -149,6 +157,8 @@ class RuleParser {
   }
 
   StatusOr<DatalogAtom> ParseAtom() {
+    SkipSpace();
+    size_t start = pos_;
     StatusOr<std::string> relation = ParseIdentifier();
     if (!relation.ok()) {
       return relation.status();
@@ -159,6 +169,7 @@ class RuleParser {
       return Error("expected '(' after predicate name");
     }
     if (Consume(')')) {
+      atom.range = SourceRange{start, pos_};
       return atom;
     }
     for (;;) {
@@ -168,6 +179,7 @@ class RuleParser {
       }
       atom.args.push_back(*term);
       if (Consume(')')) {
+        atom.range = SourceRange{start, pos_};
         return atom;
       }
       if (!Consume(',')) {
@@ -177,6 +189,8 @@ class RuleParser {
   }
 
   StatusOr<DatalogRule> ParseRule() {
+    SkipSpace();
+    size_t start = pos_;
     DatalogRule rule;
     StatusOr<DatalogAtom> head = ParseAtom();
     if (!head.ok()) {
@@ -194,6 +208,7 @@ class RuleParser {
         literal.atom = *atom;
         rule.body.push_back(std::move(literal));
         if (Consume('.')) {
+          rule.range = SourceRange{start, pos_};
           return rule;
         }
         if (!Consume(',')) {
@@ -204,17 +219,24 @@ class RuleParser {
     if (!Consume('.')) {
       return Error("expected '.' after a fact rule");
     }
+    rule.range = SourceRange{start, pos_};
     return rule;
   }
 
   std::string_view text_;
   size_t pos_ = 0;
+  Diagnostic* diagnostic_;
 };
 
 }  // namespace
 
 StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text) {
-  return RuleParser(text).Parse();
+  return RuleParser(text, nullptr).Parse();
+}
+
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                             Diagnostic* syntax_error) {
+  return RuleParser(text, syntax_error).Parse();
 }
 
 }  // namespace qrel

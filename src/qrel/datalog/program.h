@@ -34,6 +34,11 @@ struct DatalogAtom {
   std::string relation;
   std::vector<Term> args;
 
+  // Byte range in the program text this atom was parsed from (set by
+  // ParseDatalogProgram; invalid for programmatically built atoms).
+  // Ignored by ToString() and all semantic comparisons.
+  SourceRange range;
+
   std::string ToString() const;
 };
 
@@ -45,6 +50,9 @@ struct DatalogLiteral {
 struct DatalogRule {
   DatalogAtom head;
   std::vector<DatalogLiteral> body;
+
+  // Byte range of the whole rule, head through the terminating '.'.
+  SourceRange range;
 
   std::string ToString() const;
 };
@@ -64,6 +72,12 @@ struct DatalogProgram {
 // Parses a program (sequence of rules terminated by '.'; '%' or '#'
 // comments to end of line are not supported — use blank space).
 StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text);
+
+// Like above; on a syntax error additionally fills `*syntax_error` (when
+// non-null) with a source-located Diagnostic (check id "syntax-error") so
+// Datalog parse errors share the analyzers' machine-readable output path.
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                             Diagnostic* syntax_error);
 
 }  // namespace qrel
 

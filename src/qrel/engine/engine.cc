@@ -33,6 +33,53 @@ std::string DegradationReason(const Status& status) {
   return std::string(StatusCodeName(status.code())) + ": " + status.message();
 }
 
+// Whether 2^#uncertain fits the exact-enumeration budget.
+bool ExactFeasible(size_t uncertain, const EngineOptions& options) {
+  return uncertain < 63 &&
+         (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+}
+
+std::string StaticClosedFormMethod(StaticTruth truth) {
+  return std::string("static analysis closed form (query simplifies to ") +
+         (truth == StaticTruth::kTautology ? "true" : "false") + ")";
+}
+
+// The single rung-selection function, shared between Explain (which
+// reports its result as the plan) and RunImpl (which executes it). Every
+// string returned here is a prefix of the EngineReport::method the
+// corresponding rung writes.
+std::string PlannedMethod(QueryClass effective_class, StaticTruth truth,
+                          size_t uncertain, const EngineOptions& options) {
+  if (truth != StaticTruth::kUnknown) {
+    return StaticClosedFormMethod(truth);
+  }
+  if (effective_class == QueryClass::kQuantifierFree &&
+      !options.force_approximate) {
+    return "Prop 3.1 quantifier-free polynomial algorithm";
+  }
+  if ((ExactFeasible(uncertain, options) || options.force_exact) &&
+      !options.force_approximate) {
+    return "Thm 4.2 exact world enumeration";
+  }
+  if (effective_class != QueryClass::kGeneralFirstOrder) {
+    // core/approx.cc takes the dual (negation) branch exactly when the
+    // query is not existential, i.e. when its class is universal.
+    return effective_class == QueryClass::kUniversal
+               ? "Cor 5.5 (universal via FPTRAS on negation)"
+               : "Cor 5.5 (existential via Thm 5.4 FPTRAS)";
+  }
+  return "Thm 5.12 padded estimator";
+}
+
+std::string PlannedDatalogMethod(size_t uncertain,
+                                 const EngineOptions& options) {
+  if ((ExactFeasible(uncertain, options) || options.force_exact) &&
+      !options.force_approximate) {
+    return "Thm 4.2 exact world enumeration over Datalog";
+  }
+  return "Thm 5.12 padded estimator on Datalog predicate";
+}
+
 }  // namespace
 
 ReliabilityEngine::ReliabilityEngine(UnreliableDatabase database)
@@ -56,6 +103,103 @@ StatusOr<EngineReport> ReliabilityEngine::Run(
   }
 }
 
+StatusOr<EnginePlan> ReliabilityEngine::Explain(
+    const std::string& query_text, const EngineOptions& options) const {
+  StatusOr<FormulaPtr> query = ParseFormula(query_text);
+  if (!query.ok()) {
+    return query.status();
+  }
+  return Explain(*query, options);
+}
+
+EnginePlan ReliabilityEngine::Explain(const FormulaPtr& query,
+                                      const EngineOptions& options) const {
+  FormulaAnalysis analysis = AnalyzeFormula(query, &database_.vocabulary());
+  size_t uncertain = database_.UncertainEntries().size();
+
+  EnginePlan plan;
+  plan.diagnostics = std::move(analysis.diagnostics);
+  plan.query_class = analysis.original_class;
+  plan.effective_class = analysis.effective_class;
+  plan.static_truth = analysis.static_truth;
+  plan.simplified_query = analysis.simplified->ToString();
+  const FormulaPtr& effective =
+      analysis.arity_preserved ? analysis.simplified : query;
+  plan.cost = EstimateCost(effective, database_.universe_size(), uncertain);
+  if (!plan.has_errors()) {
+    QueryClass dispatch_class = analysis.arity_preserved
+                                    ? analysis.effective_class
+                                    : analysis.original_class;
+    plan.planned_method = PlannedMethod(dispatch_class, analysis.static_truth,
+                                        uncertain, options);
+  }
+  return plan;
+}
+
+StatusOr<EnginePlan> ReliabilityEngine::ExplainDatalog(
+    const std::string& program_text, const std::string& predicate,
+    const EngineOptions& options) const {
+  StatusOr<DatalogProgram> program = ParseDatalogProgram(program_text);
+  if (!program.ok()) {
+    return program.status();
+  }
+  return ExplainDatalog(*program, predicate, options);
+}
+
+EnginePlan ReliabilityEngine::ExplainDatalog(
+    const DatalogProgram& program, const std::string& predicate,
+    const EngineOptions& options) const {
+  DatalogAnalysis analysis =
+      AnalyzeDatalogProgram(program, &database_.vocabulary(), predicate);
+  size_t uncertain = database_.UncertainEntries().size();
+
+  EnginePlan plan;
+  plan.diagnostics = std::move(analysis.diagnostics);
+  // Datalog has no syntactic first-order class ladder; like RunDatalog,
+  // the plan reports the general class.
+  plan.query_class = QueryClass::kGeneralFirstOrder;
+  plan.effective_class = QueryClass::kGeneralFirstOrder;
+  plan.cost.universe_size = database_.universe_size();
+  plan.cost.uncertain_atoms = uncertain;
+  plan.cost.world_count =
+      std::pow(2.0, static_cast<double>(uncertain));
+  // Arity of the query predicate, when it can be resolved statically: a
+  // rule head, a body literal, or an extensional relation.
+  std::optional<int> arity;
+  for (const DatalogRule& rule : program.rules) {
+    if (rule.head.relation == predicate) {
+      arity = static_cast<int>(rule.head.args.size());
+      break;
+    }
+    for (const DatalogLiteral& literal : rule.body) {
+      if (literal.atom.relation == predicate) {
+        arity = static_cast<int>(literal.atom.args.size());
+        break;
+      }
+    }
+    if (arity.has_value()) {
+      break;
+    }
+  }
+  if (!arity.has_value()) {
+    std::optional<int> relation =
+        database_.vocabulary().FindRelation(predicate);
+    if (relation.has_value()) {
+      arity = database_.vocabulary().relation(*relation).arity;
+    }
+  }
+  if (arity.has_value()) {
+    plan.cost.arity = *arity;
+    plan.cost.answer_space =
+        std::pow(static_cast<double>(plan.cost.universe_size),
+                 static_cast<double>(*arity));
+  }
+  if (!plan.has_errors()) {
+    plan.planned_method = PlannedDatalogMethod(uncertain, options);
+  }
+  return plan;
+}
+
 StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     const FormulaPtr& query, const EngineOptions& options) const {
   if (options.force_exact && options.force_approximate) {
@@ -63,19 +207,35 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
         "force_exact and force_approximate are mutually exclusive");
   }
   RunContext* ctx = options.run_context;
+
+  // Static analysis first: unknown predicates, arity mismatches and the
+  // like fail with a source-located diagnostic before the envelope is
+  // consulted and before any budget could be charged.
+  FormulaAnalysis analysis = AnalyzeFormula(query, &database_.vocabulary());
+  if (analysis.has_errors()) {
+    return Status::InvalidArgument(FirstErrorMessage(analysis.diagnostics));
+  }
+
   // Fail fast on an envelope that is already spent (zero work budget,
   // expired deadline, prior cancellation): nothing ran, so there is
   // nothing to degrade to.
   QREL_RETURN_IF_ERROR(CheckRunContext(ctx));
 
+  // Dispatch on the simplified query when it kept the free-variable
+  // columns; otherwise simplification dropped a vacuous free variable and
+  // the original must stay the unit of evaluation.
+  const FormulaPtr& effective =
+      analysis.arity_preserved ? analysis.simplified : query;
+
   StatusOr<CompiledQuery> compiled =
-      CompiledQuery::Compile(query, database_.vocabulary());
+      CompiledQuery::Compile(effective, database_.vocabulary());
   if (!compiled.ok()) {
     return compiled.status();
   }
 
   EngineReport report;
-  report.query_class = Classify(query);
+  report.query_class = analysis.arity_preserved ? analysis.effective_class
+                                                : analysis.original_class;
   int n = database_.universe_size();
   int k = compiled->arity();
 
@@ -86,10 +246,23 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     }
   }
 
+  // 0. Statically decided: the answer set is the same in every world
+  // (everything for a tautology, nothing for an unsatisfiable query), so
+  // the reliability is exactly 1 with no worlds enumerated and no samples
+  // drawn.
+  if (analysis.static_truth != StaticTruth::kUnknown) {
+    report.method = StaticClosedFormMethod(analysis.static_truth);
+    report.is_exact = true;
+    report.exact_reliability = Rational::One();
+    report.reliability = 1.0;
+    report.expected_error = 0.0;
+    report.samples = 0;
+    report.budget_spent = ctx != nullptr ? ctx->work_spent() : 0;
+    return report;
+  }
+
   size_t uncertain = database_.UncertainEntries().size();
-  bool exact_feasible =
-      uncertain < 63 &&
-      (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+  bool exact_feasible = ExactFeasible(uncertain, options);
 
   auto fill_exact = [&](const ReliabilityReport& exact,
                         const std::string& method) {
@@ -111,7 +284,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     // rung failing on its own: degrade on budget codes, propagate the rest.
     Status fault = QREL_FAULT_HIT("engine.rung.quantifier_free");
     StatusOr<ReliabilityReport> exact =
-        fault.ok() ? QuantifierFreeReliability(query, database_, ctx)
+        fault.ok() ? QuantifierFreeReliability(effective, database_, ctx)
                    : StatusOr<ReliabilityReport>(fault);
     if (exact.ok()) {
       fill_exact(*exact, "Prop 3.1 quantifier-free polynomial algorithm");
@@ -129,7 +302,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
       !options.force_approximate) {
     Status fault = QREL_FAULT_HIT("engine.exact.enumerate");
     StatusOr<ReliabilityReport> exact =
-        fault.ok() ? ExactReliability(query, database_, ctx)
+        fault.ok() ? ExactReliability(effective, database_, ctx)
                    : StatusOr<ReliabilityReport>(fault);
     if (exact.ok()) {
       fill_exact(*exact, "Thm 4.2 exact world enumeration (" +
@@ -164,8 +337,8 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     StatusOr<ApproxResult> attempt =
         !fault.ok()
             ? StatusOr<ApproxResult>(fault)
-            : cor55_applies ? ReliabilityAbsoluteApprox(query, database_, approx)
-                            : PaddedReliabilityApprox(query, database_, approx);
+            : cor55_applies ? ReliabilityAbsoluteApprox(effective, database_, approx)
+                            : PaddedReliabilityApprox(effective, database_, approx);
     if (attempt.ok()) {
       estimate = std::move(attempt).value();
     } else if (ShouldDegrade(attempt.status(), options)) {
@@ -197,7 +370,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     reserve.allow_truncation = false;
     reserve.fixed_samples = options.reserve_samples;
     StatusOr<ApproxResult> attempt =
-        PaddedReliabilityApprox(query, database_, reserve);
+        PaddedReliabilityApprox(effective, database_, reserve);
     if (!attempt.ok()) {
       return attempt.status();
     }
@@ -241,11 +414,21 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalogImpl(
         "force_exact and force_approximate are mutually exclusive");
   }
   RunContext* ctx = options.run_context;
-  QREL_RETURN_IF_ERROR(CheckRunContext(ctx));
   StatusOr<DatalogProgram> program = ParseDatalogProgram(program_text);
   if (!program.ok()) {
     return program.status();
   }
+
+  // Static analysis first (the same checks Compile enforces, plus lint):
+  // a broken program fails with a source-located diagnostic before the
+  // envelope is consulted and before any budget could be charged.
+  DatalogAnalysis analysis =
+      AnalyzeDatalogProgram(*program, &database_.vocabulary(), predicate);
+  if (analysis.has_errors()) {
+    return Status::InvalidArgument(FirstErrorMessage(analysis.diagnostics));
+  }
+
+  QREL_RETURN_IF_ERROR(CheckRunContext(ctx));
   StatusOr<CompiledDatalog> compiled =
       CompiledDatalog::Compile(std::move(program).value(),
                                database_.vocabulary());
@@ -272,9 +455,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunDatalogImpl(
   }
 
   size_t uncertain = database_.UncertainEntries().size();
-  bool exact_feasible =
-      uncertain < 63 &&
-      (uint64_t{1} << uncertain) <= options.max_exact_worlds;
+  bool exact_feasible = ExactFeasible(uncertain, options);
   Status degrade_trigger = Status::Ok();
   if ((exact_feasible || options.force_exact) && !options.force_approximate) {
     Status fault = QREL_FAULT_HIT("engine.datalog.exact");

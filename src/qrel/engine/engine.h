@@ -1,14 +1,31 @@
-// One-call reliability engine: parse a query, classify it, evaluate it on
-// the observed database, and compute or approximate its reliability with
-// the best algorithm the paper provides for its class.
+// One-call reliability engine: parse a query, statically analyze it,
+// classify it, evaluate it on the observed database, and compute or
+// approximate its reliability with the best algorithm the paper provides
+// for its class.
+//
+// Every run starts with static analysis (logic/analyze.h,
+// datalog/analyze.h): hard errors — unknown predicates, arity mismatches,
+// unsafe or unstratifiable Datalog rules — fail fast with a typed
+// kInvalidArgument carrying a source-located diagnostic, before any
+// RunContext budget is charged. Queries the simplifier proves statically
+// true or false short-circuit to the exact closed form (R = 1, H = 0)
+// without sampling a single world. Otherwise dispatch uses the *simplified*
+// formula's class, which by the simplifier contract is never a worse rung.
 //
 // Strategy (in order):
+//   0. statically true/false  → closed form, no evaluation at all;
 //   1. quantifier-free        → Proposition 3.1 exact polynomial algorithm;
 //   2. small world space      → Theorem 4.2 exact enumeration
 //                               (2^#uncertain ≤ options.max_exact_worlds);
 //   3. existential/universal  → Corollary 5.5 absolute-error approximation
 //                               (Theorem 5.4 grounding + Karp-Luby);
 //   4. anything else          → Theorem 5.12 padded estimator.
+//
+// Explain() runs the same analysis and rung selection *without executing*:
+// it returns the diagnostics, the simplified query, the cost pre-analysis
+// (grounding size n^k, world count 2^u) and the planned method string,
+// which is always a prefix of the EngineReport::method an actual run with
+// the same options produces.
 //
 // Resource governance: EngineOptions::run_context carries a wall-clock
 // deadline, a work budget and a cancellation flag into every rung. An
@@ -44,8 +61,11 @@
 #include "qrel/core/absolute.h"
 #include "qrel/core/approx.h"
 #include "qrel/core/reliability.h"
+#include "qrel/datalog/analyze.h"
 #include "qrel/datalog/reliability.h"
+#include "qrel/logic/analyze.h"
 #include "qrel/logic/classify.h"
+#include "qrel/logic/diagnostics.h"
 #include "qrel/prob/unreliable_database.h"
 #include "qrel/util/run_context.h"
 #include "qrel/util/status.h"
@@ -118,6 +138,34 @@ struct EngineReport {
   uint64_t budget_spent = 0;
 };
 
+// The engine's "explain plan": everything static analysis can say about a
+// query against this database without executing anything.
+struct EnginePlan {
+  // All analyzer diagnostics (errors, warnings, notes). When any is an
+  // error, `planned_method` names no theorem: a Run with the same inputs
+  // fails with kInvalidArgument instead of executing.
+  std::vector<Diagnostic> diagnostics;
+
+  QueryClass query_class = QueryClass::kGeneralFirstOrder;  // original
+  // Class of the simplified query — what dispatch actually uses. By the
+  // simplifier contract PlanRank(effective) <= PlanRank(query_class).
+  QueryClass effective_class = QueryClass::kGeneralFirstOrder;
+  StaticTruth static_truth = StaticTruth::kUnknown;
+  // ToString() of the simplified query (empty for Datalog plans).
+  std::string simplified_query;
+
+  // Work prediction: answer space n^k, grounding size n^#vars, world
+  // count 2^u.
+  CostEstimate cost;
+
+  // The rung an actual run with these options would execute, naming the
+  // paper theorem. Always a prefix of that run's EngineReport::method.
+  // Empty when `diagnostics` contains errors.
+  std::string planned_method;
+
+  bool has_errors() const { return HasErrors(diagnostics); }
+};
+
 class ReliabilityEngine {
  public:
   explicit ReliabilityEngine(UnreliableDatabase database);
@@ -130,6 +178,24 @@ class ReliabilityEngine {
                              const EngineOptions& options = {}) const;
   StatusOr<EngineReport> Run(const FormulaPtr& query,
                              const EngineOptions& options = {}) const;
+
+  // Static analysis + rung selection without executing: diagnostics,
+  // simplification, cost estimates and the planned method. Never charges
+  // options.run_context. The text overload fails only on syntax errors.
+  StatusOr<EnginePlan> Explain(const std::string& query_text,
+                               const EngineOptions& options = {}) const;
+  EnginePlan Explain(const FormulaPtr& query,
+                     const EngineOptions& options = {}) const;
+
+  // The Datalog counterpart: program diagnostics (safety, stratification,
+  // reachability of `predicate`) and the planned rung. The text overload
+  // fails only on syntax errors.
+  StatusOr<EnginePlan> ExplainDatalog(const std::string& program_text,
+                                      const std::string& predicate,
+                                      const EngineOptions& options = {}) const;
+  EnginePlan ExplainDatalog(const DatalogProgram& program,
+                            const std::string& predicate,
+                            const EngineOptions& options = {}) const;
 
   // Runs a Datalog program (see datalog/program.h for the syntax) and
   // reports the reliability of `predicate`: exact world enumeration when

@@ -237,6 +237,17 @@ FormulaPtr ForAll(const std::vector<std::string>& variables, FormulaPtr body) {
   return result;
 }
 
+FormulaPtr WithRange(const FormulaPtr& formula, SourceRange range) {
+  QREL_CHECK(formula != nullptr);
+  if (formula->range.begin == range.begin &&
+      formula->range.end == range.end) {
+    return formula;
+  }
+  auto node = std::make_shared<Formula>(*formula);
+  node->range = range;
+  return node;
+}
+
 FormulaPtr SubstituteConstant(const FormulaPtr& formula,
                               const std::string& variable, Element value) {
   switch (formula->kind) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "qrel/logic/diagnostics.h"
 #include "qrel/relational/structure.h"
 
 namespace qrel {
@@ -78,6 +79,12 @@ class Formula {
   // kExists/kForAll:
   std::string bound_variable;
 
+  // Byte range of this node in the text it was parsed from (set by
+  // logic/parser.cc, the source-location anchor for diagnostics); invalid
+  // for programmatically built formulas. Ignored by ToString() and by all
+  // semantic comparisons.
+  SourceRange range;
+
   // Human-readable rendering (parseable back by parser.h).
   std::string ToString() const;
 
@@ -102,6 +109,11 @@ FormulaPtr Exists(std::string variable, FormulaPtr body);
 FormulaPtr Exists(const std::vector<std::string>& variables, FormulaPtr body);
 FormulaPtr ForAll(std::string variable, FormulaPtr body);
 FormulaPtr ForAll(const std::vector<std::string>& variables, FormulaPtr body);
+
+// A shallow copy of `formula` carrying `range` (children stay shared).
+// The parser's way of attaching source locations without widening every
+// factory signature.
+FormulaPtr WithRange(const FormulaPtr& formula, SourceRange range);
 
 // Replaces free occurrences of `variable` by the constant `value`.
 // Occurrences bound by a quantifier of the same name are untouched.

@@ -78,6 +78,22 @@ bool IsUniversal(const FormulaPtr& formula) {
   return !ContainsQuantifier(*nnf, FormulaKind::kExists);
 }
 
+int PlanRank(QueryClass query_class) {
+  switch (query_class) {
+    case QueryClass::kQuantifierFree:
+      return 0;
+    case QueryClass::kConjunctive:
+      return 1;
+    case QueryClass::kExistential:
+    case QueryClass::kUniversal:
+      return 2;
+    case QueryClass::kGeneralFirstOrder:
+      return 3;
+  }
+  QREL_CHECK_MSG(false, "corrupt query class");
+  return 3;
+}
+
 QueryClass Classify(const FormulaPtr& formula) {
   if (IsQuantifierFree(formula)) {
     return QueryClass::kQuantifierFree;

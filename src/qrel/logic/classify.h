@@ -49,6 +49,14 @@ bool IsUniversal(const FormulaPtr& formula);
 // quantifier-free are therefore reported as quantifier-free).
 QueryClass Classify(const FormulaPtr& formula);
 
+// How good an algorithm the paper gives the class, smaller = better:
+// 0 quantifier-free (Prop. 3.1 exact polynomial), 1 conjunctive, 2
+// existential/universal (both get the Cor. 5.5 absolute-error FPTRAS-based
+// approximation), 3 general first-order (Thm. 5.12 padded estimation
+// only). The simplifier's contract (logic/simplify.h) is that
+// PlanRank(Classify(simplified)) <= PlanRank(Classify(original)).
+int PlanRank(QueryClass query_class);
+
 }  // namespace qrel
 
 #endif  // QREL_LOGIC_CLASSIFY_H_

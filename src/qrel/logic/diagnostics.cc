@@ -1,0 +1,145 @@
+#include "qrel/logic/diagnostics.h"
+
+#include <algorithm>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+Diagnostic Make(DiagnosticSeverity severity, std::string check_id,
+                std::string message, SourceRange range) {
+  Diagnostic diagnostic;
+  diagnostic.severity = severity;
+  diagnostic.check_id = std::move(check_id);
+  diagnostic.message = std::move(message);
+  diagnostic.range = range;
+  return diagnostic;
+}
+
+}  // namespace
+
+std::string JsonEscapeString(const std::string& text) {
+  std::string result;
+  result.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        result += "\\\"";
+        break;
+      case '\\':
+        result += "\\\\";
+        break;
+      case '\n':
+        result += "\\n";
+        break;
+      case '\r':
+        result += "\\r";
+        break;
+      case '\t':
+        result += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          result += "\\u00";
+          result += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          result += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          result += c;
+        }
+    }
+  }
+  return result;
+}
+
+SourceRange SourceRange::Merge(const SourceRange& a, const SourceRange& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  return SourceRange{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+const char* DiagnosticSeverityName(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kError:
+      return "error";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kNote:
+      return "note";
+  }
+  QREL_CHECK_MSG(false, "corrupt diagnostic severity");
+  return "";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string result = std::string(DiagnosticSeverityName(severity)) + "[" +
+                       check_id + "]";
+  if (range.valid()) {
+    result += " at " + std::to_string(range.begin) + "-" +
+              std::to_string(range.end);
+  }
+  result += ": " + message;
+  return result;
+}
+
+std::string Diagnostic::ToJson() const {
+  std::string result = "{\"severity\":\"";
+  result += DiagnosticSeverityName(severity);
+  result += "\",\"check\":\"" + JsonEscapeString(check_id) + "\"";
+  if (range.valid()) {
+    result += ",\"begin\":" + std::to_string(range.begin) +
+              ",\"end\":" + std::to_string(range.end);
+  }
+  result += ",\"message\":\"" + JsonEscapeString(message) + "\"}";
+  return result;
+}
+
+Diagnostic MakeError(std::string check_id, std::string message,
+                     SourceRange range) {
+  return Make(DiagnosticSeverity::kError, std::move(check_id),
+              std::move(message), range);
+}
+
+Diagnostic MakeWarning(std::string check_id, std::string message,
+                       SourceRange range) {
+  return Make(DiagnosticSeverity::kWarning, std::move(check_id),
+              std::move(message), range);
+}
+
+Diagnostic MakeNote(std::string check_id, std::string message,
+                    SourceRange range) {
+  return Make(DiagnosticSeverity::kNote, std::move(check_id),
+              std::move(message), range);
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == DiagnosticSeverity::kError;
+                     });
+}
+
+int LintExitCode(const std::vector<Diagnostic>& diagnostics) {
+  if (HasErrors(diagnostics)) {
+    return 2;
+  }
+  bool warned = std::any_of(diagnostics.begin(), diagnostics.end(),
+                            [](const Diagnostic& d) {
+                              return d.severity ==
+                                     DiagnosticSeverity::kWarning;
+                            });
+  return warned ? 1 : 0;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string result = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) result += ",";
+    result += diagnostics[i].ToJson();
+  }
+  return result + "]";
+}
+
+}  // namespace qrel

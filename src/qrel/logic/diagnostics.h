@@ -1,0 +1,88 @@
+// Structured diagnostics for static query analysis.
+//
+// Every problem the analyzers (logic/analyze.h, datalog/analyze.h) or the
+// parsers find is reported as a Diagnostic: a severity, a *stable* check id
+// (the contract with tooling — scripts grep for "arity-mismatch", not for
+// message wording), a human-readable message and a source range into the
+// original query text. Parse errors travel through the same struct (check
+// id "syntax-error"), so `--diagnostics-format=json` gives one
+// machine-readable output path for everything that can be wrong with a
+// query before it runs.
+//
+// The registered check ids are listed in DESIGN.md ("Static analysis and
+// plan explanation"); renaming one is a breaking change.
+
+#ifndef QREL_LOGIC_DIAGNOSTICS_H_
+#define QREL_LOGIC_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qrel {
+
+// A half-open byte range [begin, end) into the source text a node was
+// parsed from. Programmatically built nodes have no range (valid() false);
+// diagnostics for them simply omit the location.
+struct SourceRange {
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  size_t begin = kNone;
+  size_t end = kNone;
+
+  bool valid() const { return begin != kNone && end >= begin; }
+
+  // Smallest range covering both inputs; an invalid side is ignored.
+  static SourceRange Merge(const SourceRange& a, const SourceRange& b);
+};
+
+enum class DiagnosticSeverity {
+  kError,    // the query cannot run (fails with kInvalidArgument)
+  kWarning,  // the query runs but is probably not what was meant
+  kNote,     // analysis finding with no quality judgement
+};
+
+// Stable display name: "error", "warning", "note".
+const char* DiagnosticSeverityName(DiagnosticSeverity severity);
+
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kError;
+  std::string check_id;  // stable kebab-case id, e.g. "arity-mismatch"
+  std::string message;
+  SourceRange range;  // may be invalid (no location known)
+
+  // "error[arity-mismatch] at 4-11: relation 'E' has arity 2 ..." (the
+  // location clause is dropped when no range is known).
+  std::string ToString() const;
+  // One JSON object with keys severity/check/message and, when located,
+  // begin/end.
+  std::string ToJson() const;
+};
+
+// Convenience constructors.
+Diagnostic MakeError(std::string check_id, std::string message,
+                     SourceRange range = {});
+Diagnostic MakeWarning(std::string check_id, std::string message,
+                       SourceRange range = {});
+Diagnostic MakeNote(std::string check_id, std::string message,
+                    SourceRange range = {});
+
+// Whether any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+// Errors, then warnings, then notes (0/1/2 of the lint exit-code
+// convention): 0 when clean, 1 when the worst finding is a warning, 2 when
+// any error is present. Notes alone still exit 0.
+int LintExitCode(const std::vector<Diagnostic>& diagnostics);
+
+// A JSON array of ToJson() objects (stable field order, no trailing
+// newline).
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+// JSON string-body escaping (quotes, backslashes, control characters) used
+// by ToJson; exposed so callers embedding query text alongside diagnostics
+// in JSON output escape it identically.
+std::string JsonEscapeString(const std::string& text);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_DIAGNOSTICS_H_

@@ -1,5 +1,6 @@
 #include "qrel/logic/parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <new>
 #include <string>
@@ -41,9 +42,28 @@ struct Token {
   size_t position;
 };
 
+size_t TokenEnd(const Token& token) {
+  return token.position + std::max<size_t>(token.text.size(), 1);
+}
+
+// Records the error both ways: as the Status the parse returns (message
+// format unchanged: "at position N: ...") and, when the caller asked for
+// one, as a source-located Diagnostic with the stable "syntax-error" check
+// id — the machine-readable path of ParseFormula's Diagnostic overload.
+Status SyntaxError(size_t begin, size_t end, const std::string& message,
+                   Diagnostic* diagnostic) {
+  if (diagnostic != nullptr) {
+    *diagnostic =
+        MakeError("syntax-error", message, SourceRange{begin, end});
+  }
+  return Status::InvalidArgument("at position " + std::to_string(begin) +
+                                 ": " + message);
+}
+
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  explicit Lexer(std::string_view text, Diagnostic* diagnostic)
+      : text_(text), diagnostic_(diagnostic) {}
 
   Status Tokenize(std::vector<Token>* tokens) {
     size_t pos = 0;
@@ -140,16 +160,17 @@ class Lexer {
 
  private:
   Status Error(size_t position, const std::string& message) {
-    return Status::InvalidArgument("at position " + std::to_string(position) +
-                                   ": " + message);
+    return SyntaxError(position, position + 1, message, diagnostic_);
   }
 
   std::string_view text_;
+  Diagnostic* diagnostic_;
 };
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, Diagnostic* diagnostic)
+      : tokens_(std::move(tokens)), diagnostic_(diagnostic) {}
 
   StatusOr<FormulaPtr> Parse() {
     StatusOr<FormulaPtr> formula = ParseIff();
@@ -176,9 +197,10 @@ class Parser {
     int* depth_;
   };
 
-  Status CheckDepth() const {
+  Status CheckDepth() {
     if (depth_ > kMaxNestingDepth) {
-      return Status::InvalidArgument("formula nesting too deep");
+      return SyntaxError(Peek().position, TokenEnd(Peek()),
+                         "formula nesting too deep", diagnostic_);
     }
     return Status::Ok();
   }
@@ -193,22 +215,36 @@ class Parser {
     return false;
   }
 
-  Status Error(const std::string& message) const {
-    return Status::InvalidArgument("at position " +
-                                   std::to_string(Peek().position) + ": " +
-                                   message);
+  Status Error(const std::string& message) {
+    return SyntaxError(Peek().position, TokenEnd(Peek()), message,
+                       diagnostic_);
+  }
+
+  // The source range from the first token of the production (by token
+  // index) through the last token consumed so far.
+  SourceRange RangeFrom(size_t start_index) const {
+    if (index_ == 0 || start_index >= index_) {
+      return SourceRange{};
+    }
+    return SourceRange{tokens_[start_index].position,
+                       TokenEnd(tokens_[index_ - 1])};
+  }
+
+  FormulaPtr Ranged(FormulaPtr formula, size_t start_index) const {
+    return WithRange(formula, RangeFrom(start_index));
   }
 
   StatusOr<FormulaPtr> ParseIff() {
     DepthFrame frame(&depth_);
     QREL_RETURN_IF_ERROR(CheckDepth());
+    size_t start = index_;
     StatusOr<FormulaPtr> left = ParseImplies();
     if (!left.ok()) return left;
     FormulaPtr result = *left;
     while (Match(TokenKind::kIffArrow)) {
       StatusOr<FormulaPtr> right = ParseImplies();
       if (!right.ok()) return right;
-      result = Iff(result, *right);
+      result = Ranged(Iff(result, *right), start);
     }
     return result;
   }
@@ -216,18 +252,20 @@ class Parser {
   StatusOr<FormulaPtr> ParseImplies() {
     DepthFrame frame(&depth_);
     QREL_RETURN_IF_ERROR(CheckDepth());
+    size_t start = index_;
     StatusOr<FormulaPtr> left = ParseOr();
     if (!left.ok()) return left;
     if (Match(TokenKind::kArrow)) {
       // Right-associative: a -> b -> c parses as a -> (b -> c).
       StatusOr<FormulaPtr> right = ParseImplies();
       if (!right.ok()) return right;
-      return Implies(*left, *right);
+      return Ranged(Implies(*left, *right), start);
     }
     return left;
   }
 
   StatusOr<FormulaPtr> ParseOr() {
+    size_t start = index_;
     StatusOr<FormulaPtr> first = ParseAnd();
     if (!first.ok()) return first;
     std::vector<FormulaPtr> operands = {*first};
@@ -236,10 +274,14 @@ class Parser {
       if (!next.ok()) return next;
       operands.push_back(*next);
     }
-    return Or(std::move(operands));
+    if (operands.size() == 1) {
+      return operands[0];
+    }
+    return Ranged(Or(std::move(operands)), start);
   }
 
   StatusOr<FormulaPtr> ParseAnd() {
+    size_t start = index_;
     StatusOr<FormulaPtr> first = ParseUnary();
     if (!first.ok()) return first;
     std::vector<FormulaPtr> operands = {*first};
@@ -248,16 +290,20 @@ class Parser {
       if (!next.ok()) return next;
       operands.push_back(*next);
     }
-    return And(std::move(operands));
+    if (operands.size() == 1) {
+      return operands[0];
+    }
+    return Ranged(And(std::move(operands)), start);
   }
 
   StatusOr<FormulaPtr> ParseUnary() {
     DepthFrame frame(&depth_);
     QREL_RETURN_IF_ERROR(CheckDepth());
+    size_t start = index_;
     if (Match(TokenKind::kBang)) {
       StatusOr<FormulaPtr> operand = ParseUnary();
       if (!operand.ok()) return operand;
-      return Not(*operand);
+      return Ranged(Not(*operand), start);
     }
     if (Peek().kind == TokenKind::kIdent &&
         (Peek().text == "exists" || Peek().text == "forall")) {
@@ -267,10 +313,16 @@ class Parser {
   }
 
   StatusOr<FormulaPtr> ParseQuantifier() {
+    size_t start = index_;
     bool is_exists = Advance().text == "exists";
+    // One token index per bound variable, so each binder in "exists x y ."
+    // gets its own source range (needed for per-binder diagnostics like
+    // unused-quantifier).
+    std::vector<size_t> variable_tokens;
     std::vector<std::string> variables;
     while (Peek().kind == TokenKind::kIdent && Peek().text != "exists" &&
            Peek().text != "forall") {
+      variable_tokens.push_back(index_);
       variables.push_back(Advance().text);
     }
     if (variables.empty()) {
@@ -282,10 +334,20 @@ class Parser {
     // The quantifier scopes over the longest formula to its right.
     StatusOr<FormulaPtr> body = ParseIff();
     if (!body.ok()) return body;
-    return is_exists ? Exists(variables, *body) : ForAll(variables, *body);
+    FormulaPtr result = *body;
+    for (size_t i = variables.size(); i-- > 0;) {
+      result = is_exists ? Exists(variables[i], std::move(result))
+                         : ForAll(variables[i], std::move(result));
+      // Innermost binders start at their own variable token; the outermost
+      // one covers the whole quantifier expression.
+      size_t node_start = i == 0 ? start : variable_tokens[i];
+      result = Ranged(std::move(result), node_start);
+    }
+    return result;
   }
 
   StatusOr<FormulaPtr> ParsePrimary() {
+    size_t start = index_;
     const Token& token = Peek();
     if (token.kind == TokenKind::kLParen) {
       Advance();
@@ -296,16 +358,16 @@ class Parser {
       if (!Match(TokenKind::kRParen)) {
         return Error("expected ')'");
       }
-      return inner;
+      return Ranged(*inner, start);
     }
     if (token.kind == TokenKind::kIdent) {
       if (token.text == "true") {
         Advance();
-        return True();
+        return Ranged(True(), start);
       }
       if (token.text == "false") {
         Advance();
-        return False();
+        return Ranged(False(), start);
       }
       // Relation atom or a variable starting an equality.
       if (tokens_[index_ + 1].kind == TokenKind::kLParen) {
@@ -320,6 +382,7 @@ class Parser {
   }
 
   StatusOr<FormulaPtr> ParseAtom() {
+    size_t start = index_;
     std::string relation = Advance().text;
     if (!Match(TokenKind::kLParen)) {
       return Error("expected '(' after relation name");
@@ -338,21 +401,22 @@ class Parser {
         }
       }
     }
-    return Atom(std::move(relation), std::move(args));
+    return Ranged(Atom(std::move(relation), std::move(args)), start);
   }
 
   StatusOr<FormulaPtr> ParseEquality() {
+    size_t start = index_;
     StatusOr<Term> left = ParseTerm();
     if (!left.ok()) return left.status();
     if (Match(TokenKind::kEquals)) {
       StatusOr<Term> right = ParseTerm();
       if (!right.ok()) return right.status();
-      return Equals(*left, *right);
+      return Ranged(Equals(*left, *right), start);
     }
     if (Match(TokenKind::kNotEquals)) {
       StatusOr<Term> right = ParseTerm();
       if (!right.ok()) return right.status();
-      return Not(Equals(*left, *right));
+      return Ranged(Not(Ranged(Equals(*left, *right), start)), start);
     }
     return Error("expected '=' or '!=' after term");
   }
@@ -370,33 +434,48 @@ class Parser {
       for (char c : digits) {
         value = value * 10 + (c - '0');
         if (value > 1000000000) {
+          if (diagnostic_ != nullptr) {
+            *diagnostic_ = MakeError(
+                "syntax-error", "constant out of range: " + digits,
+                SourceRange{token.position, TokenEnd(token)});
+          }
           return Status::InvalidArgument("constant out of range: " + digits);
         }
       }
       return Term::Const(static_cast<Element>(value));
     }
-    return Status::InvalidArgument(
-        "at position " + std::to_string(token.position) +
-        ": expected a term, found '" + token.text + "'");
+    return SyntaxError(token.position, TokenEnd(token),
+                       "expected a term, found '" + token.text + "'",
+                       diagnostic_);
   }
 
   std::vector<Token> tokens_;
   size_t index_ = 0;
   int depth_ = 0;
+  Diagnostic* diagnostic_;
 };
 
 }  // namespace
 
 StatusOr<FormulaPtr> ParseFormula(std::string_view text) {
+  return ParseFormula(text, nullptr);
+}
+
+StatusOr<FormulaPtr> ParseFormula(std::string_view text,
+                                  Diagnostic* syntax_error) {
   try {
     QREL_FAULT_SITE("logic.parse_formula");
     std::vector<Token> tokens;
-    Status status = Lexer(text).Tokenize(&tokens);
+    Status status = Lexer(text, syntax_error).Tokenize(&tokens);
     if (!status.ok()) {
       return status;
     }
-    return Parser(std::move(tokens)).Parse();
+    return Parser(std::move(tokens), syntax_error).Parse();
   } catch (const std::bad_alloc&) {
+    if (syntax_error != nullptr) {
+      *syntax_error = MakeError("syntax-error",
+                                "out of memory while parsing formula");
+    }
     return Status::ResourceExhausted("out of memory while parsing formula");
   }
 }

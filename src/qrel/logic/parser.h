@@ -25,12 +25,22 @@
 #include <string_view>
 
 #include "qrel/logic/ast.h"
+#include "qrel/logic/diagnostics.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
 
 // Parses `text` into a formula; reports syntax errors with positions.
+// Every node of the returned formula carries the source range it was
+// parsed from (Formula::range), the anchor for analyzer diagnostics.
 StatusOr<FormulaPtr> ParseFormula(std::string_view text);
+
+// Like above; on a syntax error additionally fills `*syntax_error` (when
+// non-null) with a source-located Diagnostic (check id "syntax-error"), so
+// parse errors and static-analysis findings share one machine-readable
+// output path (see logic/diagnostics.h).
+StatusOr<FormulaPtr> ParseFormula(std::string_view text,
+                                  Diagnostic* syntax_error);
 
 }  // namespace qrel
 

@@ -1,0 +1,192 @@
+#include "qrel/logic/simplify.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+bool IsConstant(const FormulaPtr& formula) {
+  return formula->kind == FormulaKind::kTrue ||
+         formula->kind == FormulaKind::kFalse;
+}
+
+FormulaPtr Constant(bool value, SourceRange range) {
+  return WithRange(value ? True() : False(), range);
+}
+
+// Negation of an already-simplified formula, kept simplified: constants
+// fold and a double negation cancels instead of stacking.
+FormulaPtr SimplifiedNot(const FormulaPtr& operand) {
+  switch (operand->kind) {
+    case FormulaKind::kTrue:
+      return Constant(false, operand->range);
+    case FormulaKind::kFalse:
+      return Constant(true, operand->range);
+    case FormulaKind::kNot:
+      return operand->children[0];
+    default:
+      return WithRange(Not(operand), operand->range);
+  }
+}
+
+// N-ary conjunction/disjunction over already-simplified operands:
+// flattens nested nodes of the same kind, folds constants, drops
+// duplicates, and detects a complementary pair (φ together with !φ), which
+// decides the whole connective. ToString() is the canonical key — it
+// ignores source ranges, so two copies of a literal parsed at different
+// positions still count as duplicates.
+FormulaPtr SimplifiedNary(FormulaKind kind, std::vector<FormulaPtr> operands,
+                          SourceRange range) {
+  const bool is_and = kind == FormulaKind::kAnd;
+  // true decides an Or, false decides an And.
+  const FormulaKind deciding = is_and ? FormulaKind::kFalse
+                                      : FormulaKind::kTrue;
+
+  // Work stack holding the operands left to process, in reverse so pops
+  // come out in source order; a same-kind operand flattens by pushing its
+  // children back.
+  std::vector<FormulaPtr> pending(operands.rbegin(), operands.rend());
+  std::vector<FormulaPtr> kept;
+  std::set<std::string> positive_keys;  // operands that are not negations
+  std::set<std::string> negated_keys;   // bodies of operands that are !φ
+  while (!pending.empty()) {
+    FormulaPtr operand = std::move(pending.back());
+    pending.pop_back();
+    if (operand->kind == kind) {
+      for (auto it = operand->children.rbegin();
+           it != operand->children.rend(); ++it) {
+        pending.push_back(*it);
+      }
+      continue;
+    }
+    if (operand->kind == deciding) {
+      return Constant(!is_and, range);
+    }
+    if (IsConstant(operand)) {
+      continue;  // neutral element
+    }
+    if (operand->kind == FormulaKind::kNot) {
+      const std::string key = operand->children[0]->ToString();
+      if (positive_keys.count(key) != 0) {
+        // φ & !φ is false; φ | !φ is true.
+        return Constant(!is_and, range);
+      }
+      if (!negated_keys.insert(key).second) {
+        continue;  // duplicate
+      }
+    } else {
+      const std::string key = operand->ToString();
+      if (negated_keys.count(key) != 0) {
+        return Constant(!is_and, range);
+      }
+      if (!positive_keys.insert(key).second) {
+        continue;  // duplicate
+      }
+    }
+    kept.push_back(std::move(operand));
+  }
+  if (kept.empty()) {
+    // Every operand was the neutral constant.
+    return Constant(is_and, range);
+  }
+  if (kept.size() == 1) {
+    return kept[0];
+  }
+  return WithRange(is_and ? And(std::move(kept)) : Or(std::move(kept)),
+                   range);
+}
+
+FormulaPtr Simplify(const FormulaPtr& formula) {
+  switch (formula->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return formula;
+    case FormulaKind::kEquals: {
+      const Term& left = formula->args[0];
+      const Term& right = formula->args[1];
+      if (left == right) {
+        // x = x and c = c are identically true.
+        return Constant(true, formula->range);
+      }
+      if (!left.is_variable() && !right.is_variable()) {
+        // Distinct constants (equal ones were caught above).
+        return Constant(false, formula->range);
+      }
+      return formula;
+    }
+    case FormulaKind::kNot:
+      return SimplifiedNot(Simplify(formula->children[0]));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> operands;
+      operands.reserve(formula->children.size());
+      for (const FormulaPtr& child : formula->children) {
+        operands.push_back(Simplify(child));
+      }
+      return SimplifiedNary(formula->kind, std::move(operands),
+                            formula->range);
+    }
+    case FormulaKind::kImplies: {
+      // Desugar φ -> ψ to !φ | ψ; the disjunction simplifier then folds
+      // constants (true -> ψ is ψ, φ -> false is !φ, ...).
+      FormulaPtr premise = Simplify(formula->children[0]);
+      FormulaPtr conclusion = Simplify(formula->children[1]);
+      return SimplifiedNary(
+          FormulaKind::kOr,
+          {SimplifiedNot(std::move(premise)), std::move(conclusion)},
+          formula->range);
+    }
+    case FormulaKind::kIff: {
+      FormulaPtr left = Simplify(formula->children[0]);
+      FormulaPtr right = Simplify(formula->children[1]);
+      if (left->kind == FormulaKind::kTrue) return right;
+      if (right->kind == FormulaKind::kTrue) return left;
+      if (left->kind == FormulaKind::kFalse) return SimplifiedNot(right);
+      if (right->kind == FormulaKind::kFalse) return SimplifiedNot(left);
+      if (left->ToString() == right->ToString()) {
+        return Constant(true, formula->range);
+      }
+      return WithRange(Iff(std::move(left), std::move(right)),
+                       formula->range);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForAll: {
+      FormulaPtr body = Simplify(formula->children[0]);
+      // Constant bodies and unused binders make the quantifier a no-op;
+      // both rewrites rely on the universe being non-empty, which the text
+      // formats guarantee (universe size must be positive).
+      if (IsConstant(body)) {
+        return body;
+      }
+      const std::vector<std::string> free = body->FreeVariables();
+      if (std::find(free.begin(), free.end(), formula->bound_variable) ==
+          free.end()) {
+        return body;
+      }
+      FormulaPtr rebuilt =
+          formula->kind == FormulaKind::kExists
+              ? Exists(formula->bound_variable, std::move(body))
+              : ForAll(formula->bound_variable, std::move(body));
+      return WithRange(std::move(rebuilt), formula->range);
+    }
+  }
+  QREL_CHECK_MSG(false, "corrupt formula kind");
+  return formula;
+}
+
+}  // namespace
+
+FormulaPtr SimplifyFormula(const FormulaPtr& formula) {
+  QREL_CHECK(formula != nullptr);
+  return Simplify(formula);
+}
+
+}  // namespace qrel

@@ -1,0 +1,44 @@
+// Semantics-preserving formula simplification.
+//
+// SimplifyFormula rewrites a formula into an equivalent one that is never
+// *harder* for the engine: the simplified formula's Classify() result is at
+// least as specific (PlanRank never increases), and a statically decided
+// formula collapses all the way to the constant true/false, which the
+// engine answers in closed form without enumerating or sampling anything.
+//
+// Rewrites applied (bottom-up, single pass):
+//   * constant folding        — !true → false, true & φ → φ, false & φ →
+//                               false, true | φ → true, false | φ → φ,
+//                               c = c → true, c = c' → false, x = x → true,
+//                               true <-> φ → φ, false <-> φ → !φ;
+//   * double negation         — !!φ → φ;
+//   * implication desugaring  — φ → ψ rewrites to !φ | ψ (the NNF the
+//                               classifier reasons over, now materialized);
+//   * vacuous quantifiers     — ∃x.φ / ∀x.φ → φ when x is not free in φ
+//                               (sound because universes are non-empty);
+//   * contradictory conjuncts — a conjunction containing both φ and !φ is
+//                               false; the dual disjunction is true;
+//   * duplicate operands      — φ & φ → φ, φ | φ → φ.
+//
+// Equivalence is pointwise over every structure with a non-empty universe
+// (text_format.cc enforces universe >= 1), so reliability, per-tuple error
+// and answer sets are unchanged whenever the free-variable list is
+// preserved. Simplification can *drop* free variables (e.g. S(x) & y = y
+// loses y); the engine only substitutes the simplified formula when the
+// free-variable lists match (see logic/analyze.h).
+
+#ifndef QREL_LOGIC_SIMPLIFY_H_
+#define QREL_LOGIC_SIMPLIFY_H_
+
+#include "qrel/logic/ast.h"
+
+namespace qrel {
+
+// The simplified, equivalent formula. Source ranges are inherited from the
+// nodes that survive, so diagnostics on the simplified formula still point
+// into the original text. Idempotent: simplifying twice changes nothing.
+FormulaPtr SimplifyFormula(const FormulaPtr& formula);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_SIMPLIFY_H_

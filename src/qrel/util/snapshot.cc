@@ -14,7 +14,7 @@ namespace qrel {
 
 namespace {
 
-constexpr char kMagic[8] = {'Q', 'R', 'E', 'L', 'S', 'N', 'A', 'P'};
+constexpr uint8_t kMagic[8] = {'Q', 'R', 'E', 'L', 'S', 'N', 'A', 'P'};
 // Container overhead: magic + version + fingerprint + work counter +
 // kind length + payload length + checksum.
 constexpr size_t kMinFileSize = 8 + 4 + 8 + 8 + 4 + 8 + 8;
@@ -29,6 +29,18 @@ uint64_t Fnv1a(const uint8_t* data, size_t size, uint64_t hash) {
     hash *= 0x100000001b3ULL;  // FNV-1a prime
   }
   return hash;
+}
+
+// resize+memcpy rather than vector::insert with an iterator range: the
+// range-insert path trips gcc 12's bogus -Wstringop-overflow/-Warray-bounds
+// analysis at -O2.
+void AppendBytes(std::vector<uint8_t>* bytes, const void* data, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  const size_t offset = bytes->size();
+  bytes->resize(offset + size);
+  std::memcpy(bytes->data() + offset, data, size);
 }
 
 void AppendU32(std::vector<uint8_t>* bytes, uint32_t value) {
@@ -83,7 +95,7 @@ void SnapshotWriter::Double(double value) { U64(DoubleBits(value)); }
 
 void SnapshotWriter::String(std::string_view value) {
   U32(static_cast<uint32_t>(value.size()));
-  bytes_.insert(bytes_.end(), value.begin(), value.end());
+  AppendBytes(&bytes_, value.data(), value.size());
 }
 
 void SnapshotWriter::RationalVal(const Rational& value) {
@@ -253,14 +265,14 @@ Fingerprint& Fingerprint::MixRational(const Rational& value) {
 std::vector<uint8_t> EncodeSnapshot(const SnapshotData& data) {
   std::vector<uint8_t> bytes;
   bytes.reserve(kMinFileSize + data.kind.size() + data.payload.size());
-  bytes.insert(bytes.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendBytes(&bytes, kMagic, sizeof(kMagic));
   AppendU32(&bytes, kSnapshotFormatVersion);
   AppendU64(&bytes, data.fingerprint);
   AppendU64(&bytes, data.work_spent);
   AppendU32(&bytes, static_cast<uint32_t>(data.kind.size()));
-  bytes.insert(bytes.end(), data.kind.begin(), data.kind.end());
+  AppendBytes(&bytes, data.kind.data(), data.kind.size());
   AppendU64(&bytes, static_cast<uint64_t>(data.payload.size()));
-  bytes.insert(bytes.end(), data.payload.begin(), data.payload.end());
+  AppendBytes(&bytes, data.payload.data(), data.payload.size());
   AppendU64(&bytes, Fnv1a(bytes.data(), bytes.size(),
                           0xcbf29ce484222325ULL));
   return bytes;
@@ -434,7 +446,7 @@ StatusOr<SnapshotData> ReadSnapshotFile(const std::string& path) {
     if (n == 0) {
       break;
     }
-    bytes.insert(bytes.end(), buffer, buffer + n);
+    AppendBytes(&bytes, buffer, static_cast<size_t>(n));
     if (bytes.size() > kMaxPayloadLength + kMinFileSize + kMaxKindLength) {
       ::close(fd);
       return Status::DataLoss("snapshot file implausibly large");

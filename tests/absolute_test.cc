@@ -65,7 +65,7 @@ TEST(WitnessSearchTest, AgreesWithQfDecider) {
     if (add_noise) {
       db.SetErrorProbability(GroundAtom{1, {1}}, Rational(1, 3));
     }
-    for (const std::string& text :
+    for (const char* text :
          {"S(x)", "E(x, y)", "S(x) | !S(x)", "S(x) & E(x, x)"}) {
       FormulaPtr query = MustParse(text);
       bool qf = *AbsolutelyReliableQuantifierFree(query, db);
@@ -131,7 +131,7 @@ TEST(WitnessSearchTest, MatchesExactReliabilityBeingOne) {
     if (noise >= 2) {
       db.SetErrorProbability(GroundAtom{1, {2}}, Rational(1, 7));
     }
-    for (const std::string& text :
+    for (const char* text :
          {"exists x . S(x)", "forall x . exists y . E(x, y) | S(x)",
           "E(x, y)"}) {
       FormulaPtr query = MustParse(text);

@@ -1,0 +1,239 @@
+#include "qrel/logic/analyze.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+Vocabulary TestVocabulary() {
+  Vocabulary vocabulary;
+  vocabulary.AddRelation("S", 1);
+  vocabulary.AddRelation("E", 2);
+  return vocabulary;
+}
+
+// The diagnostics carrying the given check id.
+std::vector<Diagnostic> WithCheck(const std::vector<Diagnostic>& diagnostics,
+                                  const std::string& check_id) {
+  std::vector<Diagnostic> matching;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check_id == check_id) {
+      matching.push_back(diagnostic);
+    }
+  }
+  return matching;
+}
+
+TEST(AnalyzeTest, CleanQueryHasNoDiagnostics) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("exists x . S(x) & E(x, y)"), &vocabulary);
+  EXPECT_TRUE(analysis.diagnostics.empty());
+  EXPECT_FALSE(analysis.has_errors());
+  EXPECT_EQ(analysis.static_truth, StaticTruth::kUnknown);
+  EXPECT_TRUE(analysis.arity_preserved);
+  EXPECT_EQ(LintExitCode(analysis.diagnostics), 0);
+}
+
+TEST(AnalyzeTest, UnknownPredicate) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("S(x) & Zap(x, y)"), &vocabulary);
+  ASSERT_TRUE(analysis.has_errors());
+  std::vector<Diagnostic> errors =
+      WithCheck(analysis.diagnostics, "unknown-predicate");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].severity, DiagnosticSeverity::kError);
+  // The range points at the atom, not the whole query.
+  ASSERT_TRUE(errors[0].range.valid());
+  EXPECT_EQ(errors[0].range.begin, 7u);
+  EXPECT_EQ(LintExitCode(analysis.diagnostics), 2);
+}
+
+TEST(AnalyzeTest, ArityMismatch) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("E(x, y, z)"), &vocabulary);
+  std::vector<Diagnostic> errors =
+      WithCheck(analysis.diagnostics, "arity-mismatch");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("arity 2"), std::string::npos);
+  EXPECT_NE(errors[0].message.find("3 argument"), std::string::npos);
+}
+
+TEST(AnalyzeTest, ReportsEveryErrorNotJustTheFirst) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("Zap(x) & E(x) & Pow(y)"), &vocabulary);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "unknown-predicate").size(), 2u);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "arity-mismatch").size(), 1u);
+}
+
+TEST(AnalyzeTest, NoVocabularySkipsVocabularyChecks) {
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("Zap(x) & E(x)"), nullptr);
+  EXPECT_FALSE(analysis.has_errors());
+}
+
+TEST(AnalyzeTest, UnusedQuantifier) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("exists x . S(y)"), &vocabulary);
+  std::vector<Diagnostic> warnings =
+      WithCheck(analysis.diagnostics, "unused-quantifier");
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].severity, DiagnosticSeverity::kWarning);
+  EXPECT_FALSE(analysis.has_errors());
+  EXPECT_EQ(LintExitCode(analysis.diagnostics), 1);
+}
+
+TEST(AnalyzeTest, VacuousQuantifier) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("forall x . y = y"), &vocabulary);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "vacuous-quantifier").size(),
+            1u);
+}
+
+TEST(AnalyzeTest, ContradictoryAndTautologicalLiterals) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis and_analysis =
+      AnalyzeFormula(MustParse("S(x) & !S(x)"), &vocabulary);
+  EXPECT_EQ(
+      WithCheck(and_analysis.diagnostics, "contradictory-literals").size(),
+      1u);
+  EXPECT_EQ(and_analysis.static_truth, StaticTruth::kUnsatisfiable);
+
+  FormulaAnalysis or_analysis =
+      AnalyzeFormula(MustParse("S(x) | !S(x)"), &vocabulary);
+  EXPECT_EQ(
+      WithCheck(or_analysis.diagnostics, "tautological-literals").size(),
+      1u);
+  EXPECT_EQ(or_analysis.static_truth, StaticTruth::kTautology);
+}
+
+TEST(AnalyzeTest, ConstantEqualityNote) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("S(x) & #1 = #2"), &vocabulary);
+  std::vector<Diagnostic> notes =
+      WithCheck(analysis.diagnostics, "constant-equality");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].severity, DiagnosticSeverity::kNote);
+  // Notes alone do not raise the lint exit code.
+  EXPECT_EQ(analysis.static_truth, StaticTruth::kUnsatisfiable);
+}
+
+TEST(AnalyzeTest, SimplifiedNote) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("!!(exists x . S(x))"), &vocabulary);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "simplified").size(), 1u);
+  EXPECT_EQ(analysis.original_class, QueryClass::kExistential);
+  EXPECT_EQ(analysis.effective_class, QueryClass::kConjunctive);
+}
+
+TEST(AnalyzeTest, ArityPreservation) {
+  Vocabulary vocabulary = TestVocabulary();
+  // Simplification drops the free variable y ("y = y" folds to true), so
+  // the simplified formula must not replace the original.
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("S(x) & y = y"), &vocabulary);
+  EXPECT_FALSE(analysis.arity_preserved);
+  EXPECT_EQ(analysis.simplified->ToString(), "S(x)");
+
+  FormulaAnalysis kept =
+      AnalyzeFormula(MustParse("S(x) & x = x"), &vocabulary);
+  EXPECT_TRUE(kept.arity_preserved);
+}
+
+TEST(AnalyzeTest, FirstErrorMessageNamesCheckAndLocation) {
+  Vocabulary vocabulary = TestVocabulary();
+  FormulaAnalysis analysis =
+      AnalyzeFormula(MustParse("S(x) & Zap(x)"), &vocabulary);
+  std::string message = FirstErrorMessage(analysis.diagnostics);
+  EXPECT_NE(message.find("unknown-predicate"), std::string::npos);
+  EXPECT_NE(message.find("at 7-"), std::string::npos);
+  EXPECT_NE(message.find("Zap"), std::string::npos);
+}
+
+TEST(AnalyzeTest, EstimateCost) {
+  CostEstimate cost =
+      EstimateCost(MustParse("exists x . S(x) & E(x, y)"), 4, 10);
+  EXPECT_EQ(cost.universe_size, 4);
+  EXPECT_EQ(cost.arity, 1);     // free: y
+  EXPECT_EQ(cost.variables, 2); // x and y
+  EXPECT_DOUBLE_EQ(cost.answer_space, 4.0);
+  EXPECT_DOUBLE_EQ(cost.grounding_size, 16.0);
+  EXPECT_EQ(cost.uncertain_atoms, 10u);
+  EXPECT_DOUBLE_EQ(cost.world_count, 1024.0);
+}
+
+TEST(AnalyzeTest, EstimateCostSaturatesToInfinity) {
+  CostEstimate cost = EstimateCost(MustParse("S(x)"), 10, 4000);
+  EXPECT_TRUE(std::isinf(cost.world_count));
+}
+
+TEST(ParserDiagnosticTest, SyntaxErrorFillsDiagnostic) {
+  Diagnostic diagnostic;
+  StatusOr<FormulaPtr> result = ParseFormula("S(x", &diagnostic);
+  ASSERT_FALSE(result.ok());
+  // The legacy Status message format is unchanged...
+  EXPECT_NE(result.status().message().find("at position"),
+            std::string::npos);
+  // ...and the structured diagnostic carries the same information.
+  EXPECT_EQ(diagnostic.check_id, "syntax-error");
+  EXPECT_EQ(diagnostic.severity, DiagnosticSeverity::kError);
+  EXPECT_TRUE(diagnostic.range.valid());
+  EXPECT_FALSE(diagnostic.message.empty());
+}
+
+TEST(ParserDiagnosticTest, ParsedNodesCarryRanges) {
+  FormulaPtr formula = MustParse("exists x . S(x) & E(x, y)");
+  EXPECT_TRUE(formula->range.valid());
+  EXPECT_EQ(formula->range.begin, 0u);
+  EXPECT_EQ(formula->range.end, 25u);
+  const Formula& conjunction = *formula->children[0];
+  EXPECT_TRUE(conjunction.range.valid());
+  EXPECT_EQ(conjunction.range.begin, 11u);
+  const Formula& atom = *conjunction.children[0];
+  EXPECT_EQ(atom.range.begin, 11u);
+  EXPECT_EQ(atom.range.end, 15u);
+}
+
+TEST(DiagnosticTest, ToStringAndJson) {
+  Diagnostic diagnostic =
+      MakeError("arity-mismatch", "relation 'E' has arity 2",
+                SourceRange{4, 11});
+  EXPECT_EQ(diagnostic.ToString(),
+            "error[arity-mismatch] at 4-11: relation 'E' has arity 2");
+  EXPECT_EQ(diagnostic.ToJson(),
+            "{\"severity\":\"error\",\"check\":\"arity-mismatch\","
+            "\"begin\":4,\"end\":11,"
+            "\"message\":\"relation 'E' has arity 2\"}");
+
+  Diagnostic unlocated = MakeNote("simplified", "query \"simplifies\"");
+  EXPECT_EQ(unlocated.ToString(),
+            "note[simplified]: query \"simplifies\"");
+  EXPECT_EQ(unlocated.ToJson(),
+            "{\"severity\":\"note\",\"check\":\"simplified\","
+            "\"message\":\"query \\\"simplifies\\\"\"}");
+
+  EXPECT_EQ(DiagnosticsToJson({}), "[]");
+  EXPECT_EQ(DiagnosticsToJson({unlocated, unlocated}).front(), '[');
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,173 @@
+#include "qrel/datalog/analyze.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+DatalogProgram MustParse(const std::string& text) {
+  StatusOr<DatalogProgram> result = ParseDatalogProgram(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+Vocabulary TestVocabulary() {
+  Vocabulary vocabulary;
+  vocabulary.AddRelation("E", 2);
+  vocabulary.AddRelation("Node", 1);
+  return vocabulary;
+}
+
+std::vector<Diagnostic> WithCheck(const std::vector<Diagnostic>& diagnostics,
+                                  const std::string& check_id) {
+  std::vector<Diagnostic> matching;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.check_id == check_id) {
+      matching.push_back(diagnostic);
+    }
+  }
+  return matching;
+}
+
+TEST(DatalogAnalyzeTest, CleanProgram) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("Path(x, y) :- E(x, y).\n"
+                "Path(x, z) :- Path(x, y), E(y, z)."),
+      &vocabulary, "Path");
+  EXPECT_TRUE(analysis.diagnostics.empty());
+  EXPECT_FALSE(analysis.has_errors());
+}
+
+TEST(DatalogAnalyzeTest, UnknownPredicate) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- Edge(x, y)."), &vocabulary);
+  std::vector<Diagnostic> errors =
+      WithCheck(analysis.diagnostics, "unknown-predicate");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("Edge"), std::string::npos);
+  EXPECT_TRUE(errors[0].range.valid());
+}
+
+TEST(DatalogAnalyzeTest, ArityMismatch) {
+  Vocabulary vocabulary = TestVocabulary();
+  // E used with 1 argument; also an IDB used at two arities.
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- E(x).\n"
+                "Q(x) :- P(x, x), E(x, x)."),
+      &vocabulary);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "arity-mismatch").size(), 2u);
+}
+
+TEST(DatalogAnalyzeTest, IdbEdbClash) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("E(x, y) :- Node(x), Node(y)."), &vocabulary);
+  EXPECT_EQ(WithCheck(analysis.diagnostics, "idb-edb-clash").size(), 1u);
+}
+
+TEST(DatalogAnalyzeTest, UnboundHeadVariable) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x, y) :- Node(x)."), &vocabulary);
+  std::vector<Diagnostic> errors =
+      WithCheck(analysis.diagnostics, "unbound-head-variable");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("'y'"), std::string::npos);
+}
+
+TEST(DatalogAnalyzeTest, UnsafeNegatedVariable) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- Node(x), !E(x, y)."), &vocabulary);
+  std::vector<Diagnostic> errors =
+      WithCheck(analysis.diagnostics, "unsafe-variable");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("'y'"), std::string::npos);
+}
+
+TEST(DatalogAnalyzeTest, UnstratifiableCycle) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- Node(x), !Q(x).\n"
+                "Q(x) :- Node(x), !P(x)."),
+      &vocabulary);
+  EXPECT_FALSE(
+      WithCheck(analysis.diagnostics, "unstratifiable-cycle").empty());
+
+  // Stratified negation is fine.
+  DatalogAnalysis stratified = AnalyzeDatalogProgram(
+      MustParse("Reach(x) :- E(x, y).\n"
+                "Isolated(x) :- Node(x), !Reach(x)."),
+      &vocabulary);
+  EXPECT_TRUE(
+      WithCheck(stratified.diagnostics, "unstratifiable-cycle").empty());
+}
+
+TEST(DatalogAnalyzeTest, DuplicateRule) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- Node(x).\n"
+                "P(x)    :- Node(x)."),
+      &vocabulary);
+  std::vector<Diagnostic> warnings =
+      WithCheck(analysis.diagnostics, "duplicate-rule");
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].severity, DiagnosticSeverity::kWarning);
+  EXPECT_FALSE(analysis.has_errors());
+}
+
+TEST(DatalogAnalyzeTest, UnreachablePredicate) {
+  Vocabulary vocabulary = TestVocabulary();
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("Path(x, y) :- E(x, y).\n"
+                "Orphan(x) :- Node(x)."),
+      &vocabulary, "Path");
+  std::vector<Diagnostic> notes =
+      WithCheck(analysis.diagnostics, "unreachable-predicate");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].message.find("Orphan"), std::string::npos);
+
+  // Without a query predicate the check is skipped.
+  DatalogAnalysis unscoped = AnalyzeDatalogProgram(
+      MustParse("Path(x, y) :- E(x, y).\n"
+                "Orphan(x) :- Node(x)."),
+      &vocabulary);
+  EXPECT_TRUE(
+      WithCheck(unscoped.diagnostics, "unreachable-predicate").empty());
+}
+
+TEST(DatalogAnalyzeTest, NoVocabularySkipsEdbChecks) {
+  DatalogAnalysis analysis = AnalyzeDatalogProgram(
+      MustParse("P(x) :- Edge(x, y)."), nullptr);
+  EXPECT_TRUE(WithCheck(analysis.diagnostics, "unknown-predicate").empty());
+}
+
+TEST(DatalogAnalyzeTest, RulesCarryRanges) {
+  DatalogProgram program = MustParse("Path(x, y) :- E(x, y).");
+  ASSERT_EQ(program.rules.size(), 1u);
+  const DatalogRule& rule = program.rules[0];
+  EXPECT_TRUE(rule.range.valid());
+  EXPECT_EQ(rule.range.begin, 0u);
+  EXPECT_EQ(rule.range.end, 22u);  // up to (not including) the final '.'
+  EXPECT_TRUE(rule.head.range.valid());
+  EXPECT_EQ(rule.head.range.begin, 0u);
+  ASSERT_EQ(rule.body.size(), 1u);
+  EXPECT_TRUE(rule.body[0].atom.range.valid());
+}
+
+TEST(DatalogAnalyzeTest, ParseErrorFillsDiagnostic) {
+  Diagnostic diagnostic;
+  StatusOr<DatalogProgram> result =
+      ParseDatalogProgram("P(x) :- Node(x)", &diagnostic);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(diagnostic.check_id, "syntax-error");
+  EXPECT_TRUE(diagnostic.range.valid());
+}
+
+}  // namespace
+}  // namespace qrel

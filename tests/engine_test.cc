@@ -338,5 +338,150 @@ TEST(EngineDatalogTest, ErrorsPropagate) {
       engine.RunDatalog("P(x) :- Zap(x).", "P").ok());
 }
 
+TEST(EngineAnalysisTest, AnalysisErrorsFailBeforeAnyBudgetCharge) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EngineOptions options;
+  options.run_context = &ctx;
+
+  StatusOr<EngineReport> unknown = engine.Run("Zap(x)", options);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // The message names the stable check id and the source location.
+  EXPECT_NE(unknown.status().message().find("unknown-predicate"),
+            std::string::npos);
+  EXPECT_NE(unknown.status().message().find("at 0-"), std::string::npos);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+
+  StatusOr<EngineReport> arity = engine.Run("E(x)", options);
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(arity.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(arity.status().message().find("arity-mismatch"),
+            std::string::npos);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+}
+
+TEST(EngineAnalysisTest, DatalogAnalysisErrorsFailBeforeAnyBudgetCharge) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EngineOptions options;
+  options.run_context = &ctx;
+
+  StatusOr<EngineReport> unsafe =
+      engine.RunDatalog("P(x, y) :- S(x).", "P", options);
+  ASSERT_FALSE(unsafe.ok());
+  EXPECT_EQ(unsafe.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unsafe.status().message().find("unbound-head-variable"),
+            std::string::npos);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+
+  StatusOr<EngineReport> cyclic = engine.RunDatalog(
+      "P(x) :- S(x), !Q(x).\nQ(x) :- S(x), !P(x).", "P", options);
+  ASSERT_FALSE(cyclic.ok());
+  EXPECT_NE(cyclic.status().message().find("unstratifiable-cycle"),
+            std::string::npos);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+}
+
+TEST(EngineAnalysisTest, StaticallyFalseShortCircuitsWithoutSampling) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EngineOptions options;
+  options.run_context = &ctx;
+  EngineReport report = *engine.Run("exists x . S(x) & !S(x)", options);
+  EXPECT_TRUE(report.is_exact);
+  ASSERT_TRUE(report.exact_reliability.has_value());
+  EXPECT_EQ(*report.exact_reliability, Rational::One());
+  EXPECT_EQ(report.expected_error, 0.0);
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_NE(report.method.find("static analysis closed form"),
+            std::string::npos);
+  // Nothing was enumerated or sampled, so no work unit was charged.
+  EXPECT_EQ(report.budget_spent, 0u);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+}
+
+TEST(EngineAnalysisTest, StaticallyTrueShortCircuitsWithAllAnswers) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.Run("S(x) | !S(x)");
+  EXPECT_TRUE(report.is_exact);
+  ASSERT_TRUE(report.exact_reliability.has_value());
+  EXPECT_EQ(*report.exact_reliability, Rational::One());
+  EXPECT_EQ(report.samples, 0u);
+  // A tautology answers every tuple of the universe.
+  ASSERT_TRUE(report.observed_answers.has_value());
+  EXPECT_EQ(report.observed_answers->size(), 4u);
+}
+
+TEST(EngineAnalysisTest, DispatchUsesSimplifiedClass) {
+  ReliabilityEngine engine = MakeEngine();
+  // ∃y with y unused: conjunctive as written, quantifier-free once the
+  // vacuous binder and trivial equality fall away — and the report shows
+  // the rung the engine actually took (Prop 3.1, not Thm 4.2).
+  EngineReport report = *engine.Run("exists y . S(x) & y = y");
+  EXPECT_EQ(report.query_class, QueryClass::kQuantifierFree);
+  EXPECT_NE(report.method.find("Prop 3.1"), std::string::npos);
+  // Same closed form as the plain query.
+  EngineReport plain = *engine.Run("S(x)");
+  ASSERT_TRUE(report.exact_reliability.has_value());
+  EXPECT_EQ(*report.exact_reliability, *plain.exact_reliability);
+}
+
+TEST(EngineAnalysisTest, ArityDroppingSimplificationIsNotSubstituted) {
+  ReliabilityEngine engine = MakeEngine();
+  // "y = y" folds to true, which would drop the free variable y and change
+  // the answer space from n^2 to n. The engine must evaluate the original.
+  EngineReport report = *engine.Run("S(x) & y = y");
+  EXPECT_EQ(report.query_class, QueryClass::kQuantifierFree);
+  ASSERT_TRUE(report.observed_answers.has_value());
+  // S answers {0, 2}, y ranges over the full universe: 2 * 4 tuples.
+  EXPECT_EQ(report.observed_answers->size(), 8u);
+}
+
+TEST(EngineExplainTest, ExplainReportsDiagnosticsCostAndPlan) {
+  ReliabilityEngine engine = MakeEngine();
+  EnginePlan plan = *engine.Explain("exists x . S(x) & E(x, y)");
+  EXPECT_TRUE(plan.diagnostics.empty());
+  EXPECT_EQ(plan.query_class, QueryClass::kConjunctive);
+  EXPECT_EQ(plan.effective_class, QueryClass::kConjunctive);
+  EXPECT_EQ(plan.static_truth, StaticTruth::kUnknown);
+  EXPECT_EQ(plan.cost.universe_size, 4);
+  EXPECT_EQ(plan.cost.arity, 1);
+  EXPECT_EQ(plan.cost.variables, 2);
+  EXPECT_DOUBLE_EQ(plan.cost.answer_space, 4.0);
+  EXPECT_DOUBLE_EQ(plan.cost.grounding_size, 16.0);
+  EXPECT_EQ(plan.cost.uncertain_atoms, 3u);
+  EXPECT_DOUBLE_EQ(plan.cost.world_count, 8.0);
+  EXPECT_EQ(plan.planned_method, "Thm 4.2 exact world enumeration");
+
+  EnginePlan broken = *engine.Explain("Zap(x)");
+  EXPECT_TRUE(broken.has_errors());
+  EXPECT_TRUE(broken.planned_method.empty());
+}
+
+TEST(EngineExplainTest, ExplainNeverChargesTheBudget) {
+  ReliabilityEngine engine = MakeEngine();
+  RunContext ctx = RunContext::WithWorkBudget(1000);
+  EngineOptions options;
+  options.run_context = &ctx;
+  (void)*engine.Explain("forall x . exists y . E(x, y)", options);
+  (void)*engine.ExplainDatalog("P(x) :- S(x).", "P", options);
+  EXPECT_EQ(ctx.work_spent(), 0u);
+}
+
+TEST(EngineExplainTest, DatalogExplain) {
+  ReliabilityEngine engine = MakeEngine();
+  EnginePlan plan = *engine.ExplainDatalog(kTcProgram, "Path");
+  EXPECT_FALSE(plan.has_errors());
+  EXPECT_EQ(plan.cost.arity, 2);
+  EXPECT_EQ(plan.cost.uncertain_atoms, 3u);
+  EXPECT_EQ(plan.planned_method,
+            "Thm 4.2 exact world enumeration over Datalog");
+
+  EnginePlan broken = *engine.ExplainDatalog("P(x, y) :- S(x).", "P");
+  EXPECT_TRUE(broken.has_errors());
+  EXPECT_TRUE(broken.planned_method.empty());
+}
+
 }  // namespace
 }  // namespace qrel

@@ -211,5 +211,91 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationTest,
                          ::testing::Values(1001u, 2002u, 3003u, 4004u,
                                            5005u));
 
+// The analyzer-engine contract: across every rung of the ladder, the
+// method Explain() predicts is what Run() then actually executes (the
+// plan string is a prefix of the report's method, which may append run
+// details like world counts).
+TEST(ExplainContractTest, PlannedMethodMatchesExecutedRung) {
+  Rng rng(424242u);
+  UnreliableDatabase db = RandomDatabase(&rng, 3, 4);
+  ReliabilityEngine engine(std::move(db));
+
+  EngineOptions fast;
+  fast.seed = 9;
+  fast.epsilon = 0.25;
+  fast.delta = 0.25;
+  fast.fixed_samples = 32;
+  EngineOptions approx = fast;
+  approx.force_approximate = true;
+
+  struct Case {
+    const char* query;
+    const EngineOptions* options;
+  };
+  const Case cases[] = {
+      // Prop 3.1 (quantifier-free exact).
+      {"S(x) & !T(x)", &fast},
+      // Thm 4.2 (16 worlds, exact enumeration).
+      {"forall x . exists y . E(x, y)", &fast},
+      // Static closed form, no execution.
+      {"exists x . S(x) & !S(x)", &fast},
+      {"S(x) | !S(x)", &fast},
+      // Cor 5.5, existential branch.
+      {"exists x . S(x) | T(x)", &approx},
+      // Cor 5.5, universal branch.
+      {"forall x . S(x) -> T(x)", &approx},
+      // Thm 5.12 (general first-order).
+      {"forall x . exists y . E(x, y) & S(y)", &approx},
+      // Simplification upgrades the rung: double negation peels to a
+      // conjunctive query, equality folds away.
+      {"!!(exists x . S(x) & x = x)", &approx},
+  };
+  for (const Case& test_case : cases) {
+    StatusOr<EnginePlan> plan =
+        engine.Explain(test_case.query, *test_case.options);
+    ASSERT_TRUE(plan.ok()) << test_case.query;
+    ASSERT_FALSE(plan->has_errors()) << test_case.query;
+    StatusOr<EngineReport> report =
+        engine.Run(test_case.query, *test_case.options);
+    ASSERT_TRUE(report.ok())
+        << test_case.query << ": " << report.status().ToString();
+    EXPECT_EQ(report->method.rfind(plan->planned_method, 0), 0u)
+        << test_case.query << ": planned \"" << plan->planned_method
+        << "\" but ran \"" << report->method << "\"";
+    EXPECT_LE(PlanRank(plan->effective_class), PlanRank(plan->query_class))
+        << test_case.query;
+  }
+}
+
+TEST(ExplainContractTest, DatalogPlannedMethodMatchesExecutedRung) {
+  Rng rng(515151u);
+  UnreliableDatabase db = RandomDatabase(&rng, 3, 4);
+  ReliabilityEngine engine(std::move(db));
+  const char* program =
+      "Path(x, y) :- E(x, y).\n"
+      "Path(x, z) :- Path(x, y), E(y, z).";
+
+  EngineOptions exact;
+  exact.seed = 3;
+  EngineOptions approx = exact;
+  approx.force_approximate = true;
+  approx.epsilon = 0.25;
+  approx.delta = 0.25;
+  approx.fixed_samples = 32;
+
+  for (const EngineOptions* options : {&exact, &approx}) {
+    StatusOr<EnginePlan> plan =
+        engine.ExplainDatalog(program, "Path", *options);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_FALSE(plan->has_errors());
+    StatusOr<EngineReport> report =
+        engine.RunDatalog(program, "Path", *options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->method.rfind(plan->planned_method, 0), 0u)
+        << "planned \"" << plan->planned_method << "\" but ran \""
+        << report->method << "\"";
+  }
+}
+
 }  // namespace
 }  // namespace qrel

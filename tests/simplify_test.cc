@@ -1,0 +1,174 @@
+#include "qrel/logic/simplify.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/classify.h"
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+std::string Simplified(const std::string& text) {
+  return SimplifyFormula(MustParse(text))->ToString();
+}
+
+// The printer's rendering of `text` as parsed — lets expectations be
+// written in surface syntax instead of the printer's parenthesisation.
+std::string Canonical(const std::string& text) {
+  return MustParse(text)->ToString();
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(Simplified("x = x"), Canonical("true"));
+  EXPECT_EQ(Simplified("#1 = #1"), Canonical("true"));
+  EXPECT_EQ(Simplified("#1 = #2"), Canonical("false"));
+  EXPECT_EQ(Simplified("!(#1 = #2)"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) & x = x"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("S(x) | x = x"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) & #1 = #2"), Canonical("false"));
+  EXPECT_EQ(Simplified("S(x) | #1 = #2"), Canonical("S(x)"));
+}
+
+TEST(SimplifyTest, DoubleNegation) {
+  EXPECT_EQ(Simplified("!!S(x)"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("!!!!S(x)"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("!!!S(x)"), Canonical("!S(x)"));
+  EXPECT_EQ(Simplified("!!(exists x . S(x))"), Canonical("exists x . S(x)"));
+}
+
+TEST(SimplifyTest, DoubleNegationRestoresQuantifierClass) {
+  // !!∃ is classified existential only through NNF; dropping the double
+  // negation makes it syntactically conjunctive — a strictly better rung.
+  FormulaPtr original = MustParse("!!(exists x . S(x))");
+  EXPECT_EQ(Classify(original), QueryClass::kExistential);
+  EXPECT_EQ(Classify(SimplifyFormula(original)), QueryClass::kConjunctive);
+
+  // The universal dual stays universal (never worse).
+  FormulaPtr universal = MustParse("!!(forall x . S(x))");
+  EXPECT_EQ(Classify(SimplifyFormula(universal)), QueryClass::kUniversal);
+}
+
+TEST(SimplifyTest, ImplicationDesugaring) {
+  EXPECT_EQ(Simplified("S(x) -> S(x)"), Canonical("true"));
+  EXPECT_EQ(Simplified("true -> S(x)"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("false -> S(x)"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) -> false"), Canonical("!S(x)"));
+  EXPECT_EQ(Simplified("S(x) -> true"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) -> T(x)"), Canonical("!S(x) | T(x)"));
+}
+
+TEST(SimplifyTest, IffFolding) {
+  EXPECT_EQ(Simplified("S(x) <-> S(x)"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) <-> true"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("S(x) <-> false"), Canonical("!S(x)"));
+  EXPECT_EQ(Simplified("false <-> S(x)"), Canonical("!S(x)"));
+}
+
+TEST(SimplifyTest, VacuousQuantifiers) {
+  // The binder never occurs in the body.
+  EXPECT_EQ(Simplified("exists x . S(y)"), Canonical("S(y)"));
+  EXPECT_EQ(Simplified("forall x . S(y)"), Canonical("S(y)"));
+  // Constant bodies (sound because universes are non-empty).
+  EXPECT_EQ(Simplified("exists x . y = y"), Canonical("true"));
+  EXPECT_EQ(Simplified("forall x . #1 = #2"), Canonical("false"));
+  // Nested vacuous binders all fall away.
+  EXPECT_EQ(Simplified("exists x . forall y . S(z)"), Canonical("S(z)"));
+  // A used binder stays.
+  EXPECT_EQ(Simplified("exists x . S(x)"), Canonical("exists x . S(x)"));
+}
+
+TEST(SimplifyTest, ContradictionsAndTautologies) {
+  EXPECT_EQ(Simplified("S(x) & !S(x)"), Canonical("false"));
+  EXPECT_EQ(Simplified("S(x) | !S(x)"), Canonical("true"));
+  EXPECT_EQ(Simplified("S(x) & T(x) & !S(x)"), Canonical("false"));
+  EXPECT_EQ(Simplified("exists x . S(x) & !S(x)"), Canonical("false"));
+  // Duplicates collapse.
+  EXPECT_EQ(Simplified("S(x) & S(x)"), Canonical("S(x)"));
+  EXPECT_EQ(Simplified("S(x) | S(x) | S(x)"), Canonical("S(x)"));
+}
+
+TEST(SimplifyTest, FlattensNestedConnectives) {
+  // (S & (T & S)) has a duplicate only visible after flattening.
+  EXPECT_EQ(Simplified("S(x) & (T(x) & S(x))"), Canonical("S(x) & T(x)"));
+  EXPECT_EQ(Simplified("S(x) | (T(x) | !S(x))"), Canonical("true"));
+}
+
+TEST(SimplifyTest, EqualitiesInConjunctiveQueries) {
+  // A CQ with a trivial equality stays a CQ (and sheds the equality).
+  FormulaPtr query = MustParse("exists x . S(x) & E(x, y) & x = x");
+  EXPECT_EQ(Classify(query), QueryClass::kConjunctive);
+  FormulaPtr simplified = SimplifyFormula(query);
+  EXPECT_EQ(simplified->ToString(), Canonical("exists x . S(x) & E(x, y)"));
+  EXPECT_EQ(Classify(simplified), QueryClass::kConjunctive);
+  // A non-trivial equality is kept: it constrains the assignment.
+  EXPECT_EQ(Simplified("exists x . S(x) & x = y"),
+            Canonical("exists x . S(x) & x = y"));
+}
+
+TEST(SimplifyTest, Idempotent) {
+  const std::vector<std::string> formulas = {
+      "S(x)",
+      "!!S(x)",
+      "S(x) -> T(x)",
+      "exists x . S(y)",
+      "S(x) & !S(x)",
+      "forall x . S(x) -> (exists y . E(x, y))",
+      "S(x) <-> T(y)",
+      "exists x . S(x) & x = x & E(x, y)",
+  };
+  for (const std::string& text : formulas) {
+    FormulaPtr once = SimplifyFormula(MustParse(text));
+    FormulaPtr twice = SimplifyFormula(once);
+    EXPECT_EQ(once->ToString(), twice->ToString()) << text;
+  }
+}
+
+TEST(SimplifyTest, PlanRankNeverWorse) {
+  // The simplifier contract: across a catalog covering every class and
+  // every rewrite, the simplified class is never a worse rung.
+  const std::vector<std::string> formulas = {
+      "S(x)",
+      "S(x) & E(x, y)",
+      "exists x . S(x) & E(x, x)",
+      "exists x . S(x) | E(x, x)",
+      "forall x . S(x)",
+      "forall x . exists y . E(x, y)",
+      "!!(exists x . S(x))",
+      "!(forall x . !S(x))",
+      "S(x) -> T(x)",
+      "exists x . S(y)",
+      "forall x . S(x) -> T(x)",
+      "S(x) & !S(x)",
+      "S(x) | !S(x)",
+      "exists x . S(x) & x = x",
+      "S(x) <-> S(x)",
+      "forall x . (S(x) & true) | #1 = #2",
+  };
+  for (const std::string& text : formulas) {
+    FormulaPtr original = MustParse(text);
+    FormulaPtr simplified = SimplifyFormula(original);
+    EXPECT_LE(PlanRank(Classify(simplified)), PlanRank(Classify(original)))
+        << text << " simplified to " << simplified->ToString();
+  }
+}
+
+TEST(SimplifyTest, PreservesRanges) {
+  FormulaPtr formula = MustParse("S(x) & (T(x) & S(x))");
+  FormulaPtr simplified = SimplifyFormula(formula);
+  // The rebuilt conjunction keeps the original node's source range.
+  EXPECT_TRUE(simplified->range.valid());
+  EXPECT_EQ(simplified->range.begin, formula->range.begin);
+  EXPECT_EQ(simplified->range.end, formula->range.end);
+}
+
+}  // namespace
+}  // namespace qrel
