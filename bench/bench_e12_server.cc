@@ -1,0 +1,428 @@
+// E12 — serving-layer behavior under load: an in-process load generator
+// driving QrelServer::Handle (the same code path the TCP layer uses)
+// through three scenarios:
+//
+//   steady    — mixed cacheable/unique/EXPLAIN traffic at a load the
+//               queue absorbs: nothing sheds, the cache replays repeats,
+//               and we report qps and p50/p99 latency.
+//   stampede  — N threads issue the identical expensive query at once:
+//               single-flight dedup must collapse them to one compute.
+//   overload  — one worker, a tiny queue, and a burst of unique slow
+//               queries: the excess sheds with typed UNAVAILABLE +
+//               Retry-After, HEALTH stays responsive throughout, and the
+//               server drains to idle afterwards.
+//
+// Unlike the E1–E11 microbenchmarks this is a scenario harness, not a
+// google-benchmark binary: each scenario asserts its robustness
+// invariants and any violation exits nonzero, so CI can run it as a
+// smoke test (--smoke shrinks the workload). --json[=PATH] writes the
+// metrics to BENCH_e12_server.json (or PATH) for trend tracking.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qrel/net/protocol.h"
+#include "qrel/net/server.h"
+#include "qrel/prob/text_format.h"
+
+namespace {
+
+using qrel::Request;
+using qrel::RequestVerb;
+using qrel::Response;
+using qrel::ServerOptions;
+using qrel::ServerStatsSnapshot;
+using qrel::StatusCode;
+
+using Clock = std::chrono::steady_clock;
+
+int g_failures = 0;
+
+void Check(bool condition, const std::string& message) {
+  if (!condition) {
+    ++g_failures;
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", message.c_str());
+  }
+}
+
+// A ring on n elements where *every* edge is uncertain (err=1/4) and the
+// S column mixes certain facts with uncertain absences. No query over E
+// has a certain witness, so a forced-approximate request really runs its
+// full Karp-Luby sample count — the load generator controls request
+// duration through fixed_samples instead of short-circuiting on a
+// "certainly true" grounding. With n=12 that is 20 uncertain atoms: 2^20
+// worlds, comfortably past the engine's exact ceiling, so unforced
+// requests approximate too.
+qrel::ReliabilityEngine BenchEngine() {
+  const int n = 12;
+  std::string udb = "universe " + std::to_string(n) +
+                    "\nrelation E 2\nrelation S 1\n";
+  for (int i = 0; i < n; ++i) {
+    udb += "fact E " + std::to_string(i) + " " +
+           std::to_string((i + 1) % n) + " err=1/4\n";
+    if (i % 3 == 0) {
+      udb += "fact S " + std::to_string(i) + "\n";
+    } else {
+      udb += "absent S " + std::to_string(i) + " err=1/5\n";
+    }
+  }
+  qrel::StatusOr<qrel::UnreliableDatabase> database = qrel::ParseUdb(udb);
+  if (!database.ok()) {
+    std::fprintf(stderr, "bench database: %s\n",
+                 database.status().ToString().c_str());
+    std::exit(2);
+  }
+  return qrel::ReliabilityEngine(std::move(database).value());
+}
+
+Request QueryRequest(const std::string& query) {
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = query;
+  return request;
+}
+
+// A request that samples instead of enumerating, with a per-caller seed so
+// distinct seeds are distinct cache keys (and equal seeds collide).
+Request SampledRequest(const std::string& query, uint64_t seed,
+                       uint64_t samples) {
+  Request request = QueryRequest(query);
+  request.options.force_approximate = true;
+  request.options.fixed_samples = samples;
+  request.options.seed = seed;
+  return request;
+}
+
+struct ScenarioMetrics {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t other_errors = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t single_flight_shared = 0;
+};
+
+double PercentileMs(std::vector<double>* latencies_ms, double q) {
+  if (latencies_ms->empty()) {
+    return 0.0;
+  }
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(
+                                             latencies_ms->size() - 1));
+  return (*latencies_ms)[index];
+}
+
+// Runs `per_thread` requests on each of `threads` threads, pulling the
+// i-th request from `make_request(thread, i)`; records latencies and
+// typed outcome counts into `metrics`.
+void RunClients(qrel::QrelServer* server, int threads, int per_thread,
+                const std::function<Request(int, int)>& make_request,
+                ScenarioMetrics* metrics) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> other{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        Request request = make_request(t, i);
+        Clock::time_point begin = Clock::now();
+        Response response = server->Handle(request);
+        double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - begin)
+                        .count();
+        latencies[static_cast<size_t>(t)].push_back(ms);
+        if (response.ok()) {
+          ok.fetch_add(1);
+        } else if (response.status.code() == StatusCode::kUnavailable) {
+          shed.fetch_add(1);
+          Check(response.retry_after_ms.has_value(),
+                "a shed response must carry a Retry-After hint");
+        } else {
+          other.fetch_add(1);
+          // Whatever went wrong must be a *typed* protocol error.
+          Check(response.status.code() != StatusCode::kOk,
+                "an error response must carry a nonzero status code");
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  metrics->elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (const std::vector<double>& per : latencies) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  metrics->requests = all.size();
+  metrics->ok = ok.load();
+  metrics->shed = shed.load();
+  metrics->other_errors = other.load();
+  metrics->qps = metrics->elapsed_s > 0.0
+                     ? static_cast<double>(all.size()) / metrics->elapsed_s
+                     : 0.0;
+  metrics->p50_ms = PercentileMs(&all, 0.50);
+  metrics->p99_ms = PercentileMs(&all, 0.99);
+}
+
+// Steady state: a queue deep enough for the offered load, traffic that is
+// 50% repeats of two cacheable queries, 25% unique sampled queries, 25%
+// EXPLAIN. Nothing may shed and the cache must be doing real work.
+ScenarioMetrics RunSteady(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "steady";
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  options.work_quota = uint64_t{1} << 32;
+  qrel::QrelServer server(BenchEngine(), options);
+
+  const int threads = 4;
+  const int per_thread = smoke ? 15 : 100;
+  const uint64_t samples = smoke ? 2000 : 20000;
+  RunClients(
+      &server, threads, per_thread,
+      [&](int t, int i) -> Request {
+        int kind = (t + i) % 4;
+        if (kind == 0) {
+          return QueryRequest("exists x y . E(x,y) & S(y)");
+        }
+        if (kind == 1) {
+          return QueryRequest("exists x . S(x) & !E(x,x)");
+        }
+        if (kind == 2) {
+          return SampledRequest(
+              "exists x y . E(x,y) & S(y)",
+              /*seed=*/static_cast<uint64_t>(t) * 1000 +
+                  static_cast<uint64_t>(i),
+              samples);
+        }
+        Request explain = QueryRequest("exists x y . E(x,y) & S(y)");
+        explain.verb = RequestVerb::kExplain;
+        return explain;
+      },
+      &metrics);
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  metrics.cache_hits = stats.cache_hits;
+  metrics.cache_misses = stats.cache_misses;
+  metrics.single_flight_shared = stats.cache_shared;
+  Check(metrics.ok == metrics.requests,
+        "steady: every request must succeed (got " +
+            std::to_string(metrics.ok) + "/" +
+            std::to_string(metrics.requests) + ")");
+  Check(stats.shed_queue_full + stats.shed_quota + stats.shed_draining == 0,
+        "steady: nothing may shed at this load");
+  Check(stats.cache_hits > 0, "steady: repeats must hit the cache");
+  server.Shutdown();
+  return metrics;
+}
+
+// Stampede: every thread issues the *identical* expensive query at once.
+// Single-flight must collapse the burst into one compute; everyone gets
+// the leader's answer.
+ScenarioMetrics RunStampede(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "stampede";
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 64;
+  options.default_max_work = uint64_t{1} << 26;
+  options.max_request_work = uint64_t{1} << 26;
+  options.work_quota = uint64_t{1} << 32;
+  qrel::QrelServer server(BenchEngine(), options);
+
+  const int threads = 8;
+  const uint64_t samples = smoke ? 50000 : 400000;
+  Request hot = SampledRequest("exists x y . E(x,y) & S(y)", /*seed=*/7,
+                               samples);
+  RunClients(
+      &server, threads, /*per_thread=*/1,
+      [&](int, int) { return hot; }, &metrics);
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  metrics.cache_hits = stats.cache_hits;
+  metrics.cache_misses = stats.cache_misses;
+  metrics.single_flight_shared = stats.cache_shared;
+  Check(metrics.ok == metrics.requests, "stampede: every caller must get "
+                                        "the leader's answer");
+  Check(stats.cache_misses == 1,
+        "stampede: single-flight must collapse to exactly one compute "
+        "(got " + std::to_string(stats.cache_misses) + " misses)");
+  Check(stats.cache_hits + stats.cache_shared ==
+            static_cast<uint64_t>(threads - 1),
+        "stampede: every follower must be served from the flight or the "
+        "store");
+  server.Shutdown();
+  return metrics;
+}
+
+// Overload: one worker, a 2-slot queue, and a burst of unique slow
+// queries. The excess must shed typed and O(1); the server must stay
+// responsive to HEALTH while saturated and be idle once the burst ends.
+ScenarioMetrics RunOverload(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "overload";
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.default_max_work = uint64_t{1} << 26;
+  options.max_request_work = uint64_t{1} << 26;
+  options.work_quota = uint64_t{1} << 32;
+  qrel::QrelServer server(BenchEngine(), options);
+
+  const int threads = 8;
+  const int per_thread = smoke ? 2 : 6;
+  const uint64_t samples = smoke ? 100000 : 400000;
+  std::atomic<bool> burst_done{false};
+  std::atomic<uint64_t> health_ok{0};
+  std::thread prober([&] {
+    // HEALTH must answer promptly no matter how saturated the queue is.
+    while (!burst_done.load()) {
+      Request health;
+      health.verb = RequestVerb::kHealth;
+      Response response = server.Handle(health);
+      if (response.ok()) {
+        health_ok.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  RunClients(
+      &server, threads, per_thread,
+      [&](int t, int i) {
+        return SampledRequest(
+            "exists x y . E(x,y) & S(y)",
+            /*seed=*/9000 + static_cast<uint64_t>(t) * 100 +
+                static_cast<uint64_t>(i),
+            samples);
+      },
+      &metrics);
+  burst_done.store(true);
+  prober.join();
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  metrics.cache_hits = stats.cache_hits;
+  metrics.cache_misses = stats.cache_misses;
+  metrics.single_flight_shared = stats.cache_shared;
+  Check(metrics.shed > 0, "overload: an oversubscribed 2-slot queue must "
+                          "shed something");
+  Check(metrics.shed == stats.shed_queue_full + stats.shed_quota,
+        "overload: every shed must be accounted to a typed cause");
+  Check(metrics.ok + metrics.shed == metrics.requests,
+        "overload: every request ends OK or typed-shed, nothing vanishes");
+  Check(health_ok.load() > 0,
+        "overload: HEALTH must stay responsive under saturation");
+  server.Drain();
+  Check(server.inflight() == 0 && server.queue_depth() == 0,
+        "overload: the server must drain to idle after the burst");
+  server.Shutdown();
+  return metrics;
+}
+
+void PrintHuman(const ScenarioMetrics& m) {
+  std::printf(
+      "%-9s: %5llu req in %6.2fs  (%7.1f qps)  p50 %7.2fms  p99 %7.2fms  "
+      "ok %llu  shed %llu  cache %llu/%llu (+%llu shared)\n",
+      m.name.c_str(), static_cast<unsigned long long>(m.requests),
+      m.elapsed_s, m.qps, m.p50_ms, m.p99_ms,
+      static_cast<unsigned long long>(m.ok),
+      static_cast<unsigned long long>(m.shed),
+      static_cast<unsigned long long>(m.cache_hits),
+      static_cast<unsigned long long>(m.cache_misses),
+      static_cast<unsigned long long>(m.single_flight_shared));
+}
+
+void AppendJson(std::string* out, const ScenarioMetrics& m, bool last) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"name\": \"%s\", \"requests\": %llu, \"ok\": %llu, "
+      "\"shed\": %llu, \"other_errors\": %llu, \"elapsed_s\": %.4f, "
+      "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+      "\"single_flight_shared\": %llu}%s\n",
+      m.name.c_str(), static_cast<unsigned long long>(m.requests),
+      static_cast<unsigned long long>(m.ok),
+      static_cast<unsigned long long>(m.shed),
+      static_cast<unsigned long long>(m.other_errors), m.elapsed_s, m.qps,
+      m.p50_ms, m.p99_ms, static_cast<unsigned long long>(m.cache_hits),
+      static_cast<unsigned long long>(m.cache_misses),
+      static_cast<unsigned long long>(m.single_flight_shared),
+      last ? "" : ",");
+  out->append(buffer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = "BENCH_e12_server.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_e12_server [--smoke] [--json[=PATH]]\n");
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioMetrics> results;
+  results.push_back(RunSteady(smoke));
+  PrintHuman(results.back());
+  results.push_back(RunStampede(smoke));
+  PrintHuman(results.back());
+  results.push_back(RunOverload(smoke));
+  PrintHuman(results.back());
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"e12_server\",\n  \"smoke\": ";
+    json += smoke ? "true" : "false";
+    json += ",\n  \"scenarios\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      AppendJson(&json, results[i], i + 1 == results.size());
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d invariant(s) violated\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

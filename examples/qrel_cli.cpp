@@ -45,13 +45,21 @@
 // (e.g. 10+kDeadlineExceeded, 10+kCancelled) so scripts can react to
 // budget trips specifically.
 //
+// SIGINT (Ctrl-C) and SIGTERM cancel the run cooperatively instead of
+// killing the process: the engine stops at its next safe point, a final
+// checkpoint is flushed there when --checkpoint is set (so rerunning the
+// same command resumes rather than restarts), and the process exits
+// 10 + kCancelled = 18.
+//
 // Example:
 //   qrel_cli crm.udb "exists c . Placed(o, c) & Vip(c)" --per-tuple
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +81,21 @@
 #include "qrel/util/snapshot.h"
 
 namespace {
+
+// SIGINT/SIGTERM → cooperative cancellation of the in-flight run. The
+// handler only flips the RunContext's atomic cancel flag (async-signal-
+// safe); the engine surfaces kCancelled at its next safe point, and with
+// --checkpoint set, CheckpointScope::MaybeCheckpoint flushes a final
+// snapshot there — so an interrupted run resumes instead of restarting.
+std::atomic<qrel::RunContext*> g_interrupt_context{nullptr};
+
+extern "C" void HandleInterrupt(int /*signum*/) {
+  qrel::RunContext* context =
+      g_interrupt_context.load(std::memory_order_acquire);
+  if (context != nullptr) {
+    context->RequestCancellation();
+  }
+}
 
 bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
   size_t len = std::strlen(name);
@@ -407,9 +430,14 @@ int main(int argc, char** argv) {
     }
     run_context.SetCheckpointer(&*checkpointer);
   }
-  if (has_timeout || has_max_work || checkpointer.has_value()) {
-    options.run_context = &run_context;
-  }
+  // The run context is always attached so Ctrl-C cancels cooperatively
+  // (exit 10+kCancelled = 18) instead of killing the process mid-write;
+  // the budget report below stays gated on an explicit envelope.
+  bool governed = has_timeout || has_max_work;
+  options.run_context = &run_context;
+  g_interrupt_context.store(&run_context, std::memory_order_release);
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
 
   qrel::StatusOr<qrel::UnreliableDatabase> database =
       qrel::LoadUdbFile(path);
@@ -464,6 +492,17 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  report.status().ToString().c_str());
+    // On interruption the snapshot is deliberately left in place: the
+    // cancellation path above flushed the final safe point, and a rerun
+    // with the same arguments resumes from it.
+    if (report.status().code() == qrel::StatusCode::kCancelled &&
+        checkpointer.has_value() && checkpointer->writes() > 0) {
+      std::fprintf(stderr,
+                   "interrupted: %llu snapshot(s) flushed to %s; rerun "
+                   "with the same arguments to resume\n",
+                   static_cast<unsigned long long>(checkpointer->writes()),
+                   checkpoint_path.c_str());
+    }
     return ExitCodeFor(report.status());
   }
 
@@ -492,7 +531,7 @@ int main(int argc, char** argv) {
     std::printf("partial    : estimate from fewer samples than the (eps, "
                 "delta) plan\n");
   }
-  if (options.run_context != nullptr) {
+  if (governed || checkpointer.has_value()) {
     std::printf("budget     : %llu work unit(s) spent\n",
                 static_cast<unsigned long long>(report->budget_spent));
   }

@@ -1,0 +1,218 @@
+// qrel_server: serve query reliability over TCP.
+//
+//   qrel_server <database.udb> [options]
+//
+// Loads one unreliable database at startup and answers the framed line
+// protocol of src/qrel/net/protocol.h (verbs QUERY / EXPLAIN / HEALTH /
+// STATS / DRAIN) from a fixed worker pool behind a bounded queue. See
+// src/qrel/net/server.h for the robustness model: admission control,
+// overload shedding with Retry-After hints, pressure degradation, a
+// memoizing single-flight result cache, and graceful drain.
+//
+// Options:
+//   --port=<n>            TCP port (default 7461; 0 = ephemeral, printed)
+//   --listen-any          bind 0.0.0.0 instead of loopback
+//   --workers=<n>         worker threads (default 2)
+//   --queue=<n>           bounded queue capacity (default 8)
+//   --cost-ceiling=<d>    admission ceiling on the static cost estimate
+//   --max-work=<n>        default per-request work budget
+//   --max-request-work=<n> hard clip on any per-request budget
+//   --quota=<n>           server-wide outstanding-work quota
+//   --timeout-ms=<n>      default per-request deadline (0 = none)
+//   --pressure-depth=<n>  queue depth that triggers degraded answers
+//   --cache=<n>           result cache entries (0 disables storing)
+//   --checkpoint-dir=<d>  crash/drain-safe per-query checkpointing
+//   --drain-grace-ms=<n>  how long a drain waits before cancelling
+//   --fault-inject=<site>[:<n>]  arm a fault site (repeatable); see
+//                         util/fault_injection.h
+//
+// Signals: SIGTERM and SIGINT begin a graceful drain — the listener stops
+// accepting, queued-but-unstarted requests fail fast with CANCELLED,
+// running requests get drain_grace_ms to finish and are then cancelled
+// cooperatively (flushing a final checkpoint when --checkpoint-dir is
+// set). The process prints final stats and exits 0; clients never see a
+// torn response.
+//
+// Exit codes: 0 clean shutdown, 2 usage, otherwise 10 + StatusCode.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "qrel/engine/engine.h"
+#include "qrel/net/server.h"
+#include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main thread polls
+// this flag and runs the actual drain.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  g_shutdown_requested = 1;
+}
+
+bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  const char* value = arg + len + 1;
+  char* end = nullptr;
+  *out = std::strtoull(value, &end, 10);
+  if (*value == '\0' || *end != '\0') {
+    std::fprintf(stderr, "%s needs a non-negative integer, got \"%s\"\n",
+                 name, value);
+    std::exit(2);
+  }
+  return true;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: qrel_server <database.udb> [--port=N] [--listen-any] "
+      "[--workers=N] [--queue=N] [--cost-ceiling=D] [--max-work=N] "
+      "[--max-request-work=N] [--quota=N] [--timeout-ms=N] "
+      "[--pressure-depth=N] [--cache=N] [--checkpoint-dir=DIR] "
+      "[--drain-grace-ms=N] [--fault-inject=SITE[:N]]\n");
+  return 2;
+}
+
+int ExitCodeFor(const qrel::Status& status) {
+  return 10 + static_cast<int>(status.code());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const char* db_path = argv[1];
+  uint64_t port = 7461;
+  uint64_t workers = 2;
+  uint64_t queue = 8;
+  uint64_t pressure_depth = 0;
+  bool has_pressure_depth = false;
+  qrel::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    uint64_t u64 = 0;
+    if (ParseUint64Flag(argv[i], "--port", &port) ||
+        ParseUint64Flag(argv[i], "--workers", &workers) ||
+        ParseUint64Flag(argv[i], "--queue", &queue) ||
+        ParseDoubleFlag(argv[i], "--cost-ceiling",
+                        &options.max_admission_cost) ||
+        ParseUint64Flag(argv[i], "--max-work", &options.default_max_work) ||
+        ParseUint64Flag(argv[i], "--max-request-work",
+                        &options.max_request_work) ||
+        ParseUint64Flag(argv[i], "--quota", &options.work_quota) ||
+        ParseUint64Flag(argv[i], "--timeout-ms",
+                        &options.default_timeout_ms) ||
+        ParseUint64Flag(argv[i], "--drain-grace-ms",
+                        &options.drain_grace_ms)) {
+      continue;
+    }
+    if (ParseUint64Flag(argv[i], "--pressure-depth", &pressure_depth)) {
+      has_pressure_depth = true;
+    } else if (ParseUint64Flag(argv[i], "--cache", &u64)) {
+      options.cache_capacity = static_cast<size_t>(u64);
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      options.checkpoint_dir = argv[i] + 17;
+      if (options.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--checkpoint-dir needs a directory path\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--fault-inject=", 15) == 0) {
+      qrel::Status armed = qrel::ArmFaultFromSpec(argv[i] + 15);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "--fault-inject: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--listen-any") == 0) {
+      options.listen_any = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  options.workers = static_cast<int>(workers);
+  options.queue_capacity = static_cast<size_t>(queue);
+  if (has_pressure_depth) {
+    options.pressure_watermark = static_cast<size_t>(pressure_depth);
+  }
+
+  qrel::StatusOr<qrel::UnreliableDatabase> database =
+      qrel::LoadUdbFile(db_path);
+  if (!database.ok()) {
+    std::fprintf(stderr, "%s: %s\n", db_path,
+                 database.status().ToString().c_str());
+    return ExitCodeFor(database.status());
+  }
+  std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
+              "atoms)\n",
+              db_path, database->universe_size(),
+              database->observed().FactCount(),
+              static_cast<size_t>(database->model().entry_count()));
+
+  qrel::QrelServer server(
+      qrel::ReliabilityEngine(std::move(database).value()), options);
+  qrel::Status serving =
+      server.ServeInBackground(static_cast<int>(port));
+  if (!serving.ok()) {
+    std::fprintf(stderr, "listen: %s\n", serving.ToString().c_str());
+    return ExitCodeFor(serving);
+  }
+  std::printf("listening  : %s:%d (%d workers, queue %zu)\n",
+              options.listen_any ? "0.0.0.0" : "127.0.0.1", server.port(),
+              options.workers, options.queue_capacity);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+
+  // The accept loop runs on its own thread; this thread only waits for a
+  // shutdown signal or a protocol-initiated DRAIN.
+  while (g_shutdown_requested == 0 && !server.draining()) {
+    struct timespec tick = {0, 100 * 1000 * 1000};
+    nanosleep(&tick, nullptr);
+  }
+
+  std::printf("draining   : %s\n",
+              g_shutdown_requested != 0 ? "signal received"
+                                        : "DRAIN request received");
+  std::fflush(stdout);
+  server.Shutdown();
+
+  qrel::ServerStatsSnapshot stats = server.stats_snapshot();
+  std::printf("served     : %llu requests (%llu ok, %llu error)\n",
+              static_cast<unsigned long long>(stats.requests_total),
+              static_cast<unsigned long long>(stats.completed_ok),
+              static_cast<unsigned long long>(stats.completed_error));
+  std::printf("shed       : %llu queue-full, %llu quota, %llu draining\n",
+              static_cast<unsigned long long>(stats.shed_queue_full),
+              static_cast<unsigned long long>(stats.shed_quota),
+              static_cast<unsigned long long>(stats.shed_draining));
+  std::printf("cache      : %llu hits, %llu misses, %llu shared\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_shared));
+  std::printf("drain      : %llu cancelled, %llu resumes available\n",
+              static_cast<unsigned long long>(stats.drain_cancelled),
+              static_cast<unsigned long long>(stats.checkpoint_resumes));
+  return 0;
+}

@@ -195,8 +195,14 @@ StatusOr<ApproxResult> ReliabilityAbsoluteApprox(
       .Mix(static_cast<uint64_t>(db.model().entry_count()))
       .Mix(query->ToString())
       .Mix(db.ContentFingerprint());
-  CheckpointScope checkpoint(options.run_context, "core.absolute_approx.v1",
-                             fingerprint.value());
+  // A Boolean query has exactly one tuple, so this loop carries no state
+  // worth snapshotting; leaving the checkpointer unclaimed lets the
+  // Karp-Luby sampling rung below claim it and checkpoint per sample —
+  // that is where a long run spends its time, and the only place a drain
+  // cancellation or SIGINT can flush usable progress. With more than one
+  // tuple the per-tuple accumulators must own the snapshot.
+  CheckpointScope checkpoint(*tuple_count > 1 ? options.run_context : nullptr,
+                             "core.absolute_approx.v1", fingerprint.value());
 
   Rng seeder(options.seed);
   double expected_error = 0.0;

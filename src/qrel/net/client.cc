@@ -1,0 +1,148 @@
+#include "qrel/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qrel {
+
+QrelClient::~QrelClient() { Close(); }
+
+Status QrelClient::Connect(int port, uint64_t recv_timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    Close();
+    return Status::Unavailable(std::string("connect: ") +
+                               std::strerror(saved));
+  }
+  return Status::Ok();
+}
+
+void QrelClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<Response> QrelClient::Call(const Request& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  std::string frame = EncodeFrame(SerializeRequest(request));
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      Close();
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(saved));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  bool got_bytes = !buffer_.empty();
+  char chunk[4096];
+  for (;;) {
+    size_t consumed = 0;
+    std::string payload;
+    Status decoded = DecodeFrame(buffer_, &consumed, &payload);
+    if (!decoded.ok()) {
+      Close();
+      return decoded;
+    }
+    if (consumed > 0) {
+      buffer_.erase(0, consumed);
+      return ParseResponse(payload);
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Close();
+      // The framing makes a torn response detectable by construction: a
+      // clean EOF with zero response bytes means the whole exchange was
+      // dropped (retryable), EOF inside a frame means bytes were lost.
+      if (got_bytes) {
+        return Status::DataLoss("connection closed mid-frame");
+      }
+      return Status::Unavailable("connection closed before a response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      int saved = errno;
+      Close();
+      if (saved == EAGAIN || saved == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("timed out waiting for a response");
+      }
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(saved));
+    }
+    got_bytes = true;
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<Response> QrelClient::Query(const std::string& query,
+                                     const RequestOptions& options) {
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = query;
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Explain(const std::string& query,
+                                       const RequestOptions& options) {
+  Request request;
+  request.verb = RequestVerb::kExplain;
+  request.query = query;
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Health() {
+  Request request;
+  request.verb = RequestVerb::kHealth;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Stats() {
+  Request request;
+  request.verb = RequestVerb::kStats;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Drain() {
+  Request request;
+  request.verb = RequestVerb::kDrain;
+  return Call(request);
+}
+
+}  // namespace qrel

@@ -1,0 +1,67 @@
+// Blocking qrel protocol client.
+//
+// One QrelClient is one TCP connection speaking the framed protocol of
+// net/protocol.h. Every transport failure surfaces as a *typed* Status —
+// the mapping the chaos suite (tests/chaos_server_test.cc) pins down:
+//
+//   connection refused / reset         → kUnavailable
+//   clean EOF before any response byte → kUnavailable (server shed or
+//                                        dropped the connection whole;
+//                                        safe to retry)
+//   EOF mid-frame                      → kDataLoss (a torn response —
+//                                        the framing makes this
+//                                        detectable by construction)
+//   receive timeout                    → kDeadlineExceeded
+//   unparseable frame/response         → the parser's typed error
+//
+// A Call whose transport failed leaves the connection closed: the protocol
+// has no resynchronization point, so the only safe recovery is a fresh
+// connection. Not thread-safe; one client per thread.
+
+#ifndef QREL_NET_CLIENT_H_
+#define QREL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qrel/net/protocol.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+class QrelClient {
+ public:
+  QrelClient() = default;
+  ~QrelClient();
+
+  QrelClient(const QrelClient&) = delete;
+  QrelClient& operator=(const QrelClient&) = delete;
+
+  // Connects to 127.0.0.1:`port`. `recv_timeout_ms` bounds each Call's
+  // wait for a response (0 = wait forever).
+  Status Connect(int port, uint64_t recv_timeout_ms = 0);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One request/response round trip. The returned Response may itself
+  // carry an error status (the server's typed answer); a non-OK
+  // StatusOr means the *transport* failed, per the table above.
+  StatusOr<Response> Call(const Request& request);
+
+  // Convenience wrappers around Call.
+  StatusOr<Response> Query(const std::string& query,
+                           const RequestOptions& options = {});
+  StatusOr<Response> Explain(const std::string& query,
+                             const RequestOptions& options = {});
+  StatusOr<Response> Health();
+  StatusOr<Response> Stats();
+  StatusOr<Response> Drain();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last complete frame
+};
+
+}  // namespace qrel
+
+#endif  // QREL_NET_CLIENT_H_

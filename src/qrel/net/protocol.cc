@@ -1,0 +1,408 @@
+#include "qrel/net/protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qrel {
+
+namespace {
+
+// One options-line `key=value`; returns false when `line` has no '='.
+bool SplitKeyValue(std::string_view line, std::string_view* key,
+                   std::string_view* value) {
+  size_t eq = line.find('=');
+  if (eq == std::string_view::npos) {
+    return false;
+  }
+  *key = line.substr(0, eq);
+  *value = line.substr(eq + 1);
+  return true;
+}
+
+Status ParseU64(std::string_view key, std::string_view value, uint64_t* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument(std::string(key) + " needs a value");
+  }
+  uint64_t result = 0;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(std::string(key) +
+                                     " needs a non-negative integer, got \"" +
+                                     std::string(value) + "\"");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(std::string(key) + " overflows");
+    }
+    result = result * 10 + digit;
+  }
+  *out = result;
+  return Status::Ok();
+}
+
+Status ParseDoubleValue(std::string_view key, std::string_view value,
+                        double* out) {
+  std::string text(value);
+  char* end = nullptr;
+  double result = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " needs a number, got \"" + text + "\"");
+  }
+  *out = result;
+  return Status::Ok();
+}
+
+// Splits `payload` on '\n', dropping one trailing empty line (payloads may
+// or may not end with a newline).
+std::vector<std::string_view> SplitLines(std::string_view payload) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= payload.size()) {
+    size_t nl = payload.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(payload.substr(start));
+      break;
+    }
+    lines.push_back(payload.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) {
+    lines.pop_back();
+  }
+  return lines;
+}
+
+// Newlines are the protocol's field separator; a value that contains one
+// (an engine message quoting the query, say) is flattened to spaces.
+std::string FlattenValue(std::string_view value) {
+  std::string result(value);
+  for (char& c : result) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire table.
+
+const char* WireErrorToken(StatusCode code) {
+  switch (code) {
+#define QREL_NET_WIRE_CASE(enumerator, token, retryable) \
+  case StatusCode::enumerator:                           \
+    return token;
+    QREL_NET_WIRE_STATUS_TABLE(QREL_NET_WIRE_CASE)
+#undef QREL_NET_WIRE_CASE
+  }
+  return "INTERNAL";
+}
+
+bool WireErrorRetryable(StatusCode code) {
+  switch (code) {
+#define QREL_NET_WIRE_CASE(enumerator, token, retryable) \
+  case StatusCode::enumerator:                           \
+    return retryable;
+    QREL_NET_WIRE_STATUS_TABLE(QREL_NET_WIRE_CASE)
+#undef QREL_NET_WIRE_CASE
+  }
+  return false;
+}
+
+std::optional<StatusCode> StatusCodeFromWireToken(std::string_view token) {
+#define QREL_NET_WIRE_CASE(enumerator, spelling, retryable) \
+  if (token == spelling) {                                  \
+    return StatusCode::enumerator;                          \
+  }
+  QREL_NET_WIRE_STATUS_TABLE(QREL_NET_WIRE_CASE)
+#undef QREL_NET_WIRE_CASE
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+std::string EncodeFrame(std::string_view payload) {
+  QREL_CHECK_LE(payload.size(), kMaxFramePayload);
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame += payload;
+  return frame;
+}
+
+Status DecodeFrame(std::string_view buffer, size_t* consumed,
+                   std::string* payload) {
+  *consumed = 0;
+  payload->clear();
+  // The length prefix of a max-size payload is 7 digits; anything longer
+  // without a newline is malformed, not merely incomplete.
+  size_t nl = buffer.find('\n');
+  if (nl == std::string_view::npos) {
+    if (buffer.size() > 8) {
+      return Status::InvalidArgument("frame length prefix is not a line");
+    }
+    return Status::Ok();  // incomplete prefix
+  }
+  std::string_view digits = buffer.substr(0, nl);
+  if (digits.empty() || digits.size() > 7) {
+    return Status::InvalidArgument("malformed frame length prefix");
+  }
+  uint64_t length = 0;
+  QREL_RETURN_IF_ERROR(ParseU64("frame length", digits, &length));
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFramePayload) +
+                                   " bytes");
+  }
+  size_t total = nl + 1 + static_cast<size_t>(length);
+  if (buffer.size() < total) {
+    return Status::Ok();  // incomplete payload
+  }
+  payload->assign(buffer.substr(nl + 1, static_cast<size_t>(length)));
+  *consumed = total;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+const char* RequestVerbName(RequestVerb verb) {
+  switch (verb) {
+    case RequestVerb::kQuery:
+      return "QUERY";
+    case RequestVerb::kExplain:
+      return "EXPLAIN";
+    case RequestVerb::kHealth:
+      return "HEALTH";
+    case RequestVerb::kStats:
+      return "STATS";
+    case RequestVerb::kDrain:
+      return "DRAIN";
+  }
+  return "HEALTH";
+}
+
+StatusOr<Request> ParseRequest(std::string_view payload) {
+  std::vector<std::string_view> lines = SplitLines(payload);
+  if (lines.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  Request request;
+  std::string_view verb = lines[0];
+  if (verb == "QUERY") {
+    request.verb = RequestVerb::kQuery;
+  } else if (verb == "EXPLAIN") {
+    request.verb = RequestVerb::kExplain;
+  } else if (verb == "HEALTH") {
+    request.verb = RequestVerb::kHealth;
+  } else if (verb == "STATS") {
+    request.verb = RequestVerb::kStats;
+  } else if (verb == "DRAIN") {
+    request.verb = RequestVerb::kDrain;
+  } else {
+    return Status::InvalidArgument("unknown verb \"" + std::string(verb) +
+                                   "\"");
+  }
+  bool has_query = request.verb == RequestVerb::kQuery ||
+                   request.verb == RequestVerb::kExplain;
+  if (!has_query) {
+    if (lines.size() > 1) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " takes no arguments");
+    }
+    return request;
+  }
+  if (lines.size() < 2 || lines[1].empty()) {
+    return Status::InvalidArgument(std::string(verb) +
+                                   " needs a query on line 2");
+  }
+  request.query = std::string(lines[1]);
+  for (size_t i = 2; i < lines.size(); ++i) {
+    std::string_view key;
+    std::string_view value;
+    if (!SplitKeyValue(lines[i], &key, &value)) {
+      return Status::InvalidArgument("malformed option line \"" +
+                                     std::string(lines[i]) + "\"");
+    }
+    RequestOptions& opts = request.options;
+    Status parsed = Status::Ok();
+    if (key == "epsilon") {
+      parsed = ParseDoubleValue(key, value, &opts.epsilon.emplace());
+    } else if (key == "delta") {
+      parsed = ParseDoubleValue(key, value, &opts.delta.emplace());
+    } else if (key == "seed") {
+      parsed = ParseU64(key, value, &opts.seed.emplace());
+    } else if (key == "fixed_samples") {
+      parsed = ParseU64(key, value, &opts.fixed_samples.emplace());
+    } else if (key == "timeout_ms") {
+      parsed = ParseU64(key, value, &opts.timeout_ms.emplace());
+    } else if (key == "max_work") {
+      parsed = ParseU64(key, value, &opts.max_work.emplace());
+    } else if (key == "force_exact") {
+      opts.force_exact = value == "1" || value == "true";
+    } else if (key == "force_approx") {
+      opts.force_approximate = value == "1" || value == "true";
+    } else {
+      return Status::InvalidArgument("unknown option \"" + std::string(key) +
+                                     "\"");
+    }
+    QREL_RETURN_IF_ERROR(parsed);
+  }
+  return request;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string payload = RequestVerbName(request.verb);
+  if (request.verb != RequestVerb::kQuery &&
+      request.verb != RequestVerb::kExplain) {
+    payload += '\n';
+    return payload;
+  }
+  payload += '\n';
+  payload += FlattenValue(request.query);
+  payload += '\n';
+  const RequestOptions& opts = request.options;
+  auto emit = [&payload](std::string_view key, const std::string& value) {
+    payload += key;
+    payload += '=';
+    payload += value;
+    payload += '\n';
+  };
+  char buffer[64];
+  if (opts.epsilon.has_value()) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", *opts.epsilon);
+    emit("epsilon", buffer);
+  }
+  if (opts.delta.has_value()) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", *opts.delta);
+    emit("delta", buffer);
+  }
+  if (opts.seed.has_value()) {
+    emit("seed", std::to_string(*opts.seed));
+  }
+  if (opts.fixed_samples.has_value()) {
+    emit("fixed_samples", std::to_string(*opts.fixed_samples));
+  }
+  if (opts.timeout_ms.has_value()) {
+    emit("timeout_ms", std::to_string(*opts.timeout_ms));
+  }
+  if (opts.max_work.has_value()) {
+    emit("max_work", std::to_string(*opts.max_work));
+  }
+  if (opts.force_exact) {
+    emit("force_exact", "1");
+  }
+  if (opts.force_approximate) {
+    emit("force_approx", "1");
+  }
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+std::optional<std::string> Response::Field(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string payload;
+  if (response.status.ok()) {
+    payload = "OK\n";
+  } else {
+    payload = "ERR ";
+    payload += WireErrorToken(response.status.code());
+    payload += '\n';
+    if (response.retry_after_ms.has_value()) {
+      payload += "retry_after_ms=";
+      payload += std::to_string(*response.retry_after_ms);
+      payload += '\n';
+    }
+    if (!response.status.message().empty()) {
+      payload += "message=";
+      payload += FlattenValue(response.status.message());
+      payload += '\n';
+    }
+  }
+  for (const auto& [key, value] : response.fields) {
+    payload += key;
+    payload += '=';
+    payload += FlattenValue(value);
+    payload += '\n';
+  }
+  return payload;
+}
+
+StatusOr<Response> ParseResponse(std::string_view payload) {
+  std::vector<std::string_view> lines = SplitLines(payload);
+  if (lines.empty()) {
+    return Status::InvalidArgument("empty response");
+  }
+  Response response;
+  std::string_view head = lines[0];
+  size_t body_start = 1;
+  if (head == "OK") {
+    response.status = Status::Ok();
+  } else if (head.substr(0, 4) == "ERR ") {
+    std::optional<StatusCode> code = StatusCodeFromWireToken(head.substr(4));
+    if (!code.has_value() || *code == StatusCode::kOk) {
+      return Status::InvalidArgument("unknown wire error code \"" +
+                                     std::string(head.substr(4)) + "\"");
+    }
+    std::string message;
+    std::optional<uint64_t> retry;
+    for (size_t i = 1; i < lines.size(); ++i) {
+      std::string_view key;
+      std::string_view value;
+      if (!SplitKeyValue(lines[i], &key, &value)) {
+        return Status::InvalidArgument("malformed response line \"" +
+                                       std::string(lines[i]) + "\"");
+      }
+      if (key == "retry_after_ms") {
+        QREL_RETURN_IF_ERROR(ParseU64(key, value, &retry.emplace()));
+      } else if (key == "message") {
+        message = std::string(value);
+      } else {
+        response.fields.emplace_back(std::string(key), std::string(value));
+      }
+    }
+    response.status = Status(*code, std::move(message));
+    response.retry_after_ms = retry;
+    return response;
+  } else {
+    return Status::InvalidArgument("malformed response status line \"" +
+                                   std::string(head) + "\"");
+  }
+  for (size_t i = body_start; i < lines.size(); ++i) {
+    std::string_view key;
+    std::string_view value;
+    if (!SplitKeyValue(lines[i], &key, &value)) {
+      return Status::InvalidArgument("malformed response line \"" +
+                                     std::string(lines[i]) + "\"");
+    }
+    response.fields.emplace_back(std::string(key), std::string(value));
+  }
+  return response;
+}
+
+Response ErrorResponse(const Status& status,
+                       std::optional<uint64_t> retry_after_ms) {
+  QREL_CHECK(!status.ok());
+  Response response;
+  response.status = status;
+  if (WireErrorRetryable(status.code())) {
+    response.retry_after_ms = retry_after_ms.value_or(0);
+  }
+  return response;
+}
+
+}  // namespace qrel

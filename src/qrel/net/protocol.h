@@ -1,0 +1,159 @@
+// Wire protocol for qrel_server: framing, requests, responses, and the
+// Status-to-wire error table.
+//
+// The protocol is a length-prefixed line protocol, chosen so that a
+// client can always tell a complete response from a torn one:
+//
+//   frame    := <decimal payload length> '\n' <payload bytes>
+//   payload  := <line> ('\n' <line>)*
+//
+// A connection closed mid-frame is detectable by construction (the byte
+// count is known before the first payload byte), so a killed server can
+// never make a client mistake a partial response for a complete one —
+// the client surfaces a typed kUnavailable/kDataLoss instead.
+//
+// Request payloads (first line is the verb):
+//
+//   QUERY                 run a reliability query
+//     line 2: the query text (logic/parser.h syntax)
+//     lines 3+: options, one `key=value` per line — epsilon, delta, seed,
+//       fixed_samples, timeout_ms, max_work, force_exact, force_approx
+//   EXPLAIN               static analysis + admission dry run, never
+//     executes; same layout as QUERY
+//   HEALTH                serving state + queue depth (no body)
+//   STATS                 all server counters (no body)
+//   DRAIN                 stop accepting new work; in-flight finishes
+//
+// Response payloads:
+//
+//   'OK' '\n' (<key> '=' <value> '\n')*
+//   'ERR' ' ' <wire code> '\n' ('retry_after_ms' '=' <n> '\n')?
+//         ('message' '=' <text> '\n')?
+//
+// The ERR line's wire code comes from the table below, which maps the
+// *full* Status taxonomy (util/status.h) onto wire error responses in one
+// place. `retryable` marks the codes for which an identical retry can
+// succeed once the server sheds load — those responses carry a
+// Retry-After hint.
+
+#ifndef QREL_NET_PROTOCOL_H_
+#define QREL_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// ---------------------------------------------------------------------------
+// The one Status-taxonomy-to-wire table. Every StatusCode has exactly one
+// row: code, wire token (the ERR line spelling), and whether a backoff-
+// and-retry of the identical request is a sensible client reaction.
+#define QREL_NET_WIRE_STATUS_TABLE(X)                 \
+  X(kOk, "OK", false)                                 \
+  X(kInvalidArgument, "INVALID_ARGUMENT", false)      \
+  X(kNotFound, "NOT_FOUND", false)                    \
+  X(kOutOfRange, "OUT_OF_RANGE", false)               \
+  X(kFailedPrecondition, "FAILED_PRECONDITION", false)\
+  X(kInternal, "INTERNAL", false)                     \
+  X(kDeadlineExceeded, "DEADLINE_EXCEEDED", true)     \
+  X(kResourceExhausted, "RESOURCE_EXHAUSTED", false)  \
+  X(kCancelled, "CANCELLED", false)                   \
+  X(kDataLoss, "DATA_LOSS", false)                    \
+  X(kUnavailable, "UNAVAILABLE", true)
+
+// The ERR-line spelling of `code` ("UNAVAILABLE", ...).
+const char* WireErrorToken(StatusCode code);
+// Whether responses with this code should carry a Retry-After hint.
+bool WireErrorRetryable(StatusCode code);
+// Inverse of WireErrorToken; nullopt for an unknown token.
+std::optional<StatusCode> StatusCodeFromWireToken(std::string_view token);
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+// Frames larger than this are rejected on both sides: the protocol serves
+// queries and key=value reports, not bulk data.
+inline constexpr size_t kMaxFramePayload = 1u << 20;
+
+// `length '\n' payload`.
+std::string EncodeFrame(std::string_view payload);
+
+// Incremental decode: tries to extract one complete frame from the front
+// of `buffer`. Outcomes:
+//   OK, *consumed > 0   — *payload holds the frame, drop *consumed bytes;
+//   OK, *consumed == 0  — `buffer` holds only a prefix, read more bytes;
+//   kInvalidArgument    — malformed or oversized length prefix: the
+//                         stream is unrecoverable, close the connection.
+Status DecodeFrame(std::string_view buffer, size_t* consumed,
+                   std::string* payload);
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+enum class RequestVerb { kQuery, kExplain, kHealth, kStats, kDrain };
+
+const char* RequestVerbName(RequestVerb verb);
+
+// Per-request option overrides; unset fields take the server defaults.
+struct RequestOptions {
+  std::optional<double> epsilon;
+  std::optional<double> delta;
+  std::optional<uint64_t> seed;
+  std::optional<uint64_t> fixed_samples;
+  std::optional<uint64_t> timeout_ms;
+  std::optional<uint64_t> max_work;
+  bool force_exact = false;
+  bool force_approximate = false;
+};
+
+struct Request {
+  RequestVerb verb = RequestVerb::kHealth;
+  std::string query;  // QUERY / EXPLAIN only
+  RequestOptions options;
+};
+
+// Parses a request payload. kInvalidArgument on an unknown verb, a
+// missing query line, or an unknown/malformed option.
+StatusOr<Request> ParseRequest(std::string_view payload);
+
+// Serializes a request payload (the client side of ParseRequest).
+std::string SerializeRequest(const Request& request);
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+struct Response {
+  Status status;  // OK or the typed error on the ERR line
+  // Backoff hint, only on retryable errors (see the wire table).
+  std::optional<uint64_t> retry_after_ms;
+  // Ordered key=value payload ("reliability", "method", ...). Values must
+  // not contain newlines; SerializeResponse flattens any that do.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  bool ok() const { return status.ok(); }
+  // First value for `key`, nullopt when absent.
+  std::optional<std::string> Field(std::string_view key) const;
+};
+
+std::string SerializeResponse(const Response& response);
+
+// Parses a response payload (the client side). kInvalidArgument on a
+// malformed status line or unknown wire code — distinct from the parsed
+// response itself carrying an error status.
+StatusOr<Response> ParseResponse(std::string_view payload);
+
+// The uniform error response for `status` (never call with OK):
+// ERR line from the wire table, Retry-After hint for retryable codes,
+// message field with newlines flattened.
+Response ErrorResponse(const Status& status,
+                       std::optional<uint64_t> retry_after_ms = std::nullopt);
+
+}  // namespace qrel
+
+#endif  // QREL_NET_PROTOCOL_H_

@@ -1,0 +1,87 @@
+#include "qrel/net/result_cache.h"
+
+namespace qrel {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+CachedResult ResultCache::GetOrCompute(
+    uint64_t store_key, uint64_t flight_key,
+    const std::function<CachedResult()>& compute, bool* from_cache,
+    bool* shared) {
+  *from_cache = false;
+  *shared = false;
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto stored = store_.find(store_key);
+    if (stored != store_.end()) {
+      lru_.splice(lru_.begin(), lru_, stored->second.lru_it);
+      ++stats_.hits;
+      *from_cache = true;
+      return stored->second.result;
+    }
+    auto inflight = in_flight_.find(flight_key);
+    if (inflight != in_flight_.end()) {
+      // An exact duplicate (same determinism inputs *and* envelope) is
+      // already computing; ride its flight and share its outcome, typed
+      // errors included.
+      flight = inflight->second;
+      flight->done_cv.wait(lock, [&flight] { return flight->done; });
+      ++stats_.single_flight_shared;
+      *shared = true;
+      return flight->result;
+    }
+    flight = std::make_shared<InFlight>();
+    in_flight_.emplace(flight_key, flight);
+    ++stats_.misses;
+  }
+
+  CachedResult result = compute();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    flight->result = result;
+    flight->done = true;
+    if (result.storable && result.status.ok()) {
+      StoreLocked(store_key, result);
+    }
+    in_flight_.erase(flight_key);
+  }
+  flight->done_cv.notify_all();
+  return result;
+}
+
+void ResultCache::StoreLocked(uint64_t store_key, const CachedResult& result) {
+  if (capacity_ == 0) {
+    return;
+  }
+  auto existing = store_.find(store_key);
+  if (existing != store_.end()) {
+    existing->second.result = result;
+    lru_.splice(lru_.begin(), lru_, existing->second.lru_it);
+    return;
+  }
+  while (store_.size() >= capacity_) {
+    store_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(store_key);
+  store_.emplace(store_key, StoreEntry{result, lru_.begin()});
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ResultCacheStats snapshot = stats_;
+  snapshot.entries = store_.size();
+  return snapshot;
+}
+
+void ResultCache::Clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  store_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace qrel

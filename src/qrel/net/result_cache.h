@@ -1,0 +1,108 @@
+// Memoizing result cache with single-flight deduplication.
+//
+// The server's QUERY results are deterministic functions of (query text,
+// evaluation options, database content) — the engine seeds every sampler
+// explicitly — so identical requests can be answered once and replayed.
+// Two keys per request make that sound:
+//
+//  - the **flight key** digests everything the outcome can depend on,
+//    including the execution envelope (timeout, work budget, pressure
+//    level). Concurrent requests with the same flight key are exact
+//    duplicates: only the first (the *leader*) computes, the rest block
+//    and share the leader's outcome — a stampede of identical queries
+//    costs one engine run and one queue slot.
+//  - the **store key** digests only the determinism inputs (query,
+//    epsilon/delta/seed/sample plan, database fingerprint) and *not* the
+//    envelope. Only envelope-independent outcomes — OK, not degraded, not
+//    partial — are published under it, so a result computed under a tight
+//    budget can never be replayed to a caller with a generous one unless
+//    it is the full-fidelity answer either would have produced.
+//
+// Invalidation: the store key mixes UnreliableDatabase::ContentFingerprint
+// (PR-4), so any database edit changes every key — stale entries are
+// unreachable rather than purged. A server that mutates its database
+// in-place must call Clear() to reclaim the memory.
+//
+// Thread-safety: all methods are safe from any thread. The compute
+// callback runs without the cache lock held.
+
+#ifndef QREL_NET_RESULT_CACHE_H_
+#define QREL_NET_RESULT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// What one computation produced: the typed outcome plus the response
+// fields to replay, and whether the value may be published to the store.
+struct CachedResult {
+  Status status;
+  std::vector<std::pair<std::string, std::string>> fields;
+  // Leader-set: true only for envelope-independent successes.
+  bool storable = false;
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;                 // served from the store
+  uint64_t misses = 0;               // led a computation
+  uint64_t single_flight_shared = 0; // shared a concurrent leader's outcome
+  uint64_t evictions = 0;            // LRU evictions from the store
+  size_t entries = 0;                // current store size
+};
+
+class ResultCache {
+ public:
+  // `capacity` bounds the store (LRU eviction); 0 disables storing but
+  // keeps single-flight deduplication.
+  explicit ResultCache(size_t capacity);
+
+  // The full lookup protocol. Checks the store under `store_key`; on a
+  // miss, elects a leader among concurrent callers with the same
+  // `flight_key`, runs `compute` on the leader, and hands every caller
+  // the same CachedResult. The leader publishes to the store iff the
+  // result is marked storable. `*from_cache` reports a store hit;
+  // `*shared` reports a follower that rode a leader's flight.
+  CachedResult GetOrCompute(uint64_t store_key, uint64_t flight_key,
+                            const std::function<CachedResult()>& compute,
+                            bool* from_cache, bool* shared);
+
+  ResultCacheStats stats() const;
+
+  void Clear();
+
+ private:
+  struct InFlight {
+    std::condition_variable done_cv;
+    bool done = false;
+    CachedResult result;
+  };
+
+  struct StoreEntry {
+    CachedResult result;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  void StoreLocked(uint64_t store_key, const CachedResult& result);
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::unordered_map<uint64_t, StoreEntry> store_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_NET_RESULT_CACHE_H_

@@ -1,0 +1,860 @@
+#include "qrel/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "qrel/util/fault_injection.h"
+#include "qrel/util/snapshot.h"
+
+namespace qrel {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Mixes an optional into a fingerprint unambiguously (presence bit first,
+// so "unset" can never collide with a real value).
+void MixOptional(Fingerprint* fp, const std::optional<uint64_t>& value) {
+  fp->Mix(value.has_value() ? uint64_t{1} : uint64_t{0});
+  fp->Mix(value.value_or(0));
+}
+
+// Sends every byte or reports failure; SIGPIPE is suppressed so a client
+// that disappeared mid-write surfaces as an error, not a signal.
+bool WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// Monotonic counters, written with relaxed atomics from every thread.
+struct QrelServer::Stats {
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> explains{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> completed_error{0};
+  std::atomic<uint64_t> rejected_invalid{0};
+  std::atomic<uint64_t> rejected_cost{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_quota{0};
+  std::atomic<uint64_t> shed_draining{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> cache_shared{0};
+  std::atomic<uint64_t> pressure_degraded{0};
+  std::atomic<uint64_t> budget_degraded{0};
+  std::atomic<uint64_t> drain_cancelled{0};
+  std::atomic<uint64_t> checkpoint_resumes{0};
+  std::atomic<uint64_t> checkpoint_corrupt{0};
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> net_faults{0};
+};
+
+// One admitted QUERY travelling from the dispatching client thread to a
+// worker and back. The leader thread blocks on `cv` until a worker (or
+// the drain fast-fail path) publishes `result`.
+struct QrelServer::Job {
+  Request request;
+  uint64_t budget = 0;
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  CachedResult result;
+};
+
+QrelServer::QrelServer(ReliabilityEngine engine, ServerOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      stats_(new Stats),
+      cache_(options.cache_capacity) {
+  database_fingerprint_ = engine_.database().ContentFingerprint();
+  if (options_.workers < 1) {
+    options_.workers = 1;
+  }
+  if (options_.queue_capacity < 1) {
+    options_.queue_capacity = 1;
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QrelServer::~QrelServer() { Shutdown(); }
+
+// ---------------------------------------------------------------------------
+// Request lifecycle.
+
+Response QrelServer::Handle(const Request& request) {
+  stats_->requests_total.fetch_add(1, std::memory_order_relaxed);
+  Status fault = QREL_FAULT_HIT("net.server.dispatch");
+  if (!fault.ok()) {
+    stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(fault);
+  }
+  switch (request.verb) {
+    case RequestVerb::kQuery:
+      return HandleQuery(request);
+    case RequestVerb::kExplain:
+      return HandleExplain(request);
+    case RequestVerb::kHealth:
+      return HandleHealth();
+    case RequestVerb::kStats:
+      return HandleStats();
+    case RequestVerb::kDrain: {
+      BeginDrain();
+      Response response;
+      response.fields.emplace_back("state", "draining");
+      return response;
+    }
+  }
+  return ErrorResponse(Status::Internal("unhandled request verb"));
+}
+
+std::string QrelServer::HandlePayload(std::string_view payload) {
+  StatusOr<Request> request = ParseRequest(payload);
+  if (!request.ok()) {
+    stats_->requests_total.fetch_add(1, std::memory_order_relaxed);
+    stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return SerializeResponse(ErrorResponse(request.status()));
+  }
+  return SerializeResponse(Handle(*request));
+}
+
+// Applies server defaults and (for execution) pressure degradation to a
+// request's options. Shared by Admit — the plan must describe the run the
+// engine would actually execute — and ExecuteQuery.
+static EngineOptions BuildEngineOptions(const Request& request,
+                                        const ServerOptions& server,
+                                        bool pressured) {
+  EngineOptions opts;
+  const RequestOptions& ro = request.options;
+  if (ro.epsilon.has_value()) {
+    opts.epsilon = *ro.epsilon;
+  }
+  if (ro.delta.has_value()) {
+    opts.delta = *ro.delta;
+  }
+  if (ro.seed.has_value()) {
+    opts.seed = *ro.seed;
+  }
+  opts.fixed_samples = ro.fixed_samples;
+  opts.force_exact = ro.force_exact;
+  opts.force_approximate = ro.force_approximate;
+  // Answer sets are a batch-CLI affordance; responses stay small.
+  opts.include_observed_answers = false;
+  if (pressured && !ro.force_exact) {
+    // Step down the ladder before running: coarser targets and a fixed
+    // sample count. The response reports what was actually delivered.
+    opts.epsilon = std::max(opts.epsilon, server.pressure_epsilon);
+    opts.delta = std::max(opts.delta, server.pressure_delta);
+    if (!opts.fixed_samples.has_value() ||
+        *opts.fixed_samples > server.pressure_fixed_samples) {
+      opts.fixed_samples = server.pressure_fixed_samples;
+    }
+  }
+  return opts;
+}
+
+Status QrelServer::Admit(const Request& request, EnginePlan* plan,
+                         double* cost) {
+  EngineOptions opts = BuildEngineOptions(request, options_, false);
+  StatusOr<EnginePlan> explained = engine_.Explain(request.query, opts);
+  if (!explained.ok()) {
+    stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return explained.status();
+  }
+  *plan = std::move(explained).value();
+  if (plan->has_errors()) {
+    stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(FirstErrorMessage(plan->diagnostics));
+  }
+  // The static cost of the rung the run would execute: worlds for exact
+  // enumeration, answer tuples for the quantifier-free algorithm,
+  // grounding size for the sampling estimators.
+  const std::string& method = plan->planned_method;
+  if (method.rfind("Thm 4.2", 0) == 0) {
+    *cost = plan->cost.world_count;
+  } else if (method.rfind("Prop 3.1", 0) == 0) {
+    *cost = plan->cost.answer_space;
+  } else if (plan->static_truth != StaticTruth::kUnknown) {
+    *cost = 0.0;
+  } else {
+    *cost = plan->cost.grounding_size;
+  }
+  // Negated compare so NaN and +inf reject rather than slip through.
+  if (!(*cost <= options_.max_admission_cost)) {
+    stats_->rejected_cost.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "static cost estimate " + FormatDouble(*cost) +
+        " exceeds the admission ceiling " +
+        FormatDouble(options_.max_admission_cost) +
+        " (planned: " + method + ")");
+  }
+  return Status::Ok();
+}
+
+uint64_t QrelServer::StoreKey(const Request& request) const {
+  // Everything the *result* deterministically depends on, envelope
+  // excluded: the applied evaluation options and the PR-4 database
+  // content fingerprint.
+  EngineOptions applied = BuildEngineOptions(request, options_, false);
+  Fingerprint fp;
+  fp.Mix("net.query.v1")
+      .Mix(request.query)
+      .MixDouble(applied.epsilon)
+      .MixDouble(applied.delta)
+      .Mix(applied.seed)
+      .Mix(applied.max_exact_worlds)
+      .Mix((applied.force_exact ? 1u : 0u) |
+           (applied.force_approximate ? 2u : 0u))
+      .Mix(database_fingerprint_);
+  MixOptional(&fp, applied.fixed_samples);
+  return fp.value();
+}
+
+uint64_t QrelServer::FlightKey(const Request& request,
+                               uint64_t store_key) const {
+  // The flight key additionally pins the envelope, so only *exact*
+  // duplicates share one computation.
+  Fingerprint fp;
+  fp.Mix("net.flight.v1").Mix(store_key);
+  MixOptional(&fp, request.options.timeout_ms);
+  MixOptional(&fp, request.options.max_work);
+  return fp.value();
+}
+
+uint64_t QrelServer::RetryAfterHintMs() const {
+  size_t depth = queue_depth();
+  size_t workers = static_cast<size_t>(options_.workers);
+  return options_.retry_after_base_ms * (1 + depth / std::max<size_t>(1, workers));
+}
+
+Response QrelServer::HandleQuery(const Request& request) {
+  stats_->queries.fetch_add(1, std::memory_order_relaxed);
+  if (draining()) {
+    stats_->shed_draining.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::Unavailable("server is draining"),
+                         RetryAfterHintMs());
+  }
+  EnginePlan plan;
+  double cost = 0.0;
+  Status admitted = Admit(request, &plan, &cost);
+  if (!admitted.ok()) {
+    return ErrorResponse(admitted);
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t store_key = StoreKey(request);
+  uint64_t flight_key = FlightKey(request, store_key);
+  bool from_cache = false;
+  bool shared = false;
+  CachedResult result = cache_.GetOrCompute(
+      store_key, flight_key, [&] { return EnqueueAndRun(request); },
+      &from_cache, &shared);
+  if (from_cache) {
+    stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  } else if (shared) {
+    stats_->cache_shared.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Response response;
+  if (result.status.ok()) {
+    response.fields = result.fields;
+  } else {
+    response = ErrorResponse(result.status,
+                             result.status.code() == StatusCode::kUnavailable
+                                 ? std::optional<uint64_t>(RetryAfterHintMs())
+                                 : std::nullopt);
+  }
+  response.fields.emplace_back(
+      "cache", from_cache ? "hit" : (shared ? "shared" : "miss"));
+  return response;
+}
+
+Response QrelServer::HandleExplain(const Request& request) {
+  stats_->explains.fetch_add(1, std::memory_order_relaxed);
+  EnginePlan plan;
+  double cost = 0.0;
+  Status admitted = Admit(request, &plan, &cost);
+  if (!admitted.ok() &&
+      admitted.code() != StatusCode::kResourceExhausted) {
+    return ErrorResponse(admitted);
+  }
+  Response response;
+  auto& fields = response.fields;
+  fields.emplace_back("class", QueryClassName(plan.query_class));
+  fields.emplace_back("effective_class",
+                      QueryClassName(plan.effective_class));
+  fields.emplace_back("static_truth", StaticTruthName(plan.static_truth));
+  fields.emplace_back("simplified", plan.simplified_query);
+  fields.emplace_back("planned_method", plan.planned_method);
+  fields.emplace_back("universe_size",
+                      std::to_string(plan.cost.universe_size));
+  fields.emplace_back("arity", std::to_string(plan.cost.arity));
+  fields.emplace_back("variables", std::to_string(plan.cost.variables));
+  fields.emplace_back("answer_space", FormatDouble(plan.cost.answer_space));
+  fields.emplace_back("grounding_size",
+                      FormatDouble(plan.cost.grounding_size));
+  fields.emplace_back("uncertain_atoms",
+                      std::to_string(plan.cost.uncertain_atoms));
+  fields.emplace_back("world_count", FormatDouble(plan.cost.world_count));
+  fields.emplace_back("admission_cost", FormatDouble(cost));
+  fields.emplace_back("admitted", admitted.ok() ? "1" : "0");
+  if (!admitted.ok()) {
+    fields.emplace_back("reject_reason", admitted.message());
+  }
+  return response;
+}
+
+Response QrelServer::HandleHealth() const {
+  Response response;
+  response.fields.emplace_back("state", draining() ? "draining" : "serving");
+  response.fields.emplace_back("queue_depth",
+                               std::to_string(queue_depth()));
+  response.fields.emplace_back("inflight", std::to_string(inflight()));
+  response.fields.emplace_back("workers",
+                               std::to_string(options_.workers));
+  response.fields.emplace_back(
+      "connections",
+      std::to_string(live_connections_.load(std::memory_order_relaxed)));
+  return response;
+}
+
+Response QrelServer::HandleStats() const {
+  ServerStatsSnapshot s = stats_snapshot();
+  ResultCacheStats cache = cache_.stats();
+  Response response;
+  auto emit = [&response](const char* key, uint64_t value) {
+    response.fields.emplace_back(key, std::to_string(value));
+  };
+  emit("requests_total", s.requests_total);
+  emit("queries", s.queries);
+  emit("explains", s.explains);
+  emit("admitted", s.admitted);
+  emit("completed_ok", s.completed_ok);
+  emit("completed_error", s.completed_error);
+  emit("rejected_invalid", s.rejected_invalid);
+  emit("rejected_cost", s.rejected_cost);
+  emit("shed_queue_full", s.shed_queue_full);
+  emit("shed_quota", s.shed_quota);
+  emit("shed_draining", s.shed_draining);
+  emit("cache_hits", s.cache_hits);
+  emit("cache_misses", s.cache_misses);
+  emit("cache_shared", s.cache_shared);
+  emit("cache_entries", cache.entries);
+  emit("cache_evictions", cache.evictions);
+  emit("pressure_degraded", s.pressure_degraded);
+  emit("budget_degraded", s.budget_degraded);
+  emit("drain_cancelled", s.drain_cancelled);
+  emit("checkpoint_resumes", s.checkpoint_resumes);
+  emit("checkpoint_corrupt", s.checkpoint_corrupt);
+  emit("connections_accepted", s.connections_accepted);
+  emit("connections_rejected", s.connections_rejected);
+  emit("net_faults", s.net_faults);
+  emit("queue_depth", queue_depth());
+  emit("inflight", inflight());
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    emit("quota_outstanding", quota_outstanding_);
+  }
+  emit("work_quota", options_.work_quota);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Queueing and execution.
+
+CachedResult QrelServer::EnqueueAndRun(const Request& request) {
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  job->budget = std::min(
+      request.options.max_work.value_or(options_.default_max_work),
+      options_.max_request_work);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CachedResult shed;
+    if (draining()) {
+      stats_->shed_draining.fetch_add(1, std::memory_order_relaxed);
+      shed.status = Status::Unavailable("server is draining");
+      return shed;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      stats_->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      shed.status = Status::Unavailable(
+          "request queue is full (" + std::to_string(queue_.size()) +
+          " queued)");
+      return shed;
+    }
+    if (quota_outstanding_ + job->budget > options_.work_quota) {
+      stats_->shed_quota.fetch_add(1, std::memory_order_relaxed);
+      shed.status = Status::Unavailable(
+          "server work quota is saturated (" +
+          std::to_string(quota_outstanding_) + "/" +
+          std::to_string(options_.work_quota) + " units outstanding)");
+      return shed;
+    }
+    quota_outstanding_ += job->budget;
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->cv.wait(lock, [&job] { return job->done; });
+  }
+  return job->result;
+}
+
+void QrelServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    bool pressured = false;
+    bool cancel = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      pressured = queue_.size() >= options_.pressure_watermark;
+      cancel = drain_cancel_;
+      inflight_.fetch_add(1, std::memory_order_release);
+    }
+    CachedResult result;
+    Status fault = QREL_FAULT_HIT("net.server.worker");
+    if (cancel) {
+      stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
+      result.status = Status::Cancelled(
+          "server drained before the request started");
+    } else if (!fault.ok()) {
+      stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
+      result.status = fault;
+    } else {
+      result = ExecuteQuery(job->request, job->budget, pressured);
+    }
+    if (result.status.ok()) {
+      stats_->completed_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_->completed_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      quota_outstanding_ -= job->budget;
+      inflight_.fetch_sub(1, std::memory_order_release);
+      if (queue_.empty() && inflight_.load(std::memory_order_acquire) == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(job->m);
+      job->result = std::move(result);
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+}
+
+CachedResult QrelServer::ExecuteQuery(const Request& request,
+                                      uint64_t budget, bool pressured) {
+  if (pressured) {
+    stats_->pressure_degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  EngineOptions opts = BuildEngineOptions(request, options_, pressured);
+
+  RunContext ctx;
+  uint64_t timeout_ms =
+      request.options.timeout_ms.value_or(options_.default_timeout_ms);
+  if (timeout_ms > 0) {
+    ctx.SetDeadline(std::chrono::milliseconds(timeout_ms));
+  }
+  ctx.SetWorkBudget(budget);
+
+  // Per-request crash/drain safety: resume an identical query's leftover
+  // snapshot, checkpoint progress, flush a final snapshot when the drain
+  // cancellation lands (CheckpointScope::MaybeCheckpoint flushes on a
+  // pending trip).
+  std::optional<Checkpointer> checkpointer;
+  std::string snapshot_path;
+  if (!options_.checkpoint_dir.empty()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "q%016llx.snap",
+                  static_cast<unsigned long long>(StoreKey(request)));
+    snapshot_path = options_.checkpoint_dir + "/" + name;
+    checkpointer.emplace(
+        snapshot_path,
+        std::chrono::milliseconds(options_.checkpoint_interval_ms));
+    Status loaded = checkpointer->LoadForResume();
+    if (!loaded.ok()) {
+      // A corrupt leftover must not make this query permanently
+      // unanswerable: delete it and run fresh.
+      stats_->checkpoint_corrupt.fetch_add(1, std::memory_order_relaxed);
+      std::remove(snapshot_path.c_str());
+      checkpointer.emplace(
+          snapshot_path,
+          std::chrono::milliseconds(options_.checkpoint_interval_ms));
+    }
+    ctx.SetCheckpointer(&*checkpointer);
+  }
+  opts.run_context = &ctx;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    active_contexts_.push_back(&ctx);
+  }
+  StatusOr<EngineReport> report = engine_.Run(request.query, opts);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    active_contexts_.erase(std::find(active_contexts_.begin(),
+                                     active_contexts_.end(), &ctx));
+  }
+
+  if (checkpointer.has_value() && checkpointer->resume_consumed()) {
+    stats_->checkpoint_resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CachedResult result;
+  if (!report.ok()) {
+    result.status = report.status();
+    return result;
+  }
+  if (report->degraded) {
+    stats_->budget_degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (checkpointer.has_value()) {
+    // The run finished; the snapshot has served its purpose.
+    std::remove(snapshot_path.c_str());
+  }
+
+  auto& fields = result.fields;
+  fields.emplace_back("reliability", FormatDouble(report->reliability));
+  fields.emplace_back("exact", report->is_exact ? "1" : "0");
+  if (report->exact_reliability.has_value()) {
+    fields.emplace_back("exact_value",
+                        report->exact_reliability->ToString());
+  }
+  fields.emplace_back("expected_error",
+                      FormatDouble(report->expected_error));
+  fields.emplace_back("method", report->method);
+  fields.emplace_back("class", QueryClassName(report->query_class));
+  fields.emplace_back("samples", std::to_string(report->samples));
+  fields.emplace_back("epsilon", FormatDouble(opts.epsilon));
+  fields.emplace_back("delta", FormatDouble(opts.delta));
+  if (report->achieved_epsilon.has_value()) {
+    fields.emplace_back("achieved_epsilon",
+                        FormatDouble(*report->achieved_epsilon));
+  }
+  if (report->achieved_delta.has_value()) {
+    fields.emplace_back("achieved_delta",
+                        FormatDouble(*report->achieved_delta));
+  }
+  fields.emplace_back("degraded", report->degraded ? "1" : "0");
+  if (report->degraded) {
+    fields.emplace_back("degradation_reason", report->degradation_reason);
+  }
+  fields.emplace_back("partial", report->partial ? "1" : "0");
+  fields.emplace_back("pressure", pressured ? "1" : "0");
+  fields.emplace_back("budget_spent", std::to_string(report->budget_spent));
+  // Only envelope-independent answers may be replayed to callers with
+  // different budgets (see net/result_cache.h).
+  result.storable = !report->degraded && !report->partial && !pressured;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Drain and shutdown.
+
+void QrelServer::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void QrelServer::Drain() {
+  BeginDrain();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.drain_grace_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto idle = [this] {
+    return queue_.empty() && inflight_.load(std::memory_order_acquire) == 0;
+  };
+  idle_cv_.wait_until(lock, deadline, idle);
+  if (!idle()) {
+    // Grace expired: fail queued work fast and cancel running work
+    // cooperatively. A cancelled run flushes its final checkpoint at the
+    // next safe point and surfaces a typed CANCELLED to its client.
+    drain_cancel_ = true;
+    for (RunContext* ctx : active_contexts_) {
+      ctx->RequestCancellation();
+      stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
+    }
+    idle_cv_.wait(lock, idle);
+  }
+  drain_cancel_ = false;
+}
+
+void QrelServer::Shutdown() {
+  if (shutdown_done_.exchange(true)) {
+    return;
+  }
+  BeginDrain();
+  stop_accepting_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Unblock running requests first: connection threads may be parked in
+  // Handle() waiting for a worker.
+  Drain();
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // wakes any blocked recv with EOF
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+size_t QrelServer::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServerStatsSnapshot QrelServer::stats_snapshot() const {
+  ServerStatsSnapshot s;
+  const Stats& a = *stats_;
+  s.requests_total = a.requests_total.load(std::memory_order_relaxed);
+  s.queries = a.queries.load(std::memory_order_relaxed);
+  s.explains = a.explains.load(std::memory_order_relaxed);
+  s.admitted = a.admitted.load(std::memory_order_relaxed);
+  s.completed_ok = a.completed_ok.load(std::memory_order_relaxed);
+  s.completed_error = a.completed_error.load(std::memory_order_relaxed);
+  s.rejected_invalid = a.rejected_invalid.load(std::memory_order_relaxed);
+  s.rejected_cost = a.rejected_cost.load(std::memory_order_relaxed);
+  s.shed_queue_full = a.shed_queue_full.load(std::memory_order_relaxed);
+  s.shed_quota = a.shed_quota.load(std::memory_order_relaxed);
+  s.shed_draining = a.shed_draining.load(std::memory_order_relaxed);
+  s.cache_hits = a.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = a.cache_misses.load(std::memory_order_relaxed);
+  s.cache_shared = a.cache_shared.load(std::memory_order_relaxed);
+  s.pressure_degraded = a.pressure_degraded.load(std::memory_order_relaxed);
+  s.budget_degraded = a.budget_degraded.load(std::memory_order_relaxed);
+  s.drain_cancelled = a.drain_cancelled.load(std::memory_order_relaxed);
+  s.checkpoint_resumes =
+      a.checkpoint_resumes.load(std::memory_order_relaxed);
+  s.checkpoint_corrupt =
+      a.checkpoint_corrupt.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      a.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      a.connections_rejected.load(std::memory_order_relaxed);
+  s.net_faults = a.net_faults.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+Status QrelServer::Listen(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr =
+      htonl(options_.listen_any ? INADDR_ANY : INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("bind: ") + std::strerror(saved));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen: ") + std::strerror(saved));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::Ok();
+}
+
+Status QrelServer::ServeInBackground(int port) {
+  QREL_RETURN_IF_ERROR(Listen(port));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void QrelServer::AcceptLoop() {
+  while (!stop_accepting_.load(std::memory_order_acquire)) {
+    pollfd p;
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    p.revents = 0;
+    int ready = ::poll(&p, 1, 100);
+    if (ready <= 0) {
+      continue;  // timeout (re-check the stop flag) or EINTR
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    stats_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    Status fault = QREL_FAULT_HIT("net.server.accept");
+    if (!fault.ok()) {
+      // A fault at the accept boundary closes the connection before any
+      // response bytes: the client sees a clean EOF and reports a typed
+      // UNAVAILABLE, never a torn frame.
+      stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    if (live_connections_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      stats_->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(fd, EncodeFrame(SerializeResponse(ErrorResponse(
+                       Status::Unavailable("connection limit reached"),
+                       RetryAfterHintMs()))));
+      ::close(fd);
+      continue;
+    }
+    if (options_.connection_idle_timeout_ms > 0) {
+      timeval tv;
+      tv.tv_sec =
+          static_cast<time_t>(options_.connection_idle_timeout_ms / 1000);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (options_.connection_idle_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    live_connections_.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void QrelServer::ConnectionLoop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    // Assemble exactly one frame.
+    std::string payload;
+    bool closed = false;
+    for (;;) {
+      size_t consumed = 0;
+      Status decoded = DecodeFrame(buffer, &consumed, &payload);
+      if (!decoded.ok()) {
+        // Unrecoverable framing: answer typed, then drop the stream.
+        WriteAll(fd, EncodeFrame(SerializeResponse(ErrorResponse(decoded))));
+        closed = true;
+        break;
+      }
+      if (consumed > 0) {
+        buffer.erase(0, consumed);
+        break;
+      }
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        closed = true;  // clean client EOF
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        closed = true;  // idle timeout or reset
+        break;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    if (closed) {
+      break;
+    }
+    Status fault = QREL_FAULT_HIT("net.server.read");
+    if (!fault.ok()) {
+      // Fault after a complete frame was read: report it typed (best
+      // effort) and close.
+      stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
+      WriteAll(fd, EncodeFrame(SerializeResponse(ErrorResponse(fault))));
+      break;
+    }
+    std::string response = HandlePayload(payload);
+    fault = QREL_FAULT_HIT("net.server.write");
+    if (!fault.ok()) {
+      // Fault at the write boundary: drop the whole frame, never part of
+      // one — the client detects the missing response as a typed error.
+      stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!WriteAll(fd, EncodeFrame(response))) {
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  live_connections_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace qrel

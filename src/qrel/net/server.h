@@ -1,0 +1,266 @@
+// qrel_server core: a long-lived, overload-safe query-reliability service.
+//
+// One QrelServer owns one ReliabilityEngine (one database loaded at
+// startup) and serves many concurrent clients from a fixed-size worker
+// pool behind a bounded request queue. The robustness layers, outermost
+// first:
+//
+//  - **Admission control.** Every QUERY is Explain'd first (static
+//    analysis only — never charges a budget): analyzer errors come back
+//    as INVALID_ARGUMENT, and a request whose static cost estimate
+//    (world count for exact plans, answer space / grounding size for the
+//    others, per the paper's Thm 4.2 / Cor 5.5 complexity map) exceeds
+//    `max_admission_cost` is rejected with a typed RESOURCE_EXHAUSTED
+//    before any work happens. Admitted queries get a per-request
+//    RunContext whose work budget is clipped by both `max_request_work`
+//    and the server-wide outstanding-work quota.
+//
+//  - **Overload shedding.** When the queue is full, the work quota is
+//    saturated, or the server is draining, the request is shed
+//    immediately with a typed UNAVAILABLE carrying a Retry-After hint —
+//    the queue never grows unboundedly and a shed costs O(1).
+//
+//  - **Graceful degradation.** A request dequeued while the queue depth
+//    is at or above `pressure_watermark` steps down the engine's
+//    degradation ladder up front: coarser (epsilon, delta) targets and a
+//    fixed sample count instead of the theorem-derived plan. The response
+//    reports the achieved (epsilon, delta) and `pressure=1`. Mid-run
+//    budget trips additionally degrade exactly as in batch mode
+//    (EngineOptions::degrade_on_budget).
+//
+//  - **Memoizing result cache** (net/result_cache.h) keyed by PR-4
+//    content fingerprints, with single-flight deduplication so a
+//    stampede of identical queries computes once and consumes one queue
+//    slot.
+//
+//  - **Graceful drain.** BeginDrain() stops admission (new queries shed
+//    with UNAVAILABLE "draining"); Drain() waits `drain_grace_ms` for
+//    in-flight work, then requests cooperative cancellation on whatever
+//    remains — with a checkpoint_dir configured, each cancelled run
+//    flushes a final PR-3 checkpoint at its last safe point, so an
+//    identical query after restart resumes instead of recomputing.
+//    Clients of cancelled requests receive a typed CANCELLED response,
+//    never a torn frame.
+//
+//  - **Fault sites** (util/fault_injection.h) at the accept, frame-read,
+//    frame-write, dispatch and worker boundaries, so the chaos suite can
+//    kill the server at any network edge and assert clients get typed
+//    errors, never hangs or torn responses.
+//
+// Thread model: the engine's Run/Explain are const and share no mutable
+// state, so worker threads call them concurrently on the one engine;
+// every request gets its own RunContext (and Checkpointer), which are
+// single-thread objects apart from the cancellation flag. Handle() is the
+// transport-independent entry point — the TCP layer and the in-process
+// tests/bench drive the same code path.
+
+#ifndef QREL_NET_SERVER_H_
+#define QREL_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qrel/engine/engine.h"
+#include "qrel/net/protocol.h"
+#include "qrel/net/result_cache.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+struct ServerOptions {
+  // Worker pool and queue.
+  int workers = 2;
+  size_t queue_capacity = 8;
+
+  // Admission control.
+  // Ceiling on the static cost estimate of an admitted query: predicted
+  // world count for exact plans, answer space for the quantifier-free
+  // rung, grounding size for the sampling rungs. Saturating compare, so
+  // infinity always rejects.
+  double max_admission_cost = 1e12;
+  // Per-request work budget when the client does not set max_work.
+  uint64_t default_max_work = uint64_t{1} << 20;
+  // Hard clip on any per-request budget, client-requested or default.
+  uint64_t max_request_work = uint64_t{1} << 22;
+  // Server-wide cap on the sum of in-flight request budgets. A request
+  // that cannot reserve its budget is shed with UNAVAILABLE.
+  uint64_t work_quota = uint64_t{1} << 23;
+  // Per-request wall-clock deadline when the client does not set
+  // timeout_ms; 0 means none.
+  uint64_t default_timeout_ms = 0;
+
+  // Graceful degradation: queue depth at dequeue time at or above which a
+  // request steps down to the coarse targets below. The default never
+  // triggers.
+  size_t pressure_watermark = SIZE_MAX;
+  double pressure_epsilon = 0.1;
+  double pressure_delta = 0.1;
+  uint64_t pressure_fixed_samples = 256;
+
+  // Result cache entries (0 disables storing; single-flight stays on).
+  size_t cache_capacity = 256;
+
+  // Base of the Retry-After hint on shed responses; scaled by queue depth.
+  uint64_t retry_after_base_ms = 100;
+
+  // How long Drain() waits for in-flight work before requesting
+  // cooperative cancellation.
+  uint64_t drain_grace_ms = 2000;
+
+  // When non-empty, every admitted query checkpoints its progress to
+  // "<dir>/q<store-key>.snap" (util/snapshot.h) at this interval, resumes
+  // from a leftover snapshot of the identical query, and deletes the file
+  // on success. A corrupt leftover is deleted and counted, not fatal: a
+  // server must not make a query permanently unanswerable.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_interval_ms = 250;
+
+  // Transport.
+  int max_connections = 64;
+  // Idle-connection read timeout; a connection silent this long is closed.
+  uint64_t connection_idle_timeout_ms = 30000;
+  // Bind to all interfaces instead of loopback only.
+  bool listen_any = false;
+};
+
+// Monotonic counters; every field is written with relaxed atomics and read
+// via stats_snapshot().
+struct ServerStatsSnapshot {
+  uint64_t requests_total = 0;
+  uint64_t queries = 0;
+  uint64_t explains = 0;
+  uint64_t admitted = 0;
+  uint64_t completed_ok = 0;
+  uint64_t completed_error = 0;
+  uint64_t rejected_invalid = 0;
+  uint64_t rejected_cost = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_quota = 0;
+  uint64_t shed_draining = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_shared = 0;
+  uint64_t pressure_degraded = 0;
+  uint64_t budget_degraded = 0;
+  uint64_t drain_cancelled = 0;
+  uint64_t checkpoint_resumes = 0;
+  uint64_t checkpoint_corrupt = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t net_faults = 0;
+};
+
+class QrelServer {
+ public:
+  // Spawns the worker pool immediately; the destructor runs Shutdown().
+  QrelServer(ReliabilityEngine engine, ServerOptions options);
+  ~QrelServer();
+
+  QrelServer(const QrelServer&) = delete;
+  QrelServer& operator=(const QrelServer&) = delete;
+
+  // The transport-independent request lifecycle: admission, shedding,
+  // cache, queue, execution. Blocks until the response is ready (HEALTH /
+  // STATS / DRAIN / rejections return without touching the queue).
+  Response Handle(const Request& request);
+  // ParseRequest + Handle + SerializeResponse; a parse failure becomes a
+  // typed INVALID_ARGUMENT response payload.
+  std::string HandlePayload(std::string_view payload);
+
+  // Stops admission: every subsequent QUERY is shed with UNAVAILABLE.
+  // HEALTH/STATS stay available so orchestration can watch the drain.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  // BeginDrain + wait for the queue and in-flight work: up to
+  // drain_grace_ms cooperatively, then cancels the stragglers and waits
+  // for them to surface. On return no request is executing.
+  void Drain();
+  // Drain + stop the worker pool and the TCP listener. Idempotent.
+  void Shutdown();
+
+  // TCP transport. Listen binds (port 0 = ephemeral, see port());
+  // ServeInBackground spawns the accept loop. Connections are one thread
+  // each, framed per net/protocol.h.
+  Status Listen(int port);
+  Status ServeInBackground(int port);
+  int port() const { return port_; }
+
+  size_t queue_depth() const;
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  ServerStatsSnapshot stats_snapshot() const;
+  const ReliabilityEngine& engine() const { return engine_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct Stats;
+
+  Response HandleQuery(const Request& request);
+  Response HandleExplain(const Request& request);
+  Response HandleHealth() const;
+  Response HandleStats() const;
+
+  // Admission: plan + cost ceiling. Returns the plan through *plan on
+  // success; a non-OK status is the typed rejection.
+  Status Admit(const Request& request, EnginePlan* plan, double* cost);
+
+  // Leader path under the cache: reserve quota, enqueue, wait, release.
+  CachedResult EnqueueAndRun(const Request& request);
+
+  void WorkerLoop();
+  CachedResult ExecuteQuery(const Request& request, uint64_t budget,
+                            bool pressured);
+
+  uint64_t RetryAfterHintMs() const;
+  uint64_t StoreKey(const Request& request) const;
+  uint64_t FlightKey(const Request& request, uint64_t store_key) const;
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  ReliabilityEngine engine_;
+  ServerOptions options_;
+  uint64_t database_fingerprint_ = 0;
+
+  std::unique_ptr<Stats> stats_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;    // Drain waits for idleness
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<RunContext*> active_contexts_;
+  uint64_t quota_outstanding_ = 0;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;        // workers exit when queue drains
+  bool drain_cancel_ = false;    // fail queued jobs without running them
+
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<bool> shutdown_done_{false};
+
+  // Transport state.
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<int> live_connections_{0};
+  std::atomic<bool> stop_accepting_{false};
+};
+
+}  // namespace qrel
+
+#endif  // QREL_NET_SERVER_H_

@@ -254,8 +254,13 @@ class CheckpointScope {
   Status TakeResume(std::optional<SnapshotReader>* reader);
 
   // Writes a checkpoint when the interval has elapsed (always, for a zero
-  // interval). `fill` serializes the loop state into the payload. Safe to
-  // call from tight loops: the inert/not-due paths are two compares.
+  // interval). Also writes when the RunContext has a cancellation pending
+  // or its work budget is already spent — the next Charge() ends the run,
+  // so this is the last safe point and the final state is flushed instead
+  // of losing everything since the previous interval write (the qrel_cli
+  // SIGINT and server-drain paths rely on this). `fill` serializes the
+  // loop state into the payload. Safe to call from tight loops: the
+  // inert/not-due paths are a few compares and relaxed loads.
   Status MaybeCheckpoint(const std::function<void(SnapshotWriter&)>& fill);
 
   // Writes unconditionally (scope entry/exit, stratum boundaries).

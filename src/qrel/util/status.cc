@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

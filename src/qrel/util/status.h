@@ -31,10 +31,21 @@ enum class StatusCode {
   // snapshot files, see util/snapshot.h). Distinct from kInvalidArgument:
   // the input *was* valid data once and has been damaged since.
   kDataLoss,
+  // The service cannot take this request *right now* — a full queue, a
+  // drained server, a saturated work quota (see net/server.h). Distinct
+  // from kResourceExhausted: nothing about the request itself is too
+  // expensive, and an identical retry after backing off may succeed, so
+  // wire responses carry a Retry-After hint (net/protocol.h). Appended
+  // last so existing CLI exit codes (10 + code) stay stable; kUnavailable
+  // exits 20.
+  kUnavailable,
 };
 
 // True for the codes a RunContext produces when an execution envelope
 // trips — the codes the engine's degradation ladder reacts to.
+// kUnavailable is deliberately *not* a budget code: it is produced by the
+// serving layer before any budget is charged, and degrading would be the
+// wrong reaction to a full queue.
 inline bool IsBudgetStatusCode(StatusCode code) {
   return code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kResourceExhausted ||
@@ -80,6 +91,9 @@ class Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,252 @@
+// Chaos suite for the serving layer: drive a real TCP loopback server,
+// then arm every net.server.* fault site in turn and assert the client
+// sees a *typed* error — never a hang, a crash, or a torn response
+// mistaken for a complete one. Also pins the client-side error taxonomy
+// (EOF-before-response → UNAVAILABLE, mid-frame → DATA_LOSS) and the
+// protocol-level DRAIN path. Runs under QREL_SANITIZE in the sanitizer
+// build like the engine chaos suite.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/net/client.h"
+#include "qrel/net/protocol.h"
+#include "qrel/net/server.h"
+#include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
+
+namespace qrel {
+namespace {
+
+constexpr char kUdbText[] = R"(
+universe 3
+relation E 2
+relation S 1
+fact E 0 1 err=1/4
+fact E 1 2 err=1/8
+fact S 0
+absent S 1 err=1/3
+)";
+
+constexpr char kQuery[] = "exists x y . E(x,y) & S(y)";
+
+ReliabilityEngine TestEngine() {
+  StatusOr<UnreliableDatabase> database = ParseUdb(kUdbText);
+  EXPECT_TRUE(database.ok()) << database.status().ToString();
+  return ReliabilityEngine(std::move(database).value());
+}
+
+class ChaosServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(ChaosServerTest, TcpRoundTripAllVerbs) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  QrelClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  StatusOr<Response> response = client.Query(kQuery);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  EXPECT_EQ(response->Field("exact_value").value_or(""), "3/4");
+
+  response = client.Explain(kQuery);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Field("admitted").value_or(""), "1");
+
+  response = client.Health();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Field("state").value_or(""), "serving");
+
+  response = client.Stats();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Field("queries").value_or(""), "1");
+
+  // A second connection shares the same server state.
+  QrelClient other;
+  ASSERT_TRUE(other.Connect(server.port()).ok());
+  response = other.Query(kQuery);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Field("cache").value_or(""), "hit");
+  server.Shutdown();
+}
+
+TEST_F(ChaosServerTest, ServerRejectsInvalidQueryOverTcp) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  QrelClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  StatusOr<Response> response = client.Query("Nope(x)");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  // The connection survives a rejected request.
+  response = client.Health();
+  ASSERT_TRUE(response.ok());
+  server.Shutdown();
+}
+
+// Every net.server.* fault site, one at a time: the client must get a
+// typed outcome and the server must survive to answer a clean retry on a
+// fresh connection.
+TEST_F(ChaosServerTest, EveryNetFaultSiteYieldsATypedClientError) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+
+  // Clean pass so every lazily-registered net site exists.
+  {
+    QrelClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    StatusOr<Response> response = client.Query(kQuery);
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->ok());
+  }
+
+  std::vector<std::string> net_sites;
+  for (const std::string& site : FaultInjector::Instance().SiteNames()) {
+    if (site.rfind("net.server.", 0) == 0) {
+      net_sites.push_back(site);
+    }
+  }
+  std::sort(net_sites.begin(), net_sites.end());
+  EXPECT_EQ(net_sites,
+            (std::vector<std::string>{"net.server.accept", "net.server.dispatch",
+                                      "net.server.read", "net.server.worker",
+                                      "net.server.write"}));
+
+  uint64_t expected_faults = 0;
+  for (const std::string& site : net_sites) {
+    SCOPED_TRACE(site);
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Arm(site, 1, StatusCode::kInternal);
+
+    QrelClient client;
+    Status connected = client.Connect(server.port(), /*recv_timeout_ms=*/15000);
+    ASSERT_TRUE(connected.ok()) << connected.ToString();
+    // A distinct seed per site keeps the request out of the result cache,
+    // so the dispatch/worker sites are actually reached every time.
+    RequestOptions options;
+    options.seed = 1000 + (++expected_faults);
+    StatusOr<Response> response = client.Query(kQuery, options);
+
+    if (response.ok()) {
+      // The fault surfaced as a typed protocol-level error response.
+      EXPECT_FALSE(response->ok()) << "site " << site
+                                   << " produced a clean answer";
+      EXPECT_EQ(response->status.code(), StatusCode::kInternal);
+    } else {
+      // The fault tore the connection down before a response: the client
+      // maps that to a typed, retry-safe transport error — never a torn
+      // frame mistaken for an answer, never a hang.
+      EXPECT_TRUE(response.status().code() == StatusCode::kUnavailable ||
+                  response.status().code() == StatusCode::kDataLoss)
+          << "site " << site << ": " << response.status().ToString();
+    }
+    EXPECT_EQ(FaultInjector::Instance().TriggeredCount(site), 1u);
+
+    // One-shot faults disarm: the same request on a fresh connection now
+    // succeeds, and bit-identically to the unfaulted baseline.
+    QrelClient retry;
+    ASSERT_TRUE(retry.Connect(server.port()).ok());
+    StatusOr<Response> clean = retry.Query(kQuery, options);
+    ASSERT_TRUE(clean.ok()) << site << ": " << clean.status().ToString();
+    ASSERT_TRUE(clean->ok()) << site << ": " << clean->status.ToString();
+    EXPECT_EQ(clean->Field("exact_value").value_or(""), "3/4");
+  }
+
+  EXPECT_GE(server.stats_snapshot().net_faults, expected_faults);
+  server.Shutdown();
+}
+
+TEST_F(ChaosServerTest, ClientMapsConnectionRefusedToUnavailable) {
+  // Grab an ephemeral port, then close the listener: connecting to it
+  // must yield a typed UNAVAILABLE, not a crash or a hang.
+  int dead_port;
+  {
+    QrelServer server(TestEngine(), ServerOptions{});
+    ASSERT_TRUE(server.ServeInBackground(0).ok());
+    dead_port = server.port();
+    server.Shutdown();
+  }
+  QrelClient client;
+  Status connected = client.Connect(dead_port);
+  EXPECT_EQ(connected.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ChaosServerTest, DrainOverTcpShedsThenShutsDownCleanly) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  QrelClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  StatusOr<Response> response = client.Drain();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->Field("state").value_or(""), "draining");
+
+  // Queries shed with a typed retryable UNAVAILABLE; HEALTH still works
+  // so orchestration can watch the drain.
+  response = client.Query(kQuery);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(response->retry_after_ms.has_value());
+
+  response = client.Health();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Field("state").value_or(""), "draining");
+
+  server.Shutdown();
+  EXPECT_EQ(server.stats_snapshot().shed_draining, 1u);
+}
+
+// Raw bytes that are not a frame: the server answers one typed
+// INVALID_ARGUMENT frame and closes — the stream has no resync point.
+TEST_F(ChaosServerTest, MalformedFrameGetsTypedErrorThenClose) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "this is not a length prefix\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, MSG_NOSIGNAL), 0);
+
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;  // the server closed after its error frame
+    }
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t consumed = 0;
+  std::string payload;
+  ASSERT_TRUE(DecodeFrame(received, &consumed, &payload).ok());
+  ASSERT_GT(consumed, 0u) << "no complete error frame before close";
+  StatusOr<Response> response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace qrel

@@ -1,0 +1,179 @@
+// Wire protocol unit tests: framing (incremental decode, torn and
+// malformed input), request/response round trips, and the wire error
+// table's coverage of the full Status taxonomy.
+
+#include "qrel/net/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+TEST(FramingTest, EncodeDecodeRoundTrip) {
+  std::string frame = EncodeFrame("QUERY\nS(x)\n");
+  size_t consumed = 0;
+  std::string payload;
+  ASSERT_TRUE(DecodeFrame(frame, &consumed, &payload).ok());
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(payload, "QUERY\nS(x)\n");
+}
+
+TEST(FramingTest, DecodeIsIncremental) {
+  std::string frame = EncodeFrame("HEALTH\n");
+  // Every strict prefix decodes to "need more bytes", never to a frame
+  // and never to an error: a slow sender cannot produce a torn read.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    size_t consumed = 123;
+    std::string payload;
+    Status status =
+        DecodeFrame(std::string_view(frame).substr(0, len), &consumed,
+                    &payload);
+    ASSERT_TRUE(status.ok()) << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u) << "prefix length " << len;
+  }
+}
+
+TEST(FramingTest, DecodeLeavesTrailingBytes) {
+  std::string two = EncodeFrame("HEALTH\n") + EncodeFrame("STATS\n");
+  size_t consumed = 0;
+  std::string payload;
+  ASSERT_TRUE(DecodeFrame(two, &consumed, &payload).ok());
+  EXPECT_EQ(payload, "HEALTH\n");
+  std::string rest = two.substr(consumed);
+  ASSERT_TRUE(DecodeFrame(rest, &consumed, &payload).ok());
+  EXPECT_EQ(payload, "STATS\n");
+  EXPECT_EQ(consumed, rest.size());
+}
+
+TEST(FramingTest, RejectsMalformedLength) {
+  size_t consumed = 0;
+  std::string payload;
+  EXPECT_EQ(DecodeFrame("abc\nxxx", &consumed, &payload).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeFrame("-1\nxxx", &consumed, &payload).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FramingTest, RejectsOversizedFrame) {
+  size_t consumed = 0;
+  std::string payload;
+  std::string huge = std::to_string(kMaxFramePayload + 1) + "\n";
+  EXPECT_EQ(DecodeFrame(huge, &consumed, &payload).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, QueryRoundTripWithOptions) {
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = "exists x . S(x)";
+  request.options.epsilon = 0.05;
+  request.options.delta = 0.01;
+  request.options.seed = 42;
+  request.options.fixed_samples = 128;
+  request.options.timeout_ms = 2500;
+  request.options.max_work = 100000;
+  request.options.force_approximate = true;
+
+  StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, RequestVerb::kQuery);
+  EXPECT_EQ(parsed->query, "exists x . S(x)");
+  EXPECT_EQ(parsed->options.epsilon, 0.05);
+  EXPECT_EQ(parsed->options.delta, 0.01);
+  EXPECT_EQ(parsed->options.seed, 42u);
+  EXPECT_EQ(parsed->options.fixed_samples, 128u);
+  EXPECT_EQ(parsed->options.timeout_ms, 2500u);
+  EXPECT_EQ(parsed->options.max_work, 100000u);
+  EXPECT_FALSE(parsed->options.force_exact);
+  EXPECT_TRUE(parsed->options.force_approximate);
+}
+
+TEST(RequestTest, BodylessVerbsRoundTrip) {
+  for (RequestVerb verb : {RequestVerb::kHealth, RequestVerb::kStats,
+                           RequestVerb::kDrain}) {
+    Request request;
+    request.verb = verb;
+    StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->verb, verb);
+  }
+}
+
+TEST(RequestTest, RejectsUnknownVerbAndMalformedOptions) {
+  EXPECT_EQ(ParseRequest("FROBNICATE\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("QUERY\n").status().code(),
+            StatusCode::kInvalidArgument);  // missing query line
+  EXPECT_EQ(ParseRequest("QUERY\nS(x)\nbogus_option=1\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("QUERY\nS(x)\nseed=notanumber\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResponseTest, OkRoundTrip) {
+  Response response;
+  response.fields.emplace_back("reliability", "0.75");
+  response.fields.emplace_back("method", "Thm 4.2 exact world enumeration");
+  StatusOr<Response> parsed = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_EQ(parsed->Field("reliability").value_or(""), "0.75");
+  EXPECT_EQ(parsed->Field("method").value_or(""),
+            "Thm 4.2 exact world enumeration");
+  EXPECT_FALSE(parsed->Field("missing").has_value());
+}
+
+TEST(ResponseTest, ErrorRoundTripKeepsCodeMessageAndHint) {
+  Response error =
+      ErrorResponse(Status::Unavailable("queue full"), /*retry_after_ms=*/250);
+  StatusOr<Response> parsed = ParseResponse(SerializeResponse(error));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parsed->status.message(), "queue full");
+  EXPECT_EQ(parsed->retry_after_ms, 250u);
+}
+
+TEST(ResponseTest, ErrorResponseFlattensNewlines) {
+  Response error = ErrorResponse(Status::Internal("line one\nline two"));
+  StatusOr<Response> parsed = ParseResponse(SerializeResponse(error));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status.code(), StatusCode::kInternal);
+  EXPECT_EQ(parsed->status.message().find('\n'), std::string::npos);
+}
+
+TEST(ResponseTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseResponse("").ok());
+  EXPECT_FALSE(ParseResponse("MAYBE\n").ok());
+  EXPECT_FALSE(ParseResponse("ERR NOT_A_CODE\n").ok());
+}
+
+// The wire table is the one place the full Status taxonomy maps onto the
+// protocol; every code must round-trip through its token, and only the
+// load/deadline codes may invite a retry.
+TEST(WireTableTest, CoversTheFullStatusTaxonomy) {
+#define QREL_CHECK_ROW(code, token, retryable)                        \
+  EXPECT_STREQ(WireErrorToken(StatusCode::code), token);              \
+  EXPECT_EQ(WireErrorRetryable(StatusCode::code), retryable);         \
+  EXPECT_EQ(StatusCodeFromWireToken(token), StatusCode::code);
+  QREL_NET_WIRE_STATUS_TABLE(QREL_CHECK_ROW)
+#undef QREL_CHECK_ROW
+  EXPECT_FALSE(StatusCodeFromWireToken("NO_SUCH_TOKEN").has_value());
+}
+
+TEST(WireTableTest, OnlySheddingCodesAreRetryable) {
+  int retryable = 0;
+#define QREL_COUNT_RETRYABLE(code, token, is_retryable) \
+  if (is_retryable) ++retryable;
+  QREL_NET_WIRE_STATUS_TABLE(QREL_COUNT_RETRYABLE)
+#undef QREL_COUNT_RETRYABLE
+  EXPECT_EQ(retryable, 2);  // DEADLINE_EXCEEDED and UNAVAILABLE
+  EXPECT_TRUE(WireErrorRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(WireErrorRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(WireErrorRetryable(StatusCode::kResourceExhausted));
+}
+
+}  // namespace
+}  // namespace qrel

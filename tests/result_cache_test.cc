@@ -1,0 +1,207 @@
+// Result cache unit tests: store hits, the storable gate, LRU eviction,
+// and single-flight deduplication under real concurrency.
+
+#include "qrel/net/result_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+CachedResult OkResult(const std::string& value, bool storable = true) {
+  CachedResult result;
+  result.fields.emplace_back("value", value);
+  result.storable = storable;
+  return result;
+}
+
+TEST(ResultCacheTest, StoresAndReplaysStorableResults) {
+  ResultCache cache(4);
+  bool from_cache = false;
+  bool shared = false;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return OkResult("a");
+  };
+  CachedResult first = cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(first.fields[0].second, "a");
+  CachedResult second =
+      cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(second.fields[0].second, "a");
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, NonStorableResultsAreNeverReplayed) {
+  ResultCache cache(4);
+  bool from_cache = false;
+  bool shared = false;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return OkResult("degraded", /*storable=*/false);
+  };
+  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ErrorsAreNeverStored) {
+  ResultCache cache(4);
+  bool from_cache = false;
+  bool shared = false;
+  auto compute = [] {
+    CachedResult result;
+    result.status = Status::Unavailable("shed");
+    result.storable = true;  // even if mislabeled, errors must not persist
+    return result;
+  };
+  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  bool from_cache = false;
+  bool shared = false;
+  auto make = [](const std::string& v) {
+    return [v] { return OkResult(v); };
+  };
+  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
+  cache.GetOrCompute(2, 20, make("two"), &from_cache, &shared);
+  // Touch key 1 so key 2 is the LRU victim.
+  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
+  EXPECT_TRUE(from_cache);
+  cache.GetOrCompute(3, 30, make("three"), &from_cache, &shared);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
+  EXPECT_TRUE(from_cache);  // key 1 survived
+  cache.GetOrCompute(2, 20, make("two"), &from_cache, &shared);
+  EXPECT_FALSE(from_cache);  // key 2 was evicted
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesStoringOnly) {
+  ResultCache cache(0);
+  bool from_cache = false;
+  bool shared = false;
+  cache.GetOrCompute(1, 10, [] { return OkResult("x"); }, &from_cache,
+                     &shared);
+  cache.GetOrCompute(1, 10, [] { return OkResult("x"); }, &from_cache,
+                     &shared);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// N concurrent identical requests: exactly one compute; every caller gets
+// the leader's value; followers are counted as shared.
+TEST(ResultCacheTest, SingleFlightDeduplicatesConcurrentLeaders) {
+  ResultCache cache(4);
+  std::atomic<int> computes{0};
+  std::atomic<int> correct{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      bool from_cache = false;
+      bool shared = false;
+      CachedResult result = cache.GetOrCompute(
+          7, 70,
+          [&] {
+            computes.fetch_add(1);
+            // Hold the flight open long enough for followers to pile up.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return OkResult("leader");
+          },
+          &from_cache, &shared);
+      if (result.status.ok() && result.fields.size() == 1 &&
+          result.fields[0].second == "leader") {
+        correct.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(correct.load(), kThreads);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.single_flight_shared,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+// Followers share the leader's *typed error* too — a stampede behind a
+// failing query must not multiply the failure work.
+TEST(ResultCacheTest, SingleFlightSharesTypedErrors) {
+  ResultCache cache(4);
+  std::atomic<int> computes{0};
+  std::atomic<int> got_unavailable{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      bool from_cache = false;
+      bool shared = false;
+      CachedResult result = cache.GetOrCompute(
+          9, 90,
+          [&] {
+            computes.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            CachedResult failed;
+            failed.status = Status::Unavailable("shed");
+            return failed;
+          },
+          &from_cache, &shared);
+      if (result.status.code() == StatusCode::kUnavailable) {
+        got_unavailable.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // The error is not stored, so after the flight lands a new leader would
+  // recompute — but everyone inside the flight shared one attempt.
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(got_unavailable.load(), kThreads);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// Different flight keys (same store key) do NOT share a flight: a caller
+// with a different envelope is not an exact duplicate.
+TEST(ResultCacheTest, DifferentEnvelopesDoNotShareAFlight) {
+  ResultCache cache(0);  // disable the store to isolate flight behavior
+  std::atomic<int> computes{0};
+  auto run = [&](uint64_t flight_key) {
+    bool from_cache = false;
+    bool shared = false;
+    cache.GetOrCompute(
+        1, flight_key,
+        [&] {
+          computes.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          return OkResult("x");
+        },
+        &from_cache, &shared);
+  };
+  std::thread a([&] { run(100); });
+  std::thread b([&] { run(200); });
+  a.join();
+  b.join();
+  EXPECT_EQ(computes.load(), 2);
+}
+
+}  // namespace
+}  // namespace qrel

@@ -322,6 +322,47 @@ TEST_F(ResumeEngineTest, BruteForceEnumerationResumesAfterBudgetTrip) {
   std::remove(path.c_str());
 }
 
+TEST_F(ResumeEngineTest, BudgetTripFlushesAFinalCheckpointDespiteLongInterval) {
+  // With a 24h checkpoint interval, no interval-gated write can ever fire
+  // inside this test; the only snapshot comes from the forced flush when
+  // the work budget is about to trip. That flush is what qrel_cli's SIGINT
+  // handler and the server's drain checkpoint-abort depend on: without it
+  // an interrupted long-interval run would lose all progress.
+  Dnf dnf = MakeTestDnf();
+  std::vector<Rational> probs = UniformHalf(10);
+
+  RunContext baseline_ctx;
+  StatusOr<Rational> baseline =
+      BruteForceDnfProbability(dnf, probs, &baseline_ctx);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string path = SnapshotPath("resume_long_interval.snapshot");
+  {
+    Checkpointer checkpointer(path, std::chrono::hours(24));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    RunContext ctx = RunContext::WithWorkBudget(100);
+    ctx.SetCheckpointer(&checkpointer);
+    StatusOr<Rational> killed = BruteForceDnfProbability(dnf, probs, &ctx);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(killed.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(checkpointer.writes(), 1u)
+        << "expected exactly the forced pre-trip flush";
+  }
+  {
+    Checkpointer checkpointer(path, std::chrono::hours(24));
+    ASSERT_TRUE(checkpointer.LoadForResume().ok());
+    ASSERT_TRUE(checkpointer.has_resume());
+    RunContext ctx;
+    ctx.SetCheckpointer(&checkpointer);
+    StatusOr<Rational> resumed = BruteForceDnfProbability(dnf, probs, &ctx);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_TRUE(checkpointer.resume_consumed());
+    EXPECT_EQ(*resumed, *baseline);
+    EXPECT_EQ(ctx.work_spent(), baseline_ctx.work_spent());
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(ResumeEngineTest, AbsoluteMonteCarloResumesAfterBudgetTrip) {
   UnreliableDatabase db = MakeDatabase();
   // No uncertain diagonal atom exists, so no sampled world can flip the

@@ -426,5 +426,47 @@ TEST(CheckpointerTest, WorkSpentIsRestoredOntoContext) {
   std::remove(path.c_str());
 }
 
+// A pending cooperative cancellation forces MaybeCheckpoint to flush even
+// when the interval has not elapsed: the very next Charge() ends the run,
+// so this is the last safe point to persist progress. Both the qrel_cli
+// SIGINT flush and the server's drain checkpoint-abort rely on this.
+TEST(CheckpointerTest, PendingCancellationForcesAFlushInsideTheInterval) {
+  std::string path = TempPath("trip_cancel.snapshot");
+  Checkpointer checkpointer(path, std::chrono::hours(24));
+  RunContext ctx;
+  ctx.SetCheckpointer(&checkpointer);
+  CheckpointScope scope(&ctx, "algo.v1", 11);
+  ASSERT_TRUE(
+      scope.MaybeCheckpoint([](SnapshotWriter& w) { w.U64(1); }).ok());
+  EXPECT_EQ(checkpointer.writes(), 0u);  // interval-gated: nothing yet
+  ctx.RequestCancellation();
+  ASSERT_TRUE(
+      scope.MaybeCheckpoint([](SnapshotWriter& w) { w.U64(2); }).ok());
+  EXPECT_EQ(checkpointer.writes(), 1u);
+  // The flushed snapshot is complete and resumable.
+  Checkpointer fresh(path, std::chrono::hours(24));
+  ASSERT_TRUE(fresh.LoadForResume().ok());
+  EXPECT_TRUE(fresh.has_resume());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointerTest, ExhaustedWorkBudgetForcesAFlushInsideTheInterval) {
+  std::string path = TempPath("trip_budget.snapshot");
+  Checkpointer checkpointer(path, std::chrono::hours(24));
+  RunContext ctx;
+  ctx.SetWorkBudget(10);
+  ctx.SetCheckpointer(&checkpointer);
+  CheckpointScope scope(&ctx, "algo.v1", 12);
+  ASSERT_TRUE(ctx.Charge(9).ok());
+  ASSERT_TRUE(
+      scope.MaybeCheckpoint([](SnapshotWriter& w) { w.U64(1); }).ok());
+  EXPECT_EQ(checkpointer.writes(), 0u);  // budget not yet exhausted
+  ASSERT_TRUE(ctx.Charge(1).ok());      // spends the last unit
+  ASSERT_TRUE(
+      scope.MaybeCheckpoint([](SnapshotWriter& w) { w.U64(2); }).ok());
+  EXPECT_EQ(checkpointer.writes(), 1u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace qrel

@@ -35,6 +35,33 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusTest, UnavailableFactoryCarriesItsCode) {
+  Status status = Status::Unavailable("queue full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.ToString(), "UNAVAILABLE: queue full");
+}
+
+// kUnavailable means "not right now", not "your budget ran out": it must
+// never be treated as a budget trip (which would make the engine try to
+// degrade past an overloaded server).
+TEST(StatusTest, UnavailableIsNotABudgetCode) {
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kUnavailable));
+}
+
+// CLI exit codes are 10 + StatusCode; the enum order is load-bearing for
+// scripts, so appending kUnavailable must have left every prior value
+// stable and landed it at exit 20.
+TEST(StatusTest, ExitCodeMappingStaysStable) {
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kOk), 10);
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kDeadlineExceeded), 16);
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kResourceExhausted), 17);
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kCancelled), 18);
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kDataLoss), 19);
+  EXPECT_EQ(10 + static_cast<int>(StatusCode::kUnavailable), 20);
 }
 
 TEST(StatusTest, BudgetFactoriesCarryTheirCodes) {
