@@ -86,6 +86,19 @@ std::string FlattenValue(std::string_view value) {
   return result;
 }
 
+// Error messages echo client input (unknown verbs, malformed options), so
+// an uncapped message would let a max-size request inflate the response
+// past the frame limit. Flatten and cap at kMaxErrorMessageBytes.
+std::string CapErrorMessage(std::string_view message) {
+  if (message.size() <= kMaxErrorMessageBytes) {
+    return FlattenValue(message);
+  }
+  std::string result =
+      FlattenValue(message.substr(0, kMaxErrorMessageBytes));
+  result += "...";
+  return result;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -127,7 +140,16 @@ std::optional<StatusCode> StatusCodeFromWireToken(std::string_view token) {
 // Framing.
 
 std::string EncodeFrame(std::string_view payload) {
-  QREL_CHECK_LE(payload.size(), kMaxFramePayload);
+  // Truncate rather than abort: response payloads can embed client input
+  // (error echoes, the simplified query in EXPLAIN), so "too big" must
+  // never be fatal. Cut at the last '\n' that fits so the remaining
+  // payload is still whole lines; a 1 MiB run with no newline at all is
+  // cut hard — still a decodable frame.
+  if (payload.size() > kMaxFramePayload) {
+    size_t cut = payload.rfind('\n', kMaxFramePayload - 1);
+    payload = payload.substr(
+        0, cut == std::string_view::npos ? kMaxFramePayload : cut + 1);
+  }
   std::string frame = std::to_string(payload.size());
   frame += '\n';
   frame += payload;
@@ -329,7 +351,7 @@ std::string SerializeResponse(const Response& response) {
     }
     if (!response.status.message().empty()) {
       payload += "message=";
-      payload += FlattenValue(response.status.message());
+      payload += CapErrorMessage(response.status.message());
       payload += '\n';
     }
   }

@@ -81,7 +81,16 @@ std::optional<StatusCode> StatusCodeFromWireToken(std::string_view token);
 // queries and key=value reports, not bulk data.
 inline constexpr size_t kMaxFramePayload = 1u << 20;
 
-// `length '\n' payload`.
+// Error messages embed client-controlled text (the offending verb, option
+// line, or query); capping them guarantees an error response always fits a
+// frame, no matter how large the request that provoked it was. A request at
+// the 1 MiB frame limit must never be able to crash the server by inflating
+// its own echo.
+inline constexpr size_t kMaxErrorMessageBytes = 512;
+
+// `length '\n' payload`. Never fails: a payload over kMaxFramePayload is
+// truncated at the last line boundary that fits (dropping whole tail
+// lines), so the receiver always sees a decodable, well-formed payload.
 std::string EncodeFrame(std::string_view payload);
 
 // Incremental decode: tries to extract one complete frame from the front
@@ -150,7 +159,8 @@ StatusOr<Response> ParseResponse(std::string_view payload);
 
 // The uniform error response for `status` (never call with OK):
 // ERR line from the wire table, Retry-After hint for retryable codes,
-// message field with newlines flattened.
+// message field with newlines flattened and capped at
+// kMaxErrorMessageBytes on serialization.
 Response ErrorResponse(const Status& status,
                        std::optional<uint64_t> retry_after_ms = std::nullopt);
 

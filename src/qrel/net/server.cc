@@ -505,13 +505,19 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
   // Per-request crash/drain safety: resume an identical query's leftover
   // snapshot, checkpoint progress, flush a final snapshot when the drain
   // cancellation lands (CheckpointScope::MaybeCheckpoint flushes on a
-  // pending trip).
+  // pending trip). The path is keyed by the *flight* key, not the store
+  // key: single-flight guarantees at most one execution per flight key at
+  // a time, so exactly one writer ever owns a snapshot path — two
+  // concurrent requests that share a store key but differ in envelope
+  // (different timeout/max_work) are distinct flights and must not
+  // checkpoint into (and then delete) one shared file.
   std::optional<Checkpointer> checkpointer;
   std::string snapshot_path;
   if (!options_.checkpoint_dir.empty()) {
     char name[32];
     std::snprintf(name, sizeof(name), "q%016llx.snap",
-                  static_cast<unsigned long long>(StoreKey(request)));
+                  static_cast<unsigned long long>(
+                      FlightKey(request, StoreKey(request))));
     snapshot_path = options_.checkpoint_dir + "/" + name;
     checkpointer.emplace(
         snapshot_path,
@@ -637,15 +643,15 @@ void QrelServer::Shutdown() {
   Drain();
   {
     std::unique_lock<std::mutex> lock(conn_mutex_);
-    for (int fd : conn_fds_) {
-      ::shutdown(fd, SHUT_RDWR);  // wakes any blocked recv with EOF
+    for (Connection& conn : conns_) {
+      ::shutdown(conn.fd, SHUT_RDWR);  // wakes any blocked recv with EOF
     }
+    // Every fd in conns_ is still open (entries retire before closing),
+    // so the sweep above cannot hit a reused descriptor. Wait for all
+    // connections to retire, then join their parked threads.
+    conn_cv_.wait(lock, [this] { return conns_.empty(); });
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
+  ReapConnectionThreads();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -743,8 +749,28 @@ Status QrelServer::ServeInBackground(int port) {
   return Status::Ok();
 }
 
+void QrelServer::ReapConnectionThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    finished.swap(reaped_conn_threads_);
+  }
+  for (std::thread& t : finished) {
+    t.join();
+  }
+}
+
+size_t QrelServer::unreaped_connection_threads() const {
+  std::unique_lock<std::mutex> lock(conn_mutex_);
+  return reaped_conn_threads_.size();
+}
+
 void QrelServer::AcceptLoop() {
   while (!stop_accepting_.load(std::memory_order_acquire)) {
+    // Join connection threads that retired since the last cycle; without
+    // this a long-lived server would accumulate one unjoined thread per
+    // connection ever accepted.
+    ReapConnectionThreads();
     pollfd p;
     p.fd = listen_fd_;
     p.events = POLLIN;
@@ -786,12 +812,15 @@ void QrelServer::AcceptLoop() {
     }
     live_connections_.fetch_add(1, std::memory_order_acq_rel);
     std::unique_lock<std::mutex> lock(conn_mutex_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    conns_.emplace_back();
+    auto conn = std::prev(conns_.end());
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
   }
 }
 
-void QrelServer::ConnectionLoop(int fd) {
+void QrelServer::ConnectionLoop(std::list<Connection>::iterator conn) {
+  const int fd = conn->fd;
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -848,12 +877,19 @@ void QrelServer::ConnectionLoop(int fd) {
       break;
     }
   }
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
+  // Retire before touching the fd: once the conns_ entry is gone,
+  // Shutdown's sweep can no longer ::shutdown() this fd number, so a
+  // kernel reuse of it after the close below can never be hit by
+  // mistake. The thread handle is parked for the accept loop (or
+  // Shutdown) to join — a thread cannot join itself.
   {
     std::unique_lock<std::mutex> lock(conn_mutex_);
-    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+    reaped_conn_threads_.push_back(std::move(conn->thread));
+    conns_.erase(conn);
   }
+  conn_cv_.notify_all();
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
   live_connections_.fetch_sub(1, std::memory_order_acq_rel);
 }
 

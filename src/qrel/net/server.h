@@ -61,6 +61,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -115,10 +116,12 @@ struct ServerOptions {
   uint64_t drain_grace_ms = 2000;
 
   // When non-empty, every admitted query checkpoints its progress to
-  // "<dir>/q<store-key>.snap" (util/snapshot.h) at this interval, resumes
-  // from a leftover snapshot of the identical query, and deletes the file
-  // on success. A corrupt leftover is deleted and counted, not fatal: a
-  // server must not make a query permanently unanswerable.
+  // "<dir>/q<flight-key>.snap" (util/snapshot.h) at this interval, resumes
+  // from a leftover snapshot of the identical request (including its
+  // timeout/max_work envelope — single-flight serializes each flight key,
+  // so one writer owns each path), and deletes the file on success. A
+  // corrupt leftover is deleted and counted, not fatal: a server must not
+  // make a query permanently unanswerable.
   std::string checkpoint_dir;
   uint64_t checkpoint_interval_ms = 250;
 
@@ -198,6 +201,12 @@ class QrelServer {
   size_t inflight() const {
     return inflight_.load(std::memory_order_acquire);
   }
+  // Finished connection threads not yet joined. The accept loop reaps
+  // these every cycle, so the value is transiently small on a serving
+  // server and zero once all connections retire (test/diagnostic hook;
+  // the old behavior — one unjoined thread per connection ever accepted —
+  // leaked stacks for the server's whole lifetime).
+  size_t unreaped_connection_threads() const;
   ServerStatsSnapshot stats_snapshot() const;
   const ReliabilityEngine& engine() const { return engine_; }
   const ServerOptions& options() const { return options_; }
@@ -226,8 +235,20 @@ class QrelServer {
   uint64_t StoreKey(const Request& request) const;
   uint64_t FlightKey(const Request& request, uint64_t store_key) const;
 
+  // One live connection: its socket and the thread serving it. Entries
+  // live in a std::list so the serving thread can erase itself via a
+  // stable iterator.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void ConnectionLoop(std::list<Connection>::iterator conn);
+  // Joins every thread on the reaped list (threads that finished their
+  // connection and parked their own handle there — a thread cannot join
+  // itself). Called by the accept loop each cycle and by Shutdown.
+  void ReapConnectionThreads();
 
   ReliabilityEngine engine_;
   ServerOptions options_;
@@ -250,13 +271,18 @@ class QrelServer {
   std::atomic<size_t> inflight_{0};
   std::atomic<bool> shutdown_done_{false};
 
-  // Transport state.
+  // Transport state. A connection retires by moving its thread handle
+  // onto reaped_conn_threads_ and erasing its conns_ entry *before*
+  // closing its fd — so conns_ never lists a closed (reusable) fd number,
+  // and Shutdown's ::shutdown() sweep can never hit an unrelated
+  // descriptor.
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  std::mutex conn_mutex_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;  // signalled when a connection retires
+  std::list<Connection> conns_;
+  std::vector<std::thread> reaped_conn_threads_;
   std::atomic<int> live_connections_{0};
   std::atomic<bool> stop_accepting_{false};
 };

@@ -12,8 +12,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -246,6 +249,144 @@ TEST_F(ChaosServerTest, MalformedFrameGetsTypedErrorThenClose) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
   server.Shutdown();
+}
+
+// Regression for the remote-DoS review finding: a valid max-size frame
+// whose payload is one giant unknown verb used to echo the whole verb
+// into the error message, overflow the response frame, and abort the
+// server on a fatal CHECK. One unauthenticated request, whole server
+// down. Now: one bounded typed error, server stays up.
+TEST_F(ChaosServerTest, MaxSizeGarbageRequestGetsBoundedTypedError) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Exactly kMaxFramePayload bytes of payload: a legal frame the decoder
+  // accepts, carrying an unknown verb as large as the protocol allows.
+  std::string verb(kMaxFramePayload - 1, 'Z');
+  std::string frame = EncodeFrame(verb + "\n");
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read exactly one response frame (the connection survives a rejected
+  // request, so waiting for EOF would hang).
+  std::string received;
+  std::string payload;
+  size_t consumed = 0;
+  char chunk[4096];
+  for (;;) {
+    Status decoded = DecodeFrame(received, &consumed, &payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.ToString();
+    if (consumed > 0) {
+      break;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection died before a typed response";
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  EXPECT_LE(payload.size(), kMaxErrorMessageBytes + 64);
+  StatusOr<Response> response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+
+  // The server survived: a fresh client gets a clean answer.
+  QrelClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  StatusOr<Response> clean = client.Query(kQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(clean->ok()) << clean->status.ToString();
+  server.Shutdown();
+}
+
+// Connection threads must be joined as connections retire, not hoarded
+// until Shutdown — a long-lived server would otherwise leak one thread
+// stack per connection ever accepted.
+TEST_F(ChaosServerTest, RetiredConnectionThreadsAreReaped) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+
+  for (int i = 0; i < 8; ++i) {
+    QrelClient client;
+    ASSERT_TRUE(client.Connect(server.port()).ok());
+    StatusOr<Response> response = client.Health();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    client.Close();
+  }
+
+  // The accept loop joins retired threads each poll cycle (~100ms).
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (server.unreaped_connection_threads() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.unreaped_connection_threads(), 0u);
+  server.Shutdown();
+}
+
+// Two concurrent requests that share a *store* key but differ in
+// envelope are distinct flights; each must own its own snapshot path.
+// Regression: both used to checkpoint into one q<store-key>.snap, with
+// the first finisher deleting the file out from under the other.
+TEST_F(ChaosServerTest, ConcurrentFlightsWithSharedStoreKeyDoNotCollide) {
+  std::string dir = ::testing::TempDir() + "qrel_flight_snap";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  ServerOptions options;
+  options.workers = 2;
+  options.cache_capacity = 0;  // force both to execute
+  options.default_max_work = uint64_t{1} << 27;
+  options.max_request_work = uint64_t{1} << 27;
+  options.work_quota = uint64_t{1} << 30;
+  options.checkpoint_dir = dir;
+  options.checkpoint_interval_ms = 1;
+  QrelServer server(TestEngine(), options);
+
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = kQuery;
+  request.options.force_approximate = true;
+  request.options.fixed_samples = 400000;
+  Request same_store_key = request;
+  same_store_key.options.max_work = (uint64_t{1} << 27) - 1;
+
+  Response a;
+  Response b;
+  std::thread first([&server, &request, &a] { a = server.Handle(request); });
+  std::thread second(
+      [&server, &same_store_key, &b] { b = server.Handle(same_store_key); });
+  first.join();
+  second.join();
+
+  // Distinct snapshot paths means neither run can load the other's
+  // checkpoints or delete them mid-flight: both finish clean and
+  // bit-identical (same determinism inputs).
+  ASSERT_TRUE(a.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.ok()) << b.status.ToString();
+  EXPECT_EQ(a.Field("reliability"), b.Field("reliability"));
+  EXPECT_EQ(a.Field("samples"), b.Field("samples"));
+  EXPECT_EQ(server.stats_snapshot().checkpoint_corrupt, 0u);
+  EXPECT_EQ(server.stats_snapshot().checkpoint_resumes, 0u);
+  // Both runs succeeded, so both snapshots are gone.
+  EXPECT_TRUE(std::filesystem::is_empty(std::filesystem::path(dir)));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -64,6 +64,37 @@ TEST(FramingTest, RejectsOversizedFrame) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FramingTest, OversizedPayloadTruncatesAtLineBoundaryInsteadOfAborting) {
+  // A payload of whole lines just past the limit: the encoder must never
+  // abort (the pre-fix behavior was a fatal CHECK — a remote DoS, since
+  // response payloads embed client input) and must keep whole lines only,
+  // so the receiver still parses a well-formed payload.
+  std::string line(1000, 'v');
+  line += '\n';
+  std::string payload;
+  while (payload.size() <= kMaxFramePayload) {
+    payload += line;
+  }
+  std::string frame = EncodeFrame(payload);
+  size_t consumed = 0;
+  std::string decoded;
+  ASSERT_TRUE(DecodeFrame(frame, &consumed, &decoded).ok());
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_LE(decoded.size(), kMaxFramePayload);
+  EXPECT_EQ(decoded.size() % line.size(), 0u) << "torn line";
+  EXPECT_EQ(payload.compare(0, decoded.size(), decoded), 0);
+}
+
+TEST(FramingTest, OversizedPayloadWithoutNewlinesIsCutHard) {
+  std::string payload(kMaxFramePayload + 4096, 'x');
+  std::string frame = EncodeFrame(payload);
+  size_t consumed = 0;
+  std::string decoded;
+  ASSERT_TRUE(DecodeFrame(frame, &consumed, &decoded).ok());
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(decoded.size(), kMaxFramePayload);
+}
+
 TEST(RequestTest, QueryRoundTripWithOptions) {
   Request request;
   request.verb = RequestVerb::kQuery;
@@ -142,6 +173,25 @@ TEST(ResponseTest, ErrorResponseFlattensNewlines) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->status.code(), StatusCode::kInternal);
   EXPECT_EQ(parsed->status.message().find('\n'), std::string::npos);
+}
+
+// Regression for the remote-DoS review finding: error messages echo
+// client input (unknown verb, malformed option), so a valid max-size
+// request used to inflate its own error echo past the frame limit and
+// trip a fatal CHECK in EncodeFrame. The echo is now capped.
+TEST(ResponseTest, ErrorEchoOfAMaxSizeRequestStaysBounded) {
+  std::string verb(kMaxFramePayload - 1, 'Z');
+  StatusOr<Request> parsed = ParseRequest(verb + "\n");
+  ASSERT_FALSE(parsed.ok());
+  std::string wire = SerializeResponse(ErrorResponse(parsed.status()));
+  EXPECT_LE(wire.size(), kMaxErrorMessageBytes + 64);
+  StatusOr<Response> response = ParseResponse(wire);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  // Truncation is marked, so the capped echo is recognizable as such.
+  const std::string& message = response->status.message();
+  EXPECT_LE(message.size(), kMaxErrorMessageBytes + 3);
+  EXPECT_EQ(message.substr(message.size() - 3), "...");
 }
 
 TEST(ResponseTest, ParseRejectsGarbage) {
