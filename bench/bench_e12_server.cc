@@ -11,12 +11,21 @@
 //               queries: the excess sheds with typed UNAVAILABLE +
 //               Retry-After, HEALTH stays responsive throughout, and the
 //               server drains to idle afterwards.
+//   reload_churn — steady traffic against one catalog database while an
+//               admin thread alternates RELOAD between two content-
+//               distinct versions: every OK answer's db_fingerprint must
+//               map to that exact content's answer (version pinning), no
+//               reload may fail, and no request may observe a mix.
 //
 // Unlike the E1–E11 microbenchmarks this is a scenario harness, not a
 // google-benchmark binary: each scenario asserts its robustness
 // invariants and any violation exits nonzero, so CI can run it as a
 // smoke test (--smoke shrinks the workload). --json[=PATH] writes the
-// metrics to BENCH_e12_server.json (or PATH) for trend tracking.
+// metrics to BENCH_e12_server.json (or PATH) for trend tracking, and
+// --baseline=PATH replays a committed report and fails on invariant
+// regressions (lost scenarios, shrunk workloads, new untyped errors or
+// pinning mismatches) — deliberately not on latency, which CI machines
+// cannot compare meaningfully.
 
 #include <algorithm>
 #include <atomic>
@@ -26,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -115,6 +125,8 @@ struct ScenarioMetrics {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t single_flight_shared = 0;
+  uint64_t reloads = 0;      // reload_churn only
+  uint64_t mismatches = 0;   // answers whose fingerprint→value pin broke
 };
 
 double PercentileMs(std::vector<double>* latencies_ms, double q) {
@@ -341,6 +353,168 @@ ScenarioMetrics RunOverload(bool smoke) {
   return metrics;
 }
 
+// Reload churn: traffic hammers one catalog database while an admin
+// thread alternates its backing file between two content-distinct
+// versions and RELOADs through the same admin plane an operator uses.
+// The catalog's pinning contract makes this safe: the scenario first
+// learns each version's (fingerprint → exact answer) by probing it in
+// isolation, then asserts every answer produced under churn matches the
+// learned value for the fingerprint it reports.
+ScenarioMetrics RunReloadChurn(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "reload_churn";
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  options.work_quota = uint64_t{1} << 32;
+  qrel::QrelServer server(options);
+
+  // Two tiny exact-regime databases whose only difference is the error
+  // probability of the one E edge: "exists x y . E(x,y) & S(x)" answers
+  // 3/4 on A and 1/2 on B, so a cross-version mix is always visible.
+  const char* kContentA =
+      "universe 3\nrelation E 2\nrelation S 1\n"
+      "fact E 0 1 err=1/4\nfact S 0\nabsent S 1 err=1/3\n";
+  const char* kContentB =
+      "universe 3\nrelation E 2\nrelation S 1\n"
+      "fact E 0 1 err=1/2\nfact S 0\nabsent S 1 err=1/3\n";
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/qrel_bench_churn.udb";
+  auto write_file = [&](const char* text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    Check(f != nullptr, "churn: cannot write " + path);
+    if (f != nullptr) {
+      std::fputs(text, f);
+      std::fclose(f);
+    }
+  };
+  auto admin = [&](RequestVerb verb) {
+    Request request;
+    request.verb = verb;
+    request.target = "churn";
+    if (verb == RequestVerb::kAttach) {
+      request.path = path;
+    }
+    return server.Handle(request);
+  };
+
+  write_file(kContentA);
+  Check(admin(RequestVerb::kAttach).ok(), "churn: ATTACH must succeed");
+
+  Request probe = QueryRequest("exists x y . E(x,y) & S(x)");
+  probe.options.db = "churn";
+
+  // Calibration: one version at a time, learn fingerprint → answer.
+  std::map<std::string, std::string> expected;
+  auto learn = [&] {
+    Response response = server.Handle(probe);
+    Check(response.ok(), "churn: calibration probe must succeed");
+    expected[response.Field("db_fingerprint").value_or("")] =
+        response.Field("exact_value").value_or("");
+  };
+  learn();
+  write_file(kContentB);
+  Response swapped = admin(RequestVerb::kReload);
+  Check(swapped.ok() && swapped.Field("changed").value_or("") == "1",
+        "churn: the calibration reload must swap content");
+  learn();
+  Check(expected.size() == 2,
+        "churn: the two versions must fingerprint differently");
+  Check(expected.begin()->second != expected.rbegin()->second,
+        "churn: the two versions must answer differently");
+
+  const int rounds = smoke ? 10 : 40;
+  const int threads = 4;
+  const uint64_t min_per_thread = smoke ? 10 : 50;
+  std::atomic<bool> churn_done{false};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  Clock::time_point start = Clock::now();
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      uint64_t i = 0;
+      // Keep querying for the whole churn window (bounded hard so a
+      // wedged churn thread cannot spin us forever).
+      while ((i < min_per_thread || !churn_done.load()) && i < 200000) {
+        Request request = probe;
+        request.options.seed = static_cast<uint64_t>(t) * 131 + (i % 8);
+        Clock::time_point begin = Clock::now();
+        Response response = server.Handle(request);
+        latencies[static_cast<size_t>(t)].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count());
+        if (!response.ok()) {
+          errors.fetch_add(1);
+        } else {
+          ok.fetch_add(1);
+          auto it =
+              expected.find(response.Field("db_fingerprint").value_or(""));
+          if (it == expected.end() ||
+              it->second != response.Field("exact_value").value_or("")) {
+            mismatches.fetch_add(1);
+          }
+        }
+        ++i;
+      }
+    });
+  }
+  std::thread churn([&] {
+    for (int r = 0; r < rounds; ++r) {
+      write_file(r % 2 == 0 ? kContentA : kContentB);
+      Response response = admin(RequestVerb::kReload);
+      Check(response.ok(), "churn: a clean reload must never fail");
+      Check(response.Field("changed").value_or("") == "1",
+            "churn: every alternating reload must change content");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    churn_done.store(true);
+  });
+  churn.join();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  metrics.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per : latencies) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  metrics.requests = all.size();
+  metrics.ok = ok.load();
+  metrics.other_errors = errors.load();
+  metrics.mismatches = mismatches.load();
+  metrics.qps = metrics.elapsed_s > 0.0
+                    ? static_cast<double>(all.size()) / metrics.elapsed_s
+                    : 0.0;
+  metrics.p50_ms = PercentileMs(&all, 0.50);
+  metrics.p99_ms = PercentileMs(&all, 0.99);
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  metrics.reloads = stats.reloads;
+  metrics.cache_hits = stats.cache_hits;
+  metrics.cache_misses = stats.cache_misses;
+  metrics.single_flight_shared = stats.cache_shared;
+  Check(metrics.mismatches == 0,
+        "churn: every answer must match its reported fingerprint's "
+        "content (got " + std::to_string(metrics.mismatches) +
+        " mismatches)");
+  Check(metrics.ok == metrics.requests,
+        "churn: an atomic reload must never fail a request");
+  Check(stats.reload_failures == 0, "churn: no reload may fail");
+  Check(metrics.reloads == static_cast<uint64_t>(rounds) + 1,
+        "churn: every requested reload must be accounted");
+  server.Shutdown();
+  std::remove(path.c_str());
+  return metrics;
+}
+
 void PrintHuman(const ScenarioMetrics& m) {
   std::printf(
       "%-9s: %5llu req in %6.2fs  (%7.1f qps)  p50 %7.2fms  p99 %7.2fms  "
@@ -362,7 +536,8 @@ void AppendJson(std::string* out, const ScenarioMetrics& m, bool last) {
       "\"shed\": %llu, \"other_errors\": %llu, \"elapsed_s\": %.4f, "
       "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-      "\"single_flight_shared\": %llu}%s\n",
+      "\"single_flight_shared\": %llu, \"reloads\": %llu, "
+      "\"mismatches\": %llu}%s\n",
       m.name.c_str(), static_cast<unsigned long long>(m.requests),
       static_cast<unsigned long long>(m.ok),
       static_cast<unsigned long long>(m.shed),
@@ -370,8 +545,92 @@ void AppendJson(std::string* out, const ScenarioMetrics& m, bool last) {
       m.p50_ms, m.p99_ms, static_cast<unsigned long long>(m.cache_hits),
       static_cast<unsigned long long>(m.cache_misses),
       static_cast<unsigned long long>(m.single_flight_shared),
-      last ? "" : ",");
+      static_cast<unsigned long long>(m.reloads),
+      static_cast<unsigned long long>(m.mismatches), last ? "" : ",");
   out->append(buffer);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regression gate.
+
+// Extracts `"key": <u64>` from one scenario's JSON line; 0 when absent
+// (older baselines predate some fields).
+uint64_t FindU64(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// Compares this run against a committed --json report. The gate is over
+// invariants, not speed: every baseline scenario must still run, at the
+// same workload size (when the smoke flag matches), with no growth in
+// untyped errors or pinning mismatches. Latency and qps are reported for
+// trend reading but never gated — CI machines are not comparable.
+void CheckAgainstBaseline(const std::string& baseline_path, bool smoke,
+                          const std::vector<ScenarioMetrics>& results) {
+  std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
+  if (f == nullptr) {
+    ++g_failures;
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return;
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+
+  const bool baseline_smoke =
+      contents.find("\"smoke\": true") != std::string::npos;
+  size_t pos = 0;
+  int scenarios_checked = 0;
+  while ((pos = contents.find("{\"name\": \"", pos)) != std::string::npos) {
+    size_t name_start = pos + std::strlen("{\"name\": \"");
+    size_t name_end = contents.find('"', name_start);
+    size_t line_end = contents.find('}', pos);
+    if (name_end == std::string::npos || line_end == std::string::npos) {
+      break;
+    }
+    std::string name = contents.substr(name_start, name_end - name_start);
+    std::string line = contents.substr(pos, line_end - pos);
+    pos = line_end;
+
+    const ScenarioMetrics* current = nullptr;
+    for (const ScenarioMetrics& m : results) {
+      if (m.name == name) {
+        current = &m;
+      }
+    }
+    Check(current != nullptr,
+          "baseline: scenario \"" + name + "\" no longer runs");
+    if (current == nullptr) {
+      continue;
+    }
+    ++scenarios_checked;
+    // reload_churn issues requests for as long as the churn window lasts,
+    // so its request count is machine-dependent; its gated invariants are
+    // the reload count and the mismatch count below.
+    if (baseline_smoke == smoke && name != "reload_churn") {
+      Check(current->requests >= FindU64(line, "requests"),
+            "baseline: scenario \"" + name + "\" workload shrank (" +
+                std::to_string(current->requests) + " < " +
+                std::to_string(FindU64(line, "requests")) + " requests)");
+      Check(current->reloads >= FindU64(line, "reloads"),
+            "baseline: scenario \"" + name + "\" exercises fewer reloads");
+    }
+    Check(current->other_errors <= FindU64(line, "other_errors"),
+          "baseline: scenario \"" + name + "\" grew untyped errors (" +
+              std::to_string(current->other_errors) + ")");
+    Check(current->mismatches <= FindU64(line, "mismatches"),
+          "baseline: scenario \"" + name + "\" grew pinning mismatches");
+  }
+  Check(scenarios_checked > 0,
+        "baseline: " + baseline_path + " lists no scenarios");
 }
 
 }  // namespace
@@ -379,6 +638,7 @@ void AppendJson(std::string* out, const ScenarioMetrics& m, bool last) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -387,9 +647,12 @@ int main(int argc, char** argv) {
       json_path = "BENCH_e12_server.json";
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_e12_server [--smoke] [--json[=PATH]]\n");
+                   "usage: bench_e12_server [--smoke] [--json[=PATH]] "
+                   "[--baseline=PATH]\n");
       return 2;
     }
   }
@@ -401,6 +664,12 @@ int main(int argc, char** argv) {
   PrintHuman(results.back());
   results.push_back(RunOverload(smoke));
   PrintHuman(results.back());
+  results.push_back(RunReloadChurn(smoke));
+  PrintHuman(results.back());
+
+  if (!baseline_path.empty()) {
+    CheckAgainstBaseline(baseline_path, smoke, results);
+  }
 
   if (!json_path.empty()) {
     std::string json = "{\n  \"bench\": \"e12_server\",\n  \"smoke\": ";

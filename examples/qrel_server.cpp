@@ -1,23 +1,32 @@
 // qrel_server: serve query reliability over TCP.
 //
-//   qrel_server <database.udb> [options]
+//   qrel_server <database.udb | name=database.udb>... [options]
 //
-// Loads one unreliable database at startup and answers the framed line
-// protocol of src/qrel/net/protocol.h (verbs QUERY / EXPLAIN / HEALTH /
-// STATS / DRAIN) from a fixed worker pool behind a bounded queue. See
-// src/qrel/net/server.h for the robustness model: admission control,
+// Attaches one or more unreliable databases at startup — a bare path
+// attaches under the default database name, `name=path` attaches under
+// `name` — and answers the framed line protocol of
+// src/qrel/net/protocol.h (verbs QUERY / EXPLAIN / HEALTH / STATS /
+// DRAIN plus the admin plane ATTACH / DETACH / RELOAD / DBLIST) from a
+// fixed worker pool behind a bounded queue. See src/qrel/net/server.h
+// for the robustness model: admission control, per-tenant isolation,
 // overload shedding with Retry-After hints, pressure degradation, a
-// memoizing single-flight result cache, and graceful drain.
+// memoizing single-flight result cache, crash-safe hot reload, and
+// graceful drain.
 //
 // Options:
 //   --port=<n>            TCP port (default 7461; 0 = ephemeral, printed)
 //   --listen-any          bind 0.0.0.0 instead of loopback
 //   --workers=<n>         worker threads (default 2)
 //   --queue=<n>           bounded queue capacity (default 8)
+//   --default-db=<name>   database name QUERYs without db= route to
 //   --cost-ceiling=<d>    admission ceiling on the static cost estimate
 //   --max-work=<n>        default per-request work budget
 //   --max-request-work=<n> hard clip on any per-request budget
 //   --quota=<n>           server-wide outstanding-work quota
+//   --tenant-rate=<n>     per-tenant token-bucket refill, requests/sec
+//                         (0 = unlimited, the default)
+//   --tenant-burst=<n>    per-tenant token-bucket burst (default 8)
+//   --tenant-quota=<n>    per-tenant outstanding-work quota (0 = uncapped)
 //   --timeout-ms=<n>      default per-request deadline (0 = none)
 //   --pressure-depth=<n>  queue depth that triggers degraded answers
 //   --cache=<n>           result cache entries (0 disables storing)
@@ -40,10 +49,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "qrel/engine/engine.h"
+#include "qrel/net/catalog.h"
 #include "qrel/net/server.h"
-#include "qrel/prob/text_format.h"
 #include "qrel/util/fault_injection.h"
 
 namespace {
@@ -84,11 +95,13 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: qrel_server <database.udb> [--port=N] [--listen-any] "
-      "[--workers=N] [--queue=N] [--cost-ceiling=D] [--max-work=N] "
-      "[--max-request-work=N] [--quota=N] [--timeout-ms=N] "
-      "[--pressure-depth=N] [--cache=N] [--checkpoint-dir=DIR] "
-      "[--drain-grace-ms=N] [--fault-inject=SITE[:N]]\n");
+      "usage: qrel_server <database.udb | name=database.udb>... [--port=N] "
+      "[--listen-any] [--workers=N] [--queue=N] [--default-db=NAME] "
+      "[--cost-ceiling=D] [--max-work=N] [--max-request-work=N] [--quota=N] "
+      "[--tenant-rate=N] [--tenant-burst=N] [--tenant-quota=N] "
+      "[--timeout-ms=N] [--pressure-depth=N] [--cache=N] "
+      "[--checkpoint-dir=DIR] [--drain-grace-ms=N] "
+      "[--fault-inject=SITE[:N]]\n");
   return 2;
 }
 
@@ -99,17 +112,33 @@ int ExitCodeFor(const qrel::Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
-  }
-  const char* db_path = argv[1];
   uint64_t port = 7461;
   uint64_t workers = 2;
   uint64_t queue = 8;
   uint64_t pressure_depth = 0;
   bool has_pressure_depth = false;
   qrel::ServerOptions options;
-  for (int i = 2; i < argc; ++i) {
+  // (name, path); a name still empty after flag parsing means "attach
+  // under the default database name".
+  std::vector<std::pair<std::string, std::string>> databases;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      std::string positional = argv[i];
+      size_t eq = positional.find('=');
+      if (eq == std::string::npos) {
+        databases.emplace_back("", positional);
+      } else {
+        databases.emplace_back(positional.substr(0, eq),
+                               positional.substr(eq + 1));
+        if (databases.back().first.empty() ||
+            databases.back().second.empty()) {
+          std::fprintf(stderr, "bad database spec \"%s\": want name=path\n",
+                       argv[i]);
+          return 2;
+        }
+      }
+      continue;
+    }
     uint64_t u64 = 0;
     if (ParseUint64Flag(argv[i], "--port", &port) ||
         ParseUint64Flag(argv[i], "--workers", &workers) ||
@@ -120,6 +149,11 @@ int main(int argc, char** argv) {
         ParseUint64Flag(argv[i], "--max-request-work",
                         &options.max_request_work) ||
         ParseUint64Flag(argv[i], "--quota", &options.work_quota) ||
+        ParseUint64Flag(argv[i], "--tenant-rate",
+                        &options.tenant_rate_per_sec) ||
+        ParseUint64Flag(argv[i], "--tenant-burst", &options.tenant_burst) ||
+        ParseUint64Flag(argv[i], "--tenant-quota",
+                        &options.tenant_work_quota) ||
         ParseUint64Flag(argv[i], "--timeout-ms",
                         &options.default_timeout_ms) ||
         ParseUint64Flag(argv[i], "--drain-grace-ms",
@@ -130,6 +164,13 @@ int main(int argc, char** argv) {
       has_pressure_depth = true;
     } else if (ParseUint64Flag(argv[i], "--cache", &u64)) {
       options.cache_capacity = static_cast<size_t>(u64);
+    } else if (std::strncmp(argv[i], "--default-db=", 13) == 0) {
+      options.default_db = argv[i] + 13;
+      if (!qrel::DbCatalog::ValidName(options.default_db)) {
+        std::fprintf(stderr, "--default-db: invalid database name \"%s\"\n",
+                     options.default_db.c_str());
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
       options.checkpoint_dir = argv[i] + 17;
       if (options.checkpoint_dir.empty()) {
@@ -150,27 +191,34 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (databases.empty()) {
+    return Usage();
+  }
   options.workers = static_cast<int>(workers);
   options.queue_capacity = static_cast<size_t>(queue);
   if (has_pressure_depth) {
     options.pressure_watermark = static_cast<size_t>(pressure_depth);
   }
 
-  qrel::StatusOr<qrel::UnreliableDatabase> database =
-      qrel::LoadUdbFile(db_path);
-  if (!database.ok()) {
-    std::fprintf(stderr, "%s: %s\n", db_path,
-                 database.status().ToString().c_str());
-    return ExitCodeFor(database.status());
+  qrel::QrelServer server(options);
+  for (auto& [name, path] : databases) {
+    if (name.empty()) {
+      name = options.default_db;
+    }
+    qrel::Status attached = server.catalog().Attach(name, path);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   attached.ToString().c_str());
+      return ExitCodeFor(attached);
+    }
   }
-  std::printf("database   : %s (universe %d, %zu facts, %zu unreliable "
-              "atoms)\n",
-              db_path, database->universe_size(),
-              database->observed().FactCount(),
-              static_cast<size_t>(database->model().entry_count()));
+  for (const qrel::DbInfo& info : server.catalog().List()) {
+    std::printf("database   : %s = %s (universe %d, %zu facts, %zu "
+                "unreliable atoms)\n",
+                info.name.c_str(), info.source_path.c_str(),
+                info.universe_size, info.fact_count, info.uncertain_atoms);
+  }
 
-  qrel::QrelServer server(
-      qrel::ReliabilityEngine(std::move(database).value()), options);
   qrel::Status serving =
       server.ServeInBackground(static_cast<int>(port));
   if (!serving.ok()) {
@@ -203,10 +251,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.requests_total),
               static_cast<unsigned long long>(stats.completed_ok),
               static_cast<unsigned long long>(stats.completed_error));
-  std::printf("shed       : %llu queue-full, %llu quota, %llu draining\n",
+  std::printf("shed       : %llu queue-full, %llu quota, %llu draining, "
+              "%llu tenant-rate, %llu tenant-quota, %llu displaced\n",
               static_cast<unsigned long long>(stats.shed_queue_full),
               static_cast<unsigned long long>(stats.shed_quota),
-              static_cast<unsigned long long>(stats.shed_draining));
+              static_cast<unsigned long long>(stats.shed_draining),
+              static_cast<unsigned long long>(stats.shed_tenant_rate),
+              static_cast<unsigned long long>(stats.shed_tenant_quota),
+              static_cast<unsigned long long>(stats.shed_displaced));
+  std::printf("catalog    : %llu attaches, %llu detaches, %llu reloads "
+              "(%llu failed)\n",
+              static_cast<unsigned long long>(stats.attaches),
+              static_cast<unsigned long long>(stats.detaches),
+              static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(stats.reload_failures));
   std::printf("cache      : %llu hits, %llu misses, %llu shared\n",
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.cache_misses),

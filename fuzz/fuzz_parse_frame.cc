@@ -1,0 +1,82 @@
+// Fuzz target for the wire layer: frame decoding plus request/response
+// parsing. Arbitrary bytes must either decode or come back as a typed
+// error — never crash, over-read, or consume more bytes than the buffer
+// holds. Accepted payloads must satisfy the round-trip contracts the
+// server and client rely on:
+//
+//  - a decoded frame re-frames (EncodeFrame) to something DecodeFrame
+//    returns verbatim — framing loses nothing;
+//  - a parsed request serializes to a payload that reparses to the same
+//    serialization (SerializeRequest is a fixpoint), so a proxy or retry
+//    layer can re-emit requests without drift;
+//  - the same for responses, including the ERR line, the Retry-After
+//    hint, and the ordered key=value fields.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qrel/net/protocol.h"
+
+namespace {
+
+void CheckRequestFixpoint(std::string_view payload) {
+  qrel::StatusOr<qrel::Request> parsed = qrel::ParseRequest(payload);
+  if (!parsed.ok()) {
+    return;
+  }
+  std::string wire = qrel::SerializeRequest(*parsed);
+  qrel::StatusOr<qrel::Request> reparsed = qrel::ParseRequest(wire);
+  // The serialized form of any accepted request must itself be accepted
+  // and must serialize identically.
+  if (!reparsed.ok() || qrel::SerializeRequest(*reparsed) != wire) {
+    __builtin_trap();
+  }
+}
+
+void CheckResponseFixpoint(std::string_view payload) {
+  qrel::StatusOr<qrel::Response> parsed = qrel::ParseResponse(payload);
+  if (!parsed.ok()) {
+    return;
+  }
+  std::string wire = qrel::SerializeResponse(*parsed);
+  qrel::StatusOr<qrel::Response> reparsed = qrel::ParseResponse(wire);
+  if (!reparsed.ok() || qrel::SerializeResponse(*reparsed) != wire) {
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view buffer(reinterpret_cast<const char*>(data), size);
+
+  size_t consumed = 0;
+  std::string payload;
+  qrel::Status status = qrel::DecodeFrame(buffer, &consumed, &payload);
+  if (!status.ok()) {
+    return 0;  // typed rejection: the stream would be closed
+  }
+  if (consumed == 0) {
+    return 0;  // incomplete prefix: the reader would wait for more bytes
+  }
+  if (consumed > size || payload.size() > qrel::kMaxFramePayload) {
+    __builtin_trap();  // over-consumed or over-sized: framing is broken
+  }
+
+  // Round-trip: re-framing the decoded payload must decode verbatim.
+  std::string reframed = qrel::EncodeFrame(payload);
+  size_t consumed2 = 0;
+  std::string payload2;
+  if (!qrel::DecodeFrame(reframed, &consumed2, &payload2).ok() ||
+      consumed2 != reframed.size() || payload2 != payload) {
+    __builtin_trap();
+  }
+
+  // The payload is wire-visible in both directions; both parsers must
+  // hold their fixpoint contracts on whatever the frame carried.
+  CheckRequestFixpoint(payload);
+  CheckResponseFixpoint(payload);
+  return 0;
+}

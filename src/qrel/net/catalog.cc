@@ -1,0 +1,331 @@
+#include "qrel/net/catalog.h"
+
+#include <optional>
+#include <utility>
+
+#include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
+
+namespace qrel {
+
+namespace {
+
+// The verify stage: a consistency walk over the staged database, run
+// before anything is published. ParseUdb validates on the way in, but a
+// reload adopts bytes from disk at an arbitrary moment — re-checking here
+// means a staging bug or a torn write can never swap in an instance the
+// engine would crash on.
+Status VerifyStagedDatabase(const UnreliableDatabase& database) {
+  if (database.universe_size() < 0) {
+    return Status::DataLoss("staged database has a negative universe");
+  }
+  const ErrorModel& model = database.model();
+  for (int id = 0; id < model.entry_count(); ++id) {
+    Rational nu = database.EntryNuTrue(id);
+    if (nu < Rational(0) || nu > Rational(1)) {
+      return Status::DataLoss(
+          "staged database entry " + std::to_string(id) +
+          " has probability outside [0, 1]");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+DbVersion::DbVersion(std::string name_in, uint64_t version_in,
+                     std::string source_path_in, ReliabilityEngine engine_in)
+    : name(std::move(name_in)),
+      version(version_in),
+      source_path(std::move(source_path_in)),
+      engine(std::move(engine_in)) {
+  const UnreliableDatabase& database = engine.database();
+  fingerprint = database.ContentFingerprint();
+  universe_size = database.universe_size();
+  fact_count = database.observed().FactCount();
+  uncertain_atoms = database.UncertainEntries().size();
+}
+
+const char* DbStateName(DbState state) {
+  switch (state) {
+    case DbState::kServing:
+      return "serving";
+    case DbState::kReloading:
+      return "reloading";
+    case DbState::kDraining:
+      return "draining";
+  }
+  return "serving";
+}
+
+bool DbCatalog::ValidName(std::string_view name) {
+  if (name.empty() || name.size() > 64) {
+    return false;
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Staging: everything that can fail, off the catalog lock.
+
+StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::Stage(
+    const std::string& name, uint64_t version, const std::string& path,
+    UnreliableDatabase* database) {
+  // Stage 1: load. Reading and parsing the replacement bytes — the stage
+  // most likely to fail in production (missing file, torn write, bad
+  // edit) and the one that must never run under the lock.
+  QREL_FAULT_SITE("net.catalog.load");
+  std::optional<UnreliableDatabase> staged;
+  if (database != nullptr) {
+    staged.emplace(std::move(*database));
+  } else {
+    StatusOr<UnreliableDatabase> loaded = LoadUdbFile(path);
+    if (!loaded.ok()) {
+      return Status(loaded.status().code(),
+                    "loading database \"" + name + "\" from " + path + ": " +
+                        loaded.status().message());
+    }
+    staged.emplace(std::move(loaded).value());
+  }
+
+  // Stage 2: verify. A consistency walk over the staged instance.
+  QREL_FAULT_SITE("net.catalog.verify");
+  QREL_RETURN_IF_ERROR(VerifyStagedDatabase(*staged));
+
+  // Stage 3: fingerprint + engine construction. The fingerprint keys the
+  // result cache and every request checkpoint, so it must be computed
+  // before the version becomes visible anywhere.
+  QREL_FAULT_SITE("net.catalog.fingerprint");
+  return std::make_shared<const DbVersion>(
+      name, version, path, ReliabilityEngine(std::move(*staged)));
+}
+
+// ---------------------------------------------------------------------------
+// Attach.
+
+Status DbCatalog::Attach(const std::string& name, const std::string& path) {
+  return AttachImpl(name, path, nullptr);
+}
+
+Status DbCatalog::AttachDatabase(const std::string& name,
+                                 UnreliableDatabase database,
+                                 std::string source_path) {
+  return AttachImpl(name, source_path, &database);
+}
+
+Status DbCatalog::AttachImpl(const std::string& name, const std::string& path,
+                             UnreliableDatabase* database) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid database name \"" + name + "\"");
+  }
+  QREL_FAULT_SITE("net.catalog.attach");
+  {
+    // Reserve the name before staging so two concurrent attaches of the
+    // same name cannot both stage and race the insert.
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.emplace(name, Entry{});
+    if (!inserted) {
+      return Status::FailedPrecondition("database \"" + name +
+                                        "\" is already attached");
+    }
+    it->second.reloading = true;  // placeholder: staging in progress
+  }
+  StatusOr<std::shared_ptr<const DbVersion>> staged =
+      Stage(name, /*version=*/1, path, database);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (!staged.ok()) {
+    if (it != entries_.end() && it->second.current == nullptr) {
+      entries_.erase(it);  // release the reservation
+    }
+    return staged.status();
+  }
+  it->second.current = std::move(staged).value();
+  it->second.reloading = false;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Reload.
+
+StatusOr<ReloadOutcome> DbCatalog::Reload(const std::string& name,
+                                          const std::string& path) {
+  return ReloadImpl(name, path, nullptr);
+}
+
+StatusOr<ReloadOutcome> DbCatalog::ReloadDatabase(
+    const std::string& name, UnreliableDatabase database) {
+  return ReloadImpl(name, "", &database);
+}
+
+StatusOr<ReloadOutcome> DbCatalog::ReloadImpl(const std::string& name,
+                                              const std::string& path,
+                                              UnreliableDatabase* database) {
+  // Claim the entry for reloading: concurrent reloads of one database
+  // fail typed instead of racing the swap, and a draining entry cannot
+  // be revived by a reload.
+  std::shared_ptr<const DbVersion> old_version;
+  std::string staged_path;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.current == nullptr) {
+      return Status::NotFound("unknown database \"" + name + "\"");
+    }
+    if (it->second.draining) {
+      return Status::Unavailable("database \"" + name + "\" is detaching");
+    }
+    if (it->second.reloading) {
+      return Status::FailedPrecondition("database \"" + name +
+                                        "\" is already reloading");
+    }
+    it->second.reloading = true;
+    old_version = it->second.current;
+    staged_path = path.empty() ? old_version->source_path : path;
+  }
+  // An entry attached from memory has no source path; a pathless reload
+  // of it needs ReloadDatabase.
+  auto fail = [&](Status status) -> StatusOr<ReloadOutcome> {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      it->second.reloading = false;  // old version keeps serving
+    }
+    return status;
+  };
+  if (database == nullptr && staged_path.empty()) {
+    return fail(Status::InvalidArgument(
+        "database \"" + name +
+        "\" was attached from memory and has no source path; RELOAD needs "
+        "an explicit path"));
+  }
+  StatusOr<std::shared_ptr<const DbVersion>> staged =
+      Stage(name, old_version->version + 1, staged_path, database);
+  if (!staged.ok()) {
+    return fail(staged.status());
+  }
+  // Stage 4: the swap itself — the only stage under the lock, and the
+  // last fault site: a failure here must behave like any other staging
+  // failure (old version serving, entry back to serving state).
+  Status swap_fault = QREL_FAULT_HIT("net.catalog.swap");
+  if (!swap_fault.ok()) {
+    return fail(swap_fault);
+  }
+  ReloadOutcome outcome;
+  outcome.old_version = old_version;
+  outcome.new_version = std::move(staged).value();
+  outcome.changed =
+      outcome.new_version->fingerprint != old_version->fingerprint;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      // Detached underneath us (FinishDetach won the race): the staged
+      // version is dropped, nothing was published.
+      return Status::NotFound("database \"" + name +
+                              "\" was detached during the reload");
+    }
+    it->second.current = outcome.new_version;
+    it->second.reloading = false;
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Detach.
+
+StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::BeginDetach(
+    const std::string& name) {
+  QREL_FAULT_SITE("net.catalog.detach");
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.current == nullptr) {
+    return Status::NotFound("unknown database \"" + name + "\"");
+  }
+  if (it->second.draining) {
+    return Status::FailedPrecondition("database \"" + name +
+                                      "\" is already detaching");
+  }
+  if (it->second.reloading) {
+    return Status::FailedPrecondition("database \"" + name +
+                                      "\" is reloading; retry the detach");
+  }
+  it->second.draining = true;
+  return it->second.current;
+}
+
+void DbCatalog::FinishDetach(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.draining) {
+    entries_.erase(it);
+  }
+}
+
+void DbCatalog::CancelDetach(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second.draining = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read side.
+
+StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::Resolve(
+    const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.current == nullptr) {
+    return Status::NotFound("unknown database \"" + name + "\"");
+  }
+  if (it->second.draining) {
+    return Status::Unavailable("database \"" + name + "\" is detaching");
+  }
+  return it->second.current;
+}
+
+std::vector<DbInfo> DbCatalog::List() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<DbInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    if (entry.current == nullptr) {
+      continue;  // attach still staging
+    }
+    DbInfo info;
+    info.name = name;
+    info.version = entry.current->version;
+    info.fingerprint = entry.current->fingerprint;
+    info.state = entry.draining    ? DbState::kDraining
+                 : entry.reloading ? DbState::kReloading
+                                   : DbState::kServing;
+    info.source_path = entry.current->source_path;
+    info.universe_size = entry.current->universe_size;
+    info.fact_count = entry.current->fact_count;
+    info.uncertain_atoms = entry.current->uncertain_atoms;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+size_t DbCatalog::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.current != nullptr) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace qrel

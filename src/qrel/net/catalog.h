@@ -1,0 +1,170 @@
+// Database catalog for qrel_server: many named databases, each an
+// immutable versioned snapshot behind an RCU-style shared_ptr swap.
+//
+// The serving problem this solves: the paper's dichotomy means one served
+// workload mixes PTIME and #P-hard queries, and an operator must be able
+// to change the data under that workload without a restart and without
+// one tenant's in-flight hard query ever observing a half-swapped
+// database. The invariants, in order of importance:
+//
+//  - **Immutability.** A DbVersion is never mutated after construction.
+//    Readers pin a version with a shared_ptr copy (Resolve) and keep it
+//    for the whole request; a concurrent Reload cannot change what they
+//    compute — answers stay bit-identical to the pinned version.
+//
+//  - **Off-path staging.** Reload/Attach parse, verify and fingerprint
+//    the replacement entirely outside the catalog lock; the lock is taken
+//    only for the O(1) pointer swap. A slow or failing load never stalls
+//    or disturbs serving.
+//
+//  - **All-or-nothing swap.** Every staging stage (load, verify,
+//    fingerprint, swap) has a fault site (util/fault_injection.h:
+//    net.catalog.*). A failure at any stage — bad file, parse error,
+//    injected crash — leaves the previous version serving untouched and
+//    the entry in the serving state.
+//
+//  - **Two-phase detach.** BeginDetach flips the entry to draining (new
+//    Resolve calls get a typed kUnavailable) but leaves the version
+//    alive so the server can drain or cancel the work pinned to it, the
+//    way SIGTERM drains the whole process; FinishDetach then drops the
+//    entry. The caller owns evicting the detached fingerprint from the
+//    result cache.
+//
+// Thread-safety: all methods are safe from any thread. Per-entry
+// reloading/draining flags serialize conflicting admin operations
+// (concurrent reloads of one database fail typed instead of racing).
+
+#ifndef QREL_NET_CATALOG_H_
+#define QREL_NET_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qrel/engine/engine.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// One immutable database snapshot. Everything a request needs — the
+// engine, the content fingerprint that keys caches and checkpoints, and
+// the summary stats HEALTH/DBLIST report — travels together so a pinned
+// version is self-contained.
+struct DbVersion {
+  std::string name;
+  uint64_t version = 0;      // monotone per name, starts at 1
+  uint64_t fingerprint = 0;  // UnreliableDatabase::ContentFingerprint
+  std::string source_path;   // empty when attached from memory
+  int universe_size = 0;
+  size_t fact_count = 0;
+  size_t uncertain_atoms = 0;
+  ReliabilityEngine engine;
+
+  DbVersion(std::string name_in, uint64_t version_in,
+            std::string source_path_in, ReliabilityEngine engine_in);
+};
+
+enum class DbState { kServing, kReloading, kDraining };
+const char* DbStateName(DbState state);
+
+// A snapshot row of List(): the DbVersion summary plus the entry's
+// current admin state.
+struct DbInfo {
+  std::string name;
+  uint64_t version = 0;
+  uint64_t fingerprint = 0;
+  DbState state = DbState::kServing;
+  std::string source_path;
+  int universe_size = 0;
+  size_t fact_count = 0;
+  size_t uncertain_atoms = 0;
+};
+
+// What a successful Reload returns: the displaced and the new version.
+// `changed` is false when the reloaded content fingerprints identically
+// (an idempotent reload) — the caller then has no cache entries to evict.
+struct ReloadOutcome {
+  std::shared_ptr<const DbVersion> old_version;
+  std::shared_ptr<const DbVersion> new_version;
+  bool changed = false;
+};
+
+class DbCatalog {
+ public:
+  DbCatalog() = default;
+  DbCatalog(const DbCatalog&) = delete;
+  DbCatalog& operator=(const DbCatalog&) = delete;
+
+  // Database names are identifiers, not paths: [A-Za-z0-9_.-], 1..64
+  // bytes. Keeps names safe to embed in response fields and filenames.
+  static bool ValidName(std::string_view name);
+
+  // Stages `path` (load, verify, fingerprint) and adds it under `name` as
+  // version 1. kAlreadyExists is spelled kFailedPrecondition (the status
+  // taxonomy has no richer code); kInvalidArgument for a bad name.
+  Status Attach(const std::string& name, const std::string& path);
+  // Attach from an in-memory database (tests, benches, embedded use).
+  Status AttachDatabase(const std::string& name, UnreliableDatabase database,
+                        std::string source_path = "");
+
+  // Stages a replacement off the serving path and swaps it in atomically.
+  // `path` empty means "reload from the version's recorded source_path".
+  // On any failure the previous version keeps serving and the entry
+  // returns to the serving state.
+  StatusOr<ReloadOutcome> Reload(const std::string& name,
+                                 const std::string& path = "");
+  // Reload from an in-memory replacement (same staging and swap sites).
+  StatusOr<ReloadOutcome> ReloadDatabase(const std::string& name,
+                                         UnreliableDatabase database);
+
+  // Phase 1 of detach: marks the entry draining so every subsequent
+  // Resolve fails typed, and returns the still-live version so the caller
+  // can drain the work pinned to it. Fails typed when the entry is
+  // unknown, already draining, or mid-reload.
+  StatusOr<std::shared_ptr<const DbVersion>> BeginDetach(
+      const std::string& name);
+  // Phase 2: drops the entry. The caller must have drained pinned work.
+  void FinishDetach(const std::string& name);
+  // Aborts phase 1 (the drain could not complete): back to serving.
+  void CancelDetach(const std::string& name);
+
+  // Pins the current version of `name`: kNotFound for an unknown name,
+  // kUnavailable while the entry is draining. Never blocks on staging —
+  // a mid-reload entry serves its previous version.
+  StatusOr<std::shared_ptr<const DbVersion>> Resolve(
+      const std::string& name) const;
+
+  std::vector<DbInfo> List() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DbVersion> current;
+    bool reloading = false;
+    bool draining = false;
+  };
+
+  // The off-lock staging pipeline shared by Attach and Reload: load (or
+  // adopt the given database), verify, fingerprint — each stage behind
+  // its net.catalog.* fault site.
+  static StatusOr<std::shared_ptr<const DbVersion>> Stage(
+      const std::string& name, uint64_t version, const std::string& path,
+      UnreliableDatabase* database);
+
+  Status AttachImpl(const std::string& name, const std::string& path,
+                    UnreliableDatabase* database);
+  StatusOr<ReloadOutcome> ReloadImpl(const std::string& name,
+                                     const std::string& path,
+                                     UnreliableDatabase* database);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // ordered so listings are stable
+};
+
+}  // namespace qrel
+
+#endif  // QREL_NET_CATALOG_H_

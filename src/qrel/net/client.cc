@@ -14,6 +14,8 @@ QrelClient::~QrelClient() { Close(); }
 
 Status QrelClient::Connect(int port, uint64_t recv_timeout_ms) {
   Close();
+  port_ = port;
+  recv_timeout_ms_ = recv_timeout_ms;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -143,6 +145,56 @@ StatusOr<Response> QrelClient::Drain() {
   Request request;
   request.verb = RequestVerb::kDrain;
   return Call(request);
+}
+
+StatusOr<Response> QrelClient::Attach(const std::string& name,
+                                      const std::string& path) {
+  Request request;
+  request.verb = RequestVerb::kAttach;
+  request.target = name;
+  request.path = path;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Detach(const std::string& name) {
+  Request request;
+  request.verb = RequestVerb::kDetach;
+  request.target = name;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::Reload(const std::string& name,
+                                      const std::string& path) {
+  Request request;
+  request.verb = RequestVerb::kReload;
+  request.target = name;
+  request.path = path;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::DbList() {
+  Request request;
+  request.verb = RequestVerb::kDblist;
+  return Call(request);
+}
+
+StatusOr<Response> QrelClient::QueryWithRetry(const std::string& query,
+                                              const RequestOptions& options,
+                                              const RetryPolicy& policy) {
+  if (port_ < 0) {
+    return Status::FailedPrecondition(
+        "QueryWithRetry needs a prior Connect() to know where to reconnect");
+  }
+  return CallWithRetry(
+      [this, &query, &options]() -> StatusOr<Response> {
+        if (!connected()) {
+          // The previous attempt's transport failure closed the socket;
+          // a retry only makes sense on a fresh connection.
+          QREL_RETURN_IF_ERROR(Connect(port_, recv_timeout_ms_));
+        }
+        return Query(query, options);
+      },
+      policy);
 }
 
 }  // namespace qrel

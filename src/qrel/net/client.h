@@ -16,7 +16,10 @@
 //
 // A Call whose transport failed leaves the connection closed: the protocol
 // has no resynchronization point, so the only safe recovery is a fresh
-// connection. Not thread-safe; one client per thread.
+// connection. QueryWithRetry automates that recovery: it reconnects and
+// retries with bounded exponential backoff, but only for errors the wire
+// table (net/protocol.h) marks retryable, and it honors the server's
+// Retry-After hint. Not thread-safe; one client per thread.
 
 #ifndef QREL_NET_CLIENT_H_
 #define QREL_NET_CLIENT_H_
@@ -25,6 +28,7 @@
 #include <string>
 
 #include "qrel/net/protocol.h"
+#include "qrel/net/retry.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -57,8 +61,30 @@ class QrelClient {
   StatusOr<Response> Stats();
   StatusOr<Response> Drain();
 
+  // The admin plane (net/catalog.h).
+  StatusOr<Response> Attach(const std::string& name, const std::string& path);
+  StatusOr<Response> Detach(const std::string& name);
+  StatusOr<Response> Reload(const std::string& name,
+                            const std::string& path = "");
+  StatusOr<Response> DbList();
+
+  // Query with retry-on-overload. Each attempt reconnects first if the
+  // previous one tore down the connection (using the Connect() port and
+  // receive timeout). Retries follow `policy` — bounded exponential
+  // backoff within a total deadline, waiting at least the server's
+  // retry_after_ms hint — and fire only for codes the wire table marks
+  // retryable (UNAVAILABLE, DEADLINE_EXCEEDED); a typed NOT_FOUND or
+  // INVALID_ARGUMENT returns immediately. The policy's injectable
+  // jitter/sleep/clock hooks make the schedule fully deterministic in
+  // tests.
+  StatusOr<Response> QueryWithRetry(const std::string& query,
+                                    const RequestOptions& options = {},
+                                    const RetryPolicy& policy = {});
+
  private:
   int fd_ = -1;
+  int port_ = -1;                  // remembered for QueryWithRetry reconnects
+  uint64_t recv_timeout_ms_ = 0;   // idem
   std::string buffer_;  // bytes received beyond the last complete frame
 };
 

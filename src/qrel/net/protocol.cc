@@ -204,6 +204,14 @@ const char* RequestVerbName(RequestVerb verb) {
       return "STATS";
     case RequestVerb::kDrain:
       return "DRAIN";
+    case RequestVerb::kAttach:
+      return "ATTACH";
+    case RequestVerb::kDetach:
+      return "DETACH";
+    case RequestVerb::kReload:
+      return "RELOAD";
+    case RequestVerb::kDblist:
+      return "DBLIST";
   }
   return "HEALTH";
 }
@@ -225,9 +233,44 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
     request.verb = RequestVerb::kStats;
   } else if (verb == "DRAIN") {
     request.verb = RequestVerb::kDrain;
+  } else if (verb == "ATTACH") {
+    request.verb = RequestVerb::kAttach;
+  } else if (verb == "DETACH") {
+    request.verb = RequestVerb::kDetach;
+  } else if (verb == "RELOAD") {
+    request.verb = RequestVerb::kReload;
+  } else if (verb == "DBLIST") {
+    request.verb = RequestVerb::kDblist;
   } else {
     return Status::InvalidArgument("unknown verb \"" + std::string(verb) +
                                    "\"");
+  }
+  // Admin verbs: a name line, and for ATTACH/RELOAD a path line.
+  if (request.verb == RequestVerb::kAttach ||
+      request.verb == RequestVerb::kDetach ||
+      request.verb == RequestVerb::kReload) {
+    if (lines.size() < 2 || lines[1].empty()) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " needs a database name on line 2");
+    }
+    request.target = std::string(lines[1]);
+    bool takes_path = request.verb != RequestVerb::kDetach;
+    size_t max_lines = takes_path ? 3 : 2;
+    if (lines.size() > max_lines) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " has trailing lines");
+    }
+    if (lines.size() == 3) {
+      if (lines[2].empty()) {
+        return Status::InvalidArgument(std::string(verb) +
+                                       " has an empty path on line 3");
+      }
+      request.path = std::string(lines[2]);
+    }
+    if (request.verb == RequestVerb::kAttach && request.path.empty()) {
+      return Status::InvalidArgument("ATTACH needs a path on line 3");
+    }
+    return request;
   }
   bool has_query = request.verb == RequestVerb::kQuery ||
                    request.verb == RequestVerb::kExplain;
@@ -268,6 +311,16 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
       opts.force_exact = value == "1" || value == "true";
     } else if (key == "force_approx") {
       opts.force_approximate = value == "1" || value == "true";
+    } else if (key == "db") {
+      if (value.empty()) {
+        return Status::InvalidArgument("db needs a value");
+      }
+      opts.db = std::string(value);
+    } else if (key == "tenant") {
+      if (value.empty()) {
+        return Status::InvalidArgument("tenant needs a value");
+      }
+      opts.tenant = std::string(value);
     } else {
       return Status::InvalidArgument("unknown option \"" + std::string(key) +
                                      "\"");
@@ -279,6 +332,18 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
 
 std::string SerializeRequest(const Request& request) {
   std::string payload = RequestVerbName(request.verb);
+  if (request.verb == RequestVerb::kAttach ||
+      request.verb == RequestVerb::kDetach ||
+      request.verb == RequestVerb::kReload) {
+    payload += '\n';
+    payload += FlattenValue(request.target);
+    payload += '\n';
+    if (request.verb != RequestVerb::kDetach && !request.path.empty()) {
+      payload += FlattenValue(request.path);
+      payload += '\n';
+    }
+    return payload;
+  }
   if (request.verb != RequestVerb::kQuery &&
       request.verb != RequestVerb::kExplain) {
     payload += '\n';
@@ -320,6 +385,12 @@ std::string SerializeRequest(const Request& request) {
   }
   if (opts.force_approximate) {
     emit("force_approx", "1");
+  }
+  if (!opts.db.empty()) {
+    emit("db", FlattenValue(opts.db));
+  }
+  if (!opts.tenant.empty()) {
+    emit("tenant", FlattenValue(opts.tenant));
   }
   return payload;
 }

@@ -20,9 +20,27 @@
 //       fixed_samples, timeout_ms, max_work, force_exact, force_approx
 //   EXPLAIN               static analysis + admission dry run, never
 //     executes; same layout as QUERY
-//   HEALTH                serving state + queue depth (no body)
+//   HEALTH                serving state, queue depth, per-database
+//     readiness (no body)
 //   STATS                 all server counters (no body)
 //   DRAIN                 stop accepting new work; in-flight finishes
+//
+// Admin verbs (the catalog plane, see net/catalog.h):
+//
+//   ATTACH                add a database to the catalog
+//     line 2: the database name, line 3: the .udb file path
+//   DETACH                drain and remove a database
+//     line 2: the database name
+//   RELOAD                stage a replacement off-path and swap atomically
+//     line 2: the database name
+//     line 3 (optional): a new source path; omitted = reload the
+//       version's recorded path
+//   DBLIST                one line per attached database (no body)
+//
+// QUERY/EXPLAIN additionally take `db=<name>` (route to a catalog
+// database; omitted = the server's default database) and `tenant=<name>`
+// (the accounting identity for per-tenant quotas and STATS counters;
+// omitted = the shared "default" tenant).
 //
 // Response payloads:
 //
@@ -105,7 +123,17 @@ Status DecodeFrame(std::string_view buffer, size_t* consumed,
 // ---------------------------------------------------------------------------
 // Requests.
 
-enum class RequestVerb { kQuery, kExplain, kHealth, kStats, kDrain };
+enum class RequestVerb {
+  kQuery,
+  kExplain,
+  kHealth,
+  kStats,
+  kDrain,
+  kAttach,
+  kDetach,
+  kReload,
+  kDblist,
+};
 
 const char* RequestVerbName(RequestVerb verb);
 
@@ -119,11 +147,15 @@ struct RequestOptions {
   std::optional<uint64_t> max_work;
   bool force_exact = false;
   bool force_approximate = false;
+  std::string db;      // catalog database to route to; empty = default
+  std::string tenant;  // accounting identity; empty = "default"
 };
 
 struct Request {
   RequestVerb verb = RequestVerb::kHealth;
-  std::string query;  // QUERY / EXPLAIN only
+  std::string query;   // QUERY / EXPLAIN only
+  std::string target;  // ATTACH / DETACH / RELOAD: the database name
+  std::string path;    // ATTACH (required) / RELOAD (optional) source path
   RequestOptions options;
 };
 

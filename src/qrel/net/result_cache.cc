@@ -5,7 +5,7 @@ namespace qrel {
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
 CachedResult ResultCache::GetOrCompute(
-    uint64_t store_key, uint64_t flight_key,
+    uint64_t store_key, uint64_t flight_key, uint64_t tag,
     const std::function<CachedResult()>& compute, bool* from_cache,
     bool* shared) {
   *from_cache = false;
@@ -43,7 +43,7 @@ CachedResult ResultCache::GetOrCompute(
     flight->result = result;
     flight->done = true;
     if (result.storable && result.status.ok()) {
-      StoreLocked(store_key, result);
+      StoreLocked(store_key, tag, result);
     }
     in_flight_.erase(flight_key);
   }
@@ -51,13 +51,20 @@ CachedResult ResultCache::GetOrCompute(
   return result;
 }
 
-void ResultCache::StoreLocked(uint64_t store_key, const CachedResult& result) {
+void ResultCache::StoreLocked(uint64_t store_key, uint64_t tag,
+                              const CachedResult& result) {
   if (capacity_ == 0) {
+    return;
+  }
+  if (TagRetiredLocked(tag)) {
+    // A straggler finishing against a detached/reloaded-away version:
+    // publishing would re-pin memory RetireTag already reclaimed.
     return;
   }
   auto existing = store_.find(store_key);
   if (existing != store_.end()) {
     existing->second.result = result;
+    existing->second.tag = tag;
     lru_.splice(lru_.begin(), lru_, existing->second.lru_it);
     return;
   }
@@ -67,7 +74,46 @@ void ResultCache::StoreLocked(uint64_t store_key, const CachedResult& result) {
     ++stats_.evictions;
   }
   lru_.push_front(store_key);
-  store_.emplace(store_key, StoreEntry{result, lru_.begin()});
+  store_.emplace(store_key, StoreEntry{result, tag, lru_.begin()});
+}
+
+bool ResultCache::TagRetiredLocked(uint64_t tag) const {
+  if (tag == 0) {
+    return false;
+  }
+  for (uint64_t retired : retired_ring_) {
+    if (retired == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ResultCache::RetireTag(uint64_t tag) {
+  if (tag == 0) {
+    return 0;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!TagRetiredLocked(tag)) {
+    if (retired_ring_.size() < kRetiredRingSize) {
+      retired_ring_.push_back(tag);
+    } else {
+      retired_ring_[retired_next_] = tag;
+      retired_next_ = (retired_next_ + 1) % kRetiredRingSize;
+    }
+  }
+  size_t evicted = 0;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->second.tag == tag) {
+      lru_.erase(it->second.lru_it);
+      it = store_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.retired += evicted;
+  return evicted;
 }
 
 ResultCacheStats ResultCache::stats() const {

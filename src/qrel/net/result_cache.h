@@ -20,8 +20,13 @@
 //
 // Invalidation: the store key mixes UnreliableDatabase::ContentFingerprint
 // (PR-4), so any database edit changes every key — stale entries are
-// unreachable rather than purged. A server that mutates its database
-// in-place must call Clear() to reclaim the memory.
+// unreachable rather than purged. With the multi-database catalog
+// (net/catalog.h) unreachable is not enough: a detached or reloaded-away
+// version's entries would pin its memory until LRU pressure finds them.
+// Entries therefore carry a *tag* (the database fingerprint) and
+// RetireTag(tag) evicts every entry published under it. Retired tags are
+// remembered in a bounded ring so an in-flight leader that pinned the old
+// version cannot re-publish under a retired tag after the eviction ran.
 //
 // Thread-safety: all methods are safe from any thread. The compute
 // callback runs without the cache lock held.
@@ -58,6 +63,7 @@ struct ResultCacheStats {
   uint64_t misses = 0;               // led a computation
   uint64_t single_flight_shared = 0; // shared a concurrent leader's outcome
   uint64_t evictions = 0;            // LRU evictions from the store
+  uint64_t retired = 0;              // entries evicted by RetireTag
   size_t entries = 0;                // current store size
 };
 
@@ -71,11 +77,20 @@ class ResultCache {
   // miss, elects a leader among concurrent callers with the same
   // `flight_key`, runs `compute` on the leader, and hands every caller
   // the same CachedResult. The leader publishes to the store iff the
-  // result is marked storable. `*from_cache` reports a store hit;
+  // result is marked storable and `tag` has not been retired. `tag` is
+  // the database content fingerprint the result was computed against
+  // (0 = untagged, never retired). `*from_cache` reports a store hit;
   // `*shared` reports a follower that rode a leader's flight.
   CachedResult GetOrCompute(uint64_t store_key, uint64_t flight_key,
+                            uint64_t tag,
                             const std::function<CachedResult()>& compute,
                             bool* from_cache, bool* shared);
+
+  // Evicts every entry published under `tag` and remembers the tag so
+  // stragglers still computing against it cannot re-publish. Called on
+  // DETACH and on a content-changing RELOAD with the displaced version's
+  // fingerprint. Returns the number of entries evicted.
+  size_t RetireTag(uint64_t tag);
 
   ResultCacheStats stats() const;
 
@@ -90,16 +105,28 @@ class ResultCache {
 
   struct StoreEntry {
     CachedResult result;
+    uint64_t tag = 0;
     std::list<uint64_t>::iterator lru_it;
   };
 
-  void StoreLocked(uint64_t store_key, const CachedResult& result);
+  void StoreLocked(uint64_t store_key, uint64_t tag,
+                   const CachedResult& result);
+  bool TagRetiredLocked(uint64_t tag) const;
+
+  // RetireTag memory: the last kRetiredRingSize retired fingerprints.
+  // Bounded because version churn is unbounded; a tag aged out of the
+  // ring can in principle be re-published by a very late straggler, but
+  // by then the entry is merely unreachable (the key mixes the
+  // fingerprint) and ordinary LRU pressure reclaims it.
+  static constexpr size_t kRetiredRingSize = 64;
 
   mutable std::mutex mutex_;
   size_t capacity_;
   std::unordered_map<uint64_t, StoreEntry> store_;
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
+  std::vector<uint64_t> retired_ring_;
+  size_t retired_next_ = 0;
   ResultCacheStats stats_;
 };
 

@@ -1,0 +1,144 @@
+#include "qrel/net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <thread>
+
+namespace qrel {
+
+// ---------------------------------------------------------------------------
+// RetryAfterEstimator.
+
+RetryAfterEstimator::RetryAfterEstimator(uint64_t fallback_base_ms,
+                                         uint64_t min_ms, uint64_t max_ms,
+                                         double alpha)
+    : fallback_base_ms_(fallback_base_ms),
+      min_ms_(std::min(min_ms, max_ms)),
+      max_ms_(std::max(min_ms, max_ms)),
+      alpha_(std::clamp(alpha, 0.01, 1.0)) {}
+
+void RetryAfterEstimator::RecordServiceTimeMs(double ms) {
+  if (!(ms >= 0.0) || !std::isfinite(ms)) {
+    return;  // clock glitch; never poison the average
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (samples_ == 0) {
+    ewma_ms_ = ms;
+  } else {
+    ewma_ms_ = alpha_ * ms + (1.0 - alpha_) * ewma_ms_;
+  }
+  ++samples_;
+}
+
+uint64_t RetryAfterEstimator::HintMs(size_t queue_depth,
+                                     size_t workers) const {
+  const double lanes = static_cast<double>(std::max<size_t>(workers, 1));
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (samples_ == 0) {
+    // Cold server: the PR 6 depth-scaled constant.
+    const double base = static_cast<double>(fallback_base_ms_);
+    return ClampMs(base * (1.0 + static_cast<double>(queue_depth) / lanes));
+  }
+  // The shed request would be (queue_depth + 1)-th in line; each worker
+  // drains one job per ewma service time.
+  return ClampMs(ewma_ms_ * (static_cast<double>(queue_depth) + 1.0) / lanes);
+}
+
+uint64_t RetryAfterEstimator::sample_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+uint64_t RetryAfterEstimator::ClampMs(double ms) const {
+  if (!std::isfinite(ms)) {
+    return max_ms_;
+  }
+  const double clamped = std::clamp(ms, static_cast<double>(min_ms_),
+                                    static_cast<double>(max_ms_));
+  return static_cast<uint64_t>(clamped);
+}
+
+// ---------------------------------------------------------------------------
+// CallWithRetry.
+
+namespace {
+
+uint64_t DefaultJitter(uint64_t cap) {
+  if (cap == 0) {
+    return 0;
+  }
+  thread_local std::minstd_rand rng(std::random_device{}());
+  return std::uniform_int_distribution<uint64_t>(0, cap)(rng);
+}
+
+void DefaultSleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+uint64_t DefaultNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+StatusOr<Response> CallWithRetry(
+    const std::function<StatusOr<Response>()>& attempt,
+    const RetryPolicy& policy) {
+  const auto jitter = policy.jitter ? policy.jitter : DefaultJitter;
+  const auto sleep_ms = policy.sleep_ms ? policy.sleep_ms : DefaultSleepMs;
+  const auto now_ms = policy.now_ms ? policy.now_ms : DefaultNowMs;
+  const int attempts = std::max(policy.max_attempts, 1);
+  const uint64_t start = now_ms();
+
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  StatusOr<Response> last = Status::Internal("retry loop never ran");
+  for (int i = 0; i < attempts; ++i) {
+    last = attempt();
+
+    // Classify: transport errors arrive as a non-OK StatusOr; server-side
+    // errors arrive as an OK StatusOr whose Response carries the status
+    // (and possibly a Retry-After hint). Both retry on the same wire
+    // table, so a connection refused during a restart and an UNAVAILABLE
+    // shed behave identically.
+    StatusCode code;
+    std::optional<uint64_t> hint;
+    if (last.ok()) {
+      if (last.value().ok()) {
+        return last;
+      }
+      code = last.value().status.code();
+      hint = last.value().retry_after_ms;
+    } else {
+      code = last.status().code();
+    }
+    if (!WireErrorRetryable(code)) {
+      return last;
+    }
+    if (i + 1 >= attempts) {
+      break;
+    }
+
+    uint64_t wait = static_cast<uint64_t>(
+        std::min(backoff, static_cast<double>(policy.max_backoff_ms)));
+    if (hint.has_value()) {
+      wait = std::max(wait, *hint);
+    }
+    wait += jitter(wait / 2);
+
+    const uint64_t elapsed = now_ms() - start;
+    if (policy.total_deadline_ms > 0 &&
+        elapsed + wait >= policy.total_deadline_ms) {
+      break;  // the wait would outlive the deadline: give up now
+    }
+    sleep_ms(wait);
+    backoff *= std::max(policy.backoff_multiplier, 1.0);
+  }
+  return last;
+}
+
+}  // namespace qrel

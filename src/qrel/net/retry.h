@@ -1,0 +1,101 @@
+// Backoff machinery for the serving layer, both sides of the wire.
+//
+// Server side: RetryAfterEstimator turns observed queue drain rate into
+// the Retry-After hint attached to retryable errors. PR 6 used a fixed
+// base scaled by queue depth; that over-hints when jobs are cheap and
+// under-hints when a hard query is grinding. The estimator keeps an
+// exponentially-weighted moving average of per-job service time and
+// predicts the wait for a newly shed request as
+//
+//   hint = ewma_service_time * (queue_depth + 1) / workers
+//
+// clamped to [min, max]. Before the first completed job it falls back to
+// the PR 6 formula so a cold server still hints sensibly.
+//
+// Client side: RetryPolicy + CallWithRetry implement bounded exponential
+// backoff that honors the server's Retry-After hint and retries only the
+// codes the wire table marks retryable. Clock, sleep, and jitter are
+// injectable std::functions so unit tests drive the loop with a fake
+// clock and deterministic jitter; the defaults use the steady clock,
+// real sleeping, and uniform half-jitter.
+
+#ifndef QREL_NET_RETRY_H_
+#define QREL_NET_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "qrel/net/protocol.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// ---------------------------------------------------------------------------
+// Server side: the Retry-After estimator.
+
+class RetryAfterEstimator {
+ public:
+  // `fallback_base_ms` reproduces the pre-sample formula
+  // base * (1 + depth / workers); hints are clamped to [min_ms, max_ms].
+  RetryAfterEstimator(uint64_t fallback_base_ms, uint64_t min_ms,
+                      uint64_t max_ms, double alpha = 0.2);
+
+  // Feeds one completed job's wall-clock service time into the EWMA.
+  // Thread-safe; called by every worker on job completion.
+  void RecordServiceTimeMs(double ms);
+
+  // Predicted wait until a newly shed request could admit, given the
+  // current queue depth and worker count.
+  uint64_t HintMs(size_t queue_depth, size_t workers) const;
+
+  // Completed-job samples recorded so far (diagnostics / tests).
+  uint64_t sample_count() const;
+
+ private:
+  uint64_t ClampMs(double ms) const;
+
+  const uint64_t fallback_base_ms_;
+  const uint64_t min_ms_;
+  const uint64_t max_ms_;
+  const double alpha_;
+
+  mutable std::mutex mutex_;
+  double ewma_ms_ = 0.0;
+  uint64_t samples_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Client side: bounded exponential backoff.
+
+struct RetryPolicy {
+  int max_attempts = 4;              // total attempts, including the first
+  uint64_t initial_backoff_ms = 50;  // before the first retry
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ms = 2000;
+  // Hard wall for the whole loop (attempts + waits). A wait that would
+  // cross it is not taken: the last error returns instead.
+  uint64_t total_deadline_ms = 10000;
+
+  // Injectable nondeterminism, defaulted in EffectiveOrDie() when null:
+  // `jitter(cap)` returns extra milliseconds in [0, cap] added to each
+  // wait; `sleep_ms` blocks; `now_ms` is a monotone millisecond clock.
+  std::function<uint64_t(uint64_t cap)> jitter;
+  std::function<void(uint64_t ms)> sleep_ms;
+  std::function<uint64_t()> now_ms;
+};
+
+// Runs `attempt` under `policy`. Retries when the attempt's status — the
+// transport error, or the error carried by an otherwise-parseable
+// response — is retryable per the wire table, waiting
+// max(backoff, response Retry-After) + jitter between attempts. Returns
+// the first success, the first non-retryable error, or the last error
+// once attempts or the deadline run out. Exposed separately from
+// QrelClient so the loop is unit-testable with scripted outcomes.
+StatusOr<Response> CallWithRetry(
+    const std::function<StatusOr<Response>()>& attempt,
+    const RetryPolicy& policy);
+
+}  // namespace qrel
+
+#endif  // QREL_NET_RETRY_H_

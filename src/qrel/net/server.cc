@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -51,6 +52,8 @@ bool WriteAll(int fd, std::string_view data) {
   return true;
 }
 
+constexpr const char* kDefaultTenant = "default";
+
 }  // namespace
 
 // Monotonic counters, written with relaxed atomics from every thread.
@@ -66,6 +69,9 @@ struct QrelServer::Stats {
   std::atomic<uint64_t> shed_queue_full{0};
   std::atomic<uint64_t> shed_quota{0};
   std::atomic<uint64_t> shed_draining{0};
+  std::atomic<uint64_t> shed_tenant_rate{0};
+  std::atomic<uint64_t> shed_tenant_quota{0};
+  std::atomic<uint64_t> shed_displaced{0};
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_shared{0};
@@ -74,16 +80,24 @@ struct QrelServer::Stats {
   std::atomic<uint64_t> drain_cancelled{0};
   std::atomic<uint64_t> checkpoint_resumes{0};
   std::atomic<uint64_t> checkpoint_corrupt{0};
+  std::atomic<uint64_t> attaches{0};
+  std::atomic<uint64_t> detaches{0};
+  std::atomic<uint64_t> reloads{0};
+  std::atomic<uint64_t> reload_failures{0};
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_rejected{0};
   std::atomic<uint64_t> net_faults{0};
 };
 
 // One admitted QUERY travelling from the dispatching client thread to a
-// worker and back. The leader thread blocks on `cv` until a worker (or
-// the drain fast-fail path) publishes `result`.
+// worker and back. The leader thread blocks on `cv` until a worker (or a
+// fast-fail path: drain cancel, detach sweep, fair displacement)
+// publishes `result`. `db` pins the version the request admitted
+// against: a concurrent RELOAD cannot change what this job computes.
 struct QrelServer::Job {
   Request request;
+  std::shared_ptr<const DbVersion> db;
+  std::string tenant;
   uint64_t budget = 0;
   std::mutex m;
   std::condition_variable cv;
@@ -91,22 +105,48 @@ struct QrelServer::Job {
   CachedResult result;
 };
 
-QrelServer::QrelServer(ReliabilityEngine engine, ServerOptions options)
-    : engine_(std::move(engine)),
-      options_(options),
+// Per-tenant accounting, guarded by mutex_. The token bucket lazily
+// refills on each admission attempt.
+struct QrelServer::TenantState {
+  double tokens = 0.0;
+  bool bucket_init = false;
+  std::chrono::steady_clock::time_point last_refill;
+  uint64_t outstanding_work = 0;
+  size_t queued = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_rate = 0;
+  uint64_t shed_quota = 0;
+  uint64_t displaced = 0;
+};
+
+QrelServer::QrelServer(ServerOptions options)
+    : options_(std::move(options)),
       stats_(new Stats),
-      cache_(options.cache_capacity) {
-  database_fingerprint_ = engine_.database().ContentFingerprint();
+      cache_(options_.cache_capacity),
+      retry_estimator_(options_.retry_after_base_ms,
+                       options_.retry_after_min_ms,
+                       options_.retry_after_max_ms) {
   if (options_.workers < 1) {
     options_.workers = 1;
   }
   if (options_.queue_capacity < 1) {
     options_.queue_capacity = 1;
   }
+  if (!DbCatalog::ValidName(options_.default_db)) {
+    options_.default_db = "default";
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+QrelServer::QrelServer(ReliabilityEngine engine, ServerOptions options)
+    : QrelServer(std::move(options)) {
+  Status attached =
+      catalog_.AttachDatabase(options_.default_db, engine.database());
+  QREL_CHECK_MSG(attached.ok(), attached.ToString().c_str());
 }
 
 QrelServer::~QrelServer() { Shutdown(); }
@@ -136,6 +176,14 @@ Response QrelServer::Handle(const Request& request) {
       response.fields.emplace_back("state", "draining");
       return response;
     }
+    case RequestVerb::kAttach:
+      return HandleAttach(request);
+    case RequestVerb::kDetach:
+      return HandleDetach(request);
+    case RequestVerb::kReload:
+      return HandleReload(request);
+    case RequestVerb::kDblist:
+      return HandleDblist();
   }
   return ErrorResponse(Status::Internal("unhandled request verb"));
 }
@@ -185,10 +233,57 @@ static EngineOptions BuildEngineOptions(const Request& request,
   return opts;
 }
 
-Status QrelServer::Admit(const Request& request, EnginePlan* plan,
-                         double* cost) {
+StatusOr<std::shared_ptr<const DbVersion>> QrelServer::ResolveDb(
+    const Request& request) const {
+  const std::string& name =
+      request.options.db.empty() ? options_.default_db : request.options.db;
+  if (!DbCatalog::ValidName(name)) {
+    return Status::InvalidArgument("invalid database name \"" + name + "\"");
+  }
+  return catalog_.Resolve(name);
+}
+
+Status QrelServer::AdmitTenant(const std::string& tenant,
+                               uint64_t* retry_hint_ms) {
+  *retry_hint_ms = 0;
+  const uint64_t rate = options_.tenant_rate_per_sec;
+  if (rate == 0) {
+    return Status::Ok();
+  }
+  const double burst =
+      static_cast<double>(std::max<uint64_t>(options_.tenant_burst, 1));
+  std::unique_lock<std::mutex> lock(mutex_);
+  TenantState& t = tenants_[tenant];
+  auto now = std::chrono::steady_clock::now();
+  if (!t.bucket_init) {
+    t.tokens = burst;
+    t.bucket_init = true;
+  } else {
+    double elapsed =
+        std::chrono::duration<double>(now - t.last_refill).count();
+    t.tokens = std::min(burst,
+                        t.tokens + elapsed * static_cast<double>(rate));
+  }
+  t.last_refill = now;
+  if (t.tokens < 1.0) {
+    ++t.shed_rate;
+    stats_->shed_tenant_rate.fetch_add(1, std::memory_order_relaxed);
+    // Time until the bucket refills the missing fraction of a token —
+    // the most honest Retry-After a rate limit can give.
+    double wait_s = (1.0 - t.tokens) / static_cast<double>(rate);
+    *retry_hint_ms =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(wait_s * 1e3)));
+    return Status::Unavailable("tenant \"" + tenant +
+                               "\" is over its request rate");
+  }
+  t.tokens -= 1.0;
+  return Status::Ok();
+}
+
+Status QrelServer::Admit(const Request& request, const DbVersion& db,
+                         EnginePlan* plan, double* cost) {
   EngineOptions opts = BuildEngineOptions(request, options_, false);
-  StatusOr<EnginePlan> explained = engine_.Explain(request.query, opts);
+  StatusOr<EnginePlan> explained = db.engine.Explain(request.query, opts);
   if (!explained.ok()) {
     stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
     return explained.status();
@@ -223,10 +318,11 @@ Status QrelServer::Admit(const Request& request, EnginePlan* plan,
   return Status::Ok();
 }
 
-uint64_t QrelServer::StoreKey(const Request& request) const {
+uint64_t QrelServer::StoreKey(const Request& request,
+                              const DbVersion& db) const {
   // Everything the *result* deterministically depends on, envelope
-  // excluded: the applied evaluation options and the PR-4 database
-  // content fingerprint.
+  // excluded: the applied evaluation options and the PR-4 content
+  // fingerprint of the pinned database version.
   EngineOptions applied = BuildEngineOptions(request, options_, false);
   Fingerprint fp;
   fp.Mix("net.query.v1")
@@ -237,7 +333,7 @@ uint64_t QrelServer::StoreKey(const Request& request) const {
       .Mix(applied.max_exact_worlds)
       .Mix((applied.force_exact ? 1u : 0u) |
            (applied.force_approximate ? 2u : 0u))
-      .Mix(database_fingerprint_);
+      .Mix(db.fingerprint);
   MixOptional(&fp, applied.fixed_samples);
   return fp.value();
 }
@@ -254,33 +350,64 @@ uint64_t QrelServer::FlightKey(const Request& request,
 }
 
 uint64_t QrelServer::RetryAfterHintMs() const {
-  size_t depth = queue_depth();
-  size_t workers = static_cast<size_t>(options_.workers);
-  return options_.retry_after_base_ms * (1 + depth / std::max<size_t>(1, workers));
+  return retry_estimator_.HintMs(queue_depth(),
+                                 static_cast<size_t>(options_.workers));
 }
 
 Response QrelServer::HandleQuery(const Request& request) {
   stats_->queries.fetch_add(1, std::memory_order_relaxed);
+  const std::string tenant =
+      request.options.tenant.empty() ? kDefaultTenant
+                                     : request.options.tenant;
+  if (!DbCatalog::ValidName(tenant)) {
+    stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::InvalidArgument(
+        "invalid tenant name \"" + tenant + "\""));
+  }
   if (draining()) {
     stats_->shed_draining.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(Status::Unavailable("server is draining"),
                          RetryAfterHintMs());
   }
+  StatusOr<std::shared_ptr<const DbVersion>> resolved = ResolveDb(request);
+  if (!resolved.ok()) {
+    if (resolved.status().code() != StatusCode::kUnavailable) {
+      stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(resolved.status(),
+                         resolved.status().code() == StatusCode::kUnavailable
+                             ? std::optional<uint64_t>(RetryAfterHintMs())
+                             : std::nullopt);
+  }
+  std::shared_ptr<const DbVersion> version = std::move(resolved).value();
+
+  uint64_t tenant_hint = 0;
+  Status tenant_admit = AdmitTenant(tenant, &tenant_hint);
+  if (!tenant_admit.ok()) {
+    return ErrorResponse(tenant_admit,
+                         std::max(tenant_hint, RetryAfterHintMs()));
+  }
+
   EnginePlan plan;
   double cost = 0.0;
-  Status admitted = Admit(request, &plan, &cost);
+  Status admitted = Admit(request, *version, &plan, &cost);
   if (!admitted.ok()) {
     return ErrorResponse(admitted);
   }
   stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++tenants_[tenant].admitted;
+  }
 
-  uint64_t store_key = StoreKey(request);
+  uint64_t store_key = StoreKey(request, *version);
   uint64_t flight_key = FlightKey(request, store_key);
   bool from_cache = false;
   bool shared = false;
   CachedResult result = cache_.GetOrCompute(
-      store_key, flight_key, [&] { return EnqueueAndRun(request); },
-      &from_cache, &shared);
+      store_key, flight_key, version->fingerprint,
+      [&] { return EnqueueAndRun(request, version, tenant); }, &from_cache,
+      &shared);
   if (from_cache) {
     stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
   } else if (shared) {
@@ -300,20 +427,37 @@ Response QrelServer::HandleQuery(const Request& request) {
   }
   response.fields.emplace_back(
       "cache", from_cache ? "hit" : (shared ? "shared" : "miss"));
+  // The pinned version that answered (or would have): the client-side
+  // proof of which snapshot it observed, bit-identical under reload.
+  response.fields.emplace_back("db", version->name);
+  response.fields.emplace_back("db_version",
+                               std::to_string(version->version));
+  response.fields.emplace_back("db_fingerprint",
+                               std::to_string(version->fingerprint));
   return response;
 }
 
 Response QrelServer::HandleExplain(const Request& request) {
   stats_->explains.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<std::shared_ptr<const DbVersion>> resolved = ResolveDb(request);
+  if (!resolved.ok()) {
+    if (resolved.status().code() != StatusCode::kUnavailable) {
+      stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(resolved.status());
+  }
+  std::shared_ptr<const DbVersion> version = std::move(resolved).value();
   EnginePlan plan;
   double cost = 0.0;
-  Status admitted = Admit(request, &plan, &cost);
+  Status admitted = Admit(request, *version, &plan, &cost);
   if (!admitted.ok() &&
       admitted.code() != StatusCode::kResourceExhausted) {
     return ErrorResponse(admitted);
   }
   Response response;
   auto& fields = response.fields;
+  fields.emplace_back("db", version->name);
+  fields.emplace_back("db_version", std::to_string(version->version));
   fields.emplace_back("class", QueryClassName(plan.query_class));
   fields.emplace_back("effective_class",
                       QueryClassName(plan.effective_class));
@@ -339,8 +483,18 @@ Response QrelServer::HandleExplain(const Request& request) {
 }
 
 Response QrelServer::HandleHealth() const {
+  std::vector<DbInfo> infos = catalog_.List();
+  bool ready = !draining() && !infos.empty();
+  for (const DbInfo& info : infos) {
+    if (info.state == DbState::kDraining) {
+      ready = false;
+    }
+  }
   Response response;
   response.fields.emplace_back("state", draining() ? "draining" : "serving");
+  // The balancer bit: 1 only when accepting work and every database is
+  // serving (a draining database means this replica should be pulled).
+  response.fields.emplace_back("ready", ready ? "1" : "0");
   response.fields.emplace_back("queue_depth",
                                std::to_string(queue_depth()));
   response.fields.emplace_back("inflight", std::to_string(inflight()));
@@ -349,6 +503,16 @@ Response QrelServer::HandleHealth() const {
   response.fields.emplace_back(
       "connections",
       std::to_string(live_connections_.load(std::memory_order_relaxed)));
+  response.fields.emplace_back("databases", std::to_string(infos.size()));
+  for (const DbInfo& info : infos) {
+    const std::string prefix = "db." + info.name;
+    response.fields.emplace_back(prefix + ".state",
+                                 DbStateName(info.state));
+    response.fields.emplace_back(prefix + ".version",
+                                 std::to_string(info.version));
+    response.fields.emplace_back(prefix + ".fingerprint",
+                                 std::to_string(info.fingerprint));
+  }
   return response;
 }
 
@@ -356,7 +520,7 @@ Response QrelServer::HandleStats() const {
   ServerStatsSnapshot s = stats_snapshot();
   ResultCacheStats cache = cache_.stats();
   Response response;
-  auto emit = [&response](const char* key, uint64_t value) {
+  auto emit = [&response](const std::string& key, uint64_t value) {
     response.fields.emplace_back(key, std::to_string(value));
   };
   emit("requests_total", s.requests_total);
@@ -370,35 +534,224 @@ Response QrelServer::HandleStats() const {
   emit("shed_queue_full", s.shed_queue_full);
   emit("shed_quota", s.shed_quota);
   emit("shed_draining", s.shed_draining);
+  emit("shed_tenant_rate", s.shed_tenant_rate);
+  emit("shed_tenant_quota", s.shed_tenant_quota);
+  emit("shed_displaced", s.shed_displaced);
   emit("cache_hits", s.cache_hits);
   emit("cache_misses", s.cache_misses);
   emit("cache_shared", s.cache_shared);
   emit("cache_entries", cache.entries);
   emit("cache_evictions", cache.evictions);
+  emit("cache_retired", cache.retired);
   emit("pressure_degraded", s.pressure_degraded);
   emit("budget_degraded", s.budget_degraded);
   emit("drain_cancelled", s.drain_cancelled);
   emit("checkpoint_resumes", s.checkpoint_resumes);
   emit("checkpoint_corrupt", s.checkpoint_corrupt);
+  emit("attaches", s.attaches);
+  emit("detaches", s.detaches);
+  emit("reloads", s.reloads);
+  emit("reload_failures", s.reload_failures);
   emit("connections_accepted", s.connections_accepted);
   emit("connections_rejected", s.connections_rejected);
   emit("net_faults", s.net_faults);
   emit("queue_depth", queue_depth());
   emit("inflight", inflight());
+  emit("databases", catalog_.size());
   {
     std::unique_lock<std::mutex> lock(mutex_);
     emit("quota_outstanding", quota_outstanding_);
   }
   emit("work_quota", options_.work_quota);
+  emit("retry_samples", retry_estimator_.sample_count());
+  std::vector<TenantStatsSnapshot> tenants = tenant_stats();
+  emit("tenants", tenants.size());
+  for (const TenantStatsSnapshot& t : tenants) {
+    const std::string prefix = "tenant." + t.name;
+    emit(prefix + ".admitted", t.admitted);
+    emit(prefix + ".completed", t.completed);
+    emit(prefix + ".shed_rate", t.shed_rate);
+    emit(prefix + ".shed_quota", t.shed_quota);
+    emit(prefix + ".displaced", t.displaced);
+    emit(prefix + ".outstanding_work", t.outstanding_work);
+    emit(prefix + ".queued", t.queued);
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// The admin plane.
+
+Response QrelServer::HandleAttach(const Request& request) {
+  Status attached = catalog_.Attach(request.target, request.path);
+  if (!attached.ok()) {
+    return ErrorResponse(attached);
+  }
+  stats_->attaches.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  response.fields.emplace_back("db", request.target);
+  StatusOr<std::shared_ptr<const DbVersion>> resolved =
+      catalog_.Resolve(request.target);
+  if (resolved.ok()) {
+    const DbVersion& v = *resolved.value();
+    response.fields.emplace_back("db_version", std::to_string(v.version));
+    response.fields.emplace_back("db_fingerprint",
+                                 std::to_string(v.fingerprint));
+    response.fields.emplace_back("universe_size",
+                                 std::to_string(v.universe_size));
+    response.fields.emplace_back("facts", std::to_string(v.fact_count));
+    response.fields.emplace_back("uncertain_atoms",
+                                 std::to_string(v.uncertain_atoms));
+  }
+  return response;
+}
+
+Response QrelServer::HandleReload(const Request& request) {
+  StatusOr<ReloadOutcome> outcome =
+      catalog_.Reload(request.target, request.path);
+  if (!outcome.ok()) {
+    stats_->reload_failures.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(outcome.status());
+  }
+  stats_->reloads.fetch_add(1, std::memory_order_relaxed);
+  size_t evicted = 0;
+  if (outcome->changed) {
+    // The displaced version's cache entries are unreachable (keys mix the
+    // fingerprint) but would pin its memory; retire them now. In-flight
+    // requests pinned to the old version still complete and answer — the
+    // retired ring only stops them from re-publishing.
+    evicted = cache_.RetireTag(outcome->old_version->fingerprint);
+  }
+  Response response;
+  response.fields.emplace_back("db", request.target);
+  response.fields.emplace_back(
+      "old_version", std::to_string(outcome->old_version->version));
+  response.fields.emplace_back(
+      "new_version", std::to_string(outcome->new_version->version));
+  response.fields.emplace_back(
+      "old_fingerprint",
+      std::to_string(outcome->old_version->fingerprint));
+  response.fields.emplace_back(
+      "new_fingerprint",
+      std::to_string(outcome->new_version->fingerprint));
+  response.fields.emplace_back("changed", outcome->changed ? "1" : "0");
+  response.fields.emplace_back("cache_evicted", std::to_string(evicted));
+  return response;
+}
+
+Response QrelServer::HandleDetach(const Request& request) {
+  const std::string& name = request.target;
+  StatusOr<std::shared_ptr<const DbVersion>> begun =
+      catalog_.BeginDetach(name);
+  if (!begun.ok()) {
+    return ErrorResponse(begun.status());
+  }
+  std::shared_ptr<const DbVersion> version = std::move(begun).value();
+  const uint64_t fp = version->fingerprint;
+
+  // From here on Resolve(name) fails typed, so no new work can admit
+  // against this database. Drain what already did, the way SIGTERM
+  // drains the whole server: fail its queued jobs fast, give its
+  // in-flight runs the grace period, then cancel cooperatively.
+  size_t cancelled = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->db->fingerprint == fp) {
+        std::shared_ptr<Job> job = *it;
+        it = queue_.erase(it);
+        CachedResult result;
+        result.status = Status::Cancelled("database \"" + name +
+                                          "\" is detaching");
+        FailQueuedJobLocked(job, std::move(result));
+        ++cancelled;
+      } else {
+        ++it;
+      }
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.drain_grace_ms);
+    auto db_idle = [this, fp] {
+      auto it = inflight_by_db_.find(fp);
+      return it == inflight_by_db_.end() || it->second == 0;
+    };
+    idle_cv_.wait_until(lock, deadline, db_idle);
+    if (!db_idle()) {
+      for (ActiveRun& run : active_runs_) {
+        if (run.db_fingerprint == fp) {
+          run.ctx->RequestCancellation();
+          ++cancelled;
+          stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      idle_cv_.wait(lock, db_idle);
+    }
+  }
+  catalog_.FinishDetach(name);
+  size_t evicted = cache_.RetireTag(fp);
+  stats_->detaches.fetch_add(1, std::memory_order_relaxed);
+
+  Response response;
+  response.fields.emplace_back("db", name);
+  response.fields.emplace_back("db_version",
+                               std::to_string(version->version));
+  response.fields.emplace_back("db_fingerprint", std::to_string(fp));
+  response.fields.emplace_back("cancelled", std::to_string(cancelled));
+  response.fields.emplace_back("cache_evicted", std::to_string(evicted));
+  return response;
+}
+
+Response QrelServer::HandleDblist() const {
+  std::vector<DbInfo> infos = catalog_.List();
+  Response response;
+  response.fields.emplace_back("databases", std::to_string(infos.size()));
+  for (const DbInfo& info : infos) {
+    const std::string prefix = "db." + info.name;
+    response.fields.emplace_back(prefix + ".state",
+                                 DbStateName(info.state));
+    response.fields.emplace_back(prefix + ".version",
+                                 std::to_string(info.version));
+    response.fields.emplace_back(prefix + ".fingerprint",
+                                 std::to_string(info.fingerprint));
+    response.fields.emplace_back(prefix + ".universe_size",
+                                 std::to_string(info.universe_size));
+    response.fields.emplace_back(prefix + ".facts",
+                                 std::to_string(info.fact_count));
+    response.fields.emplace_back(prefix + ".uncertain_atoms",
+                                 std::to_string(info.uncertain_atoms));
+    if (!info.source_path.empty()) {
+      response.fields.emplace_back(prefix + ".path", info.source_path);
+    }
+  }
   return response;
 }
 
 // ---------------------------------------------------------------------------
 // Queueing and execution.
 
-CachedResult QrelServer::EnqueueAndRun(const Request& request) {
+void QrelServer::FailQueuedJobLocked(const std::shared_ptr<Job>& job,
+                                     CachedResult result) {
+  quota_outstanding_ -= job->budget;
+  TenantState& t = tenants_[job->tenant];
+  if (t.queued > 0) {
+    --t.queued;
+  }
+  t.outstanding_work -= std::min(t.outstanding_work, job->budget);
+  {
+    std::unique_lock<std::mutex> job_lock(job->m);
+    job->result = std::move(result);
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+CachedResult QrelServer::EnqueueAndRun(const Request& request,
+                                       std::shared_ptr<const DbVersion> db,
+                                       const std::string& tenant) {
   auto job = std::make_shared<Job>();
   job->request = request;
+  job->db = std::move(db);
+  job->tenant = tenant;
   job->budget = std::min(
       request.options.max_work.value_or(options_.default_max_work),
       options_.max_request_work);
@@ -410,12 +763,56 @@ CachedResult QrelServer::EnqueueAndRun(const Request& request) {
       shed.status = Status::Unavailable("server is draining");
       return shed;
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      stats_->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    TenantState& t = tenants_[tenant];
+    if (options_.tenant_work_quota > 0 &&
+        t.outstanding_work + job->budget > options_.tenant_work_quota) {
+      ++t.shed_quota;
+      stats_->shed_tenant_quota.fetch_add(1, std::memory_order_relaxed);
       shed.status = Status::Unavailable(
-          "request queue is full (" + std::to_string(queue_.size()) +
-          " queued)");
+          "tenant \"" + tenant + "\" work quota is saturated (" +
+          std::to_string(t.outstanding_work) + "/" +
+          std::to_string(options_.tenant_work_quota) +
+          " units outstanding)");
       return shed;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Fair displacement: if one tenant hogs the queue, the incoming
+      // request evicts that hog's most recently queued job — but only
+      // when the hog has strictly more queued work than the incomer, so
+      // displacement can never invert into the hog shedding others.
+      const std::string* hog = nullptr;
+      size_t hog_queued = t.queued;  // must strictly exceed the incomer
+      for (const auto& [tenant_name, state] : tenants_) {
+        if (tenant_name != tenant && state.queued > hog_queued) {
+          hog_queued = state.queued;
+          hog = &tenant_name;
+        }
+      }
+      bool displaced = false;
+      if (hog != nullptr) {
+        for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+          if ((*it)->tenant == *hog) {
+            std::shared_ptr<Job> victim = *it;
+            queue_.erase(std::next(it).base());
+            stats_->shed_displaced.fetch_add(1, std::memory_order_relaxed);
+            ++tenants_[*hog].displaced;
+            CachedResult result;
+            result.status = Status::Unavailable(
+                "displaced from the queue: tenant \"" + *hog +
+                "\" is over its fair share");
+            FailQueuedJobLocked(victim, std::move(result));
+            displaced = true;
+            break;
+          }
+        }
+      }
+      if (!displaced) {
+        stats_->shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+        shed.status = Status::Unavailable(
+            "request queue is full (" + std::to_string(queue_.size()) +
+            " queued)");
+        return shed;
+      }
     }
     if (quota_outstanding_ + job->budget > options_.work_quota) {
       stats_->shed_quota.fetch_add(1, std::memory_order_relaxed);
@@ -426,6 +823,8 @@ CachedResult QrelServer::EnqueueAndRun(const Request& request) {
       return shed;
     }
     quota_outstanding_ += job->budget;
+    ++t.queued;
+    t.outstanding_work += job->budget;
     queue_.push_back(job);
   }
   queue_cv_.notify_one();
@@ -451,10 +850,17 @@ void QrelServer::WorkerLoop() {
       queue_.pop_front();
       pressured = queue_.size() >= options_.pressure_watermark;
       cancel = drain_cancel_;
+      TenantState& t = tenants_[job->tenant];
+      if (t.queued > 0) {
+        --t.queued;
+      }
+      ++inflight_by_db_[job->db->fingerprint];
       inflight_.fetch_add(1, std::memory_order_release);
     }
     CachedResult result;
     Status fault = QREL_FAULT_HIT("net.server.worker");
+    bool executed = false;
+    auto start = std::chrono::steady_clock::now();
     if (cancel) {
       stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
       result.status = Status::Cancelled(
@@ -463,7 +869,16 @@ void QrelServer::WorkerLoop() {
       stats_->net_faults.fetch_add(1, std::memory_order_relaxed);
       result.status = fault;
     } else {
-      result = ExecuteQuery(job->request, job->budget, pressured);
+      result = ExecuteQuery(job->request, *job->db, job->budget, pressured);
+      executed = true;
+    }
+    if (executed) {
+      // Only real engine runs feed the drain-rate estimate; fast-failed
+      // jobs would bias the Retry-After hint toward zero.
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      retry_estimator_.RecordServiceTimeMs(ms);
     }
     if (result.status.ok()) {
       stats_->completed_ok.fetch_add(1, std::memory_order_relaxed);
@@ -473,10 +888,17 @@ void QrelServer::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       quota_outstanding_ -= job->budget;
-      inflight_.fetch_sub(1, std::memory_order_release);
-      if (queue_.empty() && inflight_.load(std::memory_order_acquire) == 0) {
-        idle_cv_.notify_all();
+      TenantState& t = tenants_[job->tenant];
+      t.outstanding_work -= std::min(t.outstanding_work, job->budget);
+      ++t.completed;
+      auto by_db = inflight_by_db_.find(job->db->fingerprint);
+      if (by_db != inflight_by_db_.end() && --by_db->second == 0) {
+        inflight_by_db_.erase(by_db);
       }
+      inflight_.fetch_sub(1, std::memory_order_release);
+      // Every completion can be the one a DETACH (per-database) or
+      // Drain (whole-server) is waiting on.
+      idle_cv_.notify_all();
     }
     {
       std::unique_lock<std::mutex> lock(job->m);
@@ -488,7 +910,8 @@ void QrelServer::WorkerLoop() {
 }
 
 CachedResult QrelServer::ExecuteQuery(const Request& request,
-                                      uint64_t budget, bool pressured) {
+                                      const DbVersion& db, uint64_t budget,
+                                      bool pressured) {
   if (pressured) {
     stats_->pressure_degraded.fetch_add(1, std::memory_order_relaxed);
   }
@@ -510,14 +933,15 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
   // a time, so exactly one writer ever owns a snapshot path — two
   // concurrent requests that share a store key but differ in envelope
   // (different timeout/max_work) are distinct flights and must not
-  // checkpoint into (and then delete) one shared file.
+  // checkpoint into (and then delete) one shared file. The store key
+  // mixes the database fingerprint, so versions never share snapshots.
   std::optional<Checkpointer> checkpointer;
   std::string snapshot_path;
   if (!options_.checkpoint_dir.empty()) {
     char name[32];
     std::snprintf(name, sizeof(name), "q%016llx.snap",
                   static_cast<unsigned long long>(
-                      FlightKey(request, StoreKey(request))));
+                      FlightKey(request, StoreKey(request, db))));
     snapshot_path = options_.checkpoint_dir + "/" + name;
     checkpointer.emplace(
         snapshot_path,
@@ -538,13 +962,14 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    active_contexts_.push_back(&ctx);
+    active_runs_.push_back(ActiveRun{&ctx, db.fingerprint});
   }
-  StatusOr<EngineReport> report = engine_.Run(request.query, opts);
+  StatusOr<EngineReport> report = db.engine.Run(request.query, opts);
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    active_contexts_.erase(std::find(active_contexts_.begin(),
-                                     active_contexts_.end(), &ctx));
+    active_runs_.erase(
+        std::find_if(active_runs_.begin(), active_runs_.end(),
+                     [&ctx](const ActiveRun& run) { return run.ctx == &ctx; }));
   }
 
   if (checkpointer.has_value() && checkpointer->resume_consumed()) {
@@ -620,8 +1045,8 @@ void QrelServer::Drain() {
     // cooperatively. A cancelled run flushes its final checkpoint at the
     // next safe point and surfaces a typed CANCELLED to its client.
     drain_cancel_ = true;
-    for (RunContext* ctx : active_contexts_) {
-      ctx->RequestCancellation();
+    for (ActiveRun& run : active_runs_) {
+      run.ctx->RequestCancellation();
       stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
     }
     idle_cv_.wait(lock, idle);
@@ -687,6 +1112,10 @@ ServerStatsSnapshot QrelServer::stats_snapshot() const {
   s.shed_queue_full = a.shed_queue_full.load(std::memory_order_relaxed);
   s.shed_quota = a.shed_quota.load(std::memory_order_relaxed);
   s.shed_draining = a.shed_draining.load(std::memory_order_relaxed);
+  s.shed_tenant_rate = a.shed_tenant_rate.load(std::memory_order_relaxed);
+  s.shed_tenant_quota =
+      a.shed_tenant_quota.load(std::memory_order_relaxed);
+  s.shed_displaced = a.shed_displaced.load(std::memory_order_relaxed);
   s.cache_hits = a.cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = a.cache_misses.load(std::memory_order_relaxed);
   s.cache_shared = a.cache_shared.load(std::memory_order_relaxed);
@@ -697,12 +1126,35 @@ ServerStatsSnapshot QrelServer::stats_snapshot() const {
       a.checkpoint_resumes.load(std::memory_order_relaxed);
   s.checkpoint_corrupt =
       a.checkpoint_corrupt.load(std::memory_order_relaxed);
+  s.attaches = a.attaches.load(std::memory_order_relaxed);
+  s.detaches = a.detaches.load(std::memory_order_relaxed);
+  s.reloads = a.reloads.load(std::memory_order_relaxed);
+  s.reload_failures = a.reload_failures.load(std::memory_order_relaxed);
   s.connections_accepted =
       a.connections_accepted.load(std::memory_order_relaxed);
   s.connections_rejected =
       a.connections_rejected.load(std::memory_order_relaxed);
   s.net_faults = a.net_faults.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<TenantStatsSnapshot> QrelServer::tenant_stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<TenantStatsSnapshot> snapshot;
+  snapshot.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStatsSnapshot row;
+    row.name = name;
+    row.admitted = t.admitted;
+    row.completed = t.completed;
+    row.shed_rate = t.shed_rate;
+    row.shed_quota = t.shed_quota;
+    row.displaced = t.displaced;
+    row.outstanding_work = t.outstanding_work;
+    row.queued = t.queued;
+    snapshot.push_back(std::move(row));
+  }
+  return snapshot;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,18 @@
 // qrel_server core: a long-lived, overload-safe query-reliability service.
 //
-// One QrelServer owns one ReliabilityEngine (one database loaded at
-// startup) and serves many concurrent clients from a fixed-size worker
-// pool behind a bounded request queue. The robustness layers, outermost
-// first:
+// One QrelServer serves many named databases from a DbCatalog
+// (net/catalog.h) through a fixed-size worker pool behind a bounded
+// request queue. The robustness layers, outermost first:
+//
+//  - **Per-tenant isolation.** Every QUERY carries a tenant identity
+//    (`tenant=`, defaulting to "default"). Tenants are admitted through a
+//    token bucket (`tenant_rate_per_sec`/`tenant_burst`), capped on
+//    outstanding work (`tenant_work_quota`), and shed *fairly*: when the
+//    queue is full, the incoming request displaces the most recently
+//    queued job of the tenant hogging the queue — but only if that hog
+//    has strictly more queued work than the incomer, so one tenant
+//    saturating its bucket can never shed another tenant's traffic.
+//    STATS reports per-tenant counters.
 //
 //  - **Admission control.** Every QUERY is Explain'd first (static
 //    analysis only — never charges a budget): analyzer errors come back
@@ -15,10 +24,19 @@
 //    RunContext whose work budget is clipped by both `max_request_work`
 //    and the server-wide outstanding-work quota.
 //
-//  - **Overload shedding.** When the queue is full, the work quota is
-//    saturated, or the server is draining, the request is shed
-//    immediately with a typed UNAVAILABLE carrying a Retry-After hint —
-//    the queue never grows unboundedly and a shed costs O(1).
+//  - **Version pinning.** A QUERY resolves its database once, at
+//    admission, and carries the pinned immutable DbVersion through the
+//    queue, the engine run, and the response — a concurrent RELOAD or
+//    DETACH can never change what an in-flight request computes. The
+//    response reports db/db_version/db_fingerprint so clients can prove
+//    which snapshot answered.
+//
+//  - **Overload shedding.** When the queue is full (and fair displacement
+//    does not apply), a quota is saturated, or the server is draining,
+//    the request is shed immediately with a typed UNAVAILABLE carrying a
+//    Retry-After hint estimated from the observed queue drain rate
+//    (net/retry.h) — the queue never grows unboundedly and a shed costs
+//    O(1).
 //
 //  - **Graceful degradation.** A request dequeued while the queue depth
 //    is at or above `pressure_watermark` steps down the engine's
@@ -29,9 +47,11 @@
 //    (EngineOptions::degrade_on_budget).
 //
 //  - **Memoizing result cache** (net/result_cache.h) keyed by PR-4
-//    content fingerprints, with single-flight deduplication so a
-//    stampede of identical queries computes once and consumes one queue
-//    slot.
+//    content fingerprints and tagged with the database fingerprint, with
+//    single-flight deduplication so a stampede of identical queries
+//    computes once and consumes one queue slot. DETACH and a
+//    content-changing RELOAD retire the displaced fingerprint's entries
+//    so dead versions cannot pin memory.
 //
 //  - **Graceful drain.** BeginDrain() stops admission (new queries shed
 //    with UNAVAILABLE "draining"); Drain() waits `drain_grace_ms` for
@@ -39,16 +59,20 @@
 //    remains — with a checkpoint_dir configured, each cancelled run
 //    flushes a final PR-3 checkpoint at its last safe point, so an
 //    identical query after restart resumes instead of recomputing.
-//    Clients of cancelled requests receive a typed CANCELLED response,
-//    never a torn frame.
+//    DETACH is the same protocol scoped to one database: queued work for
+//    it fails typed, in-flight work gets the grace period then
+//    cancellation, and only then is the entry dropped and its cache tag
+//    retired.
 //
 //  - **Fault sites** (util/fault_injection.h) at the accept, frame-read,
-//    frame-write, dispatch and worker boundaries, so the chaos suite can
-//    kill the server at any network edge and assert clients get typed
-//    errors, never hangs or torn responses.
+//    frame-write, dispatch and worker boundaries plus every catalog
+//    staging stage (net.catalog.*), so the chaos suite can kill the
+//    server at any network or admin-plane edge and assert clients get
+//    typed errors, never hangs, torn responses, or a half-swapped
+//    database.
 //
 // Thread model: the engine's Run/Explain are const and share no mutable
-// state, so worker threads call them concurrently on the one engine;
+// state, so worker threads call them concurrently on pinned DbVersions;
 // every request gets its own RunContext (and Checkpointer), which are
 // single-thread objects apart from the cancellation flag. Handle() is the
 // transport-independent entry point — the TCP layer and the in-process
@@ -62,6 +86,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,8 +94,10 @@
 #include <vector>
 
 #include "qrel/engine/engine.h"
+#include "qrel/net/catalog.h"
 #include "qrel/net/protocol.h"
 #include "qrel/net/result_cache.h"
+#include "qrel/net/retry.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -79,6 +106,10 @@ struct ServerOptions {
   // Worker pool and queue.
   int workers = 2;
   size_t queue_capacity = 8;
+
+  // The catalog name the engine-taking constructor attaches its database
+  // under, and the database a QUERY with no db= option routes to.
+  std::string default_db = "default";
 
   // Admission control.
   // Ceiling on the static cost estimate of an admitted query: predicted
@@ -97,6 +128,14 @@ struct ServerOptions {
   // timeout_ms; 0 means none.
   uint64_t default_timeout_ms = 0;
 
+  // Per-tenant isolation. Rate 0 disables the token bucket (every tenant
+  // unlimited); quota 0 leaves per-tenant outstanding work uncapped.
+  // Queue-fairness displacement is always on: it needs no configuration
+  // and is inert while a single tenant uses the server.
+  uint64_t tenant_rate_per_sec = 0;
+  uint64_t tenant_burst = 8;
+  uint64_t tenant_work_quota = 0;
+
   // Graceful degradation: queue depth at dequeue time at or above which a
   // request steps down to the coarse targets below. The default never
   // triggers.
@@ -108,11 +147,16 @@ struct ServerOptions {
   // Result cache entries (0 disables storing; single-flight stays on).
   size_t cache_capacity = 256;
 
-  // Base of the Retry-After hint on shed responses; scaled by queue depth.
+  // Retry-After hints: before the first completed job the hint is
+  // retry_after_base_ms scaled by queue depth; after that it is the
+  // EWMA service time times the queue position (net/retry.h), clamped
+  // to [retry_after_min_ms, retry_after_max_ms].
   uint64_t retry_after_base_ms = 100;
+  uint64_t retry_after_min_ms = 25;
+  uint64_t retry_after_max_ms = 5000;
 
-  // How long Drain() waits for in-flight work before requesting
-  // cooperative cancellation.
+  // How long Drain() — and a DETACH draining one database — waits for
+  // in-flight work before requesting cooperative cancellation.
   uint64_t drain_grace_ms = 2000;
 
   // When non-empty, every admitted query checkpoints its progress to
@@ -147,6 +191,9 @@ struct ServerStatsSnapshot {
   uint64_t shed_queue_full = 0;
   uint64_t shed_quota = 0;
   uint64_t shed_draining = 0;
+  uint64_t shed_tenant_rate = 0;
+  uint64_t shed_tenant_quota = 0;
+  uint64_t shed_displaced = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_shared = 0;
@@ -155,14 +202,35 @@ struct ServerStatsSnapshot {
   uint64_t drain_cancelled = 0;
   uint64_t checkpoint_resumes = 0;
   uint64_t checkpoint_corrupt = 0;
+  uint64_t attaches = 0;
+  uint64_t detaches = 0;
+  uint64_t reloads = 0;
+  uint64_t reload_failures = 0;
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
   uint64_t net_faults = 0;
 };
 
+// One tenant's accounting snapshot (STATS reports these per tenant).
+struct TenantStatsSnapshot {
+  std::string name;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_rate = 0;
+  uint64_t shed_quota = 0;
+  uint64_t displaced = 0;
+  uint64_t outstanding_work = 0;
+  uint64_t queued = 0;
+};
+
 class QrelServer {
  public:
-  // Spawns the worker pool immediately; the destructor runs Shutdown().
+  // Spawns the worker pool immediately; the catalog starts empty —
+  // attach databases via catalog() or the ATTACH verb. The destructor
+  // runs Shutdown().
+  explicit QrelServer(ServerOptions options);
+  // Convenience: attaches `engine`'s database under options.default_db,
+  // preserving the one-engine construction the earlier PRs used.
   QrelServer(ReliabilityEngine engine, ServerOptions options);
   ~QrelServer();
 
@@ -171,11 +239,20 @@ class QrelServer {
 
   // The transport-independent request lifecycle: admission, shedding,
   // cache, queue, execution. Blocks until the response is ready (HEALTH /
-  // STATS / DRAIN / rejections return without touching the queue).
+  // STATS / DRAIN / DBLIST / rejections return without touching the
+  // queue; ATTACH/RELOAD stage off-path; DETACH drains its database).
   Response Handle(const Request& request);
   // ParseRequest + Handle + SerializeResponse; a parse failure becomes a
   // typed INVALID_ARGUMENT response payload.
   std::string HandlePayload(std::string_view payload);
+
+  // The database catalog. Thread-safe; tests and embedding binaries
+  // attach databases directly, the wire plane goes through ATTACH et al.
+  // Prefer Handle({kDetach, ...}) over raw catalog detach calls: the
+  // server's detach path is what drains pinned work and retires cache
+  // tags.
+  DbCatalog& catalog() { return catalog_; }
+  const DbCatalog& catalog() const { return catalog_; }
 
   // Stops admission: every subsequent QUERY is shed with UNAVAILABLE.
   // HEALTH/STATS stay available so orchestration can watch the drain.
@@ -208,31 +285,57 @@ class QrelServer {
   // leaked stacks for the server's whole lifetime).
   size_t unreaped_connection_threads() const;
   ServerStatsSnapshot stats_snapshot() const;
-  const ReliabilityEngine& engine() const { return engine_; }
+  std::vector<TenantStatsSnapshot> tenant_stats() const;
   const ServerOptions& options() const { return options_; }
 
  private:
   struct Job;
   struct Stats;
+  struct TenantState;
 
   Response HandleQuery(const Request& request);
   Response HandleExplain(const Request& request);
   Response HandleHealth() const;
   Response HandleStats() const;
+  Response HandleAttach(const Request& request);
+  Response HandleDetach(const Request& request);
+  Response HandleReload(const Request& request);
+  Response HandleDblist() const;
 
-  // Admission: plan + cost ceiling. Returns the plan through *plan on
-  // success; a non-OK status is the typed rejection.
-  Status Admit(const Request& request, EnginePlan* plan, double* cost);
+  // Resolves the request's db= (default_db when absent) to a pinned
+  // version; the error is the typed response status.
+  StatusOr<std::shared_ptr<const DbVersion>> ResolveDb(
+      const Request& request) const;
 
-  // Leader path under the cache: reserve quota, enqueue, wait, release.
-  CachedResult EnqueueAndRun(const Request& request);
+  // Token-bucket admission for `tenant`. OK admits (and charges one
+  // token); UNAVAILABLE carries the refill-based retry hint through
+  // *retry_hint_ms.
+  Status AdmitTenant(const std::string& tenant, uint64_t* retry_hint_ms);
+
+  // Admission: plan + cost ceiling against the pinned version. Returns
+  // the plan through *plan on success; a non-OK status is the typed
+  // rejection.
+  Status Admit(const Request& request, const DbVersion& db, EnginePlan* plan,
+               double* cost);
+
+  // Leader path under the cache: reserve quotas, enqueue (displacing a
+  // queue hog if fairness allows), wait, release.
+  CachedResult EnqueueAndRun(const Request& request,
+                             std::shared_ptr<const DbVersion> db,
+                             const std::string& tenant);
 
   void WorkerLoop();
-  CachedResult ExecuteQuery(const Request& request, uint64_t budget,
-                            bool pressured);
+  CachedResult ExecuteQuery(const Request& request, const DbVersion& db,
+                            uint64_t budget, bool pressured);
+
+  // Completes `job` with `result` and releases its server and tenant
+  // accounting. Caller holds mutex_; the job must still be queued (not
+  // yet claimed by a worker).
+  void FailQueuedJobLocked(const std::shared_ptr<Job>& job,
+                           CachedResult result);
 
   uint64_t RetryAfterHintMs() const;
-  uint64_t StoreKey(const Request& request) const;
+  uint64_t StoreKey(const Request& request, const DbVersion& db) const;
   uint64_t FlightKey(const Request& request, uint64_t store_key) const;
 
   // One live connection: its socket and the thread serving it. Entries
@@ -250,19 +353,29 @@ class QrelServer {
   // itself). Called by the accept loop each cycle and by Shutdown.
   void ReapConnectionThreads();
 
-  ReliabilityEngine engine_;
   ServerOptions options_;
-  uint64_t database_fingerprint_ = 0;
+  DbCatalog catalog_;
 
   std::unique_ptr<Stats> stats_;
   ResultCache cache_;
+  RetryAfterEstimator retry_estimator_;
+
+  // A worker registered while running a job: its cancellation handle and
+  // the fingerprint of the version it is pinned to, so DETACH can cancel
+  // only its own database's work.
+  struct ActiveRun {
+    RunContext* ctx = nullptr;
+    uint64_t db_fingerprint = 0;
+  };
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;   // workers wait for jobs
-  std::condition_variable idle_cv_;    // Drain waits for idleness
+  std::condition_variable idle_cv_;    // Drain/DETACH wait for completions
   std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<RunContext*> active_contexts_;
+  std::vector<ActiveRun> active_runs_;
+  std::map<uint64_t, size_t> inflight_by_db_;  // fingerprint -> running jobs
   uint64_t quota_outstanding_ = 0;
+  std::map<std::string, TenantState> tenants_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;        // workers exit when queue drains
   bool drain_cancel_ = false;    // fail queued jobs without running them

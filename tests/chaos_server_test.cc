@@ -12,9 +12,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -387,6 +393,324 @@ TEST_F(ChaosServerTest, ConcurrentFlightsWithSharedStoreKeyDoNotCollide) {
   // Both runs succeeded, so both snapshots are gone.
   EXPECT_TRUE(std::filesystem::is_empty(std::filesystem::path(dir)));
   std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------------------
+// Catalog chaos: the admin plane under injected faults and live traffic.
+
+// kUdbText with one error rate changed: the canary query's exact
+// reliability is 1 - 1/2*1/3 = 5/6 instead of 1 - 3/4*1/3 = 3/4.
+constexpr char kAltUdbText[] = R"(
+universe 3
+relation E 2
+relation S 1
+fact E 0 1 err=1/2
+fact E 1 2 err=1/8
+fact S 0
+absent S 1 err=1/3
+)";
+
+std::string WriteTempUdb(const std::string& name, const char* text) {
+  std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fputs(text, f);
+  std::fclose(f);
+  return path;
+}
+
+void WaitFor(const std::function<bool()>& predicate, int timeout_ms = 30000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!predicate()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "condition not reached in time";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// Every net.catalog.* fault site, one at a time, over TCP: the admin verb
+// fails typed, the already-serving version keeps answering bit-identically,
+// and a clean retry of the same admin verb succeeds.
+TEST_F(ChaosServerTest, EveryCatalogFaultSiteLeavesTheOldVersionServing) {
+  std::string path = WriteTempUdb("qrel_chaos_catalog.udb", kUdbText);
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  QrelClient client;
+  ASSERT_TRUE(client.Connect(server.port(), /*recv_timeout_ms=*/30000).ok());
+
+  // Clean attach → reload → detach → attach pass so every lazily
+  // registered catalog site exists, ending with "spare" attached.
+  StatusOr<Response> admin = client.Attach("spare", path);
+  ASSERT_TRUE(admin.ok() && admin->ok()) << admin.status().ToString();
+  admin = client.Reload("spare");
+  ASSERT_TRUE(admin.ok() && admin->ok()) << admin.status().ToString();
+  admin = client.Detach("spare");
+  ASSERT_TRUE(admin.ok() && admin->ok()) << admin.status().ToString();
+  admin = client.Attach("spare", path);
+  ASSERT_TRUE(admin.ok() && admin->ok()) << admin.status().ToString();
+
+  std::vector<std::string> catalog_sites;
+  for (const std::string& site : FaultInjector::Instance().SiteNames()) {
+    if (site.rfind("net.catalog.", 0) == 0) {
+      catalog_sites.push_back(site);
+    }
+  }
+  std::sort(catalog_sites.begin(), catalog_sites.end());
+  EXPECT_EQ(catalog_sites,
+            (std::vector<std::string>{
+                "net.catalog.attach", "net.catalog.detach",
+                "net.catalog.fingerprint", "net.catalog.load",
+                "net.catalog.swap", "net.catalog.verify"}));
+
+  RequestOptions on_spare;
+  on_spare.db = "spare";
+  for (const std::string& site : catalog_sites) {
+    SCOPED_TRACE(site);
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Arm(site, 1, StatusCode::kInternal);
+
+    StatusOr<Response> faulted = Status::Internal("unset");
+    if (site == "net.catalog.attach") {
+      faulted = client.Attach("spare2", path);
+    } else if (site == "net.catalog.detach") {
+      faulted = client.Detach("spare");
+    } else {
+      faulted = client.Reload("spare");
+    }
+    ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+    EXPECT_EQ(faulted->status.code(), StatusCode::kInternal)
+        << faulted->status.ToString();
+    EXPECT_EQ(FaultInjector::Instance().TriggeredCount(site), 1u);
+
+    // The fault disturbed nothing: the attached version still serves the
+    // bit-identical answer.
+    StatusOr<Response> canary = client.Query(kQuery, on_spare);
+    ASSERT_TRUE(canary.ok()) << canary.status().ToString();
+    ASSERT_TRUE(canary->ok()) << canary->status.ToString();
+    EXPECT_EQ(canary->Field("exact_value").value_or(""), "3/4");
+    EXPECT_EQ(canary->Field("db").value_or(""), "spare");
+
+    // One-shot faults disarm: a clean retry of the same verb succeeds.
+    StatusOr<Response> retry = Status::Internal("unset");
+    if (site == "net.catalog.attach") {
+      retry = client.Attach("spare2", path);
+      ASSERT_TRUE(retry.ok() && retry->ok()) << site;
+      ASSERT_TRUE(client.Detach("spare2")->ok());
+    } else if (site == "net.catalog.detach") {
+      retry = client.Detach("spare");
+      ASSERT_TRUE(retry.ok() && retry->ok()) << site;
+      ASSERT_TRUE(client.Attach("spare", path)->ok());
+    } else {
+      retry = client.Reload("spare");
+      ASSERT_TRUE(retry.ok() && retry->ok()) << site;
+    }
+  }
+  EXPECT_GE(server.stats_snapshot().reload_failures, 4u);
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+// Reload churn under live traffic: every OK answer must be bit-identical
+// to the *version it reports having run against* — a request admitted
+// before a swap answers from its pinned snapshot, never a half-reloaded
+// one. With two content-distinct versions alternating, that means every
+// response's db_fingerprint maps to exactly one exact_value, and only the
+// two legitimate values ever appear.
+TEST_F(ChaosServerTest, ConcurrentReloadPinsEveryAnswerToItsVersion) {
+  std::string path = WriteTempUdb("qrel_chaos_churn.udb", kUdbText);
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  {
+    QrelClient admin;
+    ASSERT_TRUE(admin.Connect(server.port()).ok());
+    ASSERT_TRUE(admin.Attach("churn", path)->ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_answers{0};
+  std::mutex seen_mutex;
+  std::map<std::string, std::string> value_by_fingerprint;
+
+  constexpr int kTrafficThreads = 3;
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < kTrafficThreads; ++t) {
+    traffic.emplace_back([&server, &stop, &bad_answers, &seen_mutex,
+                          &value_by_fingerprint] {
+      QrelClient client;
+      ASSERT_TRUE(client.Connect(server.port(), 30000).ok());
+      RequestOptions options;
+      options.db = "churn";
+      while (!stop.load(std::memory_order_acquire)) {
+        StatusOr<Response> response = client.Query(kQuery, options);
+        if (!response.ok()) {
+          ASSERT_TRUE(client.Connect(server.port(), 30000).ok());
+          continue;
+        }
+        if (!response->ok()) {
+          continue;  // transient shed is legal; a wrong answer is not
+        }
+        std::string fingerprint =
+            response->Field("db_fingerprint").value_or("");
+        std::string value = response->Field("exact_value").value_or("");
+        if (value != "3/4" && value != "5/6") {
+          bad_answers.fetch_add(1);
+        }
+        std::unique_lock<std::mutex> lock(seen_mutex);
+        auto [it, inserted] =
+            value_by_fingerprint.emplace(fingerprint, value);
+        if (!inserted && it->second != value) {
+          bad_answers.fetch_add(1);  // one version, two different answers
+        }
+      }
+    });
+  }
+
+  // The churn thread alternates the database between the two contents.
+  {
+    QrelClient admin;
+    ASSERT_TRUE(admin.Connect(server.port(), 30000).ok());
+    for (int round = 0; round < 10; ++round) {
+      WriteTempUdb("qrel_chaos_churn.udb",
+                   (round % 2 == 0) ? kAltUdbText : kUdbText);
+      StatusOr<Response> reloaded = admin.Reload("churn");
+      ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+      ASSERT_TRUE(reloaded->ok()) << reloaded->status.ToString();
+      EXPECT_EQ(reloaded->Field("changed").value_or(""), "1");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : traffic) {
+    t.join();
+  }
+
+  EXPECT_EQ(bad_answers.load(), 0);
+  // Both contents actually served during the churn.
+  std::set<std::string> values;
+  for (const auto& [fingerprint, value] : value_by_fingerprint) {
+    values.insert(value);
+  }
+  EXPECT_EQ(values, (std::set<std::string>{"3/4", "5/6"}));
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+// DETACH drains one database the way SIGTERM drains the whole server:
+// its in-flight work is cancelled typed after the grace period, other
+// databases never notice, and the name then fails typed NOT_FOUND.
+TEST_F(ChaosServerTest, DetachDrainsInFlightWorkLikeSigterm) {
+  ServerOptions options;
+  options.workers = 2;
+  options.default_max_work = uint64_t{1} << 27;
+  options.max_request_work = uint64_t{1} << 27;
+  options.work_quota = uint64_t{1} << 30;
+  options.drain_grace_ms = 20;
+  std::string path = WriteTempUdb("qrel_chaos_detach.udb", kUdbText);
+  QrelServer server(TestEngine(), options);
+  ASSERT_TRUE(server.ServeInBackground(0).ok());
+  QrelClient admin;
+  ASSERT_TRUE(admin.Connect(server.port(), 30000).ok());
+  ASSERT_TRUE(admin.Attach("victim", path)->ok());
+
+  // A slow in-flight run against the victim database.
+  Request slow;
+  slow.verb = RequestVerb::kQuery;
+  slow.query = kQuery;
+  slow.options.db = "victim";
+  slow.options.force_approximate = true;
+  slow.options.fixed_samples = 50000000;
+  Response cancelled;
+  std::thread inflight(
+      [&server, &slow, &cancelled] { cancelled = server.Handle(slow); });
+  WaitFor([&server] { return server.inflight() == 1; });
+
+  StatusOr<Response> detached = admin.Detach("victim");
+  ASSERT_TRUE(detached.ok()) << detached.status().ToString();
+  ASSERT_TRUE(detached->ok()) << detached->status.ToString();
+  inflight.join();
+  // The straggler outlived the grace period: typed CANCELLED, no hang.
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+
+  // The name is gone, typed; the default database never noticed.
+  StatusOr<Response> gone = admin.Query(kQuery, slow.options);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(gone->status.code(), StatusCode::kNotFound);
+  StatusOr<Response> unaffected = admin.Query(kQuery);
+  ASSERT_TRUE(unaffected.ok());
+  ASSERT_TRUE(unaffected->ok()) << unaffected->status.ToString();
+  EXPECT_EQ(unaffected->Field("exact_value").value_or(""), "3/4");
+  EXPECT_EQ(server.inflight(), 0u);
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+// The tenant-isolation chaos property: one tenant saturating the queue
+// cannot shed another tenant's traffic. The hog's surplus jobs are the
+// ones displaced; the quiet tenant admits, runs, and completes.
+TEST_F(ChaosServerTest, ASaturatingTenantCannotShedAnotherTenant) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 3;
+  options.default_max_work = uint64_t{1} << 27;
+  options.max_request_work = uint64_t{1} << 27;
+  options.work_quota = uint64_t{1} << 30;
+  QrelServer server(TestEngine(), options);
+
+  auto slow = [](uint64_t seed, const std::string& tenant) {
+    Request request;
+    request.verb = RequestVerb::kQuery;
+    request.query = kQuery;
+    request.options.force_approximate = true;
+    request.options.fixed_samples = 2000000;
+    request.options.seed = seed;
+    request.options.tenant = tenant;
+    return request;
+  };
+
+  // The hog: one running plus a full queue of its jobs.
+  std::vector<std::thread> hog_threads;
+  std::vector<Response> hog_responses(4);
+  for (int i = 0; i < 4; ++i) {
+    hog_threads.emplace_back([&server, &slow, &hog_responses, i] {
+      hog_responses[i] =
+          server.Handle(slow(static_cast<uint64_t>(i) + 1, "hog"));
+    });
+    if (i == 0) {
+      WaitFor([&server] { return server.inflight() == 1; });
+    } else {
+      size_t want = static_cast<size_t>(i);
+      WaitFor([&server, want] { return server.queue_depth() == want; });
+    }
+  }
+
+  // The quiet tenant arrives at a full queue — and must not be shed:
+  // the hog's most recent job is displaced to make room.
+  Response quiet = server.Handle(slow(100, "quiet"));
+  ASSERT_TRUE(quiet.ok()) << quiet.status.ToString();
+
+  for (std::thread& t : hog_threads) {
+    t.join();
+  }
+  int hog_displaced = 0;
+  for (const Response& response : hog_responses) {
+    if (!response.ok()) {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+      ++hog_displaced;
+    }
+  }
+  EXPECT_EQ(hog_displaced, 1);
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.shed_displaced, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+  std::vector<TenantStatsSnapshot> tenants = server.tenant_stats();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].name, "hog");
+  EXPECT_EQ(tenants[0].displaced, 1u);
+  EXPECT_EQ(tenants[1].name, "quiet");
+  EXPECT_EQ(tenants[1].displaced, 0u);
+  EXPECT_EQ(tenants[1].completed, 1u);
 }
 
 }  // namespace

@@ -123,13 +123,85 @@ TEST(RequestTest, QueryRoundTripWithOptions) {
 
 TEST(RequestTest, BodylessVerbsRoundTrip) {
   for (RequestVerb verb : {RequestVerb::kHealth, RequestVerb::kStats,
-                           RequestVerb::kDrain}) {
+                           RequestVerb::kDrain, RequestVerb::kDblist}) {
     Request request;
     request.verb = verb;
     StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     EXPECT_EQ(parsed->verb, verb);
   }
+}
+
+TEST(RequestTest, DbAndTenantOptionsRoundTrip) {
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = "S(x)";
+  request.options.db = "orders";
+  request.options.tenant = "acme";
+  StatusOr<Request> parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->options.db, "orders");
+  EXPECT_EQ(parsed->options.tenant, "acme");
+  // Omitted on the wire when empty.
+  Request plain;
+  plain.verb = RequestVerb::kQuery;
+  plain.query = "S(x)";
+  EXPECT_EQ(SerializeRequest(plain).find("db="), std::string::npos);
+  EXPECT_EQ(SerializeRequest(plain).find("tenant="), std::string::npos);
+}
+
+TEST(RequestTest, AdminVerbsRoundTrip) {
+  Request attach;
+  attach.verb = RequestVerb::kAttach;
+  attach.target = "orders";
+  attach.path = "/data/orders.udb";
+  StatusOr<Request> parsed = ParseRequest(SerializeRequest(attach));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, RequestVerb::kAttach);
+  EXPECT_EQ(parsed->target, "orders");
+  EXPECT_EQ(parsed->path, "/data/orders.udb");
+
+  Request detach;
+  detach.verb = RequestVerb::kDetach;
+  detach.target = "orders";
+  parsed = ParseRequest(SerializeRequest(detach));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, RequestVerb::kDetach);
+  EXPECT_EQ(parsed->target, "orders");
+  EXPECT_TRUE(parsed->path.empty());
+
+  // RELOAD with and without the optional replacement path.
+  Request reload;
+  reload.verb = RequestVerb::kReload;
+  reload.target = "orders";
+  parsed = ParseRequest(SerializeRequest(reload));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, RequestVerb::kReload);
+  EXPECT_TRUE(parsed->path.empty());
+  reload.path = "/data/orders_v2.udb";
+  parsed = ParseRequest(SerializeRequest(reload));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->path, "/data/orders_v2.udb");
+}
+
+TEST(RequestTest, RejectsMalformedAdminRequests) {
+  // Missing name.
+  EXPECT_EQ(ParseRequest("ATTACH\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("DETACH\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("RELOAD\n").status().code(),
+            StatusCode::kInvalidArgument);
+  // ATTACH without a path.
+  EXPECT_EQ(ParseRequest("ATTACH\norders\n").status().code(),
+            StatusCode::kInvalidArgument);
+  // Trailing junk beyond the verb's line budget.
+  EXPECT_EQ(
+      ParseRequest("DETACH\norders\nextra\n").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseRequest("RELOAD\norders\n/p.udb\nextra\n").status().code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(RequestTest, RejectsUnknownVerbAndMalformedOptions) {

@@ -29,11 +29,11 @@ TEST(ResultCacheTest, StoresAndReplaysStorableResults) {
     ++computes;
     return OkResult("a");
   };
-  CachedResult first = cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  CachedResult first = cache.GetOrCompute(1, 10, 0, compute, &from_cache, &shared);
   EXPECT_FALSE(from_cache);
   EXPECT_EQ(first.fields[0].second, "a");
   CachedResult second =
-      cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+      cache.GetOrCompute(1, 10, 0, compute, &from_cache, &shared);
   EXPECT_TRUE(from_cache);
   EXPECT_EQ(second.fields[0].second, "a");
   EXPECT_EQ(computes, 1);
@@ -50,8 +50,8 @@ TEST(ResultCacheTest, NonStorableResultsAreNeverReplayed) {
     ++computes;
     return OkResult("degraded", /*storable=*/false);
   };
-  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
-  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, compute, &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, compute, &from_cache, &shared);
   EXPECT_FALSE(from_cache);
   EXPECT_EQ(computes, 2);
   EXPECT_EQ(cache.stats().entries, 0u);
@@ -67,7 +67,7 @@ TEST(ResultCacheTest, ErrorsAreNeverStored) {
     result.storable = true;  // even if mislabeled, errors must not persist
     return result;
   };
-  cache.GetOrCompute(1, 10, compute, &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, compute, &from_cache, &shared);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
@@ -78,16 +78,16 @@ TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   auto make = [](const std::string& v) {
     return [v] { return OkResult(v); };
   };
-  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
-  cache.GetOrCompute(2, 20, make("two"), &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, make("one"), &from_cache, &shared);
+  cache.GetOrCompute(2, 20, 0, make("two"), &from_cache, &shared);
   // Touch key 1 so key 2 is the LRU victim.
-  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, make("one"), &from_cache, &shared);
   EXPECT_TRUE(from_cache);
-  cache.GetOrCompute(3, 30, make("three"), &from_cache, &shared);
+  cache.GetOrCompute(3, 30, 0, make("three"), &from_cache, &shared);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  cache.GetOrCompute(1, 10, make("one"), &from_cache, &shared);
+  cache.GetOrCompute(1, 10, 0, make("one"), &from_cache, &shared);
   EXPECT_TRUE(from_cache);  // key 1 survived
-  cache.GetOrCompute(2, 20, make("two"), &from_cache, &shared);
+  cache.GetOrCompute(2, 20, 0, make("two"), &from_cache, &shared);
   EXPECT_FALSE(from_cache);  // key 2 was evicted
 }
 
@@ -95,9 +95,9 @@ TEST(ResultCacheTest, ZeroCapacityDisablesStoringOnly) {
   ResultCache cache(0);
   bool from_cache = false;
   bool shared = false;
-  cache.GetOrCompute(1, 10, [] { return OkResult("x"); }, &from_cache,
+  cache.GetOrCompute(1, 10, 0, [] { return OkResult("x"); }, &from_cache,
                      &shared);
-  cache.GetOrCompute(1, 10, [] { return OkResult("x"); }, &from_cache,
+  cache.GetOrCompute(1, 10, 0, [] { return OkResult("x"); }, &from_cache,
                      &shared);
   EXPECT_FALSE(from_cache);
   EXPECT_EQ(cache.stats().entries, 0u);
@@ -117,7 +117,7 @@ TEST(ResultCacheTest, SingleFlightDeduplicatesConcurrentLeaders) {
       bool from_cache = false;
       bool shared = false;
       CachedResult result = cache.GetOrCompute(
-          7, 70,
+          7, 70, 0,
           [&] {
             computes.fetch_add(1);
             // Hold the flight open long enough for followers to pile up.
@@ -155,7 +155,7 @@ TEST(ResultCacheTest, SingleFlightSharesTypedErrors) {
       bool from_cache = false;
       bool shared = false;
       CachedResult result = cache.GetOrCompute(
-          9, 90,
+          9, 90, 0,
           [&] {
             computes.fetch_add(1);
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -188,7 +188,7 @@ TEST(ResultCacheTest, DifferentEnvelopesDoNotShareAFlight) {
     bool from_cache = false;
     bool shared = false;
     cache.GetOrCompute(
-        1, flight_key,
+        1, flight_key, 0,
         [&] {
           computes.fetch_add(1);
           std::this_thread::sleep_for(std::chrono::milliseconds(30));
@@ -201,6 +201,82 @@ TEST(ResultCacheTest, DifferentEnvelopesDoNotShareAFlight) {
   a.join();
   b.join();
   EXPECT_EQ(computes.load(), 2);
+}
+
+// RetireTag evicts exactly the entries published under the tag and
+// leaves the rest of the store untouched.
+TEST(ResultCacheTest, RetireTagEvictsOnlyThatTag) {
+  ResultCache cache(8);
+  bool from_cache = false;
+  bool shared = false;
+  auto make = [](const std::string& v) {
+    return [v] { return OkResult(v); };
+  };
+  cache.GetOrCompute(1, 10, /*tag=*/111, make("a"), &from_cache, &shared);
+  cache.GetOrCompute(2, 20, /*tag=*/111, make("b"), &from_cache, &shared);
+  cache.GetOrCompute(3, 30, /*tag=*/222, make("c"), &from_cache, &shared);
+  EXPECT_EQ(cache.RetireTag(111), 2u);
+  EXPECT_EQ(cache.stats().retired, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.GetOrCompute(3, 30, /*tag=*/222, make("c"), &from_cache, &shared);
+  EXPECT_TRUE(from_cache);  // the other tag survived
+  cache.GetOrCompute(1, 10, /*tag=*/111, make("a"), &from_cache, &shared);
+  EXPECT_FALSE(from_cache);  // the retired entry is gone
+}
+
+// A leader that was computing against a version when its tag was retired
+// (a DETACH or a content-changing RELOAD landed mid-flight) still hands
+// its callers the result, but must not re-publish it to the store.
+TEST(ResultCacheTest, StragglerCannotRepublishUnderRetiredTag) {
+  ResultCache cache(8);
+  bool from_cache = false;
+  bool shared = false;
+  CachedResult result = cache.GetOrCompute(
+      5, 50, /*tag=*/333,
+      [&] {
+        // The retire lands while this flight is in progress.
+        cache.RetireTag(333);
+        return OkResult("stale");
+      },
+      &from_cache, &shared);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.fields[0].second, "stale");  // the caller still answers
+  EXPECT_EQ(cache.stats().entries, 0u);         // but nothing was published
+  cache.GetOrCompute(5, 50, /*tag=*/333, [] { return OkResult("again"); },
+                     &from_cache, &shared);
+  EXPECT_FALSE(from_cache);
+}
+
+// Tag 0 means "untagged": RetireTag(0) is a no-op and untagged entries
+// are never swept.
+TEST(ResultCacheTest, TagZeroIsNeverRetired) {
+  ResultCache cache(8);
+  bool from_cache = false;
+  bool shared = false;
+  cache.GetOrCompute(1, 10, /*tag=*/0, [] { return OkResult("x"); },
+                     &from_cache, &shared);
+  EXPECT_EQ(cache.RetireTag(0), 0u);
+  cache.GetOrCompute(1, 10, /*tag=*/0, [] { return OkResult("x"); },
+                     &from_cache, &shared);
+  EXPECT_TRUE(from_cache);
+}
+
+// The retired-ring memory is bounded: after kRetiredRingSize further
+// retirements, the oldest tag ages out and a (very late) straggler can
+// publish again — by then the entry is unreachable via any live version
+// and plain LRU pressure owns it.
+TEST(ResultCacheTest, RetiredRingIsBounded) {
+  ResultCache cache(256);
+  bool from_cache = false;
+  bool shared = false;
+  cache.RetireTag(777);
+  // Push 64 more tags through the ring so 777 ages out.
+  for (uint64_t tag = 1000; tag < 1064; ++tag) {
+    cache.RetireTag(tag);
+  }
+  cache.GetOrCompute(9, 90, /*tag=*/777, [] { return OkResult("late"); },
+                     &from_cache, &shared);
+  EXPECT_EQ(cache.stats().entries, 1u);  // aged-out tag publishes again
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// Retry machinery unit tests, both sides of the wire: the server's
+// Retry-After estimator (EWMA over observed service times) and the
+// client's CallWithRetry loop, driven by a fake clock and scripted
+// attempt outcomes so every wait is asserted deterministically.
+
+#include "qrel/net/retry.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qrel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RetryAfterEstimator.
+
+TEST(RetryAfterEstimatorTest, ColdEstimatorUsesDepthScaledFallback) {
+  RetryAfterEstimator est(/*fallback_base_ms=*/100, /*min_ms=*/25,
+                          /*max_ms=*/5000);
+  EXPECT_EQ(est.sample_count(), 0u);
+  // base * (1 + depth / workers): 100 * (1 + 4/2) = 300.
+  EXPECT_EQ(est.HintMs(/*queue_depth=*/4, /*workers=*/2), 300u);
+  EXPECT_EQ(est.HintMs(0, 2), 100u);
+  // Zero workers is treated as one lane, not a division by zero.
+  EXPECT_EQ(est.HintMs(1, 0), 200u);
+}
+
+TEST(RetryAfterEstimatorTest, WarmEstimatorPredictsFromDrainRate) {
+  RetryAfterEstimator est(100, 25, 5000, /*alpha=*/0.5);
+  est.RecordServiceTimeMs(200.0);
+  EXPECT_EQ(est.sample_count(), 1u);
+  // First sample seeds the EWMA exactly: 200 * (0+1) / 2 = 100.
+  EXPECT_EQ(est.HintMs(0, 2), 100u);
+  // hint = ewma * (depth+1) / workers: 200 * 4 / 2 = 400.
+  EXPECT_EQ(est.HintMs(3, 2), 400u);
+  // EWMA moves toward new observations: 0.5*400 + 0.5*200 = 300.
+  est.RecordServiceTimeMs(400.0);
+  EXPECT_EQ(est.HintMs(0, 1), 300u);
+}
+
+TEST(RetryAfterEstimatorTest, HintsAreClampedBothWays) {
+  RetryAfterEstimator est(100, 25, 500);
+  est.RecordServiceTimeMs(1.0);
+  EXPECT_EQ(est.HintMs(0, 8), 25u);  // 1 * 1/8 clamps up to min
+  est.RecordServiceTimeMs(1e9);
+  EXPECT_EQ(est.HintMs(100, 1), 500u);  // clamps down to max
+}
+
+TEST(RetryAfterEstimatorTest, SwappedBoundsAreNormalized) {
+  // min > max is a config slip, not UB: the pair is reordered.
+  RetryAfterEstimator est(100, /*min_ms=*/5000, /*max_ms=*/25);
+  est.RecordServiceTimeMs(100.0);
+  uint64_t hint = est.HintMs(0, 1);
+  EXPECT_GE(hint, 25u);
+  EXPECT_LE(hint, 5000u);
+}
+
+TEST(RetryAfterEstimatorTest, RejectsPoisonSamples) {
+  RetryAfterEstimator est(100, 25, 5000);
+  est.RecordServiceTimeMs(-5.0);
+  est.RecordServiceTimeMs(std::numeric_limits<double>::quiet_NaN());
+  est.RecordServiceTimeMs(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(est.sample_count(), 0u);  // still cold: fallback formula
+  EXPECT_EQ(est.HintMs(0, 1), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// CallWithRetry, on a fake clock.
+
+struct FakeTime {
+  uint64_t now = 0;
+  std::vector<uint64_t> sleeps;
+
+  void Install(RetryPolicy* policy, uint64_t jitter_value = 0) {
+    policy->now_ms = [this] { return now; };
+    policy->sleep_ms = [this](uint64_t ms) {
+      sleeps.push_back(ms);
+      now += ms;
+    };
+    policy->jitter = [jitter_value](uint64_t) { return jitter_value; };
+  }
+};
+
+Response OkResponse(const std::string& value) {
+  Response response;
+  response.fields.emplace_back("value", value);
+  return response;
+}
+
+Response ShedResponse(uint64_t retry_after_ms = 0) {
+  Response response = ErrorResponse(Status::Unavailable("shed"));
+  if (retry_after_ms > 0) {
+    response.retry_after_ms = retry_after_ms;
+  }
+  return response;
+}
+
+// Builds an attempt function that replays `script` in order, counting
+// calls. The script must not be exhausted by the loop under test.
+struct ScriptedAttempts {
+  std::vector<StatusOr<Response>> script;
+  size_t calls = 0;
+
+  std::function<StatusOr<Response>()> fn() {
+    return [this]() -> StatusOr<Response> {
+      EXPECT_LT(calls, script.size()) << "retry loop over-called attempt()";
+      if (calls >= script.size()) {
+        return Status::Internal("script exhausted");
+      }
+      return script[calls++];
+    };
+  }
+};
+
+TEST(CallWithRetryTest, FirstSuccessReturnsImmediately) {
+  RetryPolicy policy;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{{OkResponse("a")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().fields[0].second, "a");
+  EXPECT_EQ(attempts.calls, 1u);
+  EXPECT_TRUE(time.sleeps.empty());
+}
+
+TEST(CallWithRetryTest, RetriesShedsWithExponentialBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50;
+  policy.backoff_multiplier = 2.0;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{
+      {ShedResponse(), ShedResponse(), OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(attempts.calls, 3u);
+  EXPECT_EQ(time.sleeps, (std::vector<uint64_t>{50, 100}));
+}
+
+TEST(CallWithRetryTest, TransportErrorsRetryLikeResponseErrors) {
+  RetryPolicy policy;
+  FakeTime time;
+  time.Install(&policy);
+  // A refused connection during a restart surfaces as a transport-level
+  // kUnavailable; the loop must treat it exactly like a shed response.
+  ScriptedAttempts attempts{
+      {Status::Unavailable("connection refused"), OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(attempts.calls, 2u);
+}
+
+TEST(CallWithRetryTest, NonRetryableCodesReturnOnFirstAttempt) {
+  for (StatusCode code :
+       {StatusCode::kNotFound, StatusCode::kInvalidArgument,
+        StatusCode::kInternal, StatusCode::kFailedPrecondition}) {
+    RetryPolicy policy;
+    FakeTime time;
+    time.Install(&policy);
+    ScriptedAttempts attempts{{ErrorResponse(Status(code, "no"))}};
+    StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().status.code(), code);
+    EXPECT_EQ(attempts.calls, 1u) << StatusCodeName(code);
+    EXPECT_TRUE(time.sleeps.empty());
+  }
+}
+
+TEST(CallWithRetryTest, RetryAfterHintOverridesSmallerBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50;
+  FakeTime time;
+  time.Install(&policy);
+  // Hint 400 > backoff 50: the server's estimate wins. Second wait uses
+  // backoff 100 because the second shed carries no hint.
+  ScriptedAttempts attempts{
+      {ShedResponse(/*retry_after_ms=*/400), ShedResponse(),
+       OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(time.sleeps, (std::vector<uint64_t>{400, 100}));
+}
+
+TEST(CallWithRetryTest, BackoffIsCappedAndJitterIsAdditive) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1000;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_ms = 1500;
+  policy.total_deadline_ms = 60000;
+  FakeTime time;
+  time.Install(&policy, /*jitter_value=*/7);
+  ScriptedAttempts attempts{
+      {ShedResponse(), ShedResponse(), OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  // 1000 + 7, then min(10000, 1500) + 7.
+  EXPECT_EQ(time.sleeps, (std::vector<uint64_t>{1007, 1507}));
+}
+
+TEST(CallWithRetryTest, AttemptBudgetIsExhaustible) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{
+      {ShedResponse(), ShedResponse(), ShedResponse()}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  // The last error comes back as the (parseable) shed response.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts.calls, 3u);
+  EXPECT_EQ(time.sleeps.size(), 2u);
+}
+
+TEST(CallWithRetryTest, DeadlineStopsBeforeAWaitThatWouldCrossIt) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 300;
+  policy.total_deadline_ms = 250;
+  policy.max_attempts = 10;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{{ShedResponse()}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), StatusCode::kUnavailable);
+  // One attempt, zero sleeps: the 300ms wait would outlive the deadline.
+  EXPECT_EQ(attempts.calls, 1u);
+  EXPECT_TRUE(time.sleeps.empty());
+}
+
+TEST(CallWithRetryTest, DeadlineAccountsForTimeSpentInAttempts) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.total_deadline_ms = 1000;
+  policy.max_attempts = 10;
+  FakeTime time;
+  time.Install(&policy);
+  // Each attempt itself burns 450ms of fake clock.
+  size_t calls = 0;
+  auto attempt = [&]() -> StatusOr<Response> {
+    ++calls;
+    time.now += 450;
+    return ShedResponse();
+  };
+  StatusOr<Response> result = CallWithRetry(attempt, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), StatusCode::kUnavailable);
+  // 450 + sleep 100 + 450 = 1000: the next wait would cross the wall.
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(time.sleeps.size(), 1u);
+}
+
+TEST(CallWithRetryTest, ZeroDeadlineMeansNoWall) {
+  RetryPolicy policy;
+  policy.total_deadline_ms = 0;
+  policy.initial_backoff_ms = 1 << 20;  // enormous waits, still taken
+  policy.max_attempts = 3;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{
+      {ShedResponse(), ShedResponse(), OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(time.sleeps.size(), 2u);
+}
+
+TEST(CallWithRetryTest, MaxAttemptsBelowOneStillRunsOnce) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  FakeTime time;
+  time.Install(&policy);
+  ScriptedAttempts attempts{{OkResponse("ok")}};
+  StatusOr<Response> result = CallWithRetry(attempts.fn(), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(attempts.calls, 1u);
+}
+
+}  // namespace
+}  // namespace qrel

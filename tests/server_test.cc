@@ -532,5 +532,276 @@ TEST(ServerTest, ConcurrentClientsGetBitIdenticalAnswers) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Multi-database catalog and per-tenant isolation (PR 7).
+
+// Same shape as kUdbText with one error rate changed, so the exact
+// reliability of the canary query differs: (1 - 1/2*1/3)*(1 - 1/5) = 2/3
+// instead of 3/5.
+constexpr char kAltUdbText[] = R"(
+universe 3
+relation E 2
+relation S 1
+fact E 0 1 err=1/2
+fact E 1 2 err=1/8
+fact S 0
+absent S 1 err=1/3
+absent E 2 0 err=1/5
+)";
+
+UnreliableDatabase AltDatabase() {
+  StatusOr<UnreliableDatabase> database = ParseUdb(kAltUdbText);
+  EXPECT_TRUE(database.ok()) << database.status().ToString();
+  return std::move(database).value();
+}
+
+std::string WriteTempUdb(const std::string& name, const char* text) {
+  std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fputs(text, f);
+  std::fclose(f);
+  return path;
+}
+
+Request AdminRequest(RequestVerb verb, const std::string& target,
+                     const std::string& path = "") {
+  Request request;
+  request.verb = verb;
+  request.target = target;
+  request.path = path;
+  return request;
+}
+
+TEST(ServerCatalogTest, RoutesQueriesByDbAndPinsVersionFields) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.catalog().AttachDatabase("alt", AltDatabase()).ok());
+
+  Request request = QueryRequest("exists x y . E(x,y) & S(y)");
+  Response on_default = server.Handle(request);
+  ASSERT_TRUE(on_default.ok()) << on_default.status.ToString();
+  EXPECT_EQ(on_default.Field("exact_value").value_or(""), "3/5");
+  EXPECT_EQ(on_default.Field("db").value_or(""), "default");
+  EXPECT_EQ(on_default.Field("db_version").value_or(""), "1");
+  EXPECT_FALSE(on_default.Field("db_fingerprint").value_or("").empty());
+
+  request.options.db = "alt";
+  Response on_alt = server.Handle(request);
+  ASSERT_TRUE(on_alt.ok()) << on_alt.status.ToString();
+  EXPECT_EQ(on_alt.Field("exact_value").value_or(""), "2/3");
+  EXPECT_EQ(on_alt.Field("db").value_or(""), "alt");
+  EXPECT_NE(on_alt.Field("db_fingerprint"), on_default.Field("db_fingerprint"));
+
+  // The cache keys on the database fingerprint: the same query against
+  // the other database was a miss, not a cross-db replay.
+  EXPECT_EQ(on_alt.Field("cache").value_or(""), "miss");
+
+  request.options.db = "nonexistent";
+  Response missing = server.Handle(request);
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+
+  request.options.db = "bad name!";
+  Response invalid = server.Handle(request);
+  EXPECT_EQ(invalid.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCatalogTest, HealthReportsPerDatabaseReadiness) {
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(server.catalog().AttachDatabase("alt", AltDatabase()).ok());
+
+  Request health;
+  health.verb = RequestVerb::kHealth;
+  Response response = server.Handle(health);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.Field("ready").value_or(""), "1");
+  EXPECT_EQ(response.Field("databases").value_or(""), "2");
+  EXPECT_EQ(response.Field("db.default.state").value_or(""), "serving");
+  EXPECT_EQ(response.Field("db.alt.state").value_or(""), "serving");
+  EXPECT_FALSE(response.Field("db.alt.version").value_or("").empty());
+
+  server.BeginDrain();
+  response = server.Handle(health);
+  EXPECT_EQ(response.Field("ready").value_or(""), "0");
+  EXPECT_EQ(response.Field("state").value_or(""), "draining");
+}
+
+TEST(ServerCatalogTest, EmptyCatalogIsNotReady) {
+  QrelServer server{ServerOptions{}};
+  Request health;
+  health.verb = RequestVerb::kHealth;
+  Response response = server.Handle(health);
+  EXPECT_EQ(response.Field("ready").value_or(""), "0");
+  EXPECT_EQ(response.Field("databases").value_or(""), "0");
+  // And a query routed at the (empty) default database fails typed.
+  Response query = server.Handle(QueryRequest("S(x)"));
+  EXPECT_EQ(query.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServerCatalogTest, AdminVerbsDriveTheFullLifecycle) {
+  std::string path = WriteTempUdb("qrel_admin_lifecycle.udb", kUdbText);
+  QrelServer server(TestEngine(), ServerOptions{});
+
+  // ATTACH a second database from disk.
+  Response attached =
+      server.Handle(AdminRequest(RequestVerb::kAttach, "spare", path));
+  ASSERT_TRUE(attached.ok()) << attached.status.ToString();
+  EXPECT_EQ(attached.Field("db").value_or(""), "spare");
+  EXPECT_EQ(attached.Field("db_version").value_or(""), "1");
+  EXPECT_EQ(attached.Field("universe_size").value_or(""), "3");
+
+  // DBLIST sees both databases.
+  Request dblist;
+  dblist.verb = RequestVerb::kDblist;
+  Response listed = server.Handle(dblist);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.Field("databases").value_or(""), "2");
+  EXPECT_EQ(listed.Field("db.spare.state").value_or(""), "serving");
+  EXPECT_EQ(listed.Field("db.spare.path").value_or(""), path);
+
+  // Query it, then RELOAD with changed content: version bumps, the
+  // fingerprint changes, and the answer follows the new content.
+  Request request = QueryRequest("exists x y . E(x,y) & S(y)");
+  request.options.db = "spare";
+  Response before = server.Handle(request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.Field("exact_value").value_or(""), "3/5");
+
+  WriteTempUdb("qrel_admin_lifecycle.udb", kAltUdbText);
+  Response reloaded =
+      server.Handle(AdminRequest(RequestVerb::kReload, "spare"));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status.ToString();
+  EXPECT_EQ(reloaded.Field("changed").value_or(""), "1");
+  EXPECT_EQ(reloaded.Field("old_version").value_or(""), "1");
+  EXPECT_EQ(reloaded.Field("new_version").value_or(""), "2");
+  EXPECT_NE(reloaded.Field("old_fingerprint"),
+            reloaded.Field("new_fingerprint"));
+
+  Response after = server.Handle(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.Field("exact_value").value_or(""), "2/3");
+  EXPECT_EQ(after.Field("db_version").value_or(""), "2");
+  EXPECT_EQ(after.Field("cache").value_or(""), "miss");
+
+  // Reloading unchanged content is acknowledged but swaps nothing the
+  // cache needs to forget.
+  Response idempotent =
+      server.Handle(AdminRequest(RequestVerb::kReload, "spare"));
+  ASSERT_TRUE(idempotent.ok());
+  EXPECT_EQ(idempotent.Field("changed").value_or(""), "0");
+
+  // DETACH drains and removes it; further queries fail typed.
+  Response detached =
+      server.Handle(AdminRequest(RequestVerb::kDetach, "spare"));
+  ASSERT_TRUE(detached.ok()) << detached.status.ToString();
+  Response gone = server.Handle(request);
+  EXPECT_EQ(gone.status.code(), StatusCode::kNotFound);
+  listed = server.Handle(dblist);
+  EXPECT_EQ(listed.Field("databases").value_or(""), "1");
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.attaches, 1u);
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_EQ(stats.detaches, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServerCatalogTest, FailedReloadLeavesTheOldVersionServing) {
+  std::string path = WriteTempUdb("qrel_failed_reload.udb", kUdbText);
+  QrelServer server(TestEngine(), ServerOptions{});
+  ASSERT_TRUE(
+      server.Handle(AdminRequest(RequestVerb::kAttach, "spare", path)).ok());
+
+  Request request = QueryRequest("exists x y . E(x,y) & S(y)");
+  request.options.db = "spare";
+  ASSERT_EQ(server.Handle(request).Field("exact_value").value_or(""), "3/5");
+
+  // Poison the file, then reload: the reload fails typed and the old
+  // version keeps serving, version and answer unchanged.
+  WriteTempUdb("qrel_failed_reload.udb", "universe banana\n");
+  Response failed = server.Handle(AdminRequest(RequestVerb::kReload, "spare"));
+  EXPECT_FALSE(failed.ok());
+
+  Response still = server.Handle(request);
+  ASSERT_TRUE(still.ok()) << still.status.ToString();
+  EXPECT_EQ(still.Field("exact_value").value_or(""), "3/5");
+  EXPECT_EQ(still.Field("db_version").value_or(""), "1");
+  EXPECT_EQ(server.stats_snapshot().reload_failures, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServerTenantTest, TokenBucketShedsWithRefillHintPerTenant) {
+  ServerOptions options;
+  options.tenant_rate_per_sec = 1;  // refills far slower than the test runs
+  options.tenant_burst = 2;
+  QrelServer server(TestEngine(), options);
+
+  Request request = QueryRequest("S(x) & !S(x)");  // statically false, cheap
+  request.options.tenant = "acme";
+  ASSERT_TRUE(server.Handle(request).ok());
+  ASSERT_TRUE(server.Handle(request).ok());
+  Response shed = server.Handle(request);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(shed.retry_after_ms.has_value());
+  EXPECT_GT(*shed.retry_after_ms, 0u);
+
+  // A different tenant has its own bucket and is untouched.
+  request.options.tenant = "zen";
+  EXPECT_TRUE(server.Handle(request).ok());
+
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.shed_tenant_rate, 1u);
+
+  // Per-tenant counters, both via the typed snapshot and on the wire.
+  std::vector<TenantStatsSnapshot> tenants = server.tenant_stats();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].name, "acme");
+  EXPECT_EQ(tenants[0].admitted, 2u);
+  EXPECT_EQ(tenants[0].shed_rate, 1u);
+  EXPECT_EQ(tenants[1].name, "zen");
+  EXPECT_EQ(tenants[1].admitted, 1u);
+
+  Request stats_request;
+  stats_request.verb = RequestVerb::kStats;
+  Response wire = server.Handle(stats_request);
+  EXPECT_EQ(wire.Field("tenant.acme.admitted").value_or(""), "2");
+  EXPECT_EQ(wire.Field("tenant.acme.shed_rate").value_or(""), "1");
+  EXPECT_EQ(wire.Field("tenant.zen.admitted").value_or(""), "1");
+}
+
+TEST(ServerTenantTest, WorkQuotaCapsOneTenantWithoutTouchingOthers) {
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.default_max_work = uint64_t{1} << 22;
+  options.max_request_work = uint64_t{1} << 22;
+  options.work_quota = uint64_t{1} << 30;
+  // Room for exactly one default-budget request per tenant.
+  options.tenant_work_quota = uint64_t{1} << 22;
+  QrelServer server(TestEngine(), options);
+
+  Request slow = SlowRequest("exists x y . E(x,y) & S(y)", 3000000);
+  slow.options.tenant = "acme";
+  std::thread hog([&server, &slow] { (void)server.Handle(slow); });
+  WaitFor([&server] { return server.inflight() == 1; });
+
+  Request second = slow;
+  second.options.seed = 2;
+  Response shed = server.Handle(second);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("acme"), std::string::npos);
+
+  // The other tenant's identical request admits fine.
+  Request other = slow;
+  other.options.seed = 3;
+  other.options.tenant = "zen";
+  Response fine = server.Handle(other);
+  EXPECT_TRUE(fine.ok()) << fine.status.ToString();
+
+  hog.join();
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.shed_tenant_quota, 1u);
+  EXPECT_EQ(stats.shed_quota, 0u);
+}
+
 }  // namespace
 }  // namespace qrel
