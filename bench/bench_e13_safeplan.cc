@@ -1,0 +1,388 @@
+// E13 — the safe-plan dichotomy in practice: exact reliability at scales
+// where world enumeration is impossible.
+//
+// The paper's Theorem 4.2 pays 2^u for exactness and Proposition 3.2 says
+// that in general nothing better exists; the safe-plan rung (DESIGN.md
+// "Safe-plan analysis and lifted inference") answers the safe self-join-
+// free conjunctive subclass exactly in polynomial time. This harness
+// drives both sides of that dichotomy through the engine:
+//
+//   safe_sweep      — one safe query over graph databases with u up to
+//                     hundreds of uncertain atoms (2^u worlds ≫ anything
+//                     enumerable): every answer must come from the
+//                     extensional rung, exact, with zero samples, and the
+//                     per-point latency/plan-op counts trace the
+//                     polynomial cost curve.
+//   crosscheck      — small instances where 2^u enumeration IS feasible:
+//                     the extensional rational must equal the Thm 4.2
+//                     rational bit for bit.
+//   unsafe_control  — the same-shape query with a self-join at the same
+//                     large u: force_exact must refuse (enumeration
+//                     infeasible) and automatic mode must fall back to
+//                     sampling — demonstrating that the exactness really
+//                     comes from safety, not from instance luck.
+//
+// Scenario harness in the E12 style, not a google-benchmark binary:
+// invariant violations exit nonzero, --smoke shrinks the sweep for CI,
+// --json[=PATH] writes BENCH_e13_safeplan.json, and --baseline=PATH gates
+// on invariants (scenarios present, sweep not shrunk, zero samples on the
+// safe side, zero cross-check mismatches) — never on latency.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "qrel/core/reliability.h"
+#include "qrel/engine/engine.h"
+#include "qrel/logic/parser.h"
+#include "qrel/prob/text_format.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int g_failures = 0;
+
+void Check(bool condition, const std::string& message) {
+  if (!condition) {
+    ++g_failures;
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", message.c_str());
+  }
+}
+
+// A ring on n elements where every edge and every S row is uncertain
+// (the e12 recipe): no query over E or S has a certain witness, so
+// nothing short-circuits — the safe rung really multiplies marginals and
+// the sampling rungs really sample. u = 2n uncertain atoms.
+qrel::ReliabilityEngine RingEngine(int n) {
+  std::string udb = "universe " + std::to_string(n) +
+                    "\nrelation E 2\nrelation S 1\n";
+  for (int i = 0; i < n; ++i) {
+    udb += "fact E " + std::to_string(i) + " " +
+           std::to_string((i + 1) % n) + " err=1/4\n";
+    if (i % 3 == 0) {
+      udb += "fact S " + std::to_string(i) + " err=1/5\n";
+    } else {
+      udb += "absent S " + std::to_string(i) + " err=1/7\n";
+    }
+  }
+  qrel::StatusOr<qrel::UnreliableDatabase> database = qrel::ParseUdb(udb);
+  if (!database.ok()) {
+    std::fprintf(stderr, "bench database: %s\n",
+                 database.status().ToString().c_str());
+    std::exit(2);
+  }
+  return qrel::ReliabilityEngine(std::move(database).value());
+}
+
+// Safe: x is in both atoms, so the plan is
+// proj x . (S(x) * proj y . E(x, y)).
+constexpr char kSafeQuery[] = "exists x y . E(x, y) & S(x)";
+// Unsafe sibling: the S self-join blocks the safe-plan rules.
+constexpr char kUnsafeQuery[] = "exists x y . E(x, y) & S(x) & S(y)";
+
+struct ScenarioMetrics {
+  std::string name;
+  uint64_t points = 0;        // sweep points (or cross-checked instances)
+  uint64_t max_uncertain = 0; // largest u exercised
+  uint64_t samples = 0;       // total samples drawn on the exact side
+  uint64_t mismatches = 0;    // cross-check or invariant mismatches
+  double elapsed_s = 0.0;
+  double max_point_ms = 0.0;  // slowest single safe evaluation
+};
+
+ScenarioMetrics RunSafeSweep(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "safe_sweep";
+  std::vector<int> sweep = smoke ? std::vector<int>{8, 16, 40, 80}
+                                 : std::vector<int>{8, 16, 32, 64, 128, 256};
+  auto scenario_start = Clock::now();
+  std::printf("safe_sweep: %s\n", kSafeQuery);
+  for (int n : sweep) {
+    // u = 2n: from n = 32 on, u > 62 and Thm 4.2 enumeration is not even
+    // representable, let alone feasible.
+    qrel::ReliabilityEngine engine = RingEngine(n);
+    uint64_t u = engine.database().UncertainEntries().size();
+    auto start = Clock::now();
+    qrel::StatusOr<qrel::EngineReport> report = engine.Run(kSafeQuery);
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+    Check(report.ok(), "safe_sweep n=" + std::to_string(n) + ": " +
+                           report.status().ToString());
+    if (!report.ok()) {
+      continue;
+    }
+    bool point_ok =
+        report->is_exact && report->samples == 0 &&
+        report->exact_reliability.has_value() &&
+        report->method.rfind("safe-plan extensional evaluation", 0) == 0 &&
+        report->reliability >= 0.0 && report->reliability <= 1.0;
+    Check(point_ok, "safe_sweep n=" + std::to_string(n) +
+                        ": not an exact sample-free extensional answer "
+                        "(method \"" +
+                        report->method + "\", samples " +
+                        std::to_string(report->samples) + ")");
+    if (!point_ok) {
+      ++metrics.mismatches;
+    }
+    metrics.samples += report->samples;
+    ++metrics.points;
+    if (u > metrics.max_uncertain) {
+      metrics.max_uncertain = u;
+    }
+    if (ms > metrics.max_point_ms) {
+      metrics.max_point_ms = ms;
+    }
+    std::printf("  n %4d  u %4llu  R %.8f  %8.2f ms  %s\n", n,
+                static_cast<unsigned long long>(u), report->reliability, ms,
+                report->method.c_str());
+  }
+  Check(metrics.max_uncertain > 62,
+        "safe_sweep: never left the enumerable regime (max u " +
+            std::to_string(metrics.max_uncertain) + ")");
+  metrics.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - scenario_start).count();
+  return metrics;
+}
+
+ScenarioMetrics RunCrosscheck(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "crosscheck";
+  std::vector<int> sweep = smoke ? std::vector<int>{5, 7}
+                                 : std::vector<int>{5, 7, 9};
+  auto scenario_start = Clock::now();
+  qrel::StatusOr<qrel::FormulaPtr> query = qrel::ParseFormula(kSafeQuery);
+  Check(query.ok(), "crosscheck: query must parse");
+  for (int n : sweep) {
+    // u = 2n stays small enough here that 2^u enumeration is feasible.
+    qrel::ReliabilityEngine engine = RingEngine(n);
+    qrel::StatusOr<qrel::EngineReport> lifted = engine.Run(kSafeQuery);
+    qrel::StatusOr<qrel::ReliabilityReport> enumerated =
+        qrel::ExactReliability(*query, engine.database());
+    Check(lifted.ok() && enumerated.ok(),
+          "crosscheck n=" + std::to_string(n) + ": both paths must run");
+    if (!lifted.ok() || !enumerated.ok()) {
+      continue;
+    }
+    Check(lifted->exact_reliability.has_value() &&
+              lifted->method.rfind("safe-plan extensional evaluation", 0) ==
+                  0,
+          "crosscheck n=" + std::to_string(n) + ": engine left the "
+          "extensional rung");
+    bool equal = lifted->exact_reliability.has_value() &&
+                 *lifted->exact_reliability == enumerated->reliability;
+    Check(equal, "crosscheck n=" + std::to_string(n) +
+                     ": extensional != enumeration");
+    if (!equal) {
+      ++metrics.mismatches;
+    }
+    metrics.samples += lifted->samples;
+    ++metrics.points;
+    uint64_t u = engine.database().UncertainEntries().size();
+    if (u > metrics.max_uncertain) {
+      metrics.max_uncertain = u;
+    }
+  }
+  metrics.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - scenario_start).count();
+  std::printf("crosscheck: %llu instances bit-identical to Thm 4.2\n",
+              static_cast<unsigned long long>(metrics.points));
+  return metrics;
+}
+
+ScenarioMetrics RunUnsafeControl(bool smoke) {
+  ScenarioMetrics metrics;
+  metrics.name = "unsafe_control";
+  auto scenario_start = Clock::now();
+  int n = smoke ? 40 : 64;
+  qrel::ReliabilityEngine engine = RingEngine(n);
+  metrics.max_uncertain = engine.database().UncertainEntries().size();
+
+  qrel::EngineOptions exact_only;
+  exact_only.force_exact = true;
+  qrel::StatusOr<qrel::EngineReport> refused =
+      engine.Run(kUnsafeQuery, exact_only);
+  Check(!refused.ok(),
+        "unsafe_control: force_exact must refuse the self-join at u=" +
+            std::to_string(metrics.max_uncertain));
+  if (refused.ok()) {
+    ++metrics.mismatches;
+  }
+  ++metrics.points;
+
+  qrel::EngineOptions sampled;
+  sampled.seed = 17;
+  sampled.epsilon = 0.1;
+  sampled.delta = 0.1;
+  qrel::StatusOr<qrel::EngineReport> automatic =
+      engine.Run(kUnsafeQuery, sampled);
+  Check(automatic.ok(), "unsafe_control: automatic mode must still answer");
+  if (automatic.ok()) {
+    Check(!automatic->is_exact && automatic->samples > 0,
+          "unsafe_control: the unsafe sibling cannot be exact at this u");
+    if (automatic->is_exact) {
+      ++metrics.mismatches;
+    }
+    metrics.samples += automatic->samples;
+  }
+  ++metrics.points;
+  metrics.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - scenario_start).count();
+  std::printf("unsafe_control: %s refused exact, sampled %llu\n",
+              kUnsafeQuery,
+              static_cast<unsigned long long>(metrics.samples));
+  return metrics;
+}
+
+void AppendJson(std::string* out, const ScenarioMetrics& m, bool last) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"name\": \"%s\", \"points\": %llu, \"max_uncertain\": %llu, "
+      "\"samples\": %llu, \"mismatches\": %llu, \"elapsed_s\": %.4f, "
+      "\"max_point_ms\": %.3f}%s\n",
+      m.name.c_str(), static_cast<unsigned long long>(m.points),
+      static_cast<unsigned long long>(m.max_uncertain),
+      static_cast<unsigned long long>(m.samples),
+      static_cast<unsigned long long>(m.mismatches), m.elapsed_s,
+      m.max_point_ms, last ? "" : ",");
+  out->append(buffer);
+}
+
+// Extracts `"key": <u64>` from one scenario's JSON line; 0 when absent.
+uint64_t FindU64(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+// Invariant gate against a committed --json report: every baseline
+// scenario still runs, the sweep has not shrunk (when the smoke flag
+// matches), the safe side still draws zero samples, and no mismatches
+// appeared. Latency fields are trend data, never gated.
+void CheckAgainstBaseline(const std::string& baseline_path, bool smoke,
+                          const std::vector<ScenarioMetrics>& results) {
+  std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
+  if (f == nullptr) {
+    ++g_failures;
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return;
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+
+  const bool baseline_smoke =
+      contents.find("\"smoke\": true") != std::string::npos;
+  size_t pos = 0;
+  int scenarios_checked = 0;
+  while ((pos = contents.find("{\"name\": \"", pos)) != std::string::npos) {
+    size_t name_start = pos + std::strlen("{\"name\": \"");
+    size_t name_end = contents.find('"', name_start);
+    size_t line_end = contents.find('}', pos);
+    if (name_end == std::string::npos || line_end == std::string::npos) {
+      break;
+    }
+    std::string name = contents.substr(name_start, name_end - name_start);
+    std::string line = contents.substr(pos, line_end - pos);
+    pos = line_end;
+
+    const ScenarioMetrics* current = nullptr;
+    for (const ScenarioMetrics& m : results) {
+      if (m.name == name) {
+        current = &m;
+      }
+    }
+    Check(current != nullptr,
+          "baseline: scenario \"" + name + "\" no longer runs");
+    if (current == nullptr) {
+      continue;
+    }
+    ++scenarios_checked;
+    if (baseline_smoke == smoke) {
+      Check(current->points >= FindU64(line, "points"),
+            "baseline: scenario \"" + name + "\" sweep shrank");
+      Check(current->max_uncertain >= FindU64(line, "max_uncertain"),
+            "baseline: scenario \"" + name + "\" retreated to smaller u");
+    }
+    if (name != "unsafe_control") {
+      Check(current->samples == 0,
+            "baseline: scenario \"" + name + "\" started sampling");
+    }
+    Check(current->mismatches == 0,
+          "baseline: scenario \"" + name + "\" has mismatches");
+  }
+  Check(scenarios_checked > 0,
+        "baseline: " + baseline_path + " lists no scenarios");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = "BENCH_e13_safeplan.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_e13_safeplan [--smoke] [--json[=PATH]] "
+                   "[--baseline=PATH]\n");
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioMetrics> results;
+  results.push_back(RunSafeSweep(smoke));
+  results.push_back(RunCrosscheck(smoke));
+  results.push_back(RunUnsafeControl(smoke));
+
+  if (!baseline_path.empty()) {
+    CheckAgainstBaseline(baseline_path, smoke, results);
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{\n  \"bench\": \"e13_safeplan\",\n  \"smoke\": ";
+    json += smoke ? "true" : "false";
+    json += ",\n  \"scenarios\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      AppendJson(&json, results[i], i + 1 == results.size());
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d invariant violation(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("all invariants held\n");
+  return 0;
+}

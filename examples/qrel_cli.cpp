@@ -190,6 +190,17 @@ int EmitPlan(const qrel::EnginePlan& plan, bool json) {
     out += ",\"uncertain_atoms\":" +
            std::to_string(plan.cost.uncertain_atoms);
     out += ",\"world_count\":" + JsonNumber(plan.cost.world_count);
+    out += "},\"safety\":{\"applicable\":";
+    out += plan.safe_plan_applicable ? "true" : "false";
+    out += ",\"safe\":";
+    out += plan.safe_plan_safe ? "true" : "false";
+    if (plan.safe_plan_safe) {
+      out += ",\"safe_plan\":\"" + qrel::JsonEscapeString(plan.safe_plan) +
+             "\"";
+    } else if (plan.safe_plan_applicable) {
+      out += ",\"blocker\":\"" +
+             qrel::JsonEscapeString(plan.safe_plan_blocker) + "\"";
+    }
     out += "}}";
     std::printf("%s\n", out.c_str());
     return qrel::LintExitCode(plan.diagnostics);
@@ -212,6 +223,14 @@ int EmitPlan(const qrel::EnginePlan& plan, bool json) {
               JsonNumber(plan.cost.grounding_size).c_str(),
               plan.cost.uncertain_atoms,
               JsonNumber(plan.cost.world_count).c_str());
+  if (plan.safe_plan_applicable) {
+    if (plan.safe_plan_safe) {
+      std::printf("safety     : safe, plan %s\n", plan.safe_plan.c_str());
+    } else {
+      std::printf("safety     : unsafe (%s)\n",
+                  plan.safe_plan_blocker.c_str());
+    }
+  }
   if (plan.has_errors()) {
     std::printf("plan       : none (static errors)\n");
   } else {

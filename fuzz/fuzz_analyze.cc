@@ -1,16 +1,24 @@
 // Fuzz target for the static analyzer and simplifier: any formula the
 // parser accepts must analyze without crashing, and the simplifier must
 // honour its contracts — idempotence, and never moving the query to a
-// worse rung of the dispatch ladder (PlanRank).
+// worse rung of the dispatch ladder (PlanRank). Safe-plan contract: when
+// the classifier declares a query safe conjunctive, the extensional
+// evaluator must accept it and agree bit-for-bit with exact world
+// enumeration on a tiny deterministic database.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "qrel/lifted/extensional.h"
 #include "qrel/logic/analyze.h"
 #include "qrel/logic/classify.h"
 #include "qrel/logic/parser.h"
+#include "qrel/logic/safe_plan.h"
 #include "qrel/logic/simplify.h"
 
 namespace {
@@ -24,6 +32,61 @@ const qrel::Vocabulary& FuzzVocabulary() {
     return v;
   }();
   return *vocabulary;
+}
+
+// Universe {0, 1}; S = {0}, T = {1}, E = {(0, 1)}; three uncertain atoms.
+const qrel::UnreliableDatabase& FuzzDatabase() {
+  static const qrel::UnreliableDatabase* database = [] {
+    auto vocabulary = std::make_shared<qrel::Vocabulary>();
+    vocabulary->AddRelation("S", 1);
+    vocabulary->AddRelation("T", 1);
+    vocabulary->AddRelation("E", 2);
+    qrel::Structure observed(vocabulary, 2);
+    observed.AddFact(0, {0});
+    observed.AddFact(1, {1});
+    observed.AddFact(2, {0, 1});
+    auto* db = new qrel::UnreliableDatabase(std::move(observed));
+    db->SetErrorProbability(qrel::GroundAtom{0, {0}}, qrel::Rational(1, 3));
+    db->SetErrorProbability(qrel::GroundAtom{1, {0}}, qrel::Rational(1, 4));
+    db->SetErrorProbability(qrel::GroundAtom{2, {1, 0}},
+                            qrel::Rational(1, 5));
+    return db;
+  }();
+  return *database;
+}
+
+// Whether evaluating `formula` on FuzzDatabase() is both meaningful and
+// cheap: every constant fits the 2-element universe, and the variable
+// count keeps the n^depth recursion and the 2^u · n^k enumeration small.
+bool CheaplyEvaluable(const qrel::FormulaPtr& formula) {
+  std::set<std::string> variables;
+  int quantifiers = 0;
+  // Iterative walk; fuzz inputs can nest arbitrarily deep.
+  std::vector<const qrel::Formula*> stack = {formula.get()};
+  while (!stack.empty()) {
+    const qrel::Formula* node = stack.back();
+    stack.pop_back();
+    for (const qrel::Term& term : node->args) {
+      if (term.is_variable()) {
+        variables.insert(term.variable);
+      } else if (term.constant < 0 || term.constant >= 2) {
+        return false;
+      }
+    }
+    if (!node->bound_variable.empty()) {
+      variables.insert(node->bound_variable);
+      // Shadowing binders keep the name count low but still multiply the
+      // n^depth enumeration: cap quantifier nodes, not just names.
+      ++quantifiers;
+    }
+    if (variables.size() > 6 || quantifiers > 6) {
+      return false;
+    }
+    for (const qrel::FormulaPtr& child : node->children) {
+      stack.push_back(child.get());
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -66,6 +129,36 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (const qrel::Diagnostic& diagnostic : scoped.diagnostics) {
     if (diagnostic.ToString().empty() || diagnostic.ToJson().empty()) {
       __builtin_trap();
+    }
+  }
+
+  // Safe-plan contract: the analysis is internally consistent, its note
+  // renders, and on a kSafeConjunctive verdict the extensional evaluator
+  // reproduces exact world enumeration bit for bit.
+  qrel::SafePlanAnalysis safety = qrel::AnalyzeSafePlan(*formula);
+  if (safety.safe != (safety.applicable && safety.plan != nullptr)) {
+    __builtin_trap();
+  }
+  if (safety.safe && safety.plan->ToString().empty()) {
+    __builtin_trap();
+  }
+  if (qrel::Classify(*formula) == qrel::QueryClass::kSafeConjunctive) {
+    if (!safety.safe) {
+      __builtin_trap();  // classifier and analyzer disagree
+    }
+    if (!scoped.has_errors() && CheaplyEvaluable(*formula)) {
+      qrel::StatusOr<qrel::ReliabilityReport> lifted =
+          qrel::ExtensionalReliability(*formula, FuzzDatabase());
+      if (!lifted.ok()) {
+        __builtin_trap();  // a safe query the evaluator refused
+      }
+      qrel::StatusOr<qrel::ReliabilityReport> enumerated =
+          qrel::ExactReliability(*formula, FuzzDatabase());
+      if (!enumerated.ok() ||
+          !(lifted->reliability == enumerated->reliability) ||
+          !(lifted->expected_error == enumerated->expected_error)) {
+        __builtin_trap();  // the polynomial rung changed the answer
+      }
     }
   }
   return 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "qrel/datalog/eval.h"
+#include "qrel/lifted/extensional.h"
 #include "qrel/logic/eval.h"
 #include "qrel/logic/parser.h"
 #include "qrel/util/check.h"
@@ -56,6 +57,12 @@ std::string PlannedMethod(QueryClass effective_class, StaticTruth truth,
   if (effective_class == QueryClass::kQuantifierFree &&
       !options.force_approximate) {
     return "Prop 3.1 quantifier-free polynomial algorithm";
+  }
+  // Like the quantifier-free rung, the extensional rung is exact, so it
+  // wins over Thm 4.2 even under force_exact.
+  if (effective_class == QueryClass::kSafeConjunctive &&
+      !options.force_approximate) {
+    return "safe-plan extensional evaluation";
   }
   if ((ExactFeasible(uncertain, options) || options.force_exact) &&
       !options.force_approximate) {
@@ -126,6 +133,14 @@ EnginePlan ReliabilityEngine::Explain(const FormulaPtr& query,
   const FormulaPtr& effective =
       analysis.arity_preserved ? analysis.simplified : query;
   plan.cost = EstimateCost(effective, database_.universe_size(), uncertain);
+  plan.safe_plan_applicable = analysis.safety.applicable;
+  plan.safe_plan_safe = analysis.safety.safe;
+  if (analysis.safety.safe) {
+    plan.safe_plan = analysis.safety.plan->ToString();
+  } else if (analysis.safety.applicable &&
+             !analysis.safety.diagnostics.empty()) {
+    plan.safe_plan_blocker = analysis.safety.diagnostics.front().check_id;
+  }
   if (!plan.has_errors()) {
     QueryClass dispatch_class = analysis.arity_preserved
                                     ? analysis.effective_class
@@ -296,7 +311,29 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     degrade_trigger = exact.status();
   }
 
-  // 2. Small world space (or forced): exact enumeration (Thm 4.2). Skipped
+  // 2. Safe self-join-free conjunctive query: exact lifted evaluation of
+  // the safe plan against the tuple marginals — polynomial, no worlds, no
+  // samples (logic/safe_plan.h, lifted/extensional.h).
+  if (degrade_trigger.ok() &&
+      report.query_class == QueryClass::kSafeConjunctive &&
+      !options.force_approximate) {
+    Status fault = QREL_FAULT_HIT("engine.rung.extensional");
+    StatusOr<ReliabilityReport> exact =
+        fault.ok() ? ExtensionalReliability(effective, database_, ctx)
+                   : StatusOr<ReliabilityReport>(fault);
+    if (exact.ok()) {
+      fill_exact(*exact, "safe-plan extensional evaluation (" +
+                             std::to_string(exact->work_units) +
+                             " plan ops)");
+      return report;
+    }
+    if (!ShouldDegrade(exact.status(), options)) {
+      return exact.status();
+    }
+    degrade_trigger = exact.status();
+  }
+
+  // 3. Small world space (or forced): exact enumeration (Thm 4.2). Skipped
   // once a cheaper exact rung has already tripped the envelope.
   if (degrade_trigger.ok() && (exact_feasible || options.force_exact) &&
       !options.force_approximate) {
@@ -315,7 +352,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
     degrade_trigger = exact.status();
   }
 
-  // 3./4. Randomized approximation. Runs under whatever envelope remains;
+  // 4./5. Randomized approximation. Runs under whatever envelope remains;
   // single-estimate paths may truncate rather than fail.
   ApproxOptions approx;
   approx.epsilon = options.epsilon;
@@ -326,6 +363,7 @@ StatusOr<EngineReport> ReliabilityEngine::RunImpl(
   approx.allow_truncation = options.degrade_on_budget;
 
   bool cor55_applies = report.query_class == QueryClass::kQuantifierFree ||
+                       report.query_class == QueryClass::kSafeConjunctive ||
                        report.query_class == QueryClass::kConjunctive ||
                        report.query_class == QueryClass::kExistential ||
                        report.query_class == QueryClass::kUniversal;

@@ -15,11 +15,14 @@
 // Strategy (in order):
 //   0. statically true/false  → closed form, no evaluation at all;
 //   1. quantifier-free        → Proposition 3.1 exact polynomial algorithm;
-//   2. small world space      → Theorem 4.2 exact enumeration
+//   2. safe conjunctive       → safe-plan extensional evaluation
+//                               (logic/safe_plan.h + lifted/extensional.h):
+//                               exact rationals, no worlds, no samples;
+//   3. small world space      → Theorem 4.2 exact enumeration
 //                               (2^#uncertain ≤ options.max_exact_worlds);
-//   3. existential/universal  → Corollary 5.5 absolute-error approximation
+//   4. existential/universal  → Corollary 5.5 absolute-error approximation
 //                               (Theorem 5.4 grounding + Karp-Luby);
-//   4. anything else          → Theorem 5.12 padded estimator.
+//   5. anything else          → Theorem 5.12 padded estimator.
 //
 // Explain() runs the same analysis and rung selection *without executing*:
 // it returns the diagnostics, the simplified query, the cost pre-analysis
@@ -162,6 +165,18 @@ struct EnginePlan {
   // paper theorem. Always a prefix of that run's EngineReport::method.
   // Empty when `diagnostics` contains errors.
   std::string planned_method;
+
+  // Safe-plan analysis of the dispatched query (logic/safe_plan.h).
+  // `safe_plan_applicable`: the query is a quantified conjunctive query,
+  // so the safe/unsafe verdict is meaningful. When safe, `safe_plan`
+  // renders the plan tree; when applicable but unsafe,
+  // `safe_plan_blocker` carries the check id of the blocking diagnostic
+  // (unsafe-self-join or unsafe-no-root-variable), whose full located
+  // message is in `diagnostics`.
+  bool safe_plan_applicable = false;
+  bool safe_plan_safe = false;
+  std::string safe_plan;
+  std::string safe_plan_blocker;
 
   bool has_errors() const { return HasErrors(diagnostics); }
 };

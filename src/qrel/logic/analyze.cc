@@ -220,6 +220,15 @@ FormulaAnalysis AnalyzeFormula(const FormulaPtr& formula,
             " (class " + QueryClassName(analysis.effective_class) + ")",
         formula->range));
   }
+
+  // Safe-plan analysis of the formula the engine will dispatch on; its
+  // verdict is what makes the effective class kSafeConjunctive.
+  const FormulaPtr& dispatched =
+      analysis.arity_preserved ? analysis.simplified : formula;
+  analysis.safety = AnalyzeSafePlan(dispatched);
+  analysis.diagnostics.insert(analysis.diagnostics.end(),
+                              analysis.safety.diagnostics.begin(),
+                              analysis.safety.diagnostics.end());
   return analysis;
 }
 

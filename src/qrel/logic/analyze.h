@@ -23,6 +23,12 @@
 //   note    statically-true        the query simplifies to true
 //   note    statically-false       the query simplifies to false
 //   note    simplified             simplification changed the formula
+//
+// plus the safe-plan checks of logic/safe_plan.h, run on the formula the
+// engine will dispatch on:
+//   note    safe-plan              the query admits a safe plan
+//   note    unsafe-self-join       two distinct atoms share a relation
+//   note    unsafe-no-root-variable  the hierarchy condition fails
 
 #ifndef QREL_LOGIC_ANALYZE_H_
 #define QREL_LOGIC_ANALYZE_H_
@@ -33,6 +39,7 @@
 #include "qrel/logic/ast.h"
 #include "qrel/logic/classify.h"
 #include "qrel/logic/diagnostics.h"
+#include "qrel/logic/safe_plan.h"
 #include "qrel/relational/vocabulary.h"
 
 namespace qrel {
@@ -80,6 +87,13 @@ struct FormulaAnalysis {
   // otherwise simplification dropped a vacuous free variable and the
   // original formula must still be the one evaluated.
   bool arity_preserved = false;
+
+  // Safe-plan analysis (logic/safe_plan.h) of the formula the engine will
+  // dispatch on (the simplified one when arity_preserved, else the
+  // original); its diagnostics are also appended to `diagnostics`. When
+  // safety.safe, the effective class is kSafeConjunctive and the engine's
+  // extensional rung evaluates the plan exactly in polynomial time.
+  SafePlanAnalysis safety;
 
   bool has_errors() const { return HasErrors(diagnostics); }
 };

@@ -1,6 +1,7 @@
 #include "qrel/logic/classify.h"
 
 #include "qrel/logic/normal_form.h"
+#include "qrel/logic/safe_plan.h"
 #include "qrel/util/check.h"
 
 namespace qrel {
@@ -42,6 +43,8 @@ const char* QueryClassName(QueryClass query_class) {
   switch (query_class) {
     case QueryClass::kQuantifierFree:
       return "quantifier-free";
+    case QueryClass::kSafeConjunctive:
+      return "safe conjunctive";
     case QueryClass::kConjunctive:
       return "conjunctive";
     case QueryClass::kExistential:
@@ -68,6 +71,10 @@ bool IsConjunctiveQuery(const FormulaPtr& formula) {
   return IsConjunctionOfAtoms(*node);
 }
 
+bool IsSafeConjunctiveQuery(const FormulaPtr& formula) {
+  return HasSafePlan(formula);
+}
+
 bool IsExistential(const FormulaPtr& formula) {
   FormulaPtr nnf = ToNnf(formula);
   return !ContainsQuantifier(*nnf, FormulaKind::kForAll);
@@ -82,16 +89,18 @@ int PlanRank(QueryClass query_class) {
   switch (query_class) {
     case QueryClass::kQuantifierFree:
       return 0;
-    case QueryClass::kConjunctive:
+    case QueryClass::kSafeConjunctive:
       return 1;
+    case QueryClass::kConjunctive:
+      return 2;
     case QueryClass::kExistential:
     case QueryClass::kUniversal:
-      return 2;
-    case QueryClass::kGeneralFirstOrder:
       return 3;
+    case QueryClass::kGeneralFirstOrder:
+      return 4;
   }
   QREL_CHECK_MSG(false, "corrupt query class");
-  return 3;
+  return 4;
 }
 
 QueryClass Classify(const FormulaPtr& formula) {
@@ -99,7 +108,8 @@ QueryClass Classify(const FormulaPtr& formula) {
     return QueryClass::kQuantifierFree;
   }
   if (IsConjunctiveQuery(formula)) {
-    return QueryClass::kConjunctive;
+    return IsSafeConjunctiveQuery(formula) ? QueryClass::kSafeConjunctive
+                                           : QueryClass::kConjunctive;
   }
   if (IsExistential(formula)) {
     return QueryClass::kExistential;

@@ -2,8 +2,12 @@
 // different complexity to. The engine (engine/engine.h) uses the most
 // specific class to pick a reliability algorithm:
 //
-//   quantifier-free — Prop. 3.1: reliability in polynomial time,
-//   conjunctive     — Prop. 3.2: #P-hard in general; FPTRAS applies,
+//   quantifier-free  — Prop. 3.1: reliability in polynomial time,
+//   safe conjunctive — the safe (hierarchical) self-join-free subclass of
+//                      the dichotomy literature: exact polynomial
+//                      reliability by extensional safe-plan evaluation
+//                      (logic/safe_plan.h, lifted/extensional.h),
+//   conjunctive      — Prop. 3.2: #P-hard in general; FPTRAS applies,
 //   existential     — Thm. 5.4 / Cor. 5.5: FPTRAS for ν, absolute-error
 //                     approximation for R_ψ,
 //   universal       — dual of existential (Cor. 5.5),
@@ -21,6 +25,7 @@ namespace qrel {
 
 enum class QueryClass {
   kQuantifierFree,
+  kSafeConjunctive,
   kConjunctive,
   kExistential,
   kUniversal,
@@ -37,23 +42,31 @@ bool IsQuantifierFree(const FormulaPtr& formula);
 // free), following the paper's definition of conjunctive queries.
 bool IsConjunctiveQuery(const FormulaPtr& formula);
 
+// A *quantified* conjunctive query that is self-join-free and admits a
+// safe plan (logic/safe_plan.h): exact polynomial reliability without
+// worlds or samples. Quantifier-free conjunctions are excluded — they
+// already have the better Prop. 3.1 rung.
+bool IsSafeConjunctiveQuery(const FormulaPtr& formula);
+
 // The negation normal form contains no universal quantifier.
 bool IsExistential(const FormulaPtr& formula);
 
 // The negation normal form contains no existential quantifier.
 bool IsUniversal(const FormulaPtr& formula);
 
-// The most specific class, in the order quantifier-free, conjunctive,
-// existential, universal, general (quantifier-free wins because Prop. 3.1
-// gives it the best algorithm; conjunctive queries that happen to be
-// quantifier-free are therefore reported as quantifier-free).
+// The most specific class, in the order quantifier-free, safe
+// conjunctive, conjunctive, existential, universal, general
+// (quantifier-free wins because Prop. 3.1 gives it the best algorithm;
+// conjunctive queries that happen to be quantifier-free are therefore
+// reported as quantifier-free).
 QueryClass Classify(const FormulaPtr& formula);
 
-// How good an algorithm the paper gives the class, smaller = better:
-// 0 quantifier-free (Prop. 3.1 exact polynomial), 1 conjunctive, 2
-// existential/universal (both get the Cor. 5.5 absolute-error FPTRAS-based
-// approximation), 3 general first-order (Thm. 5.12 padded estimation
-// only). The simplifier's contract (logic/simplify.h) is that
+// How good an algorithm the class gets, smaller = better: 0
+// quantifier-free (Prop. 3.1 exact polynomial), 1 safe conjunctive (exact
+// polynomial safe-plan evaluation), 2 conjunctive, 3
+// existential/universal (both get the Cor. 5.5 absolute-error
+// FPTRAS-based approximation), 4 general first-order (Thm. 5.12 padded
+// estimation only). The simplifier's contract (logic/simplify.h) is that
 // PlanRank(Classify(simplified)) <= PlanRank(Classify(original)).
 int PlanRank(QueryClass query_class);
 

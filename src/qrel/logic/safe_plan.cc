@@ -1,0 +1,536 @@
+#include "qrel/logic/safe_plan.h"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "qrel/util/check.h"
+
+namespace qrel {
+
+namespace {
+
+// An atom of the normalized matrix.
+struct NormAtom {
+  std::string relation;
+  std::vector<Term> args;
+  SourceRange range;
+};
+
+std::string AtomToString(const NormAtom& atom) {
+  std::string out = atom.relation + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += atom.args[i].ToString();
+  }
+  return out + ")";
+}
+
+// Union-find over terms, keyed by an unambiguous encoding (variable names
+// and constant values live in different namespaces).
+std::string TermKey(const Term& term) {
+  return term.is_variable() ? "v:" + term.variable
+                            : "c:" + std::to_string(term.constant);
+}
+
+class TermUnionFind {
+ public:
+  const std::string& Find(const std::string& key) {
+    auto it = parent_.find(key);
+    if (it == parent_.end()) {
+      it = parent_.emplace(key, key).first;
+    }
+    while (it->second != it->first) {
+      auto up = parent_.find(it->second);
+      it->second = up->second;  // path halving
+      it = up;
+    }
+    return it->first;
+  }
+
+  void Union(const Term& a, const Term& b) {
+    terms_.emplace(TermKey(a), a);
+    terms_.emplace(TermKey(b), b);
+    std::string ra = Find(TermKey(a));
+    std::string rb = Find(TermKey(b));
+    if (ra != rb) {
+      parent_[ra] = rb;
+    }
+  }
+
+  // Equivalence classes in deterministic (key-sorted) order; singleton
+  // classes of terms never mentioned in an equality do not appear.
+  std::map<std::string, std::vector<Term>> Classes() {
+    std::map<std::string, std::vector<Term>> classes;
+    for (const auto& [key, term] : terms_) {
+      classes[Find(key)].push_back(term);
+    }
+    return classes;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, Term> terms_;
+};
+
+// Flattens a conjunction-of-atoms matrix into atom and equality lists.
+// Returns false on any other node kind (not a conjunctive matrix).
+bool FlattenMatrix(const Formula& node, std::vector<NormAtom>* atoms,
+                   std::vector<const Formula*>* equalities) {
+  switch (node.kind) {
+    case FormulaKind::kAtom:
+      atoms->push_back(NormAtom{node.relation, node.args, node.range});
+      return true;
+    case FormulaKind::kEquals:
+      equalities->push_back(&node);
+      return true;
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& child : node.children) {
+        if (!FlattenMatrix(*child, atoms, equalities)) {
+          return false;
+        }
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Index of `name` in `order`, or order.size() when absent.
+size_t IndexIn(const std::vector<std::string>& order,
+               const std::string& name) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == name) {
+      return i;
+    }
+  }
+  return order.size();
+}
+
+SafePlanPtr MakeNode(SafePlanNode node) {
+  return std::make_shared<const SafePlanNode>(std::move(node));
+}
+
+SafePlanPtr MakeEqualityLeaf(Term left, Term right, SourceRange range) {
+  SafePlanNode leaf;
+  leaf.kind = SafePlanKind::kEquality;
+  leaf.args = {std::move(left), std::move(right)};
+  leaf.range = range;
+  return MakeNode(std::move(leaf));
+}
+
+SourceRange MergeAtomRanges(const std::vector<NormAtom>& atoms,
+                            const std::vector<size_t>& indices) {
+  SourceRange merged;
+  for (size_t index : indices) {
+    merged = SourceRange::Merge(merged, atoms[index].range);
+  }
+  return merged;
+}
+
+// Recursive safe-plan construction over `indices` into `atoms`, with
+// `bound` the quantified variables still in play (binder order). On
+// failure returns nullptr and fills *blocker.
+SafePlanPtr Build(const std::vector<NormAtom>& atoms,
+                  const std::vector<size_t>& indices,
+                  const std::vector<std::string>& bound,
+                  Diagnostic* blocker) {
+  if (indices.empty()) {
+    SafePlanNode one;
+    one.kind = SafePlanKind::kJoin;
+    return MakeNode(std::move(one));
+  }
+
+  // Quantified variables used by each atom of this subquery.
+  std::vector<std::set<std::string>> used(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (const Term& term : atoms[indices[i]].args) {
+      if (term.is_variable() &&
+          IndexIn(bound, term.variable) != bound.size()) {
+        used[i].insert(term.variable);
+      }
+    }
+  }
+
+  // Connected components under "shares a quantified variable" (union-find
+  // over positions, deterministic).
+  std::vector<size_t> component(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    component[i] = i;
+  }
+  auto root_of = [&](size_t i) {
+    while (component[i] != i) {
+      component[i] = component[component[i]];
+      i = component[i];
+    }
+    return i;
+  };
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = i + 1; j < indices.size(); ++j) {
+      for (const std::string& variable : used[i]) {
+        if (used[j].count(variable) != 0) {
+          component[root_of(j)] = root_of(i);
+          break;
+        }
+      }
+    }
+  }
+  std::map<size_t, std::vector<size_t>> components;  // root → member positions
+  for (size_t i = 0; i < indices.size(); ++i) {
+    components[root_of(i)].push_back(i);
+  }
+
+  if (components.size() > 1) {
+    // Independent join: the components share no quantified variable, and
+    // self-join-freedom (checked globally before the recursion) makes
+    // their ground atoms disjoint.
+    SafePlanNode join;
+    join.kind = SafePlanKind::kJoin;
+    join.range = MergeAtomRanges(atoms, indices);
+    for (const auto& [root, members] : components) {
+      std::vector<size_t> child_indices;
+      for (size_t position : members) {
+        child_indices.push_back(indices[position]);
+      }
+      SafePlanPtr child = Build(atoms, child_indices, bound, blocker);
+      if (child == nullptr) {
+        return nullptr;
+      }
+      join.children.push_back(std::move(child));
+    }
+    return MakeNode(std::move(join));
+  }
+
+  // One component. With no quantified variable left it is a single atom
+  // (an atom without quantified variables shares none, so it is a
+  // component of its own): a ν-lookup leaf.
+  const std::vector<size_t>& members = components.begin()->second;
+  std::set<std::string> any_used;
+  for (const std::set<std::string>& u : used) {
+    any_used.insert(u.begin(), u.end());
+  }
+  if (any_used.empty()) {
+    QREL_CHECK(indices.size() == 1);
+    const NormAtom& atom = atoms[indices[0]];
+    SafePlanNode leaf;
+    leaf.kind = SafePlanKind::kAtom;
+    leaf.relation = atom.relation;
+    leaf.args = atom.args;
+    leaf.range = atom.range;
+    return MakeNode(std::move(leaf));
+  }
+
+  // Independent project: a root variable occurs in *every* atom, so the
+  // instantiations x:=c touch disjoint ground atoms. First such variable
+  // in binder order, for determinism.
+  for (const std::string& candidate : bound) {
+    if (any_used.count(candidate) == 0) {
+      continue;
+    }
+    bool in_every_atom = true;
+    for (size_t position : members) {
+      if (used[position].count(candidate) == 0) {
+        in_every_atom = false;
+        break;
+      }
+    }
+    if (!in_every_atom) {
+      continue;
+    }
+    std::vector<std::string> remaining;
+    for (const std::string& variable : bound) {
+      if (variable != candidate) {
+        remaining.push_back(variable);
+      }
+    }
+    SafePlanPtr child = Build(atoms, indices, remaining, blocker);
+    if (child == nullptr) {
+      return nullptr;
+    }
+    SafePlanNode project;
+    project.kind = SafePlanKind::kProject;
+    project.variable = candidate;
+    project.range = MergeAtomRanges(atoms, indices);
+    project.children.push_back(std::move(child));
+    return MakeNode(std::move(project));
+  }
+
+  // The hierarchy condition fails: every quantified variable of this
+  // component misses some atom. Name a witness pair for the diagnostic.
+  const std::string* witness_variable = nullptr;
+  const NormAtom* witness_atom = nullptr;
+  for (const std::string& variable : bound) {
+    if (any_used.count(variable) == 0) {
+      continue;
+    }
+    for (size_t position : members) {
+      if (used[position].count(variable) == 0) {
+        witness_variable = &variable;
+        witness_atom = &atoms[indices[position]];
+        break;
+      }
+    }
+    if (witness_variable != nullptr) {
+      break;
+    }
+  }
+  QREL_CHECK(witness_variable != nullptr && witness_atom != nullptr);
+  *blocker = MakeNote(
+      "unsafe-no-root-variable",
+      "no independent project: every quantified variable is missing from "
+      "some atom of its component (e.g. '" +
+          *witness_variable + "' does not occur in " +
+          AtomToString(*witness_atom) +
+          "), so the hierarchy condition fails",
+      MergeAtomRanges(atoms, indices));
+  return nullptr;
+}
+
+}  // namespace
+
+std::string SafePlanNode::ToString() const {
+  switch (kind) {
+    case SafePlanKind::kAtom: {
+      std::string out = relation + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += args[i].ToString();
+      }
+      return out + ")";
+    }
+    case SafePlanKind::kEquality:
+      return args[0].ToString() + " = " + args[1].ToString();
+    case SafePlanKind::kJoin: {
+      if (children.empty()) {
+        return "1";
+      }
+      if (children.size() == 1) {
+        return children[0]->ToString();
+      }
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) {
+          out += " * ";
+        }
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case SafePlanKind::kProject:
+      QREL_CHECK(children.size() == 1);
+      return "proj " + variable + " . " + children[0]->ToString();
+  }
+  QREL_CHECK_MSG(false, "corrupt safe-plan node");
+  return "";
+}
+
+SafePlanAnalysis AnalyzeSafePlan(const FormulaPtr& formula) {
+  QREL_CHECK(formula != nullptr);
+  SafePlanAnalysis analysis;
+
+  // ∃-prefix; a repeated binder name shadows the earlier one, which then
+  // binds nothing and can be ignored.
+  std::vector<std::string> binders;
+  const Formula* node = formula.get();
+  while (node->kind == FormulaKind::kExists) {
+    if (IndexIn(binders, node->bound_variable) == binders.size()) {
+      binders.push_back(node->bound_variable);
+    }
+    node = node->children[0].get();
+  }
+  if (binders.empty()) {
+    return analysis;  // quantifier-free (or not a CQ): Prop 3.1 territory
+  }
+
+  std::vector<NormAtom> atoms;
+  std::vector<const Formula*> equalities;
+  if (!FlattenMatrix(*node, &atoms, &equalities)) {
+    return analysis;  // not a conjunctive matrix
+  }
+  analysis.applicable = true;
+
+  const std::vector<std::string> free_order = formula->FreeVariables();
+  auto is_bound = [&](const std::string& name) {
+    return IndexIn(binders, name) != binders.size();
+  };
+
+  // Unify the equalities.
+  TermUnionFind uf;
+  for (const Formula* equality : equalities) {
+    uf.Union(equality->args[0], equality->args[1]);
+  }
+
+  // Pick each class's representative (constant ≻ free variable ≻ quantified
+  // variable, earliest in free/binder order) and collect the residual
+  // deterministic constraints among the non-quantified members.
+  std::map<std::string, Term> substitution;  // variable name → representative
+  std::vector<SafePlanPtr> residual_leaves;
+  for (const auto& [root, members] : uf.Classes()) {
+    const Term* constant = nullptr;
+    const Term* second_constant = nullptr;
+    const Term* free_var = nullptr;
+    const Term* bound_var = nullptr;
+    for (const Term& member : members) {
+      if (!member.is_variable()) {
+        if (constant == nullptr) {
+          constant = &member;
+        } else if (member.constant != constant->constant) {
+          second_constant = &member;
+        }
+      } else if (is_bound(member.variable)) {
+        if (bound_var == nullptr ||
+            IndexIn(binders, member.variable) <
+                IndexIn(binders, bound_var->variable)) {
+          bound_var = &member;
+        }
+      } else {
+        if (free_var == nullptr ||
+            IndexIn(free_order, member.variable) <
+                IndexIn(free_order, free_var->variable)) {
+          free_var = &member;
+        }
+      }
+    }
+    if (second_constant != nullptr) {
+      // Two distinct constants required equal: the query is identically
+      // false. The whole plan is the single 0-valued leaf. (The simplifier
+      // folds such queries to `false` long before dispatch; this keeps the
+      // analysis total on the raw formula.)
+      analysis.safe = true;
+      analysis.plan =
+          MakeEqualityLeaf(*constant, *second_constant, formula->range);
+      analysis.diagnostics.push_back(MakeNote(
+          "safe-plan", "safe plan: " + analysis.plan->ToString(),
+          formula->range));
+      return analysis;
+    }
+    const Term* representative =
+        constant != nullptr ? constant
+                            : (free_var != nullptr ? free_var : bound_var);
+    QREL_CHECK(representative != nullptr);
+    for (const Term& member : members) {
+      if (member.is_variable() && !(member == *representative)) {
+        substitution.emplace(member.variable, *representative);
+      }
+      // Equalities among the non-quantified members survive as
+      // deterministic 0/1 leaves; equalities involving a quantified
+      // variable are absorbed by the substitution (∃x (x = t ∧ φ) ≡ φ[x:=t]
+      // over a nonempty universe).
+      bool deterministic =
+          !member.is_variable() || !is_bound(member.variable);
+      if (deterministic && !(member == *representative)) {
+        residual_leaves.push_back(
+            MakeEqualityLeaf(*representative, member, formula->range));
+      }
+    }
+  }
+
+  // Apply the substitution; drop binders that no longer reach any atom
+  // (sound: universes are nonempty), merge duplicate atoms.
+  std::vector<NormAtom> normalized;
+  for (NormAtom atom : atoms) {
+    for (Term& term : atom.args) {
+      if (term.is_variable()) {
+        auto it = substitution.find(term.variable);
+        if (it != substitution.end()) {
+          term = it->second;
+        }
+      }
+    }
+    bool duplicate = false;
+    for (const NormAtom& seen : normalized) {
+      if (seen.relation == atom.relation && seen.args == atom.args) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      normalized.push_back(std::move(atom));
+    }
+  }
+  std::vector<std::string> live_binders;
+  for (const std::string& binder : binders) {
+    bool used = false;
+    for (const NormAtom& atom : normalized) {
+      for (const Term& term : atom.args) {
+        if (term.is_variable() && term.variable == binder) {
+          used = true;
+          break;
+        }
+      }
+      if (used) {
+        break;
+      }
+    }
+    if (used) {
+      live_binders.push_back(binder);
+    }
+  }
+
+  // Self-join-freedom: two *distinct* atoms over one relation put the
+  // query outside the safe class (conservatively — constants could make
+  // some such pairs independent, but those fall through to the ladder).
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    for (size_t j = i + 1; j < normalized.size(); ++j) {
+      if (normalized[i].relation != normalized[j].relation) {
+        continue;
+      }
+      analysis.diagnostics.push_back(MakeNote(
+          "unsafe-self-join",
+          "self-join: relation '" + normalized[i].relation +
+              "' occurs in two distinct atoms " +
+              AtomToString(normalized[i]) + " and " +
+              AtomToString(normalized[j]) +
+              ", whose ground instantiations are not independent",
+          SourceRange::Merge(normalized[i].range, normalized[j].range)));
+      return analysis;
+    }
+  }
+
+  std::vector<size_t> all_indices;
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    all_indices.push_back(i);
+  }
+  Diagnostic blocker;
+  SafePlanPtr body = Build(normalized, all_indices, live_binders, &blocker);
+  if (body == nullptr) {
+    analysis.diagnostics.push_back(std::move(blocker));
+    return analysis;
+  }
+
+  SafePlanPtr plan;
+  if (residual_leaves.empty()) {
+    plan = std::move(body);
+  } else if (body->kind == SafePlanKind::kJoin && body->children.empty() &&
+             residual_leaves.size() == 1) {
+    plan = std::move(residual_leaves[0]);
+  } else {
+    SafePlanNode join;
+    join.kind = SafePlanKind::kJoin;
+    join.range = formula->range;
+    join.children = std::move(residual_leaves);
+    if (!(body->kind == SafePlanKind::kJoin && body->children.empty())) {
+      join.children.push_back(std::move(body));
+    }
+    plan = MakeNode(std::move(join));
+  }
+
+  analysis.safe = true;
+  analysis.plan = std::move(plan);
+  analysis.diagnostics.push_back(MakeNote(
+      "safe-plan", "safe plan: " + analysis.plan->ToString(),
+      formula->range));
+  return analysis;
+}
+
+bool HasSafePlan(const FormulaPtr& formula) {
+  SafePlanAnalysis analysis = AnalyzeSafePlan(formula);
+  return analysis.applicable && analysis.safe;
+}
+
+}  // namespace qrel

@@ -1,0 +1,110 @@
+// Safe-plan analysis for self-join-free conjunctive queries.
+//
+// The paper proves reliability #P-hard already for conjunctive queries
+// (Prop. 3.2), but the dichotomy literature (Dalvi–Suciu; Amarilli–
+// Kimelfeld, "Uniform Reliability of Self-Join-Free Conjunctive Queries")
+// identifies the *safe* subclass, recognizable syntactically, where the
+// query probability factors over independent tuple events and is exact in
+// polynomial time. This module is the recognizer: it normalizes a
+// conjunctive query ∃x̄ (α₁ ∧ ... ∧ α_ℓ), checks self-join-freedom, and
+// recursively applies the two safe-plan rules:
+//
+//   independent join     the atoms split into components that share no
+//                        quantified variable; since the query is self-join-
+//                        free, components touch disjoint ground atoms and
+//                        Pr[φ₁ ∧ φ₂] = Pr[φ₁]·Pr[φ₂];
+//   independent project  some quantified variable x (a *root* variable)
+//                        occurs in every atom, so the instantiations
+//                        φ[x:=c] touch disjoint ground atoms and
+//                        Pr[∃x φ] = 1 − Π_c (1 − Pr[φ[x:=c]]).
+//
+// A query where the recursion completes is *safe* and gets a SafePlan tree
+// that lifted/extensional.h evaluates directly against the tuple marginals
+// ν — no worlds, no samples, exact rationals. A query where it gets stuck
+// is reported unsafe with a located diagnostic naming the blocking
+// structure (the atom pair sharing a relation, or the quantified variables
+// none of which reaches every atom). Unsafe queries are not wrong, just
+// hard: they fall through to the engine's existing ladder.
+//
+// Normalization (performed before the rules, mirroring what the
+// simplifier is allowed to do so the verdict is stable under
+// simplification): equalities are unified away (preferring constants, then
+// free variables, as class representatives), with equalities among free
+// variables/constants kept as deterministic 0/1 leaves; duplicate atoms
+// are merged; binders whose variable occurs in no atom are dropped (sound
+// because universes are nonempty).
+//
+// Check ids emitted here (see DESIGN.md "Static analysis and plan
+// explanation"):
+//   note safe-plan                the query is safe; message carries the plan
+//   note unsafe-self-join         two distinct atoms share a relation
+//   note unsafe-no-root-variable  a component has no root variable (the
+//                                 hierarchy condition fails)
+
+#ifndef QREL_LOGIC_SAFE_PLAN_H_
+#define QREL_LOGIC_SAFE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qrel/logic/ast.h"
+#include "qrel/logic/diagnostics.h"
+
+namespace qrel {
+
+enum class SafePlanKind {
+  kAtom,      // ν lookup: R(t̄) with t̄ over constants, free and projected vars
+  kEquality,  // deterministic 0/1 leaf: t₁ = t₂ (no quantified variables)
+  kJoin,      // independent product over the children (empty product = 1)
+  kProject,   // independent project on `variable` over the single child
+};
+
+struct SafePlanNode;
+using SafePlanPtr = std::shared_ptr<const SafePlanNode>;
+
+struct SafePlanNode {
+  SafePlanKind kind = SafePlanKind::kJoin;
+
+  // kAtom:
+  std::string relation;
+  std::vector<Term> args;  // also kEquality (exactly two terms)
+
+  // kProject:
+  std::string variable;
+
+  // kJoin (any number), kProject (exactly one):
+  std::vector<SafePlanPtr> children;
+
+  // Source range of the formula fragment this node was built from (merged
+  // over the component for kJoin/kProject); may be invalid.
+  SourceRange range;
+
+  // Rendering: "proj x . (S(x) * E(x, y))"; the empty join renders "1".
+  std::string ToString() const;
+};
+
+struct SafePlanAnalysis {
+  // Whether the safe-plan rules are even in scope: the formula is a
+  // *quantified* conjunctive query (quantifier-free conjunctions already
+  // have the better Prop. 3.1 rung and are reported not applicable).
+  bool applicable = false;
+  // Whether the recursion completed; implies applicable.
+  bool safe = false;
+  // The plan, when safe.
+  SafePlanPtr plan;
+  // One note: safe-plan when safe, else the blocking unsafe-* diagnostic.
+  std::vector<Diagnostic> diagnostics;
+};
+
+// Analyzes `formula`. Purely syntactic: needs no vocabulary and no
+// database (the plan stores relation *names*; lifted/extensional.h
+// resolves them when it evaluates).
+SafePlanAnalysis AnalyzeSafePlan(const FormulaPtr& formula);
+
+// Convenience: applicable && safe.
+bool HasSafePlan(const FormulaPtr& formula);
+
+}  // namespace qrel
+
+#endif  // QREL_LOGIC_SAFE_PLAN_H_

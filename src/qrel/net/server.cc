@@ -295,12 +295,18 @@ Status QrelServer::Admit(const Request& request, const DbVersion& db,
   }
   // The static cost of the rung the run would execute: worlds for exact
   // enumeration, answer tuples for the quantifier-free algorithm,
-  // grounding size for the sampling estimators.
+  // grounding size for the extensional safe-plan rung (its n^k·n^depth
+  // plan evaluations are bounded by n^#variables) and for the sampling
+  // estimators. Keying on the *planned* rung means a query that
+  // simplifies to a safe or static form is admitted on its polynomial
+  // cost, never on the 2^u world count its raw class would suggest.
   const std::string& method = plan->planned_method;
   if (method.rfind("Thm 4.2", 0) == 0) {
     *cost = plan->cost.world_count;
   } else if (method.rfind("Prop 3.1", 0) == 0) {
     *cost = plan->cost.answer_space;
+  } else if (method.rfind("safe-plan extensional", 0) == 0) {
+    *cost = plan->cost.grounding_size;
   } else if (plan->static_truth != StaticTruth::kUnknown) {
     *cost = 0.0;
   } else {
@@ -464,6 +470,14 @@ Response QrelServer::HandleExplain(const Request& request) {
   fields.emplace_back("static_truth", StaticTruthName(plan.static_truth));
   fields.emplace_back("simplified", plan.simplified_query);
   fields.emplace_back("planned_method", plan.planned_method);
+  if (plan.safe_plan_applicable) {
+    fields.emplace_back("safe", plan.safe_plan_safe ? "1" : "0");
+    if (plan.safe_plan_safe) {
+      fields.emplace_back("safe_plan", plan.safe_plan);
+    } else {
+      fields.emplace_back("safe_plan_blocker", plan.safe_plan_blocker);
+    }
+  }
   fields.emplace_back("universe_size",
                       std::to_string(plan.cost.universe_size));
   fields.emplace_back("arity", std::to_string(plan.cost.arity));

@@ -36,14 +36,20 @@ std::vector<Diagnostic> WithCheck(const std::vector<Diagnostic>& diagnostics,
   return matching;
 }
 
-TEST(AnalyzeTest, CleanQueryHasNoDiagnostics) {
+TEST(AnalyzeTest, CleanQueryHasNoProblemDiagnostics) {
   Vocabulary vocabulary = TestVocabulary();
   FormulaAnalysis analysis =
       AnalyzeFormula(MustParse("exists x . S(x) & E(x, y)"), &vocabulary);
-  EXPECT_TRUE(analysis.diagnostics.empty());
+  // The query is safe, so the only diagnostic is the safe-plan note —
+  // which is informational and does not raise the lint exit code.
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].check_id, "safe-plan");
+  EXPECT_EQ(analysis.diagnostics[0].severity, DiagnosticSeverity::kNote);
   EXPECT_FALSE(analysis.has_errors());
   EXPECT_EQ(analysis.static_truth, StaticTruth::kUnknown);
   EXPECT_TRUE(analysis.arity_preserved);
+  EXPECT_TRUE(analysis.safety.applicable);
+  EXPECT_TRUE(analysis.safety.safe);
   EXPECT_EQ(LintExitCode(analysis.diagnostics), 0);
 }
 
@@ -142,7 +148,7 @@ TEST(AnalyzeTest, SimplifiedNote) {
       AnalyzeFormula(MustParse("!!(exists x . S(x))"), &vocabulary);
   EXPECT_EQ(WithCheck(analysis.diagnostics, "simplified").size(), 1u);
   EXPECT_EQ(analysis.original_class, QueryClass::kExistential);
-  EXPECT_EQ(analysis.effective_class, QueryClass::kConjunctive);
+  EXPECT_EQ(analysis.effective_class, QueryClass::kSafeConjunctive);
 }
 
 TEST(AnalyzeTest, ArityPreservation) {

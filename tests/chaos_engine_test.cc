@@ -147,7 +147,8 @@ std::vector<Outcome> RunWorkload() {
   if (!database.ok()) {
     // The engine steps cannot run without a database; report them as
     // failed-by-upstream so every workload has the same label set.
-    for (const char* label : {"engine_qf", "engine_exact", "engine_cor55",
+    for (const char* label : {"engine_qf", "engine_exact",
+                              "engine_extensional", "engine_cor55",
                               "engine_padded", "datalog_exact",
                               "datalog_padded"}) {
       Outcome outcome;
@@ -164,8 +165,14 @@ std::vector<Outcome> RunWorkload() {
   EngineOptions defaults;
   defaults.seed = 7;
   outcomes.push_back(EngineOutcome("engine_qf", engine.Run("S(x)", defaults)));
+  // The S self-join keeps this query off the safe-plan rung so the
+  // enumeration fault sites stay covered.
   outcomes.push_back(EngineOutcome(
-      "engine_exact", engine.Run("exists x y . E(x,y) & S(y)", defaults)));
+      "engine_exact",
+      engine.Run("exists x y . E(x,y) & S(y) & S(x)", defaults)));
+  outcomes.push_back(EngineOutcome(
+      "engine_extensional",
+      engine.Run("exists x y . E(x,y) & S(y)", defaults)));
 
   EngineOptions sampled = defaults;
   sampled.force_approximate = true;
@@ -202,6 +209,7 @@ const char* const kExpectedSites[] = {
     "propositional.karp_luby.sample",
     "propositional.naive_mc.sample",
     "engine.rung.quantifier_free",
+    "engine.rung.extensional",
     "engine.exact.enumerate",
     "engine.rung.approx",
     "engine.datalog.exact",

@@ -59,7 +59,15 @@ TEST(ClassifyTest, MostSpecificClass) {
             QueryClass::kQuantifierFree);
   // Quantifier-free conjunction reports quantifier-free, not conjunctive.
   EXPECT_EQ(Classify(MustParse("S(x) & T(x)")), QueryClass::kQuantifierFree);
+  // ∃x (S(x) ∧ T(x)) is hierarchical and self-join-free: safe.
   EXPECT_EQ(Classify(MustParse("exists x . S(x) & T(x)")),
+            QueryClass::kSafeConjunctive);
+  // Non-hierarchical (x misses T(y), y misses S(x)): conjunctive but not
+  // safe.
+  EXPECT_EQ(Classify(MustParse("exists x . exists y . S(x) & E(x, y) & T(y)")),
+            QueryClass::kConjunctive);
+  // Self-join: conjunctive but not safe.
+  EXPECT_EQ(Classify(MustParse("exists x . exists y . E(x, y) & E(y, x)")),
             QueryClass::kConjunctive);
   EXPECT_EQ(Classify(MustParse("exists x . S(x) | T(x)")),
             QueryClass::kExistential);
@@ -73,6 +81,8 @@ TEST(ClassifyTest, MostSpecificClass) {
 TEST(ClassifyTest, ClassNames) {
   EXPECT_STREQ(QueryClassName(QueryClass::kQuantifierFree),
                "quantifier-free");
+  EXPECT_STREQ(QueryClassName(QueryClass::kSafeConjunctive),
+               "safe conjunctive");
   EXPECT_STREQ(QueryClassName(QueryClass::kConjunctive), "conjunctive");
   EXPECT_STREQ(QueryClassName(QueryClass::kExistential), "existential");
   EXPECT_STREQ(QueryClassName(QueryClass::kUniversal), "universal");

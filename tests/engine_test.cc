@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "qrel/core/reliability.h"
+#include "qrel/logic/parser.h"
 #include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
 #include "qrel/util/run_context.h"
 
 namespace qrel {
@@ -44,7 +47,9 @@ TEST(EngineTest, QuantifierFreeUsesProp31) {
 
 TEST(EngineTest, SmallSupportUsesExactEnumeration) {
   ReliabilityEngine engine = MakeEngine();
-  EngineReport report = *engine.Run("exists x . S(x) & E(x, x)");
+  // The S self-join makes the query unsafe, so it lands on enumeration.
+  EngineReport report =
+      *engine.Run("exists x . exists y . S(x) & E(x, y) & S(y)");
   EXPECT_TRUE(report.is_exact);
   EXPECT_NE(report.method.find("Thm 4.2"), std::string::npos);
 }
@@ -110,6 +115,9 @@ TEST(EngineTest, ClassReporting) {
   EXPECT_EQ(engine.Run("S(x) & E(x, y)")->query_class,
             QueryClass::kQuantifierFree);
   EXPECT_EQ(engine.Run("exists x . S(x) & E(x, x)")->query_class,
+            QueryClass::kSafeConjunctive);
+  EXPECT_EQ(engine.Run("exists x . exists y . S(x) & E(x, y) & S(y)")
+                ->query_class,
             QueryClass::kConjunctive);
   EXPECT_EQ(engine.Run("exists x . S(x) | E(x, x)")->query_class,
             QueryClass::kExistential);
@@ -142,7 +150,7 @@ TEST(EngineBudgetTest, DeadlineDegradesExactPathToSampling) {
   options.max_exact_worlds = uint64_t{1} << 32;
   options.seed = 5;
   StatusOr<EngineReport> report =
-      engine.Run("exists x . S(x) & T(x)", options);
+      engine.Run("exists x . exists y . S(x) & T(x) & T(y)", options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->degraded);
   EXPECT_FALSE(report->degradation_reason.empty());
@@ -169,7 +177,7 @@ TEST(EngineBudgetTest, WorkBudgetDegradesExactPathToSampling) {
   options.run_context = &ctx;
   options.max_exact_worlds = uint64_t{1} << 32;
   StatusOr<EngineReport> report =
-      engine.Run("exists x . S(x) & T(x)", options);
+      engine.Run("exists x . exists y . S(x) & T(x) & T(y)", options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->degraded);
   EXPECT_NE(report->degradation_reason.find("RESOURCE_EXHAUSTED"),
@@ -188,7 +196,7 @@ TEST(EngineBudgetTest, NoDegradeSurfacesTheBudgetError) {
   options.max_exact_worlds = uint64_t{1} << 32;
   options.degrade_on_budget = false;
   StatusOr<EngineReport> report =
-      engine.Run("exists x . S(x) & T(x)", options);
+      engine.Run("exists x . exists y . S(x) & T(x) & T(y)", options);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
 }
@@ -200,7 +208,7 @@ TEST(EngineBudgetTest, ForceExactRefusesToDegrade) {
   options.run_context = &ctx;
   options.force_exact = true;
   StatusOr<EngineReport> report =
-      engine.Run("exists x . S(x) & T(x)", options);
+      engine.Run("exists x . exists y . S(x) & T(x) & T(y)", options);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
 }
@@ -438,12 +446,103 @@ TEST(EngineAnalysisTest, ArityDroppingSimplificationIsNotSubstituted) {
   EXPECT_EQ(report.observed_answers->size(), 8u);
 }
 
+TEST(EngineExtensionalTest, SafeQueryRunsExtensionallyWithoutSampling) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineReport report = *engine.Run("exists x y . E(x,y) & S(y)");
+  EXPECT_EQ(report.query_class, QueryClass::kSafeConjunctive);
+  EXPECT_TRUE(report.is_exact);
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_EQ(report.method.rfind("safe-plan extensional evaluation", 0), 0u)
+      << report.method;
+  // E is certain; the query fails only when S(1) stays absent (1/2) and
+  // S(2) flips away (1/3): H = 1/6, R = 5/6 — identical to what Thm 4.2
+  // world enumeration computes (see extensional_test.cc for the
+  // systematic bit-for-bit cross-check).
+  ASSERT_TRUE(report.exact_reliability.has_value());
+  EXPECT_EQ(*report.exact_reliability, Rational(5, 6));
+  StatusOr<UnreliableDatabase> db = ParseUdb(kUdb);
+  ASSERT_TRUE(db.ok());
+  StatusOr<ReliabilityReport> enumerated = ExactReliability(
+      *ParseFormula("exists x y . E(x,y) & S(y)"), *db);
+  ASSERT_TRUE(enumerated.ok());
+  EXPECT_EQ(*report.exact_reliability, enumerated->reliability);
+}
+
+TEST(EngineExtensionalTest, ForceExactKeepsTheExtensionalRung) {
+  // The extensional rung IS exact, so force_exact does not push the query
+  // down to world enumeration.
+  ReliabilityEngine engine = MakeEngine();
+  EngineOptions options;
+  options.force_exact = true;
+  EngineReport report = *engine.Run("exists x y . E(x,y) & S(y)", options);
+  EXPECT_TRUE(report.is_exact);
+  EXPECT_EQ(report.method.rfind("safe-plan extensional evaluation", 0), 0u);
+}
+
+TEST(EngineExtensionalTest, ForceApproximateSkipsTheExtensionalRung) {
+  ReliabilityEngine engine = MakeEngine();
+  EngineOptions options;
+  options.force_approximate = true;
+  options.seed = 3;
+  options.epsilon = 0.3;
+  options.delta = 0.3;
+  EngineReport report = *engine.Run("exists x y . E(x,y) & S(y)", options);
+  EXPECT_FALSE(report.is_exact);
+  EXPECT_NE(report.method.find("Cor 5.5"), std::string::npos);
+  EXPECT_GT(report.samples, 0u);
+}
+
+TEST(EngineExtensionalTest, BudgetFailureDegradesToSampling) {
+  ReliabilityEngine engine = MakeEngine();
+  FaultInjector::Instance().Reset();
+  FaultInjector::Instance().Arm("engine.rung.extensional", 1,
+                                StatusCode::kResourceExhausted);
+  EngineOptions options;
+  options.seed = 9;
+  StatusOr<EngineReport> report =
+      engine.Run("exists x y . E(x,y) & S(y)", options);
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->degraded);
+  EXPECT_NE(report->degradation_reason.find("RESOURCE_EXHAUSTED"),
+            std::string::npos);
+  EXPECT_FALSE(report->is_exact);
+  EXPECT_GT(report->samples, 0u);
+}
+
+TEST(EngineExtensionalTest, NonBudgetFailureSurfacesTyped) {
+  ReliabilityEngine engine = MakeEngine();
+  FaultInjector::Instance().Reset();
+  FaultInjector::Instance().Arm("engine.rung.extensional", 1,
+                                StatusCode::kInternal);
+  StatusOr<EngineReport> report = engine.Run("exists x y . E(x,y) & S(y)");
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(EngineExtensionalTest, ExplainReportsUnsafeBlocker) {
+  ReliabilityEngine engine = MakeEngine();
+  EnginePlan plan =
+      *engine.Explain("exists x . exists y . E(x, y) & E(y, x)");
+  EXPECT_EQ(plan.query_class, QueryClass::kConjunctive);
+  EXPECT_TRUE(plan.safe_plan_applicable);
+  EXPECT_FALSE(plan.safe_plan_safe);
+  EXPECT_EQ(plan.safe_plan_blocker, "unsafe-self-join");
+  EXPECT_EQ(plan.planned_method, "Thm 4.2 exact world enumeration");
+}
+
 TEST(EngineExplainTest, ExplainReportsDiagnosticsCostAndPlan) {
   ReliabilityEngine engine = MakeEngine();
   EnginePlan plan = *engine.Explain("exists x . S(x) & E(x, y)");
-  EXPECT_TRUE(plan.diagnostics.empty());
-  EXPECT_EQ(plan.query_class, QueryClass::kConjunctive);
-  EXPECT_EQ(plan.effective_class, QueryClass::kConjunctive);
+  // The only diagnostic is the safe-plan note.
+  ASSERT_EQ(plan.diagnostics.size(), 1u);
+  EXPECT_EQ(plan.diagnostics[0].check_id, "safe-plan");
+  EXPECT_EQ(plan.query_class, QueryClass::kSafeConjunctive);
+  EXPECT_EQ(plan.effective_class, QueryClass::kSafeConjunctive);
+  EXPECT_TRUE(plan.safe_plan_applicable);
+  EXPECT_TRUE(plan.safe_plan_safe);
+  EXPECT_EQ(plan.safe_plan, "proj x . (S(x) * E(x, y))");
   EXPECT_EQ(plan.static_truth, StaticTruth::kUnknown);
   EXPECT_EQ(plan.cost.universe_size, 4);
   EXPECT_EQ(plan.cost.arity, 1);
@@ -452,7 +551,7 @@ TEST(EngineExplainTest, ExplainReportsDiagnosticsCostAndPlan) {
   EXPECT_DOUBLE_EQ(plan.cost.grounding_size, 16.0);
   EXPECT_EQ(plan.cost.uncertain_atoms, 3u);
   EXPECT_DOUBLE_EQ(plan.cost.world_count, 8.0);
-  EXPECT_EQ(plan.planned_method, "Thm 4.2 exact world enumeration");
+  EXPECT_EQ(plan.planned_method, "safe-plan extensional evaluation");
 
   EnginePlan broken = *engine.Explain("Zap(x)");
   EXPECT_TRUE(broken.has_errors());

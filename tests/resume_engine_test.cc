@@ -131,7 +131,7 @@ void RunEngineKillResume(const std::string& query, const EngineOptions& base,
 TEST_F(ResumeEngineTest, ExactEnumerationResumesBitIdentical) {
   EngineOptions options;
   options.seed = 7;
-  RunEngineKillResume("exists x y . E(x,y) & S(y)", options,
+  RunEngineKillResume("exists x y . E(x,y) & S(y) & S(x)", options,
                       "core.exact.world:5", "resume_exact.snapshot");
 }
 

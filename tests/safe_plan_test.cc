@@ -1,0 +1,182 @@
+#include "qrel/logic/safe_plan.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qrel/logic/parser.h"
+
+namespace qrel {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  StatusOr<FormulaPtr> result = ParseFormula(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+// Shorthand: the rendered plan for a query asserted to be safe.
+std::string PlanFor(const std::string& text) {
+  SafePlanAnalysis analysis = AnalyzeSafePlan(MustParse(text));
+  EXPECT_TRUE(analysis.applicable) << text;
+  EXPECT_TRUE(analysis.safe) << text;
+  if (!analysis.safe || analysis.plan == nullptr) {
+    return "<unsafe>";
+  }
+  return analysis.plan->ToString();
+}
+
+// Shorthand: the blocking check id for a query asserted to be unsafe.
+std::string BlockerFor(const std::string& text) {
+  SafePlanAnalysis analysis = AnalyzeSafePlan(MustParse(text));
+  EXPECT_TRUE(analysis.applicable) << text;
+  EXPECT_FALSE(analysis.safe) << text;
+  if (analysis.diagnostics.empty()) {
+    return "<none>";
+  }
+  return analysis.diagnostics.front().check_id;
+}
+
+TEST(SafePlanTest, SingleAtomProjectsItsVariable) {
+  EXPECT_EQ(PlanFor("exists x . S(x)"), "proj x . S(x)");
+}
+
+TEST(SafePlanTest, HierarchicalJoinProjectsRootThenSplits) {
+  // y is in every atom (root); after projecting y, S(y) and E(x, y) share
+  // no quantified variable and split into an independent join.
+  EXPECT_EQ(PlanFor("exists x . exists y . E(x, y) & S(y)"),
+            "proj y . (proj x . E(x, y) * S(y))");
+}
+
+TEST(SafePlanTest, FreeVariablesStayAsPlanParameters) {
+  EXPECT_EQ(PlanFor("exists x . S(x) & E(x, y)"),
+            "proj x . (S(x) * E(x, y))");
+}
+
+TEST(SafePlanTest, DisjointComponentsJoinWithoutARootVariable) {
+  // No variable is in both atoms, but they also share no quantified
+  // variable: the independent-join rule applies first.
+  EXPECT_EQ(PlanFor("exists x . exists y . S(x) & T(y)"),
+            "(proj x . S(x) * proj y . T(y))");
+}
+
+TEST(SafePlanTest, QuantifierPrefixOrderDoesNotMatter) {
+  EXPECT_EQ(PlanFor("exists y . exists x . E(x, y) & S(y)"),
+            PlanFor("exists x . exists y . E(x, y) & S(y)"));
+}
+
+TEST(SafePlanTest, DuplicateAtomsAreMerged) {
+  EXPECT_EQ(PlanFor("exists x . S(x) & S(x)"), "proj x . S(x)");
+}
+
+TEST(SafePlanTest, UnusedBindersAreDropped) {
+  // ∃y over a nonempty universe is a no-op when y occurs in no atom.
+  EXPECT_EQ(PlanFor("exists x . exists y . S(x)"), "proj x . S(x)");
+}
+
+TEST(SafePlanTest, ShadowedBindersAreHandled) {
+  EXPECT_EQ(PlanFor("exists x . exists x . S(x)"), "proj x . S(x)");
+}
+
+TEST(SafePlanTest, BoundEqualityIsSubstitutedAway) {
+  // ∃x (x = #2 ∧ S(x)) ≡ S(#2): the equality binds x to the constant.
+  EXPECT_EQ(PlanFor("exists x . x = #2 & S(x)"), "S(#2)");
+  // ∃x (x = y ∧ E(x, y)) ≡ E(y, y) with y free.
+  EXPECT_EQ(PlanFor("exists x . x = y & E(x, y)"), "E(y, y)");
+}
+
+TEST(SafePlanTest, ResidualEqualityBecomesDeterministicLeaf) {
+  // y = z has no quantified variable: it survives as a 0/1 leaf joined
+  // with the substituted body.
+  EXPECT_EQ(PlanFor("exists x . x = y & y = z & S(x)"),
+            "(y = z * S(y))");
+}
+
+TEST(SafePlanTest, ContradictoryConstantsYieldAZeroLeaf) {
+  // #1 = #2 is statically false; the plan is the deterministic 0 leaf.
+  SafePlanAnalysis analysis =
+      AnalyzeSafePlan(MustParse("exists x . x = #1 & x = #2 & S(x)"));
+  EXPECT_TRUE(analysis.safe);
+  ASSERT_NE(analysis.plan, nullptr);
+  EXPECT_EQ(analysis.plan->kind, SafePlanKind::kEquality);
+}
+
+TEST(SafePlanTest, SafeQueryEmitsTheSafePlanNote) {
+  SafePlanAnalysis analysis =
+      AnalyzeSafePlan(MustParse("exists x . S(x) & T(x)"));
+  EXPECT_TRUE(analysis.applicable);
+  EXPECT_TRUE(analysis.safe);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].check_id, "safe-plan");
+  EXPECT_EQ(analysis.diagnostics[0].severity, DiagnosticSeverity::kNote);
+  EXPECT_NE(analysis.diagnostics[0].message.find("proj x . (S(x) * T(x))"),
+            std::string::npos);
+}
+
+TEST(SafePlanTest, SelfJoinIsRejectedWithBothAtomsNamed) {
+  const std::string query = "exists x . exists y . E(x, y) & E(y, x)";
+  EXPECT_EQ(BlockerFor(query), "unsafe-self-join");
+  SafePlanAnalysis analysis = AnalyzeSafePlan(MustParse(query));
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  const Diagnostic& diagnostic = analysis.diagnostics[0];
+  EXPECT_NE(diagnostic.message.find("E(x, y)"), std::string::npos);
+  EXPECT_NE(diagnostic.message.find("E(y, x)"), std::string::npos);
+  // The range covers both atoms, which the parser locates inside the
+  // query text.
+  ASSERT_TRUE(diagnostic.range.valid());
+  EXPECT_GE(diagnostic.range.begin, query.find("E(x, y)"));
+  EXPECT_LE(diagnostic.range.end, query.size());
+}
+
+TEST(SafePlanTest, SelfJoinWithConstantsIsStillRejected) {
+  // Conservative: E(x, #0) and E(#1, x) touch disjoint ground atoms only
+  // for some instantiations, and the checker does not try to prove it.
+  EXPECT_EQ(BlockerFor("exists x . E(x, #0) & E(#1, x)"),
+            "unsafe-self-join");
+}
+
+TEST(SafePlanTest, NonHierarchicalQueryHasNoRootVariable) {
+  SafePlanAnalysis analysis = AnalyzeSafePlan(
+      MustParse("exists x . exists y . S(x) & E(x, y) & T(y)"));
+  EXPECT_TRUE(analysis.applicable);
+  EXPECT_FALSE(analysis.safe);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].check_id, "unsafe-no-root-variable");
+  // The witness names a variable missing from a concrete atom.
+  EXPECT_NE(analysis.diagnostics[0].message.find("does not occur in"),
+            std::string::npos);
+}
+
+TEST(SafePlanTest, QuantifierFreeQueriesAreNotApplicable) {
+  // Prop 3.1 already covers these exactly; the safe-plan rung stays out.
+  SafePlanAnalysis analysis = AnalyzeSafePlan(MustParse("S(x) & E(x, y)"));
+  EXPECT_FALSE(analysis.applicable);
+  EXPECT_FALSE(analysis.safe);
+  EXPECT_TRUE(analysis.diagnostics.empty());
+}
+
+TEST(SafePlanTest, NonConjunctiveQueriesAreNotApplicable) {
+  EXPECT_FALSE(AnalyzeSafePlan(MustParse("exists x . S(x) | T(x)")).applicable);
+  EXPECT_FALSE(AnalyzeSafePlan(MustParse("forall x . S(x)")).applicable);
+  EXPECT_FALSE(AnalyzeSafePlan(MustParse("exists x . !S(x)")).applicable);
+  EXPECT_FALSE(
+      AnalyzeSafePlan(MustParse("exists x . S(x) & (T(x) | E(x, x))"))
+          .applicable);
+}
+
+TEST(SafePlanTest, HasSafePlanMatchesTheAnalysis) {
+  EXPECT_TRUE(HasSafePlan(MustParse("exists x . S(x) & T(x)")));
+  EXPECT_FALSE(HasSafePlan(MustParse("exists x . exists y . E(x, y) & E(y, x)")));
+  EXPECT_FALSE(HasSafePlan(MustParse("S(x)")));
+}
+
+TEST(SafePlanTest, DeepHierarchyBuildsNestedProjects) {
+  // x is in all three atoms; after projecting x, y is in both remaining
+  // E/F atoms... but E and F are different relations, so the split is by
+  // shared quantified variables: E(x, y) and F(x, y) share y.
+  EXPECT_EQ(PlanFor("exists x . exists y . S(x) & E(x, y) & F(x, y)"),
+            "proj x . (S(x) * proj y . (E(x, y) * F(x, y)))");
+}
+
+}  // namespace
+}  // namespace qrel

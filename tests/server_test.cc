@@ -88,7 +88,9 @@ TEST(ServerTest, AnswersExactQueryWithFullReport) {
   // (1 - 3/4 * 1/3) * (1 - 1/5) = 3/5.
   EXPECT_EQ(response.Field("exact_value").value_or(""), "3/5");
   EXPECT_EQ(response.Field("pressure").value_or(""), "0");
-  EXPECT_TRUE(response.Field("method").value_or("").rfind("Thm 4.2", 0) == 0)
+  EXPECT_TRUE(response.Field("method")
+                  .value_or("")
+                  .rfind("safe-plan extensional", 0) == 0)
       << response.Field("method").value_or("");
 }
 
@@ -150,6 +152,28 @@ TEST(ServerTest, CostCeilingRejectsBeforeAnyWork) {
   EXPECT_EQ(stats.completed_ok + stats.completed_error, 0u);
 }
 
+TEST(ServerTest, SafeQueryIsAdmittedOnItsPolynomialCost) {
+  // 4 uncertain atoms → 16 worlds, over the ceiling; but the query is
+  // safe, so admission keys on the extensional grounding cost 3^2 = 9 and
+  // the request runs (exactly) instead of being shed.
+  ServerOptions options;
+  options.max_admission_cost = 10.0;
+  QrelServer server(TestEngine(), options);
+  Response response =
+      server.Handle(QueryRequest("exists x y . E(x,y) & S(y)"));
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(response.Field("exact").value_or(""), "1");
+  EXPECT_EQ(response.Field("exact_value").value_or(""), "3/5");
+  ServerStatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected_cost, 0u);
+
+  // An unsafe conjunctive sibling of the same shape still prices at its
+  // 16-world enumeration and is shed by the same ceiling.
+  response = server.Handle(QueryRequest("exists x y . E(x,y) & S(y) & S(x)"));
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+}
+
 TEST(ServerTest, ExplainReportsAdmissionWithoutExecuting) {
   ServerOptions options;
   options.max_admission_cost = 4.0;
@@ -162,8 +186,11 @@ TEST(ServerTest, ExplainReportsAdmissionWithoutExecuting) {
   ASSERT_TRUE(response.ok()) << response.status.ToString();
   EXPECT_EQ(response.Field("admitted").value_or(""), "0");
   EXPECT_FALSE(response.Field("reject_reason").value_or("").empty());
-  EXPECT_TRUE(
-      response.Field("planned_method").value_or("").rfind("Thm 4.2", 0) == 0);
+  EXPECT_TRUE(response.Field("planned_method")
+                  .value_or("")
+                  .rfind("safe-plan extensional", 0) == 0);
+  EXPECT_EQ(response.Field("safe").value_or(""), "1");
+  EXPECT_FALSE(response.Field("safe_plan").value_or("").empty());
 
   // Statically-false queries cost nothing and are always admitted.
   explain.query = "S(x) & !S(x)";

@@ -47,10 +47,12 @@ TEST(SimplifyTest, DoubleNegation) {
 
 TEST(SimplifyTest, DoubleNegationRestoresQuantifierClass) {
   // !!∃ is classified existential only through NNF; dropping the double
-  // negation makes it syntactically conjunctive — a strictly better rung.
+  // negation makes it syntactically conjunctive — and ∃x S(x) is even
+  // safe — a strictly better rung.
   FormulaPtr original = MustParse("!!(exists x . S(x))");
   EXPECT_EQ(Classify(original), QueryClass::kExistential);
-  EXPECT_EQ(Classify(SimplifyFormula(original)), QueryClass::kConjunctive);
+  EXPECT_EQ(Classify(SimplifyFormula(original)),
+            QueryClass::kSafeConjunctive);
 
   // The universal dual stays universal (never worse).
   FormulaPtr universal = MustParse("!!(forall x . S(x))");
@@ -105,10 +107,10 @@ TEST(SimplifyTest, FlattensNestedConnectives) {
 TEST(SimplifyTest, EqualitiesInConjunctiveQueries) {
   // A CQ with a trivial equality stays a CQ (and sheds the equality).
   FormulaPtr query = MustParse("exists x . S(x) & E(x, y) & x = x");
-  EXPECT_EQ(Classify(query), QueryClass::kConjunctive);
+  EXPECT_EQ(Classify(query), QueryClass::kSafeConjunctive);
   FormulaPtr simplified = SimplifyFormula(query);
   EXPECT_EQ(simplified->ToString(), Canonical("exists x . S(x) & E(x, y)"));
-  EXPECT_EQ(Classify(simplified), QueryClass::kConjunctive);
+  EXPECT_EQ(Classify(simplified), QueryClass::kSafeConjunctive);
   // A non-trivial equality is kept: it constrains the assignment.
   EXPECT_EQ(Simplified("exists x . S(x) & x = y"),
             Canonical("exists x . S(x) & x = y"));
