@@ -31,9 +31,19 @@
 //   --pressure-depth=<n>  queue depth that triggers degraded answers
 //   --cache=<n>           result cache entries (0 disables storing)
 //   --checkpoint-dir=<d>  crash/drain-safe per-query checkpointing
+//   --checkpoint-interval-ms=<n>  checkpoint cadence (0 = every safe point)
+//   --state-dir=<d>       durable server state: the attached-database
+//                         manifest, the idempotency journal, and (unless
+//                         --checkpoint-dir overrides) checkpoints all live
+//                         here; on startup the server sweeps the dir and
+//                         replays the manifest (see net/server.h
+//                         RecoverState). With --state-dir the database
+//                         arguments are optional — a restart recovers
+//                         them from the manifest.
 //   --drain-grace-ms=<n>  how long a drain waits before cancelling
 //   --fault-inject=<site>[:<n>]  arm a fault site (repeatable); see
 //                         util/fault_injection.h
+//   --enable-fault-verb   permit the FAULT wire verb (crash drills only)
 //
 // Signals: SIGTERM and SIGINT begin a graceful drain — the listener stops
 // accepting, queued-but-unstarted requests fail fast with CANCELLED,
@@ -100,8 +110,9 @@ int Usage() {
       "[--cost-ceiling=D] [--max-work=N] [--max-request-work=N] [--quota=N] "
       "[--tenant-rate=N] [--tenant-burst=N] [--tenant-quota=N] "
       "[--timeout-ms=N] [--pressure-depth=N] [--cache=N] "
-      "[--checkpoint-dir=DIR] [--drain-grace-ms=N] "
-      "[--fault-inject=SITE[:N]]\n");
+      "[--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
+      "[--state-dir=DIR] [--drain-grace-ms=N] "
+      "[--fault-inject=SITE[:N]] [--enable-fault-verb]\n");
   return 2;
 }
 
@@ -156,6 +167,8 @@ int main(int argc, char** argv) {
                         &options.tenant_work_quota) ||
         ParseUint64Flag(argv[i], "--timeout-ms",
                         &options.default_timeout_ms) ||
+        ParseUint64Flag(argv[i], "--checkpoint-interval-ms",
+                        &options.checkpoint_interval_ms) ||
         ParseUint64Flag(argv[i], "--drain-grace-ms",
                         &options.drain_grace_ms)) {
       continue;
@@ -177,6 +190,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--checkpoint-dir needs a directory path\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
+      options.state_dir = argv[i] + 12;
+      if (options.state_dir.empty()) {
+        std::fprintf(stderr, "--state-dir needs a directory path\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--enable-fault-verb") == 0) {
+      options.enable_fault_verb = true;
     } else if (std::strncmp(argv[i], "--fault-inject=", 15) == 0) {
       qrel::Status armed = qrel::ArmFaultFromSpec(argv[i] + 15);
       if (!armed.ok()) {
@@ -191,7 +212,7 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (databases.empty()) {
+  if (databases.empty() && options.state_dir.empty()) {
     return Usage();
   }
   options.workers = static_cast<int>(workers);
@@ -201,16 +222,56 @@ int main(int argc, char** argv) {
   }
 
   qrel::QrelServer server(options);
+
+  // Recover durable state *before* the command-line attaches: a startup
+  // ATTACH must not clobber the manifest the previous incarnation wrote.
+  if (!options.state_dir.empty()) {
+    qrel::RecoveryReport recovery = server.RecoverState();
+    if (recovery.manifest_found || recovery.gc_removed_temp != 0 ||
+        recovery.gc_removed_corrupt != 0 ||
+        recovery.journal_recovered != 0 || recovery.journal_corrupt != 0) {
+      std::printf("recovered  : %zu databases (%zu already attached, %zu "
+                  "failed), %zu idempotency keys (%zu corrupt), swept %zu "
+                  "orphaned temps, %zu corrupt leftovers%s\n",
+                  recovery.reattached, recovery.skipped_existing,
+                  recovery.failures.size(), recovery.journal_recovered,
+                  recovery.journal_corrupt, recovery.gc_removed_temp,
+                  recovery.gc_removed_corrupt,
+                  recovery.manifest_corrupt ? " (manifest corrupt)" : "");
+      for (const std::string& failure : recovery.failures) {
+        std::fprintf(stderr, "recovery   : %s\n", failure.c_str());
+      }
+    }
+  }
+
   for (auto& [name, path] : databases) {
     if (name.empty()) {
       name = options.default_db;
     }
-    qrel::Status attached = server.catalog().Attach(name, path);
+    // Through the wire-verb path, not catalog() directly, so the attach
+    // also persists the manifest when --state-dir is set.
+    qrel::Request attach;
+    attach.verb = qrel::RequestVerb::kAttach;
+    attach.target = name;
+    attach.path = path;
+    qrel::Response attached = server.Handle(attach);
     if (!attached.ok()) {
+      if (attached.status.code() == qrel::StatusCode::kFailedPrecondition &&
+          server.catalog().Resolve(name).ok()) {
+        // Recovery already re-attached this name from the manifest; the
+        // recovered version (fingerprint-verified) wins.
+        continue;
+      }
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   attached.ToString().c_str());
-      return ExitCodeFor(attached);
+                   attached.status.ToString().c_str());
+      return ExitCodeFor(attached.status);
     }
+  }
+  if (server.catalog().List().empty()) {
+    std::fprintf(stderr,
+                 "no databases: nothing recovered from --state-dir and none "
+                 "given on the command line\n");
+    // Still start: the admin plane (ATTACH) can populate the catalog.
   }
   for (const qrel::DbInfo& info : server.catalog().List()) {
     std::printf("database   : %s = %s (universe %d, %zu facts, %zu "

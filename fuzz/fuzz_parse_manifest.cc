@@ -1,0 +1,45 @@
+// Fuzz target for the durable catalog manifest and the idempotency
+// journal record (net/manifest.h). Arbitrary bytes must decode to a
+// typed error or a valid object — never crash or accept corruption —
+// and every accepted input must satisfy the canonical-encoding fixpoint:
+// re-encoding reproduces the input bytes exactly. That fixpoint is what
+// lets crash recovery trust a manifest that merely *decodes*: there is
+// exactly one byte representation per logical manifest, so a decoded
+// manifest carries no attacker- or corruption-controlled slack.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qrel/net/manifest.h"
+#include "qrel/util/snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  qrel::StatusOr<qrel::SnapshotData> container =
+      qrel::DecodeSnapshot(data, size);
+  if (!container.ok()) {
+    return 0;
+  }
+  qrel::StatusOr<qrel::CatalogManifest> manifest =
+      qrel::DecodeManifest(*container);
+  if (manifest.ok()) {
+    std::vector<uint8_t> reencoded =
+        qrel::EncodeSnapshot(qrel::EncodeManifest(*manifest));
+    if (reencoded.size() != size ||
+        !std::equal(reencoded.begin(), reencoded.end(), data)) {
+      __builtin_trap();
+    }
+  }
+  qrel::StatusOr<qrel::IdempotencyRecord> record =
+      qrel::DecodeIdempotencyRecord(*container);
+  if (record.ok()) {
+    std::vector<uint8_t> reencoded =
+        qrel::EncodeSnapshot(qrel::EncodeIdempotencyRecord(*record));
+    if (reencoded.size() != size ||
+        !std::equal(reencoded.begin(), reencoded.end(), data)) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

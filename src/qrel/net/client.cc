@@ -178,6 +178,13 @@ StatusOr<Response> QrelClient::DbList() {
   return Call(request);
 }
 
+StatusOr<Response> QrelClient::Fault(const std::string& spec) {
+  Request request;
+  request.verb = RequestVerb::kFault;
+  request.target = spec;
+  return Call(request);
+}
+
 StatusOr<Response> QrelClient::QueryWithRetry(const std::string& query,
                                               const RequestOptions& options,
                                               const RetryPolicy& policy) {

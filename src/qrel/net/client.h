@@ -68,6 +68,11 @@ class QrelClient {
                             const std::string& path = "");
   StatusOr<Response> DbList();
 
+  // Arms a fault-injection site (`<site>[:<n>]`) on the server. Requires
+  // the server to run with --enable-fault-verb; refused with
+  // FAILED_PRECONDITION otherwise. Crash-drill plumbing only.
+  StatusOr<Response> Fault(const std::string& spec);
+
   // Query with retry-on-overload. Each attempt reconnects first if the
   // previous one tore down the connection (using the Connect() port and
   // receive timeout). Retries follow `policy` — bounded exponential

@@ -1,0 +1,181 @@
+#include "qrel/net/manifest.h"
+
+#include <utility>
+
+#include "qrel/net/catalog.h"
+
+namespace qrel {
+
+namespace {
+
+// The manifest names end up in filenames and wire responses, so they are
+// held to the catalog's identifier grammar; paths only need to be
+// non-empty and bounded.
+constexpr size_t kMaxSourcePathLength = 4096;
+
+Status ValidateEntry(const ManifestEntry& entry) {
+  if (!DbCatalog::ValidName(entry.name)) {
+    return Status::InvalidArgument("manifest entry has an invalid database "
+                                   "name: \"" +
+                                   entry.name + "\"");
+  }
+  if (entry.source_path.empty() ||
+      entry.source_path.size() > kMaxSourcePathLength) {
+    return Status::InvalidArgument("manifest entry for \"" + entry.name +
+                                   "\" has an empty or oversized source "
+                                   "path");
+  }
+  if (entry.version == 0) {
+    return Status::DataLoss("manifest entry for \"" + entry.name +
+                            "\" has version 0 (versions start at 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t ManifestFingerprint(const CatalogManifest& manifest) {
+  Fingerprint fp;
+  fp.Mix(kCatalogManifestKind);
+  fp.Mix(static_cast<uint64_t>(manifest.entries.size()));
+  for (const ManifestEntry& entry : manifest.entries) {
+    fp.Mix(entry.name);
+    fp.Mix(entry.source_path);
+    fp.Mix(entry.version);
+    fp.Mix(entry.fingerprint);
+  }
+  return fp.value();
+}
+
+SnapshotData EncodeManifest(const CatalogManifest& manifest) {
+  SnapshotWriter writer;
+  writer.U32(static_cast<uint32_t>(manifest.entries.size()));
+  for (const ManifestEntry& entry : manifest.entries) {
+    writer.String(entry.name);
+    writer.String(entry.source_path);
+    writer.U64(entry.version);
+    writer.U64(entry.fingerprint);
+  }
+  SnapshotData data;
+  data.kind = kCatalogManifestKind;
+  data.fingerprint = ManifestFingerprint(manifest);
+  data.work_spent = 0;
+  data.payload = writer.TakeBytes();
+  return data;
+}
+
+StatusOr<CatalogManifest> DecodeManifest(const SnapshotData& data) {
+  if (data.kind != kCatalogManifestKind) {
+    return Status::InvalidArgument("not a catalog manifest (kind \"" +
+                                   data.kind + "\")");
+  }
+  if (data.work_spent != 0) {
+    return Status::DataLoss("catalog manifest has a nonzero work counter");
+  }
+  SnapshotReader reader(data.payload);
+  uint32_t count = 0;
+  QREL_RETURN_IF_ERROR(reader.U32(&count));
+  if (count > kMaxManifestEntries) {
+    return Status::DataLoss("catalog manifest claims " +
+                            std::to_string(count) + " entries (max " +
+                            std::to_string(kMaxManifestEntries) + ")");
+  }
+  CatalogManifest manifest;
+  manifest.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ManifestEntry entry;
+    QREL_RETURN_IF_ERROR(reader.String(&entry.name));
+    QREL_RETURN_IF_ERROR(reader.String(&entry.source_path));
+    QREL_RETURN_IF_ERROR(reader.U64(&entry.version));
+    QREL_RETURN_IF_ERROR(reader.U64(&entry.fingerprint));
+    QREL_RETURN_IF_ERROR(ValidateEntry(entry));
+    if (!manifest.entries.empty() &&
+        manifest.entries.back().name >= entry.name) {
+      return Status::DataLoss(
+          "catalog manifest entries are not strictly sorted by name");
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  QREL_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (data.fingerprint != ManifestFingerprint(manifest)) {
+    return Status::DataLoss("catalog manifest fingerprint mismatch");
+  }
+  return manifest;
+}
+
+Status WriteManifestFile(const std::string& path,
+                         const CatalogManifest& manifest) {
+  return WriteSnapshotFile(path, EncodeManifest(manifest));
+}
+
+StatusOr<CatalogManifest> ReadManifestFile(const std::string& path) {
+  QREL_ASSIGN_OR_RETURN(SnapshotData data, ReadSnapshotFile(path));
+  return DecodeManifest(data);
+}
+
+uint64_t IdempotencyFingerprint(const IdempotencyRecord& record) {
+  Fingerprint fp;
+  fp.Mix(kIdempotencyJournalKind);
+  fp.Mix(record.key);
+  fp.Mix(record.flight_key);
+  fp.Mix(record.store_key);
+  fp.Mix(record.db_fingerprint);
+  return fp.value();
+}
+
+SnapshotData EncodeIdempotencyRecord(const IdempotencyRecord& record) {
+  SnapshotWriter writer;
+  writer.String(record.key);
+  writer.U64(record.flight_key);
+  writer.U64(record.store_key);
+  writer.U64(record.db_fingerprint);
+  SnapshotData data;
+  data.kind = kIdempotencyJournalKind;
+  data.fingerprint = IdempotencyFingerprint(record);
+  data.work_spent = 0;
+  data.payload = writer.TakeBytes();
+  return data;
+}
+
+StatusOr<IdempotencyRecord> DecodeIdempotencyRecord(const SnapshotData& data) {
+  if (data.kind != kIdempotencyJournalKind) {
+    return Status::InvalidArgument("not an idempotency journal record "
+                                   "(kind \"" +
+                                   data.kind + "\")");
+  }
+  if (data.work_spent != 0) {
+    return Status::DataLoss(
+        "idempotency journal record has a nonzero work counter");
+  }
+  SnapshotReader reader(data.payload);
+  IdempotencyRecord record;
+  QREL_RETURN_IF_ERROR(reader.String(&record.key));
+  QREL_RETURN_IF_ERROR(reader.U64(&record.flight_key));
+  QREL_RETURN_IF_ERROR(reader.U64(&record.store_key));
+  QREL_RETURN_IF_ERROR(reader.U64(&record.db_fingerprint));
+  QREL_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (!ValidIdempotencyKey(record.key)) {
+    return Status::DataLoss("idempotency journal record has a malformed "
+                            "key");
+  }
+  if (data.fingerprint != IdempotencyFingerprint(record)) {
+    return Status::DataLoss("idempotency journal fingerprint mismatch");
+  }
+  return record;
+}
+
+Status WriteIdempotencyFile(const std::string& path,
+                            const IdempotencyRecord& record) {
+  return WriteSnapshotFile(path, EncodeIdempotencyRecord(record));
+}
+
+StatusOr<IdempotencyRecord> ReadIdempotencyFile(const std::string& path) {
+  QREL_ASSIGN_OR_RETURN(SnapshotData data, ReadSnapshotFile(path));
+  return DecodeIdempotencyRecord(data);
+}
+
+bool ValidIdempotencyKey(std::string_view key) {
+  return DbCatalog::ValidName(key);
+}
+
+}  // namespace qrel

@@ -1,0 +1,114 @@
+// Durable server state: the catalog manifest and the idempotency journal.
+//
+// Both records ride inside the PR-3 snapshot container (util/snapshot.h:
+// magic, format version, fingerprint, kind, checksum), so they inherit
+// its whole durability story for free — atomic temp-file + rename +
+// directory-fsync writes, typed corruption detection on load, and the
+// fuzz/corruption corpus that already hammers the container.
+//
+// **Catalog manifest** (`catalog.manifest` in --state-dir): the set of
+// file-backed databases currently ATTACHed, one entry per database with
+// its name, source path, version counter and content fingerprint.
+// Rewritten atomically after every successful ATTACH / DETACH / RELOAD;
+// replayed by QrelServer::RecoverState() after a restart, which
+// re-attaches each entry and verifies the reloaded content fingerprint
+// against the recorded one (drift means the file changed while the
+// server was down — the database is excluded from serving rather than
+// silently serving different data under a cached fingerprint).
+//
+// **Idempotency journal** (`k<hash>.idem` next to the checkpoints): one
+// tiny record per admitted request that carried an idempotency key,
+// written before the work starts and unlinked when the response is
+// produced. A record that survives a crash marks a request whose client
+// will retry; the retry finds the request's checkpoint (keyed by the
+// recorded flight key) and resumes instead of recomputing.
+//
+// Encoding canonicality: both Decode functions accept exactly the bytes
+// their Encode counterparts produce — entries must be strictly sorted,
+// the container fingerprint must match the recomputed digest, and the
+// container's work counter must be zero. fuzz_parse_snapshot exploits
+// this: any container the decoder accepts must re-encode byte-identically.
+
+#ifndef QREL_NET_MANIFEST_H_
+#define QREL_NET_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qrel/util/snapshot.h"
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// Container `kind` strings (see util/snapshot.h on kind-based keying).
+inline constexpr char kCatalogManifestKind[] = "net.catalog.manifest.v1";
+inline constexpr char kIdempotencyJournalKind[] = "net.idem.journal.v1";
+
+// More databases than any deployment attaches; a count field conjured by
+// corruption past this is rejected instead of driving an allocation.
+inline constexpr uint32_t kMaxManifestEntries = 4096;
+
+// One ATTACHed file-backed database.
+struct ManifestEntry {
+  std::string name;
+  std::string source_path;
+  uint64_t version = 0;
+  uint64_t fingerprint = 0;  // UnreliableDatabase::ContentFingerprint
+
+  bool operator==(const ManifestEntry&) const = default;
+};
+
+struct CatalogManifest {
+  // Strictly sorted by name (the canonical order; Decode rejects others).
+  std::vector<ManifestEntry> entries;
+
+  bool operator==(const CatalogManifest&) const = default;
+};
+
+// Digest over every entry field; stored as the container fingerprint and
+// re-verified on decode, a second integrity check on top of the
+// container checksum.
+uint64_t ManifestFingerprint(const CatalogManifest& manifest);
+
+SnapshotData EncodeManifest(const CatalogManifest& manifest);
+
+// Typed failures: kInvalidArgument for a container of a different kind
+// or an entry violating the name/path grammar; kDataLoss for truncation,
+// bad counts, unsorted entries, a fingerprint mismatch, or a nonzero
+// work counter.
+StatusOr<CatalogManifest> DecodeManifest(const SnapshotData& data);
+
+// Atomic write / validated read through the snapshot container file I/O
+// (and therefore through the injectable filesystem, util/vfs.h).
+Status WriteManifestFile(const std::string& path,
+                         const CatalogManifest& manifest);
+// kNotFound when no manifest exists (a fresh state dir, not an error).
+StatusOr<CatalogManifest> ReadManifestFile(const std::string& path);
+
+// One journaled admitted request.
+struct IdempotencyRecord {
+  std::string key;            // client-chosen, [A-Za-z0-9_.-]{1,64}
+  uint64_t flight_key = 0;    // keys the request's checkpoint file
+  uint64_t store_key = 0;     // keys its result-cache entry
+  uint64_t db_fingerprint = 0;
+
+  bool operator==(const IdempotencyRecord&) const = default;
+};
+
+uint64_t IdempotencyFingerprint(const IdempotencyRecord& record);
+SnapshotData EncodeIdempotencyRecord(const IdempotencyRecord& record);
+StatusOr<IdempotencyRecord> DecodeIdempotencyRecord(const SnapshotData& data);
+
+Status WriteIdempotencyFile(const std::string& path,
+                            const IdempotencyRecord& record);
+StatusOr<IdempotencyRecord> ReadIdempotencyFile(const std::string& path);
+
+// True for a well-formed client idempotency key: same identifier grammar
+// as database names, so keys embed safely in filenames and responses.
+bool ValidIdempotencyKey(std::string_view key);
+
+}  // namespace qrel
+
+#endif  // QREL_NET_MANIFEST_H_

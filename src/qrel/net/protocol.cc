@@ -212,6 +212,8 @@ const char* RequestVerbName(RequestVerb verb) {
       return "RELOAD";
     case RequestVerb::kDblist:
       return "DBLIST";
+    case RequestVerb::kFault:
+      return "FAULT";
   }
   return "HEALTH";
 }
@@ -241,6 +243,8 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
     request.verb = RequestVerb::kReload;
   } else if (verb == "DBLIST") {
     request.verb = RequestVerb::kDblist;
+  } else if (verb == "FAULT") {
+    request.verb = RequestVerb::kFault;
   } else {
     return Status::InvalidArgument("unknown verb \"" + std::string(verb) +
                                    "\"");
@@ -270,6 +274,17 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
     if (request.verb == RequestVerb::kAttach && request.path.empty()) {
       return Status::InvalidArgument("ATTACH needs a path on line 3");
     }
+    return request;
+  }
+  if (request.verb == RequestVerb::kFault) {
+    if (lines.size() < 2 || lines[1].empty()) {
+      return Status::InvalidArgument(
+          "FAULT needs a <site>[:<n>] spec on line 2");
+    }
+    if (lines.size() > 2) {
+      return Status::InvalidArgument("FAULT has trailing lines");
+    }
+    request.target = std::string(lines[1]);
     return request;
   }
   bool has_query = request.verb == RequestVerb::kQuery ||
@@ -321,6 +336,11 @@ StatusOr<Request> ParseRequest(std::string_view payload) {
         return Status::InvalidArgument("tenant needs a value");
       }
       opts.tenant = std::string(value);
+    } else if (key == "idem") {
+      if (value.empty()) {
+        return Status::InvalidArgument("idem needs a value");
+      }
+      opts.idempotency_key = std::string(value);
     } else {
       return Status::InvalidArgument("unknown option \"" + std::string(key) +
                                      "\"");
@@ -334,11 +354,13 @@ std::string SerializeRequest(const Request& request) {
   std::string payload = RequestVerbName(request.verb);
   if (request.verb == RequestVerb::kAttach ||
       request.verb == RequestVerb::kDetach ||
-      request.verb == RequestVerb::kReload) {
+      request.verb == RequestVerb::kReload ||
+      request.verb == RequestVerb::kFault) {
     payload += '\n';
     payload += FlattenValue(request.target);
     payload += '\n';
-    if (request.verb != RequestVerb::kDetach && !request.path.empty()) {
+    if (request.verb != RequestVerb::kDetach &&
+        request.verb != RequestVerb::kFault && !request.path.empty()) {
       payload += FlattenValue(request.path);
       payload += '\n';
     }
@@ -391,6 +413,9 @@ std::string SerializeRequest(const Request& request) {
   }
   if (!opts.tenant.empty()) {
     emit("tenant", FlattenValue(opts.tenant));
+  }
+  if (!opts.idempotency_key.empty()) {
+    emit("idem", FlattenValue(opts.idempotency_key));
   }
   return payload;
 }

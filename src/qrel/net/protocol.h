@@ -37,10 +37,25 @@
 //       version's recorded path
 //   DBLIST                one line per attached database (no body)
 //
+// Drill verbs (disabled unless the server opts in):
+//
+//   FAULT                 arm a fault-injection site (util/fault_injection.h)
+//     line 2: the spec, `<site>[:<n>]` — including the crash-after-vfs.*
+//       sites that SIGKILL the server at a chosen syscall boundary.
+//     Refused with FAILED_PRECONDITION unless the server was started with
+//     the fault verb enabled (qrel_server --enable-fault-verb); it exists
+//     for crash drills and chaos tests, never for production traffic.
+//
 // QUERY/EXPLAIN additionally take `db=<name>` (route to a catalog
 // database; omitted = the server's default database) and `tenant=<name>`
 // (the accounting identity for per-tenant quotas and STATS counters;
-// omitted = the shared "default" tenant).
+// omitted = the shared "default" tenant). QUERY also takes
+// `idem=<key>` — a client-chosen idempotency key ([A-Za-z0-9_.-]{1,64});
+// when the server runs with --state-dir the admitted key is journaled
+// next to the request's checkpoint, so a retry of the same key after a
+// server crash resumes the computation instead of restarting it
+// (net/manifest.h). The response echoes `idempotency_key` and reports
+// `recovered=1` when the request continued work journaled before a crash.
 //
 // Response payloads:
 //
@@ -133,6 +148,7 @@ enum class RequestVerb {
   kDetach,
   kReload,
   kDblist,
+  kFault,
 };
 
 const char* RequestVerbName(RequestVerb verb);
@@ -149,12 +165,17 @@ struct RequestOptions {
   bool force_approximate = false;
   std::string db;      // catalog database to route to; empty = default
   std::string tenant;  // accounting identity; empty = "default"
+  // Client-chosen idempotency key; empty = none. With --state-dir the
+  // server journals admitted keys so a post-crash retry resumes from the
+  // request's checkpoint (see net/manifest.h).
+  std::string idempotency_key;
 };
 
 struct Request {
   RequestVerb verb = RequestVerb::kHealth;
   std::string query;   // QUERY / EXPLAIN only
-  std::string target;  // ATTACH / DETACH / RELOAD: the database name
+  std::string target;  // ATTACH / DETACH / RELOAD: the database name;
+                       // FAULT: the `<site>[:<n>]` spec
   std::string path;    // ATTACH (required) / RELOAD (optional) source path
   RequestOptions options;
 };

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +17,7 @@
 
 #include "qrel/util/fault_injection.h"
 #include "qrel/util/snapshot.h"
+#include "qrel/util/vfs.h"
 
 namespace qrel {
 
@@ -54,6 +56,47 @@ bool WriteAll(int fd, std::string_view data) {
 
 constexpr const char* kDefaultTenant = "default";
 
+constexpr const char* kManifestFileName = "catalog.manifest";
+
+// True when `name` ends with ".tmp.<digits>" — the shape of
+// WriteSnapshotFile's in-progress temp files. *pid gets the writer's pid.
+bool ParseTempFileName(const std::string& name, long* pid) {
+  size_t marker = name.rfind(".tmp.");
+  if (marker == std::string::npos) {
+    return false;
+  }
+  std::string_view digits = std::string_view(name).substr(marker + 5);
+  if (digits.empty() || digits.size() > 10) {
+    return false;
+  }
+  long value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + (c - '0');
+  }
+  *pid = value;
+  return true;
+}
+
+// Whether the process that was writing this temp file is gone (so the
+// file is an orphan, not a live writer's work in progress). kill(pid, 0)
+// probes existence without signalling; EPERM means "exists but not
+// ours", which must NOT be treated as dead.
+bool WriterIsDead(long pid) {
+  if (pid <= 0) {
+    return true;
+  }
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 }  // namespace
 
 // Monotonic counters, written with relaxed atomics from every thread.
@@ -87,6 +130,14 @@ struct QrelServer::Stats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_rejected{0};
   std::atomic<uint64_t> net_faults{0};
+  std::atomic<uint64_t> manifest_writes{0};
+  std::atomic<uint64_t> manifest_write_failures{0};
+  std::atomic<uint64_t> dbs_recovered{0};
+  std::atomic<uint64_t> dbs_recovery_failed{0};
+  std::atomic<uint64_t> gc_removed{0};
+  std::atomic<uint64_t> idem_journaled{0};
+  std::atomic<uint64_t> idem_journal_failures{0};
+  std::atomic<uint64_t> idem_recovered{0};
 };
 
 // One admitted QUERY travelling from the dispatching client thread to a
@@ -136,6 +187,11 @@ QrelServer::QrelServer(ServerOptions options)
   if (!DbCatalog::ValidName(options_.default_db)) {
     options_.default_db = "default";
   }
+  if (!options_.state_dir.empty() && options_.checkpoint_dir.empty()) {
+    // One flag turns on the whole durability story: checkpoints live next
+    // to the manifest and the idempotency journal.
+    options_.checkpoint_dir = options_.state_dir;
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -184,6 +240,8 @@ Response QrelServer::Handle(const Request& request) {
       return HandleReload(request);
     case RequestVerb::kDblist:
       return HandleDblist();
+    case RequestVerb::kFault:
+      return HandleFault(request);
   }
   return ErrorResponse(Status::Internal("unhandled request verb"));
 }
@@ -370,6 +428,13 @@ Response QrelServer::HandleQuery(const Request& request) {
     return ErrorResponse(Status::InvalidArgument(
         "invalid tenant name \"" + tenant + "\""));
   }
+  const std::string& idem_key = request.options.idempotency_key;
+  if (!idem_key.empty() && !ValidIdempotencyKey(idem_key)) {
+    stats_->rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::InvalidArgument(
+        "invalid idempotency key \"" + idem_key +
+        "\" (want [A-Za-z0-9_.-]{1,64})"));
+  }
   if (draining()) {
     stats_->shed_draining.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(Status::Unavailable("server is draining"),
@@ -408,6 +473,41 @@ Response QrelServer::HandleQuery(const Request& request) {
 
   uint64_t store_key = StoreKey(request, *version);
   uint64_t flight_key = FlightKey(request, store_key);
+
+  // The idempotency key is deliberately NOT mixed into store/flight keys:
+  // a post-crash retry of the same request must land on the same
+  // checkpoint path and cache slot it was using before the crash.
+  bool recovered_key = false;
+  std::string journal_path;
+  if (!idem_key.empty() && !options_.state_dir.empty()) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto it = recovered_keys_.find(idem_key);
+      if (it != recovered_keys_.end()) {
+        recovered_key = true;
+        recovered_keys_.erase(it);
+      }
+    }
+    if (recovered_key) {
+      stats_->idem_recovered.fetch_add(1, std::memory_order_relaxed);
+    }
+    journal_path = IdempotencyPath(idem_key);
+    IdempotencyRecord record;
+    record.key = idem_key;
+    record.flight_key = flight_key;
+    record.store_key = store_key;
+    record.db_fingerprint = version->fingerprint;
+    Status journaled = WriteIdempotencyFile(journal_path, record);
+    if (journaled.ok()) {
+      stats_->idem_journaled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The journal is a durability upgrade, not an admission gate: the
+      // query still runs, it just loses crash-resume for this attempt.
+      stats_->idem_journal_failures.fetch_add(1, std::memory_order_relaxed);
+      journal_path.clear();
+    }
+  }
+
   bool from_cache = false;
   bool shared = false;
   CachedResult result = cache_.GetOrCompute(
@@ -420,6 +520,10 @@ Response QrelServer::HandleQuery(const Request& request) {
     stats_->cache_shared.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!journal_path.empty()) {
+    // The request ran to a response; a later retry has nothing to resume.
+    (void)ProcessVfs().Unlink(journal_path);
   }
 
   Response response;
@@ -440,6 +544,10 @@ Response QrelServer::HandleQuery(const Request& request) {
                                std::to_string(version->version));
   response.fields.emplace_back("db_fingerprint",
                                std::to_string(version->fingerprint));
+  if (!idem_key.empty()) {
+    response.fields.emplace_back("idempotency_key", idem_key);
+    response.fields.emplace_back("recovered", recovered_key ? "1" : "0");
+  }
   return response;
 }
 
@@ -569,6 +677,14 @@ Response QrelServer::HandleStats() const {
   emit("connections_accepted", s.connections_accepted);
   emit("connections_rejected", s.connections_rejected);
   emit("net_faults", s.net_faults);
+  emit("manifest_writes", s.manifest_writes);
+  emit("manifest_write_failures", s.manifest_write_failures);
+  emit("dbs_recovered", s.dbs_recovered);
+  emit("dbs_recovery_failed", s.dbs_recovery_failed);
+  emit("gc_removed", s.gc_removed);
+  emit("idem_journaled", s.idem_journaled);
+  emit("idem_journal_failures", s.idem_journal_failures);
+  emit("idem_recovered", s.idem_recovered);
   emit("queue_depth", queue_depth());
   emit("inflight", inflight());
   emit("databases", catalog_.size());
@@ -602,6 +718,7 @@ Response QrelServer::HandleAttach(const Request& request) {
     return ErrorResponse(attached);
   }
   stats_->attaches.fetch_add(1, std::memory_order_relaxed);
+  Status persisted = PersistManifest();
   Response response;
   response.fields.emplace_back("db", request.target);
   StatusOr<std::shared_ptr<const DbVersion>> resolved =
@@ -616,6 +733,10 @@ Response QrelServer::HandleAttach(const Request& request) {
     response.fields.emplace_back("facts", std::to_string(v.fact_count));
     response.fields.emplace_back("uncertain_atoms",
                                  std::to_string(v.uncertain_atoms));
+  }
+  if (!options_.state_dir.empty()) {
+    response.fields.emplace_back("manifest",
+                                 persisted.ok() ? "written" : "failed");
   }
   return response;
 }
@@ -650,6 +771,11 @@ Response QrelServer::HandleReload(const Request& request) {
       std::to_string(outcome->new_version->fingerprint));
   response.fields.emplace_back("changed", outcome->changed ? "1" : "0");
   response.fields.emplace_back("cache_evicted", std::to_string(evicted));
+  Status persisted = PersistManifest();
+  if (!options_.state_dir.empty()) {
+    response.fields.emplace_back("manifest",
+                                 persisted.ok() ? "written" : "failed");
+  }
   return response;
 }
 
@@ -712,6 +838,11 @@ Response QrelServer::HandleDetach(const Request& request) {
   response.fields.emplace_back("db_fingerprint", std::to_string(fp));
   response.fields.emplace_back("cancelled", std::to_string(cancelled));
   response.fields.emplace_back("cache_evicted", std::to_string(evicted));
+  Status persisted = PersistManifest();
+  if (!options_.state_dir.empty()) {
+    response.fields.emplace_back("manifest",
+                                 persisted.ok() ? "written" : "failed");
+  }
   return response;
 }
 
@@ -738,6 +869,196 @@ Response QrelServer::HandleDblist() const {
     }
   }
   return response;
+}
+
+Response QrelServer::HandleFault(const Request& request) {
+  if (!options_.enable_fault_verb) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "FAULT verb is disabled (start the server with "
+        "--enable-fault-verb)"));
+  }
+  Status armed = ArmFaultFromSpec(request.target);
+  if (!armed.ok()) {
+    return ErrorResponse(armed);
+  }
+  Response response;
+  response.fields.emplace_back("armed", request.target);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Durable state: the catalog manifest, the idempotency journal, and
+// crash-restart recovery. All file I/O goes through ProcessVfs(), so the
+// crash drills in tests/crash_restart_test.cc exercise these exact paths.
+
+std::string QrelServer::ManifestPath() const {
+  return options_.state_dir + "/" + kManifestFileName;
+}
+
+std::string QrelServer::IdempotencyPath(const std::string& key) const {
+  // Keys are hashed into the filename so the key grammar never has to
+  // care about filesystem semantics (case folding, reserved names, ...).
+  char name[32];
+  std::snprintf(name, sizeof(name), "k%016llx.idem",
+                static_cast<unsigned long long>(
+                    Fingerprint().Mix(key).value()));
+  return options_.state_dir + "/" + name;
+}
+
+Status QrelServer::PersistManifest() {
+  if (options_.state_dir.empty()) {
+    return Status::Ok();
+  }
+  CatalogManifest manifest;
+  for (const DbInfo& info : catalog_.List()) {
+    if (info.source_path.empty()) {
+      // Memory-attached databases (AttachDatabase) have no file to reload
+      // from after a restart; they are the caller's job to re-create.
+      continue;
+    }
+    if (info.state == DbState::kDraining) {
+      continue;
+    }
+    ManifestEntry entry;
+    entry.name = info.name;
+    entry.source_path = info.source_path;
+    entry.version = info.version;
+    entry.fingerprint = info.fingerprint;
+    manifest.entries.push_back(std::move(entry));
+  }
+  // catalog_.List() iterates a std::map, so entries arrive strictly
+  // sorted by name — the canonical order DecodeManifest enforces.
+  Status written = WriteManifestFile(ManifestPath(), manifest);
+  if (written.ok()) {
+    stats_->manifest_writes.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_->manifest_write_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return written;
+}
+
+RecoveryReport QrelServer::RecoverState() {
+  RecoveryReport report;
+  if (options_.state_dir.empty()) {
+    return report;
+  }
+  Vfs& vfs = ProcessVfs();
+
+  // Pass 1: sweep the state directory. Orphaned temp files from writers
+  // that died mid-write, corrupt checkpoints, and the idempotency journal
+  // are all handled here, before any database is attached.
+  StatusOr<std::vector<std::string>> listing = vfs.ListDir(options_.state_dir);
+  if (listing.ok()) {
+    for (const std::string& name : *listing) {
+      const std::string path = options_.state_dir + "/" + name;
+      long writer_pid = 0;
+      if (ParseTempFileName(name, &writer_pid)) {
+        // A live process may still be writing this file (a concurrent
+        // server sharing the directory, or our own earlier fork); only
+        // reap temps whose writer is provably gone.
+        if (WriterIsDead(writer_pid)) {
+          if (vfs.Unlink(path).ok()) {
+            ++report.gc_removed_temp;
+            stats_->gc_removed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
+      if (EndsWith(name, ".idem")) {
+        StatusOr<IdempotencyRecord> record = ReadIdempotencyFile(path);
+        if (record.ok()) {
+          // Normalize: the retry flow rewrites and removes the journal at
+          // the key's canonical hashed path, so an entry under any other
+          // name (a copied or renamed file) would otherwise leak forever.
+          if (path != IdempotencyPath(record->key)) {
+            (void)vfs.Unlink(path);
+          }
+          std::unique_lock<std::mutex> lock(mutex_);
+          recovered_keys_[record->key] = std::move(record).value();
+          ++report.journal_recovered;
+        } else {
+          // A torn or corrupt journal entry is useless for resume; count
+          // it and clear it so it cannot be mistaken for live state.
+          ++report.journal_corrupt;
+          if (vfs.Unlink(path).ok()) {
+            ++report.gc_removed_corrupt;
+            stats_->gc_removed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
+      if (EndsWith(name, ".snap")) {
+        // Checkpoints only pay for themselves when decodable; a torn one
+        // would be detected and deleted at query time anyway (see
+        // ExecuteQuery), doing it here keeps the directory honest.
+        if (!ReadSnapshotFile(path).ok()) {
+          if (vfs.Unlink(path).ok()) {
+            ++report.gc_removed_corrupt;
+            stats_->gc_removed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
+    }
+  }
+
+  // Pass 2: replay the manifest. Every failure is per-database and typed;
+  // the server always starts and serves whatever subset recovered.
+  StatusOr<CatalogManifest> manifest = ReadManifestFile(ManifestPath());
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kNotFound) {
+      return report;  // fresh state dir — nothing to replay
+    }
+    report.manifest_found = true;
+    report.manifest_corrupt = true;
+    report.failures.push_back("<manifest>: " + manifest.status().ToString());
+    return report;
+  }
+  report.manifest_found = true;
+  for (const ManifestEntry& entry : manifest->entries) {
+    if (catalog_.Resolve(entry.name).ok()) {
+      // Already attached (constructor default database, or a caller that
+      // attached before recovery); the live version wins.
+      ++report.skipped_existing;
+      continue;
+    }
+    Status attached = catalog_.Attach(entry.name, entry.source_path);
+    if (!attached.ok()) {
+      std::string reason =
+          attached.code() == StatusCode::kNotFound ||
+                  attached.code() == StatusCode::kInvalidArgument
+              ? "missing or unreadable source file " + entry.source_path +
+                    ": " + attached.ToString()
+              : attached.ToString();
+      report.failures.push_back(entry.name + ": " + reason);
+      stats_->dbs_recovery_failed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    StatusOr<std::shared_ptr<const DbVersion>> resolved =
+        catalog_.Resolve(entry.name);
+    if (resolved.ok() && (*resolved)->fingerprint != entry.fingerprint) {
+      // The file changed behind the manifest's back. Serving it silently
+      // would break the bit-identical-answer contract the manifest
+      // fingerprint exists to enforce — drop it and report the drift.
+      StatusOr<std::shared_ptr<const DbVersion>> begun =
+          catalog_.BeginDetach(entry.name);
+      if (begun.ok()) {
+        catalog_.FinishDetach(entry.name);
+      }
+      report.failures.push_back(
+          entry.name + ": fingerprint drift (manifest " +
+          std::to_string(entry.fingerprint) + ", file " +
+          std::to_string((*resolved)->fingerprint) + ")");
+      stats_->dbs_recovery_failed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ++report.reattached;
+    stats_->dbs_recovered.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Re-persist so the on-disk manifest reflects what actually recovered
+  // (drifted or missing databases drop out instead of failing forever).
+  (void)PersistManifest();
+  return report;
 }
 
 // ---------------------------------------------------------------------------
@@ -965,7 +1286,7 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
       // A corrupt leftover must not make this query permanently
       // unanswerable: delete it and run fresh.
       stats_->checkpoint_corrupt.fetch_add(1, std::memory_order_relaxed);
-      std::remove(snapshot_path.c_str());
+      (void)ProcessVfs().Unlink(snapshot_path);
       checkpointer.emplace(
           snapshot_path,
           std::chrono::milliseconds(options_.checkpoint_interval_ms));
@@ -1000,7 +1321,7 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
   }
   if (checkpointer.has_value()) {
     // The run finished; the snapshot has served its purpose.
-    std::remove(snapshot_path.c_str());
+    (void)ProcessVfs().Unlink(snapshot_path);
   }
 
   auto& fields = result.fields;
@@ -1144,6 +1465,17 @@ ServerStatsSnapshot QrelServer::stats_snapshot() const {
   s.detaches = a.detaches.load(std::memory_order_relaxed);
   s.reloads = a.reloads.load(std::memory_order_relaxed);
   s.reload_failures = a.reload_failures.load(std::memory_order_relaxed);
+  s.manifest_writes = a.manifest_writes.load(std::memory_order_relaxed);
+  s.manifest_write_failures =
+      a.manifest_write_failures.load(std::memory_order_relaxed);
+  s.dbs_recovered = a.dbs_recovered.load(std::memory_order_relaxed);
+  s.dbs_recovery_failed =
+      a.dbs_recovery_failed.load(std::memory_order_relaxed);
+  s.gc_removed = a.gc_removed.load(std::memory_order_relaxed);
+  s.idem_journaled = a.idem_journaled.load(std::memory_order_relaxed);
+  s.idem_journal_failures =
+      a.idem_journal_failures.load(std::memory_order_relaxed);
+  s.idem_recovered = a.idem_recovered.load(std::memory_order_relaxed);
   s.connections_accepted =
       a.connections_accepted.load(std::memory_order_relaxed);
   s.connections_rejected =

@@ -95,6 +95,7 @@
 
 #include "qrel/engine/engine.h"
 #include "qrel/net/catalog.h"
+#include "qrel/net/manifest.h"
 #include "qrel/net/protocol.h"
 #include "qrel/net/result_cache.h"
 #include "qrel/net/retry.h"
@@ -169,6 +170,24 @@ struct ServerOptions {
   std::string checkpoint_dir;
   uint64_t checkpoint_interval_ms = 250;
 
+  // Durable server state (crash-restart recovery). When non-empty:
+  //  - the set of file-backed ATTACHed databases persists as an atomic,
+  //    checksummed manifest ("<dir>/catalog.manifest", net/manifest.h)
+  //    rewritten after every successful ATTACH / DETACH / RELOAD;
+  //  - admitted QUERYs carrying an idem= key journal the key next to
+  //    their checkpoint ("<dir>/k<hash>.idem") so a post-crash retry
+  //    resumes from the checkpoint instead of recomputing;
+  //  - RecoverState() replays all of it after a restart and sweeps the
+  //    directory for a crashed writer's leftovers.
+  // checkpoint_dir defaults into state_dir when unset, so one flag turns
+  // on the whole durability story.
+  std::string state_dir;
+
+  // Permits the FAULT wire verb (arm a fault-injection site remotely,
+  // including the crash-after-vfs.* SIGKILL sites). Off by default:
+  // this is a drill-harness hook, never a production feature.
+  bool enable_fault_verb = false;
+
   // Transport.
   int max_connections = 64;
   // Idle-connection read timeout; a connection silent this long is closed.
@@ -209,6 +228,36 @@ struct ServerStatsSnapshot {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
   uint64_t net_faults = 0;
+  // Durability (state_dir) counters.
+  uint64_t manifest_writes = 0;
+  uint64_t manifest_write_failures = 0;
+  uint64_t dbs_recovered = 0;
+  uint64_t dbs_recovery_failed = 0;
+  uint64_t gc_removed = 0;
+  uint64_t idem_journaled = 0;
+  uint64_t idem_journal_failures = 0;
+  uint64_t idem_recovered = 0;
+};
+
+// What RecoverState() found and did; every field is observable so the
+// startup banner and the crash tests can assert recovery precisely.
+struct RecoveryReport {
+  bool manifest_found = false;
+  // The manifest existed but failed to decode. The server still starts
+  // (serving whatever else recovers); the corrupt file is left in place
+  // for forensics and is atomically replaced by the next admin op.
+  bool manifest_corrupt = false;
+  size_t reattached = 0;       // manifest entries serving again
+  size_t skipped_existing = 0; // manifest entries already attached
+  // "name: reason" per manifest entry that could not be recovered —
+  // missing file, load failure, or content-fingerprint drift. A drifted
+  // database is *excluded* (serve the last-good subset) rather than
+  // silently served under a stale fingerprint.
+  std::vector<std::string> failures;
+  size_t gc_removed_temp = 0;     // orphaned *.tmp.<pid> of dead writers
+  size_t gc_removed_corrupt = 0;  // undecodable checkpoint leftovers
+  size_t journal_recovered = 0;   // idempotency keys loaded for resume
+  size_t journal_corrupt = 0;     // undecodable journal records removed
 };
 
 // One tenant's accounting snapshot (STATS reports these per tenant).
@@ -253,6 +302,17 @@ class QrelServer {
   // tags.
   DbCatalog& catalog() { return catalog_; }
   const DbCatalog& catalog() const { return catalog_; }
+
+  // Replays durable state from options.state_dir (no-op without one):
+  // sweeps orphaned temp files and corrupt leftovers, loads surviving
+  // idempotency journal records, and re-attaches every manifest database
+  // whose file still exists and still fingerprints to the recorded
+  // content. Never refuses to start: a missing file, drifted content, or
+  // corrupt manifest costs that entry (or the whole manifest), not the
+  // process. Call once after construction — before serving and before
+  // attaching command-line databases, so a startup ATTACH cannot
+  // overwrite the manifest before it is replayed.
+  RecoveryReport RecoverState();
 
   // Stops admission: every subsequent QUERY is shed with UNAVAILABLE.
   // HEALTH/STATS stay available so orchestration can watch the drain.
@@ -301,6 +361,17 @@ class QrelServer {
   Response HandleDetach(const Request& request);
   Response HandleReload(const Request& request);
   Response HandleDblist() const;
+  Response HandleFault(const Request& request);
+
+  // Durable-state paths ("" when state_dir is unset).
+  std::string ManifestPath() const;
+  std::string IdempotencyPath(const std::string& key) const;
+
+  // Rewrites the catalog manifest from the current catalog (file-backed,
+  // non-draining entries only). Called after every successful admin
+  // mutation; failures are counted, never fatal to the mutation itself
+  // (the catalog already changed — the next successful write catches up).
+  Status PersistManifest();
 
   // Resolves the request's db= (default_db when absent) to a pinned
   // version; the error is the typed response status.
@@ -376,6 +447,11 @@ class QrelServer {
   std::map<uint64_t, size_t> inflight_by_db_;  // fingerprint -> running jobs
   uint64_t quota_outstanding_ = 0;
   std::map<std::string, TenantState> tenants_;
+  // Idempotency keys whose journal record survived a crash: the request
+  // was admitted but its response never produced. A retry of the key
+  // resumes from its checkpoint and reports recovered=1. Guarded by
+  // mutex_; entries are consumed on first retry.
+  std::map<std::string, IdempotencyRecord> recovered_keys_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;        // workers exit when queue drains
   bool drain_cancel_ = false;    // fail queued jobs without running them

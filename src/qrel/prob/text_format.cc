@@ -1,8 +1,6 @@
 #include "qrel/prob/text_format.h"
 
-#include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <new>
 #include <sstream>
@@ -11,6 +9,7 @@
 
 #include "qrel/relational/atom_table.h"
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/vfs.h"
 
 namespace qrel {
 
@@ -23,6 +22,9 @@ namespace {
 // pathological allocations per line.
 constexpr size_t kMaxLineLength = 1 << 16;
 constexpr size_t kMaxLineTokens = 1 << 12;
+// A .udb file bigger than this is rejected outright rather than buffered:
+// far beyond any legitimate database text, small enough to bound memory.
+constexpr size_t kMaxUdbFileBytes = size_t{1} << 30;
 
 std::vector<std::string> Tokenize(std::string_view line) {
   std::vector<std::string> tokens;
@@ -221,27 +223,23 @@ StatusOr<UnreliableDatabase> ParseUdb(std::string_view text) {
 }
 
 StatusOr<UnreliableDatabase> LoadUdbFile(const std::string& path) {
-  errno = 0;
-  std::ifstream file(path);
-  if (!file) {
+  // Through the injectable filesystem (util/vfs.h) so catalog loads share
+  // the same fault drills as the snapshot/manifest write path.
+  StatusOr<std::vector<uint8_t>> bytes =
+      ProcessVfs().ReadFileBytes(path, kMaxUdbFileBytes);
+  if (!bytes.ok()) {
     // Missing file and unreadable file are different operational problems:
     // kNotFound is a caller typo or a deployment gap, anything else (EACCES,
-    // EISDIR, ...) is an environment fault.
-    int open_errno = errno;
-    if (open_errno == ENOENT) {
+    // EISDIR, ENOSPC on a network mount, ...) is an environment fault.
+    if (bytes.status().code() == StatusCode::kNotFound) {
       return Status::NotFound("no such file: '" + path + "'");
     }
-    return Status::Internal("cannot open '" + path + "': " +
-                            (open_errno != 0 ? std::strerror(open_errno)
-                                             : "unknown error"));
+    return Status(bytes.status().code(),
+                  "cannot read '" + path + "': " + bytes.status().message());
   }
   QREL_RETURN_IF_ERROR(QREL_FAULT_HIT("prob.load_udb.read"));
-  std::ostringstream contents;
-  contents << file.rdbuf();
-  if (file.bad()) {
-    return Status::Internal("read error on '" + path + "'");
-  }
-  return ParseUdb(contents.str());
+  return ParseUdb(std::string_view(
+      reinterpret_cast<const char*>(bytes->data()), bytes->size()));
 }
 
 std::string FormatUdb(const UnreliableDatabase& database) {

@@ -1,14 +1,13 @@
 #include "qrel/util/snapshot.h"
 
-#include <fcntl.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "qrel/util/fault_injection.h"
+#include "qrel/util/vfs.h"
 
 namespace qrel {
 
@@ -354,106 +353,96 @@ std::string ParentDirectory(const std::string& path) {
 
 Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
   QREL_FAULT_SITE("util.snapshot.write");
+  Vfs& vfs = ProcessVfs();
   std::vector<uint8_t> bytes = EncodeSnapshot(data);
   // Pid-unique temp name: two processes checkpointing to the same path
   // race only on the final rename (last writer wins, both files whole),
-  // instead of truncating each other's in-progress temp file.
+  // instead of truncating each other's in-progress temp file. Startup GC
+  // (net/server.h RecoverState) relies on this exact ".tmp.<pid>" shape
+  // to tell a crashed writer's orphan from a live writer's file.
   std::string temp_path =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal("cannot create checkpoint temp file " +
-                            temp_path + ": " + std::strerror(errno));
+  StatusOr<int> opened = vfs.OpenWrite(temp_path);
+  if (!opened.ok()) {
+    return Status(opened.status().code(),
+                  "cannot create checkpoint temp file " + temp_path + ": " +
+                      opened.status().message());
   }
+  int fd = *opened;
+  // Every early return below funnels through one of these, so no failure
+  // path can leak the descriptor or leave the temp file behind. Cleanup
+  // is best-effort: a second failure while cleaning up must not mask the
+  // original error.
+  auto fail_open = [&](const char* what, const Status& cause) {
+    vfs.Close(fd);
+    vfs.Unlink(temp_path);
+    return Status(cause.code(),
+                  std::string("checkpoint ") + what + " failed: " +
+                      cause.message());
+  };
+  auto fail_closed = [&](const char* what, const Status& cause) {
+    vfs.Unlink(temp_path);
+    return Status(cause.code(),
+                  std::string("checkpoint ") + what + " failed: " +
+                      cause.message());
+  };
   size_t written = 0;
   while (written < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      int saved = errno;
-      ::close(fd);
-      ::unlink(temp_path.c_str());
-      return Status::Internal("checkpoint write failed: " +
-                              std::string(std::strerror(saved)));
+    StatusOr<size_t> n =
+        vfs.Write(fd, bytes.data() + written, bytes.size() - written);
+    if (!n.ok()) {
+      return fail_open("write", n.status());
     }
-    written += static_cast<size_t>(n);
+    if (*n == 0) {
+      // A zero-byte transfer would loop forever; treat it as the I/O
+      // error it almost certainly is.
+      return fail_open("write",
+                       Status::Internal("write transferred no bytes"));
+    }
+    written += *n;
   }
   // fsync before rename: the rename must not become durable before the
   // data it points at.
-  if (::fsync(fd) != 0) {
-    int saved = errno;
-    ::close(fd);
-    ::unlink(temp_path.c_str());
-    return Status::Internal("checkpoint fsync failed: " +
-                            std::string(std::strerror(saved)));
+  Status synced = vfs.Fsync(fd);
+  if (!synced.ok()) {
+    return fail_open("fsync", synced);
   }
-  if (::close(fd) != 0) {
-    int saved = errno;
-    ::unlink(temp_path.c_str());
-    return Status::Internal("checkpoint close failed: " +
-                            std::string(std::strerror(saved)));
+  Status closed = vfs.Close(fd);
+  if (!closed.ok()) {
+    return fail_closed("close", closed);
   }
-  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
-    int saved = errno;
-    ::unlink(temp_path.c_str());
-    return Status::Internal("checkpoint rename failed: " +
-                            std::string(std::strerror(saved)));
+  Status renamed = vfs.Rename(temp_path, path);
+  if (!renamed.ok()) {
+    return fail_closed("rename", renamed);
   }
   // fsync the containing directory: the rename updated a directory entry,
   // and without this a power loss can roll the directory back to the old
-  // (or no) snapshot even though the data blocks were synced above.
-  std::string dir = ParentDirectory(path);
-  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd < 0) {
-    return Status::Internal("cannot open checkpoint directory " + dir + ": " +
-                            std::strerror(errno));
+  // (or no) snapshot even though the data blocks were synced above. The
+  // temp file is already renamed away, so there is nothing to unlink on
+  // this last error path.
+  Status dir_synced = vfs.FsyncDir(ParentDirectory(path));
+  if (!dir_synced.ok()) {
+    return Status(dir_synced.code(), "checkpoint directory fsync failed: " +
+                                         dir_synced.message());
   }
-  if (::fsync(dir_fd) != 0) {
-    int saved = errno;
-    ::close(dir_fd);
-    return Status::Internal("checkpoint directory fsync failed: " +
-                            std::string(std::strerror(saved)));
-  }
-  ::close(dir_fd);
   return Status::Ok();
 }
 
 StatusOr<SnapshotData> ReadSnapshotFile(const std::string& path) {
   QREL_FAULT_SITE("util.snapshot.load");
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
+  StatusOr<std::vector<uint8_t>> bytes = ProcessVfs().ReadFileBytes(
+      path, kMaxPayloadLength + kMinFileSize + kMaxKindLength);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
       return Status::NotFound("no snapshot at " + path);
     }
-    return Status::Internal("cannot open snapshot " + path + ": " +
-                            std::strerror(errno));
-  }
-  std::vector<uint8_t> bytes;
-  uint8_t buffer[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      int saved = errno;
-      ::close(fd);
-      return Status::Internal("snapshot read failed: " +
-                              std::string(std::strerror(saved)));
-    }
-    if (n == 0) {
-      break;
-    }
-    AppendBytes(&bytes, buffer, static_cast<size_t>(n));
-    if (bytes.size() > kMaxPayloadLength + kMinFileSize + kMaxKindLength) {
-      ::close(fd);
+    if (bytes.status().code() == StatusCode::kDataLoss) {
       return Status::DataLoss("snapshot file implausibly large");
     }
+    return Status(bytes.status().code(),
+                  "snapshot read failed: " + bytes.status().message());
   }
-  ::close(fd);
-  return DecodeSnapshot(bytes.data(), bytes.size());
+  return DecodeSnapshot(bytes->data(), bytes->size());
 }
 
 // ---------------------------------------------------------------------------

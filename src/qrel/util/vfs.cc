@@ -1,0 +1,297 @@
+#include "qrel/util/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "qrel/util/fault_injection.h"
+
+namespace qrel {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  std::string message =
+      std::string(op) + " " + path + ": " + std::strerror(err);
+  switch (err) {
+    case ENOENT:
+      return Status::NotFound(std::move(message));
+    case ENOSPC:
+    case EDQUOT:
+      return Status::ResourceExhausted(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+// The crash-after-<site> trigger: the syscall already succeeded, now die
+// exactly here — no destructors, no atexit, no buffered-stream flush —
+// the closest a test can get to yanking the power cord at a chosen
+// syscall boundary.
+[[noreturn]] void CrashNow() {
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be delayed by this process, but be explicit about the
+  // contract anyway.
+  ::_exit(137);
+}
+
+class PosixVfs : public Vfs {
+ public:
+  StatusOr<int> OpenWrite(const std::string& path) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus("open", path, errno);
+    }
+    return fd;
+  }
+
+  StatusOr<size_t> Write(int fd, const uint8_t* data, size_t size) override {
+    ssize_t n;
+    do {
+      n = ::write(fd, data, size);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return ErrnoStatus("write", "fd", errno);
+    }
+    return static_cast<size_t>(n);
+  }
+
+  Status Fsync(int fd) override {
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      return ErrnoStatus("fsync", "fd", errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Close(int fd) override {
+    // No EINTR retry: on Linux the descriptor is gone either way, and
+    // retrying risks closing an unrelated fd opened by another thread.
+    if (::close(fd) < 0) {
+      return ErrnoStatus("close", "fd", errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) < 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Unlink(const std::string& path) override {
+    if (::unlink(path.c_str()) < 0) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status FsyncDir(const std::string& dir) override {
+    int fd;
+    do {
+      fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus("open directory", dir, errno);
+    }
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    int saved = errno;
+    ::close(fd);
+    if (rc < 0) {
+      return ErrnoStatus("fsync directory", dir, saved);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path,
+                                               size_t max_size) override {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus("open", path, errno);
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[65536];
+    for (;;) {
+      ssize_t n;
+      do {
+        n = ::read(fd, chunk, sizeof(chunk));
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        int saved = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, saved);
+      }
+      if (n == 0) {
+        break;
+      }
+      if (bytes.size() + static_cast<size_t>(n) > max_size) {
+        ::close(fd);
+        return Status::DataLoss("file " + path + " exceeds " +
+                                std::to_string(max_size) +
+                                " bytes, implausibly large");
+      }
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+      return ErrnoStatus("opendir", dir, errno);
+    }
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      struct dirent* entry = ::readdir(handle);
+      if (entry == nullptr) {
+        int saved = errno;
+        ::closedir(handle);
+        if (saved != 0) {
+          return ErrnoStatus("readdir", dir, saved);
+        }
+        return names;
+      }
+      if (std::strcmp(entry->d_name, ".") == 0 ||
+          std::strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      names.emplace_back(entry->d_name);
+    }
+  }
+};
+
+// Fires a crash-after site: the real syscall succeeded, an armed fault of
+// any StatusCode means "kill the process at this boundary".
+#define QREL_VFS_CRASH_POINT(site_name)    \
+  do {                                     \
+    if (!QREL_FAULT_HIT(site_name).ok()) { \
+      CrashNow();                          \
+    }                                      \
+  } while (0)
+
+std::atomic<Vfs*> g_vfs_override{nullptr};
+
+}  // namespace
+
+Vfs& RawPosixVfs() {
+  static PosixVfs* posix = new PosixVfs;
+  return *posix;
+}
+
+StatusOr<int> FaultInjectingVfs::OpenWrite(const std::string& path) {
+  QREL_FAULT_SITE("vfs.open_write");
+  StatusOr<int> fd = base_->OpenWrite(path);
+  if (fd.ok()) {
+    QREL_VFS_CRASH_POINT("crash-after-vfs.open_write");
+  }
+  return fd;
+}
+
+StatusOr<size_t> FaultInjectingVfs::Write(int fd, const uint8_t* data,
+                                          size_t size) {
+  QREL_FAULT_SITE("vfs.write");
+  size_t attempt = size;
+  if (!QREL_FAULT_HIT("vfs.write.short").ok() && size > 1) {
+    // Transfer only half the bytes: a legal short write that a correct
+    // caller must absorb by looping.
+    attempt = size / 2;
+  }
+  StatusOr<size_t> written = base_->Write(fd, data, attempt);
+  if (written.ok()) {
+    QREL_VFS_CRASH_POINT("crash-after-vfs.write");
+  }
+  return written;
+}
+
+Status FaultInjectingVfs::Fsync(int fd) {
+  QREL_FAULT_SITE("vfs.fsync");
+  QREL_RETURN_IF_ERROR(base_->Fsync(fd));
+  QREL_VFS_CRASH_POINT("crash-after-vfs.fsync");
+  return Status::Ok();
+}
+
+Status FaultInjectingVfs::Close(int fd) {
+  // The injected close failure still releases the descriptor first:
+  // "close failed" never means "fd leaked", matching the POSIX contract
+  // callers rely on.
+  Status injected = QREL_FAULT_HIT("vfs.close");
+  Status closed = base_->Close(fd);
+  QREL_RETURN_IF_ERROR(injected);
+  QREL_RETURN_IF_ERROR(closed);
+  QREL_VFS_CRASH_POINT("crash-after-vfs.close");
+  return Status::Ok();
+}
+
+Status FaultInjectingVfs::Rename(const std::string& from,
+                                 const std::string& to) {
+  QREL_FAULT_SITE("vfs.rename");
+  QREL_RETURN_IF_ERROR(base_->Rename(from, to));
+  QREL_VFS_CRASH_POINT("crash-after-vfs.rename");
+  return Status::Ok();
+}
+
+Status FaultInjectingVfs::Unlink(const std::string& path) {
+  QREL_FAULT_SITE("vfs.unlink");
+  QREL_RETURN_IF_ERROR(base_->Unlink(path));
+  QREL_VFS_CRASH_POINT("crash-after-vfs.unlink");
+  return Status::Ok();
+}
+
+Status FaultInjectingVfs::FsyncDir(const std::string& dir) {
+  QREL_FAULT_SITE("vfs.fsync_dir");
+  QREL_RETURN_IF_ERROR(base_->FsyncDir(dir));
+  QREL_VFS_CRASH_POINT("crash-after-vfs.fsync_dir");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> FaultInjectingVfs::ReadFileBytes(
+    const std::string& path, size_t max_size) {
+  QREL_FAULT_SITE("vfs.read");
+  return base_->ReadFileBytes(path, max_size);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingVfs::ListDir(
+    const std::string& dir) {
+  QREL_FAULT_SITE("vfs.list");
+  return base_->ListDir(dir);
+}
+
+Vfs& ProcessVfs() {
+  Vfs* override_vfs = g_vfs_override.load(std::memory_order_acquire);
+  if (override_vfs != nullptr) {
+    return *override_vfs;
+  }
+  static FaultInjectingVfs* process = new FaultInjectingVfs(&RawPosixVfs());
+  return *process;
+}
+
+ScopedVfsOverride::ScopedVfsOverride(Vfs* vfs)
+    : previous_(g_vfs_override.exchange(vfs, std::memory_order_acq_rel)) {}
+
+ScopedVfsOverride::~ScopedVfsOverride() {
+  g_vfs_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace qrel

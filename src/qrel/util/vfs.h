@@ -1,0 +1,149 @@
+// Injectable filesystem: every durable byte goes through here.
+//
+// The snapshot container (util/snapshot.h), the catalog loader, the
+// server's checkpoint/journal files and the durable catalog manifest
+// (net/manifest.h) all perform their I/O through the process Vfs instead
+// of calling ::open / ::write / ::rename directly. That buys two things:
+//
+//   1. *Fault drills.* The default process Vfs wraps the real POSIX
+//      implementation in a fault-injecting layer driven by the existing
+//      util/fault_injection site registry, so tests (and
+//      --fault-inject=...) can make any individual syscall fail with a
+//      typed Status — ENOSPC (kResourceExhausted), EIO (kInternal), a
+//      short write, a failed fsync, a torn rename — without touching the
+//      real filesystem.
+//
+//   2. *Crash points.* Each write-path operation also carries a
+//      crash-after-<site> trigger that SIGKILLs the process at the exact
+//      syscall boundary — after the real operation succeeded, before any
+//      caller cleanup runs. This is how crash_restart_test proves the
+//      atomic-rename protocol: kill -9 between any two syscalls of a
+//      checkpoint write, restart, and the previous state must still be
+//      intact.
+//
+// Error-injection sites (fire *instead of* the syscall; the StatusCode is
+// chosen at arm time, default kInternal ~ EIO, kResourceExhausted ~
+// ENOSPC):
+//
+//   vfs.open_write   vfs.write    vfs.fsync   vfs.close   vfs.rename
+//   vfs.unlink       vfs.fsync_dir   vfs.read    vfs.list
+//
+// plus vfs.write.short, which makes one Write() transfer only half its
+// bytes and return the short count (success), exercising callers' write
+// loops.
+//
+// Crash sites (fire *after* the syscall succeeded; any armed StatusCode
+// means "crash here"):
+//
+//   crash-after-vfs.open_write   crash-after-vfs.write
+//   crash-after-vfs.fsync        crash-after-vfs.close
+//   crash-after-vfs.rename       crash-after-vfs.fsync_dir
+//   crash-after-vfs.unlink
+//
+// When no fault is armed a site costs two relaxed atomic loads, so the
+// wrapper is always on: file I/O is never a hot path here and an always-on
+// wrapper means release binaries can run the same crash drills as tests.
+
+#ifndef QREL_UTIL_VFS_H_
+#define QREL_UTIL_VFS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qrel/util/status.h"
+
+namespace qrel {
+
+// The filesystem operations the durability layer needs. Write-path
+// methods mirror the atomic-rename protocol of util/snapshot.cc: open a
+// temp file, write, fsync, close, rename over the target, fsync the
+// parent directory.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Opens `path` for writing (O_WRONLY | O_CREAT | O_TRUNC, 0644) and
+  // returns the file descriptor.
+  virtual StatusOr<int> OpenWrite(const std::string& path) = 0;
+
+  // Writes up to `size` bytes; may transfer fewer (a short write). Returns
+  // the number of bytes actually written, which is at least 1 when
+  // `size > 0`. Callers must loop.
+  virtual StatusOr<size_t> Write(int fd, const uint8_t* data,
+                                 size_t size) = 0;
+
+  virtual Status Fsync(int fd) = 0;
+
+  // Closes `fd`. On failure the descriptor is still released (POSIX
+  // leaves it unspecified; Linux always closes), so callers never retry.
+  virtual Status Close(int fd) = 0;
+
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  // Removes `path`. Removing a file that does not exist is kNotFound.
+  virtual Status Unlink(const std::string& path) = 0;
+
+  // Makes a completed rename in `dir` durable (open O_DIRECTORY + fsync).
+  virtual Status FsyncDir(const std::string& dir) = 0;
+
+  // Reads the whole file. A file over `max_size` bytes is kDataLoss (the
+  // caller declared anything bigger implausible); a missing file is
+  // kNotFound.
+  virtual StatusOr<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path, size_t max_size) = 0;
+
+  // Names of the entries in `dir` (excluding "." and ".."), in no
+  // particular order. A missing directory is kNotFound.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+};
+
+// The raw POSIX implementation, no fault sites. Shared and stateless.
+Vfs& RawPosixVfs();
+
+// Wraps any Vfs with the fault-injection and crash sites documented
+// above. Public so tests can wrap a mock; production code uses
+// ProcessVfs().
+class FaultInjectingVfs : public Vfs {
+ public:
+  explicit FaultInjectingVfs(Vfs* base) : base_(base) {}
+
+  StatusOr<int> OpenWrite(const std::string& path) override;
+  StatusOr<size_t> Write(int fd, const uint8_t* data, size_t size) override;
+  Status Fsync(int fd) override;
+  Status Close(int fd) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Unlink(const std::string& path) override;
+  Status FsyncDir(const std::string& dir) override;
+  StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path,
+                                               size_t max_size) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+ private:
+  Vfs* base_;
+};
+
+// The Vfs all durability code routes through: a FaultInjectingVfs over
+// RawPosixVfs unless a ScopedVfsOverride is active.
+Vfs& ProcessVfs();
+
+// Routes ProcessVfs() to `vfs` for the lifetime of this object (tests
+// installing counting or failing mocks). Not recursive-safe across
+// threads: intended for single-threaded test setup.
+class ScopedVfsOverride {
+ public:
+  explicit ScopedVfsOverride(Vfs* vfs);
+  ~ScopedVfsOverride();
+
+  ScopedVfsOverride(const ScopedVfsOverride&) = delete;
+  ScopedVfsOverride& operator=(const ScopedVfsOverride&) = delete;
+
+ private:
+  Vfs* previous_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_VFS_H_

@@ -306,10 +306,13 @@ TEST_F(ChaosEngineTest, SimulatedAllocationFailureBecomesTypedStatus) {
   RunWorkload();  // discovery pass
   std::vector<std::string> sites = FaultInjector::Instance().SiteNames();
   for (const std::string& site : sites) {
-    // File-read sites sit outside the parse/engine bad_alloc boundaries
-    // (an out-of-memory ifstream read is the OS's problem, not simulable
-    // this way); everything else must convert to kResourceExhausted.
-    if (site.find("load_") != std::string::npos) {
+    // File-I/O sites — the load_* read sites and the util/vfs.h syscall
+    // wrappers they sit on — live outside the parse/engine bad_alloc
+    // boundaries (an out-of-memory read is the OS's problem, not
+    // simulable this way); everything else must convert to
+    // kResourceExhausted.
+    if (site.find("load_") != std::string::npos ||
+        site.rfind("vfs.", 0) == 0 || site.rfind("crash-after-", 0) == 0) {
       continue;
     }
     FaultInjector::Instance().Reset();

@@ -184,6 +184,41 @@ TEST(RequestTest, AdminVerbsRoundTrip) {
   EXPECT_EQ(parsed->path, "/data/orders_v2.udb");
 }
 
+TEST(RequestTest, FaultVerbRoundTrip) {
+  Request fault;
+  fault.verb = RequestVerb::kFault;
+  fault.target = "crash-after-vfs.rename:2";
+  std::string wire = SerializeRequest(fault);
+  StatusOr<Request> parsed = ParseRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->verb, RequestVerb::kFault);
+  EXPECT_EQ(parsed->target, "crash-after-vfs.rename:2");
+  // Serialize(Parse(wire)) is a fixpoint.
+  EXPECT_EQ(SerializeRequest(*parsed), wire);
+  // The spec line may be empty (the server rejects it, not the parser),
+  // but trailing junk past the verb's line budget is malformed.
+  EXPECT_EQ(ParseRequest("FAULT\nvfs.write\nextra\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, IdempotencyKeyOptionRoundTrip) {
+  Request request;
+  request.verb = RequestVerb::kQuery;
+  request.query = "S(x)";
+  request.options.idempotency_key = "req-42.retry_1";
+  std::string wire = SerializeRequest(request);
+  EXPECT_NE(wire.find("idem=req-42.retry_1"), std::string::npos) << wire;
+  StatusOr<Request> parsed = ParseRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->options.idempotency_key, "req-42.retry_1");
+  EXPECT_EQ(SerializeRequest(*parsed), wire);
+  // Omitted on the wire when empty.
+  Request plain;
+  plain.verb = RequestVerb::kQuery;
+  plain.query = "S(x)";
+  EXPECT_EQ(SerializeRequest(plain).find("idem="), std::string::npos);
+}
+
 TEST(RequestTest, RejectsMalformedAdminRequests) {
   // Missing name.
   EXPECT_EQ(ParseRequest("ATTACH\n").status().code(),

@@ -1,0 +1,382 @@
+// Durable server state (--state-dir): manifest persistence across
+// restarts, the per-database recovery taxonomy (missing file, fingerprint
+// drift, corrupt manifest — the server always starts and serves the
+// last-good subset), the startup GC sweep (orphaned temps of dead
+// writers reaped, a live writer's temp untouched), and idempotency-key
+// journaling with post-crash recovery. Everything in-process: two
+// QrelServer instances sharing a state dir stand in for a restart.
+
+#include "qrel/net/server.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrel/net/manifest.h"
+#include "qrel/net/protocol.h"
+#include "qrel/prob/text_format.h"
+#include "qrel/util/fault_injection.h"
+#include "qrel/util/vfs.h"
+
+namespace qrel {
+namespace {
+
+constexpr char kUdbText[] = R"(
+universe 3
+relation E 2
+relation S 1
+fact E 0 1 err=1/4
+fact E 1 2 err=1/8
+fact S 0
+absent S 1 err=1/3
+absent E 2 0 err=1/5
+)";
+
+constexpr char kOtherUdbText[] = R"(
+universe 2
+relation E 2
+relation S 1
+fact E 0 1 err=1/2
+fact S 1
+)";
+
+constexpr char kQuery[] = "exists x y . E(x,y) & S(y)";
+
+class ServerRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/recovery_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(dir_.c_str(), 0755);
+  }
+
+  void TearDown() override {
+    StatusOr<std::vector<std::string>> names = ProcessVfs().ListDir(dir_);
+    if (names.ok()) {
+      for (const std::string& name : *names) {
+        (void)RawPosixVfs().Unlink(dir_ + "/" + name);
+      }
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string WriteUdb(const std::string& name, const char* text) {
+    std::string path = Path(name);
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return path;
+  }
+
+  ServerOptions StateDirOptions() {
+    ServerOptions options;
+    options.state_dir = dir_;
+    return options;
+  }
+
+  static Response Attach(QrelServer& server, const std::string& name,
+                         const std::string& path) {
+    Request request;
+    request.verb = RequestVerb::kAttach;
+    request.target = name;
+    request.path = path;
+    return server.Handle(request);
+  }
+
+  static Response Query(QrelServer& server, const std::string& db,
+                        const std::string& idem = "") {
+    Request request;
+    request.verb = RequestVerb::kQuery;
+    request.query = kQuery;
+    request.options.db = db;
+    request.options.idempotency_key = idem;
+    return server.Handle(request);
+  }
+
+  std::vector<std::string> Listing() const {
+    StatusOr<std::vector<std::string>> names = ProcessVfs().ListDir(dir_);
+    std::vector<std::string> sorted = names.ok() ? *names
+                                                 : std::vector<std::string>{};
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServerRecoveryTest, AttachPersistsManifestAndRestartRecovers) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  std::string fingerprint;
+  {
+    QrelServer server(StateDirOptions());
+    Response attached = Attach(server, "db1", udb);
+    ASSERT_TRUE(attached.ok()) << attached.status.ToString();
+    EXPECT_EQ(attached.Field("manifest").value_or(""), "written");
+    fingerprint = attached.Field("db_fingerprint").value_or("");
+    ASSERT_FALSE(fingerprint.empty());
+  }
+  StatusOr<CatalogManifest> manifest =
+      ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->entries.size(), 1u);
+  EXPECT_EQ(manifest->entries[0].name, "db1");
+  EXPECT_EQ(manifest->entries[0].source_path, udb);
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_TRUE(report.manifest_found);
+  EXPECT_FALSE(report.manifest_corrupt);
+  EXPECT_EQ(report.reattached, 1u);
+  EXPECT_TRUE(report.failures.empty());
+
+  Response answer = Query(restarted, "db1");
+  ASSERT_TRUE(answer.ok()) << answer.status.ToString();
+  EXPECT_EQ(answer.Field("exact_value").value_or(""), "3/5");
+  // Same file, same content: the recovered fingerprint is bit-identical.
+  EXPECT_EQ(answer.Field("db_fingerprint").value_or(""), fingerprint);
+}
+
+TEST_F(ServerRecoveryTest, MemoryAttachedDatabasesStayOutOfTheManifest) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  QrelServer server(StateDirOptions());
+  StatusOr<UnreliableDatabase> database = ParseUdb(kOtherUdbText);
+  ASSERT_TRUE(database.ok());
+  ASSERT_TRUE(server.catalog()
+                  .AttachDatabase("in_memory", std::move(database).value())
+                  .ok());
+  ASSERT_TRUE(Attach(server, "on_disk", udb).ok());
+  StatusOr<CatalogManifest> manifest =
+      ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->entries.size(), 1u);
+  EXPECT_EQ(manifest->entries[0].name, "on_disk");
+}
+
+TEST_F(ServerRecoveryTest, DetachAndReloadRewriteTheManifest) {
+  std::string udb1 = WriteUdb("one.udb", kUdbText);
+  std::string udb2 = WriteUdb("two.udb", kUdbText);
+  QrelServer server(StateDirOptions());
+  ASSERT_TRUE(Attach(server, "one", udb1).ok());
+  ASSERT_TRUE(Attach(server, "two", udb2).ok());
+
+  Request reload;
+  reload.verb = RequestVerb::kReload;
+  reload.target = "two";
+  Response reloaded = server.Handle(reload);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status.ToString();
+  EXPECT_EQ(reloaded.Field("manifest").value_or(""), "written");
+  StatusOr<CatalogManifest> manifest =
+      ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->entries.size(), 2u);
+  EXPECT_EQ(manifest->entries[1].version, 2u)
+      << "reload must persist the bumped version";
+
+  Request detach;
+  detach.verb = RequestVerb::kDetach;
+  detach.target = "one";
+  Response detached = server.Handle(detach);
+  ASSERT_TRUE(detached.ok()) << detached.status.ToString();
+  EXPECT_EQ(detached.Field("manifest").value_or(""), "written");
+  manifest = ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->entries.size(), 1u);
+  EXPECT_EQ(manifest->entries[0].name, "two");
+}
+
+TEST_F(ServerRecoveryTest, MissingSourceFileCostsTheEntryNotTheProcess) {
+  std::string udb = WriteUdb("gone.udb", kUdbText);
+  std::string kept = WriteUdb("kept.udb", kUdbText);
+  {
+    QrelServer server(StateDirOptions());
+    ASSERT_TRUE(Attach(server, "doomed", udb).ok());
+    ASSERT_TRUE(Attach(server, "kept", kept).ok());
+  }
+  ASSERT_TRUE(RawPosixVfs().Unlink(udb).ok());
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_EQ(report.reattached, 1u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("doomed"), std::string::npos);
+  EXPECT_NE(report.failures[0].find("missing"), std::string::npos)
+      << report.failures[0];
+  // The surviving subset serves; the missing one is typed NOT_FOUND.
+  EXPECT_TRUE(Query(restarted, "kept").ok());
+  EXPECT_EQ(Query(restarted, "doomed").status.code(), StatusCode::kNotFound);
+  // The re-persisted manifest dropped the dead entry: the next restart
+  // does not re-report it.
+  StatusOr<CatalogManifest> manifest =
+      ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->entries.size(), 1u);
+  EXPECT_EQ(manifest->entries[0].name, "kept");
+}
+
+TEST_F(ServerRecoveryTest, FingerprintDriftExcludesTheDatabase) {
+  std::string udb = WriteUdb("drift.udb", kUdbText);
+  {
+    QrelServer server(StateDirOptions());
+    ASSERT_TRUE(Attach(server, "drifter", udb).ok());
+  }
+  // The file changes behind the manifest's back.
+  WriteUdb("drift.udb", kOtherUdbText);
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_EQ(report.reattached, 0u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("fingerprint drift"), std::string::npos)
+      << report.failures[0];
+  // Serving a drifted file silently would fake bit-identical answers;
+  // the database is excluded instead.
+  EXPECT_EQ(Query(restarted, "drifter").status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerRecoveryTest, CorruptManifestStillStartsTheServer) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  {
+    QrelServer server(StateDirOptions());
+    ASSERT_TRUE(Attach(server, "db1", udb).ok());
+  }
+  // Flip one byte mid-file: the checksum catches it.
+  StatusOr<std::vector<uint8_t>> bytes =
+      ProcessVfs().ReadFileBytes(Path("catalog.manifest"), 1 << 20);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> corrupt = *bytes;
+  corrupt[corrupt.size() / 2] ^= 0xff;
+  std::ofstream out(Path("catalog.manifest"), std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(corrupt.data()),
+            static_cast<std::streamsize>(corrupt.size()));
+  out.close();
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_TRUE(report.manifest_found);
+  EXPECT_TRUE(report.manifest_corrupt);
+  EXPECT_EQ(report.reattached, 0u);
+  // The server still serves: a fresh ATTACH works and rewrites the
+  // manifest atomically over the corpse.
+  ASSERT_TRUE(Attach(restarted, "db1", udb).ok());
+  EXPECT_TRUE(ReadManifestFile(Path("catalog.manifest")).ok());
+}
+
+TEST_F(ServerRecoveryTest, GcReapsDeadWritersTempsButSparesLiveOnes) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  // A crashed writer's orphan: the pid is guaranteed unused (pid_max on
+  // Linux is < 2^22, so kill() reports ESRCH for it).
+  std::string orphan = Path("old.snap.tmp.999999999");
+  std::string live = Path("inflight.snap.tmp." +
+                          std::to_string(static_cast<long>(::getpid())));
+  std::ofstream(orphan) << "torn";
+  std::ofstream(live) << "in progress";
+  // An undecodable checkpoint leftover.
+  std::ofstream(Path("q0000000000000001.snap")) << "garbage";
+
+  QrelServer server(StateDirOptions());
+  RecoveryReport report = server.RecoverState();
+  EXPECT_EQ(report.gc_removed_temp, 1u);
+  EXPECT_EQ(report.gc_removed_corrupt, 1u);
+
+  std::vector<std::string> names = Listing();
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "data.udb",
+                       "inflight.snap.tmp." +
+                           std::to_string(static_cast<long>(::getpid()))}))
+      << "GC must reap the dead writer's temp and the corrupt checkpoint, "
+         "and must NOT touch a live writer's temp";
+}
+
+TEST_F(ServerRecoveryTest, JournaledKeyRecoversOnceThenConsumes) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  {
+    QrelServer server(StateDirOptions());
+    ASSERT_TRUE(Attach(server, "db1", udb).ok());
+  }
+  // A journal record surviving a crash (written as the server would).
+  IdempotencyRecord record;
+  record.key = "retry-me";
+  record.flight_key = 1;
+  record.store_key = 2;
+  record.db_fingerprint = 3;
+  ASSERT_TRUE(WriteIdempotencyFile(Path("k0001.idem"), record).ok());
+  // And a torn one: counted, removed, never mistaken for live state.
+  std::ofstream(Path("k0002.idem")) << "torn journal";
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_EQ(report.journal_recovered, 1u);
+  EXPECT_EQ(report.journal_corrupt, 1u);
+
+  Response first = Query(restarted, "db1", "retry-me");
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(first.Field("idempotency_key").value_or(""), "retry-me");
+  EXPECT_EQ(first.Field("recovered").value_or(""), "1");
+  EXPECT_EQ(first.Field("exact_value").value_or(""), "3/5");
+
+  // Consumed: the identical retry is now an ordinary (cached) query.
+  Response second = Query(restarted, "db1", "retry-me");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.Field("recovered").value_or(""), "0");
+
+  // The journal file written for the completed request was cleaned up.
+  for (const std::string& name : Listing()) {
+    EXPECT_EQ(name.find(".idem"), std::string::npos)
+        << "journal entry leaked: " << name;
+  }
+}
+
+TEST_F(ServerRecoveryTest, InvalidIdempotencyKeyIsRejectedTyped) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  QrelServer server(StateDirOptions());
+  ASSERT_TRUE(Attach(server, "db1", udb).ok());
+  Response response = Query(server, "db1", "bad key!");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerRecoveryTest, StateDirDefaultsTheCheckpointDir) {
+  QrelServer server(StateDirOptions());
+  EXPECT_EQ(server.options().checkpoint_dir, dir_);
+  ServerOptions both = StateDirOptions();
+  both.checkpoint_dir = "/elsewhere";
+  QrelServer other(both);
+  EXPECT_EQ(other.options().checkpoint_dir, "/elsewhere");
+}
+
+TEST_F(ServerRecoveryTest, FaultVerbIsGatedByOption) {
+  QrelServer locked(StateDirOptions());
+  Request fault;
+  fault.verb = RequestVerb::kFault;
+  fault.target = "vfs.write:1";
+  Response refused = locked.Handle(fault);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status.code(), StatusCode::kFailedPrecondition);
+
+  ServerOptions drills = StateDirOptions();
+  drills.enable_fault_verb = true;
+  QrelServer open(drills);
+  Response armed = open.Handle(fault);
+  ASSERT_TRUE(armed.ok()) << armed.status.ToString();
+  EXPECT_EQ(armed.Field("armed").value_or(""), "vfs.write:1");
+  FaultInjector::Instance().Reset();
+
+  Response bad = open.Handle([] {
+    Request r;
+    r.verb = RequestVerb::kFault;
+    r.target = "";
+    return r;
+  }());
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace qrel
