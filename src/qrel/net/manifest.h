@@ -16,7 +16,9 @@
 // server was down — the database is excluded from serving rather than
 // silently serving different data under a cached fingerprint).
 //
-// **Idempotency journal** (`k<hash>.idem` next to the checkpoints): one
+// **Idempotency journal** (`k-<key>.idem` next to the checkpoints — the
+// validated key grammar is filename-safe, so the key itself is embedded
+// and distinct keys can never share one journal file): one
 // tiny record per admitted request that carried an idempotency key,
 // written before the work starts and unlinked when the response is
 // produced. A record that survives a crash marks a request whose client

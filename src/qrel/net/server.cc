@@ -58,25 +58,49 @@ constexpr const char* kDefaultTenant = "default";
 
 constexpr const char* kManifestFileName = "catalog.manifest";
 
-// True when `name` ends with ".tmp.<digits>" — the shape of
-// WriteSnapshotFile's in-progress temp files. *pid gets the writer's pid.
+// True when `name` ends with ".tmp.<pid>.<seq>" (WriteSnapshotFile's
+// per-attempt-unique in-progress temp files) or the legacy ".tmp.<pid>"
+// shape. *pid gets the writer's pid.
 bool ParseTempFileName(const std::string& name, long* pid) {
   size_t marker = name.rfind(".tmp.");
   if (marker == std::string::npos) {
     return false;
   }
-  std::string_view digits = std::string_view(name).substr(marker + 5);
-  if (digits.empty() || digits.size() > 10) {
+  std::string_view rest = std::string_view(name).substr(marker + 5);
+  size_t dot = rest.find('.');
+  std::string_view pid_digits =
+      dot == std::string_view::npos ? rest : rest.substr(0, dot);
+  if (dot != std::string_view::npos) {
+    std::string_view seq = rest.substr(dot + 1);
+    if (seq.empty() || seq.size() > 20) {
+      return false;
+    }
+    for (char c : seq) {
+      if (c < '0' || c > '9') {
+        return false;
+      }
+    }
+  }
+  if (pid_digits.empty() || pid_digits.size() > 10) {
     return false;
   }
-  long value = 0;
-  for (char c : digits) {
+  // Accumulate unsigned: ten digits can exceed a 32-bit long, and signed
+  // overflow is UB before any range check could run.
+  uint64_t value = 0;
+  for (char c : pid_digits) {
     if (c < '0' || c > '9') {
       return false;
     }
-    value = value * 10 + (c - '0');
+    value = value * 10 + static_cast<uint64_t>(c - '0');
   }
-  *pid = value;
+  // pid_t is at least 32-bit signed everywhere this runs; a larger value
+  // cannot be a live pid and was not written by WriteSnapshotFile, so the
+  // file is not ours to reap (probing a truncated pid could report an
+  // unrelated live process as the writer).
+  if (value > uint64_t{0x7fffffff}) {
+    return false;
+  }
+  *pid = static_cast<long>(value);
   return true;
 }
 
@@ -484,7 +508,14 @@ Response QrelServer::HandleQuery(const Request& request) {
       std::unique_lock<std::mutex> lock(mutex_);
       auto it = recovered_keys_.find(idem_key);
       if (it != recovered_keys_.end()) {
-        recovered_key = true;
+        // The entry is consumed either way, but recovered=1 is reported
+        // only when the journaled identity matches this request: a retry
+        // that reuses the key for a different query (or against a changed
+        // database) did not resume the pre-crash computation and must not
+        // claim it did.
+        recovered_key = it->second.flight_key == flight_key &&
+                        it->second.store_key == store_key &&
+                        it->second.db_fingerprint == version->fingerprint;
         recovered_keys_.erase(it);
       }
     }
@@ -896,19 +927,23 @@ std::string QrelServer::ManifestPath() const {
 }
 
 std::string QrelServer::IdempotencyPath(const std::string& key) const {
-  // Keys are hashed into the filename so the key grammar never has to
-  // care about filesystem semantics (case folding, reserved names, ...).
-  char name[32];
-  std::snprintf(name, sizeof(name), "k%016llx.idem",
-                static_cast<unsigned long long>(
-                    Fingerprint().Mix(key).value()));
-  return options_.state_dir + "/" + name;
+  // The validated key grammar ([A-Za-z0-9_.-]{1,64}) is already
+  // filename-safe, so the key itself is embedded: distinct keys can never
+  // share one journal file the way a 64-bit hash of them could collide,
+  // and the "k-" prefix keeps even "."/".."-shaped keys meaningless to
+  // the filesystem.
+  return options_.state_dir + "/k-" + key + ".idem";
 }
 
 Status QrelServer::PersistManifest() {
   if (options_.state_dir.empty()) {
     return Status::Ok();
   }
+  // One writer at a time, held across snapshot *and* write: concurrent
+  // admin verbs each run read-catalog-then-rename, and unserialised the
+  // slower thread can rename an older catalog snapshot over the newer
+  // one, silently dropping a just-attached database from durable state.
+  std::lock_guard<std::mutex> manifest_lock(manifest_mutex_);
   CatalogManifest manifest;
   for (const DbInfo& info : catalog_.List()) {
     if (info.source_path.empty()) {

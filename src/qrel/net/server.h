@@ -175,7 +175,7 @@ struct ServerOptions {
   //    checksummed manifest ("<dir>/catalog.manifest", net/manifest.h)
   //    rewritten after every successful ATTACH / DETACH / RELOAD;
   //  - admitted QUERYs carrying an idem= key journal the key next to
-  //    their checkpoint ("<dir>/k<hash>.idem") so a post-crash retry
+  //    their checkpoint ("<dir>/k-<key>.idem") so a post-crash retry
   //    resumes from the checkpoint instead of recomputing;
   //  - RecoverState() replays all of it after a restart and sweeps the
   //    directory for a crashed writer's leftovers.
@@ -254,7 +254,7 @@ struct RecoveryReport {
   // database is *excluded* (serve the last-good subset) rather than
   // silently served under a stale fingerprint.
   std::vector<std::string> failures;
-  size_t gc_removed_temp = 0;     // orphaned *.tmp.<pid> of dead writers
+  size_t gc_removed_temp = 0;     // orphaned *.tmp.<pid>.<seq> of dead writers
   size_t gc_removed_corrupt = 0;  // undecodable checkpoint leftovers
   size_t journal_recovered = 0;   // idempotency keys loaded for resume
   size_t journal_corrupt = 0;     // undecodable journal records removed
@@ -449,9 +449,17 @@ class QrelServer {
   std::map<std::string, TenantState> tenants_;
   // Idempotency keys whose journal record survived a crash: the request
   // was admitted but its response never produced. A retry of the key
-  // resumes from its checkpoint and reports recovered=1. Guarded by
-  // mutex_; entries are consumed on first retry.
+  // resumes from its checkpoint and reports recovered=1 — but only when
+  // the journaled flight/store keys and db fingerprint match the retry,
+  // so a key reused for a different query cannot masquerade as resumed.
+  // Guarded by mutex_; entries are consumed on first retry.
   std::map<std::string, IdempotencyRecord> recovered_keys_;
+  // Serializes PersistManifest across concurrent admin verbs
+  // (ATTACH/DETACH/RELOAD run on independent connection threads). Held
+  // across the catalog snapshot *and* the manifest file write — the two
+  // together must be atomic or a slower writer can publish a stale
+  // catalog state over a newer one. Never taken together with mutex_.
+  std::mutex manifest_mutex_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;        // workers exit when queue drains
   bool drain_cancel_ = false;    // fail queued jobs without running them

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -355,13 +356,17 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotData& data) {
   QREL_FAULT_SITE("util.snapshot.write");
   Vfs& vfs = ProcessVfs();
   std::vector<uint8_t> bytes = EncodeSnapshot(data);
-  // Pid-unique temp name: two processes checkpointing to the same path
-  // race only on the final rename (last writer wins, both files whole),
-  // instead of truncating each other's in-progress temp file. Startup GC
-  // (net/server.h RecoverState) relies on this exact ".tmp.<pid>" shape
-  // to tell a crashed writer's orphan from a live writer's file.
+  // Per-attempt-unique temp name ("<path>.tmp.<pid>.<seq>"): concurrent
+  // writers — two threads of this process as much as two processes
+  // sharing the directory — race only on the final rename (last writer
+  // wins, both files whole), never on the temp file itself, where an
+  // O_TRUNC collision would tear both writers' data. Startup GC
+  // (net/server.h RecoverState) parses this exact shape to tell a crashed
+  // writer's orphan from a live writer's file by the embedded pid.
+  static std::atomic<uint64_t> temp_seq{0};
   std::string temp_path =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(temp_seq.fetch_add(1, std::memory_order_relaxed) + 1);
   StatusOr<int> opened = vfs.OpenWrite(temp_path);
   if (!opened.ok()) {
     return Status(opened.status().code(),

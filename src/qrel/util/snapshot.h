@@ -162,12 +162,13 @@ std::vector<uint8_t> EncodeSnapshot(const SnapshotData& data);
 //                      trailing garbage, or checksum mismatch.
 StatusOr<SnapshotData> DecodeSnapshot(const uint8_t* data, size_t size);
 
-// Writes atomically: the bytes go to "<path>.tmp.<pid>" (pid-unique, so
-// concurrent runs checkpointing to the same path cannot truncate each
-// other's in-progress temp file), are fsync'd, the temp file is renamed
-// over `path`, and the containing directory is fsync'd so the rename
-// itself is durable. A crash at any instant leaves either the old
-// snapshot or the new one — never a torn file.
+// Writes atomically: the bytes go to "<path>.tmp.<pid>.<seq>" (unique
+// per writer attempt, so concurrent writers — threads or processes —
+// checkpointing to the same path cannot truncate each other's
+// in-progress temp file), are fsync'd, the temp file is renamed over
+// `path`, and the containing directory is fsync'd so the rename itself
+// is durable. A crash at any instant leaves either the old snapshot or
+// the new one — never a torn file.
 Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
 
 // Loads and validates `path`. kNotFound when the file does not exist

@@ -12,8 +12,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -47,6 +49,43 @@ fact S 1
 )";
 
 constexpr char kQuery[] = "exists x y . E(x,y) & S(y)";
+
+// Forwards to the real filesystem but refuses to remove journal entries:
+// the .idem record a completed query leaves behind under this Vfs is
+// byte-for-byte what a crash between admission and response would have
+// preserved — the server's real flight/store keys included.
+class KeepJournalVfs : public Vfs {
+ public:
+  StatusOr<int> OpenWrite(const std::string& path) override {
+    return RawPosixVfs().OpenWrite(path);
+  }
+  StatusOr<size_t> Write(int fd, const uint8_t* data, size_t size) override {
+    return RawPosixVfs().Write(fd, data, size);
+  }
+  Status Fsync(int fd) override { return RawPosixVfs().Fsync(fd); }
+  Status Close(int fd) override { return RawPosixVfs().Close(fd); }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return RawPosixVfs().Rename(from, to);
+  }
+  Status Unlink(const std::string& path) override {
+    if (path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".idem") == 0) {
+      return Status::Ok();
+    }
+    return RawPosixVfs().Unlink(path);
+  }
+  Status FsyncDir(const std::string& dir) override {
+    return RawPosixVfs().FsyncDir(dir);
+  }
+  StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path,
+                                               size_t max_size) override {
+    return RawPosixVfs().ReadFileBytes(path, max_size);
+  }
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) override {
+    return RawPosixVfs().ListDir(dir);
+  }
+};
 
 class ServerRecoveryTest : public ::testing::Test {
  protected:
@@ -271,45 +310,61 @@ TEST_F(ServerRecoveryTest, CorruptManifestStillStartsTheServer) {
 
 TEST_F(ServerRecoveryTest, GcReapsDeadWritersTempsButSparesLiveOnes) {
   std::string udb = WriteUdb("data.udb", kUdbText);
-  // A crashed writer's orphan: the pid is guaranteed unused (pid_max on
-  // Linux is < 2^22, so kill() reports ESRCH for it).
+  // Crashed writers' orphans, in both temp-name generations (bare pid and
+  // pid.seq): the pid is guaranteed unused (pid_max on Linux is < 2^22,
+  // so kill() reports ESRCH for it).
   std::string orphan = Path("old.snap.tmp.999999999");
+  std::string orphan_seq = Path("older.snap.tmp.999999999.7");
   std::string live = Path("inflight.snap.tmp." +
-                          std::to_string(static_cast<long>(::getpid())));
+                          std::to_string(static_cast<long>(::getpid())) +
+                          ".3");
+  // A pid field that does not fit a 32-bit pid was not written by
+  // WriteSnapshotFile; probing its truncation could name an unrelated
+  // live process, so the sweep must leave the file alone.
+  std::string overflow = Path("weird.snap.tmp.4294967295");
   std::ofstream(orphan) << "torn";
+  std::ofstream(orphan_seq) << "torn";
   std::ofstream(live) << "in progress";
+  std::ofstream(overflow) << "not ours";
   // An undecodable checkpoint leftover.
   std::ofstream(Path("q0000000000000001.snap")) << "garbage";
 
   QrelServer server(StateDirOptions());
   RecoveryReport report = server.RecoverState();
-  EXPECT_EQ(report.gc_removed_temp, 1u);
+  EXPECT_EQ(report.gc_removed_temp, 2u);
   EXPECT_EQ(report.gc_removed_corrupt, 1u);
 
   std::vector<std::string> names = Listing();
   EXPECT_EQ(names, (std::vector<std::string>{
                        "data.udb",
                        "inflight.snap.tmp." +
-                           std::to_string(static_cast<long>(::getpid()))}))
-      << "GC must reap the dead writer's temp and the corrupt checkpoint, "
-         "and must NOT touch a live writer's temp";
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".3",
+                       "weird.snap.tmp.4294967295"}))
+      << "GC must reap the dead writers' temps and the corrupt checkpoint, "
+         "and must NOT touch a live writer's temp or an overflowing pid";
 }
 
 TEST_F(ServerRecoveryTest, JournaledKeyRecoversOnceThenConsumes) {
   std::string udb = WriteUdb("data.udb", kUdbText);
+  std::string expect_value;
   {
+    // Run the journaled query with journal removal suppressed: the .idem
+    // record left on disk carries the keys the server actually computed,
+    // exactly as a crash between admission and response would leave it.
+    KeepJournalVfs keep;
+    ScopedVfsOverride vfs_override(&keep);
     QrelServer server(StateDirOptions());
     ASSERT_TRUE(Attach(server, "db1", udb).ok());
+    Response pre_crash = Query(server, "db1", "retry-me");
+    ASSERT_TRUE(pre_crash.ok()) << pre_crash.status.ToString();
+    expect_value = pre_crash.Field("exact_value").value_or("");
+    ASSERT_FALSE(expect_value.empty());
   }
-  // A journal record surviving a crash (written as the server would).
-  IdempotencyRecord record;
-  record.key = "retry-me";
-  record.flight_key = 1;
-  record.store_key = 2;
-  record.db_fingerprint = 3;
-  ASSERT_TRUE(WriteIdempotencyFile(Path("k0001.idem"), record).ok());
-  // And a torn one: counted, removed, never mistaken for live state.
-  std::ofstream(Path("k0002.idem")) << "torn journal";
+  // The record survived at its canonical key-embedding path...
+  ASSERT_TRUE(ReadIdempotencyFile(Path("k-retry-me.idem")).ok());
+  // ...and a torn one: counted, removed, never mistaken for live state.
+  std::ofstream(Path("k-torn.idem")) << "torn journal";
 
   QrelServer restarted(StateDirOptions());
   RecoveryReport report = restarted.RecoverState();
@@ -320,7 +375,7 @@ TEST_F(ServerRecoveryTest, JournaledKeyRecoversOnceThenConsumes) {
   ASSERT_TRUE(first.ok()) << first.status.ToString();
   EXPECT_EQ(first.Field("idempotency_key").value_or(""), "retry-me");
   EXPECT_EQ(first.Field("recovered").value_or(""), "1");
-  EXPECT_EQ(first.Field("exact_value").value_or(""), "3/5");
+  EXPECT_EQ(first.Field("exact_value").value_or(""), expect_value);
 
   // Consumed: the identical retry is now an ordinary (cached) query.
   Response second = Query(restarted, "db1", "retry-me");
@@ -331,6 +386,111 @@ TEST_F(ServerRecoveryTest, JournaledKeyRecoversOnceThenConsumes) {
   for (const std::string& name : Listing()) {
     EXPECT_EQ(name.find(".idem"), std::string::npos)
         << "journal entry leaked: " << name;
+  }
+}
+
+TEST_F(ServerRecoveryTest, MismatchedJournalRecordDoesNotClaimRecovery) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  {
+    QrelServer server(StateDirOptions());
+    ASSERT_TRUE(Attach(server, "db1", udb).ok());
+  }
+  // A surviving record whose identity does not match the retry:
+  // fabricated keys stand in for "same key, different query" or "same
+  // key, database changed since the crash". Written under a non-canonical
+  // name, which recovery must also normalize away.
+  IdempotencyRecord record;
+  record.key = "retry-me";
+  record.flight_key = 1;
+  record.store_key = 2;
+  record.db_fingerprint = 3;
+  ASSERT_TRUE(WriteIdempotencyFile(Path("k0001.idem"), record).ok());
+
+  QrelServer restarted(StateDirOptions());
+  RecoveryReport report = restarted.RecoverState();
+  EXPECT_EQ(report.journal_recovered, 1u);
+  for (const std::string& name : Listing()) {
+    EXPECT_NE(name, "k0001.idem")
+        << "non-canonical journal name must be normalized away";
+  }
+
+  // The key is consumed, but this request did not resume the journaled
+  // computation and must not report that it did.
+  Response response = Query(restarted, "db1", "retry-me");
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(response.Field("recovered").value_or(""), "0");
+  Response again = Query(restarted, "db1", "retry-me");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.Field("recovered").value_or(""), "0");
+}
+
+TEST_F(ServerRecoveryTest, DistinctKeysGetDistinctJournalFiles) {
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  KeepJournalVfs keep;
+  ScopedVfsOverride vfs_override(&keep);
+  QrelServer server(StateDirOptions());
+  ASSERT_TRUE(Attach(server, "db1", udb).ok());
+  ASSERT_TRUE(Query(server, "db1", "key-a").ok());
+  ASSERT_TRUE(Query(server, "db1", "key-b").ok());
+  // The key is embedded in the filename, so two in-flight keys can never
+  // share (and tear, or silently overwrite) one journal file the way
+  // colliding 64-bit hashes could.
+  EXPECT_TRUE(ReadIdempotencyFile(Path("k-key-a.idem")).ok());
+  EXPECT_TRUE(ReadIdempotencyFile(Path("k-key-b.idem")).ok());
+}
+
+TEST_F(ServerRecoveryTest, ConcurrentAdminVerbsKeepTheManifestWhole) {
+  // Admin verbs run on independent connection threads; every interleaved
+  // PersistManifest must publish a whole, checksummed manifest. Before
+  // persistence was serialized, two writers shared one temp file (torn
+  // manifest renamed into place) and the slower one could rename a stale
+  // catalog snapshot over the newer (lost update).
+  std::string udb = WriteUdb("data.udb", kUdbText);
+  QrelServer server(StateDirOptions());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::atomic<bool> done{false};
+  // A concurrent reader sees every published manifest: rename is atomic,
+  // so anything other than a whole, decodable file is a torn write.
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      StatusOr<CatalogManifest> manifest =
+          ReadManifestFile(Path("catalog.manifest"));
+      if (!manifest.ok()) {
+        EXPECT_EQ(manifest.status().code(), StatusCode::kNotFound)
+            << manifest.status().ToString();
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      const std::string name = "db" + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        EXPECT_TRUE(Attach(server, name, udb).ok());
+        Request detach;
+        detach.verb = RequestVerb::kDetach;
+        detach.target = name;
+        EXPECT_TRUE(server.Handle(detach).ok());
+      }
+      EXPECT_TRUE(Attach(server, name, udb).ok());
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // No lost update: the final manifest holds exactly the databases that
+  // finished attached.
+  StatusOr<CatalogManifest> manifest =
+      ReadManifestFile(Path("catalog.manifest"));
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->entries.size(), static_cast<size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(manifest->entries[static_cast<size_t>(t)].name,
+              "db" + std::to_string(t));
   }
 }
 
