@@ -221,7 +221,7 @@ StatusOr<UnreliableFunctionalDatabase> LoadMfdbFile(const std::string& path) {
       return Status::NotFound("no such file: '" + path + "'");
     }
     return Status::Internal("cannot open '" + path + "': " +
-                            (open_errno != 0 ? std::strerror(open_errno)
+                            (open_errno != 0 ? ErrnoString(open_errno)
                                              : "unknown error"));
   }
   QREL_RETURN_IF_ERROR(QREL_FAULT_HIT("metafinite.load_mfdb.read"));

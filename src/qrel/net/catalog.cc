@@ -129,7 +129,7 @@ Status DbCatalog::AttachImpl(const std::string& name, const std::string& path,
   {
     // Reserve the name before staging so two concurrent attaches of the
     // same name cannot both stage and race the insert.
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto [it, inserted] = entries_.emplace(name, Entry{});
     if (!inserted) {
       return Status::FailedPrecondition("database \"" + name +
@@ -139,7 +139,7 @@ Status DbCatalog::AttachImpl(const std::string& name, const std::string& path,
   }
   StatusOr<std::shared_ptr<const DbVersion>> staged =
       Stage(name, /*version=*/1, path, database);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (!staged.ok()) {
     if (it != entries_.end() && it->second.current == nullptr) {
@@ -174,7 +174,7 @@ StatusOr<ReloadOutcome> DbCatalog::ReloadImpl(const std::string& name,
   std::shared_ptr<const DbVersion> old_version;
   std::string staged_path;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end() || it->second.current == nullptr) {
       return Status::NotFound("unknown database \"" + name + "\"");
@@ -193,7 +193,7 @@ StatusOr<ReloadOutcome> DbCatalog::ReloadImpl(const std::string& name,
   // An entry attached from memory has no source path; a pathless reload
   // of it needs ReloadDatabase.
   auto fail = [&](Status status) -> StatusOr<ReloadOutcome> {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       it->second.reloading = false;  // old version keeps serving
@@ -224,7 +224,7 @@ StatusOr<ReloadOutcome> DbCatalog::ReloadImpl(const std::string& name,
   outcome.changed =
       outcome.new_version->fingerprint != old_version->fingerprint;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
       // Detached underneath us (FinishDetach won the race): the staged
@@ -244,7 +244,7 @@ StatusOr<ReloadOutcome> DbCatalog::ReloadImpl(const std::string& name,
 StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::BeginDetach(
     const std::string& name) {
   QREL_FAULT_SITE("net.catalog.detach");
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.current == nullptr) {
     return Status::NotFound("unknown database \"" + name + "\"");
@@ -262,7 +262,7 @@ StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::BeginDetach(
 }
 
 void DbCatalog::FinishDetach(const std::string& name) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end() && it->second.draining) {
     entries_.erase(it);
@@ -270,7 +270,7 @@ void DbCatalog::FinishDetach(const std::string& name) {
 }
 
 void DbCatalog::CancelDetach(const std::string& name) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     it->second.draining = false;
@@ -282,7 +282,7 @@ void DbCatalog::CancelDetach(const std::string& name) {
 
 StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::Resolve(
     const std::string& name) const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.current == nullptr) {
     return Status::NotFound("unknown database \"" + name + "\"");
@@ -294,7 +294,7 @@ StatusOr<std::shared_ptr<const DbVersion>> DbCatalog::Resolve(
 }
 
 std::vector<DbInfo> DbCatalog::List() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<DbInfo> infos;
   infos.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -318,7 +318,7 @@ std::vector<DbInfo> DbCatalog::List() const {
 }
 
 size_t DbCatalog::size() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t count = 0;
   for (const auto& [name, entry] : entries_) {
     if (entry.current != nullptr) {

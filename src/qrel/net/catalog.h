@@ -40,12 +40,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "qrel/engine/engine.h"
+#include "qrel/util/mutex.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -161,8 +161,9 @@ class DbCatalog {
                                      const std::string& path,
                                      UnreliableDatabase* database);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  // ordered so listings are stable
+  mutable Mutex mutex_{LockRank::kCatalog};
+  // Ordered so listings are stable.
+  std::map<std::string, Entry> entries_ QREL_GUARDED_BY(mutex_);
 };
 
 }  // namespace qrel

@@ -18,7 +18,7 @@ Status QrelClient::Connect(int port, uint64_t recv_timeout_ms) {
   recv_timeout_ms_ = recv_timeout_ms;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return Status::Internal(std::string("socket: ") + ErrnoString(errno));
   }
   if (recv_timeout_ms > 0) {
     timeval tv;
@@ -35,7 +35,7 @@ Status QrelClient::Connect(int port, uint64_t recv_timeout_ms) {
     int saved = errno;
     Close();
     return Status::Unavailable(std::string("connect: ") +
-                               std::strerror(saved));
+                               ErrnoString(saved));
   }
   return Status::Ok();
 }
@@ -64,7 +64,7 @@ StatusOr<Response> QrelClient::Call(const Request& request) {
       int saved = errno;
       Close();
       return Status::Unavailable(std::string("send: ") +
-                                 std::strerror(saved));
+                                 ErrnoString(saved));
     }
     sent += static_cast<size_t>(n);
   }
@@ -104,7 +104,7 @@ StatusOr<Response> QrelClient::Call(const Request& request) {
         return Status::DeadlineExceeded("timed out waiting for a response");
       }
       return Status::Unavailable(std::string("recv: ") +
-                                 std::strerror(saved));
+                                 ErrnoString(saved));
     }
     got_bytes = true;
     buffer_.append(chunk, static_cast<size_t>(n));

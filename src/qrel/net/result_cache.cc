@@ -12,7 +12,7 @@ CachedResult ResultCache::GetOrCompute(
   *shared = false;
   std::shared_ptr<InFlight> flight;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto stored = store_.find(store_key);
     if (stored != store_.end()) {
       lru_.splice(lru_.begin(), lru_, stored->second.lru_it);
@@ -26,7 +26,9 @@ CachedResult ResultCache::GetOrCompute(
       // already computing; ride its flight and share its outcome, typed
       // errors included.
       flight = inflight->second;
-      flight->done_cv.wait(lock, [&flight] { return flight->done; });
+      while (!flight->done) {
+        flight->done_cv.Wait(mutex_);
+      }
       ++stats_.single_flight_shared;
       *shared = true;
       return flight->result;
@@ -39,7 +41,7 @@ CachedResult ResultCache::GetOrCompute(
   CachedResult result = compute();
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     flight->result = result;
     flight->done = true;
     if (result.storable && result.status.ok()) {
@@ -47,7 +49,7 @@ CachedResult ResultCache::GetOrCompute(
     }
     in_flight_.erase(flight_key);
   }
-  flight->done_cv.notify_all();
+  flight->done_cv.NotifyAll();
   return result;
 }
 
@@ -93,7 +95,7 @@ size_t ResultCache::RetireTag(uint64_t tag) {
   if (tag == 0) {
     return 0;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!TagRetiredLocked(tag)) {
     if (retired_ring_.size() < kRetiredRingSize) {
       retired_ring_.push_back(tag);
@@ -117,14 +119,14 @@ size_t ResultCache::RetireTag(uint64_t tag) {
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ResultCacheStats snapshot = stats_;
   snapshot.entries = store_.size();
   return snapshot;
 }
 
 void ResultCache::Clear() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   store_.clear();
   lru_.clear();
   stats_.entries = 0;

@@ -34,17 +34,16 @@
 #ifndef QREL_NET_RESULT_CACHE_H_
 #define QREL_NET_RESULT_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "qrel/util/mutex.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -97,8 +96,11 @@ class ResultCache {
   void Clear();
 
  private:
+  // Both fields are guarded by the enclosing cache's mutex_ (a nested
+  // struct cannot name the enclosing instance's capability, so the
+  // analysis checks the accesses in ResultCache's methods instead).
   struct InFlight {
-    std::condition_variable done_cv;
+    CondVar done_cv;
     bool done = false;
     CachedResult result;
   };
@@ -110,8 +112,8 @@ class ResultCache {
   };
 
   void StoreLocked(uint64_t store_key, uint64_t tag,
-                   const CachedResult& result);
-  bool TagRetiredLocked(uint64_t tag) const;
+                   const CachedResult& result) QREL_REQUIRES(mutex_);
+  bool TagRetiredLocked(uint64_t tag) const QREL_REQUIRES(mutex_);
 
   // RetireTag memory: the last kRetiredRingSize retired fingerprints.
   // Bounded because version churn is unbounded; a tag aged out of the
@@ -120,14 +122,16 @@ class ResultCache {
   // fingerprint) and ordinary LRU pressure reclaims it.
   static constexpr size_t kRetiredRingSize = 64;
 
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  std::unordered_map<uint64_t, StoreEntry> store_;
-  std::list<uint64_t> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_;
-  std::vector<uint64_t> retired_ring_;
-  size_t retired_next_ = 0;
-  ResultCacheStats stats_;
+  mutable Mutex mutex_{LockRank::kResultCache};
+  const size_t capacity_;  // immutable after construction
+  std::unordered_map<uint64_t, StoreEntry> store_ QREL_GUARDED_BY(mutex_);
+  // front = most recent
+  std::list<uint64_t> lru_ QREL_GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> in_flight_
+      QREL_GUARDED_BY(mutex_);
+  std::vector<uint64_t> retired_ring_ QREL_GUARDED_BY(mutex_);
+  size_t retired_next_ QREL_GUARDED_BY(mutex_) = 0;
+  ResultCacheStats stats_ QREL_GUARDED_BY(mutex_);
 };
 
 }  // namespace qrel

@@ -23,7 +23,7 @@ void RetryAfterEstimator::RecordServiceTimeMs(double ms) {
   if (!(ms >= 0.0) || !std::isfinite(ms)) {
     return;  // clock glitch; never poison the average
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (samples_ == 0) {
     ewma_ms_ = ms;
   } else {
@@ -35,7 +35,7 @@ void RetryAfterEstimator::RecordServiceTimeMs(double ms) {
 uint64_t RetryAfterEstimator::HintMs(size_t queue_depth,
                                      size_t workers) const {
   const double lanes = static_cast<double>(std::max<size_t>(workers, 1));
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (samples_ == 0) {
     // Cold server: the PR 6 depth-scaled constant.
     const double base = static_cast<double>(fallback_base_ms_);
@@ -47,7 +47,7 @@ uint64_t RetryAfterEstimator::HintMs(size_t queue_depth,
 }
 
 uint64_t RetryAfterEstimator::sample_count() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_;
 }
 

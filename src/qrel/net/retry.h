@@ -24,9 +24,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "qrel/net/protocol.h"
+#include "qrel/util/mutex.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -60,9 +60,9 @@ class RetryAfterEstimator {
   const uint64_t max_ms_;
   const double alpha_;
 
-  mutable std::mutex mutex_;
-  double ewma_ms_ = 0.0;
-  uint64_t samples_ = 0;
+  mutable Mutex mutex_{LockRank::kRetryEstimator};
+  double ewma_ms_ QREL_GUARDED_BY(mutex_) = 0.0;
+  uint64_t samples_ QREL_GUARDED_BY(mutex_) = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -170,14 +170,20 @@ struct QrelServer::Stats {
 // publishes `result`. `db` pins the version the request admitted
 // against: a concurrent RELOAD cannot change what this job computes.
 struct QrelServer::Job {
+  // request/db/tenant/budget are written by the dispatching thread before
+  // the job is published to the queue and never after — the queue handoff
+  // under the server lock orders them for the worker, so they carry no
+  // guard of their own.
   Request request;
   std::shared_ptr<const DbVersion> db;
   std::string tenant;
   uint64_t budget = 0;
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  CachedResult result;
+  // Ranked above the server core lock: the fast-fail paths publish a
+  // result under mutex_ (FailQueuedJobLocked).
+  Mutex m{LockRank::kServerJob};
+  CondVar cv;
+  bool done QREL_GUARDED_BY(m) = false;
+  CachedResult result QREL_GUARDED_BY(m);
 };
 
 // Per-tenant accounting, guarded by mutex_. The token bucket lazily
@@ -334,7 +340,7 @@ Status QrelServer::AdmitTenant(const std::string& tenant,
   }
   const double burst =
       static_cast<double>(std::max<uint64_t>(options_.tenant_burst, 1));
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   TenantState& t = tenants_[tenant];
   auto now = std::chrono::steady_clock::now();
   if (!t.bucket_init) {
@@ -491,7 +497,7 @@ Response QrelServer::HandleQuery(const Request& request) {
   }
   stats_->admitted.fetch_add(1, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++tenants_[tenant].admitted;
   }
 
@@ -505,7 +511,7 @@ Response QrelServer::HandleQuery(const Request& request) {
   std::string journal_path;
   if (!idem_key.empty() && !options_.state_dir.empty()) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       auto it = recovered_keys_.find(idem_key);
       if (it != recovered_keys_.end()) {
         // The entry is consumed either way, but recovered=1 is reported
@@ -720,7 +726,7 @@ Response QrelServer::HandleStats() const {
   emit("inflight", inflight());
   emit("databases", catalog_.size());
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     emit("quota_outstanding", quota_outstanding_);
   }
   emit("work_quota", options_.work_quota);
@@ -826,7 +832,7 @@ Response QrelServer::HandleDetach(const Request& request) {
   // in-flight runs the grace period, then cancel cooperatively.
   size_t cancelled = 0;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (auto it = queue_.begin(); it != queue_.end();) {
       if ((*it)->db->fingerprint == fp) {
         std::shared_ptr<Job> job = *it;
@@ -842,12 +848,12 @@ Response QrelServer::HandleDetach(const Request& request) {
     }
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options_.drain_grace_ms);
-    auto db_idle = [this, fp] {
-      auto it = inflight_by_db_.find(fp);
-      return it == inflight_by_db_.end() || it->second == 0;
-    };
-    idle_cv_.wait_until(lock, deadline, db_idle);
-    if (!db_idle()) {
+    while (!DbIdleLocked(fp)) {
+      if (idle_cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!DbIdleLocked(fp)) {
       for (ActiveRun& run : active_runs_) {
         if (run.db_fingerprint == fp) {
           run.ctx->RequestCancellation();
@@ -855,7 +861,9 @@ Response QrelServer::HandleDetach(const Request& request) {
           stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      idle_cv_.wait(lock, db_idle);
+      while (!DbIdleLocked(fp)) {
+        idle_cv_.Wait(mutex_);
+      }
     }
   }
   catalog_.FinishDetach(name);
@@ -943,7 +951,7 @@ Status QrelServer::PersistManifest() {
   // admin verbs each run read-catalog-then-rename, and unserialised the
   // slower thread can rename an older catalog snapshot over the newer
   // one, silently dropping a just-attached database from durable state.
-  std::lock_guard<std::mutex> manifest_lock(manifest_mutex_);
+  MutexLock manifest_lock(&manifest_mutex_);
   CatalogManifest manifest;
   for (const DbInfo& info : catalog_.List()) {
     if (info.source_path.empty()) {
@@ -1008,7 +1016,7 @@ RecoveryReport QrelServer::RecoverState() {
           if (path != IdempotencyPath(record->key)) {
             (void)vfs.Unlink(path);
           }
-          std::unique_lock<std::mutex> lock(mutex_);
+          MutexLock lock(&mutex_);
           recovered_keys_[record->key] = std::move(record).value();
           ++report.journal_recovered;
         } else {
@@ -1108,11 +1116,11 @@ void QrelServer::FailQueuedJobLocked(const std::shared_ptr<Job>& job,
   }
   t.outstanding_work -= std::min(t.outstanding_work, job->budget);
   {
-    std::unique_lock<std::mutex> job_lock(job->m);
+    MutexLock job_lock(&job->m);
     job->result = std::move(result);
     job->done = true;
   }
-  job->cv.notify_all();
+  job->cv.NotifyAll();
 }
 
 CachedResult QrelServer::EnqueueAndRun(const Request& request,
@@ -1126,7 +1134,7 @@ CachedResult QrelServer::EnqueueAndRun(const Request& request,
       request.options.max_work.value_or(options_.default_max_work),
       options_.max_request_work);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     CachedResult shed;
     if (draining()) {
       stats_->shed_draining.fetch_add(1, std::memory_order_relaxed);
@@ -1197,12 +1205,14 @@ CachedResult QrelServer::EnqueueAndRun(const Request& request,
     t.outstanding_work += job->budget;
     queue_.push_back(job);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   {
-    std::unique_lock<std::mutex> lock(job->m);
-    job->cv.wait(lock, [&job] { return job->done; });
+    MutexLock lock(&job->m);
+    while (!job->done) {
+      job->cv.Wait(job->m);
+    }
+    return job->result;
   }
-  return job->result;
 }
 
 void QrelServer::WorkerLoop() {
@@ -1211,8 +1221,10 @@ void QrelServer::WorkerLoop() {
     bool pressured = false;
     bool cancel = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) {
+        queue_cv_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping and drained
       }
@@ -1256,7 +1268,7 @@ void QrelServer::WorkerLoop() {
       stats_->completed_error.fetch_add(1, std::memory_order_relaxed);
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       quota_outstanding_ -= job->budget;
       TenantState& t = tenants_[job->tenant];
       t.outstanding_work -= std::min(t.outstanding_work, job->budget);
@@ -1268,14 +1280,14 @@ void QrelServer::WorkerLoop() {
       inflight_.fetch_sub(1, std::memory_order_release);
       // Every completion can be the one a DETACH (per-database) or
       // Drain (whole-server) is waiting on.
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
     {
-      std::unique_lock<std::mutex> lock(job->m);
+      MutexLock lock(&job->m);
       job->result = std::move(result);
       job->done = true;
     }
-    job->cv.notify_all();
+    job->cv.NotifyAll();
   }
 }
 
@@ -1331,12 +1343,12 @@ CachedResult QrelServer::ExecuteQuery(const Request& request,
   opts.run_context = &ctx;
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     active_runs_.push_back(ActiveRun{&ctx, db.fingerprint});
   }
   StatusOr<EngineReport> report = db.engine.Run(request.query, opts);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     active_runs_.erase(
         std::find_if(active_runs_.begin(), active_runs_.end(),
                      [&ctx](const ActiveRun& run) { return run.ctx == &ctx; }));
@@ -1405,12 +1417,13 @@ void QrelServer::Drain() {
   BeginDrain();
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(options_.drain_grace_ms);
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto idle = [this] {
-    return queue_.empty() && inflight_.load(std::memory_order_acquire) == 0;
-  };
-  idle_cv_.wait_until(lock, deadline, idle);
-  if (!idle()) {
+  MutexLock lock(&mutex_);
+  while (!IdleLocked()) {
+    if (idle_cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  if (!IdleLocked()) {
     // Grace expired: fail queued work fast and cancel running work
     // cooperatively. A cancelled run flushes its final checkpoint at the
     // next safe point and surfaces a typed CANCELLED to its client.
@@ -1419,9 +1432,20 @@ void QrelServer::Drain() {
       run.ctx->RequestCancellation();
       stats_->drain_cancelled.fetch_add(1, std::memory_order_relaxed);
     }
-    idle_cv_.wait(lock, idle);
+    while (!IdleLocked()) {
+      idle_cv_.Wait(mutex_);
+    }
   }
   drain_cancel_ = false;
+}
+
+bool QrelServer::IdleLocked() const {
+  return queue_.empty() && inflight_.load(std::memory_order_acquire) == 0;
+}
+
+bool QrelServer::DbIdleLocked(uint64_t fingerprint) const {
+  auto it = inflight_by_db_.find(fingerprint);
+  return it == inflight_by_db_.end() || it->second == 0;
 }
 
 void QrelServer::Shutdown() {
@@ -1437,21 +1461,23 @@ void QrelServer::Shutdown() {
   // Handle() waiting for a worker.
   Drain();
   {
-    std::unique_lock<std::mutex> lock(conn_mutex_);
+    MutexLock lock(&conn_mutex_);
     for (Connection& conn : conns_) {
       ::shutdown(conn.fd, SHUT_RDWR);  // wakes any blocked recv with EOF
     }
     // Every fd in conns_ is still open (entries retire before closing),
     // so the sweep above cannot hit a reused descriptor. Wait for all
     // connections to retire, then join their parked threads.
-    conn_cv_.wait(lock, [this] { return conns_.empty(); });
+    while (!conns_.empty()) {
+      conn_cv_.Wait(conn_mutex_);
+    }
   }
   ReapConnectionThreads();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) {
       t.join();
@@ -1464,7 +1490,7 @@ void QrelServer::Shutdown() {
 }
 
 size_t QrelServer::queue_depth() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queue_.size();
 }
 
@@ -1520,7 +1546,7 @@ ServerStatsSnapshot QrelServer::stats_snapshot() const {
 }
 
 std::vector<TenantStatsSnapshot> QrelServer::tenant_stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<TenantStatsSnapshot> snapshot;
   snapshot.reserve(tenants_.size());
   for (const auto& [name, t] : tenants_) {
@@ -1544,7 +1570,7 @@ std::vector<TenantStatsSnapshot> QrelServer::tenant_stats() const {
 Status QrelServer::Listen(int port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return Status::Internal(std::string("socket: ") + ErrnoString(errno));
   }
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -1559,13 +1585,13 @@ Status QrelServer::Listen(int port) {
     int saved = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status::Internal(std::string("bind: ") + std::strerror(saved));
+    return Status::Internal(std::string("bind: ") + ErrnoString(saved));
   }
   if (::listen(listen_fd_, 64) < 0) {
     int saved = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status::Internal(std::string("listen: ") + std::strerror(saved));
+    return Status::Internal(std::string("listen: ") + ErrnoString(saved));
   }
   sockaddr_in bound;
   socklen_t len = sizeof(bound);
@@ -1585,7 +1611,7 @@ Status QrelServer::ServeInBackground(int port) {
 void QrelServer::ReapConnectionThreads() {
   std::vector<std::thread> finished;
   {
-    std::unique_lock<std::mutex> lock(conn_mutex_);
+    MutexLock lock(&conn_mutex_);
     finished.swap(reaped_conn_threads_);
   }
   for (std::thread& t : finished) {
@@ -1594,7 +1620,7 @@ void QrelServer::ReapConnectionThreads() {
 }
 
 size_t QrelServer::unreaped_connection_threads() const {
-  std::unique_lock<std::mutex> lock(conn_mutex_);
+  MutexLock lock(&conn_mutex_);
   return reaped_conn_threads_.size();
 }
 
@@ -1644,7 +1670,7 @@ void QrelServer::AcceptLoop() {
       ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
     live_connections_.fetch_add(1, std::memory_order_acq_rel);
-    std::unique_lock<std::mutex> lock(conn_mutex_);
+    MutexLock lock(&conn_mutex_);
     conns_.emplace_back();
     auto conn = std::prev(conns_.end());
     conn->fd = fd;
@@ -1716,11 +1742,11 @@ void QrelServer::ConnectionLoop(std::list<Connection>::iterator conn) {
   // mistake. The thread handle is parked for the accept loop (or
   // Shutdown) to join — a thread cannot join itself.
   {
-    std::unique_lock<std::mutex> lock(conn_mutex_);
+    MutexLock lock(&conn_mutex_);
     reaped_conn_threads_.push_back(std::move(conn->thread));
     conns_.erase(conn);
   }
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
   live_connections_.fetch_sub(1, std::memory_order_acq_rel);

@@ -82,13 +82,11 @@
 #define QREL_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +97,7 @@
 #include "qrel/net/protocol.h"
 #include "qrel/net/result_cache.h"
 #include "qrel/net/retry.h"
+#include "qrel/util/mutex.h"
 #include "qrel/util/status.h"
 
 namespace qrel {
@@ -400,10 +399,15 @@ class QrelServer {
                             uint64_t budget, bool pressured);
 
   // Completes `job` with `result` and releases its server and tenant
-  // accounting. Caller holds mutex_; the job must still be queued (not
-  // yet claimed by a worker).
+  // accounting. The job must still be queued (not yet claimed by a
+  // worker).
   void FailQueuedJobLocked(const std::shared_ptr<Job>& job,
-                           CachedResult result);
+                           CachedResult result) QREL_REQUIRES(mutex_);
+
+  // Wait predicates for Drain/DETACH, factored out so the capability
+  // analysis checks their guarded reads against the held lock.
+  bool IdleLocked() const QREL_REQUIRES(mutex_);
+  bool DbIdleLocked(uint64_t fingerprint) const QREL_REQUIRES(mutex_);
 
   uint64_t RetryAfterHintMs() const;
   uint64_t StoreKey(const Request& request, const DbVersion& db) const;
@@ -439,30 +443,36 @@ class QrelServer {
     uint64_t db_fingerprint = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;   // workers wait for jobs
-  std::condition_variable idle_cv_;    // Drain/DETACH wait for completions
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<ActiveRun> active_runs_;
-  std::map<uint64_t, size_t> inflight_by_db_;  // fingerprint -> running jobs
-  uint64_t quota_outstanding_ = 0;
-  std::map<std::string, TenantState> tenants_;
+  mutable Mutex mutex_{LockRank::kServerCore};
+  CondVar queue_cv_;  // workers wait for jobs
+  CondVar idle_cv_;   // Drain/DETACH wait for completions
+  std::deque<std::shared_ptr<Job>> queue_ QREL_GUARDED_BY(mutex_);
+  std::vector<ActiveRun> active_runs_ QREL_GUARDED_BY(mutex_);
+  // fingerprint -> running jobs
+  std::map<uint64_t, size_t> inflight_by_db_ QREL_GUARDED_BY(mutex_);
+  uint64_t quota_outstanding_ QREL_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, TenantState> tenants_ QREL_GUARDED_BY(mutex_);
   // Idempotency keys whose journal record survived a crash: the request
   // was admitted but its response never produced. A retry of the key
   // resumes from its checkpoint and reports recovered=1 — but only when
   // the journaled flight/store keys and db fingerprint match the retry,
   // so a key reused for a different query cannot masquerade as resumed.
-  // Guarded by mutex_; entries are consumed on first retry.
-  std::map<std::string, IdempotencyRecord> recovered_keys_;
+  // Entries are consumed on first retry.
+  std::map<std::string, IdempotencyRecord> recovered_keys_
+      QREL_GUARDED_BY(mutex_);
   // Serializes PersistManifest across concurrent admin verbs
   // (ATTACH/DETACH/RELOAD run on independent connection threads). Held
   // across the catalog snapshot *and* the manifest file write — the two
   // together must be atomic or a slower writer can publish a stale
-  // catalog state over a newer one. Never taken together with mutex_.
-  std::mutex manifest_mutex_;
+  // catalog state over a newer one. Never taken together with mutex_
+  // (ranked kServerManifest < kCatalog: the only lock it nests with is
+  // the catalog's, inside List()).
+  Mutex manifest_mutex_{LockRank::kServerManifest};
   std::vector<std::thread> workers_;
-  bool stopping_ = false;        // workers exit when queue drains
-  bool drain_cancel_ = false;    // fail queued jobs without running them
+  // workers exit when queue drains
+  bool stopping_ QREL_GUARDED_BY(mutex_) = false;
+  // fail queued jobs without running them
+  bool drain_cancel_ QREL_GUARDED_BY(mutex_) = false;
 
   std::atomic<bool> draining_{false};
   std::atomic<size_t> inflight_{0};
@@ -476,10 +486,10 @@ class QrelServer {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  mutable std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;  // signalled when a connection retires
-  std::list<Connection> conns_;
-  std::vector<std::thread> reaped_conn_threads_;
+  mutable Mutex conn_mutex_{LockRank::kServerConn};
+  CondVar conn_cv_;  // signalled when a connection retires
+  std::list<Connection> conns_ QREL_GUARDED_BY(conn_mutex_);
+  std::vector<std::thread> reaped_conn_threads_ QREL_GUARDED_BY(conn_mutex_);
   std::atomic<int> live_connections_{0};
   std::atomic<bool> stop_accepting_{false};
 };

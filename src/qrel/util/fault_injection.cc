@@ -1,41 +1,55 @@
 #include "qrel/util/fault_injection.h"
 
-#include <mutex>
 #include <new>
 #include <unordered_map>
+
+#include "qrel/util/mutex.h"
 
 namespace qrel {
 
 namespace fault_internal {
+
+// The registry lock. A named accessor (rather than a Registry member) so
+// SiteState fields can carry QREL_GUARDED_BY(RegistryMutex()) — a nested
+// member mutex is not nameable from the guarded struct. Ranked innermost:
+// fault sites fire under every other lock in the process (vfs syscall
+// sites inside manifest and checkpoint writes).
+Mutex& RegistryMutex() {
+  static Mutex* mutex = new Mutex(LockRank::kFaultRegistry);  // never destroyed
+  return *mutex;
+}
 
 // All fields except `hits` are guarded by the registry mutex. `hits`
 // is atomic so the un-armed fast path never takes the lock.
 struct SiteState {
   std::string name;
   std::atomic<uint64_t> hits{0};
-  uint64_t triggered = 0;
+  uint64_t triggered QREL_GUARDED_BY(RegistryMutex()) = 0;
 
-  bool armed = false;
-  uint64_t fire_at = 0;  // absolute hit count at which to fire
-  StatusCode code = StatusCode::kInternal;
-  FaultKind kind = FaultKind::kStatus;
+  bool armed QREL_GUARDED_BY(RegistryMutex()) = false;
+  // absolute hit count at which to fire
+  uint64_t fire_at QREL_GUARDED_BY(RegistryMutex()) = 0;
+  StatusCode code QREL_GUARDED_BY(RegistryMutex()) = StatusCode::kInternal;
+  FaultKind kind QREL_GUARDED_BY(RegistryMutex()) = FaultKind::kStatus;
 };
 
 namespace {
 
 struct Registry {
-  std::mutex mutex;
   // Site states live for the process lifetime; pointers handed to
   // FaultSite instances stay valid across Reset().
-  std::unordered_map<std::string, SiteState*> sites;
-  std::vector<SiteState*> order;  // registration order, for SiteNames()
+  std::unordered_map<std::string, SiteState*> sites
+      QREL_GUARDED_BY(RegistryMutex());
+  // registration order, for SiteNames()
+  std::vector<SiteState*> order QREL_GUARDED_BY(RegistryMutex());
   // Schedules armed before their site first registered.
   struct Pending {
     uint64_t nth;
     StatusCode code;
     FaultKind kind;
   };
-  std::unordered_map<std::string, Pending> pending;
+  std::unordered_map<std::string, Pending> pending
+      QREL_GUARDED_BY(RegistryMutex());
 };
 
 Registry& GetRegistry() {
@@ -58,7 +72,7 @@ FaultInjector& FaultInjector::Instance() {
 
 SiteState* FaultInjector::Register(const char* name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   auto it = registry.sites.find(name);
   if (it != registry.sites.end()) {
     return it->second;  // same name declared at several call sites
@@ -85,7 +99,7 @@ void FaultInjector::Arm(std::string_view site, uint64_t nth, StatusCode code,
     nth = 1;
   }
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   auto it = registry.sites.find(std::string(site));
   if (it == registry.sites.end()) {
     registry.pending[std::string(site)] = {nth, code, kind};
@@ -103,7 +117,7 @@ void FaultInjector::Arm(std::string_view site, uint64_t nth, StatusCode code,
 
 void FaultInjector::ArmEverySiteOnce(StatusCode code) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   for (SiteState* state : registry.order) {
     if (!state->armed) {
       armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -117,7 +131,7 @@ void FaultInjector::ArmEverySiteOnce(StatusCode code) {
 
 void FaultInjector::Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   for (SiteState* state : registry.order) {
     if (state->armed) {
       armed_count_.fetch_sub(1, std::memory_order_relaxed);
@@ -131,7 +145,7 @@ void FaultInjector::Reset() {
 
 std::vector<std::string> FaultInjector::SiteNames() const {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   std::vector<std::string> names;
   names.reserve(registry.order.size());
   for (const SiteState* state : registry.order) {
@@ -142,7 +156,7 @@ std::vector<std::string> FaultInjector::SiteNames() const {
 
 uint64_t FaultInjector::HitCount(std::string_view site) const {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   auto it = registry.sites.find(std::string(site));
   return it == registry.sites.end()
              ? 0
@@ -151,7 +165,7 @@ uint64_t FaultInjector::HitCount(std::string_view site) const {
 
 uint64_t FaultInjector::TriggeredCount(std::string_view site) const {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&fault_internal::RegistryMutex());
   auto it = registry.sites.find(std::string(site));
   return it == registry.sites.end() ? 0 : it->second->triggered;
 }
@@ -161,8 +175,7 @@ Status FaultInjector::OnArmedHit(SiteState* state, uint64_t hit) {
   StatusCode code;
   std::string name;
   {
-    Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(&fault_internal::RegistryMutex());
     if (!state->armed || hit < state->fire_at) {
       return Status::Ok();
     }

@@ -1,0 +1,101 @@
+// The process-wide lock-rank registry: one total order over every mutex
+// in the codebase.
+//
+// Compile-time capability analysis (util/thread_annotations.h) proves
+// each guarded field is accessed under its own lock, but it cannot see a
+// lock *ordering* cycle across call graphs — thread A holding the server
+// mutex while taking a job mutex, thread B doing the reverse, is
+// annotation-clean and still deadlocks. The runtime rank checker in
+// util/mutex.h closes that hole: every qrel::Mutex carries a rank from
+// this registry, each thread tracks the ranks it currently holds, and an
+// acquisition whose rank is not strictly greater than every held rank
+// aborts immediately with both rank names — turning a once-in-a-soak
+// deadlock into a deterministic unit-test failure on the first
+// out-of-order interleaving any test reaches.
+//
+// The registry is the documentation of record for nesting: a lock may
+// only be acquired while holding locks of strictly smaller rank, so the
+// enum reads top-down as "outermost first". Known constraints baked into
+// the order below:
+//
+//   kServerManifest < kCatalog        PersistManifest snapshots the
+//                                     catalog under the manifest lock
+//   kServerCore     < kServerJob      FailQueuedJobLocked publishes a
+//                                     job's result under the server lock
+//   anything        < kFaultRegistry  fault sites fire inside vfs writes
+//                                     made under manifest / checkpoint
+//                                     locks, so the registry is innermost
+//
+// Adding a mutex: pick the slot that reflects where it nests, leave gaps
+// (ranks are spaced by 10) so insertions don't renumber the world, and
+// add the LockRankName case. Two mutexes that can never be held together
+// may share a rank *value* only if they are instances of the same class
+// guarding disjoint objects (e.g. two servers' core mutexes); same-rank
+// acquisition is otherwise an abort, which is what catches accidental
+// recursion.
+
+#ifndef QREL_UTIL_LOCK_RANKS_H_
+#define QREL_UTIL_LOCK_RANKS_H_
+
+namespace qrel {
+
+enum class LockRank : int {
+  // Outermost: held across catalog snapshot + manifest file write
+  // (net/server.h manifest_mutex_).
+  kServerManifest = 10,
+  // The server core lock: queue, tenants, quotas, active runs, recovered
+  // idempotency keys (net/server.h mutex_).
+  kServerCore = 20,
+  // The catalog swap lock (net/catalog.h); taken under kServerManifest by
+  // PersistManifest's List() snapshot, never under kServerCore.
+  kCatalog = 30,
+  // The transport connection table (net/server.h conn_mutex_).
+  kServerConn = 40,
+  // The result cache store / single-flight map (net/result_cache.h).
+  kResultCache = 50,
+  // Checkpointer claim + write policy (util/snapshot.h); held across
+  // snapshot file writes, so below the fault registry only.
+  kCheckpointer = 60,
+  // One queued job's completion latch (net/server.cc Job::m); taken under
+  // kServerCore by the fast-fail paths.
+  kServerJob = 70,
+  // The Retry-After EWMA (net/retry.h). Leaf.
+  kRetryEstimator = 80,
+  // The fault-injection site registry (util/fault_injection.cc).
+  // Innermost: QREL_FAULT_HIT can fire under any of the locks above
+  // (vfs syscall sites fire inside manifest and checkpoint writes).
+  kFaultRegistry = 90,
+  // Default for mutexes that never nest with anything: acquiring any
+  // other qrel::Mutex while holding a leaf aborts.
+  kLeaf = 1000,
+};
+
+inline const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kServerManifest:
+      return "server-manifest";
+    case LockRank::kServerCore:
+      return "server-core";
+    case LockRank::kCatalog:
+      return "catalog";
+    case LockRank::kServerConn:
+      return "server-conn";
+    case LockRank::kResultCache:
+      return "result-cache";
+    case LockRank::kCheckpointer:
+      return "checkpointer";
+    case LockRank::kServerJob:
+      return "server-job";
+    case LockRank::kRetryEstimator:
+      return "retry-estimator";
+    case LockRank::kFaultRegistry:
+      return "fault-registry";
+    case LockRank::kLeaf:
+      return "leaf";
+  }
+  return "unknown";
+}
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_LOCK_RANKS_H_

@@ -1,0 +1,91 @@
+#include "qrel/util/mutex.h"
+
+#if QREL_MUTEX_RANK_CHECKS
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+#endif
+
+namespace qrel {
+
+#if QREL_MUTEX_RANK_CHECKS
+namespace mutex_internal {
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+};
+
+// The calling thread's acquisition stack, outermost first. Depth in
+// practice is <= 3 (manifest -> catalog -> fault registry), so a flat
+// vector scan beats any fancier structure.
+thread_local std::vector<HeldLock> t_held;
+
+[[noreturn]] void RankViolation(LockRank acquiring, LockRank held) {
+  std::fprintf(
+      stderr,
+      "qrel: lock-rank violation: acquiring '%s' (rank %d) while holding "
+      "'%s' (rank %d); acquisition order must be strictly increasing — "
+      "see src/qrel/util/lock_ranks.h for the registry\n",
+      LockRankName(acquiring), static_cast<int>(acquiring),
+      LockRankName(held), static_cast<int>(held));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void RankCheckAcquire(const void* mu, LockRank rank) {
+  for (const HeldLock& held : t_held) {
+    // >= also catches self-recursion and two same-rank objects held
+    // together (e.g. two jobs' latches), both of which the registry
+    // forbids.
+    if (static_cast<int>(held.rank) >= static_cast<int>(rank)) {
+      RankViolation(rank, held.rank);
+    }
+  }
+  t_held.push_back(HeldLock{mu, rank});
+}
+
+void RankCheckRelease(const void* mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "qrel: lock-rank bookkeeping: released a mutex this thread "
+               "does not hold\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+int HeldLockCount() { return static_cast<int>(t_held.size()); }
+
+}  // namespace mutex_internal
+#endif  // QREL_MUTEX_RANK_CHECKS
+
+void CondVar::Wait(Mutex& mu) {
+  QREL_MUTEX_RANK_RELEASE(&mu);
+  // Adopt the already-held std::mutex for the duration of the wait, then
+  // release() so the caller's MutexLock keeps ownership afterwards.
+  std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+  cv_.wait(lk);
+  lk.release();
+  QREL_MUTEX_RANK_ACQUIRE(&mu, mu.rank());
+}
+
+std::cv_status CondVar::WaitUntil(
+    Mutex& mu, std::chrono::steady_clock::time_point deadline) {
+  QREL_MUTEX_RANK_RELEASE(&mu);
+  std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+  std::cv_status status = cv_.wait_until(lk, deadline);
+  lk.release();
+  QREL_MUTEX_RANK_ACQUIRE(&mu, mu.rank());
+  return status;
+}
+
+}  // namespace qrel

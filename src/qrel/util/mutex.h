@@ -1,0 +1,150 @@
+// Annotated synchronization primitives: qrel::Mutex / MutexLock / CondVar.
+//
+// Every mutex in the codebase is one of these instead of a raw
+// std::mutex, which buys two machine checks on top of plain locking:
+//
+//  1. **Compile-time capability analysis** (Clang `-Wthread-safety`,
+//     promoted to an error in the CI lint job). The types carry the
+//     capability attributes from util/thread_annotations.h, so a field
+//     marked QREL_GUARDED_BY(mu) touched without holding `mu`, a
+//     QREL_REQUIRES(mu) helper called lockless, or a lock left held at
+//     function exit is a build error. GCC builds compile the same source
+//     with the attributes expanded away.
+//
+//  2. **Runtime lock-rank deadlock detection** (on by default; disable
+//     with -DQREL_MUTEX_RANK_CHECKS=0 for a bare release build). Every
+//     Mutex carries a rank from the single ordered registry in
+//     util/lock_ranks.h; each thread tracks the ranks it holds, and an
+//     acquisition whose rank is not strictly greater than every held
+//     rank aborts with both rank names. This catches the ordering cycles
+//     capability analysis cannot see across call graphs — the class of
+//     deadlock that otherwise only surfaces as a wedged soak test.
+//
+// Waiting: CondVar takes the Mutex directly (Wait / WaitUntil /
+// WaitFor). Prefer explicit `while (!ConditionLocked()) cv.Wait(mu);`
+// loops over predicate lambdas at call sites — the capability analysis
+// checks the loop body against the held lock, whereas a lambda is
+// analyzed as a separate unannotated function and defeats the check.
+//
+// The lock-rank bookkeeping is a thread-local vector push/pop per
+// acquisition; none of the code using these locks is a per-sample hot
+// path (the engine's inner loops are lock-free by construction), so the
+// checks stay on in every CI configuration, sanitized or not.
+
+#ifndef QREL_UTIL_MUTEX_H_
+#define QREL_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "qrel/util/lock_ranks.h"
+#include "qrel/util/thread_annotations.h"
+
+#if !defined(QREL_MUTEX_RANK_CHECKS)
+#define QREL_MUTEX_RANK_CHECKS 1
+#endif
+
+namespace qrel {
+
+#if QREL_MUTEX_RANK_CHECKS
+namespace mutex_internal {
+// Rank bookkeeping, per thread. Acquire aborts (after printing the
+// acquiring and held rank names) on any non-increasing acquisition;
+// Release forgets the entry; the WaitRelease/WaitReacquire pair brackets
+// a condition-variable wait, where the lock is not held while blocked.
+void RankCheckAcquire(const void* mu, LockRank rank);
+void RankCheckRelease(const void* mu);
+inline void RankCheckWaitRelease(const void* mu) { RankCheckRelease(mu); }
+inline void RankCheckWaitReacquire(const void* mu, LockRank rank) {
+  RankCheckAcquire(mu, rank);
+}
+// Ranks currently held by the calling thread (tests / diagnostics).
+int HeldLockCount();
+}  // namespace mutex_internal
+#define QREL_MUTEX_RANK_ACQUIRE(mu, rank) \
+  ::qrel::mutex_internal::RankCheckAcquire(mu, rank)
+#define QREL_MUTEX_RANK_RELEASE(mu) \
+  ::qrel::mutex_internal::RankCheckRelease(mu)
+#else
+#define QREL_MUTEX_RANK_ACQUIRE(mu, rank) ((void)0)
+#define QREL_MUTEX_RANK_RELEASE(mu) ((void)0)
+#endif
+
+// A standard mutex carrying a capability for the static analysis and a
+// rank for the runtime ordering check.
+class QREL_CAPABILITY("mutex") Mutex {
+ public:
+  // Rank defaults to kLeaf: correct for a mutex that never nests with
+  // another; any mutex that does must name its slot in lock_ranks.h.
+  explicit Mutex(LockRank rank = LockRank::kLeaf) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QREL_ACQUIRE() {
+    QREL_MUTEX_RANK_ACQUIRE(this, rank_);
+    mu_.lock();
+  }
+
+  void Unlock() QREL_RELEASE() {
+    mu_.unlock();
+    QREL_MUTEX_RANK_RELEASE(this);
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const LockRank rank_;
+};
+
+// RAII lock scope; the only way production code takes a Mutex.
+class QREL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) QREL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() QREL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to qrel::Mutex. Wait requires the mutex held;
+// while blocked the lock (and its rank bookkeeping) is released, exactly
+// like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // One blocking wait; spurious wakeups possible, callers loop on their
+  // condition.
+  void Wait(Mutex& mu) QREL_REQUIRES(mu);
+
+  // Blocks until notified or `deadline`; std::cv_status::timeout when the
+  // deadline passed. Callers re-test their condition either way.
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      QREL_REQUIRES(mu);
+
+  std::cv_status WaitFor(Mutex& mu, std::chrono::steady_clock::duration rel)
+      QREL_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + rel);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qrel
+
+#endif  // QREL_UTIL_MUTEX_H_

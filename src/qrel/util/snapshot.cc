@@ -469,6 +469,7 @@ Status Checkpointer::LoadForResume() {
     }
     return snapshot.status();
   }
+  MutexLock lock(&mu_);
   resume_ = std::move(snapshot).value();
   resume_consumed_ = false;
   return Status::Ok();
@@ -477,29 +478,41 @@ Status Checkpointer::LoadForResume() {
 CheckpointScope::CheckpointScope(RunContext* ctx, std::string_view kind,
                                  uint64_t fingerprint)
     : kind_(kind), fingerprint_(fingerprint) {
-  if (ctx == nullptr || ctx->checkpointer() == nullptr ||
-      ctx->checkpointer()->claimed_) {
-    return;  // inert: no policy attached, or a nested loop
+  if (ctx == nullptr || ctx->checkpointer() == nullptr) {
+    return;  // inert: no policy attached
+  }
+  Checkpointer* checkpointer = ctx->checkpointer();
+  // Test-and-set under the checkpointer's lock: with concurrent scope
+  // construction on one context (parallel engine core), exactly one scope
+  // wins the claim and the rest are inert.
+  MutexLock lock(&checkpointer->mu_);
+  if (checkpointer->claimed_) {
+    return;  // inert: a nested (or concurrent) loop already claimed
   }
   ctx_ = ctx;
-  checkpointer_ = ctx->checkpointer();
+  checkpointer_ = checkpointer;
   checkpointer_->claimed_ = true;
 }
 
 CheckpointScope::~CheckpointScope() {
   if (checkpointer_ != nullptr) {
+    MutexLock lock(&checkpointer_->mu_);
     checkpointer_->claimed_ = false;
   }
 }
 
 bool CheckpointScope::WouldClaim(const RunContext* ctx) {
   return ctx != nullptr && ctx->checkpointer() != nullptr &&
-         !ctx->checkpointer()->claimed_;
+         !ctx->checkpointer()->claimed();
 }
 
 Status CheckpointScope::TakeResume(std::optional<SnapshotReader>* reader) {
   reader->reset();
-  if (checkpointer_ == nullptr || !checkpointer_->resume_.has_value() ||
+  if (checkpointer_ == nullptr) {
+    return Status::Ok();
+  }
+  MutexLock lock(&checkpointer_->mu_);
+  if (!checkpointer_->resume_.has_value() ||
       checkpointer_->resume_consumed_) {
     return Status::Ok();
   }
@@ -537,10 +550,13 @@ Status CheckpointScope::MaybeCheckpoint(
       ctx_ != nullptr &&
       (ctx_->cancellation_requested() ||
        (ctx_->has_work_budget() && ctx_->work_remaining() == 0));
-  if (!trip_pending && checkpointer_->last_write_.has_value() &&
-      Checkpointer::Clock::now() - *checkpointer_->last_write_ <
-          checkpointer_->interval_) {
-    return Status::Ok();
+  if (!trip_pending) {
+    MutexLock lock(&checkpointer_->mu_);
+    if (checkpointer_->last_write_.has_value() &&
+        Checkpointer::Clock::now() - *checkpointer_->last_write_ <
+            checkpointer_->interval_) {
+      return Status::Ok();
+    }
   }
   return CheckpointNow(fill);
 }
@@ -550,6 +566,11 @@ Status CheckpointScope::CheckpointNow(
   if (checkpointer_ == nullptr) {
     return Status::Ok();
   }
+  // Held across the file write: one writer at a time per checkpoint path
+  // (WriteSnapshotFile's unique temp names already make concurrent writers
+  // safe; the lock makes them ordered, so last_write_/writes_ cannot drift
+  // from what is on disk).
+  MutexLock lock(&checkpointer_->mu_);
   if (checkpointer_->resume_.has_value() &&
       !checkpointer_->resume_consumed_ &&
       checkpointer_->resume_->kind != kind_) {

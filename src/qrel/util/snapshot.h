@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "qrel/util/bigint.h"
+#include "qrel/util/mutex.h"
 #include "qrel/util/rational.h"
 #include "qrel/util/rng.h"
 #include "qrel/util/run_context.h"
@@ -198,29 +199,50 @@ class Checkpointer {
   Status LoadForResume();
 
   const std::string& path() const { return path_; }
-  bool has_resume() const { return resume_.has_value(); }
+  bool has_resume() const {
+    MutexLock lock(&mu_);
+    return resume_.has_value();
+  }
   // Kind of the pending resume snapshot, empty when none.
   std::string resume_kind() const {
+    MutexLock lock(&mu_);
     return resume_.has_value() ? resume_->kind : std::string();
   }
   // True once a scope consumed the resume state.
-  bool resume_consumed() const { return resume_consumed_; }
+  bool resume_consumed() const {
+    MutexLock lock(&mu_);
+    return resume_consumed_;
+  }
   // True while some CheckpointScope holds the claim (so any further scope
   // constructed on the same context would be inert).
-  bool claimed() const { return claimed_; }
+  bool claimed() const {
+    MutexLock lock(&mu_);
+    return claimed_;
+  }
   // Checkpoints written so far (tests and overhead accounting).
-  uint64_t writes() const { return writes_; }
+  uint64_t writes() const {
+    MutexLock lock(&mu_);
+    return writes_;
+  }
 
  private:
   friend class CheckpointScope;
 
-  std::string path_;
-  Clock::duration interval_;
-  std::optional<SnapshotData> resume_;
-  bool resume_consumed_ = false;
-  bool claimed_ = false;
-  std::optional<Clock::time_point> last_write_;
-  uint64_t writes_ = 0;
+  std::string path_;          // immutable after construction
+  Clock::duration interval_;  // immutable after construction
+
+  // Guards the claim and all checkpoint/resume state, so concurrent
+  // CheckpointScope construction (the coming parallel engine core, and
+  // today's concurrency stress test) race-free elects exactly one active
+  // scope per Checkpointer. Held across WriteSnapshotFile: one writer at
+  // a time per checkpoint path, ranked just below the fault registry the
+  // write's vfs fault sites take.
+  mutable Mutex mu_{LockRank::kCheckpointer};
+  std::optional<SnapshotData> resume_ QREL_GUARDED_BY(mu_);
+  bool resume_consumed_ QREL_GUARDED_BY(mu_) = false;
+  bool claimed_ QREL_GUARDED_BY(mu_) = false;
+  std::optional<Clock::time_point> last_write_ QREL_GUARDED_BY(mu_);
+  uint64_t writes_ QREL_GUARDED_BY(mu_) = 0;
 };
 
 // RAII claim on a RunContext's Checkpointer. Constructed by every

@@ -1,6 +1,30 @@
 #include "qrel/util/status.h"
 
+#include <cstring>
+
 namespace qrel {
+
+namespace {
+
+// strerror_r comes in two flavours: XSI returns int and fills `buf`; GNU
+// (selected by _GNU_SOURCE, which gnu++ modes define) returns a char* that
+// may point at `buf` or at a static message. Overload dispatch on the
+// actual return type handles whichever the toolchain picked.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* message,
+                                            const char* /*buf*/) {
+  return message != nullptr ? message : "unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -56,6 +56,12 @@ inline bool IsBudgetStatusCode(StatusCode code) {
 // ...).
 const char* StatusCodeName(StatusCode code);
 
+// Thread-safe strerror: formats `err` (an errno value) via strerror_r
+// into a fresh string. std::strerror returns a pointer into static
+// storage a concurrent call may rewrite (clang-tidy concurrency-mt-unsafe),
+// and the serving layer builds errno messages from many threads.
+std::string ErrnoString(int err);
+
 // An error code plus message. Cheap to copy in the OK case.
 class Status {
  public:

@@ -1,0 +1,71 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// These wrap Clang's `-Wthread-safety` attribute set so every
+// lock/shared-state relationship in the codebase is *machine-checked at
+// compile time*: a field marked QREL_GUARDED_BY(mu) read or written
+// without holding `mu`, or a QREL_REQUIRES(mu) helper called lockless, is
+// a build error under `-Werror=thread-safety-analysis` (the CI lint job's
+// clang pass), not a review catch. On GCC — which has no capability
+// analysis — every macro expands to nothing, so the annotations cost
+// zero and gate nothing outside the clang build.
+//
+// The annotated primitives live in util/mutex.h (qrel::Mutex /
+// qrel::MutexLock / qrel::CondVar); annotate with these macros, lock with
+// those types. tests/compile_fail/ pins the analysis itself: snippets
+// that violate the discipline must keep failing the clang build, so the
+// checking can't silently rot.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef QREL_UTIL_THREAD_ANNOTATIONS_H_
+#define QREL_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(QREL_NO_THREAD_SAFETY_ANALYSIS)
+#define QREL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QREL_THREAD_ANNOTATION(x)  // no-op on GCC / MSVC
+#endif
+
+// Declares a type to be a capability ("mutex" for all of ours).
+#define QREL_CAPABILITY(x) QREL_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose lifetime holds a capability.
+#define QREL_SCOPED_CAPABILITY QREL_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable is protected by the given capability; all reads and
+// writes must happen with it held.
+#define QREL_GUARDED_BY(x) QREL_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field whose *pointee* is protected by the capability.
+#define QREL_PT_GUARDED_BY(x) QREL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capability held on entry (and does not release).
+#define QREL_REQUIRES(...) \
+  QREL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function must NOT hold the capability on entry (deadlock guard for
+// functions that acquire it themselves).
+#define QREL_EXCLUDES(...) QREL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define QREL_ACQUIRE(...) \
+  QREL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QREL_RELEASE(...) \
+  QREL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QREL_TRY_ACQUIRE(...) \
+  QREL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function returns a reference to the capability guarding its result.
+#define QREL_RETURN_CAPABILITY(x) QREL_THREAD_ANNOTATION(lock_returned(x))
+
+// Asserts (without acquiring) that the capability is held — for helpers
+// reached only with the lock held in ways the analysis cannot see.
+#define QREL_ASSERT_CAPABILITY(x) \
+  QREL_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch: turns the analysis off for one function. Every use must
+// carry a comment saying why the discipline cannot be expressed.
+#define QREL_NO_THREAD_SAFETY_ANALYSIS \
+  QREL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // QREL_UTIL_THREAD_ANNOTATIONS_H_

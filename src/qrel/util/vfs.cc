@@ -19,7 +19,7 @@ namespace {
 
 Status ErrnoStatus(const char* op, const std::string& path, int err) {
   std::string message =
-      std::string(op) + " " + path + ": " + std::strerror(err);
+      std::string(op) + " " + path + ": " + ErrnoString(err);
   switch (err) {
     case ENOENT:
       return Status::NotFound(std::move(message));
@@ -191,6 +191,11 @@ class PosixVfs : public Vfs {
     }                                      \
   } while (0)
 
+// The process-wide override is a single atomic pointer rather than a
+// mutex-guarded slot: readers (every vfs call) do one acquire load, and
+// ScopedVfsOverride's exchange/store pair makes install/restore safe
+// against concurrent readers. Nothing here for the thread-safety
+// capability analysis to check — there is no lock to hold.
 std::atomic<Vfs*> g_vfs_override{nullptr};
 
 }  // namespace

@@ -1,0 +1,23 @@
+// MUST NOT compile: calls a QREL_REQUIRES(mu) helper without holding mu.
+
+#include "qrel/util/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void SetLocked(int v) QREL_REQUIRES(mu_) { value_ = v; }
+  void Set(int v) { SetLocked(v); }  // lock not held: thread-safety error
+
+ private:
+  qrel::Mutex mu_;
+  int value_ QREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// MUST NOT compile: reads a QREL_GUARDED_BY field without holding its
+// mutex. If this ever builds clean under clang, the capability analysis
+// is off and every annotation in the tree is decorative.
+
+#include "qrel/util/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Get() { return value_; }  // no lock held: thread-safety error
+
+ private:
+  qrel::Mutex mu_;
+  int value_ QREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Get();
+}

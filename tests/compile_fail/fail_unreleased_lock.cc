@@ -1,0 +1,23 @@
+// MUST NOT compile: a manual Lock() with no Unlock() on one path — the
+// capability is still held at function exit.
+
+#include "qrel/util/mutex.h"
+
+namespace {
+
+qrel::Mutex g_mu;
+int g_value QREL_GUARDED_BY(g_mu) = 0;
+
+int TakeAndLeak(bool flag) {
+  g_mu.Lock();
+  if (flag) {
+    return g_value;  // returns with g_mu held: thread-safety error
+  }
+  int v = g_value;
+  g_mu.Unlock();
+  return v;
+}
+
+}  // namespace
+
+int main() { return TakeAndLeak(false); }

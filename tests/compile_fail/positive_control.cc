@@ -1,0 +1,38 @@
+// Positive control for the compile-fail harness: correct annotated code
+// that MUST compile under -Werror=thread-safety-analysis. If this breaks,
+// the fail_* cases are failing for the wrong reason (include rot, flag
+// typos) and the harness proves nothing.
+
+#include "qrel/util/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    qrel::MutexLock lock(&mu_);
+    value_ = v;
+  }
+  int Get() {
+    qrel::MutexLock lock(&mu_);
+    return value_;
+  }
+  void SetLocked(int v) QREL_REQUIRES(mu_) { value_ = v; }
+  void SetViaHelper(int v) {
+    qrel::MutexLock lock(&mu_);
+    SetLocked(v);
+  }
+
+ private:
+  qrel::Mutex mu_;
+  int value_ QREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  g.SetViaHelper(2);
+  return g.Get();
+}
